@@ -1,0 +1,279 @@
+(* The verifyio command-line tool.
+
+   Subcommands:
+     list             enumerate the evaluation workloads
+     run              execute a workload and write its trace to a file
+     verify           verify a trace file (or a named workload) against a model
+     models           print the builtin consistency models (paper Table I)
+     coverage         print tracer API coverage (paper Table II)
+     stats            per-layer/function statistics of a trace
+     graph            emit the happens-before graph as Graphviz DOT
+*)
+
+open Cmdliner
+
+let list_workloads lib_filter =
+  let matches (w : Workloads.Harness.t) =
+    match lib_filter with
+    | None -> true
+    | Some l ->
+      String.lowercase_ascii (Workloads.Harness.library_name w.library)
+      = String.lowercase_ascii l
+  in
+  List.iter
+    (fun (w : Workloads.Harness.t) ->
+      if matches w then
+        Printf.printf "%-24s %-8s nranks=%d\n" w.Workloads.Harness.name
+          (Workloads.Harness.library_name w.library)
+          w.nranks)
+    Workloads.Registry.all;
+  0
+
+let run_workload name out scale =
+  match Workloads.Registry.find name with
+  | None ->
+    Printf.eprintf "unknown workload %S (try `verifyio list`)\n" name;
+    1
+  | Some w ->
+    let records = Workloads.Harness.run ?scale w in
+    let data = Recorder.Codec.encode ~nranks:w.nranks records in
+    let path =
+      match out with Some p -> p | None -> name ^ ".vio-trace"
+    in
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc;
+    Printf.printf "wrote %d records to %s\n" (List.length records) path;
+    0
+
+let resolve_model name =
+  match Verifyio.Model.by_name name with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown model %S (POSIX, Commit, Session, MPI-IO)" name)
+
+let resolve_engine = function
+  | "auto" -> Ok None
+  | "vector-clock" -> Ok (Some Verifyio.Reach.Vector_clock)
+  | "reachability" -> Ok (Some Verifyio.Reach.Bfs_memo)
+  | "closure" -> Ok (Some Verifyio.Reach.Transitive_closure)
+  | "on-the-fly" -> Ok (Some Verifyio.Reach.On_the_fly)
+  | e ->
+    Error
+      (Printf.sprintf
+         "unknown engine %S (auto, vector-clock, reachability, closure, \
+          on-the-fly)"
+         e)
+
+let load_source source =
+  if Sys.file_exists source then
+    try Ok (Recorder.Codec.of_file source)
+    with Failure e -> Error ("cannot read trace: " ^ e)
+  else
+    match Workloads.Registry.find source with
+    | Some w -> Ok (w.nranks, Workloads.Harness.run w)
+    | None ->
+      Error
+        (Printf.sprintf "%S is neither a trace file nor a known workload" source)
+
+let stats_cmd source =
+  match load_source source with
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  | Ok (nranks, records) ->
+    let module R = Recorder.Record in
+    Printf.printf "%d ranks, %d records\n\n" nranks (List.length records);
+    let by_layer = Hashtbl.create 8 and by_func = Hashtbl.create 64 in
+    let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+    List.iter
+      (fun (r : R.t) ->
+        bump by_layer r.layer;
+        bump by_func (R.layer_to_string r.layer ^ ":" ^ r.func))
+      records;
+    Printf.printf "records per layer:\n";
+    List.iter
+      (fun l ->
+        match Hashtbl.find_opt by_layer l with
+        | Some n -> Printf.printf "  %-8s %d\n" (R.layer_to_string l) n
+        | None -> ())
+      R.all_layers;
+    let funcs = Hashtbl.fold (fun k v acc -> (v, k) :: acc) by_func [] in
+    Printf.printf "\ntop functions:\n";
+    List.iteri
+      (fun i (n, f) -> if i < 15 then Printf.printf "  %6d  %s\n" n f)
+      (List.sort (fun a b -> compare b a) funcs);
+    let d = Verifyio.Op.decode ~nranks records in
+    Printf.printf "\nfiles (bytes written/read across ranks):\n";
+    let totals = Hashtbl.create 8 in
+    Array.iter
+      (fun (o : Verifyio.Op.t) ->
+        match o.Verifyio.Op.kind with
+        | Verifyio.Op.Data { fid; write; iv } ->
+          let w, rd =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt totals fid)
+          in
+          let n = Vio_util.Interval.length iv in
+          Hashtbl.replace totals fid
+            (if write then (w + n, rd) else (w, rd + n))
+        | _ -> ())
+      d.Verifyio.Op.ops;
+    List.iter
+      (fun (path, fid) ->
+        let w, rd = Option.value ~default:(0, 0) (Hashtbl.find_opt totals fid) in
+        Printf.printf "  fid %d = %-24s %8d written %8d read\n" fid path w rd)
+      d.Verifyio.Op.files;
+    0
+
+let graph_cmd source out =
+  match load_source source with
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  | Ok (nranks, records) ->
+    let d = Verifyio.Op.decode ~nranks records in
+    let m = Verifyio.Match_mpi.run d in
+    let g = Verifyio.Hb_graph.build d m in
+    let dot = Verifyio.Hb_graph.to_dot g in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %d nodes, %d edges to %s\n"
+        (Verifyio.Hb_graph.size g)
+        (Verifyio.Hb_graph.edge_count g)
+        path
+    | None -> print_string dot);
+    0
+
+let verify_cmd source model_name engine_name all_models limit grouped =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  in
+  let* engine = resolve_engine engine_name in
+  let* nranks, records = load_source source in
+  let verify_one model =
+    let o = Verifyio.Pipeline.verify ?engine ~model ~nranks records in
+    if grouped then print_string (Verifyio.Report.grouped_report o)
+    else print_string (Verifyio.Report.race_report ~limit o);
+    Printf.printf "engine: %s\n"
+      (Verifyio.Reach.engine_name o.Verifyio.Pipeline.engine_used);
+    let t = o.Verifyio.Pipeline.timings in
+    Printf.printf
+      "stages: read %.3fs, conflicts %.3fs, graph %.3fs, engine %.3fs, verify %.3fs\n\n"
+      t.Verifyio.Pipeline.t_read t.Verifyio.Pipeline.t_conflicts
+      t.Verifyio.Pipeline.t_graph t.Verifyio.Pipeline.t_engine
+      t.Verifyio.Pipeline.t_verify;
+    Verifyio.Pipeline.is_properly_synchronized o
+  in
+  if all_models then begin
+    let ok = List.for_all verify_one Verifyio.Model.builtin in
+    if ok then 0 else 2
+  end
+  else
+    let* model = resolve_model model_name in
+    if verify_one model then 0 else 2
+
+let models_cmd () =
+  print_string (Verifyio.Report.table_i ());
+  0
+
+let coverage_cmd () =
+  print_string (Verifyio.Report.table_ii ());
+  0
+
+(* ---- command definitions ---- *)
+
+let lib_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "library" ] ~docv:"LIB" ~doc:"Filter by library (hdf5|netcdf|pnetcdf).")
+
+let list_term = Term.(const list_workloads $ lib_arg)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace output path.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scale" ] ~docv:"N" ~doc:"Workload size multiplier.")
+
+let run_term = Term.(const run_workload $ name_arg $ out_arg $ scale_arg)
+
+let source_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE|WORKLOAD"
+        ~doc:"A .vio-trace file or the name of a builtin workload.")
+
+let model_arg =
+  Arg.(
+    value & opt string "POSIX"
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Consistency model: POSIX, Commit, Session or MPI-IO.")
+
+let engine_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Happens-before engine: auto (dynamic selection), vector-clock, \
+           reachability, closure or on-the-fly.")
+
+let all_models_arg =
+  Arg.(value & flag & info [ "a"; "all-models" ] ~doc:"Verify against all four models.")
+
+let limit_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "limit" ] ~docv:"N" ~doc:"Max races to print per model.")
+
+let grouped_arg =
+  Arg.(
+    value & flag
+    & info [ "g"; "grouped" ]
+        ~doc:"Aggregate races by call-chain pair instead of listing each.")
+
+let verify_term =
+  Term.(
+    const verify_cmd $ source_arg $ model_arg $ engine_arg $ all_models_arg
+    $ limit_arg $ grouped_arg)
+
+let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "verifyio" ~version:"1.0.0"
+      ~doc:"Trace-driven verification of parallel I/O consistency semantics"
+  in
+  let cmds =
+    [
+      cmd_of list_term "list" "List the builtin evaluation workloads";
+      cmd_of run_term "run" "Run a workload and save its execution trace";
+      cmd_of verify_term "verify"
+        "Verify an execution trace against a consistency model";
+      cmd_of Term.(const models_cmd $ const ()) "models"
+        "Print the builtin consistency models (Table I)";
+      cmd_of Term.(const coverage_cmd $ const ()) "coverage"
+        "Print tracer API coverage (Table II)";
+      cmd_of Term.(const stats_cmd $ source_arg) "stats"
+        "Per-layer and per-function statistics of a trace";
+      cmd_of Term.(const graph_cmd $ source_arg $ out_arg) "graph"
+        "Emit the happens-before graph as Graphviz DOT";
+    ]
+  in
+  exit (Cmd.eval' (Cmd.group ~default info cmds))

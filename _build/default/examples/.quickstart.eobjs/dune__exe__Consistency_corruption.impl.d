@@ -1,0 +1,1 @@
+examples/consistency_corruption.ml: Bytes List Mpisim Posixfs Printf Recorder String Verifyio

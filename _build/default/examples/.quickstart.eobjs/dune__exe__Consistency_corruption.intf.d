@@ -1,0 +1,1 @@
+examples/consistency_corruption.mli:

@@ -1,0 +1,1 @@
+examples/engines_comparison.ml: List Printf String Verifyio Workloads

@@ -1,0 +1,1 @@
+examples/flexible_aggregation.ml: Format List Mpisim Printf Recorder Verifyio Workloads

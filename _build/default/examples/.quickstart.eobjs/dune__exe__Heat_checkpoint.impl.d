@@ -1,0 +1,1 @@
+examples/heat_checkpoint.ml: Array Bytes Int64 List Mpisim Pncdf Posixfs Printf Recorder String Verifyio

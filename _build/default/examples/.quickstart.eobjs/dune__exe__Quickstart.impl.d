@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format List Mpisim Posixfs Printf Recorder Verifyio

@@ -1,0 +1,1 @@
+examples/shapesame_pattern.ml: Bytes Hdf5sim List Mpisim Posixfs Printf Recorder String Verifyio

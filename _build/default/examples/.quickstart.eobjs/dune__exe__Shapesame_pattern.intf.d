@@ -1,0 +1,1 @@
+examples/shapesame_pattern.mli:

@@ -1,0 +1,1 @@
+examples/training_shards.ml: Array Bytes Char Hdf5sim Int64 List Mpisim Posixfs Printf Recorder Verifyio

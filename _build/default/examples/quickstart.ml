@@ -1,0 +1,69 @@
+(* Quickstart: the paper's Fig. 2 worked example, end to end.
+
+   A two-rank program writes four bytes on rank 0 and reads them on rank 1,
+   with an fsync and a barrier in between. We run it on the simulated stack,
+   collect the execution trace, and verify it against all four consistency
+   models — reproducing Fig. 2's verdict: properly synchronized under POSIX
+   and Commit, racy under Session and MPI-IO.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module V = Verifyio
+
+let () =
+  print_endline "== Step 1: run the program and collect a trace ==";
+  let nranks = 2 in
+  let trace = Recorder.Trace.create ~nranks in
+  let fs = F.create ~trace ~model:F.Posix () in
+  let eng = E.create ~trace ~nranks () in
+  E.run eng (fun ctx ->
+      let rank = ctx.E.rank in
+      let comm = M.comm_world ctx in
+      let fd = F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/quick.dat" in
+      if rank = 0 then begin
+        ignore (F.pwrite fs ~rank fd ~off:0 (Bytes.of_string "data"));
+        F.fsync fs ~rank fd
+      end;
+      M.barrier ctx comm;
+      if rank = 1 then begin
+        let got = F.pread fs ~rank fd ~off:0 ~len:4 in
+        Printf.printf "rank 1 read %S\n" (Bytes.to_string got)
+      end;
+      F.close fs ~rank fd);
+  let records = Recorder.Trace.records trace in
+  Printf.printf "collected %d records:\n" (List.length records);
+  List.iter
+    (fun r -> Format.printf "  %a@." Recorder.Record.pp r)
+    records;
+
+  print_endline "\n== Step 2: detect conflicts ==";
+  let d = V.Op.decode ~nranks records in
+  let groups = V.Conflict.detect d in
+  Printf.printf "%d conflicting pair(s)\n" (V.Conflict.distinct_pairs groups);
+  List.iter
+    (fun (g : V.Conflict.group) ->
+      Format.printf "  anchor %a@." V.Op.pp (V.Op.op d g.V.Conflict.x))
+    groups;
+
+  print_endline "\n== Step 3: match MPI calls, build happens-before ==";
+  let m = V.Match_mpi.run d in
+  let g = V.Hb_graph.build d m in
+  Printf.printf "happens-before graph: %d nodes, %d edges, %d matched events\n"
+    (V.Hb_graph.size g) (V.Hb_graph.edge_count g)
+    (List.length m.V.Match_mpi.events);
+
+  print_endline "\n== Step 4: verify against each consistency model ==";
+  List.iter
+    (fun (model, o) ->
+      Printf.printf "  %-8s : %s\n" model.V.Model.name
+        (if V.Pipeline.is_properly_synchronized o then
+           "properly synchronized"
+         else Printf.sprintf "%d data race(s)" o.V.Pipeline.race_count))
+    (V.Pipeline.verify_all_models ~nranks records);
+  print_endline
+    "\n(Fig. 2's verdict: fine under POSIX and Commit — the fsync is the\n\
+     commit — but racy under Session, which demands a close-to-open pair,\n\
+     and under MPI-IO, which demands its sync-barrier-sync construct.)"

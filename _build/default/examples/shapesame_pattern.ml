@@ -1,0 +1,72 @@
+(* The HDF5 pattern of paper Fig. 6: H5Dwrite / MPI_Barrier / H5Dread.
+
+   The left variant (barrier only) is how HDF5's own tests are written; it
+   is properly synchronized under POSIX but violates MPI-IO semantics. The
+   right variant inserts H5Fflush (-> MPI_File_sync) on both sides of the
+   barrier, which satisfies the sync-barrier-sync construct.
+
+   We verify both against all four models, then demonstrate why it matters:
+   on a commit-consistency file system the barrier-only variant silently
+   reads stale bytes.
+
+   Run with: dune exec examples/shapesame_pattern.exe *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module H5 = Hdf5sim.H5
+module V = Verifyio
+
+let pattern ~with_flush ~fsmodel =
+  let nranks = 2 in
+  let trace = Recorder.Trace.create ~nranks in
+  let fs = F.create ~trace ~model:fsmodel () in
+  let sys = H5.create_system ~fs in
+  let read_back = ref "" in
+  let eng = E.create ~trace ~nranks () in
+  E.run eng (fun ctx ->
+      let comm = M.comm_world ctx in
+      let f = H5.h5fcreate ctx sys ~comm "/fig6.h5" in
+      let d = H5.h5dcreate ctx f ~name:"dset" ~dims:[ 8 ] ~esize:1 in
+      if ctx.E.rank = 0 then
+        H5.h5dwrite ctx d H5.Independent (Bytes.of_string "PAYLOAD!");
+      if with_flush then H5.h5fflush ctx f;
+      M.barrier ctx comm;
+      if with_flush then H5.h5fflush ctx f;
+      if ctx.E.rank = 1 then
+        read_back := Bytes.to_string (H5.h5dread ctx d H5.Independent);
+      H5.h5fclose ctx f);
+  (Recorder.Trace.records trace, !read_back)
+
+let verdicts records =
+  List.map
+    (fun (m, o) ->
+      Printf.sprintf "%s=%s" m.V.Model.name
+        (if o.V.Pipeline.races = [] then "ok"
+         else string_of_int o.V.Pipeline.race_count ^ " races"))
+    (V.Pipeline.verify_all_models ~nranks:2 records)
+  |> String.concat "  "
+
+let () =
+  print_endline "== Fig. 6 left: H5Dwrite; MPI_Barrier; H5Dread ==";
+  let records, _ = pattern ~with_flush:false ~fsmodel:F.Posix in
+  Printf.printf "verdicts: %s\n" (verdicts records);
+
+  print_endline "\n== Fig. 6 right: + H5Fflush on both sides of the barrier ==";
+  let records, _ = pattern ~with_flush:true ~fsmodel:F.Posix in
+  Printf.printf "verdicts: %s\n" (verdicts records);
+
+  print_endline "\n== Why it matters: the same code on different file systems ==";
+  List.iter
+    (fun fsmodel ->
+      let _, stale = pattern ~with_flush:false ~fsmodel in
+      let _, fresh = pattern ~with_flush:true ~fsmodel in
+      Printf.printf
+        "  %-7s fs: barrier-only read = %-10S  flushed read = %S\n"
+        (F.model_to_string fsmodel) stale fresh)
+    [ F.Posix; F.Commit; F.Session ];
+  print_endline
+    "\nOn POSIX file systems the shortcut is invisible; on commit/session\n\
+     systems the barrier-only variant returns stale data — the silent\n\
+     corruption the paper warns about (S:V-C2). VerifyIO flags it from the\n\
+     trace alone, without needing to run on the relaxed file system."

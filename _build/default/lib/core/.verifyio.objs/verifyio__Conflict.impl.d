@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Hashtbl List Op Recorder Vio_util

@@ -1,0 +1,1 @@
+lib/core/hb_graph.ml: Array Buffer List Match_mpi Op Printf Queue Recorder String

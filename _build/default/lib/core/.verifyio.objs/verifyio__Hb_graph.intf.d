@@ -1,0 +1,1 @@
+lib/core/hb_graph.mli: Match_mpi Op

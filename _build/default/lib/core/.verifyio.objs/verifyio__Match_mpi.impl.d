@@ -1,0 +1,1 @@
+lib/core/match_mpi.ml: Array Format Fun Hashtbl List Op Printf Recorder String

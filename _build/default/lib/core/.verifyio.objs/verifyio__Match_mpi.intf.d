@@ -1,0 +1,1 @@
+lib/core/match_mpi.mli: Format Op

@@ -1,0 +1,1 @@
+lib/core/msc.ml: Array Hb_graph List Model Op Reach Recorder

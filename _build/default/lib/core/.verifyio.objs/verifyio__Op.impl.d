@@ -1,0 +1,1 @@
+lib/core/op.ml: Array Format Fun Hashtbl List Option Printf Recorder String Vio_util

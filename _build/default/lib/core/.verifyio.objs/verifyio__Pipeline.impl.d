@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Conflict Hb_graph List Match_mpi Model Msc Op Reach Unix Verify

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Match_mpi Model Op Reach Recorder Verify

@@ -1,0 +1,1 @@
+lib/core/reach.ml: Array Hashtbl Hb_graph List Queue Vio_util

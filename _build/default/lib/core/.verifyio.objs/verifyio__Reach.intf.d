@@ -1,0 +1,1 @@
+lib/core/reach.mli: Hb_graph

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Format Hashtbl List Match_mpi Model Op Pipeline Printf Recorder String Verify Vio_util

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Conflict Domain Hashtbl List Msc Op Reach

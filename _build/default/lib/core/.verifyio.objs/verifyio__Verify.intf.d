@@ -1,0 +1,1 @@
+lib/core/verify.mli: Conflict Hb_graph Model Msc Op Reach

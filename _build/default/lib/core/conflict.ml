@@ -1,0 +1,93 @@
+type group = { x : int; peers : (int * int array) list }
+
+type ival = { os : int; oe : int; write : bool; rank : int; idx : int }
+
+let detect (d : Op.decoded) =
+  (* Gather intervals per file id. *)
+  let by_fid : (int, ival list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.Op.kind with
+      | Op.Data { fid; write; iv } when not (Vio_util.Interval.is_empty iv) ->
+        let cell =
+          match Hashtbl.find_opt by_fid fid with
+          | Some c -> c
+          | None ->
+            let c = ref [] in
+            Hashtbl.replace by_fid fid c;
+            c
+        in
+        cell :=
+          { os = iv.Vio_util.Interval.os; oe = iv.Vio_util.Interval.oe;
+            write; rank = o.record.Recorder.Record.rank; idx = o.idx }
+          :: !cell
+      | _ -> ())
+    d.Op.ops;
+  (* conflicts.(anchor) : rank -> op idx list (reversed) *)
+  let conflicts : (int, (int, int list ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let note ~anchor ~peer_rank ~peer =
+    let per_rank =
+      match Hashtbl.find_opt conflicts anchor with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace conflicts anchor t;
+        t
+    in
+    let cell =
+      match Hashtbl.find_opt per_rank peer_rank with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.replace per_rank peer_rank c;
+        c
+    in
+    cell := peer :: !cell
+  in
+  Hashtbl.iter
+    (fun _fid cell ->
+      let arr = Array.of_list !cell in
+      Array.sort (fun a b -> compare (a.os, a.oe) (b.os, b.oe)) arr;
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        let a = arr.(i) in
+        let j = ref (i + 1) in
+        (* Later intervals start at or after a.os; once one starts past
+           a.oe, none of the rest overlaps a. *)
+        while !j < n && arr.(!j).os < a.oe do
+          let b = arr.(!j) in
+          if a.rank <> b.rank && (a.write || b.write) then begin
+            note ~anchor:a.idx ~peer_rank:b.rank ~peer:b.idx;
+            note ~anchor:b.idx ~peer_rank:a.rank ~peer:a.idx
+          end;
+          incr j
+        done
+      done)
+    by_fid;
+  let groups =
+    Hashtbl.fold
+      (fun anchor per_rank acc ->
+        let peers =
+          Hashtbl.fold
+            (fun rank cell acc ->
+              let ops = Array.of_list !cell in
+              Array.sort compare ops;
+              (* Program order within a rank is op-index order; duplicates
+                 cannot occur (each pair noted once per direction). *)
+              (rank, ops) :: acc)
+            per_rank []
+          |> List.sort (fun (r1, _) (r2, _) -> compare r1 r2)
+        in
+        { x = anchor; peers } :: acc)
+      conflicts []
+  in
+  List.sort (fun a b -> compare a.x b.x) groups
+
+let group_pairs g =
+  List.fold_left (fun acc (_, ops) -> acc + Array.length ops) 0 g.peers
+
+let total_pairs groups = List.fold_left (fun acc g -> acc + group_pairs g) 0 groups
+
+let distinct_pairs groups = total_pairs groups / 2

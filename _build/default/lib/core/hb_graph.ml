@@ -1,0 +1,179 @@
+module R = Recorder.Record
+
+type t = {
+  d : Op.decoded;
+  n_real : int;
+  n_total : int;
+  succs_arr : int list array;
+  preds_arr : int list array;
+  pos : int array;
+  ranks : int array;
+  topo : int array;
+  tstamps : int array;
+  edges : int;
+}
+
+let size t = t.n_total
+
+let real_nodes t = t.n_real
+
+let edge_count t = t.edges
+
+let succs t v = t.succs_arr.(v)
+
+let preds t v = t.preds_arr.(v)
+
+let topo_order t = t.topo
+
+let node_rank t v = t.ranks.(v)
+
+let rank_pos t v = t.pos.(v)
+
+let rank_chain t r = t.d.Op.by_rank.(r)
+
+let nranks t = t.d.Op.nranks
+
+let node_tstart t v = t.tstamps.(v)
+
+let build (d : Op.decoded) (m : Match_mpi.result) =
+  let n_real = Array.length d.Op.ops in
+  let completed_colls =
+    List.filter_map
+      (function
+        | Match_mpi.Collective { parts; completed = true } -> Some parts
+        | Match_mpi.Collective { completed = false; _ } | Match_mpi.P2p _ ->
+          None)
+      m.Match_mpi.events
+  in
+  let n_total = n_real + List.length completed_colls in
+  let succs_arr = Array.make n_total [] in
+  let preds_arr = Array.make n_total [] in
+  let edges = ref 0 in
+  let add_edge a b =
+    succs_arr.(a) <- b :: succs_arr.(a);
+    preds_arr.(b) <- a :: preds_arr.(b);
+    incr edges
+  in
+  (* Node -> (rank, position) for real nodes. *)
+  let pos = Array.make n_total (-1) in
+  let ranks = Array.make n_total (-1) in
+  Array.iteri
+    (fun rank chain ->
+      Array.iteri
+        (fun p idx ->
+          pos.(idx) <- p;
+          ranks.(idx) <- rank)
+        chain)
+    d.Op.by_rank;
+  (* Program order chains. *)
+  Array.iter
+    (fun chain ->
+      for k = 0 to Array.length chain - 2 do
+        add_edge chain.(k) chain.(k + 1)
+      done)
+    d.Op.by_rank;
+  (* Point-to-point edges. *)
+  List.iter
+    (function
+      | Match_mpi.P2p { send; completion } -> add_edge send completion
+      | Match_mpi.Collective _ -> ())
+    m.Match_mpi.events;
+  (* Collective join nodes. For participant c, the subtree of c is the
+     contiguous run of records with tstart < c.tend (the global clock makes
+     nesting contiguous per rank). *)
+  let subtree_end c =
+    let rank = ranks.(c) in
+    let chain = d.Op.by_rank.(rank) in
+    let tend = (Op.op d c).Op.record.R.tend in
+    let rec go p =
+      if
+        p + 1 < Array.length chain
+        && (Op.op d chain.(p + 1)).Op.record.R.tstart < tend
+      then go (p + 1)
+      else p
+    in
+    go pos.(c)
+  in
+  List.iteri
+    (fun k parts ->
+      let join = n_real + k in
+      List.iter
+        (fun (init, completion) ->
+          (* Data is contributed when the collective is initiated, so the
+             in-edge leaves the initiator's subtree; the results are only
+             available once the request completes, so the out-edge enters
+             after the completing call (the initiator itself for blocking
+             collectives). *)
+          let rank = ranks.(init) in
+          let chain = d.Op.by_rank.(rank) in
+          add_edge chain.(subtree_end init) join;
+          match completion with
+          | Some c ->
+            let last = subtree_end c in
+            if last + 1 < Array.length chain then add_edge join chain.(last + 1)
+          | None -> ())
+        parts)
+    completed_colls;
+  (* Topological order (Kahn). *)
+  let indeg = Array.make n_total 0 in
+  Array.iteri (fun _ l -> List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) l) succs_arr;
+  let queue = Queue.create () in
+  Array.iteri (fun v dg -> if dg = 0 then Queue.add v queue) indeg;
+  let topo = Array.make n_total (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    topo.(!filled) <- v;
+    incr filled;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succs_arr.(v)
+  done;
+  if !filled <> n_total then
+    raise (Op.Malformed "happens-before graph contains a cycle");
+  let tstamps = Array.make n_total 0 in
+  for v = 0 to n_real - 1 do
+    tstamps.(v) <- (Op.op d v).Op.record.R.tstart
+  done;
+  List.iteri
+    (fun k parts ->
+      tstamps.(n_real + k) <-
+        List.fold_left
+          (fun acc (init, _) -> max acc (Op.op d init).Op.record.R.tend)
+          0 parts)
+    completed_colls;
+  { d; n_real; n_total; succs_arr; preds_arr; pos; ranks; topo; tstamps;
+    edges = !edges }
+
+let to_dot ?(highlight = []) t =
+  let buf = Buffer.create 1024 in
+  let escape s = String.concat "\\\"" (String.split_on_char '"' s) in
+  Buffer.add_string buf "digraph happens_before {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for rank = 0 to nranks t - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  subgraph cluster_rank%d {\n    label=\"rank %d\";\n"
+         rank rank);
+    Array.iter
+      (fun v ->
+        let r = (Op.op t.d v).Op.record in
+        let fill = if List.mem v highlight then ", style=filled, fillcolor=salmon" else "" in
+        Buffer.add_string buf
+          (Printf.sprintf "    n%d [label=\"#%d %s\"%s];\n" v v
+             (escape r.R.func) fill))
+      t.d.Op.by_rank.(rank);
+    Buffer.add_string buf "  }\n"
+  done;
+  for v = t.n_real to t.n_total - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"join\", shape=diamond];\n" v)
+  done;
+  for v = 0 to t.n_total - 1 do
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" v s))
+      t.succs_arr.(v)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,517 @@
+module R = Recorder.Record
+
+type event =
+  | P2p of { send : int; completion : int }
+  | Collective of { parts : (int * int option) list; completed : bool }
+
+type unmatched =
+  | Mismatched_collective of {
+      comm : int;
+      position : int;
+      present : (int * string) list;
+      missing : int list;
+    }
+  | Orphan_collective of { comm : int; rank : int; op : int }
+  | Unmatched_send of int
+  | Unmatched_recv of int
+
+let pp_unmatched d ppf = function
+  | Mismatched_collective { comm; position; present; missing } ->
+    Format.fprintf ppf
+      "@[<h>mismatched collective on comm %d at position %d: %s%s@]" comm
+      position
+      (String.concat ", "
+         (List.map (fun (r, f) -> Printf.sprintf "rank %d calls %s" r f) present))
+      (match missing with
+      | [] -> ""
+      | l ->
+        "; no call from rank(s) "
+        ^ String.concat "," (List.map string_of_int l))
+  | Orphan_collective { comm; rank; op } ->
+    Format.fprintf ppf "@[<h>orphan collective %s on comm %d from rank %d@]"
+      (Op.op d op).Op.record.R.func comm rank
+  | Unmatched_send op ->
+    Format.fprintf ppf "@[<h>unmatched send: %a@]" R.pp (Op.op d op).Op.record
+  | Unmatched_recv op ->
+    Format.fprintf ppf "@[<h>unmatched receive: %a@]" R.pp
+      (Op.op d op).Op.record
+
+type result = {
+  events : event list;
+  unmatched : unmatched list;
+  comm_ranks : (int * int array) list;
+}
+
+let is_clean r = r.unmatched = []
+
+(* ---------------------------------------------------------------- *)
+(* Record classification helpers                                      *)
+(* ---------------------------------------------------------------- *)
+
+let collective_funcs =
+  [
+    "MPI_Barrier"; "MPI_Bcast"; "MPI_Reduce"; "MPI_Allreduce"; "MPI_Gather";
+    "MPI_Allgather"; "MPI_Scatter"; "MPI_Alltoall"; "MPI_Comm_dup";
+    "MPI_Comm_split"; "MPI_Ibarrier"; "MPI_Iallreduce"; "MPI_File_open";
+    "MPI_File_close"; "MPI_File_sync"; "MPI_File_set_view";
+    "MPI_File_write_at_all"; "MPI_File_read_at_all"; "MPI_File_write_all";
+  ]
+
+let is_collective (r : R.t) =
+  (r.layer = R.Mpi || r.layer = R.Mpiio) && List.mem r.func collective_funcs
+
+(* Request-id argument position of non-blocking collectives. *)
+let nonblocking_rid_arg (r : R.t) =
+  match r.func with
+  | "MPI_Ibarrier" -> Some 1
+  | "MPI_Iallreduce" -> Some 3
+  | _ -> None
+
+let in_flight (r : R.t) = r.ret = Recorder.Trace.in_flight_ret
+
+(* ---------------------------------------------------------------- *)
+(* Matching                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type state = {
+  d : Op.decoded;
+  mutable events : event list;
+  mutable unmatched : unmatched list;
+  comms : (int, int array) Hashtbl.t;  (* comm id -> world ranks *)
+  (* Collective records per (comm id, world rank), in program order. *)
+  coll_seqs : (int * int, int list ref) Hashtbl.t;
+  (* (rank, rid) -> (completing op idx, status src, status tag), from
+     MPI_Wait/Waitall/Test/Testsome records. *)
+  completions : (int * int, int * int * int) Hashtbl.t;
+}
+
+let comm_of_coll d idx = R.int_arg (Op.op d idx).Op.record 0
+
+(* One pass over Wait/Waitall/Test/Testsome records: which call completed
+   which request id, and with what recovered status. *)
+let collect_completions st =
+  let note ~rank ~rid ~src ~tag ~idx =
+    if not (Hashtbl.mem st.completions (rank, rid)) then
+      Hashtbl.replace st.completions (rank, rid) (idx, src, tag)
+  in
+  Array.iter
+    (fun (o : Op.t) ->
+      let r = o.Op.record in
+      if r.R.layer = R.Mpi && not (in_flight r) then
+        match r.R.func with
+        | "MPI_Wait" ->
+          note ~rank:r.R.rank ~rid:(R.int_arg r 0) ~src:(R.int_arg r 1)
+            ~tag:(R.int_arg r 2) ~idx:o.Op.idx
+        | "MPI_Waitall" ->
+          let split_csv s = if s = "" then [] else String.split_on_char ',' s in
+          let rids = List.map int_of_string (split_csv (R.arg r 1)) in
+          let statuses =
+            List.map
+              (fun s ->
+                match String.split_on_char ':' s with
+                | [ a; b ] -> (int_of_string a, int_of_string b)
+                | _ -> raise (Op.Malformed "bad MPI_Waitall status"))
+              (split_csv (R.arg r 2))
+          in
+          List.iter2
+            (fun rid (src, tag) -> note ~rank:r.R.rank ~rid ~src ~tag ~idx:o.Op.idx)
+            rids statuses
+        | "MPI_Test" ->
+          if R.arg r 1 = "1" then
+            note ~rank:r.R.rank ~rid:(R.int_arg r 0) ~src:(R.int_arg r 2)
+              ~tag:(R.int_arg r 3) ~idx:o.Op.idx
+        | "MPI_Testsome" ->
+          let split_csv s = if s = "" then [] else String.split_on_char ',' s in
+          List.iter
+            (fun entry ->
+              match String.split_on_char ':' entry with
+              | [ rid; src; tag ] ->
+                note ~rank:r.R.rank ~rid:(int_of_string rid)
+                  ~src:(int_of_string src) ~tag:(int_of_string tag) ~idx:o.Op.idx
+              | _ -> raise (Op.Malformed "bad MPI_Testsome completion"))
+            (split_csv (R.arg r 3))
+        | _ -> ())
+    st.d.Op.ops
+
+let collect_collectives st =
+  Array.iter
+    (fun (o : Op.t) ->
+      if is_collective o.record then begin
+        let key = (comm_of_coll st.d o.idx, o.record.R.rank) in
+        let cell =
+          match Hashtbl.find_opt st.coll_seqs key with
+          | Some c -> c
+          | None ->
+            let c = ref [] in
+            Hashtbl.replace st.coll_seqs key c;
+            c
+        in
+        cell := o.idx :: !cell
+      end)
+    st.d.Op.ops;
+  (* Store in program order. *)
+  Hashtbl.iter (fun _ c -> c := List.rev !c) st.coll_seqs
+
+(* Sort the members of a split group the way MPI_Comm_split does. *)
+let split_members st ~parent entries =
+  (* entries: (world_rank, color, key, newcomm) *)
+  let parent_rank w =
+    let ranks = Hashtbl.find st.comms parent in
+    let rec find i = if ranks.(i) = w then i else find (i + 1) in
+    find 0
+  in
+  List.sort
+    (fun (w1, _, k1, _) (w2, _, k2, _) ->
+      compare (k1, parent_rank w1) (k2, parent_rank w2))
+    entries
+
+(* Match the collective sequence of one known communicator; may register
+   new communicators (returned as newly known ids). *)
+let match_comm st comm_id =
+  let members = Hashtbl.find st.comms comm_id in
+  let seqs =
+    Array.map
+      (fun w ->
+        match Hashtbl.find_opt st.coll_seqs (comm_id, w) with
+        | Some c -> Array.of_list !c
+        | None -> [||])
+      members
+  in
+  let positions = Array.fold_left (fun m s -> max m (Array.length s)) 0 seqs in
+  let fresh = ref [] in
+  let aborted = ref false in
+  for pos = 0 to positions - 1 do
+    if not !aborted then begin
+      let present = ref [] and missing = ref [] in
+      Array.iteri
+        (fun ci w ->
+          if pos < Array.length seqs.(ci) then
+            present := (w, seqs.(ci).(pos)) :: !present
+          else missing := w :: !missing)
+        members;
+      let present = List.rev !present and missing = List.rev !missing in
+      let funcs =
+        List.sort_uniq compare
+          (List.map (fun (_, idx) -> (Op.op st.d idx).Op.record.R.func) present)
+      in
+      match (funcs, missing) with
+      | [ func ], [] ->
+        let inits = List.map snd present in
+        let parts =
+          List.map
+            (fun idx ->
+              let r = (Op.op st.d idx).Op.record in
+              match nonblocking_rid_arg r with
+              | None -> (idx, Some idx)
+              | Some rid_arg -> (
+                match int_of_string_opt (R.arg r rid_arg) with
+                | None -> (idx, None)
+                | Some rid -> (
+                  match Hashtbl.find_opt st.completions (r.R.rank, rid) with
+                  | Some (cidx, _, _) -> (idx, Some cidx)
+                  | None -> (idx, None))))
+            inits
+        in
+        let completed =
+          List.for_all (fun idx -> not (in_flight (Op.op st.d idx).Op.record)) inits
+        in
+        st.events <- Collective { parts; completed } :: st.events;
+        (* Communicator creation registers the new communicator. *)
+        if func = "MPI_Comm_dup" && completed then begin
+          let newcomm = R.int_arg (Op.op st.d (List.hd inits)).Op.record 1 in
+          if not (Hashtbl.mem st.comms newcomm) then begin
+            Hashtbl.replace st.comms newcomm (Array.copy members);
+            fresh := newcomm :: !fresh
+          end
+        end
+        else if func = "MPI_Comm_split" && completed then begin
+          let entries =
+            List.map
+              (fun idx ->
+                let r = (Op.op st.d idx).Op.record in
+                (r.R.rank, R.int_arg r 1, R.int_arg r 2, R.int_arg r 3))
+              inits
+          in
+          let colors =
+            List.sort_uniq compare (List.map (fun (_, c, _, _) -> c) entries)
+          in
+          List.iter
+            (fun color ->
+              let group =
+                List.filter (fun (_, c, _, _) -> c = color) entries
+              in
+              let sorted = split_members st ~parent:comm_id group in
+              let newcomm =
+                match sorted with (_, _, _, nc) :: _ -> nc | [] -> assert false
+              in
+              List.iter
+                (fun (_, _, _, nc) ->
+                  if nc <> newcomm then
+                    st.unmatched <-
+                      Mismatched_collective
+                        { comm = comm_id; position = pos; present =
+                            List.map (fun (w, _, _, _) -> (w, "MPI_Comm_split")) group;
+                          missing = [] }
+                      :: st.unmatched)
+                sorted;
+              if not (Hashtbl.mem st.comms newcomm) then begin
+                Hashtbl.replace st.comms newcomm
+                  (Array.of_list (List.map (fun (w, _, _, _) -> w) sorted));
+                fresh := newcomm :: !fresh
+              end)
+            colors
+        end
+      | _ ->
+        st.unmatched <-
+          Mismatched_collective
+            {
+              comm = comm_id;
+              position = pos;
+              present =
+                List.map
+                  (fun (w, idx) -> (w, (Op.op st.d idx).Op.record.R.func))
+                  present;
+              missing;
+            }
+          :: st.unmatched;
+        (* Everything after a mismatch on this communicator is unreliable. *)
+        Array.iteri
+          (fun ci w ->
+            for p = pos + 1 to Array.length seqs.(ci) - 1 do
+              st.unmatched <-
+                Orphan_collective { comm = comm_id; rank = w; op = seqs.(ci).(p) }
+                :: st.unmatched
+            done)
+          members;
+        aborted := true
+    end
+  done;
+  !fresh
+
+let match_collectives st =
+  collect_collectives st;
+  Hashtbl.replace st.comms 0 (Array.init st.d.Op.nranks Fun.id);
+  let rec go known =
+    match known with
+    | [] -> ()
+    | comm :: rest ->
+      let fresh = match_comm st comm in
+      go (rest @ fresh)
+  in
+  go [ 0 ];
+  (* Collective records on never-registered communicators are orphans. *)
+  Hashtbl.iter
+    (fun (comm, rank) seq ->
+      if not (Hashtbl.mem st.comms comm) then
+        List.iter
+          (fun idx ->
+            st.unmatched <- Orphan_collective { comm; rank; op = idx } :: st.unmatched)
+          !seq)
+    st.coll_seqs
+
+(* ---------------------------------------------------------------- *)
+(* Point-to-point                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type send_rec = { s_idx : int; s_dst_w : int; s_tag : int; s_comm : int }
+
+type recv_rec = {
+  r_posted : int;  (* op idx of the posting call, for ordering *)
+  r_completion : int;  (* op idx of the completing call *)
+  r_src_w : int;
+  r_tag : int;
+  r_comm : int;
+}
+
+let world_of_comm_rank st ~comm cr =
+  match Hashtbl.find_opt st.comms comm with
+  | Some ranks when cr >= 0 && cr < Array.length ranks -> Some ranks.(cr)
+  | _ -> None
+
+let split_csv s = if s = "" then [] else String.split_on_char ',' s
+
+let match_p2p st =
+  let sends = ref [] and recvs = ref [] and pending_unmatched = ref [] in
+  (* Per rank: rid -> (posted op idx, comm). *)
+  let posted : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let complete_rid ~rank ~rid ~status ~completion =
+    match Hashtbl.find_opt posted (rank, rid) with
+    | None -> ()  (* a send request; sends complete eagerly *)
+    | Some (posted_idx, comm) ->
+      Hashtbl.remove posted (rank, rid);
+      let src_cr, tag = status in
+      (match world_of_comm_rank st ~comm src_cr with
+      | Some src_w ->
+        recvs :=
+          {
+            r_posted = posted_idx;
+            r_completion = completion;
+            r_src_w = src_w;
+            r_tag = tag;
+            r_comm = comm;
+          }
+          :: !recvs
+      | None -> pending_unmatched := Unmatched_recv posted_idx :: !pending_unmatched)
+  in
+  Array.iter
+    (fun (o : Op.t) ->
+      let r = o.record in
+      if r.R.layer = R.Mpi then
+        match r.R.func with
+        | "MPI_Send" | "MPI_Isend" ->
+          sends :=
+            {
+              s_idx = o.idx;
+              s_dst_w =
+                (match
+                   world_of_comm_rank st ~comm:(R.int_arg r 2) (R.int_arg r 0)
+                 with
+                | Some w -> w
+                | None -> -1);
+              s_tag = R.int_arg r 1;
+              s_comm = R.int_arg r 2;
+            }
+            :: !sends
+        | "MPI_Recv" ->
+          if in_flight r then
+            pending_unmatched := Unmatched_recv o.idx :: !pending_unmatched
+          else begin
+            let comm = R.int_arg r 2 in
+            let src_cr = R.int_arg r 4 and tag = R.int_arg r 5 in
+            match world_of_comm_rank st ~comm src_cr with
+            | Some src_w ->
+              recvs :=
+                {
+                  r_posted = o.idx;
+                  r_completion = o.idx;
+                  r_src_w = src_w;
+                  r_tag = tag;
+                  r_comm = comm;
+                }
+                :: !recvs
+            | None ->
+              pending_unmatched := Unmatched_recv o.idx :: !pending_unmatched
+          end
+        | "MPI_Irecv" ->
+          if not (in_flight r) then
+            Hashtbl.replace posted
+              (r.R.rank, R.int_arg r 3)
+              (o.idx, R.int_arg r 2)
+        | "MPI_Wait" ->
+          if not (in_flight r) then
+            complete_rid ~rank:r.R.rank ~rid:(R.int_arg r 0)
+              ~status:(R.int_arg r 1, R.int_arg r 2)
+              ~completion:o.idx
+        | "MPI_Waitall" ->
+          if not (in_flight r) then begin
+            let rids = List.map int_of_string (split_csv (R.arg r 1)) in
+            let statuses =
+              List.map
+                (fun s ->
+                  match String.split_on_char ':' s with
+                  | [ a; b ] -> (int_of_string a, int_of_string b)
+                  | _ -> raise (Op.Malformed "bad MPI_Waitall status"))
+                (split_csv (R.arg r 2))
+            in
+            List.iter2
+              (fun rid status ->
+                complete_rid ~rank:r.R.rank ~rid ~status ~completion:o.idx)
+              rids statuses
+          end
+        | "MPI_Test" ->
+          if (not (in_flight r)) && R.arg r 1 = "1" then
+            complete_rid ~rank:r.R.rank ~rid:(R.int_arg r 0)
+              ~status:(R.int_arg r 2, R.int_arg r 3)
+              ~completion:o.idx
+        | "MPI_Testsome" ->
+          if not (in_flight r) then
+            List.iter
+              (fun entry ->
+                match String.split_on_char ':' entry with
+                | [ rid; src; tag ] ->
+                  complete_rid ~rank:r.R.rank ~rid:(int_of_string rid)
+                    ~status:(int_of_string src, int_of_string tag)
+                    ~completion:o.idx
+                | _ -> raise (Op.Malformed "bad MPI_Testsome completion"))
+              (split_csv (R.arg r 3))
+        | _ -> ())
+    st.d.Op.ops;
+  (* Posted but never completed receives. *)
+  Hashtbl.iter
+    (fun _ (posted_idx, _) ->
+      pending_unmatched := Unmatched_recv posted_idx :: !pending_unmatched)
+    posted;
+  (* Pair per channel in program order. *)
+  let tbl = Hashtbl.create 64 in
+  let push key v =
+    let cell =
+      match Hashtbl.find_opt tbl key with
+      | Some c -> c
+      | None ->
+        let c = ref ([], []) in
+        Hashtbl.replace tbl key c;
+        c
+    in
+    match v with
+    | `Send s ->
+      let ss, rs = !cell in
+      cell := (s :: ss, rs)
+    | `Recv rr ->
+      let ss, rs = !cell in
+      cell := (ss, rr :: rs)
+  in
+  List.iter
+    (fun s ->
+      let src_w = (Op.op st.d s.s_idx).Op.record.R.rank in
+      push (s.s_comm, src_w, s.s_dst_w, s.s_tag) (`Send s))
+    !sends;
+  List.iter
+    (fun rr ->
+      let dst_w = (Op.op st.d rr.r_posted).Op.record.R.rank in
+      push (rr.r_comm, rr.r_src_w, dst_w, rr.r_tag) (`Recv rr))
+    !recvs;
+  Hashtbl.iter
+    (fun _ cell ->
+      let ss, rs = !cell in
+      let ss =
+        List.sort (fun a b -> compare a.s_idx b.s_idx) ss
+      in
+      let rs = List.sort (fun a b -> compare a.r_posted b.r_posted) rs in
+      let rec zip ss rs =
+        match (ss, rs) with
+        | s :: ss', r :: rs' ->
+          st.events <- P2p { send = s.s_idx; completion = r.r_completion } :: st.events;
+          zip ss' rs'
+        | s :: ss', [] ->
+          st.unmatched <- Unmatched_send s.s_idx :: st.unmatched;
+          zip ss' []
+        | [], r :: rs' ->
+          st.unmatched <- Unmatched_recv r.r_posted :: st.unmatched;
+          zip [] rs'
+        | [], [] -> ()
+      in
+      zip ss rs)
+    tbl;
+  st.unmatched <- !pending_unmatched @ st.unmatched
+
+let run d =
+  let st =
+    {
+      d;
+      events = [];
+      unmatched = [];
+      comms = Hashtbl.create 8;
+      coll_seqs = Hashtbl.create 64;
+      completions = Hashtbl.create 64;
+    }
+  in
+  collect_completions st;
+  match_collectives st;
+  match_p2p st;
+  {
+    events = List.rev st.events;
+    unmatched = List.rev st.unmatched;
+    comm_ranks =
+      Hashtbl.fold (fun id ranks acc -> (id, ranks) :: acc) st.comms []
+      |> List.sort compare;
+  }

@@ -1,0 +1,63 @@
+(** MPI call matching (workflow step 3).
+
+    Replays the MPI records of a trace to pair point-to-point operations and
+    collective invocations:
+
+    - {b Collectives} are matched per communicator in program order: the
+      i-th collective call on a communicator across all its member ranks
+      forms one event; a function-name disagreement or a missing rank is an
+      unmatched-collective diagnostic (paper §V-D). Communicator membership
+      is reconstructed from [MPI_Comm_dup]/[MPI_Comm_split] records (each
+      carries the new communicator's globally unique id; split groups are
+      ordered by (key, parent rank) like the real call). MPI-IO collective
+      calls ([MPI_File_open/close/sync/set_view/…_all]) participate in the
+      same per-communicator sequences.
+    - {b Point-to-point}: sends are paired with receive *completions*
+      (a blocking [MPI_Recv], or the [MPI_Wait*]/[MPI_Test*] record that
+      completed an [MPI_Irecv], located through recorded request ids).
+      Wildcard receives are resolved with the source/tag recovered from the
+      recorded [MPI_Status]. Pairing is per channel
+      (communicator, source, destination, tag), in program order on both
+      sides (MPI's non-overtaking rule).
+
+    Records whose call never returned (in-flight at an abort) match
+    positionally but yield incomplete events, which contribute no
+    happens-before edges. *)
+
+type event =
+  | P2p of { send : int; completion : int }
+      (** op indices: the send record and the receive-completion record *)
+  | Collective of { parts : (int * int option) list; completed : bool }
+      (** per participating rank: the initiating record and, when the
+          collective is non-blocking ([MPI_Ibarrier]/[MPI_Iallreduce]), the
+          [MPI_Wait*]/[MPI_Test*] record that completed it (equal to the
+          initiator for blocking collectives, [None] if the rank never
+          completed the request). [completed] is false when any participant
+          never returned. *)
+
+type unmatched =
+  | Mismatched_collective of {
+      comm : int;
+      position : int;
+      present : (int * string) list;  (** (rank, func) at this position *)
+      missing : int list;  (** member ranks with no call at this position *)
+    }
+  | Orphan_collective of { comm : int; rank : int; op : int }
+      (** collective record on a communicator whose creation was never
+          traced, or past a mismatch point *)
+  | Unmatched_send of int
+  | Unmatched_recv of int  (** posted receive that never completed or never
+                               found a sender *)
+
+val pp_unmatched : Op.decoded -> Format.formatter -> unmatched -> unit
+
+type result = {
+  events : event list;
+  unmatched : unmatched list;
+  comm_ranks : (int * int array) list;  (** comm id -> member world ranks *)
+}
+
+val run : Op.decoded -> result
+
+val is_clean : result -> bool
+(** No unmatched diagnostics. *)

@@ -1,0 +1,126 @@
+type edge = Po | Hb
+
+type sync_pred = { sp_name : string; sp_matches : Op.t -> fid:int -> bool }
+
+type msc = { edges : edge list; syncs : sync_pred list }
+
+type t = {
+  name : string;
+  sync_set : string list;
+  msc_desc : string;
+  mscs : msc list;
+}
+
+let check_msc m =
+  if List.length m.edges <> List.length m.syncs + 1 then
+    invalid_arg "Model: an MSC needs exactly one more edge than sync ops"
+
+let make ~name ~sync_set ~msc_desc ~mscs =
+  if mscs = [] then invalid_arg "Model: at least one MSC required";
+  List.iter check_msc mscs;
+  { name; sync_set; msc_desc; mscs }
+
+(* Predicates over decoded operations, scoped to the conflicting file. *)
+
+(* Classify a file-scoped sync-capable operation on the given file:
+   [`Open]/[`Close]/[`Sync] with its API flavour, or None. *)
+let sync_shape op ~fid =
+  match op.Op.kind with
+  | Op.File_open { fid = f; api } when f = fid -> Some (`Open, api)
+  | Op.File_close { fid = f; api } when f = fid -> Some (`Close, api)
+  | Op.File_sync { fid = f; api } when f = fid -> Some (`Sync, api)
+  | Op.File_open _ | Op.File_close _ | Op.File_sync _ | Op.Data _
+  | Op.Mpi_call | Op.Meta | Op.Other ->
+    None
+
+let commit_pred =
+  {
+    sp_name = "commit";
+    sp_matches =
+      (fun op ~fid ->
+        match sync_shape op ~fid with Some (`Sync, _) -> true | _ -> false);
+  }
+
+let session_close_pred =
+  {
+    sp_name = "session_close";
+    sp_matches =
+      (fun op ~fid ->
+        match sync_shape op ~fid with Some (`Close, _) -> true | _ -> false);
+  }
+
+let session_open_pred =
+  {
+    sp_name = "session_open";
+    sp_matches =
+      (fun op ~fid ->
+        match sync_shape op ~fid with Some (`Open, _) -> true | _ -> false);
+  }
+
+let mpiio_s1_pred =
+  {
+    sp_name = "MPI_File_close|MPI_File_sync";
+    sp_matches =
+      (fun op ~fid ->
+        match sync_shape op ~fid with
+        | Some ((`Close | `Sync), Op.Mpiio_handle) -> true
+        | _ -> false);
+  }
+
+let mpiio_s2_pred =
+  {
+    sp_name = "MPI_File_sync|MPI_File_open";
+    sp_matches =
+      (fun op ~fid ->
+        match sync_shape op ~fid with
+        | Some ((`Sync | `Open), Op.Mpiio_handle) -> true
+        | _ -> false);
+  }
+
+let posix =
+  {
+    name = "POSIX";
+    sync_set = [];
+    msc_desc = "-hb->";
+    mscs = [ { edges = [ Hb ]; syncs = [] } ];
+  }
+
+let commit =
+  {
+    name = "Commit";
+    sync_set = [ "commit" ];
+    msc_desc = "-hb-> commit -hb->";
+    mscs = [ { edges = [ Hb; Hb ]; syncs = [ commit_pred ] } ];
+  }
+
+let session =
+  {
+    name = "Session";
+    sync_set = [ "session_close"; "session_open" ];
+    msc_desc = "-po-> session_close -hb-> session_open -po->";
+    mscs =
+      [
+        {
+          edges = [ Po; Hb; Po ];
+          syncs = [ session_close_pred; session_open_pred ];
+        };
+      ];
+  }
+
+let mpi_io =
+  {
+    name = "MPI-IO";
+    sync_set = [ "MPI_File_sync"; "MPI_File_close"; "MPI_File_open" ];
+    msc_desc = "-po-> {close|sync} -hb-> {sync|open} -po->";
+    mscs =
+      [ { edges = [ Po; Hb; Po ]; syncs = [ mpiio_s1_pred; mpiio_s2_pred ] } ];
+  }
+
+let builtin = [ posix; commit; session; mpi_io ]
+
+let by_name s =
+  let norm x =
+    String.lowercase_ascii
+      (String.concat "" (String.split_on_char '-' x))
+  in
+  List.find_opt (fun m -> norm m.name = norm s) builtin

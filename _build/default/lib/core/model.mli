@@ -1,0 +1,62 @@
+(** Consistency-model specifications (the unified framework of §III-A,
+    paper Table I).
+
+    A model is a set of minimum synchronization constructs (MSCs, Def. 5):
+    alternating edges and synchronization-operation predicates
+
+    {v X --r0--> S1 --r1--> S2 ... Sk --rk--> Y v}
+
+    where each edge is program order or happens-before and each [S_i] is
+    drawn from the model's synchronization-operation set, instantiated on
+    the file the conflict is about. The four builtin models:
+
+    - {b POSIX}: S = {}; MSC = [hb] — a bare happens-before edge suffices.
+    - {b Commit}: S = {commit}; MSC = [hb commit hb]; a commit is an
+      [fsync]/[fflush] of the file (as in UnifyFS, where [fsync] signals
+      the commit) — including the one [MPI_File_sync] nests.
+    - {b Session}: S = {close, open}; MSC = [po close hb open po].
+    - {b MPI-IO}: S = {MPI_File_sync, MPI_File_close, MPI_File_open};
+      MSC = [po s1 hb s2 po] with s1 ∈ {close, sync}, s2 ∈ {sync, open} —
+      the sync-barrier-sync construct.
+
+    Custom models can be assembled from the same pieces. *)
+
+type edge = Po | Hb
+
+type sync_pred = {
+  sp_name : string;  (** e.g. ["commit"], ["session_close"] *)
+  sp_matches : Op.t -> fid:int -> bool;
+}
+
+type msc = { edges : edge list; syncs : sync_pred list }
+(** Invariant: [List.length edges = List.length syncs + 1]. *)
+
+type t = {
+  name : string;
+  sync_set : string list;  (** display form of S for Table I *)
+  msc_desc : string;  (** display form of the MSC for Table I *)
+  mscs : msc list;  (** alternatives; any one suffices *)
+}
+
+val posix : t
+
+val commit : t
+
+val session : t
+
+val mpi_io : t
+
+val builtin : t list
+(** The four models, in the paper's order. *)
+
+val by_name : string -> t option
+(** Case-insensitive lookup among the builtins. *)
+
+val make :
+  name:string ->
+  sync_set:string list ->
+  msc_desc:string ->
+  mscs:msc list ->
+  t
+(** Build a custom model. Raises [Invalid_argument] if any MSC's edge and
+    sync counts are inconsistent, or no MSC is given. *)

@@ -1,0 +1,91 @@
+type sync_index = {
+  d : Op.decoded;
+  per_rank : int array array;  (* sync-op idxs per rank, program order *)
+  all : int array;  (* all sync-op idxs *)
+}
+
+let is_sync_op (o : Op.t) =
+  match o.Op.kind with
+  | Op.File_open _ | Op.File_close _ | Op.File_sync _ -> true
+  | Op.Data _ | Op.Mpi_call | Op.Meta | Op.Other -> false
+
+let build_index (d : Op.decoded) =
+  let per_rank =
+    Array.map
+      (fun chain ->
+        Array.of_list
+          (List.filter
+             (fun idx -> is_sync_op (Op.op d idx))
+             (Array.to_list chain)))
+      d.Op.by_rank
+  in
+  let all =
+    Array.of_list
+      (List.concat_map Array.to_list (Array.to_list per_rank))
+  in
+  Array.sort compare all;
+  { d; per_rank; all }
+
+let sync_op_count idx = Array.length idx.all
+
+(* Candidate sync ops for one MSC step.
+   [prev] is the op the incoming edge starts from; [po] restricts
+   candidates to prev's rank and program order after prev. *)
+let candidates t ~fid ~(pred : Model.sync_pred) ~edge ~prev =
+  match (edge : Model.edge) with
+  | Model.Po ->
+    let rank = (Op.op t.d prev).Op.record.Recorder.Record.rank in
+    Array.to_list t.per_rank.(rank)
+    |> List.filter (fun s ->
+           s > prev && pred.Model.sp_matches (Op.op t.d s) ~fid)
+  | Model.Hb ->
+    Array.to_list t.all
+    |> List.filter (fun s -> pred.Model.sp_matches (Op.op t.d s) ~fid)
+
+let edge_holds reach ~edge a b =
+  match (edge : Model.edge) with
+  | Model.Po ->
+    let d = Reach.graph reach in
+    Hb_graph.node_rank d a = Hb_graph.node_rank d b
+    && Hb_graph.rank_pos d a < Hb_graph.rank_pos d b
+  | Model.Hb -> Reach.reaches reach a b
+
+(* Depth-first instantiation of one MSC alternative. *)
+let msc_holds t reach ~fid ~x ~y (m : Model.msc) =
+  let rec go ~from edges syncs =
+    match (edges, syncs) with
+    | [ last ], [] -> edge_holds reach ~edge:last from y
+    | edge :: edges', pred :: syncs' ->
+      let cands = candidates t ~fid ~pred ~edge ~prev:from in
+      List.exists
+        (fun s ->
+          (match edge with
+          | Model.Po -> true  (* candidate filtering already enforced po *)
+          | Model.Hb -> Reach.reaches reach from s)
+          && go ~from:s edges' syncs')
+        cands
+    | _ -> invalid_arg "Msc: malformed MSC"
+  in
+  go ~from:x m.Model.edges m.Model.syncs
+
+let properly_synchronized model reach t ~x ~y =
+  let fid_x, write_x =
+    match x.Op.kind with
+    | Op.Data { fid; write; _ } -> (fid, write)
+    | _ -> invalid_arg "Msc.properly_synchronized: x is not a data op"
+  in
+  let fid_y =
+    match y.Op.kind with
+    | Op.Data { fid; _ } -> fid
+    | _ -> invalid_arg "Msc.properly_synchronized: y is not a data op"
+  in
+  if fid_x <> fid_y then
+    invalid_arg "Msc.properly_synchronized: operations on different files";
+  if not write_x then
+    (* Def. 6 case 1: a read is properly synchronized before Y iff it
+       happens-before Y. *)
+    Reach.reaches reach x.Op.idx y.Op.idx
+  else
+    List.exists
+      (fun m -> msc_holds t reach ~fid:fid_x ~x:x.Op.idx ~y:y.Op.idx m)
+      model.Model.mscs

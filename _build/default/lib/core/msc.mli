@@ -1,0 +1,24 @@
+(** MSC checking: the properly-synchronized relation (Def. 5 & 6).
+
+    [X -ps-> Y] holds iff
+    - [X] is a read and [X -hb-> Y]; or
+    - [X] is a write and one of the model's MSCs can be instantiated
+      between [X] and [Y]: sync operations [S1..Sk] on the conflicting
+      file with the model's [po]/[hb] edges linking
+      [X, S1, ..., Sk, Y].
+
+    Sync-operation candidates come from a prebuilt index of the trace's
+    open/close/sync operations; [po]-edge candidates are restricted to the
+    adjacent endpoint's rank, [hb]-edge candidates are checked with the
+    happens-before engine. *)
+
+type sync_index
+
+val build_index : Op.decoded -> sync_index
+
+val sync_op_count : sync_index -> int
+
+val properly_synchronized :
+  Model.t -> Reach.t -> sync_index -> x:Op.t -> y:Op.t -> bool
+(** Both operations must be data operations on the same file; raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,296 @@
+module R = Recorder.Record
+module I = Vio_util.Interval
+
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+type api = Fd | Stream | Mpiio_handle
+
+type kind =
+  | Data of { fid : int; write : bool; iv : I.t }
+  | File_open of { fid : int; api : api }
+  | File_close of { fid : int; api : api }
+  | File_sync of { fid : int; api : api }
+  | Mpi_call
+  | Meta
+  | Other
+
+type t = { idx : int; record : R.t; kind : kind }
+
+let is_data t = match t.kind with Data _ -> true | _ -> false
+
+let is_write t = match t.kind with Data { write; _ } -> write | _ -> false
+
+let fid_of t =
+  match t.kind with
+  | Data { fid; _ } | File_open { fid; _ } | File_close { fid; _ }
+  | File_sync { fid; _ } ->
+    Some fid
+  | Mpi_call | Meta | Other -> None
+
+let pp ppf t =
+  let k =
+    match t.kind with
+    | Data { fid; write; iv } ->
+      Printf.sprintf "%s fid=%d %s"
+        (if write then "WRITE" else "READ")
+        fid (I.to_string iv)
+    | File_open { fid; _ } -> Printf.sprintf "OPEN fid=%d" fid
+    | File_close { fid; _ } -> Printf.sprintf "CLOSE fid=%d" fid
+    | File_sync { fid; _ } -> Printf.sprintf "SYNC fid=%d" fid
+    | Mpi_call -> "MPI"
+    | Meta -> "META"
+    | Other -> "OTHER"
+  in
+  Format.fprintf ppf "@[<h>#%d r%d %s (%s)@]" t.idx t.record.R.rank
+    t.record.R.func k
+
+type decoded = {
+  nranks : int;
+  ops : t array;
+  by_rank : int array array;
+  files : (string * int) list;
+}
+
+let op d idx = d.ops.(idx)
+
+let rank_of d idx = d.ops.(idx).record.R.rank
+
+(* ---------------------------------------------------------------- *)
+(* Decoding state                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type handle = {
+  h_fid : int;
+  h_api : api;
+  mutable h_pos : int;  (* reconstructed file pointer *)
+  h_append : bool;
+}
+
+type state = {
+  mutable next_fid : int;
+  fids : (string, int) Hashtbl.t;
+  eof : (int, int) Hashtbl.t;  (* fid -> reconstructed EOF *)
+  (* Per (rank, number-space, number): live handles. *)
+  handles : (int * api * int, handle) Hashtbl.t;
+}
+
+let intern st path =
+  match Hashtbl.find_opt st.fids path with
+  | Some fid -> fid
+  | None ->
+    let fid = st.next_fid in
+    st.next_fid <- fid + 1;
+    Hashtbl.replace st.fids path fid;
+    Hashtbl.replace st.eof fid 0;
+    fid
+
+let eof st fid = Option.value ~default:0 (Hashtbl.find_opt st.eof fid)
+
+let grow_eof st fid upto =
+  if upto > eof st fid then Hashtbl.replace st.eof fid upto
+
+let handle st ~rank ~api n =
+  match Hashtbl.find_opt st.handles (rank, api, n) with
+  | Some h -> h
+  | None -> malformed "rank %d: I/O on unknown/closed handle %d" rank n
+
+let open_handle st ~rank ~api ~n ~fid ~append ~at_end =
+  let h =
+    { h_fid = fid; h_api = api; h_pos = (if at_end then eof st fid else 0); h_append = append }
+  in
+  Hashtbl.replace st.handles (rank, api, n) h;
+  h
+
+let close_handle st ~rank ~api n =
+  let h = handle st ~rank ~api n in
+  Hashtbl.remove st.handles (rank, api, n);
+  h
+
+(* ---------------------------------------------------------------- *)
+(* Per-record classification                                          *)
+(* ---------------------------------------------------------------- *)
+
+let is_mpi_comm_record (r : R.t) = r.layer = R.Mpi
+
+let classify st (r : R.t) : kind =
+  let rank = r.rank in
+  let int_ret () =
+    match int_of_string_opt r.ret with
+    | Some n -> n
+    | None -> malformed "record %s: non-integer return %S" r.func r.ret
+  in
+  match (r.layer, r.func) with
+  | R.Posix, "open" ->
+    let path = R.arg r 0 in
+    let flags = String.split_on_char '|' (R.arg r 1) in
+    let fid = intern st path in
+    if List.mem "O_TRUNC" flags then Hashtbl.replace st.eof fid 0;
+    let fd = int_ret () in
+    ignore
+      (open_handle st ~rank ~api:Fd ~n:fd ~fid
+         ~append:(List.mem "O_APPEND" flags) ~at_end:false);
+    File_open { fid; api = Fd }
+  | R.Posix, "close" ->
+    let h = close_handle st ~rank ~api:Fd (R.int_arg r 0) in
+    File_close { fid = h.h_fid; api = Fd }
+  | R.Posix, "fopen" ->
+    let path = R.arg r 0 and mode = R.arg r 1 in
+    let fid = intern st path in
+    if mode = "w" || mode = "w+" then Hashtbl.replace st.eof fid 0;
+    let append = mode = "a" || mode = "a+" in
+    let sid = int_ret () in
+    ignore (open_handle st ~rank ~api:Stream ~n:sid ~fid ~append ~at_end:false);
+    File_open { fid; api = Stream }
+  | R.Posix, "fclose" ->
+    let h = close_handle st ~rank ~api:Stream (R.int_arg r 0) in
+    File_close { fid = h.h_fid; api = Stream }
+  | R.Posix, "pwrite" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    let count = R.int_arg r 1 and off = R.int_arg r 2 in
+    grow_eof st h.h_fid (off + count);
+    Data { fid = h.h_fid; write = true; iv = I.of_len ~off ~len:count }
+  | R.Posix, "pread" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    let count = R.int_arg r 1 and off = R.int_arg r 2 in
+    Data { fid = h.h_fid; write = false; iv = I.of_len ~off ~len:count }
+  | R.Posix, "write" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    let count = R.int_arg r 1 in
+    let off = if h.h_append then eof st h.h_fid else h.h_pos in
+    h.h_pos <- off + count;
+    grow_eof st h.h_fid (off + count);
+    Data { fid = h.h_fid; write = true; iv = I.of_len ~off ~len:count }
+  | R.Posix, "read" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    let count = R.int_arg r 1 in
+    let actual = int_ret () in
+    let off = h.h_pos in
+    h.h_pos <- off + actual;
+    Data { fid = h.h_fid; write = false; iv = I.of_len ~off ~len:count }
+  | R.Posix, "fwrite" ->
+    let h = handle st ~rank ~api:Stream (R.int_arg r 0) in
+    let bytes = R.int_arg r 1 * R.int_arg r 2 in
+    let off = if h.h_append then eof st h.h_fid else h.h_pos in
+    h.h_pos <- off + bytes;
+    grow_eof st h.h_fid (off + bytes);
+    Data { fid = h.h_fid; write = true; iv = I.of_len ~off ~len:bytes }
+  | R.Posix, "fread" ->
+    let h = handle st ~rank ~api:Stream (R.int_arg r 0) in
+    let size = R.int_arg r 1 in
+    let bytes = size * R.int_arg r 2 in
+    let items = int_ret () in
+    let off = h.h_pos in
+    h.h_pos <- off + (items * size);
+    Data { fid = h.h_fid; write = false; iv = I.of_len ~off ~len:bytes }
+  | R.Posix, "lseek" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    let off = R.int_arg r 1 in
+    (h.h_pos <-
+      (match R.arg r 2 with
+      | "SEEK_SET" -> off
+      | "SEEK_CUR" -> h.h_pos + off
+      | "SEEK_END" -> eof st h.h_fid + off
+      | w -> malformed "lseek: unknown whence %s" w));
+    Meta
+  | R.Posix, "fseek" ->
+    let h = handle st ~rank ~api:Stream (R.int_arg r 0) in
+    let off = R.int_arg r 1 in
+    (h.h_pos <-
+      (match R.arg r 2 with
+      | "SEEK_SET" -> off
+      | "SEEK_CUR" -> h.h_pos + off
+      | "SEEK_END" -> eof st h.h_fid + off
+      | w -> malformed "fseek: unknown whence %s" w));
+    Meta
+  | R.Posix, "ftell" -> Meta
+  | R.Posix, "fsync" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    File_sync { fid = h.h_fid; api = Fd }
+  | R.Posix, "fflush" ->
+    let h = handle st ~rank ~api:Stream (R.int_arg r 0) in
+    File_sync { fid = h.h_fid; api = Stream }
+  | R.Posix, "ftruncate" ->
+    let h = handle st ~rank ~api:Fd (R.int_arg r 0) in
+    Hashtbl.replace st.eof h.h_fid (R.int_arg r 1);
+    Meta
+  | R.Posix, "unlink" -> Meta
+  | R.Posix, f -> malformed "unknown POSIX function %s in trace" f
+  | R.Mpiio, "MPI_File_open" ->
+    let path = R.arg r 1 in
+    let fid = intern st path in
+    let hid = int_ret () in
+    ignore (open_handle st ~rank ~api:Mpiio_handle ~n:hid ~fid ~append:false ~at_end:false);
+    File_open { fid; api = Mpiio_handle }
+  | R.Mpiio, "MPI_File_close" ->
+    let h = close_handle st ~rank ~api:Mpiio_handle (R.int_arg r 1) in
+    File_close { fid = h.h_fid; api = Mpiio_handle }
+  | R.Mpiio, "MPI_File_sync" ->
+    let h = handle st ~rank ~api:Mpiio_handle (R.int_arg r 1) in
+    File_sync { fid = h.h_fid; api = Mpiio_handle }
+  | R.Mpiio, _ -> Other
+  | R.Mpi, _ -> Mpi_call
+  | (R.App | R.Hdf5 | R.Netcdf | R.Pnetcdf), _ -> Other
+
+let decode ~nranks records =
+  let arr =
+    Array.of_list
+      (List.sort
+         (fun (a : R.t) (b : R.t) -> compare (a.rank, a.seq) (b.rank, b.seq))
+         records)
+  in
+  let n = Array.length arr in
+  let st =
+    {
+      next_fid = 0;
+      fids = Hashtbl.create 16;
+      eof = Hashtbl.create 16;
+      handles = Hashtbl.create 32;
+    }
+  in
+  let ops = Array.make n None in
+  (* Classify in global timestamp order so the per-file EOF reconstruction
+     sees writes in the order they actually executed. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare arr.(a).R.tstart arr.(b).R.tstart) order;
+  Array.iter
+    (fun idx ->
+      let r = arr.(idx) in
+      let kind =
+        (* Argument-access failures from the record layer are trace
+           malformations too. *)
+        try
+        if is_mpi_comm_record r then Mpi_call
+        else
+          (* In-flight records never completed; handle-returning calls
+             without a return value cannot be decoded as I/O. *)
+          if r.ret = Recorder.Trace.in_flight_ret && r.layer <> R.Mpi then
+            match (r.layer, r.func) with
+            | R.Posix, ("open" | "fopen") -> Other
+            | _ -> classify st r
+          else classify st r
+        with
+        | Failure msg -> raise (Malformed msg)
+        | Invalid_argument msg ->
+          (* e.g. negative lengths reaching interval construction *)
+          raise (Malformed ("invalid value in trace: " ^ msg))
+      in
+      ops.(idx) <- Some { idx; record = r; kind })
+    order;
+  let ops = Array.map (function Some o -> o | None -> assert false) ops in
+  let by_rank = Array.make nranks [||] in
+  for rank = 0 to nranks - 1 do
+    by_rank.(rank) <-
+      Array.of_list
+        (List.filter_map
+           (fun o -> if o.record.R.rank = rank then Some o.idx else None)
+           (Array.to_list ops))
+  done;
+  let files =
+    Hashtbl.fold (fun path fid acc -> (path, fid) :: acc) st.fids []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  { nranks; ops; by_rank; files }
+
+let fid_of_path d path = List.assoc_opt path d.files

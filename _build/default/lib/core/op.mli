@@ -1,0 +1,60 @@
+(** Canonical operations decoded from raw trace records (workflow step 2
+    preprocessing).
+
+    Decoding assigns every file a unique identifier (the paper's [fid]) by
+    tracking [open]/[fopen]/[MPI_File_open] calls and following descriptors,
+    streams and MPI-IO handles — including descriptor reuse after close and
+    the "same file through different handle types" corner case. Offsets for
+    calls without explicit position arguments ([write], [read], [fwrite],
+    [fread]) are reconstructed by replaying each handle's file pointer and a
+    per-file EOF, updated in global timestamp order (§IV-B's (FP, EOF)
+    tracking).
+
+    Only POSIX-layer calls become {!Data} operations: every higher-level
+    data call eventually nests the POSIX call that actually touches the
+    file, so counting both would double-count conflicts. Higher layers
+    contribute synchronization ({!File_sync} etc.) and the MPI records the
+    matcher consumes. *)
+
+type api = Fd | Stream | Mpiio_handle
+
+type kind =
+  | Data of { fid : int; write : bool; iv : Vio_util.Interval.t }
+  | File_open of { fid : int; api : api }
+  | File_close of { fid : int; api : api }
+  | File_sync of { fid : int; api : api }
+      (** [fsync]/[fflush] (commit-class) and [MPI_File_sync]. *)
+  | Mpi_call  (** any MPI communication/collective record *)
+  | Meta      (** seeks, truncates, metadata queries *)
+  | Other
+
+type t = { idx : int; record : Recorder.Record.t; kind : kind }
+
+val is_data : t -> bool
+
+val is_write : t -> bool
+
+val fid_of : t -> int option
+(** The file identifier for file-scoped operations. *)
+
+val pp : Format.formatter -> t -> unit
+
+type decoded = {
+  nranks : int;
+  ops : t array;  (** index = [idx]; sorted by (rank, seq) *)
+  by_rank : int array array;  (** per-rank op indices in program order *)
+  files : (string * int) list;  (** path to fid mapping, in fid order *)
+}
+
+exception Malformed of string
+(** Raised when the trace is internally inconsistent (unknown descriptor,
+    I/O on a closed handle, unparsable arguments). *)
+
+val decode : nranks:int -> Recorder.Record.t list -> decoded
+
+val op : decoded -> int -> t
+
+val rank_of : decoded -> int -> int
+(** Rank of the op with the given index. *)
+
+val fid_of_path : decoded -> string -> int option

@@ -1,0 +1,76 @@
+type timings = {
+  t_read : float;
+  t_conflicts : float;
+  t_graph : float;
+  t_engine : float;
+  t_verify : float;
+  t_total : float;
+}
+
+type outcome = {
+  model : Model.t;
+  races : Verify.race list;
+  race_count : int;
+  unmatched : Match_mpi.unmatched list;
+  conflicts : int;
+  graph_nodes : int;
+  graph_edges : int;
+  stats : Verify.stats;
+  timings : timings;
+  decoded : Op.decoded;
+  engine_used : Reach.engine;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+let verify ?engine ?(pruning = true) ~model ~nranks records =
+  let t_read, d = timed (fun () -> Op.decode ~nranks records) in
+  let t_conflicts, groups = timed (fun () -> Conflict.detect d) in
+  let t_graph, (matching, graph) =
+    timed (fun () ->
+        let m = Match_mpi.run d in
+        (m, Hb_graph.build d m))
+  in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+      Reach.recommend ~graph_nodes:(Hb_graph.size graph)
+        ~conflict_pairs:(Conflict.distinct_pairs groups)
+  in
+  let t_engine, reach = timed (fun () -> Reach.create engine graph) in
+  let sidx = Msc.build_index d in
+  let t_verify, (races, stats) =
+    timed (fun () -> Verify.run ~pruning model reach sidx d groups)
+  in
+  {
+    model;
+    races;
+    race_count = List.length races;
+    unmatched = matching.Match_mpi.unmatched;
+    conflicts = Conflict.distinct_pairs groups;
+    graph_nodes = Hb_graph.size graph;
+    graph_edges = Hb_graph.edge_count graph;
+    stats;
+    timings =
+      {
+        t_read;
+        t_conflicts;
+        t_graph;
+        t_engine;
+        t_verify;
+        t_total = t_read +. t_conflicts +. t_graph +. t_engine +. t_verify;
+      };
+    decoded = d;
+    engine_used = engine;
+  }
+
+let verify_all_models ?engine ~nranks records =
+  List.map
+    (fun model -> (model, verify ?engine ~model ~nranks records))
+    Model.builtin
+
+let is_properly_synchronized o = o.races = [] && o.unmatched = []

@@ -1,0 +1,51 @@
+(** The end-to-end verification pipeline (Fig. 1), with the per-stage
+    timing breakdown of the paper's Table IV.
+
+    Stages: decode the trace (offset/fid resolution) → detect conflicts →
+    match MPI calls and build the happens-before graph → prepare the
+    happens-before engine (e.g. generate vector clocks) → verify. *)
+
+type timings = {
+  t_read : float;  (** decode records into operations *)
+  t_conflicts : float;
+  t_graph : float;  (** MPI matching + happens-before graph construction *)
+  t_engine : float;  (** engine preparation, e.g. vector clock generation *)
+  t_verify : float;
+  t_total : float;
+}
+
+type outcome = {
+  model : Model.t;
+  races : Verify.race list;
+  race_count : int;
+  unmatched : Match_mpi.unmatched list;
+  conflicts : int;  (** distinct conflicting pairs *)
+  graph_nodes : int;
+  graph_edges : int;
+  stats : Verify.stats;
+  timings : timings;
+  decoded : Op.decoded;
+  engine_used : Reach.engine;
+}
+
+val verify :
+  ?engine:Reach.engine ->
+  ?pruning:bool ->
+  model:Model.t ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  outcome
+(** Run the full pipeline on raw trace records. When [engine] is omitted
+    it is selected dynamically from the graph size and conflict count
+    ({!Reach.recommend}, the paper's planned extension); the choice is
+    reported in [engine_used]. *)
+
+val verify_all_models :
+  ?engine:Reach.engine ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  (Model.t * outcome) list
+(** One pass per builtin model, sharing nothing (each timed end-to-end). *)
+
+val is_properly_synchronized : outcome -> bool
+(** No races and no unmatched MPI calls. *)

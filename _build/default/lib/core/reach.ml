@@ -1,0 +1,145 @@
+module B = Vio_util.Bitset
+
+type engine = Vector_clock | Bfs_memo | Transitive_closure | On_the_fly
+
+let engine_name = function
+  | Vector_clock -> "vector-clock"
+  | Bfs_memo -> "graph-reachability"
+  | Transitive_closure -> "transitive-closure"
+  | On_the_fly -> "on-the-fly"
+
+let all_engines = [ Vector_clock; Bfs_memo; Transitive_closure; On_the_fly ]
+
+type state =
+  | Vc of int array array  (* node -> per-rank clock *)
+  | Memo of (int, B.t) Hashtbl.t
+  | Closure of B.t array  (* node -> reachable set, including itself *)
+  | Fly
+
+type t = {
+  eng : engine;
+  g : Hb_graph.t;
+  state : state;
+  mutable queries : int;
+}
+
+let engine t = t.eng
+
+let graph t = t.g
+
+let query_count t = t.queries
+
+(* ---------------------------------------------------------------- *)
+(* Construction                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let build_vc g =
+  let n = Hb_graph.size g in
+  let nranks = Hb_graph.nranks g in
+  let clocks = Array.init n (fun _ -> Array.make nranks 0) in
+  Array.iter
+    (fun v ->
+      let c = clocks.(v) in
+      List.iter
+        (fun p ->
+          let cp = clocks.(p) in
+          for r = 0 to nranks - 1 do
+            if cp.(r) > c.(r) then c.(r) <- cp.(r)
+          done)
+        (Hb_graph.preds g v);
+      let rank = Hb_graph.node_rank g v in
+      if rank >= 0 then begin
+        let own = Hb_graph.rank_pos g v + 1 in
+        if own > c.(rank) then c.(rank) <- own
+      end)
+    (Hb_graph.topo_order g);
+  Vc clocks
+
+let build_closure g =
+  let n = Hb_graph.size g in
+  let sets = Array.init n (fun _ -> B.create n) in
+  let topo = Hb_graph.topo_order g in
+  (* Reverse topological order: successors' sets are already complete. *)
+  for k = n - 1 downto 0 do
+    let v = topo.(k) in
+    B.set sets.(v) v;
+    List.iter
+      (fun s -> B.union_into ~dst:sets.(v) ~src:sets.(s))
+      (Hb_graph.succs g v)
+  done;
+  Closure sets
+
+let create eng g =
+  let state =
+    match eng with
+    | Vector_clock -> build_vc g
+    | Bfs_memo -> Memo (Hashtbl.create 64)
+    | Transitive_closure -> build_closure g
+    | On_the_fly -> Fly
+  in
+  { eng; g; state; queries = 0 }
+
+(* ---------------------------------------------------------------- *)
+(* Queries                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let bfs_set g a =
+  let n = Hb_graph.size g in
+  let seen = B.create n in
+  let q = Queue.create () in
+  Queue.add a q;
+  B.set seen a;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun s ->
+        if not (B.mem seen s) then begin
+          B.set seen s;
+          Queue.add s q
+        end)
+      (Hb_graph.succs g v)
+  done;
+  seen
+
+(* Targeted search with early exit, used by the no-precomputation engine. *)
+let dfs_reaches g a b =
+  let n = Hb_graph.size g in
+  let seen = B.create n in
+  let rec go v =
+    v = b
+    || begin
+         B.set seen v;
+         List.exists (fun s -> (not (B.mem seen s)) && go s) (Hb_graph.succs g v)
+       end
+  in
+  go a
+
+let reaches t a b =
+  t.queries <- t.queries + 1;
+  if a = b then true
+  else
+    match t.state with
+    | Vc clocks ->
+      let rank = Hb_graph.node_rank t.g a in
+      if rank < 0 then invalid_arg "Reach.reaches: synthetic source";
+      clocks.(b).(rank) >= Hb_graph.rank_pos t.g a + 1
+    | Memo cache ->
+      let set =
+        match Hashtbl.find_opt cache a with
+        | Some s -> s
+        | None ->
+          let s = bfs_set t.g a in
+          Hashtbl.replace cache a s;
+          s
+      in
+      B.mem set b
+    | Closure sets -> B.mem sets.(a) b
+    | Fly -> dfs_reaches t.g a b
+
+let concurrent t a b = (not (reaches t a b)) && not (reaches t b a)
+
+let recommend ~graph_nodes ~conflict_pairs =
+  if conflict_pairs = 0 then On_the_fly
+  else if graph_nodes <= 4096 && conflict_pairs > graph_nodes then
+    Transitive_closure
+  else Vector_clock

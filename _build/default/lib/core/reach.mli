@@ -1,0 +1,48 @@
+(** Happens-before queries — the four interchangeable engines of §IV-D.
+
+    - {!Vector_clock}: topologically propagate per-rank clocks once
+      (O(V+E)), then answer queries in O(1).
+    - {!Bfs_memo}: per-query graph reachability (BFS), memoizing the full
+      reachable set of each queried source (the NetworkX-style approach).
+    - {!Transitive_closure}: precompute every node's reachable set as a
+      bitset in reverse topological order; O(1) queries, O(V²) bits of
+      memory — only sensible for smaller graphs.
+    - {!On_the_fly}: no precomputation at all; each query is a forward
+      search pruned by the global logical timestamps (edges never go
+      backwards in time), mirroring the paper's algorithm that matches its
+      way forward through the trace at verification time.
+
+    All four implement the same relation — [reaches t a b] iff a path from
+    [a] to [b] exists (reflexively: [reaches t a a = true]) — and the test
+    suite checks them against each other. Queries take *record* node ids
+    (synthetic collective join nodes are internal). *)
+
+type engine = Vector_clock | Bfs_memo | Transitive_closure | On_the_fly
+
+val engine_name : engine -> string
+
+val all_engines : engine list
+
+type t
+
+val create : engine -> Hb_graph.t -> t
+
+val engine : t -> engine
+
+val graph : t -> Hb_graph.t
+
+val reaches : t -> int -> int -> bool
+(** [reaches t a b]: does [a] happen before (or equal) [b]? Both must be
+    record nodes. *)
+
+val concurrent : t -> int -> int -> bool
+(** Neither reaches the other. *)
+
+val query_count : t -> int
+(** Number of [reaches] queries served (for the pruning ablation). *)
+
+val recommend : graph_nodes:int -> conflict_pairs:int -> engine
+(** The dynamic selection heuristic the paper sketches as future work:
+    with no conflicts to check, skip all precomputation ({!On_the_fly});
+    for small graphs queried heavily, precompute everything
+    ({!Transitive_closure}); otherwise {!Vector_clock}. *)

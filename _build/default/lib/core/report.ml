@@ -1,0 +1,117 @@
+module R = Recorder.Record
+module T = Vio_util.Table
+
+let pp_race d ppf (race : Verify.race) =
+  let show idx =
+    let o = Op.op d idx in
+    Format.asprintf "%a@,    call chain: %a" Op.pp o R.pp_call_chain o.Op.record
+  in
+  Format.fprintf ppf "@[<v 2>race:@,%s@,%s@]" (show race.Verify.rx)
+    (show race.Verify.ry)
+
+let race_report ?(limit = 10) (o : Pipeline.outcome) =
+  let buf = Buffer.create 256 in
+  let d = o.Pipeline.decoded in
+  Buffer.add_string buf
+    (Printf.sprintf "model %s: %d conflicting pair(s), %d data race(s)\n"
+       o.Pipeline.model.Model.name o.Pipeline.conflicts o.Pipeline.race_count);
+  List.iteri
+    (fun i race ->
+      if i < limit then
+        Buffer.add_string buf (Format.asprintf "%a@." (pp_race d) race))
+    o.Pipeline.races;
+  if o.Pipeline.race_count > limit then
+    Buffer.add_string buf
+      (Printf.sprintf "... and %d more\n" (o.Pipeline.race_count - limit));
+  List.iter
+    (fun u ->
+      Buffer.add_string buf
+        (Format.asprintf "unmatched MPI: %a@." (Match_mpi.pp_unmatched d) u))
+    o.Pipeline.unmatched;
+  Buffer.contents buf
+
+let summary_line ~name (o : Pipeline.outcome) =
+  Printf.sprintf "%-24s %-8s conflicts=%-8d races=%-8d unmatched=%d" name
+    o.Pipeline.model.Model.name o.Pipeline.conflicts o.Pipeline.race_count
+    (List.length o.Pipeline.unmatched)
+
+let table_i () =
+  let t = T.create ~headers:[ "Consistency Models"; "S"; "MSC" ] in
+  List.iter
+    (fun (m : Model.t) ->
+      T.add_row t
+        [
+          m.Model.name ^ " Consistency";
+          "{" ^ String.concat ", " m.Model.sync_set ^ "}";
+          m.Model.msc_desc;
+        ])
+    Model.builtin;
+  T.render t
+
+let table_ii () =
+  let t = T.create ~headers:[ "Tracing Tool"; "HDF5"; "NetCDF"; "PnetCDF" ] in
+  T.set_aligns t [ T.Left; T.Right; T.Right; T.Right ];
+  List.iter
+    (fun (tool, h, n, p) ->
+      let cell = function Some x -> string_of_int x | None -> "-" in
+      T.add_row t [ tool; cell h; cell n; cell p ])
+    Recorder.Signatures.table_ii_rows;
+  T.render t
+
+let timing_row (o : Pipeline.outcome) =
+  let t = o.Pipeline.timings in
+  [
+    ("Read Trace", t.Pipeline.t_read);
+    ("Detect Conflicts", t.Pipeline.t_conflicts);
+    ("Build the Happens-before Graph", t.Pipeline.t_graph);
+    ("Generate Vector Clock", t.Pipeline.t_engine);
+    ("Verification", t.Pipeline.t_verify);
+    ("Total", t.Pipeline.t_total);
+  ]
+
+type race_group = {
+  rg_chain_x : string;
+  rg_chain_y : string;
+  rg_count : int;
+  rg_sample : Verify.race;
+}
+
+let chain_of d idx =
+  Format.asprintf "%a" R.pp_call_chain (Op.op d idx).Op.record
+
+let group_races (o : Pipeline.outcome) =
+  let d = o.Pipeline.decoded in
+  let tbl : (string * string, int * Verify.race) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (r : Verify.race) ->
+      (* Order the chain pair canonically so X/Y orientation does not
+         split a group. *)
+      let a = chain_of d r.Verify.rx and b = chain_of d r.Verify.ry in
+      let key = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt tbl key with
+      | Some (n, sample) -> Hashtbl.replace tbl key (n + 1, sample)
+      | None -> Hashtbl.replace tbl key (1, r))
+    o.Pipeline.races;
+  Hashtbl.fold
+    (fun (a, b) (n, sample) acc ->
+      { rg_chain_x = a; rg_chain_y = b; rg_count = n; rg_sample = sample } :: acc)
+    tbl []
+  |> List.sort (fun g1 g2 ->
+         compare (-g1.rg_count, g1.rg_chain_x) (-g2.rg_count, g2.rg_chain_x))
+
+let grouped_report (o : Pipeline.outcome) =
+  let groups = group_races o in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "model %s: %d data race(s) from %d distinct call-chain pair(s)\n"
+       o.Pipeline.model.Model.name o.Pipeline.race_count (List.length groups));
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "%6dx  %s\n     vs  %s\n" g.rg_count g.rg_chain_x
+           g.rg_chain_y))
+    groups;
+  Buffer.contents buf

@@ -1,0 +1,141 @@
+type race = { rx : int; ry : int }
+
+type stats = {
+  groups : int;
+  pairs : int;
+  ps_checks : int;
+  fast_groups : int;
+  rule_hits : int array;
+}
+
+let run ?(pruning = true) model reach sidx (d : Op.decoded) groups =
+  let checks = ref 0 in
+  let fast = ref 0 in
+  (* Memoize pair verdicts: the pruning rules revisit boundary pairs, and
+     every unordered pair appears in two mirrored groups. *)
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let ps a b =
+    match Hashtbl.find_opt memo (a, b) with
+    | Some v -> v
+    | None ->
+      incr checks;
+      let v =
+        Msc.properly_synchronized model reach sidx ~x:(Op.op d a)
+          ~y:(Op.op d b)
+      in
+      Hashtbl.replace memo (a, b) v;
+      v
+  in
+  let rule_hits = Array.make 4 0 in
+  let races : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let note_race a b =
+    let key = (min a b, max a b) in
+    Hashtbl.replace races key ()
+  in
+  List.iter
+    (fun (g : Conflict.group) ->
+      let x = g.Conflict.x in
+      List.iter
+        (fun (_rank, ys) ->
+          let n = Array.length ys in
+          if n > 0 then
+            if not pruning then
+              Array.iter
+                (fun y -> if not (ps x y || ps y x) then note_race x y)
+                ys
+            else if ps x ys.(0) then begin
+              (* rule 1: whole group safe *)
+              incr fast;
+              rule_hits.(0) <- rule_hits.(0) + 1
+            end
+            else if ps ys.(n - 1) x then begin
+              (* rule 2 *)
+              incr fast;
+              rule_hits.(1) <- rule_hits.(1) + 1
+            end
+            else begin
+              (* Rules 3 and 4 suppress whole directions. *)
+              let x_may_precede = ps x ys.(n - 1) in
+              let y_may_precede = ps ys.(0) x in
+              if not x_may_precede then rule_hits.(2) <- rule_hits.(2) + 1;
+              if not y_may_precede then rule_hits.(3) <- rule_hits.(3) + 1;
+              Array.iter
+                (fun y ->
+                  let ok =
+                    (x_may_precede && ps x y) || (y_may_precede && ps y x)
+                  in
+                  if not ok then note_race x y)
+                ys
+            end)
+        g.Conflict.peers)
+    groups;
+  let race_list =
+    Hashtbl.fold (fun (a, b) () acc -> { rx = a; ry = b } :: acc) races []
+    |> List.sort (fun r1 r2 -> compare (r1.rx, r1.ry) (r2.rx, r2.ry))
+  in
+  ( race_list,
+    {
+      groups = List.length groups;
+      pairs = Conflict.distinct_pairs groups;
+      ps_checks = !checks;
+      fast_groups = !fast;
+      rule_hits;
+    } )
+
+let run_parallel ?domains model graph sidx (d : Op.decoded) groups =
+  let ndomains =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Verify.run_parallel: domains must be positive"
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  let groups_arr = Array.of_list groups in
+  let n = Array.length groups_arr in
+  if ndomains = 1 || n = 0 then
+    run model (Reach.create Reach.Vector_clock graph) sidx d groups
+  else begin
+    let chunk = (n + ndomains - 1) / ndomains in
+    let work k =
+      let lo = k * chunk in
+      let hi = min n (lo + chunk) in
+      if lo >= hi then ([], { groups = 0; pairs = 0; ps_checks = 0;
+                              fast_groups = 0; rule_hits = Array.make 4 0 })
+      else
+        (* Each domain gets its own engine: queries are then fully
+           domain-local over the shared immutable graph. *)
+        let reach = Reach.create Reach.Vector_clock graph in
+        run model reach sidx d
+          (Array.to_list (Array.sub groups_arr lo (hi - lo)))
+    in
+    let handles =
+      List.init (ndomains - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
+    in
+    let first = work 0 in
+    let parts = first :: List.map Domain.join handles in
+    let seen = Hashtbl.create 256 in
+    let races =
+      List.concat_map fst parts
+      |> List.filter (fun r ->
+             if Hashtbl.mem seen (r.rx, r.ry) then false
+             else begin
+               Hashtbl.replace seen (r.rx, r.ry) ();
+               true
+             end)
+      |> List.sort (fun a b -> compare (a.rx, a.ry) (b.rx, b.ry))
+    in
+    let stats =
+      List.fold_left
+        (fun acc (_, s) ->
+          {
+            groups = acc.groups + s.groups;
+            pairs = acc.pairs + s.pairs;
+            ps_checks = acc.ps_checks + s.ps_checks;
+            fast_groups = acc.fast_groups + s.fast_groups;
+            rule_hits = Array.map2 ( + ) acc.rule_hits s.rule_hits;
+          })
+        { groups = 0; pairs = Conflict.distinct_pairs groups; ps_checks = 0;
+          fast_groups = 0; rule_hits = Array.make 4 0 }
+        (List.map (fun (r, s) -> (r, { s with pairs = 0 })) parts)
+    in
+    (races, stats)
+  end

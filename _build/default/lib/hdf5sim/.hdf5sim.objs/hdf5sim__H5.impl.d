@@ -1,0 +1,1 @@
+lib/hdf5sim/h5.ml: Array Buffer Bytes Hashtbl List Mpiio Mpisim Posixfs Printf Recorder String

@@ -1,0 +1,1 @@
+lib/hdf5sim/h5.mli: Mpisim Posixfs

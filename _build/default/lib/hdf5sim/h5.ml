@@ -1,0 +1,673 @@
+module E = Mpisim.Engine
+module C = Mpisim.Comm
+module F = Posixfs.Fs
+module MF = Mpiio.File
+module V = Mpiio.View
+
+let superblock_size = 96
+let header_region_end = 65536  (* generous metadata area: ~1000 object slots *)
+let header_slot_size = 64
+let attr_payload = 56  (* slot minus an 8-byte attribute header *)
+
+type dset_info = {
+  di_name : string;
+  di_dims : int array;
+  di_esize : int;
+  di_data_off : int;
+  di_header_off : int;
+  di_chunk_dims : int array option;
+      (* chunked storage: chunk extent per dimension; chunks are allocated
+         early (as parallel HDF5 requires) in row-major chunk-grid order,
+         every chunk full-sized *)
+}
+
+type attr_info = { ai_name : string; ai_off : int; ai_size : int }
+
+type file_info = {
+  fi_path : string;
+  mutable fi_eoa : int;        (* next free data offset *)
+  mutable fi_hdr_next : int;   (* next free header slot *)
+  fi_dsets : (string, dset_info) Hashtbl.t;  (* keyed by full path *)
+  fi_attrs : (string, attr_info) Hashtbl.t;
+  fi_groups : (string, int) Hashtbl.t;  (* full path -> header offset *)
+}
+
+type system = {
+  sys_fs : F.t;
+  sys_files : (string, file_info) Hashtbl.t;
+}
+
+let create_system ~fs = { sys_fs = fs; sys_files = Hashtbl.create 8 }
+
+let fs sys = sys.sys_fs
+
+type file = {
+  f_sys : system;
+  f_info : file_info;
+  f_comm : C.t;
+  f_mf : MF.t;
+  mutable f_open : bool;
+}
+
+type dataset = { d_file : file; d_info : dset_info; mutable d_open : bool }
+
+type group = { g_file : file; g_path : string; mutable g_open : bool }
+
+type attribute = { a_file : file; a_info : attr_info; mutable a_open : bool }
+
+type xfer = Independent | Collective
+
+type selection = All | Hyperslab of { start : int list; count : int list }
+
+let i = string_of_int
+
+let traced (ctx : E.ctx) ~func ~args ~ret f =
+  match E.trace ctx.engine with
+  | None -> f ()
+  | Some tr ->
+    Recorder.Trace.intercept tr ~rank:ctx.rank ~layer:Recorder.Record.Hdf5
+      ~func ~args ~ret f
+
+let h5_error msg = failwith ("HDF5 error: " ^ msg)
+
+let check_file_open f = if not f.f_open then h5_error "file is closed"
+
+(* ---------------------------------------------------------------- *)
+(* Files                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let fresh_info path =
+  {
+    fi_path = path;
+    fi_eoa = header_region_end;
+    fi_hdr_next = superblock_size;
+    fi_dsets = Hashtbl.create 8;
+    fi_attrs = Hashtbl.create 8;
+    fi_groups = Hashtbl.create 8;
+  }
+
+let h5fcreate ctx sys ~comm path =
+  traced ctx ~func:"H5Fcreate" ~args:[| path; "H5F_ACC_TRUNC"; i comm.C.id |]
+    ~ret:(fun f -> i (MF.handle_id f.f_mf))
+    (fun () ->
+      let info =
+        match
+          E.collective_shared ctx ~kind:"H5Fcreate" ~comm ~contrib:E.Unit
+            ~compute:(fun _ ->
+              Hashtbl.replace sys.sys_files path (fresh_info path);
+              E.Unit)
+        with
+        | _ -> Hashtbl.find sys.sys_files path
+      in
+      let mf = MF.open_ ctx ~comm ~fs:sys.sys_fs ~amode:[ MF.Create; MF.Rdwr ] path in
+      (* Rank 0 writes the superblock, the collective-metadata-write rank. *)
+      if ctx.E.rank = C.world_of_rank comm 0 then
+        MF.write_at ctx mf ~off:0
+          (Bytes.of_string
+             (let sig_ = "\137HDF\r\n\026\n" in
+              sig_ ^ String.make (superblock_size - String.length sig_) '\000'));
+      { f_sys = sys; f_info = info; f_comm = comm; f_mf = mf; f_open = true })
+
+let h5fopen ctx sys ~comm path =
+  traced ctx ~func:"H5Fopen" ~args:[| path; "H5F_ACC_RDWR"; i comm.C.id |]
+    ~ret:(fun f -> i (MF.handle_id f.f_mf))
+    (fun () ->
+      let info =
+        match Hashtbl.find_opt sys.sys_files path with
+        | Some info -> info
+        | None -> h5_error (path ^ " is not an HDF5 file")
+      in
+      let mf = MF.open_ ctx ~comm ~fs:sys.sys_fs ~amode:[ MF.Rdwr ] path in
+      { f_sys = sys; f_info = info; f_comm = comm; f_mf = mf; f_open = true })
+
+let h5fclose ctx f =
+  traced ctx ~func:"H5Fclose" ~args:[| i (MF.handle_id f.f_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_file_open f;
+      MF.close ctx f.f_mf;
+      f.f_open <- false)
+
+let h5fflush ctx f =
+  traced ctx ~func:"H5Fflush" ~args:[| i (MF.handle_id f.f_mf); "H5F_SCOPE_GLOBAL" |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_file_open f;
+      MF.sync ctx f.f_mf)
+
+(* ---------------------------------------------------------------- *)
+(* Allocation (collective, agreed via a shared slot)                  *)
+(* ---------------------------------------------------------------- *)
+
+let chunk_grid ~dims ~chunk_dims =
+  Array.init (Array.length dims) (fun k ->
+      (dims.(k) + chunk_dims.(k) - 1) / chunk_dims.(k))
+
+let alloc_dataset ctx f ~name ~dims ~esize ~chunk_dims =
+  let nbytes =
+    match chunk_dims with
+    | None -> Array.fold_left ( * ) 1 dims * esize
+    | Some cd ->
+      (* Early allocation: every chunk of the grid, full-sized. *)
+      let grid = chunk_grid ~dims ~chunk_dims:cd in
+      Array.fold_left ( * ) 1 grid * Array.fold_left ( * ) 1 cd * esize
+  in
+  if nbytes <= 0 then h5_error "dataset with empty extent";
+  match
+    E.collective_shared ctx ~kind:("H5Dcreate:" ^ name) ~comm:f.f_comm
+      ~contrib:E.Unit
+      ~compute:(fun _ ->
+        let info = f.f_info in
+        if Hashtbl.mem info.fi_dsets name then
+          h5_error ("dataset already exists: " ^ name);
+        let header_off = info.fi_hdr_next in
+        info.fi_hdr_next <- header_off + header_slot_size;
+        if info.fi_hdr_next > header_region_end then
+          h5_error "object header region exhausted";
+        let data_off = info.fi_eoa in
+        info.fi_eoa <- data_off + nbytes;
+        Hashtbl.replace info.fi_dsets name
+          {
+            di_name = name;
+            di_dims = dims;
+            di_esize = esize;
+            di_data_off = data_off;
+            di_header_off = header_off;
+            di_chunk_dims = chunk_dims;
+          };
+        E.Unit)
+  with
+  | _ -> Hashtbl.find f.f_info.fi_dsets name
+
+let alloc_attr ctx f ~name ~size =
+  if size > attr_payload then h5_error "attribute too large for a header slot";
+  match
+    E.collective_shared ctx ~kind:("H5Acreate:" ^ name) ~comm:f.f_comm
+      ~contrib:E.Unit
+      ~compute:(fun _ ->
+        let info = f.f_info in
+        if Hashtbl.mem info.fi_attrs name then
+          h5_error ("attribute already exists: " ^ name);
+        let off = info.fi_hdr_next in
+        info.fi_hdr_next <- off + header_slot_size;
+        if info.fi_hdr_next > header_region_end then
+          h5_error "object header region exhausted";
+        Hashtbl.replace info.fi_attrs name
+          { ai_name = name; ai_off = off + 8; ai_size = size };
+        E.Unit)
+  with
+  | _ -> Hashtbl.find f.f_info.fi_attrs name
+
+(* ---------------------------------------------------------------- *)
+(* Groups                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let full_path ?loc name =
+  match loc with
+  | None -> name
+  | Some g ->
+    if not g.g_open then h5_error "group is closed";
+    g.g_path ^ "/" ^ name
+
+let h5gcreate ctx f ?loc ~name () =
+  let path = full_path ?loc name in
+  traced ctx ~func:"H5Gcreate2" ~args:[| i (MF.handle_id f.f_mf); path |]
+    ~ret:(fun g -> g.g_path)
+    (fun () ->
+      check_file_open f;
+      ignore
+        (E.collective_shared ctx ~kind:("H5Gcreate:" ^ path) ~comm:f.f_comm
+           ~contrib:E.Unit
+           ~compute:(fun _ ->
+             let info = f.f_info in
+             if Hashtbl.mem info.fi_groups path then
+               h5_error ("group already exists: " ^ path);
+             let off = info.fi_hdr_next in
+             info.fi_hdr_next <- off + header_slot_size;
+             if info.fi_hdr_next > header_region_end then
+               h5_error "object header region exhausted";
+             Hashtbl.replace info.fi_groups path off;
+             E.Unit));
+      (* Rank 0 writes the group's object header. *)
+      (if ctx.E.rank = C.world_of_rank f.f_comm 0 then
+         let off = Hashtbl.find f.f_info.fi_groups path in
+         let hdr = Bytes.make header_slot_size '\000' in
+         let descr = "GRP:" ^ path in
+         Bytes.blit_string descr 0 hdr 0
+           (min (String.length descr) header_slot_size);
+         MF.write_at ctx f.f_mf ~off hdr);
+      { g_file = f; g_path = path; g_open = true })
+
+let h5gopen ctx f ?loc ~name () =
+  let path = full_path ?loc name in
+  traced ctx ~func:"H5Gopen2" ~args:[| i (MF.handle_id f.f_mf); path |]
+    ~ret:(fun g -> g.g_path)
+    (fun () ->
+      check_file_open f;
+      if not (Hashtbl.mem f.f_info.fi_groups path) then
+        h5_error ("no such group: " ^ path);
+      { g_file = f; g_path = path; g_open = true })
+
+let h5gclose ctx g =
+  traced ctx ~func:"H5Gclose" ~args:[| g.g_path |] ~ret:(fun () -> "0")
+    (fun () -> g.g_open <- false)
+
+(* ---------------------------------------------------------------- *)
+(* Datasets                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let h5dcreate ctx ?loc ?chunks f ~name ~dims ~esize =
+  let name = full_path ?loc name in
+  let dims = Array.of_list dims in
+  let chunk_dims =
+    match chunks with
+    | None -> None
+    | Some c ->
+      let c = Array.of_list c in
+      if Array.length c <> Array.length dims then
+        h5_error "chunk rank must match dataset rank";
+      Array.iteri
+        (fun k v -> if v <= 0 || v > dims.(k) then h5_error "bad chunk extent")
+        c;
+      Some c
+  in
+  let args =
+    [|
+      i (MF.handle_id f.f_mf);
+      name;
+      String.concat "x" (Array.to_list (Array.map string_of_int dims));
+      i esize;
+      (match chunk_dims with
+      | None -> "H5D_CONTIGUOUS"
+      | Some c ->
+        "H5D_CHUNKED:"
+        ^ String.concat "x" (Array.to_list (Array.map string_of_int c)));
+    |]
+  in
+  traced ctx ~func:"H5Dcreate2" ~args ~ret:(fun d -> i d.d_info.di_data_off)
+    (fun () ->
+      check_file_open f;
+      let info = alloc_dataset ctx f ~name ~dims ~esize ~chunk_dims in
+      (* Rank 0 writes the object header. *)
+      if ctx.E.rank = C.world_of_rank f.f_comm 0 then begin
+        let hdr = Bytes.make header_slot_size '\000' in
+        let descr =
+          Printf.sprintf "OHDR:%s:%s:%d" name
+            (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+            esize
+        in
+        Bytes.blit_string descr 0 hdr 0 (min (String.length descr) header_slot_size);
+        MF.write_at ctx f.f_mf ~off:info.di_header_off hdr
+      end;
+      { d_file = f; d_info = info; d_open = true })
+
+let h5dopen ctx ?loc f ~name =
+  let name = full_path ?loc name in
+  traced ctx ~func:"H5Dopen2" ~args:[| i (MF.handle_id f.f_mf); name |]
+    ~ret:(fun d -> i d.d_info.di_data_off)
+    (fun () ->
+      check_file_open f;
+      match Hashtbl.find_opt f.f_info.fi_dsets name with
+      | Some info -> { d_file = f; d_info = info; d_open = true }
+      | None -> h5_error ("no such dataset: " ^ name))
+
+let h5dclose ctx d =
+  traced ctx ~func:"H5Dclose" ~args:[| d.d_info.di_name |] ~ret:(fun () -> "0")
+    (fun () -> d.d_open <- false)
+
+let dataset_byte_size d =
+  Array.fold_left ( * ) 1 d.d_info.di_dims * d.d_info.di_esize
+
+let dataset_data_offset d = d.d_info.di_data_off
+
+let check_dset_open d =
+  if not d.d_open then h5_error "dataset is closed";
+  if not d.d_file.f_open then h5_error "file is closed"
+
+(* Translate a selection into (is_interleaved, view, logical_off, nbytes):
+   contiguous selections use the default view at an absolute offset;
+   interleaved hyperslabs produce a strided view covering the rows. *)
+type mapped =
+  | Contig of { off : int; len : int }
+  | Rows of { view : V.t; len : int }
+  | Segs of { segments : (int * int) list; len : int }
+
+let sel_to_string = function
+  | All -> "H5S_ALL"
+  | Hyperslab { start; count } ->
+    Printf.sprintf "start=%s,count=%s"
+      (String.concat "x" (List.map string_of_int start))
+      (String.concat "x" (List.map string_of_int count))
+
+(* Chunked layout: physical address of one element. *)
+let chunked_addr info idx =
+  let dims = info.di_dims in
+  let cd = match info.di_chunk_dims with Some c -> c | None -> assert false in
+  let nd = Array.length dims in
+  let grid = chunk_grid ~dims ~chunk_dims:cd in
+  let chunk_elems = Array.fold_left ( * ) 1 cd in
+  (* chunk-grid linear index and within-chunk linear index, row-major *)
+  let chunk_lin = ref 0 and within_lin = ref 0 in
+  for k = 0 to nd - 1 do
+    chunk_lin := (!chunk_lin * grid.(k)) + (idx.(k) / cd.(k));
+    within_lin := (!within_lin * cd.(k)) + (idx.(k) mod cd.(k))
+  done;
+  info.di_data_off
+  + (((!chunk_lin * chunk_elems) + !within_lin) * info.di_esize)
+
+(* Walk a hyperslab in row-major logical order, coalescing physically
+   consecutive elements into segments. *)
+let chunked_segments info ~start ~count =
+  let nd = Array.length info.di_dims in
+  let esize = info.di_esize in
+  let idx = Array.copy start in
+  let segs = ref [] in
+  let flush_or_extend addr =
+    match !segs with
+    | (o, l) :: rest when o + l = addr -> segs := (o, l + esize) :: rest
+    | _ -> segs := (addr, esize) :: !segs
+  in
+  let rec walk k =
+    if k = nd then flush_or_extend (chunked_addr info idx)
+    else
+      for v = start.(k) to start.(k) + count.(k) - 1 do
+        idx.(k) <- v;
+        walk (k + 1)
+      done
+  in
+  if Array.fold_left ( * ) 1 count = 0 then []
+  else begin
+    walk 0;
+    (* Keep LOGICAL traversal order — the order the data buffer is consumed
+       — which is not monotone in file offset once rows revisit earlier
+       chunks. *)
+    List.rev !segs
+  end
+
+let map_selection d sel =
+  let info = d.d_info in
+  let dims = info.di_dims in
+  let esize = info.di_esize in
+  match info.di_chunk_dims with
+  | Some _ ->
+    let start, count =
+      match sel with
+      | All -> (Array.make (Array.length dims) 0, Array.copy dims)
+      | Hyperslab { start; count } ->
+        let start = Array.of_list start and count = Array.of_list count in
+        if
+          Array.length start <> Array.length dims
+          || Array.length count <> Array.length dims
+        then h5_error "hyperslab rank mismatch";
+        Array.iteri
+          (fun k s ->
+            if s < 0 || count.(k) < 0 || s + count.(k) > dims.(k) then
+              h5_error "hyperslab out of bounds")
+          start;
+        (start, count)
+    in
+    let segments = chunked_segments info ~start ~count in
+    Segs { segments; len = Array.fold_left ( * ) 1 count * esize }
+  | None -> (
+    match sel with
+  | All -> Contig { off = info.di_data_off; len = dataset_byte_size d }
+  | Hyperslab { start; count } ->
+    let start = Array.of_list start and count = Array.of_list count in
+    let nd = Array.length dims in
+    if Array.length start <> nd || Array.length count <> nd then
+      h5_error "hyperslab rank mismatch";
+    Array.iteri
+      (fun k s ->
+        if s < 0 || count.(k) < 0 || s + count.(k) > dims.(k) then
+          h5_error "hyperslab out of bounds")
+      start;
+    (* Linearize row-major. A selection is contiguous when every dimension
+       except the first is selected in full, or when it spans a single
+       "row" of the last dimension. *)
+    let row_len = if nd = 0 then 1 else dims.(nd - 1) in
+    let lin idx =
+      let acc = ref 0 in
+      for k = 0 to nd - 1 do
+        acc := (!acc * dims.(k)) + idx.(k)
+      done;
+      !acc
+    in
+    let full_tail =
+      let rec check k = k >= nd || (start.(k) = 0 && count.(k) = dims.(k) && check (k + 1)) in
+      check 1
+    in
+    let nelems = Array.fold_left ( * ) 1 count in
+    if nd <= 1 || full_tail || (nd = 2 && count.(0) = 1) then
+      (* A single (partial) row is one contiguous run. *)
+      Contig
+        {
+          off = info.di_data_off + (lin start * esize);
+          len = nelems * esize;
+        }
+    else if nd = 2 && count.(1) < dims.(1) then
+      (* A column block: count.(0) rows of count.(1) elements each, one
+         block per row -> strided view. *)
+      Rows
+        {
+          view =
+            V.make
+              ~disp:(info.di_data_off + (lin start * esize))
+              (V.Strided { blocklen = count.(1) * esize; stride = row_len * esize });
+          len = nelems * esize;
+        }
+    else h5_error "unsupported hyperslab shape (only 2-D partial rows)")
+
+let h5dwrite ctx d ?(sel = All) xfer data =
+  let args =
+    [|
+      d.d_info.di_name;
+      (match xfer with
+      | Independent -> "H5FD_MPIO_INDEPENDENT"
+      | Collective -> "H5FD_MPIO_COLLECTIVE");
+      sel_to_string sel;
+      i (Bytes.length data);
+    |]
+  in
+  traced ctx ~func:"H5Dwrite" ~args ~ret:(fun () -> "0") (fun () ->
+      check_dset_open d;
+      let mf = d.d_file.f_mf in
+      match (map_selection d sel, xfer) with
+      | Contig { off; len }, Independent ->
+        if Bytes.length data < len then h5_error "buffer too small";
+        MF.set_view_quiet mf V.default;
+        MF.write_at ctx mf ~off (Bytes.sub data 0 len)
+      | Contig { off; len }, Collective ->
+        if Bytes.length data < len then h5_error "buffer too small";
+        MF.set_view ctx mf V.default;
+        MF.write_at_all ctx mf ~off (Bytes.sub data 0 len)
+      | Rows { view; len }, Independent ->
+        if Bytes.length data < len then h5_error "buffer too small";
+        MF.set_view_quiet mf view;
+        MF.write_at ctx mf ~off:0 (Bytes.sub data 0 len)
+      | Rows { view; len }, Collective ->
+        if Bytes.length data < len then h5_error "buffer too small";
+        MF.set_view ctx mf view;
+        MF.write_at_all ctx mf ~off:0 (Bytes.sub data 0 len)
+      | Segs { segments; len }, Independent ->
+        if Bytes.length data < len then h5_error "buffer too small";
+        MF.set_view_quiet mf V.default;
+        MF.write_at_segments ctx mf ~segments (Bytes.sub data 0 len)
+      | Segs { segments; len }, Collective ->
+        if Bytes.length data < len then h5_error "buffer too small";
+        MF.set_view_quiet mf V.default;
+        MF.write_at_all_segments ctx mf ~segments (Bytes.sub data 0 len))
+
+let h5dread ctx d ?(sel = All) xfer =
+  let args =
+    [|
+      d.d_info.di_name;
+      (match xfer with
+      | Independent -> "H5FD_MPIO_INDEPENDENT"
+      | Collective -> "H5FD_MPIO_COLLECTIVE");
+      sel_to_string sel;
+    |]
+  in
+  traced ctx ~func:"H5Dread" ~args ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_dset_open d;
+      let mf = d.d_file.f_mf in
+      match (map_selection d sel, xfer) with
+      | Contig { off; len }, Independent ->
+        MF.set_view_quiet mf V.default;
+        MF.read_at ctx mf ~off ~len
+      | Contig { off; len }, Collective ->
+        MF.set_view ctx mf V.default;
+        MF.read_at_all ctx mf ~off ~len
+      | Rows { view; len }, Independent ->
+        MF.set_view_quiet mf view;
+        MF.read_at ctx mf ~off:0 ~len
+      | Rows { view; len }, Collective ->
+        MF.set_view ctx mf view;
+        MF.read_at_all ctx mf ~off:0 ~len
+      | Segs { segments; _ }, Independent ->
+        MF.set_view_quiet mf V.default;
+        MF.read_at_segments ctx mf ~segments
+      | Segs { segments; _ }, Collective ->
+        MF.set_view_quiet mf V.default;
+        MF.read_at_all_segments ctx mf ~segments)
+
+(* Multi-dataset I/O (H5Dwrite_multi / H5Dread_multi, HDF5 1.14): one
+   collective call transferring several datasets. All segments join a
+   single collective transfer, so collective buffering merges across
+   datasets too. *)
+
+let segments_of_mapped = function
+  | Contig { off; len } -> [ (off, len) ]
+  | Rows { view; len } -> V.map_range view ~off:0 ~len
+  | Segs { segments; _ } -> segments
+
+let h5dwrite_multi ctx requests =
+  let args =
+    [|
+      string_of_int (List.length requests);
+      String.concat ","
+        (List.map (fun (d, _, _) -> d.d_info.di_name) requests);
+    |]
+  in
+  traced ctx ~func:"H5Dwrite_multi" ~args ~ret:(fun () -> "0") (fun () ->
+      match requests with
+      | [] -> h5_error "H5Dwrite_multi with no datasets"
+      | (d0, _, _) :: _ ->
+        let mf = d0.d_file.f_mf in
+        List.iter
+          (fun (d, _, _) ->
+            check_dset_open d;
+            if d.d_file != d0.d_file then
+              h5_error "H5Dwrite_multi: datasets must share one file")
+          requests;
+        let segments, buf =
+          let buf = Buffer.create 256 in
+          let segs =
+            List.concat_map
+              (fun (d, sel, data) ->
+                let m = map_selection d sel in
+                let len =
+                  match m with
+                  | Contig { len; _ } | Rows { len; _ } | Segs { len; _ } -> len
+                in
+                if Bytes.length data < len then h5_error "buffer too small";
+                Buffer.add_bytes buf (Bytes.sub data 0 len);
+                segments_of_mapped m)
+              requests
+          in
+          (segs, Buffer.to_bytes buf)
+        in
+        MF.set_view_quiet mf V.default;
+        MF.write_at_all_segments ctx mf ~segments buf)
+
+let h5dread_multi ctx requests =
+  let args =
+    [|
+      string_of_int (List.length requests);
+      String.concat "," (List.map (fun (d, _) -> d.d_info.di_name) requests);
+    |]
+  in
+  traced ctx ~func:"H5Dread_multi" ~args
+    ~ret:(fun results ->
+      string_of_int (List.fold_left (fun a b -> a + Bytes.length b) 0 results))
+    (fun () ->
+      match requests with
+      | [] -> h5_error "H5Dread_multi with no datasets"
+      | (d0, _) :: _ ->
+        let mf = d0.d_file.f_mf in
+        List.iter
+          (fun (d, _) ->
+            check_dset_open d;
+            if d.d_file != d0.d_file then
+              h5_error "H5Dread_multi: datasets must share one file")
+          requests;
+        let per_req =
+          List.map
+            (fun (d, sel) ->
+              let m = map_selection d sel in
+              let len =
+                match m with
+                | Contig { len; _ } | Rows { len; _ } | Segs { len; _ } -> len
+              in
+              (segments_of_mapped m, len))
+            requests
+        in
+        let all_segments = List.concat_map fst per_req in
+        MF.set_view_quiet mf V.default;
+        let flat = MF.read_at_all_segments ctx mf ~segments:all_segments in
+        (* Split the flat buffer back per request. *)
+        let pos = ref 0 in
+        List.map
+          (fun (_, len) ->
+            let n = min len (Bytes.length flat - !pos) in
+            let out = Bytes.sub flat !pos (max 0 n) in
+            pos := !pos + n;
+            out)
+          per_req)
+
+(* ---------------------------------------------------------------- *)
+(* Attributes                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let h5acreate ctx f ~name ~size =
+  traced ctx ~func:"H5Acreate2" ~args:[| i (MF.handle_id f.f_mf); name; i size |]
+    ~ret:(fun a -> i a.a_info.ai_off)
+    (fun () ->
+      check_file_open f;
+      let info = alloc_attr ctx f ~name ~size in
+      { a_file = f; a_info = info; a_open = true })
+
+let h5aopen ctx f ~name =
+  traced ctx ~func:"H5Aopen" ~args:[| i (MF.handle_id f.f_mf); name |]
+    ~ret:(fun a -> i a.a_info.ai_off)
+    (fun () ->
+      check_file_open f;
+      match Hashtbl.find_opt f.f_info.fi_attrs name with
+      | Some info -> { a_file = f; a_info = info; a_open = true }
+      | None -> h5_error ("no such attribute: " ^ name))
+
+let check_attr_open a =
+  if not a.a_open then h5_error "attribute is closed";
+  if not a.a_file.f_open then h5_error "file is closed"
+
+let h5awrite ctx a data =
+  traced ctx ~func:"H5Awrite" ~args:[| a.a_info.ai_name; i (Bytes.length data) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_attr_open a;
+      if Bytes.length data < a.a_info.ai_size then h5_error "buffer too small";
+      MF.set_view_quiet a.a_file.f_mf V.default;
+      MF.write_at ctx a.a_file.f_mf ~off:a.a_info.ai_off
+        (Bytes.sub data 0 a.a_info.ai_size))
+
+let h5aread ctx a =
+  traced ctx ~func:"H5Aread" ~args:[| a.a_info.ai_name |]
+    ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_attr_open a;
+      MF.set_view_quiet a.a_file.f_mf V.default;
+      MF.read_at ctx a.a_file.f_mf ~off:a.a_info.ai_off ~len:a.a_info.ai_size)
+
+let h5aclose ctx a =
+  traced ctx ~func:"H5Aclose" ~args:[| a.a_info.ai_name |] ~ret:(fun () -> "0")
+    (fun () -> a.a_open <- false)

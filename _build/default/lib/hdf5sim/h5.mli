@@ -1,0 +1,132 @@
+(** A simplified parallel HDF5 built on the MPI-IO layer.
+
+    The model keeps what the paper's findings depend on and drops the rest:
+
+    - a {b file layout engine}: a superblock, a metadata (object-header)
+      region, and data regions allocated past it, so every dataset and
+      attribute occupies real byte ranges of the underlying file — conflicts
+      between high-level operations become byte-range conflicts exactly as
+      in the real format;
+    - {b independent vs collective transfer}: [h5dwrite]/[h5dread] map to
+      [MPI_File_write_at]/[read_at] or their [_all] collective forms;
+    - {b hyperslab selections} on n-dimensional datasets, including
+      interleaved selections that map to strided MPI file views;
+    - the {b deliberate omission of [MPI_File_sync]} in the data path:
+      exactly like the real library (paper §V-C2), [h5dwrite] performs no
+      MPI-IO synchronization; only {!h5fflush} does. Code written as
+      [H5Dwrite; MPI_Barrier; H5Dread] is therefore properly synchronized
+      under POSIX but *not* under MPI-IO semantics — Fig. 6's bug.
+
+    Creation/open/close calls are collective over the file's communicator.
+    Object headers are written by rank 0 (collective metadata writes). All
+    calls are traced at layer [HDF5] and nest their MPI-IO and POSIX
+    children, giving the multi-layer call chains the verifier reports. *)
+
+type system
+(** Shared in-memory catalog binding a file system to HDF5 object metadata
+    (the real library re-reads this from the file; we keep it in memory). *)
+
+val create_system : fs:Posixfs.Fs.t -> system
+
+val fs : system -> Posixfs.Fs.t
+
+type file
+
+type dataset
+
+type group
+
+type attribute
+
+type xfer = Independent | Collective
+
+type selection =
+  | All
+  | Hyperslab of { start : int list; count : int list }
+      (** Element-indexed start/count per dimension, as in
+          [H5Sselect_hyperslab]. *)
+
+(** {2 Files} *)
+
+val h5fcreate : Mpisim.Engine.ctx -> system -> comm:Mpisim.Comm.t -> string -> file
+(** Collective create (truncates). Writes the superblock (rank 0). *)
+
+val h5fopen : Mpisim.Engine.ctx -> system -> comm:Mpisim.Comm.t -> string -> file
+(** Collective open of an existing HDF5 file. *)
+
+val h5fclose : Mpisim.Engine.ctx -> file -> unit
+
+val h5fflush : Mpisim.Engine.ctx -> file -> unit
+(** The only call that issues [MPI_File_sync] — inserting
+    [h5fflush; barrier; h5fflush] around a conflicting pair is the paper's
+    Fig. 6 "properly synchronized" variant. *)
+
+(** {2 Groups}
+
+    Groups are named containers; their object headers live in the metadata
+    region and datasets can be created beneath them ([?loc]). *)
+
+val h5gcreate :
+  Mpisim.Engine.ctx -> file -> ?loc:group -> name:string -> unit -> group
+(** Collective; rank 0 writes the group's object header. *)
+
+val h5gopen : Mpisim.Engine.ctx -> file -> ?loc:group -> name:string -> unit -> group
+
+val h5gclose : Mpisim.Engine.ctx -> group -> unit
+
+(** {2 Datasets} *)
+
+val h5dcreate :
+  Mpisim.Engine.ctx -> ?loc:group -> ?chunks:int list -> file -> name:string ->
+  dims:int list -> esize:int -> dataset
+(** Collective. Allocates the data region and writes the object header
+    (rank 0). With [?loc] the dataset is created inside that group. With
+    [?chunks] the dataset uses chunked storage: the chunk grid is allocated
+    early and full-sized (as parallel HDF5 requires), chunks laid out in
+    row-major grid order; selections then map to per-chunk segments, and
+    collective I/O over multi-segment selections goes through collective
+    buffering (link-chunk style). *)
+
+val h5dopen : Mpisim.Engine.ctx -> ?loc:group -> file -> name:string -> dataset
+
+val h5dclose : Mpisim.Engine.ctx -> dataset -> unit
+
+val dataset_byte_size : dataset -> int
+
+val dataset_data_offset : dataset -> int
+(** File offset of the dataset's data region (exposed for tests). *)
+
+val h5dwrite : Mpisim.Engine.ctx -> dataset -> ?sel:selection -> xfer -> bytes -> unit
+(** Write the selected elements. [All] requires the buffer to cover the
+    dataset. No MPI-IO sync is performed. *)
+
+val h5dread : Mpisim.Engine.ctx -> dataset -> ?sel:selection -> xfer -> bytes
+
+val h5dwrite_multi :
+  Mpisim.Engine.ctx -> (dataset * selection * bytes) list -> unit
+(** [H5Dwrite_multi] (HDF5 1.14): one collective call writing selections of
+    several datasets of the same file; all pieces join a single collective
+    transfer, so collective buffering can merge across datasets. *)
+
+val h5dread_multi :
+  Mpisim.Engine.ctx -> (dataset * selection) list -> bytes list
+(** [H5Dread_multi]: collective multi-dataset read; results in request
+    order. *)
+
+(** {2 Attributes}
+
+    Attributes live in the metadata region; [h5awrite]/[h5aread] are
+    independent accesses to the attribute's slot, so concurrent use from
+    several ranks conflicts on the same bytes — the [H5Awrite]/[H5Aread]
+    variant of the Fig. 6 pattern. *)
+
+val h5acreate : Mpisim.Engine.ctx -> file -> name:string -> size:int -> attribute
+(** Collective. [size] is capped by the 56-byte slot payload. *)
+
+val h5aopen : Mpisim.Engine.ctx -> file -> name:string -> attribute
+
+val h5awrite : Mpisim.Engine.ctx -> attribute -> bytes -> unit
+
+val h5aread : Mpisim.Engine.ctx -> attribute -> bytes
+
+val h5aclose : Mpisim.Engine.ctx -> attribute -> unit

@@ -1,0 +1,1 @@
+lib/mpiio/file.ml: Array Buffer Bytes List Mpisim Posixfs Printf Recorder String View

@@ -1,0 +1,1 @@
+lib/mpiio/file.mli: Mpisim Posixfs View

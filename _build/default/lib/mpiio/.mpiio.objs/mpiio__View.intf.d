@@ -1,0 +1,1 @@
+lib/mpiio/view.mli:

@@ -1,0 +1,412 @@
+module E = Mpisim.Engine
+module C = Mpisim.Comm
+module F = Posixfs.Fs
+
+type amode = Rdonly | Wronly | Rdwr | Create | Excl
+
+let amode_to_string = function
+  | Rdonly -> "MPI_MODE_RDONLY"
+  | Wronly -> "MPI_MODE_WRONLY"
+  | Rdwr -> "MPI_MODE_RDWR"
+  | Create -> "MPI_MODE_CREATE"
+  | Excl -> "MPI_MODE_EXCL"
+
+type cb_mode = Cb_enable | Cb_disable | Cb_automatic
+
+type t = {
+  h_id : int;
+  h_path : string;
+  h_comm : C.t;
+  h_fs : F.t;
+  h_fd : F.fd;
+  h_rank : int;  (* world rank owning this handle *)
+  h_cb : cb_mode;
+  h_cb_nodes : int;  (* number of aggregators for collective buffering *)
+  mutable h_view : View.t;
+  mutable h_pos : int;  (* individual file pointer, in view-logical bytes *)
+  mutable h_open : bool;
+}
+
+let handle_id t = t.h_id
+
+let path t = t.h_path
+
+let i = string_of_int
+
+let traced (ctx : E.ctx) ~func ~args ~ret f =
+  match E.trace ctx.engine with
+  | None -> f ()
+  | Some tr ->
+    Recorder.Trace.intercept tr ~rank:ctx.rank ~layer:Recorder.Record.Mpiio
+      ~func ~args ~ret f
+
+(* Internal rendezvous helpers: engine collectives whose kind is the traced
+   function name, so cross-rank call mismatches surface exactly like real
+   collective misuse. *)
+let rendezvous ctx ~kind ~comm =
+  ignore
+    (E.collective ctx ~kind ~comm ~contrib:E.Unit ~compute:(fun ~self:_ _ ->
+         E.Unit))
+
+let check_open t = if not t.h_open then F.(raise (Error ("EBADF", "closed MPI file")))
+
+(* ---------------------------------------------------------------- *)
+(* Open / close / sync / view                                        *)
+(* ---------------------------------------------------------------- *)
+
+let next_handle = ref 0
+
+let open_ (ctx : E.ctx) ~comm ~fs ?(hints = []) ~amode pathname =
+  let args =
+    [|
+      i comm.C.id;
+      pathname;
+      String.concat "|" (List.map amode_to_string amode);
+    |]
+  in
+  traced ctx ~func:"MPI_File_open" ~args ~ret:(fun t -> i t.h_id) (fun () ->
+      rendezvous ctx ~kind:"MPI_File_open" ~comm;
+      let has m = List.mem m amode in
+      let flags =
+        (if has Create then [ F.O_CREAT ] else [])
+        @
+        if has Rdwr then [ F.O_RDWR ]
+        else if has Wronly then [ F.O_WRONLY ]
+        else [ F.O_RDONLY ]
+      in
+      let fd = F.openf fs ~rank:ctx.rank ~flags pathname in
+      let cb =
+        match List.assoc_opt "romio_cb_write" hints with
+        | Some "enable" -> Cb_enable
+        | Some "disable" -> Cb_disable
+        | Some "automatic" | None -> Cb_automatic
+        | Some other ->
+          invalid_arg ("MPI_File_open: bad romio_cb_write hint " ^ other)
+      in
+      let cb_nodes =
+        match List.assoc_opt "cb_nodes" hints with
+        | None -> 1
+        | Some n -> (
+          match int_of_string_opt n with
+          | Some k when k >= 1 -> min k (C.size comm)
+          | _ -> invalid_arg ("MPI_File_open: bad cb_nodes hint " ^ n))
+      in
+      let id = !next_handle in
+      incr next_handle;
+      {
+        h_id = id;
+        h_path = pathname;
+        h_comm = comm;
+        h_fs = fs;
+        h_fd = fd;
+        h_rank = ctx.rank;
+        h_cb = cb;
+        h_cb_nodes = cb_nodes;
+        h_view = View.default;
+        h_pos = 0;
+        h_open = true;
+      })
+
+let close ctx t =
+  let args = [| i t.h_comm.C.id; i t.h_id |] in
+  traced ctx ~func:"MPI_File_close" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open t;
+      rendezvous ctx ~kind:"MPI_File_close" ~comm:t.h_comm;
+      F.close t.h_fs ~rank:t.h_rank t.h_fd;
+      t.h_open <- false)
+
+let sync ctx t =
+  let args = [| i t.h_comm.C.id; i t.h_id |] in
+  traced ctx ~func:"MPI_File_sync" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open t;
+      rendezvous ctx ~kind:"MPI_File_sync" ~comm:t.h_comm;
+      F.fsync t.h_fs ~rank:t.h_rank t.h_fd)
+
+let set_view_quiet t view =
+  check_open t;
+  t.h_view <- view;
+  t.h_pos <- 0
+
+let set_view ctx t view =
+  let args = [| i t.h_comm.C.id; i t.h_id; View.describe view |] in
+  traced ctx ~func:"MPI_File_set_view" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open t;
+      rendezvous ctx ~kind:"MPI_File_set_view" ~comm:t.h_comm;
+      t.h_view <- view;
+      t.h_pos <- 0)
+
+(* ---------------------------------------------------------------- *)
+(* Independent data access                                           *)
+(* ---------------------------------------------------------------- *)
+
+let write_segments t segments data =
+  let pos = ref 0 in
+  List.iter
+    (fun (file_off, len) ->
+      ignore
+        (F.pwrite t.h_fs ~rank:t.h_rank t.h_fd ~off:file_off
+           (Bytes.sub data !pos len));
+      pos := !pos + len)
+    segments
+
+let read_segments t segments =
+  (* A short read on any segment ends the transfer, like a read crossing
+     EOF: the result only contains the bytes actually read. *)
+  let total = List.fold_left (fun a (_, l) -> a + l) 0 segments in
+  let out = Bytes.make total '\000' in
+  let rec go pos = function
+    | [] -> pos
+    | (file_off, len) :: rest ->
+      let got = F.pread t.h_fs ~rank:t.h_rank t.h_fd ~off:file_off ~len in
+      Bytes.blit got 0 out pos (Bytes.length got);
+      if Bytes.length got < len then pos + Bytes.length got
+      else go (pos + len) rest
+  in
+  let n = go 0 segments in
+  Bytes.sub out 0 n
+
+let write_at ctx t ~off data =
+  let args = [| i t.h_id; i off; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_File_write_at" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open t;
+      write_segments t (View.map_range t.h_view ~off ~len:(Bytes.length data)) data)
+
+let read_at ctx t ~off ~len =
+  let args = [| i t.h_id; i off; i len |] in
+  traced ctx ~func:"MPI_File_read_at" ~args ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open t;
+      read_segments t (View.map_range t.h_view ~off ~len))
+
+let seek ctx t ~off whence =
+  let args =
+    [|
+      i t.h_id;
+      i off;
+      (match whence with
+      | F.SEEK_SET -> "MPI_SEEK_SET"
+      | F.SEEK_CUR -> "MPI_SEEK_CUR"
+      | F.SEEK_END -> "MPI_SEEK_END");
+    |]
+  in
+  traced ctx ~func:"MPI_File_seek" ~args ~ret:i (fun () ->
+      check_open t;
+      let target =
+        match whence with
+        | F.SEEK_SET -> off
+        | F.SEEK_CUR -> t.h_pos + off
+        | F.SEEK_END -> F.file_size t.h_fs ~rank:t.h_rank t.h_fd + off
+      in
+      if target < 0 then invalid_arg "MPI_File_seek: negative position";
+      t.h_pos <- target;
+      target)
+
+let get_size ctx t =
+  traced ctx ~func:"MPI_File_get_size" ~args:[| i t.h_id |] ~ret:i (fun () ->
+      check_open t;
+      F.file_size t.h_fs ~rank:t.h_rank t.h_fd)
+
+(* ---------------------------------------------------------------- *)
+(* Collective data access                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Length-prefixed segment encoding exchanged during two-phase I/O. *)
+let encode_segments segments data =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%08d" (List.length segments));
+  let pos = ref 0 in
+  List.iter
+    (fun (off, len) ->
+      Buffer.add_string buf (Printf.sprintf "%016d%08d" off len);
+      Buffer.add_bytes buf (Bytes.sub data !pos len);
+      pos := !pos + len)
+    segments;
+  Buffer.to_bytes buf
+
+let decode_segments packed =
+  let nsegs = int_of_string (Bytes.sub_string packed 0 8) in
+  let pos = ref 8 in
+  List.init nsegs (fun _ ->
+      let off = int_of_string (Bytes.sub_string packed !pos 16) in
+      let len = int_of_string (Bytes.sub_string packed (!pos + 16) 8) in
+      let data = Bytes.sub packed (!pos + 24) len in
+      pos := !pos + 24 + len;
+      (off, data))
+
+let use_aggregation t =
+  match t.h_cb with
+  | Cb_enable -> true
+  | Cb_disable -> false
+  | Cb_automatic -> View.is_strided t.h_view
+
+(* Two-phase collective write: exchange segments, the aggregators (the
+   first [cb_nodes] ranks of the communicator, as with ROMIO's cb_nodes
+   hint) perform the merged writes over disjoint file-range stripes, and a
+   completion rendezvous releases everyone. Each aggregator's merged pwrite
+   covers byte ranges that other ranks wrote earlier through their own
+   descriptors — the paper's Fig. 5 scenario. *)
+let aggregated_write ctx t segments data =
+  let self =
+    match C.rank_of_world t.h_comm ctx.E.rank with
+    | Some r -> r
+    | None -> invalid_arg "collective write: not in communicator"
+  in
+  let contrib = E.Data (encode_segments segments data) in
+  let all =
+    let result = ref [||] in
+    ignore
+      (E.collective ctx ~kind:"MPI_File_write_at_all:exchange" ~comm:t.h_comm
+         ~contrib ~compute:(fun ~self:_ contribs ->
+           result :=
+             Array.map
+               (function E.Data b -> b | _ -> Bytes.create 0)
+               contribs;
+           E.Unit));
+    !result
+  in
+  if self < t.h_cb_nodes then begin
+    (* Merge all ranks' segments; later ranks win on overlap (deterministic
+       tie-break, matching the engine's rank-ordered publication). *)
+    let pieces = Array.to_list all |> List.concat_map decode_segments in
+    match pieces with
+    | [] -> ()
+    | _ ->
+      let lo = List.fold_left (fun a (off, _) -> min a off) max_int pieces in
+      let hi =
+        List.fold_left (fun a (off, d) -> max a (off + Bytes.length d)) 0 pieces
+      in
+      (* This aggregator owns the [self]-th stripe of the merged range. *)
+      let span = hi - lo in
+      let stripe = (span + t.h_cb_nodes - 1) / t.h_cb_nodes in
+      let my_lo = min hi (lo + (self * stripe)) in
+      let my_hi = min hi (my_lo + stripe) in
+      if my_lo < my_hi then begin
+        let merged = Bytes.make (my_hi - my_lo) '\000' in
+        (* Pre-fill with the aggregator's current visible bytes so untouched
+           gaps inside the merged run are rewritten unchanged (read-modify-
+           write phase of two-phase I/O). *)
+        let existing =
+          F.pread t.h_fs ~rank:t.h_rank t.h_fd ~off:my_lo ~len:(my_hi - my_lo)
+        in
+        Bytes.blit existing 0 merged 0 (Bytes.length existing);
+        List.iter
+          (fun (off, d) ->
+            let len = Bytes.length d in
+            let s = max off my_lo and e = min (off + len) my_hi in
+            if s < e then Bytes.blit d (s - off) merged (s - my_lo) (e - s))
+          pieces;
+        ignore (F.pwrite t.h_fs ~rank:t.h_rank t.h_fd ~off:my_lo merged)
+      end
+  end;
+  rendezvous ctx ~kind:"MPI_File_write_at_all:complete" ~comm:t.h_comm
+
+let plain_collective_write ctx t segments data =
+  rendezvous ctx ~kind:"MPI_File_write_at_all:exchange" ~comm:t.h_comm;
+  write_segments t segments data;
+  rendezvous ctx ~kind:"MPI_File_write_at_all:complete" ~comm:t.h_comm
+
+let write_at_all ctx t ~off data =
+  let args = [| i t.h_comm.C.id; i t.h_id; i off; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_File_write_at_all" ~args ~ret:(fun () -> "0")
+    (fun () ->
+      check_open t;
+      let segments = View.map_range t.h_view ~off ~len:(Bytes.length data) in
+      if use_aggregation t then aggregated_write ctx t segments data
+      else plain_collective_write ctx t segments data)
+
+let read_at_all ctx t ~off ~len =
+  let args = [| i t.h_comm.C.id; i t.h_id; i off; i len |] in
+  traced ctx ~func:"MPI_File_read_at_all" ~args
+    ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open t;
+      rendezvous ctx ~kind:"MPI_File_read_at_all" ~comm:t.h_comm;
+      let out = read_segments t (View.map_range t.h_view ~off ~len) in
+      rendezvous ctx ~kind:"MPI_File_read_at_all:complete" ~comm:t.h_comm;
+      out)
+
+(* Scatter-gather variants over explicit absolute file segments, used by
+   chunked dataset layouts where one logical selection maps to many
+   non-contiguous pieces. *)
+let total_len segments = List.fold_left (fun a (_, l) -> a + l) 0 segments
+
+let write_at_segments ctx t ~segments data =
+  let args =
+    [|
+      i t.h_id;
+      i (match segments with (o, _) :: _ -> o | [] -> 0);
+      i (total_len segments);
+    |]
+  in
+  traced ctx ~func:"MPI_File_write_at" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open t;
+      if total_len segments > Bytes.length data then
+        invalid_arg "write_at_segments: buffer too small";
+      write_segments t segments data)
+
+let read_at_segments ctx t ~segments =
+  let args =
+    [|
+      i t.h_id;
+      i (match segments with (o, _) :: _ -> o | [] -> 0);
+      i (total_len segments);
+    |]
+  in
+  traced ctx ~func:"MPI_File_read_at" ~args ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open t;
+      read_segments t segments)
+
+let write_at_all_segments ctx t ~segments data =
+  let args =
+    [|
+      i t.h_comm.C.id;
+      i t.h_id;
+      i (match segments with (o, _) :: _ -> o | [] -> 0);
+      i (total_len segments);
+    |]
+  in
+  traced ctx ~func:"MPI_File_write_at_all" ~args ~ret:(fun () -> "0")
+    (fun () ->
+      check_open t;
+      if total_len segments > Bytes.length data then
+        invalid_arg "write_at_all_segments: buffer too small";
+      let interleaved = List.length segments > 1 in
+      let aggregate =
+        match t.h_cb with
+        | Cb_enable -> true
+        | Cb_disable -> false
+        | Cb_automatic -> interleaved
+      in
+      if aggregate then aggregated_write ctx t segments data
+      else plain_collective_write ctx t segments data)
+
+let read_at_all_segments ctx t ~segments =
+  let args =
+    [|
+      i t.h_comm.C.id;
+      i t.h_id;
+      i (match segments with (o, _) :: _ -> o | [] -> 0);
+      i (total_len segments);
+    |]
+  in
+  traced ctx ~func:"MPI_File_read_at_all" ~args
+    ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open t;
+      rendezvous ctx ~kind:"MPI_File_read_at_all" ~comm:t.h_comm;
+      let out = read_segments t segments in
+      rendezvous ctx ~kind:"MPI_File_read_at_all:complete" ~comm:t.h_comm;
+      out)
+
+let write_all ctx t data =
+  let args = [| i t.h_comm.C.id; i t.h_id; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_File_write_all" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open t;
+      let segments =
+        View.map_range t.h_view ~off:t.h_pos ~len:(Bytes.length data)
+      in
+      rendezvous ctx ~kind:"MPI_File_write_all" ~comm:t.h_comm;
+      write_segments t segments data;
+      t.h_pos <- t.h_pos + Bytes.length data;
+      rendezvous ctx ~kind:"MPI_File_write_all:complete" ~comm:t.h_comm)

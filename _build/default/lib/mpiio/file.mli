@@ -1,0 +1,104 @@
+(** MPI-IO file operations over the simulated POSIX file system.
+
+    Implements the subset of [MPI_File_*] the evaluation exercises, with the
+    two behaviours that drive the paper's findings:
+
+    - {b Collective buffering (two-phase I/O)}: when the handle's view is
+      strided (or the hint [romio_cb_write=enable] forces it), a collective
+      write aggregates every rank's segments at the lowest rank of the
+      communicator, which then performs the merged [pwrite]s. This re-routes
+      bytes that "belong" to rank [r] through rank 0's descriptor — exactly
+      the access-pattern shift behind the PnetCDF [flexible] data race
+      (paper Fig. 5).
+    - {b Sync operations}: [open]/[close]/[sync] are the MPI-IO consistency
+      model's synchronization set; each nests the corresponding POSIX call
+      ([open]/[close]/[fsync]) so commit/session publication happens on the
+      underlying file system too.
+
+    All functions are traced at layer [MPIIO]; collective ones carry the
+    communicator id as their first argument so the verifier can match them
+    like any other collective. Argument layouts:
+    [MPI_File_open]=[comm; path; amode] (ret handle),
+    [MPI_File_close]/[MPI_File_sync]=[comm; handle],
+    [MPI_File_set_view]=[comm; handle; view],
+    [MPI_File_write_at_all]/[MPI_File_read_at_all]=[comm; handle; offset; count],
+    [MPI_File_write_all]=[comm; handle; count],
+    [MPI_File_write_at]/[MPI_File_read_at]=[handle; offset; count],
+    [MPI_File_seek]=[handle; offset; whence]. *)
+
+type amode = Rdonly | Wronly | Rdwr | Create | Excl
+
+type t
+(** A per-rank MPI file handle. *)
+
+val handle_id : t -> int
+
+val path : t -> string
+
+val open_ :
+  Mpisim.Engine.ctx ->
+  comm:Mpisim.Comm.t ->
+  fs:Posixfs.Fs.t ->
+  ?hints:(string * string) list ->
+  amode:amode list ->
+  string ->
+  t
+(** Collective. Recognised hints: [romio_cb_write] = ["enable" | "disable" |
+    "automatic"] (default automatic: aggregate iff the view is strided) and
+    [cb_nodes] = number of aggregator ranks for collective buffering
+    (default 1; capped at the communicator size). With k aggregators the
+    merged byte range splits into k stripes, written by the first k ranks
+    of the communicator — as with ROMIO's cb_nodes hint. *)
+
+val close : Mpisim.Engine.ctx -> t -> unit
+(** Collective; publishes pending data (nests POSIX [close]). *)
+
+val sync : Mpisim.Engine.ctx -> t -> unit
+(** Collective; publishes pending data (nests POSIX [fsync]). *)
+
+val set_view : Mpisim.Engine.ctx -> t -> View.t -> unit
+(** Collective; replaces the handle's view and resets the individual file
+    pointer. *)
+
+val set_view_quiet : t -> View.t -> unit
+(** Local-only view change: no rendezvous, no trace record. Used by
+    higher-level libraries on their independent I/O paths, where issuing a
+    collective [MPI_File_set_view] would (a) not be what the real library
+    does and (b) deadlock when only a subset of ranks participates. *)
+
+val write_at : Mpisim.Engine.ctx -> t -> off:int -> bytes -> unit
+(** Independent write at view-logical offset [off]. *)
+
+val read_at : Mpisim.Engine.ctx -> t -> off:int -> len:int -> bytes
+
+val write_at_all : Mpisim.Engine.ctx -> t -> off:int -> bytes -> unit
+(** Collective write; aggregates when collective buffering applies. *)
+
+val read_at_all : Mpisim.Engine.ctx -> t -> off:int -> len:int -> bytes
+
+val write_all : Mpisim.Engine.ctx -> t -> bytes -> unit
+(** Collective write at the individual file pointer (advances it). *)
+
+(** {2 Scatter-gather access}
+
+    Explicit absolute file segments (ascending, disjoint), for layouts —
+    like chunked datasets — where one logical selection maps to several
+    non-contiguous pieces. Collective variants aggregate under the same
+    collective-buffering rules as strided views (automatic mode aggregates
+    whenever the selection has more than one segment). *)
+
+val write_at_segments :
+  Mpisim.Engine.ctx -> t -> segments:(int * int) list -> bytes -> unit
+
+val read_at_segments :
+  Mpisim.Engine.ctx -> t -> segments:(int * int) list -> bytes
+
+val write_at_all_segments :
+  Mpisim.Engine.ctx -> t -> segments:(int * int) list -> bytes -> unit
+
+val read_at_all_segments :
+  Mpisim.Engine.ctx -> t -> segments:(int * int) list -> bytes
+
+val seek : Mpisim.Engine.ctx -> t -> off:int -> Posixfs.Fs.whence -> int
+
+val get_size : Mpisim.Engine.ctx -> t -> int

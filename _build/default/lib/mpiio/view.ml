@@ -1,0 +1,71 @@
+type filetype = Contiguous | Strided of { blocklen : int; stride : int }
+
+type t = { disp : int; filetype : filetype }
+
+let default = { disp = 0; filetype = Contiguous }
+
+let make ~disp filetype =
+  if disp < 0 then invalid_arg "View.make: negative displacement";
+  (match filetype with
+  | Contiguous -> ()
+  | Strided { blocklen; stride } ->
+    if blocklen <= 0 then invalid_arg "View.make: non-positive block length";
+    if stride < blocklen then invalid_arg "View.make: stride < blocklen");
+  { disp; filetype }
+
+let is_strided t = match t.filetype with Strided _ -> true | Contiguous -> false
+
+let map_range t ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "View.map_range";
+  if len = 0 then []
+  else
+    match t.filetype with
+    | Contiguous -> [ (t.disp + off, len) ]
+    | Strided { blocklen; stride } ->
+      (* Walk logical bytes block by block, merging adjacent segments. *)
+      let segs = ref [] in
+      let pos = ref off in
+      let remaining = ref len in
+      while !remaining > 0 do
+        let block = !pos / blocklen in
+        let in_block = !pos mod blocklen in
+        let chunk = min !remaining (blocklen - in_block) in
+        let file_off = t.disp + (block * stride) + in_block in
+        (match !segs with
+        | (prev_off, prev_len) :: rest when prev_off + prev_len = file_off ->
+          segs := (prev_off, prev_len + chunk) :: rest
+        | _ -> segs := (file_off, chunk) :: !segs);
+        pos := !pos + chunk;
+        remaining := !remaining - chunk
+      done;
+      List.rev !segs
+
+let describe t =
+  match t.filetype with
+  | Contiguous -> Printf.sprintf "contig@%d" t.disp
+  | Strided { blocklen; stride } ->
+    Printf.sprintf "strided(%d/%d)@%d" blocklen stride t.disp
+
+let of_description s =
+  let parse_int x = int_of_string_opt x in
+  match String.index_opt s '@' with
+  | None -> None
+  | Some at -> (
+    let head = String.sub s 0 at in
+    let disp = String.sub s (at + 1) (String.length s - at - 1) in
+    match (head, parse_int disp) with
+    | _, None -> None
+    | "contig", Some d -> Some { disp = d; filetype = Contiguous }
+    | head, Some d ->
+      (* strided(B/S) *)
+      if String.length head > 9 && String.sub head 0 8 = "strided(" then
+        let inner = String.sub head 8 (String.length head - 9) in
+        match String.split_on_char '/' inner with
+        | [ b; st ] -> (
+          match (parse_int b, parse_int st) with
+          | Some blocklen, Some stride when blocklen > 0 && stride >= blocklen
+            ->
+            Some { disp = d; filetype = Strided { blocklen; stride } }
+          | _ -> None)
+        | _ -> None
+      else None)

@@ -1,0 +1,36 @@
+(** MPI-IO file views (simplified).
+
+    A view maps a handle's logical byte stream onto file bytes: a
+    displacement plus a filetype. We support the two filetype shapes the
+    evaluation needs: contiguous, and the strided pattern produced by
+    vector/subarray filetypes — each rank sees [blocklen]-byte blocks
+    [stride] bytes apart. Interleaved strided views across ranks are what
+    triggers ROMIO's collective-buffering aggregation. *)
+
+type filetype =
+  | Contiguous
+  | Strided of { blocklen : int; stride : int }
+      (** [blocklen <= stride]; logical byte [p] lands in block [p / blocklen]. *)
+
+type t = { disp : int; filetype : filetype }
+
+val default : t
+(** Displacement 0, contiguous. *)
+
+val make : disp:int -> filetype -> t
+(** Raises [Invalid_argument] on a negative displacement, non-positive block
+    length, or [stride < blocklen]. *)
+
+val is_strided : t -> bool
+
+val map_range : t -> off:int -> len:int -> (int * int) list
+(** [map_range v ~off ~len] maps the logical range [[off, off+len)] to a
+    list of contiguous [(file_offset, length)] segments, in ascending file
+    offset order, adjacent segments merged. *)
+
+val describe : t -> string
+(** Stable one-token rendering used in trace arguments,
+    e.g. ["contig@0"] or ["strided(4/16)@128"]. *)
+
+val of_description : string -> t option
+(** Inverse of {!describe} (used by the verifier to reason about views). *)

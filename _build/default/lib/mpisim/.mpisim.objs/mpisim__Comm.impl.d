@@ -1,0 +1,1 @@
+lib/mpisim/comm.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/mpisim/engine.ml: Array Buffer Bytes Comm Effect Fun Hashtbl List Option Printf Recorder

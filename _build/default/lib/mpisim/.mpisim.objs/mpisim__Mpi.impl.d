@@ -1,0 +1,1 @@
+lib/mpisim/mpi.ml: Array Buffer Bytes Comm Engine List Printf Recorder String

@@ -1,0 +1,27 @@
+type t = { id : int; ranks : int array }
+
+let world_id = 0
+
+let make ~id ~ranks =
+  if Array.length ranks = 0 then invalid_arg "Comm.make: empty communicator";
+  { id; ranks }
+
+let size t = Array.length t.ranks
+
+let rank_of_world t world =
+  let n = Array.length t.ranks in
+  let rec find i =
+    if i >= n then None else if t.ranks.(i) = world then Some i else find (i + 1)
+  in
+  find 0
+
+let world_of_rank t r =
+  if r < 0 || r >= Array.length t.ranks then
+    invalid_arg "Comm.world_of_rank: rank out of range";
+  t.ranks.(r)
+
+let mem t world = rank_of_world t world <> None
+
+let pp ppf t =
+  Format.fprintf ppf "comm#%d{%s}" t.id
+    (String.concat "," (Array.to_list (Array.map string_of_int t.ranks)))

@@ -1,0 +1,30 @@
+(** Communicators.
+
+    Every communicator carries a globally unique integer id assigned at
+    creation. The tracer records creation (dup/split) calls with both the
+    parent and the new id, which is exactly the information the paper's
+    matcher uses to pair collective calls on user-created communicators. *)
+
+type t = {
+  id : int;            (** globally unique id; [MPI_COMM_WORLD] has id 0 *)
+  ranks : int array;   (** [ranks.(r)] is the world rank of communicator rank [r] *)
+}
+
+val world_id : int
+(** Id of the predefined world communicator (0). *)
+
+val make : id:int -> ranks:int array -> t
+
+val size : t -> int
+
+val rank_of_world : t -> int -> int option
+(** Communicator rank of a world rank, or [None] when not a member. *)
+
+val world_of_rank : t -> int -> int
+(** World rank of a communicator rank. Raises [Invalid_argument] when out of
+    range. *)
+
+val mem : t -> int -> bool
+(** Membership of a world rank. *)
+
+val pp : Format.formatter -> t -> unit

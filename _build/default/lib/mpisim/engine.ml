@@ -1,0 +1,418 @@
+exception Deadlock of string
+exception Mismatch of string
+
+type value = Unit | Int of int | Ints of int array | Data of bytes
+
+let value_len = function
+  | Unit -> 0
+  | Int _ -> 8
+  | Ints a -> 8 * Array.length a
+  | Data b -> Bytes.length b
+
+type status = { st_source : int; st_tag : int; st_len : int }
+
+type envelope = {
+  e_src_world : int;
+  e_src_comm : int;  (* sender's rank within e_comm, for status reporting *)
+  e_tag : int;
+  e_comm : int;
+  e_data : value;
+}
+
+type coll_req = {
+  cr_slot : coll_slot;
+  cr_self : int;
+  cr_compute : self:int -> value array -> value;
+  mutable cr_result : value option;
+}
+
+and req_state =
+  | Send_done
+  | Recv_pending of { want_src : int; want_tag : int; want_comm : int }
+  | Recv_done of status * value
+  | Coll_pending of coll_req
+
+and coll_slot = {
+  cs_kind : string;
+  cs_contrib : value option array;  (* indexed by comm rank *)
+  mutable cs_memo : value option;   (* for collective_shared *)
+}
+
+type request = {
+  rid : int;
+  owner : int;  (* world rank *)
+  mutable state : req_state;
+}
+
+let request_id r = r.rid
+
+type t = {
+  n : int;
+  tr : Recorder.Trace.t option;
+  mailboxes : envelope list ref array;  (* per destination world rank, arrival order *)
+  posted : request list ref array;      (* incomplete recvs per owner, post order *)
+  slots : (int * int, coll_slot) Hashtbl.t;  (* (comm_id, slot_seq) *)
+  coll_seq : (int * int, int) Hashtbl.t;     (* (comm_id, world_rank) -> count *)
+  comms : (int, Comm.t) Hashtbl.t;
+  mutable next_comm : int;
+  mutable next_rid : int;
+  mutable started : bool;
+  sched_random : bool;
+  mutable sched_state : int;  (* PRNG state for the randomized policy *)
+}
+
+type ctx = { engine : t; rank : int }
+
+let any_source = -1
+let any_tag = -1
+
+let create ?trace ?(sched_seed = 0) ~nranks () =
+  if nranks <= 0 then invalid_arg "Engine.create: nranks must be positive";
+  let t =
+    {
+      n = nranks;
+      tr = trace;
+      mailboxes = Array.init nranks (fun _ -> ref []);
+      posted = Array.init nranks (fun _ -> ref []);
+      slots = Hashtbl.create 64;
+      coll_seq = Hashtbl.create 64;
+      comms = Hashtbl.create 8;
+      next_comm = 1;
+      next_rid = 0;
+      started = false;
+      sched_random = sched_seed <> 0;
+      sched_state = sched_seed;
+    }
+  in
+  Hashtbl.replace t.comms Comm.world_id
+    (Comm.make ~id:Comm.world_id ~ranks:(Array.init nranks Fun.id));
+  t
+
+let nranks t = t.n
+
+let trace t = t.tr
+
+let world t = Hashtbl.find t.comms Comm.world_id
+
+let comm_of_id t id = Hashtbl.find t.comms id
+
+let next_request_id t =
+  let r = t.next_rid in
+  t.next_rid <- r + 1;
+  r
+
+let alloc_comm_ids t n =
+  let base = t.next_comm in
+  t.next_comm <- base + n;
+  base
+
+let register_comm t ~id ~ranks =
+  match Hashtbl.find_opt t.comms id with
+  | Some existing ->
+    if existing.Comm.ranks <> ranks then
+      invalid_arg "Engine.register_comm: id already bound to different ranks";
+    existing
+  | None ->
+    let c = Comm.make ~id ~ranks in
+    Hashtbl.replace t.comms id c;
+    c
+
+(* ---------------------------------------------------------------- *)
+(* Scheduler                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type _ Effect.t += Suspend : string * (unit -> bool) -> unit Effect.t
+
+let wait_until ~what pred =
+  if not (pred ()) then Effect.perform (Suspend (what, pred))
+
+type fiber_slot = {
+  fs_what : string;
+  fs_pred : unit -> bool;
+  fs_cont : (unit, unit) Effect.Deep.continuation;
+}
+
+let run t program =
+  if t.started then invalid_arg "Engine.run: engine is single-shot";
+  t.started <- true;
+  let blocked : fiber_slot option array = Array.make t.n None in
+  let finished = Array.make t.n false in
+  let handler rank =
+    {
+      Effect.Deep.retc = (fun () -> finished.(rank) <- true);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend (what, pred) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                blocked.(rank) <-
+                  Some { fs_what = what; fs_pred = pred; fs_cont = k })
+          | _ -> None);
+    }
+  in
+  for rank = 0 to t.n - 1 do
+    Effect.Deep.match_with
+      (fun () -> program { engine = t; rank })
+      () (handler rank)
+  done;
+  let all_done () =
+    let ok = ref true in
+    for r = 0 to t.n - 1 do
+      if not finished.(r) then ok := false
+    done;
+    !ok
+  in
+  (* Resumption policy: with sched_state = 0, resume every ready fiber in
+     rank order per pass (plain round-robin). With a seed, resume exactly
+     ONE ready fiber per pass, chosen by a deterministic PRNG — a different
+     but still reproducible interleaving for every seed, which the test
+     suite uses to check that verification verdicts do not depend on lucky
+     schedules of properly synchronized programs. *)
+  let next_rand () =
+    t.sched_state <- ((t.sched_state * 1103515245) + 12345) land 0x3FFFFFFF;
+    t.sched_state
+  in
+  while not (all_done ()) do
+    let progressed = ref false in
+    if not t.sched_random then
+      for rank = 0 to t.n - 1 do
+        match blocked.(rank) with
+        | Some f when f.fs_pred () ->
+          blocked.(rank) <- None;
+          progressed := true;
+          Effect.Deep.continue f.fs_cont ()
+        | _ -> ()
+      done
+    else begin
+      let ready = ref [] in
+      for rank = t.n - 1 downto 0 do
+        match blocked.(rank) with
+        | Some f when f.fs_pred () -> ready := rank :: !ready
+        | _ -> ()
+      done;
+      match !ready with
+      | [] -> ()
+      | l ->
+        let pick = List.nth l (next_rand () mod List.length l) in
+        (match blocked.(pick) with
+        | Some f ->
+          blocked.(pick) <- None;
+          progressed := true;
+          Effect.Deep.continue f.fs_cont ()
+        | None -> assert false)
+    end;
+    if not !progressed then begin
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "MPI deadlock;";
+      for rank = 0 to t.n - 1 do
+        match blocked.(rank) with
+        | Some f -> Buffer.add_string buf (Printf.sprintf " rank %d: %s;" rank f.fs_what)
+        | None -> ()
+      done;
+      raise (Deadlock (Buffer.contents buf))
+    end
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Point-to-point                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let post_send ctx ~dst ~tag ~comm data =
+  let t = ctx.engine in
+  let src_comm =
+    match Comm.rank_of_world comm ctx.rank with
+    | Some r -> r
+    | None -> invalid_arg "post_send: sender not in communicator"
+  in
+  let dst_world = Comm.world_of_rank comm dst in
+  let env =
+    {
+      e_src_world = ctx.rank;
+      e_src_comm = src_comm;
+      e_tag = tag;
+      e_comm = comm.Comm.id;
+      e_data = data;
+    }
+  in
+  let box = t.mailboxes.(dst_world) in
+  box := !box @ [ env ];
+  { rid = next_request_id t; owner = ctx.rank; state = Send_done }
+
+let env_matches ~want_src ~want_tag ~want_comm env =
+  env.e_comm = want_comm
+  && (want_src = any_source || env.e_src_comm = want_src)
+  && (want_tag = any_tag || env.e_tag = want_tag)
+
+(* Try to complete posted receives of [rank], in posted order, against the
+   mailbox in arrival order. *)
+let progress_rank t rank =
+  let box = t.mailboxes.(rank) in
+  let still_posted =
+    List.filter
+      (fun req ->
+        match req.state with
+        | Recv_pending { want_src; want_tag; want_comm } -> (
+          let rec take acc = function
+            | [] -> None
+            | env :: rest when env_matches ~want_src ~want_tag ~want_comm env ->
+              Some (env, List.rev_append acc rest)
+            | env :: rest -> take (env :: acc) rest
+          in
+          match take [] !box with
+          | Some (env, rest) ->
+            box := rest;
+            req.state <-
+              Recv_done
+                ( {
+                    st_source = env.e_src_comm;
+                    st_tag = env.e_tag;
+                    st_len = value_len env.e_data;
+                  },
+                  env.e_data );
+            false
+          | None -> true)
+        | Send_done | Recv_done _ | Coll_pending _ -> false)
+      !(t.posted.(rank))
+  in
+  t.posted.(rank) := still_posted
+
+let progress t = progress_rank t
+
+let post_recv ctx ~src ~tag ~comm =
+  let t = ctx.engine in
+  (match Comm.rank_of_world comm ctx.rank with
+  | Some _ -> ()
+  | None -> invalid_arg "post_recv: receiver not in communicator");
+  let req =
+    {
+      rid = next_request_id t;
+      owner = ctx.rank;
+      state =
+        Recv_pending { want_src = src; want_tag = tag; want_comm = comm.Comm.id };
+    }
+  in
+  let posted = t.posted.(ctx.rank) in
+  posted := !posted @ [ req ];
+  progress t ctx.rank;
+  req
+
+let slot_full slot = Array.for_all Option.is_some slot.cs_contrib
+
+let completed req =
+  match req.state with
+  | Send_done -> Some ({ st_source = -1; st_tag = -1; st_len = 0 }, Unit)
+  | Recv_done (st, v) -> Some (st, v)
+  | Recv_pending _ -> None
+  | Coll_pending cr ->
+    if not (slot_full cr.cr_slot) then None
+    else begin
+      (match cr.cr_result with
+      | Some _ -> ()
+      | None ->
+        cr.cr_result <-
+          Some
+            (cr.cr_compute ~self:cr.cr_self
+               (Array.map Option.get cr.cr_slot.cs_contrib)));
+      Some ({ st_source = -1; st_tag = -1; st_len = 0 }, Option.get cr.cr_result)
+    end
+
+let wait ctx req =
+  let t = ctx.engine in
+  if req.owner <> ctx.rank then invalid_arg "Engine.wait: foreign request";
+  (match completed req with
+  | Some _ -> ()
+  | None ->
+    wait_until
+      ~what:(Printf.sprintf "wait on request %d" req.rid)
+      (fun () ->
+        progress t ctx.rank;
+        completed req <> None));
+  match completed req with Some r -> r | None -> assert false
+
+let test ctx req =
+  if req.owner <> ctx.rank then invalid_arg "Engine.test: foreign request";
+  progress ctx.engine ctx.rank;
+  completed req
+
+(* ---------------------------------------------------------------- *)
+(* Collectives                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let coll_slot_seq t ~comm_id ~rank =
+  let key = (comm_id, rank) in
+  let s = Option.value ~default:0 (Hashtbl.find_opt t.coll_seq key) in
+  Hashtbl.replace t.coll_seq key (s + 1);
+  s
+
+let get_slot t ~kind ~comm seq =
+  let key = (comm.Comm.id, seq) in
+  match Hashtbl.find_opt t.slots key with
+  | Some slot ->
+    if slot.cs_kind <> kind then
+      raise
+        (Mismatch
+           (Printf.sprintf
+              "collective mismatch on comm %d slot %d: %s vs %s" comm.Comm.id
+              seq slot.cs_kind kind));
+    slot
+  | None ->
+    let slot =
+      {
+        cs_kind = kind;
+        cs_contrib = Array.make (Comm.size comm) None;
+        cs_memo = None;
+      }
+    in
+    Hashtbl.replace t.slots key slot;
+    slot
+
+(* Deposit a contribution without blocking; the caller decides whether to
+   wait (blocking collective) or poll through a request (non-blocking). *)
+let deposit ctx ~kind ~comm ~contrib =
+  let t = ctx.engine in
+  let self =
+    match Comm.rank_of_world comm ctx.rank with
+    | Some r -> r
+    | None -> invalid_arg "collective: caller not in communicator"
+  in
+  let seq = coll_slot_seq t ~comm_id:comm.Comm.id ~rank:ctx.rank in
+  let slot = get_slot t ~kind ~comm seq in
+  (match slot.cs_contrib.(self) with
+  | None -> slot.cs_contrib.(self) <- Some contrib
+  | Some _ -> invalid_arg "collective: duplicate arrival");
+  (self, seq, slot)
+
+let arrive ctx ~kind ~comm ~contrib =
+  let self, seq, slot = deposit ctx ~kind ~comm ~contrib in
+  wait_until
+    ~what:(Printf.sprintf "%s on comm %d (slot %d)" kind comm.Comm.id seq)
+    (fun () -> slot_full slot);
+  (self, slot)
+
+let contributions slot = Array.map Option.get slot.cs_contrib
+
+let collective ctx ~kind ~comm ~contrib ~compute =
+  let self, slot = arrive ctx ~kind ~comm ~contrib in
+  compute ~self (contributions slot)
+
+let collective_shared ctx ~kind ~comm ~contrib ~compute =
+  let _, slot = arrive ctx ~kind ~comm ~contrib in
+  match slot.cs_memo with
+  | Some v -> v
+  | None ->
+    let v = compute (contributions slot) in
+    slot.cs_memo <- Some v;
+    v
+
+let icollective ctx ~kind ~comm ~contrib ~compute =
+  let t = ctx.engine in
+  let self, _, slot = deposit ctx ~kind ~comm ~contrib in
+  {
+    rid = next_request_id t;
+    owner = ctx.rank;
+    state =
+      Coll_pending
+        { cr_slot = slot; cr_self = self; cr_compute = compute; cr_result = None };
+  }

@@ -1,0 +1,143 @@
+(** The deterministic MPI execution engine.
+
+    Each rank of a simulated job runs as a cooperatively scheduled fiber
+    (OCaml 5 effects). A fiber that issues a blocking MPI operation whose
+    completion condition is not yet satisfied suspends with that condition;
+    the scheduler resumes suspended fibers round-robin whenever their
+    condition becomes true. The schedule is a pure function of the program,
+    so every run of a workload produces the identical trace — a property the
+    test suite relies on.
+
+    Point-to-point sends are eager (buffered): a send enqueues its envelope
+    at the destination and completes immediately, like a buffered
+    [MPI_Send]. Receives are posted as requests and matched against
+    envelopes in (posted-order x arrival-order), honouring
+    [MPI_ANY_SOURCE]/[MPI_ANY_TAG] wildcards. Collectives rendezvous on a
+    per-communicator slot keyed by the communicator id and the per-rank
+    collective sequence number; a kind mismatch (two ranks calling different
+    collectives at the same slot) raises {!Mismatch}, and a subset of ranks
+    never arriving surfaces as {!Deadlock} — both scenarios the paper's §V-D
+    exercises. *)
+
+exception Deadlock of string
+(** No fiber can make progress; the payload describes what each live rank is
+    blocked on. *)
+
+exception Mismatch of string
+(** Collective call mismatch on a communicator slot. *)
+
+type value =
+  | Unit
+  | Int of int
+  | Ints of int array
+  | Data of bytes  (** opaque message payloads *)
+
+val value_len : value -> int
+
+type t
+(** Engine/shared state of one simulated job. *)
+
+type ctx = { engine : t; rank : int }
+(** Per-fiber context handed to rank programs. [rank] is the world rank. *)
+
+val create : ?trace:Recorder.Trace.t -> ?sched_seed:int -> nranks:int -> unit -> t
+(** Fresh engine. When [trace] is given, the high-level API in {!Mpi}
+    records every call into it. [sched_seed] (default 0) selects the
+    scheduling policy: 0 resumes ready fibers in rank order (plain
+    deterministic round-robin); any other value drives a deterministic
+    PRNG that resumes one ready fiber at a time in a seed-dependent order —
+    different seeds explore different (reproducible) interleavings. *)
+
+val nranks : t -> int
+
+val trace : t -> Recorder.Trace.t option
+
+val world : t -> Comm.t
+
+val comm_of_id : t -> int -> Comm.t
+(** Look up a live communicator; raises [Not_found] for unknown ids. *)
+
+val run : t -> (ctx -> unit) -> unit
+(** [run t program] starts one fiber per rank executing [program] and
+    schedules them to completion.
+    @raise Deadlock when no fiber can make progress.
+    @raise Mismatch on collective misuse. Exceptions raised by rank programs
+    propagate. An engine is single-shot: running it twice raises
+    [Invalid_argument]. *)
+
+(** {2 Operations (called from inside fibers)} *)
+
+val wait_until : what:string -> (unit -> bool) -> unit
+(** Suspend the calling fiber until the condition holds. Exposed for the
+    higher layers (e.g. MPI-IO's aggregator handshake). *)
+
+type status = { st_source : int; st_tag : int; st_len : int }
+
+type request
+
+val request_id : request -> int
+
+val any_source : int
+val any_tag : int
+
+val post_send : ctx -> dst:int -> tag:int -> comm:Comm.t -> value -> request
+(** Eager buffered send; the returned request is already complete. [dst] is
+    a communicator rank. *)
+
+val post_recv : ctx -> src:int -> tag:int -> comm:Comm.t -> request
+(** Post a receive; [src] is a communicator rank or {!any_source}, [tag] a
+    tag or {!any_tag}. *)
+
+val wait : ctx -> request -> status * value
+(** Block until the request completes; for a completed send the value is
+    [Unit]. *)
+
+val test : ctx -> request -> (status * value) option
+(** Non-blocking completion check (makes matching progress first). *)
+
+val collective :
+  ctx ->
+  kind:string ->
+  comm:Comm.t ->
+  contrib:value ->
+  compute:(self:int -> value array -> value) ->
+  value
+(** Generic synchronizing collective: deposit [contrib], block until every
+    member of [comm] has arrived at the same slot with the same [kind], then
+    return [compute ~self:comm_rank contributions]. *)
+
+val icollective :
+  ctx ->
+  kind:string ->
+  comm:Comm.t ->
+  contrib:value ->
+  compute:(self:int -> value array -> value) ->
+  request
+(** Non-blocking collective: deposit the contribution and return
+    immediately; the request completes (via {!wait}/{!test}) once every
+    member has arrived at the slot. [compute] must be pure — it runs once
+    per rank at completion time. *)
+
+val collective_shared :
+  ctx ->
+  kind:string ->
+  comm:Comm.t ->
+  contrib:value ->
+  compute:(value array -> value) ->
+  value
+(** Like {!collective}, but [compute] runs exactly once per slot (on the
+    first rank to unblock) and its result is memoized and returned to every
+    participant. This is how communicator creation agrees on new globally
+    unique ids. *)
+
+val alloc_comm_ids : t -> int -> int
+(** [alloc_comm_ids t n] reserves [n] consecutive communicator ids and
+    returns the first; used by [comm_split] so all ranks agree on ids.
+    Idempotence across ranks is achieved by calling it once inside a
+    collective slot (see {!Mpi.comm_split}). *)
+
+val register_comm : t -> id:int -> ranks:int array -> Comm.t
+(** Register a communicator under a pre-reserved id (or return the existing
+    registration, which must have identical ranks). *)
+
+val next_request_id : t -> int

@@ -1,0 +1,410 @@
+type ctx = Engine.ctx
+
+type status = Engine.status = { st_source : int; st_tag : int; st_len : int }
+
+type request = Engine.request
+
+let any_source = Engine.any_source
+let any_tag = Engine.any_tag
+
+let rank (ctx : ctx) = ctx.rank
+
+let traced (ctx : ctx) ~func ~args ~ret f =
+  match Engine.trace ctx.engine with
+  | None -> f ()
+  | Some tr ->
+    Recorder.Trace.intercept tr ~rank:ctx.rank ~layer:Recorder.Record.Mpi
+      ~func ~args ~ret f
+
+let i = string_of_int
+
+let ret_int = string_of_int
+let ret_unit () = "0"
+let ret_any _ = "0"
+
+let comm_rank (ctx : ctx) comm =
+  let args = [| i comm.Comm.id |] in
+  traced ctx ~func:"MPI_Comm_rank" ~args ~ret:ret_int (fun () ->
+      match Comm.rank_of_world comm ctx.rank with
+      | Some r -> r
+      | None -> invalid_arg "MPI_Comm_rank: not a member")
+
+let comm_size (ctx : ctx) comm =
+  let args = [| i comm.Comm.id |] in
+  traced ctx ~func:"MPI_Comm_size" ~args ~ret:ret_int (fun () -> Comm.size comm)
+
+let comm_world (ctx : ctx) = Engine.world ctx.engine
+
+(* ---------------------------------------------------------------- *)
+(* Point-to-point                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let send ctx ~dst ~tag ~comm data =
+  let args = [| i dst; i tag; i comm.Comm.id; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_Send" ~args ~ret:ret_unit (fun () ->
+      ignore (Engine.post_send ctx ~dst ~tag ~comm (Engine.Data data)))
+
+let value_bytes = function
+  | Engine.Data b -> b
+  | Engine.Unit -> Bytes.create 0
+  | v -> Bytes.of_string (Printf.sprintf "<%d bytes>" (Engine.value_len v))
+
+let recv ctx ~src ~tag ~comm =
+  let args = [| i src; i tag; i comm.Comm.id; "0"; "?"; "?" |] in
+  traced ctx ~func:"MPI_Recv" ~args ~ret:ret_any (fun () ->
+      let req = Engine.post_recv ctx ~src ~tag ~comm in
+      let st, v = Engine.wait ctx req in
+      args.(3) <- i st.st_len;
+      args.(4) <- i st.st_source;
+      args.(5) <- i st.st_tag;
+      (value_bytes v, st))
+
+let isend ctx ~dst ~tag ~comm data =
+  let args = [| i dst; i tag; i comm.Comm.id; i (Bytes.length data); "?" |] in
+  traced ctx ~func:"MPI_Isend" ~args ~ret:ret_any (fun () ->
+      let req = Engine.post_send ctx ~dst ~tag ~comm (Engine.Data data) in
+      args.(4) <- i (Engine.request_id req);
+      req)
+
+let irecv ctx ~src ~tag ~comm =
+  let args = [| i src; i tag; i comm.Comm.id; "?" |] in
+  traced ctx ~func:"MPI_Irecv" ~args ~ret:ret_any (fun () ->
+      let req = Engine.post_recv ctx ~src ~tag ~comm in
+      args.(3) <- i (Engine.request_id req);
+      req)
+
+let wait ctx req =
+  let args = [| i (Engine.request_id req); "?"; "?" |] in
+  traced ctx ~func:"MPI_Wait" ~args ~ret:ret_any (fun () ->
+      let st, v = Engine.wait ctx req in
+      args.(1) <- i st.st_source;
+      args.(2) <- i st.st_tag;
+      (value_bytes v, st))
+
+let join sep l = String.concat sep l
+
+let waitall ctx reqs =
+  let rids = List.map (fun r -> i (Engine.request_id r)) reqs in
+  let args = [| i (List.length reqs); join "," rids; "?" |] in
+  traced ctx ~func:"MPI_Waitall" ~args ~ret:ret_any (fun () ->
+      let results =
+        List.map
+          (fun r ->
+            let st, v = Engine.wait ctx r in
+            (value_bytes v, st))
+          reqs
+      in
+      args.(2) <-
+        join ","
+          (List.map
+             (fun (_, st) -> Printf.sprintf "%d:%d" st.st_source st.st_tag)
+             results);
+      results)
+
+let test ctx req =
+  let args = [| i (Engine.request_id req); "0"; "?"; "?" |] in
+  traced ctx ~func:"MPI_Test" ~args ~ret:ret_any (fun () ->
+      match Engine.test ctx req with
+      | Some (st, v) ->
+        args.(1) <- "1";
+        args.(2) <- i st.st_source;
+        args.(3) <- i st.st_tag;
+        Some (value_bytes v, st)
+      | None -> None)
+
+let testsome ctx reqs =
+  let rids = List.map (fun r -> i (Engine.request_id r)) reqs in
+  let args = [| i (List.length reqs); join "," rids; "0"; "" |] in
+  traced ctx ~func:"MPI_Testsome" ~args ~ret:ret_any (fun () ->
+      let completed =
+        List.filter_map
+          (fun r ->
+            match Engine.test ctx r with
+            | Some (st, v) -> Some (r, value_bytes v, st)
+            | None -> None)
+          reqs
+      in
+      args.(2) <- i (List.length completed);
+      args.(3) <-
+        join ","
+          (List.map
+             (fun (r, _, st) ->
+               Printf.sprintf "%d:%d:%d" (Engine.request_id r) st.st_source
+                 st.st_tag)
+             completed);
+      completed)
+
+(* ---------------------------------------------------------------- *)
+(* Collectives                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let barrier ctx comm =
+  let args = [| i comm.Comm.id |] in
+  traced ctx ~func:"MPI_Barrier" ~args ~ret:ret_unit (fun () ->
+      ignore
+        (Engine.collective ctx ~kind:"MPI_Barrier" ~comm ~contrib:Engine.Unit
+           ~compute:(fun ~self:_ _ -> Engine.Unit)))
+
+let bcast ctx ~root ~comm data =
+  let args = [| i comm.Comm.id; i root; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_Bcast" ~args ~ret:ret_any (fun () ->
+      let v =
+        Engine.collective ctx ~kind:"MPI_Bcast" ~comm
+          ~contrib:(Engine.Data data) ~compute:(fun ~self:_ contribs ->
+            contribs.(root))
+      in
+      value_bytes v)
+
+type reduce_op = Sum | Min | Max
+
+let op_name = function Sum -> "MPI_SUM" | Min -> "MPI_MIN" | Max -> "MPI_MAX"
+
+let op_fn = function Sum -> ( + ) | Min -> min | Max -> max
+
+let fold_ints op contribs =
+  let arrays =
+    Array.map
+      (function Engine.Ints a -> a | _ -> invalid_arg "reduce: non-int contribution")
+      contribs
+  in
+  let n = Array.length arrays.(0) in
+  Array.iter
+    (fun a ->
+      if Array.length a <> n then invalid_arg "reduce: length mismatch")
+    arrays;
+  let f = op_fn op in
+  Array.init n (fun j ->
+      let acc = ref arrays.(0).(j) in
+      for k = 1 to Array.length arrays - 1 do
+        acc := f !acc arrays.(k).(j)
+      done;
+      !acc)
+
+let reduce ctx ~root ~op ~comm data =
+  let args =
+    [| i comm.Comm.id; i root; op_name op; i (Array.length data) |]
+  in
+  traced ctx ~func:"MPI_Reduce" ~args ~ret:ret_any (fun () ->
+      let v =
+        Engine.collective ctx ~kind:"MPI_Reduce" ~comm
+          ~contrib:(Engine.Ints data) ~compute:(fun ~self contribs ->
+            if self = root then Engine.Ints (fold_ints op contribs)
+            else Engine.Unit)
+      in
+      match v with Engine.Ints a -> Some a | _ -> None)
+
+let allreduce ctx ~op ~comm data =
+  let args = [| i comm.Comm.id; op_name op; i (Array.length data) |] in
+  traced ctx ~func:"MPI_Allreduce" ~args ~ret:ret_any (fun () ->
+      let v =
+        Engine.collective ctx ~kind:"MPI_Allreduce" ~comm
+          ~contrib:(Engine.Ints data) ~compute:(fun ~self:_ contribs ->
+            Engine.Ints (fold_ints op contribs))
+      in
+      match v with Engine.Ints a -> a | _ -> assert false)
+
+let bytes_of_contribs contribs =
+  Array.map
+    (function Engine.Data b -> b | Engine.Unit -> Bytes.create 0 | _ -> Bytes.create 0)
+    contribs
+
+let gather ctx ~root ~comm data =
+  let args = [| i comm.Comm.id; i root; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_Gather" ~args ~ret:ret_any (fun () ->
+      let result = ref None in
+      ignore
+        (Engine.collective ctx ~kind:"MPI_Gather" ~comm
+           ~contrib:(Engine.Data data) ~compute:(fun ~self contribs ->
+             if self = root then result := Some (bytes_of_contribs contribs);
+             Engine.Unit));
+      !result)
+
+let allgather ctx ~comm data =
+  let args = [| i comm.Comm.id; i (Bytes.length data) |] in
+  traced ctx ~func:"MPI_Allgather" ~args ~ret:ret_any (fun () ->
+      let result = ref [||] in
+      ignore
+        (Engine.collective ctx ~kind:"MPI_Allgather" ~comm
+           ~contrib:(Engine.Data data) ~compute:(fun ~self:_ contribs ->
+             result := bytes_of_contribs contribs;
+             Engine.Unit));
+      !result)
+
+let scatter ctx ~root ~comm chunks =
+  let count =
+    match chunks with Some c -> Array.length c | None -> 0
+  in
+  let args = [| i comm.Comm.id; i root; i count |] in
+  traced ctx ~func:"MPI_Scatter" ~args ~ret:ret_any (fun () ->
+      let contrib =
+        match chunks with
+        | Some c ->
+          if Array.length c <> Comm.size comm then
+            invalid_arg "MPI_Scatter: need one chunk per rank";
+          (* Encode chunks as length-prefixed concatenation. *)
+          let buf = Buffer.create 64 in
+          Array.iter
+            (fun b ->
+              Buffer.add_string buf (Printf.sprintf "%08d" (Bytes.length b));
+              Buffer.add_bytes buf b)
+            c;
+          Engine.Data (Buffer.to_bytes buf)
+        | None -> Engine.Unit
+      in
+      let v =
+        Engine.collective ctx ~kind:"MPI_Scatter" ~comm ~contrib
+          ~compute:(fun ~self contribs ->
+            match contribs.(root) with
+            | Engine.Data packed ->
+              (* Decode the self-th chunk. *)
+              let pos = ref 0 in
+              let chunk = ref (Bytes.create 0) in
+              for k = 0 to self do
+                let len =
+                  int_of_string (Bytes.sub_string packed !pos 8)
+                in
+                pos := !pos + 8;
+                if k = self then chunk := Bytes.sub packed !pos len;
+                pos := !pos + len
+              done;
+              Engine.Data !chunk
+            | _ -> invalid_arg "MPI_Scatter: root sent no chunks")
+      in
+      value_bytes v)
+
+let alltoall ctx ~comm chunks =
+  let args = [| i comm.Comm.id; i (Array.length chunks) |] in
+  traced ctx ~func:"MPI_Alltoall" ~args ~ret:ret_any (fun () ->
+      if Array.length chunks <> Comm.size comm then
+        invalid_arg "MPI_Alltoall: need one chunk per rank";
+      let buf = Buffer.create 64 in
+      Array.iter
+        (fun b ->
+          Buffer.add_string buf (Printf.sprintf "%08d" (Bytes.length b));
+          Buffer.add_bytes buf b)
+        chunks;
+      let result = ref [||] in
+      ignore
+        (Engine.collective ctx ~kind:"MPI_Alltoall" ~comm
+           ~contrib:(Engine.Data (Buffer.to_bytes buf))
+           ~compute:(fun ~self contribs ->
+             let decode packed idx =
+               let pos = ref 0 in
+               let chunk = ref (Bytes.create 0) in
+               for k = 0 to idx do
+                 let len = int_of_string (Bytes.sub_string packed !pos 8) in
+                 pos := !pos + 8;
+                 if k = idx then chunk := Bytes.sub packed !pos len;
+                 pos := !pos + len
+               done;
+               !chunk
+             in
+             result :=
+               Array.map
+                 (function
+                   | Engine.Data packed -> decode packed self
+                   | _ -> Bytes.create 0)
+                 contribs;
+             Engine.Unit));
+      !result)
+
+(* ---------------------------------------------------------------- *)
+(* Communicator management                                           *)
+(* ---------------------------------------------------------------- *)
+
+let comm_dup ctx comm =
+  let args = [| i comm.Comm.id; "?" |] in
+  traced ctx ~func:"MPI_Comm_dup" ~args ~ret:ret_any (fun () ->
+      let v =
+        Engine.collective_shared ctx ~kind:"MPI_Comm_dup" ~comm
+          ~contrib:Engine.Unit ~compute:(fun _ ->
+            let id = Engine.alloc_comm_ids ctx.engine 1 in
+            ignore (Engine.register_comm ctx.engine ~id ~ranks:comm.Comm.ranks);
+            Engine.Int id)
+      in
+      let id = match v with Engine.Int id -> id | _ -> assert false in
+      args.(1) <- i id;
+      Engine.comm_of_id ctx.engine id)
+
+let comm_split ctx ~color ~key comm =
+  let args = [| i comm.Comm.id; i color; i key; "?" |] in
+  traced ctx ~func:"MPI_Comm_split" ~args ~ret:ret_any (fun () ->
+      let v =
+        Engine.collective_shared ctx ~kind:"MPI_Comm_split" ~comm
+          ~contrib:(Engine.Ints [| color; key |])
+          ~compute:(fun contribs ->
+            (* Group communicator ranks by color, order each group by
+               (key, rank), and register one communicator per color in
+               ascending color order. Returns [color0; id0; color1; id1 ..]. *)
+            let entries =
+              Array.to_list
+                (Array.mapi
+                   (fun r v ->
+                     match v with
+                     | Engine.Ints [| c; k |] -> (c, k, r)
+                     | _ -> invalid_arg "comm_split: bad contribution")
+                   contribs)
+            in
+            let colors =
+              List.sort_uniq compare (List.map (fun (c, _, _) -> c) entries)
+            in
+            let base = Engine.alloc_comm_ids ctx.engine (List.length colors) in
+            let mapping =
+              List.mapi
+                (fun idx c ->
+                  let members =
+                    List.filter (fun (c', _, _) -> c' = c) entries
+                    |> List.sort (fun (_, k1, r1) (_, k2, r2) ->
+                           compare (k1, r1) (k2, r2))
+                    |> List.map (fun (_, _, r) -> Comm.world_of_rank comm r)
+                  in
+                  let id = base + idx in
+                  ignore
+                    (Engine.register_comm ctx.engine ~id
+                       ~ranks:(Array.of_list members));
+                  [ c; id ])
+                colors
+            in
+            Engine.Ints (Array.of_list (List.concat mapping)))
+      in
+      let mapping = match v with Engine.Ints a -> a | _ -> assert false in
+      let rec find j =
+        if j >= Array.length mapping then
+          invalid_arg "comm_split: color not found"
+        else if mapping.(j) = color then mapping.(j + 1)
+        else find (j + 2)
+      in
+      let id = find 0 in
+      args.(3) <- i id;
+      Engine.comm_of_id ctx.engine id)
+
+let ibarrier ctx comm =
+  let args = [| i comm.Comm.id; "?" |] in
+  traced ctx ~func:"MPI_Ibarrier" ~args ~ret:ret_any (fun () ->
+      let req =
+        Engine.icollective ctx ~kind:"MPI_Ibarrier" ~comm ~contrib:Engine.Unit
+          ~compute:(fun ~self:_ _ -> Engine.Unit)
+      in
+      args.(1) <- i (Engine.request_id req);
+      req)
+
+let iallreduce ctx ~op ~comm data =
+  let args = [| i comm.Comm.id; op_name op; i (Array.length data); "?" |] in
+  traced ctx ~func:"MPI_Iallreduce" ~args ~ret:ret_any (fun () ->
+      let req =
+        Engine.icollective ctx ~kind:"MPI_Iallreduce" ~comm
+          ~contrib:(Engine.Ints data) ~compute:(fun ~self:_ contribs ->
+            Engine.Ints (fold_ints op contribs))
+      in
+      args.(3) <- i (Engine.request_id req);
+      req)
+
+let wait_ints ctx req =
+  let args = [| i (Engine.request_id req); "?"; "?" |] in
+  traced ctx ~func:"MPI_Wait" ~args ~ret:ret_any (fun () ->
+      let st, v = Engine.wait ctx req in
+      args.(1) <- i st.st_source;
+      args.(2) <- i st.st_tag;
+      match v with
+      | Engine.Ints a -> a
+      | _ -> invalid_arg "MPI_Wait: request carries no integer-array result")

@@ -1,0 +1,112 @@
+(** The MPI-like API used by applications and I/O libraries.
+
+    Every function both performs the operation on the {!Engine} and — when
+    the engine carries a trace — records an [MPI]-layer record whose
+    argument layout is a stable contract with the verifier's MPI matcher
+    (see the argument lists below). Out-parameters such as the status of a
+    wildcard receive are written into the record after the call returns,
+    mirroring how Recorder+ stores post-invocation arguments.
+
+    Traced argument layouts (all integers rendered in decimal):
+    - [MPI_Send]     [dst; tag; comm; count]
+    - [MPI_Recv]     [src; tag; comm; count; status_src; status_tag]
+    - [MPI_Isend]    [dst; tag; comm; count; rid]
+    - [MPI_Irecv]    [src; tag; comm; rid]
+    - [MPI_Wait]     [rid; status_src; status_tag]
+    - [MPI_Waitall]  [n; "rid,rid,.."; "src:tag,src:tag,.."]
+    - [MPI_Test]     [rid; flag; status_src; status_tag]
+    - [MPI_Testsome] [n; "rid,rid,.."; outcount; "rid:src:tag,.."]
+    - [MPI_Barrier / MPI_Bcast / MPI_Reduce / MPI_Allreduce / MPI_Gather /
+       MPI_Allgather / MPI_Scatter / MPI_Alltoall]
+                     [comm; (root;) count]
+    - [MPI_Comm_dup]   [comm; newcomm]
+    - [MPI_Comm_split] [comm; color; key; newcomm]
+
+    [dst]/[src] and statuses are communicator ranks; [comm] is the
+    communicator's globally unique id. *)
+
+type ctx = Engine.ctx
+
+type status = Engine.status = { st_source : int; st_tag : int; st_len : int }
+
+type request
+
+val any_source : int
+val any_tag : int
+
+val rank : ctx -> int
+(** World rank of the calling fiber (untraced accessor). *)
+
+val comm_rank : ctx -> Comm.t -> int
+(** Rank within the communicator (traced as [MPI_Comm_rank]). *)
+
+val comm_size : ctx -> Comm.t -> int
+
+val comm_world : ctx -> Comm.t
+
+(** {2 Point-to-point} *)
+
+val send : ctx -> dst:int -> tag:int -> comm:Comm.t -> bytes -> unit
+
+val recv : ctx -> src:int -> tag:int -> comm:Comm.t -> bytes * status
+(** [src] may be {!any_source} and [tag] {!any_tag}; the actual source and
+    tag are recovered from the returned status (and recorded). *)
+
+val isend : ctx -> dst:int -> tag:int -> comm:Comm.t -> bytes -> request
+
+val irecv : ctx -> src:int -> tag:int -> comm:Comm.t -> request
+
+val wait : ctx -> request -> bytes * status
+(** For a send request the bytes are empty. *)
+
+val waitall : ctx -> request list -> (bytes * status) list
+
+val test : ctx -> request -> (bytes * status) option
+
+val testsome : ctx -> request list -> (request * bytes * status) list
+(** Completed requests among the given ones (possibly none); completed
+    requests must not be waited again. *)
+
+(** {2 Collectives} *)
+
+val barrier : ctx -> Comm.t -> unit
+
+val bcast : ctx -> root:int -> comm:Comm.t -> bytes -> bytes
+(** Every rank passes a buffer; the root's is returned everywhere. *)
+
+type reduce_op = Sum | Min | Max
+
+val reduce :
+  ctx -> root:int -> op:reduce_op -> comm:Comm.t -> int array -> int array option
+(** Element-wise reduction; [Some result] at the root, [None] elsewhere. *)
+
+val allreduce : ctx -> op:reduce_op -> comm:Comm.t -> int array -> int array
+
+val gather : ctx -> root:int -> comm:Comm.t -> bytes -> bytes array option
+
+val allgather : ctx -> comm:Comm.t -> bytes -> bytes array
+
+val scatter : ctx -> root:int -> comm:Comm.t -> bytes array option -> bytes
+(** The root passes [Some chunks] (one per rank); other ranks pass [None]. *)
+
+val alltoall : ctx -> comm:Comm.t -> bytes array -> bytes array
+
+(** {2 Communicator management} *)
+
+val comm_dup : ctx -> Comm.t -> Comm.t
+
+val comm_split : ctx -> color:int -> key:int -> Comm.t -> Comm.t
+
+(** {2 Non-blocking collectives}
+
+    Traced layouts: [MPI_Ibarrier]=[comm; rid],
+    [MPI_Iallreduce]=[comm; op; count; rid]. Completion goes through
+    {!wait}/{!test}/{!waitall} like any other request. *)
+
+val ibarrier : ctx -> Comm.t -> request
+
+val iallreduce : ctx -> op:reduce_op -> comm:Comm.t -> int array -> request
+
+val wait_ints : ctx -> request -> int array
+(** Wait (traced as [MPI_Wait]) and decode an integer-array result, e.g.
+    from {!iallreduce}. Raises [Invalid_argument] for other requests. *)

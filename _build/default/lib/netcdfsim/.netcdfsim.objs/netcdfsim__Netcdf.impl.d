@@ -1,0 +1,1 @@
+lib/netcdfsim/netcdf.ml: Bytes Fun Hashtbl Hdf5sim List Mpisim Printf Recorder String

@@ -1,0 +1,1 @@
+lib/netcdfsim/netcdf.mli: Hdf5sim Mpisim Posixfs

@@ -1,0 +1,301 @@
+module E = Mpisim.Engine
+module H5 = Hdf5sim.H5
+
+exception Nc_error of string
+
+let nc_error msg = raise (Nc_error msg)
+
+type nctype = Byte | Char | Short | Int | Float | Double
+
+type saved_meta = {
+  sm_dims : (int * string * int) list;
+  sm_vars : (string * nctype * int list) list;  (* definition order *)
+}
+
+type system = {
+  sys_h5 : H5.system;
+  sys_meta : (string, saved_meta) Hashtbl.t;
+}
+
+let create_system ~fs = { sys_h5 = H5.create_system ~fs; sys_meta = Hashtbl.create 8 }
+
+let h5_system sys = sys.sys_h5
+
+let type_size = function
+  | Byte | Char -> 1
+  | Short -> 2
+  | Int | Float -> 4
+  | Double -> 8
+
+let type_suffix = function
+  | Byte -> "schar"
+  | Char -> "text"
+  | Short -> "short"
+  | Int -> "int"
+  | Float -> "float"
+  | Double -> "double"
+
+type access = Independent | Collective
+
+type var_state = {
+  vs_id : int;
+  vs_name : string;
+  vs_type : nctype;
+  vs_dims : int list;  (* dimension ids *)
+  mutable vs_access : access;
+  mutable vs_dset : H5.dataset option;  (* created at enddef *)
+}
+
+type var = var_state
+
+type t = {
+  nc_sys : system;
+  nc_path : string;
+  nc_file : H5.file;
+  mutable nc_dims : (int * string * int) list;  (* id, name, len; reversed *)
+  mutable nc_vars : var_state list;  (* reversed *)
+  mutable nc_defined : bool;
+  mutable nc_open : bool;
+}
+
+let i = string_of_int
+
+let traced (ctx : E.ctx) ~func ~args ~ret f =
+  match E.trace ctx.engine with
+  | None -> f ()
+  | Some tr ->
+    Recorder.Trace.intercept tr ~rank:ctx.rank ~layer:Recorder.Record.Netcdf
+      ~func ~args ~ret f
+
+let check_open nc = if not nc.nc_open then nc_error "file is closed"
+
+(* ---------------------------------------------------------------- *)
+(* Define mode                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let create_par ctx sys ~comm path =
+  traced ctx ~func:"nc_create_par" ~args:[| path; "NC_NETCDF4|NC_MPIIO"; i comm.Mpisim.Comm.id |]
+    ~ret:(fun _ -> "0")
+    (fun () ->
+      let file = H5.h5fcreate ctx sys.sys_h5 ~comm path in
+      {
+        nc_sys = sys;
+        nc_path = path;
+        nc_file = file;
+        nc_dims = [];
+        nc_vars = [];
+        nc_defined = false;
+        nc_open = true;
+      })
+
+let open_par ctx sys ~comm path =
+  traced ctx ~func:"nc_open_par" ~args:[| path; "NC_WRITE"; i comm.Mpisim.Comm.id |]
+    ~ret:(fun _ -> "0")
+    (fun () ->
+      let file = H5.h5fopen ctx sys.sys_h5 ~comm path in
+      let saved =
+        match Hashtbl.find_opt sys.sys_meta path with
+        | Some s -> s
+        | None -> nc_error (path ^ " is not a netCDF-4 file")
+      in
+      let vars =
+        List.mapi
+          (fun idx (name, ty, dims) ->
+            {
+              vs_id = idx;
+              vs_name = name;
+              vs_type = ty;
+              vs_dims = dims;
+              vs_access = Independent;
+              vs_dset = Some (H5.h5dopen ctx file ~name);
+            })
+          saved.sm_vars
+      in
+      {
+        nc_sys = sys;
+        nc_path = path;
+        nc_file = file;
+        nc_dims = List.rev saved.sm_dims;
+        nc_vars = List.rev vars;
+        nc_defined = true;
+        nc_open = true;
+      })
+
+let def_dim ctx nc ~name ~len =
+  traced ctx ~func:"nc_def_dim" ~args:[| name; i len |] ~ret:i (fun () ->
+      check_open nc;
+      if nc.nc_defined then nc_error "not in define mode";
+      if len <= 0 then nc_error "dimension length must be positive";
+      match List.find_opt (fun (_, n, _) -> n = name) nc.nc_dims with
+      | Some (id, _, l) ->
+        if l <> len then nc_error ("inconsistent redefinition of dim " ^ name);
+        id
+      | None ->
+        let id = List.length nc.nc_dims in
+        nc.nc_dims <- (id, name, len) :: nc.nc_dims;
+        id)
+
+let def_var ctx nc ~name ty ~dims =
+  let args =
+    [| name; type_suffix ty; String.concat "," (List.map string_of_int dims) |]
+  in
+  traced ctx ~func:"nc_def_var" ~args ~ret:(fun v -> i v.vs_id) (fun () ->
+      check_open nc;
+      if nc.nc_defined then nc_error "not in define mode";
+      match List.find_opt (fun v -> v.vs_name = name) nc.nc_vars with
+      | Some v ->
+        if v.vs_type <> ty || v.vs_dims <> dims then
+          nc_error ("inconsistent redefinition of var " ^ name);
+        v
+      | None ->
+        let v =
+          {
+            vs_id = List.length nc.nc_vars;
+            vs_name = name;
+            vs_type = ty;
+            vs_dims = dims;
+            vs_access = Independent;
+            vs_dset = None;
+          }
+        in
+        nc.nc_vars <- v :: nc.nc_vars;
+        v)
+
+let dim_len nc id =
+  match List.find_opt (fun (i', _, _) -> i' = id) nc.nc_dims with
+  | Some (_, _, len) -> len
+  | None -> nc_error "unknown dimension id"
+
+let enddef ctx nc =
+  traced ctx ~func:"nc_enddef" ~args:[||] ~ret:(fun () -> "0") (fun () ->
+      check_open nc;
+      if nc.nc_defined then nc_error "enddef called twice";
+      List.iter
+        (fun v ->
+          let dims = List.map (dim_len nc) v.vs_dims in
+          let dims = if dims = [] then [ 1 ] else dims in
+          let dset =
+            H5.h5dcreate ctx nc.nc_file ~name:v.vs_name ~dims
+              ~esize:(type_size v.vs_type)
+          in
+          v.vs_dset <- Some dset)
+        (List.rev nc.nc_vars);
+      Hashtbl.replace nc.nc_sys.sys_meta nc.nc_path
+        {
+          sm_dims = nc.nc_dims;
+          sm_vars =
+            List.rev_map (fun v -> (v.vs_name, v.vs_type, v.vs_dims)) nc.nc_vars;
+        };
+      nc.nc_defined <- true)
+
+let var_par_access ctx nc v access =
+  traced ctx ~func:"nc_var_par_access"
+    ~args:
+      [|
+        v.vs_name;
+        (match access with
+        | Independent -> "NC_INDEPENDENT"
+        | Collective -> "NC_COLLECTIVE");
+      |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      v.vs_access <- access)
+
+(* ---------------------------------------------------------------- *)
+(* Data mode                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let dset_of v =
+  match v.vs_dset with
+  | Some d -> d
+  | None -> nc_error ("variable has no storage yet (call enddef): " ^ v.vs_name)
+
+let xfer_of v =
+  match v.vs_access with
+  | Independent -> H5.Independent
+  | Collective -> H5.Collective
+
+let put_var ctx nc v data =
+  let func = Printf.sprintf "nc_put_var_%s" (type_suffix v.vs_type) in
+  traced ctx ~func ~args:[| v.vs_name; i (Bytes.length data) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      H5.h5dwrite ctx (dset_of v) (xfer_of v) data)
+
+let get_var ctx nc v =
+  let func = Printf.sprintf "nc_get_var_%s" (type_suffix v.vs_type) in
+  traced ctx ~func ~args:[| v.vs_name |] ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open nc;
+      H5.h5dread ctx (dset_of v) (xfer_of v))
+
+let put_vara ctx nc v ~start ~count data =
+  let func = Printf.sprintf "nc_put_vara_%s" (type_suffix v.vs_type) in
+  let args =
+    [|
+      v.vs_name;
+      String.concat "x" (List.map string_of_int start);
+      String.concat "x" (List.map string_of_int count);
+      i (Bytes.length data);
+    |]
+  in
+  traced ctx ~func ~args ~ret:(fun () -> "0") (fun () ->
+      check_open nc;
+      H5.h5dwrite ctx (dset_of v) ~sel:(H5.Hyperslab { start; count })
+        (xfer_of v) data)
+
+let get_vara ctx nc v ~start ~count =
+  let func = Printf.sprintf "nc_get_vara_%s" (type_suffix v.vs_type) in
+  let args =
+    [|
+      v.vs_name;
+      String.concat "x" (List.map string_of_int start);
+      String.concat "x" (List.map string_of_int count);
+    |]
+  in
+  traced ctx ~func ~args ~ret:(fun b -> i (Bytes.length b)) (fun () ->
+      check_open nc;
+      H5.h5dread ctx (dset_of v) ~sel:(H5.Hyperslab { start; count })
+        (xfer_of v))
+
+let put_att_text ctx nc ~name value =
+  traced ctx ~func:"nc_put_att_text" ~args:[| name; value |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      let a =
+        try H5.h5aopen ctx nc.nc_file ~name
+        with Failure _ ->
+          H5.h5acreate ctx nc.nc_file ~name ~size:(String.length value)
+      in
+      H5.h5awrite ctx a (Bytes.of_string value);
+      H5.h5aclose ctx a)
+
+let get_att_text ctx nc ~name =
+  traced ctx ~func:"nc_get_att_text" ~args:[| name |] ~ret:Fun.id (fun () ->
+      check_open nc;
+      let a = H5.h5aopen ctx nc.nc_file ~name in
+      let v = Bytes.to_string (H5.h5aread ctx a) in
+      H5.h5aclose ctx a;
+      v)
+
+let sync ctx nc =
+  traced ctx ~func:"nc_sync" ~args:[||] ~ret:(fun () -> "0") (fun () ->
+      check_open nc;
+      H5.h5fflush ctx nc.nc_file)
+
+let close ctx nc =
+  traced ctx ~func:"nc_close" ~args:[||] ~ret:(fun () -> "0") (fun () ->
+      check_open nc;
+      H5.h5fclose ctx nc.nc_file;
+      nc.nc_open <- false)
+
+let inq_varid ctx nc name =
+  traced ctx ~func:"nc_inq_varid" ~args:[| name |] ~ret:(fun v -> i v.vs_id)
+    (fun () ->
+      check_open nc;
+      match List.find_opt (fun v -> v.vs_name = name) nc.nc_vars with
+      | Some v -> v
+      | None -> nc_error ("no such variable: " ^ name))

@@ -1,0 +1,73 @@
+(** A simplified NetCDF-4 built on the HDF5 layer.
+
+    NetCDF-4 stores each variable as an HDF5 dataset; data calls translate
+    to [H5Dwrite]/[H5Dread], which in turn issue MPI-IO and POSIX calls —
+    producing the four-deep call chains of the paper's [parallel5] analysis
+    ([nc_put_var_schar] → [H5Dwrite] → [MPI_File_write_at] → [pwrite]).
+
+    Variable access defaults to {b independent} transfer, as in the real
+    library; {!var_par_access} switches a variable to collective. Writing a
+    whole variable concurrently from several ranks through an independent
+    put is therefore a same-bytes write-write conflict with no ordering —
+    the POSIX-level data race of paper §V-B1.
+
+    Calls are traced at layer [NETCDF] with real API names. *)
+
+type system
+
+val create_system : fs:Posixfs.Fs.t -> system
+
+val h5_system : system -> Hdf5sim.H5.system
+
+type t
+
+type nctype = Byte | Char | Short | Int | Float | Double
+
+val type_size : nctype -> int
+
+type var
+
+type access = Independent | Collective
+
+exception Nc_error of string
+
+(** {2 Define mode} *)
+
+val create_par : Mpisim.Engine.ctx -> system -> comm:Mpisim.Comm.t -> string -> t
+
+val open_par : Mpisim.Engine.ctx -> system -> comm:Mpisim.Comm.t -> string -> t
+
+val def_dim : Mpisim.Engine.ctx -> t -> name:string -> len:int -> int
+(** Returns the dimension id. *)
+
+val def_var : Mpisim.Engine.ctx -> t -> name:string -> nctype -> dims:int list -> var
+
+val enddef : Mpisim.Engine.ctx -> t -> unit
+(** Collective; creates the HDF5 datasets backing the variables. *)
+
+val var_par_access : Mpisim.Engine.ctx -> t -> var -> access -> unit
+
+(** {2 Data mode} *)
+
+val put_var : Mpisim.Engine.ctx -> t -> var -> bytes -> unit
+(** Whole-variable write ([nc_put_var_<type>]). *)
+
+val get_var : Mpisim.Engine.ctx -> t -> var -> bytes
+
+val put_vara : Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes -> unit
+
+val get_vara : Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes
+
+val put_att_text : Mpisim.Engine.ctx -> t -> name:string -> string -> unit
+(** Global text attribute, stored in the underlying HDF5 metadata region
+    (create-or-overwrite; creation is collective). *)
+
+val get_att_text : Mpisim.Engine.ctx -> t -> name:string -> string
+
+val sync : Mpisim.Engine.ctx -> t -> unit
+(** [nc_sync] → [H5Fflush] → [MPI_File_sync]. *)
+
+val close : Mpisim.Engine.ctx -> t -> unit
+
+val inq_varid : Mpisim.Engine.ctx -> t -> string -> var
+(** Look up a variable by name ([nc_inq_varid]). *)

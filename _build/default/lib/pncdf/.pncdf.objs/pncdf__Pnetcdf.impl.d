@@ -1,0 +1,1 @@
+lib/pncdf/pnetcdf.ml: Array Buffer Bytes Hashtbl List Mpiio Mpisim Posixfs Printf Recorder String

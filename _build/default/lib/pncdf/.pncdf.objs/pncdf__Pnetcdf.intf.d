@@ -1,0 +1,1 @@
+lib/pncdf/pnetcdf.mli: Mpisim Posixfs

@@ -1,0 +1,771 @@
+module E = Mpisim.Engine
+module C = Mpisim.Comm
+module F = Posixfs.Fs
+module MF = Mpiio.File
+module V = Mpiio.View
+
+exception Nc_error of string
+
+let nc_error msg = raise (Nc_error msg)
+
+type nctype = Text | Schar | Uchar | Short | Int | Float | Double | Longlong
+
+let type_size = function
+  | Text | Schar | Uchar -> 1
+  | Short -> 2
+  | Int | Float -> 4
+  | Double | Longlong -> 8
+
+let type_name = function
+  | Text -> "text"
+  | Schar -> "schar"
+  | Uchar -> "uchar"
+  | Short -> "short"
+  | Int -> "int"
+  | Float -> "float"
+  | Double -> "double"
+  | Longlong -> "longlong"
+
+type dim = { dim_id : int; dim_name : string; dim_len : int }
+
+type var_info = {
+  v_id : int;
+  v_name : string;
+  v_type : nctype;
+  v_dims : dim array;
+  mutable v_off : int;
+      (* assigned at enddef: absolute file offset for fixed variables,
+         offset within one record block for record variables *)
+}
+
+let is_record_var v =
+  Array.length v.v_dims > 0 && v.v_dims.(0).dim_len = 0
+
+type var = int  (* variable id *)
+
+type file_meta = {
+  m_path : string;
+  mutable m_dims : dim list;  (* reverse definition order *)
+  mutable m_vars : var_info list;  (* reverse definition order *)
+  mutable m_atts : (string * string) list;
+  mutable m_fill : bool;
+  mutable m_defined : bool;  (* enddef has run *)
+  mutable m_header_size : int;
+  mutable m_begin_rec : int;  (* file offset of the first record block *)
+  mutable m_recsize : int;  (* bytes per record across all record vars *)
+  mutable m_numrecs : int;  (* last globally reconciled record count *)
+}
+
+type system = {
+  sys_fs : F.t;
+  sys_meta : (string, file_meta) Hashtbl.t;
+  sys_bug_split_wait : bool;
+}
+
+let create_system ?(bug_split_wait = false) ~fs () =
+  { sys_fs = fs; sys_meta = Hashtbl.create 8; sys_bug_split_wait = bug_split_wait }
+
+type pending = {
+  p_var : var_info;
+  p_start : int array;
+  p_count : int array;
+  p_data : bytes;  (* payload for puts; ignored for gets *)
+  p_is_get : bool;
+  p_req : int;
+}
+
+type t = {
+  nc_sys : system;
+  nc_meta : file_meta;
+  nc_comm : C.t;
+  nc_mf : MF.t;
+  mutable nc_mode : [ `Define | `Data | `Indep ];
+  mutable nc_pending : pending list;  (* queued non-blocking ops, oldest first *)
+  mutable nc_results : (int * bytes) list;  (* completed iget payloads *)
+  mutable nc_next_req : int;
+  mutable nc_numrecs : int;
+      (* this rank's view of the record count — like the real library,
+         ranks drift apart until ncmpi_sync_numrecs reconciles them *)
+  mutable nc_open : bool;
+}
+
+type request = int
+
+let i = string_of_int
+
+let traced (ctx : E.ctx) ~func ~args ~ret f =
+  match E.trace ctx.engine with
+  | None -> f ()
+  | Some tr ->
+    Recorder.Trace.intercept tr ~rank:ctx.rank ~layer:Recorder.Record.Pnetcdf
+      ~func ~args ~ret f
+
+let check_open nc = if not nc.nc_open then nc_error "file is closed"
+
+let check_data_mode nc =
+  check_open nc;
+  if nc.nc_mode = `Define then nc_error "file is in define mode"
+
+let find_var nc vid =
+  match List.find_opt (fun v -> v.v_id = vid) nc.nc_meta.m_vars with
+  | Some v -> v
+  | None -> nc_error "unknown variable id"
+
+(* ---------------------------------------------------------------- *)
+(* Define mode                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let create ctx sys ~comm path =
+  traced ctx ~func:"ncmpi_create" ~args:[| i comm.C.id; path; "NC_CLOBBER" |]
+    ~ret:(fun nc -> i (MF.handle_id nc.nc_mf))
+    (fun () ->
+      ignore
+        (E.collective_shared ctx ~kind:"ncmpi_create" ~comm ~contrib:E.Unit
+           ~compute:(fun _ ->
+             Hashtbl.replace sys.sys_meta path
+               {
+                 m_path = path;
+                 m_dims = [];
+                 m_vars = [];
+                 m_atts = [];
+                 m_fill = false;
+                 m_defined = false;
+                 m_header_size = 0;
+                 m_begin_rec = 0;
+                 m_recsize = 0;
+                 m_numrecs = 0;
+               };
+             E.Unit));
+      let mf = MF.open_ ctx ~comm ~fs:sys.sys_fs ~amode:[ MF.Create; MF.Rdwr ] path in
+      {
+        nc_sys = sys;
+        nc_meta = Hashtbl.find sys.sys_meta path;
+        nc_comm = comm;
+        nc_mf = mf;
+        nc_mode = `Define;
+        nc_pending = [];
+        nc_results = [];
+        nc_next_req = 0;
+        nc_numrecs = 0;
+        nc_open = true;
+      })
+
+let open_ ctx sys ~comm path =
+  traced ctx ~func:"ncmpi_open" ~args:[| i comm.C.id; path; "NC_WRITE" |]
+    ~ret:(fun nc -> i (MF.handle_id nc.nc_mf))
+    (fun () ->
+      let meta =
+        match Hashtbl.find_opt sys.sys_meta path with
+        | Some m when m.m_defined -> m
+        | Some _ -> nc_error (path ^ " was never fully defined")
+        | None -> nc_error (path ^ " is not a netCDF file")
+      in
+      let mf = MF.open_ ctx ~comm ~fs:sys.sys_fs ~amode:[ MF.Rdwr ] path in
+      {
+        nc_sys = sys;
+        nc_meta = meta;
+        nc_comm = comm;
+        nc_mf = mf;
+        nc_mode = `Data;
+        nc_pending = [];
+        nc_results = [];
+        nc_next_req = 0;
+        nc_numrecs = meta.m_numrecs;
+        nc_open = true;
+      })
+
+(* Define-mode calls are made identically by every rank; the first caller
+   registers, later callers must find a consistent definition. *)
+let def_dim ctx nc ~name ~len =
+  traced ctx ~func:"ncmpi_def_dim" ~args:[| name; i len |]
+    ~ret:(fun d -> i d.dim_id)
+    (fun () ->
+      check_open nc;
+      if nc.nc_mode <> `Define then nc_error "not in define mode";
+      if len < 0 then nc_error "dimension length must be non-negative";
+      let meta = nc.nc_meta in
+      match List.find_opt (fun d -> d.dim_name = name) meta.m_dims with
+      | Some d ->
+        if d.dim_len <> len then nc_error ("inconsistent redefinition of dim " ^ name);
+        d
+      | None ->
+        if len = 0 && List.exists (fun d -> d.dim_len = 0) meta.m_dims then
+          nc_error "only one NC_UNLIMITED dimension per file";
+        let d = { dim_id = List.length meta.m_dims; dim_name = name; dim_len = len } in
+        meta.m_dims <- d :: meta.m_dims;
+        d)
+
+let def_var ctx nc ~name ty ~dims =
+  let args =
+    [| name; type_name ty; String.concat "," (List.map (fun d -> d.dim_name) dims) |]
+  in
+  traced ctx ~func:"ncmpi_def_var" ~args ~ret:(fun v -> i v) (fun () ->
+      check_open nc;
+      if nc.nc_mode <> `Define then nc_error "not in define mode";
+      let meta = nc.nc_meta in
+      match List.find_opt (fun v -> v.v_name = name) meta.m_vars with
+      | Some v ->
+        if v.v_type <> ty || Array.to_list v.v_dims <> dims then
+          nc_error ("inconsistent redefinition of var " ^ name);
+        v.v_id
+      | None ->
+        List.iteri
+          (fun k d ->
+            if k > 0 && d.dim_len = 0 then
+              nc_error "NC_UNLIMITED must be the first dimension")
+          dims;
+        let v =
+          {
+            v_id = List.length meta.m_vars;
+            v_name = name;
+            v_type = ty;
+            v_dims = Array.of_list dims;
+            v_off = -1;
+          }
+        in
+        meta.m_vars <- v :: meta.m_vars;
+        v.v_id)
+
+let put_att_text ctx nc ~name value =
+  traced ctx ~func:"ncmpi_put_att_text" ~args:[| name; value |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      if nc.nc_mode <> `Define then nc_error "not in define mode";
+      if not (List.mem_assoc name nc.nc_meta.m_atts) then
+        nc.nc_meta.m_atts <- (name, value) :: nc.nc_meta.m_atts)
+
+let set_fill ctx nc fill =
+  traced ctx ~func:"ncmpi_set_fill"
+    ~args:[| (if fill then "NC_FILL" else "NC_NOFILL") |] ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      nc.nc_meta.m_fill <- fill)
+
+(* Bytes of one record of a record variable (the product of the non-record
+   dimensions), or of the whole variable when fixed-size. *)
+let record_chunk_bytes v =
+  let n = Array.length v.v_dims in
+  let elems = ref 1 in
+  for k = 1 to n - 1 do
+    elems := !elems * v.v_dims.(k).dim_len
+  done;
+  !elems * type_size v.v_type
+
+let var_nbytes v =
+  if is_record_var v then record_chunk_bytes v
+  else Array.fold_left (fun acc d -> acc * d.dim_len) 1 v.v_dims * type_size v.v_type
+
+(* CDF-style layout: a generously padded header (headroom so redef can add
+   metadata without moving data, like PnetCDF's h_minfree reservation), the
+   fixed variables in definition order, then the record section, where
+   record r holds one record chunk of every record variable, interleaved.
+
+   On re-entry from ncmpi_redef, variables that already have storage keep
+   their offsets; new fixed variables are appended after the last fixed
+   variable. New record variables may only be added while no record exists
+   (adding one later would change the record stride under live data). *)
+let header_headroom = 4096
+
+let compute_layout meta =
+  let fixed, records =
+    List.partition (fun v -> not (is_record_var v)) (List.rev meta.m_vars)
+  in
+  if meta.m_header_size = 0 then meta.m_header_size <- header_headroom;
+  let needed =
+    512 + (64 * List.length meta.m_vars) + (32 * List.length meta.m_atts)
+  in
+  if needed > meta.m_header_size then
+    nc_error "header headroom exhausted (too many redef additions)";
+  let off = ref meta.m_header_size in
+  List.iter
+    (fun v ->
+      if v.v_off >= 0 then off := max !off (v.v_off + var_nbytes v)
+      else begin
+        v.v_off <- !off;
+        off := !off + var_nbytes v
+      end)
+    fixed;
+  (* The record-section origin only becomes a hard wall once record
+     variables exist; until then it tracks the end of the fixed section. *)
+  (match records with
+  | [] -> meta.m_begin_rec <- !off
+  | _ ->
+    if meta.m_begin_rec = 0 || not (List.exists (fun v -> v.v_off >= 0) records)
+    then meta.m_begin_rec <- max meta.m_begin_rec !off
+    else if !off > meta.m_begin_rec then
+      nc_error "cannot grow the fixed section under the record section");
+  let rec_off = ref 0 in
+  List.iter
+    (fun v ->
+      if v.v_off >= 0 then rec_off := max !rec_off (v.v_off + record_chunk_bytes v)
+      else if meta.m_numrecs > 0 then
+        nc_error "cannot add record variables once records exist"
+      else begin
+        v.v_off <- !rec_off;
+        rec_off := !rec_off + record_chunk_bytes v
+      end)
+    records;
+  meta.m_recsize <- max meta.m_recsize !rec_off
+
+let fill_byte = '\x00'
+
+let enddef ctx nc =
+  traced ctx ~func:"ncmpi_enddef" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      if nc.nc_mode <> `Define then nc_error "not in define mode";
+      ignore
+        (E.collective_shared ctx ~kind:"ncmpi_enddef" ~comm:nc.nc_comm
+           ~contrib:E.Unit
+           ~compute:(fun _ ->
+             compute_layout nc.nc_meta;
+             nc.nc_meta.m_defined <- true;
+             E.Unit));
+      let meta = nc.nc_meta in
+      (* Rank 0 writes the header. *)
+      if C.rank_of_world nc.nc_comm ctx.E.rank = Some 0 then begin
+        let hdr = Buffer.create meta.m_header_size in
+        Buffer.add_string hdr "CDF2";
+        List.iter
+          (fun (v : var_info) ->
+            Buffer.add_string hdr
+              (Printf.sprintf "[var %s %s %d]" v.v_name (type_name v.v_type)
+                 v.v_off))
+          (List.rev meta.m_vars);
+        List.iter
+          (fun (k, v) -> Buffer.add_string hdr (Printf.sprintf "[att %s=%s]" k v))
+          (List.rev meta.m_atts);
+        let pad = meta.m_header_size - Buffer.length hdr in
+        if pad > 0 then Buffer.add_string hdr (String.make pad '\000');
+        MF.write_at ctx nc.nc_mf ~off:0 (Buffer.to_bytes hdr)
+      end;
+      (* Fill phase: every rank writes its partition of every variable. *)
+      if meta.m_fill then begin
+        let nranks = C.size nc.nc_comm in
+        let self =
+          match C.rank_of_world nc.nc_comm ctx.E.rank with
+          | Some r -> r
+          | None -> nc_error "caller not in communicator"
+        in
+        List.iter
+          (fun v ->
+            let total = var_nbytes v in
+            let chunk = (total + nranks - 1) / nranks in
+            let lo = min total (self * chunk) in
+            let hi = min total (lo + chunk) in
+            MF.set_view_quiet nc.nc_mf V.default;
+            MF.write_at_all ctx nc.nc_mf ~off:(v.v_off + lo)
+              (Bytes.make (hi - lo) fill_byte))
+          (List.filter (fun v -> not (is_record_var v)) (List.rev meta.m_vars))
+      end;
+      nc.nc_mode <- `Data)
+
+(* ---------------------------------------------------------------- *)
+(* Data mode: selection mapping                                       *)
+(* ---------------------------------------------------------------- *)
+
+type mapped = Contig of { off : int; len : int } | Rows of { view : V.t; len : int }
+
+let map_selection ?meta v ~start ~count =
+  let nd = Array.length v.v_dims in
+  if Array.length start <> nd || Array.length count <> nd then
+    nc_error "start/count rank mismatch";
+  Array.iteri
+    (fun k s ->
+      let unlimited = k = 0 && is_record_var v in
+      if
+        s < 0 || count.(k) < 0
+        || ((not unlimited) && s + count.(k) > v.v_dims.(k).dim_len)
+      then nc_error "index exceeds dimension bound")
+    start;
+  if is_record_var v then begin
+    let meta =
+      match meta with
+      | Some m -> m
+      | None -> nc_error "record variable access requires file metadata"
+    in
+    (* Each record holds one chunk of the variable; multi-record accesses
+       stride by the record size across the record section. *)
+    let chunk = record_chunk_bytes v in
+    let full_chunk =
+      let rec check k = k >= nd || (start.(k) = 0 && count.(k) = v.v_dims.(k).dim_len && check (k + 1)) in
+      check 1
+    in
+    let base = meta.m_begin_rec + (start.(0) * meta.m_recsize) + v.v_off in
+    if count.(0) = 0 then Contig { off = base; len = 0 }
+    else if count.(0) = 1 then begin
+      (* A single record: an in-chunk sub-selection linearizes like a fixed
+         variable restricted to dims 1.. *)
+      if full_chunk then Contig { off = base; len = chunk }
+      else if nd = 2 then
+        Contig
+          {
+            off = base + (start.(1) * type_size v.v_type);
+            len = count.(1) * type_size v.v_type;
+          }
+      else nc_error "unsupported record selection shape"
+    end
+    else if full_chunk then
+      Rows
+        {
+          view =
+            V.make ~disp:base
+              (V.Strided { blocklen = chunk; stride = meta.m_recsize });
+          len = count.(0) * chunk;
+        }
+    else nc_error "multi-record selections must take whole records"
+  end
+  else
+  let esize = type_size v.v_type in
+  let lin idx =
+    let acc = ref 0 in
+    for k = 0 to nd - 1 do
+      acc := (!acc * v.v_dims.(k).dim_len) + idx.(k)
+    done;
+    !acc
+  in
+  let nelems = Array.fold_left ( * ) 1 count in
+  let full_tail =
+    let rec check k =
+      k >= nd || (start.(k) = 0 && count.(k) = v.v_dims.(k).dim_len && check (k + 1))
+    in
+    check 1
+  in
+  if nd <= 1 || full_tail || nelems = 0 || (nd = 2 && count.(0) = 1) then
+    (* A single (partial) row is one contiguous run. *)
+    Contig { off = v.v_off + (lin start * esize); len = nelems * esize }
+  else if nd = 2 && count.(1) < v.v_dims.(1).dim_len then
+    Rows
+      {
+        view =
+          V.make
+            ~disp:(v.v_off + (lin start * esize))
+            (V.Strided
+               {
+                 blocklen = count.(1) * esize;
+                 stride = v.v_dims.(1).dim_len * esize;
+               });
+        len = nelems * esize;
+      }
+  else nc_error "unsupported selection shape (only 2-D partial rows)"
+
+let sc_args v ~start ~count extra =
+  Array.append
+    [|
+      v.v_name;
+      String.concat "x" (Array.to_list (Array.map string_of_int start));
+      String.concat "x" (Array.to_list (Array.map string_of_int count));
+    |]
+    extra
+
+let do_write ctx nc v ~start ~count ~collective data =
+  if is_record_var v then
+    nc.nc_numrecs <- max nc.nc_numrecs (start.(0) + count.(0));
+  let m = map_selection ~meta:nc.nc_meta v ~start ~count in
+  let len = match m with Contig { len; _ } | Rows { len; _ } -> len in
+  if Bytes.length data <> len then
+    nc_error
+      (Printf.sprintf "buffer size %d does not match selection size %d"
+         (Bytes.length data) len);
+  match (m, collective) with
+  | Contig { off; _ }, false ->
+    MF.set_view_quiet nc.nc_mf V.default;
+    MF.write_at ctx nc.nc_mf ~off data
+  | Contig { off; _ }, true ->
+    MF.set_view_quiet nc.nc_mf V.default;
+    MF.write_at_all ctx nc.nc_mf ~off data
+  | Rows { view; _ }, false ->
+    MF.set_view_quiet nc.nc_mf view;
+    MF.write_at ctx nc.nc_mf ~off:0 data
+  | Rows { view; _ }, true ->
+    (* The real library adjusts the file view before the collective write —
+       the step that enables two-phase aggregation. *)
+    MF.set_view ctx nc.nc_mf view;
+    MF.write_at_all ctx nc.nc_mf ~off:0 data
+
+let do_read ctx nc v ~start ~count ~collective =
+  if is_record_var v && start.(0) + count.(0) > nc.nc_numrecs then
+    nc_error "read past the last record";
+  let m = map_selection ~meta:nc.nc_meta v ~start ~count in
+  match (m, collective) with
+  | Contig { off; len }, false ->
+    MF.set_view_quiet nc.nc_mf V.default;
+    MF.read_at ctx nc.nc_mf ~off ~len
+  | Contig { off; len }, true ->
+    MF.set_view_quiet nc.nc_mf V.default;
+    MF.read_at_all ctx nc.nc_mf ~off ~len
+  | Rows { view; len }, false ->
+    MF.set_view_quiet nc.nc_mf view;
+    MF.read_at ctx nc.nc_mf ~off:0 ~len
+  | Rows { view; len }, true ->
+    MF.set_view ctx nc.nc_mf view;
+    MF.read_at_all ctx nc.nc_mf ~off:0 ~len
+
+let put_vara_all ctx nc vid ~start ~count data =
+  let v = find_var nc vid in
+  let start = Array.of_list start and count = Array.of_list count in
+  let func = Printf.sprintf "ncmpi_put_vara_%s_all" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [| i (Bytes.length data) |])
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_data_mode nc;
+      do_write ctx nc v ~start ~count ~collective:true data)
+
+let put_vara ctx nc vid ~start ~count data =
+  let v = find_var nc vid in
+  let start = Array.of_list start and count = Array.of_list count in
+  let func = Printf.sprintf "ncmpi_put_vara_%s" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [| i (Bytes.length data) |])
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_data_mode nc;
+      if nc.nc_mode <> `Indep then nc_error "independent access requires begin_indep";
+      do_write ctx nc v ~start ~count ~collective:false data)
+
+let get_vara_all ctx nc vid ~start ~count =
+  let v = find_var nc vid in
+  let start = Array.of_list start and count = Array.of_list count in
+  let func = Printf.sprintf "ncmpi_get_vara_%s_all" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [||])
+    ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_data_mode nc;
+      do_read ctx nc v ~start ~count ~collective:true)
+
+let get_vara ctx nc vid ~start ~count =
+  let v = find_var nc vid in
+  let start = Array.of_list start and count = Array.of_list count in
+  let func = Printf.sprintf "ncmpi_get_vara_%s" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [||])
+    ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_data_mode nc;
+      if nc.nc_mode <> `Indep then nc_error "independent access requires begin_indep";
+      do_read ctx nc v ~start ~count ~collective:false)
+
+let put_var1_all ctx nc vid ~index data =
+  let v = find_var nc vid in
+  let start = Array.of_list index in
+  let count = Array.make (Array.length start) 1 in
+  let func = Printf.sprintf "ncmpi_put_var1_%s_all" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [| i (Bytes.length data) |])
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_data_mode nc;
+      do_write ctx nc v ~start ~count ~collective:true data)
+
+let whole_var v =
+  let start = Array.make (Array.length v.v_dims) 0 in
+  let count = Array.map (fun d -> d.dim_len) v.v_dims in
+  (start, count)
+
+let put_var_all ctx nc vid data =
+  let v = find_var nc vid in
+  let start, count = whole_var v in
+  let func = Printf.sprintf "ncmpi_put_var_%s_all" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [| i (Bytes.length data) |])
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_data_mode nc;
+      do_write ctx nc v ~start ~count ~collective:true data)
+
+let get_var_all ctx nc vid =
+  let v = find_var nc vid in
+  let start, count = whole_var v in
+  let func = Printf.sprintf "ncmpi_get_var_%s_all" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [||])
+    ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_data_mode nc;
+      do_read ctx nc v ~start ~count ~collective:true)
+
+let redef ctx nc =
+  traced ctx ~func:"ncmpi_redef" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      if nc.nc_mode <> `Data then nc_error "redef requires data mode";
+      ignore
+        (E.collective_shared ctx ~kind:"ncmpi_redef" ~comm:nc.nc_comm
+           ~contrib:(E.Ints [| nc.nc_numrecs |])
+           ~compute:(fun contribs ->
+             (* Reconcile the record count so layout rules in the coming
+                enddef see every rank's records. *)
+             Array.iter
+               (fun v ->
+                 match v with
+                 | E.Ints [| n |] ->
+                   nc.nc_meta.m_numrecs <- max nc.nc_meta.m_numrecs n
+                 | _ -> ())
+               contribs;
+             nc.nc_meta.m_defined <- false;
+             E.Unit));
+      nc.nc_numrecs <- max nc.nc_numrecs nc.nc_meta.m_numrecs;
+      nc.nc_mode <- `Define)
+
+let begin_indep ctx nc =
+  traced ctx ~func:"ncmpi_begin_indep_data" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_data_mode nc;
+      nc.nc_mode <- `Indep)
+
+let end_indep ctx nc =
+  traced ctx ~func:"ncmpi_end_indep_data" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      if nc.nc_mode <> `Indep then nc_error "not in independent mode";
+      nc.nc_mode <- `Data)
+
+(* ---------------------------------------------------------------- *)
+(* Non-blocking                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let iput_vara ctx nc vid ~start ~count data =
+  let v = find_var nc vid in
+  let start = Array.of_list start and count = Array.of_list count in
+  let func = Printf.sprintf "ncmpi_iput_vara_%s" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [| "?" |]) ~ret:i (fun () ->
+      check_data_mode nc;
+      (* Validate now; execution happens at wait time. *)
+      ignore (map_selection ~meta:nc.nc_meta v ~start ~count);
+      let req = nc.nc_next_req in
+      nc.nc_next_req <- req + 1;
+      nc.nc_pending <-
+        nc.nc_pending
+        @ [ { p_var = v; p_start = start; p_count = count; p_data = data;
+              p_is_get = false; p_req = req } ];
+      req)
+
+let iget_vara ctx nc vid ~start ~count =
+  let v = find_var nc vid in
+  let start = Array.of_list start and count = Array.of_list count in
+  let func = Printf.sprintf "ncmpi_iget_vara_%s" (type_name v.v_type) in
+  traced ctx ~func ~args:(sc_args v ~start ~count [| "?" |]) ~ret:i (fun () ->
+      check_data_mode nc;
+      ignore (map_selection ~meta:nc.nc_meta v ~start ~count);
+      let req = nc.nc_next_req in
+      nc.nc_next_req <- req + 1;
+      nc.nc_pending <-
+        nc.nc_pending
+        @ [ { p_var = v; p_start = start; p_count = count;
+              p_data = Bytes.create 0; p_is_get = true; p_req = req } ];
+      req)
+
+let iget_result nc req =
+  match List.assoc_opt req nc.nc_results with
+  | Some data ->
+    nc.nc_results <- List.remove_assoc req nc.nc_results;
+    data
+  | None -> nc_error "no completed iget result for this request (wait first)"
+
+let wait_all ctx nc reqs =
+  let args =
+    [| i (List.length reqs); String.concat "," (List.map string_of_int reqs) |]
+  in
+  traced ctx ~func:"ncmpi_wait_all" ~args ~ret:(fun () -> "0") (fun () ->
+      check_data_mode nc;
+      let todo, keep =
+        List.partition (fun p -> List.mem p.p_req reqs) nc.nc_pending
+      in
+      nc.nc_pending <- keep;
+      List.iter
+        (fun p ->
+          if p.p_is_get then
+            nc.nc_results <-
+              ( p.p_req,
+                do_read ctx nc p.p_var ~start:p.p_start ~count:p.p_count
+                  ~collective:true )
+              :: nc.nc_results
+          else if nc.nc_sys.sys_bug_split_wait then begin
+            (* The implementation bug of paper §V-D: the code path splits,
+               rank 0 issuing MPI_File_write_at_all while other ranks issue
+               MPI_File_write_all — a collective mismatch. *)
+            let m =
+              map_selection ~meta:nc.nc_meta p.p_var ~start:p.p_start
+                ~count:p.p_count
+            in
+            match m with
+            | Contig { off; _ } ->
+              if C.rank_of_world nc.nc_comm ctx.E.rank = Some 0 then begin
+                MF.set_view_quiet nc.nc_mf V.default;
+                MF.write_at_all ctx nc.nc_mf ~off p.p_data
+              end
+              else begin
+                MF.set_view_quiet nc.nc_mf V.default;
+                ignore (MF.seek ctx nc.nc_mf ~off F.SEEK_SET);
+                MF.write_all ctx nc.nc_mf p.p_data
+              end
+            | Rows _ -> nc_error "bug path only models contiguous requests"
+          end
+          else
+            do_write ctx nc p.p_var ~start:p.p_start ~count:p.p_count
+              ~collective:true p.p_data)
+        todo)
+
+(* ---------------------------------------------------------------- *)
+(* Sync & teardown                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let sync ctx nc =
+  traced ctx ~func:"ncmpi_sync" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      MF.sync ctx nc.nc_mf)
+
+let close ctx nc =
+  traced ctx ~func:"ncmpi_close" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_open nc;
+      if nc.nc_pending <> [] then nc_error "close with pending non-blocking requests";
+      nc.nc_meta.m_numrecs <- max nc.nc_meta.m_numrecs nc.nc_numrecs;
+      MF.close ctx nc.nc_mf;
+      nc.nc_open <- false)
+
+let var_offset nc vid =
+  let v = find_var nc vid in
+  if not nc.nc_meta.m_defined then nc_error "layout not computed yet (call enddef)";
+  if is_record_var v then nc.nc_meta.m_begin_rec + v.v_off else v.v_off
+
+let var_byte_size nc vid = var_nbytes (find_var nc vid)
+
+let inq_num_recs ctx nc =
+  traced ctx ~func:"ncmpi_inq_num_rec_vars" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:i
+    (fun () ->
+      check_open nc;
+      nc.nc_numrecs)
+
+let sync_numrecs ctx nc =
+  traced ctx ~func:"ncmpi_sync_numrecs" ~args:[| i (MF.handle_id nc.nc_mf) |]
+    ~ret:(fun () -> "0")
+    (fun () ->
+      check_data_mode nc;
+      (* Collective: agree on the record count, then rank 0 rewrites the
+         numrecs field of the header. *)
+      let agreed =
+        match
+          E.collective ctx ~kind:"ncmpi_sync_numrecs" ~comm:nc.nc_comm
+            ~contrib:(E.Ints [| nc.nc_numrecs |])
+            ~compute:(fun ~self:_ contribs ->
+              E.Int
+                (Array.fold_left
+                   (fun acc v ->
+                     match v with E.Ints [| n |] -> max acc n | _ -> acc)
+                   0 contribs))
+        with
+        | E.Int n -> n
+        | _ -> assert false
+      in
+      nc.nc_numrecs <- agreed;
+      nc.nc_meta.m_numrecs <- agreed;
+      if C.rank_of_world nc.nc_comm ctx.E.rank = Some 0 then begin
+        MF.set_view_quiet nc.nc_mf V.default;
+        MF.write_at ctx nc.nc_mf ~off:4
+          (Bytes.of_string (Printf.sprintf "%08d" agreed))
+      end)

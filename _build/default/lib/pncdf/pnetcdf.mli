@@ -1,0 +1,159 @@
+(** A simplified PnetCDF built directly on the MPI-IO layer.
+
+    The model mirrors the pieces of the real library that the paper's
+    evaluation exercises:
+
+    - {b define mode / data mode}: dimensions, typed variables and
+      attributes are declared in define mode; {!enddef} computes the CDF
+      file layout (header followed by the variables in definition order),
+      writes the header (rank 0) and — when fill mode is on — fills every
+      variable collectively, each rank writing a distinct partition
+      ([MPI_File_write_at_all], no aggregation);
+    - {b collective data access}: [put_vara_all] on a partial-row 2-D
+      selection installs a strided MPI file view, which makes the MPI-IO
+      layer's collective buffering aggregate the write at rank 0 — the
+      exact sequence (fill at enddef, then aggregated rewrite) behind the
+      [flexible] data race of paper Fig. 5;
+    - {b non-blocking operations}: [iput_vara] queues a write, [wait_all]
+      executes the queue with collective I/O. The constructor's
+      [bug_split_wait] flag reproduces the implementation bug of §V-D:
+      during [wait_all] rank 0 issues [MPI_File_write_at_all] while the
+      other ranks issue [MPI_File_write_all], an unmatched-collective
+      error;
+    - like the real library, {b no [MPI_File_sync] is issued on data
+      paths}; only {!sync} maps to it.
+
+    Calls are traced at layer [PNETCDF] with their real API names
+    (e.g. [ncmpi_put_vara_int_all]), nesting MPI-IO and POSIX children. *)
+
+type system
+
+val create_system : ?bug_split_wait:bool -> fs:Posixfs.Fs.t -> unit -> system
+
+type t
+(** A per-rank handle to an open netCDF file. *)
+
+type nctype =
+  | Text
+  | Schar
+  | Uchar
+  | Short
+  | Int
+  | Float
+  | Double
+  | Longlong
+
+val type_size : nctype -> int
+
+val type_name : nctype -> string
+(** The API-suffix spelling: "text", "schar", ... *)
+
+type dim
+
+type var
+
+exception Nc_error of string
+
+(** {2 Define mode} *)
+
+val create : Mpisim.Engine.ctx -> system -> comm:Mpisim.Comm.t -> string -> t
+(** [ncmpi_create]: collective; the file starts in define mode. *)
+
+val open_ : Mpisim.Engine.ctx -> system -> comm:Mpisim.Comm.t -> string -> t
+(** [ncmpi_open]: collective; the file starts in data mode. *)
+
+val def_dim : Mpisim.Engine.ctx -> t -> name:string -> len:int -> dim
+
+val def_var :
+  Mpisim.Engine.ctx -> t -> name:string -> nctype -> dims:dim list -> var
+
+val put_att_text : Mpisim.Engine.ctx -> t -> name:string -> string -> unit
+
+val set_fill : Mpisim.Engine.ctx -> t -> bool -> unit
+(** Default: no fill. *)
+
+val enddef : Mpisim.Engine.ctx -> t -> unit
+
+(** {2 Data mode}
+
+    [start]/[count] are element-indexed per dimension. Data buffers are raw
+    bytes of exactly [product count * type_size] bytes. *)
+
+val put_vara_all :
+  Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes -> unit
+
+val put_vara :
+  Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes -> unit
+(** Independent variant (requires {!begin_indep} first). *)
+
+val get_vara_all :
+  Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes
+
+val get_vara :
+  Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes
+
+val put_var1_all : Mpisim.Engine.ctx -> t -> var -> index:int list -> bytes -> unit
+
+val put_var_all : Mpisim.Engine.ctx -> t -> var -> bytes -> unit
+(** Write the entire variable. *)
+
+val get_var_all : Mpisim.Engine.ctx -> t -> var -> bytes
+
+val redef : Mpisim.Engine.ctx -> t -> unit
+(** [ncmpi_redef]: re-enter define mode to add dimensions/variables/
+    attributes. Existing variables keep their storage (the header is
+    created with headroom, like PnetCDF's reservation); new fixed
+    variables are appended after the fixed section, and record variables
+    can only be added while no record has been written. The following
+    {!enddef} re-runs the layout and header write. *)
+
+val begin_indep : Mpisim.Engine.ctx -> t -> unit
+
+val end_indep : Mpisim.Engine.ctx -> t -> unit
+
+(** {2 Non-blocking} *)
+
+type request
+
+val iput_vara :
+  Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> bytes -> request
+
+val iget_vara :
+  Mpisim.Engine.ctx -> t -> var -> start:int list -> count:int list -> request
+(** Non-blocking read; the data materialises at {!wait_all} and is fetched
+    with {!iget_result}. *)
+
+val iget_result : t -> request -> bytes
+(** The payload of a completed non-blocking read. Each result can be
+    fetched once; raises {!Nc_error} if the request has not completed. *)
+
+val wait_all : Mpisim.Engine.ctx -> t -> request list -> unit
+
+(** {2 Synchronization & teardown} *)
+
+val sync : Mpisim.Engine.ctx -> t -> unit
+(** [ncmpi_sync] — the only call mapping to [MPI_File_sync]. *)
+
+val close : Mpisim.Engine.ctx -> t -> unit
+
+(** {2 Introspection} *)
+
+val var_offset : t -> var -> int
+(** File offset of the variable's data (after {!enddef}). *)
+
+val var_byte_size : t -> var -> int
+
+(** {2 Record variables}
+
+    A dimension defined with [len = 0] is the NC_UNLIMITED dimension; a
+    variable whose first dimension is unlimited is a record variable. The
+    file layout interleaves one record chunk of every record variable per
+    record, so multi-record accesses are strided by the record size (and
+    trigger collective buffering like any strided view). *)
+
+val inq_num_recs : Mpisim.Engine.ctx -> t -> int
+(** Number of records written so far. *)
+
+val sync_numrecs : Mpisim.Engine.ctx -> t -> unit
+(** Collective [ncmpi_sync_numrecs]: agree on the record count across
+    ranks and rewrite the header's numrecs field (rank 0). *)

@@ -1,0 +1,1 @@
+lib/posixfs/fs.ml: Bytes Hashtbl List Recorder String Vio_util

@@ -1,0 +1,1 @@
+lib/posixfs/fs.mli: Recorder

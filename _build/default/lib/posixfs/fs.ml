@@ -1,0 +1,398 @@
+module G = Vio_util.Growbuf
+
+exception Error of string * string
+
+let err errno detail = raise (Error (errno, detail))
+
+type model = Posix | Commit | Session
+
+let model_to_string = function
+  | Posix -> "POSIX"
+  | Commit -> "Commit"
+  | Session -> "Session"
+
+type file = { f_path : string; f_global : G.t }
+
+type handle = {
+  h_file : file;
+  h_rank : int;
+  mutable h_pos : int;
+  h_append : bool;
+  h_readable : bool;
+  h_writable : bool;
+  h_snapshot : G.t option;  (* Session model: others' data frozen at open *)
+  mutable h_dirty : (int * bytes) list;  (* own unpublished writes, oldest first *)
+  mutable h_open : bool;
+}
+
+type fd = { fd_num : int; fd_h : handle }
+
+type stream = { s_num : int; s_h : handle }
+
+let fd_number fd = fd.fd_num
+
+let stream_number s = s.s_num
+
+(* Lowest-free-number allocator, one number space per rank. *)
+module Alloc = struct
+  type t = (int, (int, unit) Hashtbl.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let rank_set (t : t) rank =
+    match Hashtbl.find_opt t rank with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t rank s;
+      s
+
+  let take t ~rank ~base =
+    let s = rank_set t rank in
+    let rec find n = if Hashtbl.mem s n then find (n + 1) else n in
+    let n = find base in
+    Hashtbl.replace s n ();
+    n
+
+  let release t ~rank n = Hashtbl.remove (rank_set t rank) n
+end
+
+type t = {
+  fs_model : model;
+  trace : Recorder.Trace.t option;
+  files : (string, file) Hashtbl.t;
+  fd_alloc : Alloc.t;
+  stream_alloc : Alloc.t;
+}
+
+let create ?trace ~model () =
+  {
+    fs_model = model;
+    trace;
+    files = Hashtbl.create 16;
+    fd_alloc = Alloc.create ();
+    stream_alloc = Alloc.create ();
+  }
+
+let model t = t.fs_model
+
+let traced t ~rank ~func ~args ~ret f =
+  match t.trace with
+  | None -> f ()
+  | Some tr ->
+    Recorder.Trace.intercept tr ~rank ~layer:Recorder.Record.Posix ~func ~args
+      ~ret f
+
+let i = string_of_int
+
+(* ---------------------------------------------------------------- *)
+(* Visibility engine                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* The byte image a handle currently sees, ignoring its own dirty list:
+   the committed global image, except under Session where it is the
+   open-time snapshot. *)
+let base_image t h =
+  match (t.fs_model, h.h_snapshot) with
+  | Session, Some snap -> snap
+  | Session, None -> assert false
+  | (Posix | Commit), _ -> h.h_file.f_global
+
+let visible_size t h =
+  let base = G.size (base_image t h) in
+  List.fold_left (fun acc (off, data) -> max acc (off + Bytes.length data)) base
+    h.h_dirty
+
+let visible_read t h ~off ~len =
+  if off < 0 || len < 0 then err "EINVAL" "negative offset or length";
+  let vsize = visible_size t h in
+  if off >= vsize then Bytes.create 0
+  else begin
+    let n = min len (vsize - off) in
+    let out = Bytes.make n '\000' in
+    let base = G.read (base_image t h) ~off ~len:n in
+    Bytes.blit base 0 out 0 (Bytes.length base);
+    (* Overlay this handle's own pending writes, oldest first. *)
+    List.iter
+      (fun (woff, data) ->
+        let wlen = Bytes.length data in
+        let s = max off woff and e = min (off + n) (woff + wlen) in
+        if s < e then Bytes.blit data (s - woff) out (s - off) (e - s))
+      h.h_dirty;
+    out
+  end
+
+let apply_write t h ~off data =
+  if off < 0 then err "EINVAL" "negative offset";
+  match t.fs_model with
+  | Posix -> G.write h.h_file.f_global ~off (Bytes.copy data)
+  | Commit | Session -> h.h_dirty <- h.h_dirty @ [ (off, Bytes.copy data) ]
+
+(* Publish the handle's pending writes into the committed image. Under
+   Session the handle's own snapshot absorbs them too, so it keeps
+   reading its own data afterwards. *)
+let publish t h =
+  List.iter
+    (fun (off, data) ->
+      G.write h.h_file.f_global ~off data;
+      match (t.fs_model, h.h_snapshot) with
+      | Session, Some snap -> G.write snap ~off data
+      | _ -> ())
+    h.h_dirty;
+  h.h_dirty <- []
+
+(* ---------------------------------------------------------------- *)
+(* Descriptor API                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+let flag_to_string = function
+  | O_RDONLY -> "O_RDONLY"
+  | O_WRONLY -> "O_WRONLY"
+  | O_RDWR -> "O_RDWR"
+  | O_CREAT -> "O_CREAT"
+  | O_TRUNC -> "O_TRUNC"
+  | O_APPEND -> "O_APPEND"
+
+let check_open what h = if not h.h_open then err "EBADF" (what ^ " on closed handle")
+
+let lookup_file t ~create_ok ~trunc path =
+  let file =
+    match Hashtbl.find_opt t.files path with
+    | Some f -> f
+    | None ->
+      if not create_ok then err "ENOENT" path;
+      let f = { f_path = path; f_global = G.create () } in
+      Hashtbl.replace t.files path f;
+      f
+  in
+  if trunc then G.truncate file.f_global 0;
+  file
+
+let make_handle t ~rank ~file ~readable ~writable ~append ~at_end =
+  let snapshot =
+    match t.fs_model with
+    | Session -> Some (G.copy file.f_global)
+    | Posix | Commit -> None
+  in
+  let h =
+    {
+      h_file = file;
+      h_rank = rank;
+      h_pos = 0;
+      h_append = append;
+      h_readable = readable;
+      h_writable = writable;
+      h_snapshot = snapshot;
+      h_dirty = [];
+      h_open = true;
+    }
+  in
+  if at_end then h.h_pos <- G.size file.f_global;
+  h
+
+let openf t ~rank ~flags path =
+  let args =
+    [| path; String.concat "|" (List.map flag_to_string flags) |]
+  in
+  traced t ~rank ~func:"open" ~args ~ret:(fun fd -> i fd.fd_num) (fun () ->
+      let has f = List.mem f flags in
+      let readable = has O_RDONLY || has O_RDWR || not (has O_WRONLY) in
+      let writable = has O_WRONLY || has O_RDWR in
+      let file = lookup_file t ~create_ok:(has O_CREAT) ~trunc:(has O_TRUNC) path in
+      let h =
+        make_handle t ~rank ~file ~readable ~writable ~append:(has O_APPEND)
+          ~at_end:false
+      in
+      { fd_num = Alloc.take t.fd_alloc ~rank ~base:3; fd_h = h })
+
+let close t ~rank fd =
+  traced t ~rank ~func:"close" ~args:[| i fd.fd_num |] ~ret:(fun () -> "0")
+    (fun () ->
+      check_open "close" fd.fd_h;
+      publish t fd.fd_h;
+      fd.fd_h.h_open <- false;
+      Alloc.release t.fd_alloc ~rank fd.fd_num)
+
+let pwrite t ~rank fd ~off data =
+  let args = [| i fd.fd_num; i (Bytes.length data); i off |] in
+  traced t ~rank ~func:"pwrite" ~args ~ret:i (fun () ->
+      check_open "pwrite" fd.fd_h;
+      if not fd.fd_h.h_writable then err "EBADF" "pwrite on read-only fd";
+      apply_write t fd.fd_h ~off data;
+      Bytes.length data)
+
+let pread t ~rank fd ~off ~len =
+  let args = [| i fd.fd_num; i len; i off |] in
+  traced t ~rank ~func:"pread" ~args ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open "pread" fd.fd_h;
+      if not fd.fd_h.h_readable then err "EBADF" "pread on write-only fd";
+      visible_read t fd.fd_h ~off ~len)
+
+let write t ~rank fd data =
+  let args = [| i fd.fd_num; i (Bytes.length data) |] in
+  traced t ~rank ~func:"write" ~args ~ret:i (fun () ->
+      check_open "write" fd.fd_h;
+      if not fd.fd_h.h_writable then err "EBADF" "write on read-only fd";
+      let h = fd.fd_h in
+      if h.h_append then h.h_pos <- visible_size t h;
+      apply_write t h ~off:h.h_pos data;
+      h.h_pos <- h.h_pos + Bytes.length data;
+      Bytes.length data)
+
+let read t ~rank fd ~len =
+  let args = [| i fd.fd_num; i len |] in
+  traced t ~rank ~func:"read" ~args ~ret:(fun b -> i (Bytes.length b))
+    (fun () ->
+      check_open "read" fd.fd_h;
+      if not fd.fd_h.h_readable then err "EBADF" "read on write-only fd";
+      let h = fd.fd_h in
+      let data = visible_read t h ~off:h.h_pos ~len in
+      h.h_pos <- h.h_pos + Bytes.length data;
+      data)
+
+type whence = SEEK_SET | SEEK_CUR | SEEK_END
+
+let whence_to_string = function
+  | SEEK_SET -> "SEEK_SET"
+  | SEEK_CUR -> "SEEK_CUR"
+  | SEEK_END -> "SEEK_END"
+
+let seek_handle t h ~off whence =
+  let target =
+    match whence with
+    | SEEK_SET -> off
+    | SEEK_CUR -> h.h_pos + off
+    | SEEK_END -> visible_size t h + off
+  in
+  if target < 0 then err "EINVAL" "seek before start of file";
+  h.h_pos <- target;
+  target
+
+let lseek t ~rank fd ~off whence =
+  let args = [| i fd.fd_num; i off; whence_to_string whence |] in
+  traced t ~rank ~func:"lseek" ~args ~ret:i (fun () ->
+      check_open "lseek" fd.fd_h;
+      seek_handle t fd.fd_h ~off whence)
+
+let fsync t ~rank fd =
+  traced t ~rank ~func:"fsync" ~args:[| i fd.fd_num |] ~ret:(fun () -> "0")
+    (fun () ->
+      check_open "fsync" fd.fd_h;
+      publish t fd.fd_h)
+
+let ftruncate t ~rank fd size =
+  let args = [| i fd.fd_num; i size |] in
+  traced t ~rank ~func:"ftruncate" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open "ftruncate" fd.fd_h;
+      if not fd.fd_h.h_writable then err "EBADF" "ftruncate on read-only fd";
+      if size < 0 then err "EINVAL" "negative size";
+      G.truncate fd.fd_h.h_file.f_global size;
+      (match fd.fd_h.h_snapshot with
+      | Some snap -> G.truncate snap size
+      | None -> ());
+      (* Pending writes entirely beyond the new size are dropped. *)
+      fd.fd_h.h_dirty <-
+        List.filter (fun (off, _) -> off < size) fd.fd_h.h_dirty)
+
+let unlink t ~rank path =
+  traced t ~rank ~func:"unlink" ~args:[| path |] ~ret:(fun () -> "0")
+    (fun () ->
+      if not (Hashtbl.mem t.files path) then err "ENOENT" path;
+      Hashtbl.remove t.files path)
+
+let file_exists t path = Hashtbl.mem t.files path
+
+let file_size t ~rank:_ fd =
+  check_open "fstat" fd.fd_h;
+  visible_size t fd.fd_h
+
+(* ---------------------------------------------------------------- *)
+(* Stream API                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let fopen t ~rank ~mode path =
+  let args = [| path; mode |] in
+  traced t ~rank ~func:"fopen" ~args ~ret:(fun s -> i s.s_num) (fun () ->
+      let readable, writable, create_ok, trunc, append =
+        match mode with
+        | "r" -> (true, false, false, false, false)
+        | "r+" -> (true, true, false, false, false)
+        | "w" -> (false, true, true, true, false)
+        | "w+" -> (true, true, true, true, false)
+        | "a" -> (false, true, true, false, true)
+        | "a+" -> (true, true, true, false, true)
+        | _ -> err "EINVAL" ("bad fopen mode " ^ mode)
+      in
+      let file = lookup_file t ~create_ok ~trunc path in
+      let h = make_handle t ~rank ~file ~readable ~writable ~append ~at_end:false in
+      { s_num = Alloc.take t.stream_alloc ~rank ~base:1; s_h = h })
+
+let fclose t ~rank s =
+  traced t ~rank ~func:"fclose" ~args:[| i s.s_num |] ~ret:(fun () -> "0")
+    (fun () ->
+      check_open "fclose" s.s_h;
+      publish t s.s_h;
+      s.s_h.h_open <- false;
+      Alloc.release t.stream_alloc ~rank s.s_num)
+
+let fwrite t ~rank s ~size ~nitems data =
+  let args = [| i s.s_num; i size; i nitems |] in
+  traced t ~rank ~func:"fwrite" ~args ~ret:i (fun () ->
+      check_open "fwrite" s.s_h;
+      if not s.s_h.h_writable then err "EBADF" "fwrite on read-only stream";
+      let total = size * nitems in
+      if Bytes.length data < total then err "EINVAL" "fwrite: buffer too small";
+      let h = s.s_h in
+      if h.h_append then h.h_pos <- visible_size t h;
+      apply_write t h ~off:h.h_pos (Bytes.sub data 0 total);
+      h.h_pos <- h.h_pos + total;
+      nitems)
+
+let fread t ~rank s ~size ~nitems =
+  let args = [| i s.s_num; i size; i nitems |] in
+  traced t ~rank ~func:"fread" ~args ~ret:(fun (_, n) -> i n) (fun () ->
+      check_open "fread" s.s_h;
+      if not s.s_h.h_readable then err "EBADF" "fread on write-only stream";
+      let h = s.s_h in
+      let data = visible_read t h ~off:h.h_pos ~len:(size * nitems) in
+      (* Only complete items are consumed, so the file position stays a
+         multiple of the item size — this matches what trace-based file
+         pointer reconstruction can recover from the recorded item count. *)
+      let complete_items = if size = 0 then 0 else Bytes.length data / size in
+      let consumed = complete_items * size in
+      h.h_pos <- h.h_pos + consumed;
+      (Bytes.sub data 0 consumed, complete_items))
+
+let fseek t ~rank s ~off whence =
+  let args = [| i s.s_num; i off; whence_to_string whence |] in
+  traced t ~rank ~func:"fseek" ~args ~ret:(fun () -> "0") (fun () ->
+      check_open "fseek" s.s_h;
+      ignore (seek_handle t s.s_h ~off whence))
+
+let ftell t ~rank s =
+  traced t ~rank ~func:"ftell" ~args:[| i s.s_num |] ~ret:i (fun () ->
+      check_open "ftell" s.s_h;
+      s.s_h.h_pos)
+
+let fflush t ~rank s =
+  traced t ~rank ~func:"fflush" ~args:[| i s.s_num |] ~ret:(fun () -> "0")
+    (fun () ->
+      check_open "fflush" s.s_h;
+      publish t s.s_h)
+
+(* ---------------------------------------------------------------- *)
+(* Inspection                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let global_contents t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f -> G.contents f.f_global
+  | None -> err "ENOENT" path
+
+let visible_contents t ~rank:_ fd =
+  check_open "inspect" fd.fd_h;
+  Bytes.to_string
+    (visible_read t fd.fd_h ~off:0 ~len:(visible_size t fd.fd_h))

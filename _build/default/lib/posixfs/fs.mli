@@ -1,0 +1,127 @@
+(** A simulated POSIX parallel file system shared by all ranks of a job.
+
+    The file system provides the POSIX *interface* — descriptor-based calls
+    ([open]/[pread]/[pwrite]/[lseek]/[fsync]/…) and a [FILE*]-style stream
+    layer ([fopen]/[fread]/[fwrite]/…) — while its *consistency model* is
+    pluggable, mirroring the systems the paper studies (GPFS/Lustre are
+    POSIX; UnifyFS commit; NFS-style close-to-open session):
+
+    - {b Posix}: writes are immediately globally visible.
+    - {b Commit}: a rank's writes stay private until it calls [fsync] (the
+      commit operation, as in UnifyFS) or closes the file; reads see the
+      committed image plus the rank's own uncommitted writes.
+    - {b Session}: like Commit, but publication happens at [close], and a
+      reader's view of other ranks' data is frozen at [open] time
+      (close-to-open consistency) — a reader holding a descriptor opened
+      before the writer's [close] keeps reading the stale image.
+
+    Running the same improperly synchronized program on [Posix] and on
+    [Session] therefore produces different bytes — the "silent data
+    corruption" of §V-C2 — which the examples demonstrate.
+
+    Every call is recorded to the attached trace (layer [POSIX]) with the
+    argument layouts documented on each function; these are the records the
+    verifier's offset-reconstruction consumes. All offsets/sizes are bytes.
+
+    Errors raise {!Error} carrying a POSIX-style errno name. *)
+
+exception Error of string * string
+(** [Error (errno, detail)], e.g. [Error ("EBADF", "pwrite on closed fd")]. *)
+
+type model = Posix | Commit | Session
+
+val model_to_string : model -> string
+
+type t
+(** One shared file system instance. *)
+
+type fd
+(** A per-rank open file descriptor. *)
+
+type stream
+(** A per-rank [FILE*]-style stream. *)
+
+val fd_number : fd -> int
+
+val stream_number : stream -> int
+
+val create : ?trace:Recorder.Trace.t -> model:model -> unit -> t
+
+val model : t -> model
+
+(** {2 Descriptor API}
+
+    Traced argument layouts:
+    [open]=[path; flags] (ret fd), [close]=[fd], [pwrite]/[pread]=[fd; count;
+    offset] (ret n), [write]/[read]=[fd; count] (ret n), [lseek]=[fd; offset;
+    whence] (ret new position), [fsync]=[fd], [ftruncate]=[fd; size],
+    [unlink]=[path]. *)
+
+type flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+val openf : t -> rank:int -> flags:flag list -> string -> fd
+(** Raises [Error ENOENT] when the file does not exist and [O_CREAT] was not
+    given. Descriptor numbers are reused after close, lowest-first, per
+    rank, like a real process's descriptor table. *)
+
+val close : t -> rank:int -> fd -> unit
+
+val pwrite : t -> rank:int -> fd -> off:int -> bytes -> int
+
+val pread : t -> rank:int -> fd -> off:int -> len:int -> bytes
+
+val write : t -> rank:int -> fd -> bytes -> int
+(** Writes at the current file pointer and advances it ([O_APPEND]
+    descriptors seek to EOF first). *)
+
+val read : t -> rank:int -> fd -> len:int -> bytes
+
+type whence = SEEK_SET | SEEK_CUR | SEEK_END
+
+val lseek : t -> rank:int -> fd -> off:int -> whence -> int
+
+val fsync : t -> rank:int -> fd -> unit
+
+val ftruncate : t -> rank:int -> fd -> int -> unit
+
+val unlink : t -> rank:int -> string -> unit
+
+val file_exists : t -> string -> bool
+
+val file_size : t -> rank:int -> fd -> int
+(** Size as visible to this descriptor under the file system's model
+    (untraced helper, used by layers above). *)
+
+(** {2 Stream API}
+
+    Traced layouts: [fopen]=[path; mode] (ret stream id), [fclose]=[stream],
+    [fread]/[fwrite]=[stream; size; nitems] (ret items transferred),
+    [fseek]=[stream; offset; whence], [ftell]=[stream], [fflush]=[stream].
+    Stream ids live in their own number space; the verifier learns the
+    stream-to-file binding from the [fopen] record, exercising the paper's
+    "same file through different handle types" corner case. *)
+
+val fopen : t -> rank:int -> mode:string -> string -> stream
+(** Modes: ["r"], ["r+"], ["w"], ["w+"], ["a"], ["a+"]. *)
+
+val fclose : t -> rank:int -> stream -> unit
+
+val fwrite : t -> rank:int -> stream -> size:int -> nitems:int -> bytes -> int
+
+val fread : t -> rank:int -> stream -> size:int -> nitems:int -> bytes * int
+
+val fseek : t -> rank:int -> stream -> off:int -> whence -> unit
+
+val ftell : t -> rank:int -> stream -> int
+
+val fflush : t -> rank:int -> stream -> unit
+(** Publishes pending writes under [Commit]/[Session] (like [fsync]). *)
+
+(** {2 Inspection (untraced, for tests and examples)} *)
+
+val global_contents : t -> string -> string
+(** The globally visible bytes of a file (its committed image). Raises
+    [Error ENOENT] for unknown paths. *)
+
+val visible_contents : t -> rank:int -> fd -> string
+(** The bytes this descriptor would read right now. *)

@@ -1,0 +1,1 @@
+lib/recorder/codec.ml: Array Buffer Char Fun List Map Printf Record String Trace

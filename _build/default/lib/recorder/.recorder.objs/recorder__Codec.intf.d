@@ -1,0 +1,1 @@
+lib/recorder/codec.mli: Record Trace

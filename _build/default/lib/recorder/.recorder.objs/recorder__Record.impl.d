@@ -1,0 +1,1 @@
+lib/recorder/record.ml: Array Format List String

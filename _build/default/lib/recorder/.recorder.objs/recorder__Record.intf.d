@@ -1,0 +1,1 @@
+lib/recorder/record.mli: Format

@@ -1,0 +1,1 @@
+lib/recorder/signatures.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/recorder/signatures.mli:

@@ -1,0 +1,1 @@
+lib/recorder/trace.ml: Array List Record

@@ -1,0 +1,1 @@
+lib/recorder/trace.mli: Record

@@ -1,0 +1,226 @@
+let magic = "VERIFYIO-TRACE 1"
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' -> Buffer.add_string buf "%20"
+      | '%' -> Buffer.add_string buf "%25"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\t' -> Buffer.add_string buf "%09"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> failwith "Codec.unescape: bad hex digit"
+  in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then begin
+        if i + 2 >= n then failwith "Codec.unescape: truncated escape";
+        Buffer.add_char buf (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* The dictionary maps (layer, func) pairs to small integers. *)
+module Key = struct
+  type t = Record.layer * string
+
+  let compare = compare
+end
+
+module Dict = Map.Make (Key)
+
+let encode ~nranks records =
+  let records =
+    List.sort
+      (fun (a : Record.t) (b : Record.t) -> compare (a.rank, a.seq) (b.rank, b.seq))
+      records
+  in
+  let dict = ref Dict.empty in
+  let rev_entries = ref [] in
+  let next = ref 0 in
+  let intern key =
+    match Dict.find_opt key !dict with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      dict := Dict.add key i !dict;
+      rev_entries := key :: !rev_entries;
+      i
+  in
+  (* Intern in a deterministic pass before emitting record lines. *)
+  List.iter
+    (fun (r : Record.t) ->
+      ignore (intern (r.layer, r.func));
+      List.iter (fun p -> ignore (intern p)) r.call_path)
+    records;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "nranks %d\n" nranks);
+  let entries = List.rev !rev_entries in
+  Buffer.add_string buf (Printf.sprintf "funcs %d\n" (List.length entries));
+  List.iter
+    (fun (layer, func) ->
+      Buffer.add_string buf (Record.layer_to_string layer);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (escape func);
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.add_string buf (Printf.sprintf "records %d\n" (List.length records));
+  List.iter
+    (fun (r : Record.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %d %d %s %d" r.rank r.seq r.tstart r.tend
+           (Dict.find (r.layer, r.func) !dict)
+           (escape r.ret) (Array.length r.args));
+      Array.iter
+        (fun a ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (escape a))
+        r.args;
+      Buffer.add_string buf (Printf.sprintf " %d" (List.length r.call_path));
+      List.iter
+        (fun p ->
+          Buffer.add_string buf (Printf.sprintf " %d" (Dict.find p !dict)))
+        r.call_path;
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let decode s =
+  let lines = String.split_on_char '\n' s in
+  let fail msg = failwith ("Codec.decode: " ^ msg) in
+  let lines = match lines with
+    | m :: rest when m = magic -> rest
+    | m :: _ -> fail (Printf.sprintf "bad magic %S" m)
+    | [] -> fail "empty input"
+  in
+  let parse_header name line =
+    match String.split_on_char ' ' line with
+    | [ key; v ] when key = name -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> fail (Printf.sprintf "bad %s count" name))
+    | _ -> fail (Printf.sprintf "expected %s header, got %S" name line)
+  in
+  let nranks, lines =
+    match lines with
+    | l :: rest -> (parse_header "nranks" l, rest)
+    | [] -> fail "missing nranks"
+  in
+  let nfuncs, lines =
+    match lines with
+    | l :: rest -> (parse_header "funcs" l, rest)
+    | [] -> fail "missing funcs"
+  in
+  let table = Array.make (max nfuncs 1) (Record.App, "") in
+  let rec read_funcs i lines =
+    if i >= nfuncs then lines
+    else
+      match lines with
+      | l :: rest -> (
+        match String.index_opt l ' ' with
+        | None -> fail "bad func table line"
+        | Some sp -> (
+          let layer_s = String.sub l 0 sp in
+          let func = unescape (String.sub l (sp + 1) (String.length l - sp - 1)) in
+          match Record.layer_of_string layer_s with
+          | None -> fail (Printf.sprintf "unknown layer %S" layer_s)
+          | Some layer ->
+            table.(i) <- (layer, func);
+            read_funcs (i + 1) rest))
+      | [] -> fail "truncated func table"
+  in
+  let lines = read_funcs 0 lines in
+  let nrecords, lines =
+    match lines with
+    | l :: rest -> (parse_header "records" l, rest)
+    | [] -> fail "missing records"
+  in
+  let lookup i =
+    if i < 0 || i >= nfuncs then fail "func index out of range" else table.(i)
+  in
+  let parse_record line =
+    let toks = String.split_on_char ' ' line in
+    let int tok =
+      match int_of_string_opt tok with
+      | Some n -> n
+      | None -> fail (Printf.sprintf "expected int, got %S" tok)
+    in
+    match toks with
+    | rank :: seq :: tstart :: tend :: fidx :: ret :: nargs :: rest ->
+      let nargs = int nargs in
+      let rec take n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | x :: tl -> take (n - 1) (x :: acc) tl
+          | [] -> fail "truncated args"
+      in
+      let args, rest = take nargs [] rest in
+      let npath, rest =
+        match rest with
+        | x :: tl -> (int x, tl)
+        | [] -> fail "missing call-path length"
+      in
+      let path_idx, rest = take npath [] rest in
+      if rest <> [] then fail "trailing tokens on record line";
+      let layer, func = lookup (int fidx) in
+      {
+        Record.rank = int rank;
+        seq = int seq;
+        tstart = int tstart;
+        tend = int tend;
+        layer;
+        func;
+        args = Array.of_list (List.map unescape args);
+        ret = unescape ret;
+        call_path = List.map (fun i -> lookup (int i)) path_idx;
+      }
+    | _ -> fail (Printf.sprintf "bad record line %S" line)
+  in
+  let rec read_records i acc lines =
+    if i >= nrecords then List.rev acc
+    else
+      match lines with
+      | "" :: rest -> read_records i acc rest
+      | l :: rest -> read_records (i + 1) (parse_record l :: acc) rest
+      | [] -> fail "truncated records"
+  in
+  let records = read_records 0 [] lines in
+  (nranks, records)
+
+let encode_trace t = encode ~nranks:(Trace.nranks t) (Trace.records t)
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode_trace t))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      decode (really_input_string ic n))

@@ -1,0 +1,31 @@
+(** Trace (de)serialization.
+
+    A compact dictionary-compressed text format: every distinct
+    (layer, function) pair is written once in a header table and referenced
+    by index from the record lines, mirroring Recorder's string-table
+    compression. The format is self-describing and versioned; decoding a
+    trace written by a different major version fails loudly. *)
+
+val magic : string
+(** First line of every trace file. *)
+
+val encode : nranks:int -> Record.t list -> string
+(** Serialize an execution's records (any order; they are re-sorted by
+    (rank, seq)). *)
+
+val decode : string -> int * Record.t list
+(** [decode s] returns [(nranks, records)] with records sorted by
+    (rank, seq).
+    @raise Failure on malformed or version-mismatched input. *)
+
+val encode_trace : Trace.t -> string
+
+val to_file : string -> Trace.t -> unit
+
+val of_file : string -> int * Record.t list
+
+val escape : string -> string
+(** Percent-escaping of whitespace, [%] and newlines used for argument
+    fields (exposed for tests). *)
+
+val unescape : string -> string

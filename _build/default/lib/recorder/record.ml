@@ -1,0 +1,63 @@
+type layer = App | Hdf5 | Netcdf | Pnetcdf | Mpiio | Mpi | Posix
+
+let layer_to_string = function
+  | App -> "APP"
+  | Hdf5 -> "HDF5"
+  | Netcdf -> "NETCDF"
+  | Pnetcdf -> "PNETCDF"
+  | Mpiio -> "MPIIO"
+  | Mpi -> "MPI"
+  | Posix -> "POSIX"
+
+let layer_of_string = function
+  | "APP" -> Some App
+  | "HDF5" -> Some Hdf5
+  | "NETCDF" -> Some Netcdf
+  | "PNETCDF" -> Some Pnetcdf
+  | "MPIIO" -> Some Mpiio
+  | "MPI" -> Some Mpi
+  | "POSIX" -> Some Posix
+  | _ -> None
+
+let all_layers = [ App; Hdf5; Netcdf; Pnetcdf; Mpiio; Mpi; Posix ]
+
+type t = {
+  rank : int;
+  seq : int;
+  tstart : int;
+  tend : int;
+  layer : layer;
+  func : string;
+  args : string array;
+  ret : string;
+  call_path : (layer * string) list;
+}
+
+let pp ppf r =
+  Format.fprintf ppf "@[<h>r%d#%d %s:%s(%s) = %s@]" r.rank r.seq
+    (layer_to_string r.layer) r.func
+    (String.concat ", " (Array.to_list r.args))
+    r.ret
+
+let pp_call_chain ppf r =
+  Format.pp_print_string ppf "app";
+  List.iter
+    (fun (l, f) -> Format.fprintf ppf " -> %s:%s" (layer_to_string l) f)
+    r.call_path;
+  Format.fprintf ppf " -> %s:%s" (layer_to_string r.layer) r.func
+
+let arg r i =
+  if i < Array.length r.args then r.args.(i)
+  else
+    failwith
+      (Format.asprintf "malformed trace: %s has %d args, wanted index %d"
+         r.func (Array.length r.args) i)
+
+let int_arg r i =
+  let s = arg r i in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None ->
+    failwith
+      (Format.asprintf "malformed trace: %s arg %d is %S, expected an int"
+         r.func i s)

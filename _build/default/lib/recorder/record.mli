@@ -1,0 +1,50 @@
+(** Trace records.
+
+    One record per intercepted call, mirroring Recorder+'s
+    [wrapper(func){prologue; ret = func(args); epilogue}] design: the record
+    carries the function name, every runtime argument (stringified), the
+    return value, entry/exit logical timestamps and the interception call
+    chain (outermost caller first). The verifier works exclusively on these
+    records; nothing else flows from the execution to the analysis. *)
+
+type layer =
+  | App      (** the application itself *)
+  | Hdf5
+  | Netcdf
+  | Pnetcdf
+  | Mpiio    (** MPI_File_* *)
+  | Mpi      (** communication calls: point-to-point, collectives, comms *)
+  | Posix    (** open/close/read/write/pread/pwrite/lseek/fsync + streams *)
+
+val layer_to_string : layer -> string
+
+val layer_of_string : string -> layer option
+
+val all_layers : layer list
+
+type t = {
+  rank : int;             (** world rank that issued the call *)
+  seq : int;              (** per-rank program-order index (0-based) *)
+  tstart : int;           (** logical clock at entry *)
+  tend : int;             (** logical clock at exit *)
+  layer : layer;
+  func : string;
+  args : string array;
+  ret : string;
+  call_path : (layer * string) list;
+      (** enclosing intercepted calls, outermost first; [[]] for a call made
+          directly by the application *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val pp_call_chain : Format.formatter -> t -> unit
+(** Renders ["app -> PNETCDF:ncmpi_put_vara_all -> MPIIO:... -> POSIX:pwrite"],
+    the diagnostic the paper attaches to every reported data race. *)
+
+val arg : t -> int -> string
+(** [arg r i] is [r.args.(i)]; raises [Failure] with a descriptive message
+    when the record has fewer arguments (i.e. the trace is malformed). *)
+
+val int_arg : t -> int -> int
+(** [arg] parsed as an integer; raises [Failure] on malformed traces. *)

@@ -1,0 +1,431 @@
+type library = HDF5 | NetCDF | PnetCDF
+
+let library_to_string = function
+  | HDF5 -> "HDF5"
+  | NetCDF -> "NetCDF"
+  | PnetCDF -> "PnetCDF"
+
+let dedup_sort l = List.sort_uniq compare l
+
+(* ------------------------------------------------------------------ *)
+(* PnetCDF: verb x variable-kind x element-type x mode combinatorics.  *)
+(* ------------------------------------------------------------------ *)
+
+let nc_types =
+  [ "text"; "schar"; "uchar"; "short"; "ushort"; "int"; "uint"; "long";
+    "float"; "double"; "longlong"; "ulonglong" ]
+
+let var_kinds = [ "var"; "var1"; "vara"; "vars"; "varm"; "varn" ]
+
+let pnetcdf_functions =
+  let data_apis =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun ty ->
+            let base verb = Printf.sprintf "ncmpi_%s_%s_%s" verb kind ty in
+            [
+              base "put"; base "put" ^ "_all";
+              base "get"; base "get" ^ "_all";
+              Printf.sprintf "ncmpi_iput_%s_%s" kind ty;
+              Printf.sprintf "ncmpi_iget_%s_%s" kind ty;
+              Printf.sprintf "ncmpi_bput_%s_%s" kind ty;
+            ])
+          nc_types)
+      var_kinds
+  in
+  (* Flexible (MPI-datatype) variants without a type suffix. *)
+  let flexible_apis =
+    List.concat_map
+      (fun kind ->
+        [
+          Printf.sprintf "ncmpi_put_%s" kind;
+          Printf.sprintf "ncmpi_put_%s_all" kind;
+          Printf.sprintf "ncmpi_get_%s" kind;
+          Printf.sprintf "ncmpi_get_%s_all" kind;
+          Printf.sprintf "ncmpi_iput_%s" kind;
+          Printf.sprintf "ncmpi_iget_%s" kind;
+          Printf.sprintf "ncmpi_bput_%s" kind;
+        ])
+      var_kinds
+  in
+  let att_apis =
+    List.concat_map
+      (fun ty ->
+        [ "ncmpi_put_att_" ^ ty; "ncmpi_get_att_" ^ ty ])
+      nc_types
+    @ [ "ncmpi_put_att"; "ncmpi_get_att"; "ncmpi_inq_att"; "ncmpi_inq_attid";
+        "ncmpi_inq_attname"; "ncmpi_inq_natts"; "ncmpi_rename_att";
+        "ncmpi_del_att"; "ncmpi_copy_att" ]
+  in
+  let file_apis =
+    [ "ncmpi_create"; "ncmpi_open"; "ncmpi_close"; "ncmpi_enddef";
+      "ncmpi_redef"; "ncmpi__enddef"; "ncmpi_sync"; "ncmpi_sync_numrecs";
+      "ncmpi_flush"; "ncmpi_abort"; "ncmpi_begin_indep_data";
+      "ncmpi_end_indep_data"; "ncmpi_set_fill"; "ncmpi_set_default_format";
+      "ncmpi_inq_default_format"; "ncmpi_inq_file_format";
+      "ncmpi_inq_files_opened"; "ncmpi_delete"; "ncmpi_strerror";
+      "ncmpi_strerrno"; "ncmpi_inq_libvers" ]
+  in
+  let dim_var_apis =
+    [ "ncmpi_def_dim"; "ncmpi_def_var"; "ncmpi_def_var_fill";
+      "ncmpi_rename_dim"; "ncmpi_rename_var"; "ncmpi_inq"; "ncmpi_inq_ndims";
+      "ncmpi_inq_nvars"; "ncmpi_inq_dim"; "ncmpi_inq_dimid";
+      "ncmpi_inq_dimname"; "ncmpi_inq_dimlen"; "ncmpi_inq_var";
+      "ncmpi_inq_varid"; "ncmpi_inq_varname"; "ncmpi_inq_vartype";
+      "ncmpi_inq_varndims"; "ncmpi_inq_vardimid"; "ncmpi_inq_varnatts";
+      "ncmpi_inq_var_fill"; "ncmpi_inq_unlimdim"; "ncmpi_inq_num_rec_vars";
+      "ncmpi_inq_num_fix_vars"; "ncmpi_inq_recsize"; "ncmpi_inq_header_size";
+      "ncmpi_inq_header_extent"; "ncmpi_inq_put_size"; "ncmpi_inq_get_size";
+      "ncmpi_inq_striping"; "ncmpi_inq_malloc_size";
+      "ncmpi_inq_malloc_max_size"; "ncmpi_inq_malloc_list"; "ncmpi_inq_path";
+      "ncmpi_inq_nreqs"; "ncmpi_inq_buffer_usage"; "ncmpi_inq_buffer_size" ]
+  in
+  let nonblocking_control =
+    [ "ncmpi_wait"; "ncmpi_wait_all"; "ncmpi_cancel"; "ncmpi_buffer_attach";
+      "ncmpi_buffer_detach" ]
+  in
+  let vard_apis =
+    (* Flexible record-datatype APIs. *)
+    [ "ncmpi_put_vard"; "ncmpi_put_vard_all"; "ncmpi_get_vard";
+      "ncmpi_get_vard_all" ]
+  in
+  let multi_var_apis =
+    (* mput/mget: one call accessing several variables at once. *)
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun ty ->
+            [
+              Printf.sprintf "ncmpi_mput_%s_%s" kind ty;
+              Printf.sprintf "ncmpi_mput_%s_%s_all" kind ty;
+              Printf.sprintf "ncmpi_mget_%s_%s" kind ty;
+              Printf.sprintf "ncmpi_mget_%s_%s_all" kind ty;
+            ])
+          nc_types
+        @ [
+            Printf.sprintf "ncmpi_mput_%s" kind;
+            Printf.sprintf "ncmpi_mput_%s_all" kind;
+            Printf.sprintf "ncmpi_mget_%s" kind;
+            Printf.sprintf "ncmpi_mget_%s_all" kind;
+          ])
+      [ "var"; "var1"; "vara"; "vars"; "varm" ]
+  in
+  dedup_sort
+    (data_apis @ flexible_apis @ att_apis @ file_apis @ dim_var_apis
+   @ nonblocking_control @ vard_apis @ multi_var_apis)
+
+(* ------------------------------------------------------------------ *)
+(* NetCDF: same data-access combinatorics with the nc_ prefix, plus    *)
+(* the metadata/inquiry families.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let netcdf_functions =
+  let nc4_types = nc_types @ [ "ubyte"; "string" ] in
+  let data_apis =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun ty ->
+            [
+              Printf.sprintf "nc_put_%s_%s" kind ty;
+              Printf.sprintf "nc_get_%s_%s" kind ty;
+            ])
+          nc4_types
+        @ [ Printf.sprintf "nc_put_%s" kind; Printf.sprintf "nc_get_%s" kind ])
+      [ "var"; "var1"; "vara"; "vars"; "varm" ]
+  in
+  let att_apis =
+    List.concat_map
+      (fun ty -> [ "nc_put_att_" ^ ty; "nc_get_att_" ^ ty ])
+      nc4_types
+    @ [ "nc_put_att"; "nc_get_att"; "nc_inq_att"; "nc_inq_attid";
+        "nc_inq_attname"; "nc_inq_natts"; "nc_rename_att"; "nc_del_att";
+        "nc_copy_att" ]
+  in
+  let misc_apis =
+    [ "nc_copy_var"; "nc_show_metadata"; "nc_set_chunk_cache";
+      "nc_get_chunk_cache"; "nc_set_var_chunk_cache"; "nc_get_var_chunk_cache";
+      "nc_def_var_filter"; "nc_inq_var_filter"; "nc_inq_var_filter_ids";
+      "nc_inq_var_filter_info"; "nc_free_string"; "nc_initialize";
+      "nc_finalize"; "nc_def_var_szip"; "nc_inq_var_szip"; "nc_set_log_level";
+      "nc_inq_type_equal"; "nc_inq_base_pe"; "nc_set_base_pe";
+      "nc_delete"; "nc_delete_mp"; "nc_open_mp"; "nc_create_mp";
+      "nc__create"; "nc__open"; "nc_close_memio"; "nc_open_mem";
+      "nc_open_memio"; "nc_create_mem" ]
+  in
+  let file_apis =
+    [ "nc_create"; "nc_create_par"; "nc_open"; "nc_open_par"; "nc_close";
+      "nc_enddef"; "nc_redef"; "nc__enddef"; "nc_sync"; "nc_abort";
+      "nc_set_fill"; "nc_set_default_format"; "nc_inq_format";
+      "nc_inq_format_extended"; "nc_var_par_access"; "nc_inq_path";
+      "nc_strerror"; "nc_inq_libvers" ]
+  in
+  let dim_var_apis =
+    [ "nc_def_dim"; "nc_def_var"; "nc_def_var_fill"; "nc_def_var_chunking";
+      "nc_def_var_deflate"; "nc_def_var_endian"; "nc_def_var_fletcher32";
+      "nc_rename_dim"; "nc_rename_var"; "nc_inq"; "nc_inq_ndims";
+      "nc_inq_nvars"; "nc_inq_dim"; "nc_inq_dimid"; "nc_inq_dimname";
+      "nc_inq_dimlen"; "nc_inq_var"; "nc_inq_varid"; "nc_inq_varname";
+      "nc_inq_vartype"; "nc_inq_varndims"; "nc_inq_vardimid";
+      "nc_inq_varnatts"; "nc_inq_var_fill"; "nc_inq_var_chunking";
+      "nc_inq_var_deflate"; "nc_inq_var_endian"; "nc_inq_unlimdim";
+      "nc_inq_unlimdims" ]
+  in
+  let group_apis =
+    [ "nc_def_grp"; "nc_inq_grps"; "nc_inq_grpname"; "nc_inq_grpname_full";
+      "nc_inq_grpname_len"; "nc_inq_grp_parent"; "nc_inq_grp_ncid";
+      "nc_inq_grp_full_ncid"; "nc_inq_ncid"; "nc_inq_varids"; "nc_inq_dimids";
+      "nc_inq_typeids"; "nc_rename_grp" ]
+  in
+  let type_apis =
+    [ "nc_def_compound"; "nc_insert_compound"; "nc_insert_array_compound";
+      "nc_inq_compound"; "nc_inq_compound_name"; "nc_inq_compound_size";
+      "nc_inq_compound_nfields"; "nc_inq_compound_field"; "nc_def_enum";
+      "nc_insert_enum"; "nc_inq_enum"; "nc_inq_enum_member";
+      "nc_inq_enum_ident"; "nc_def_opaque"; "nc_inq_opaque"; "nc_def_vlen";
+      "nc_inq_vlen"; "nc_free_vlen"; "nc_free_vlens"; "nc_inq_type";
+      "nc_inq_typeid"; "nc_inq_user_type" ]
+  in
+  dedup_sort
+    (data_apis @ att_apis @ misc_apis @ file_apis @ dim_var_apis @ group_apis
+   @ type_apis)
+
+(* ------------------------------------------------------------------ *)
+(* HDF5: per-family API lists; the huge H5P family is a generated      *)
+(* get/set pair per property, as in the real library.                  *)
+(* ------------------------------------------------------------------ *)
+
+let hdf5_functions =
+  let h5f =
+    [ "H5Fcreate"; "H5Fopen"; "H5Freopen"; "H5Fclose"; "H5Fflush";
+      "H5Fis_hdf5"; "H5Fis_accessible"; "H5Fmount"; "H5Funmount";
+      "H5Fget_create_plist"; "H5Fget_access_plist"; "H5Fget_intent";
+      "H5Fget_name"; "H5Fget_obj_count"; "H5Fget_obj_ids"; "H5Fget_freespace";
+      "H5Fget_filesize"; "H5Fget_file_image"; "H5Fget_mdc_config";
+      "H5Fset_mdc_config"; "H5Fget_mdc_hit_rate"; "H5Fget_mdc_size";
+      "H5Freset_mdc_hit_rate_stats"; "H5Fget_info"; "H5Fget_info2";
+      "H5Fget_metadata_read_retry_info"; "H5Fstart_swmr_write";
+      "H5Fget_free_sections"; "H5Fclear_elink_file_cache";
+      "H5Fset_libver_bounds"; "H5Fstart_mdc_logging"; "H5Fstop_mdc_logging";
+      "H5Fget_mdc_logging_status"; "H5Fformat_convert";
+      "H5Freset_page_buffering_stats"; "H5Fget_page_buffering_stats";
+      "H5Fget_mdc_image_info"; "H5Fget_dset_no_attrs_hint";
+      "H5Fset_dset_no_attrs_hint"; "H5Fget_eoa"; "H5Fincrement_filesize";
+      "H5Fdelete"; "H5Fget_fileno"; "H5Fset_mpi_atomicity";
+      "H5Fget_mpi_atomicity" ]
+  in
+  let h5d =
+    [ "H5Dcreate1"; "H5Dcreate2"; "H5Dcreate_anon"; "H5Dopen1"; "H5Dopen2";
+      "H5Dclose"; "H5Dread"; "H5Dwrite"; "H5Dread_multi"; "H5Dwrite_multi";
+      "H5Dget_space"; "H5Dget_space_status"; "H5Dget_type";
+      "H5Dget_create_plist"; "H5Dget_access_plist"; "H5Dget_storage_size";
+      "H5Dget_chunk_storage_size"; "H5Dget_num_chunks"; "H5Dget_chunk_info";
+      "H5Dget_chunk_info_by_coord"; "H5Dchunk_iter"; "H5Dget_offset";
+      "H5Diterate"; "H5Dvlen_get_buf_size"; "H5Dvlen_reclaim"; "H5Dfill";
+      "H5Dset_extent"; "H5Dflush"; "H5Drefresh"; "H5Dscatter"; "H5Dgather";
+      "H5Ddebug"; "H5Dextend"; "H5Dread_chunk"; "H5Dwrite_chunk" ]
+  in
+  let h5s =
+    [ "H5Screate"; "H5Screate_simple"; "H5Scopy"; "H5Sclose"; "H5Sdecode";
+      "H5Sencode1"; "H5Sencode2"; "H5Sget_simple_extent_npoints";
+      "H5Sget_simple_extent_ndims"; "H5Sget_simple_extent_dims";
+      "H5Sis_simple"; "H5Sget_select_npoints"; "H5Sselect_hyperslab";
+      "H5Scombine_hyperslab"; "H5Smodify_select"; "H5Scombine_select";
+      "H5Sselect_valid"; "H5Sget_select_hyper_nblocks";
+      "H5Sget_select_elem_npoints"; "H5Sget_select_hyper_blocklist";
+      "H5Sget_select_elem_pointlist"; "H5Sget_select_bounds";
+      "H5Sget_select_type"; "H5Sset_extent_simple"; "H5Sset_extent_none";
+      "H5Sextent_copy"; "H5Sextent_equal"; "H5Sselect_all"; "H5Sselect_none";
+      "H5Soffset_simple"; "H5Sselect_elements"; "H5Sis_regular_hyperslab";
+      "H5Sget_regular_hyperslab"; "H5Sselect_copy"; "H5Sselect_shape_same";
+      "H5Sselect_adjust"; "H5Sselect_intersect_block";
+      "H5Sselect_project_intersection" ]
+  in
+  let h5a =
+    [ "H5Acreate1"; "H5Acreate2"; "H5Acreate_by_name"; "H5Aopen";
+      "H5Aopen_by_name"; "H5Aopen_by_idx"; "H5Aopen_name"; "H5Aopen_idx";
+      "H5Awrite"; "H5Aread"; "H5Aclose"; "H5Aget_space"; "H5Aget_type";
+      "H5Aget_create_plist"; "H5Aget_name"; "H5Aget_name_by_idx";
+      "H5Aget_storage_size"; "H5Aget_info"; "H5Aget_info_by_name";
+      "H5Aget_info_by_idx"; "H5Arename"; "H5Arename_by_name"; "H5Aiterate2";
+      "H5Aiterate_by_name"; "H5Adelete"; "H5Adelete_by_name";
+      "H5Adelete_by_idx"; "H5Aexists"; "H5Aexists_by_name"; "H5Aget_num_attrs" ]
+  in
+  let h5g =
+    [ "H5Gcreate1"; "H5Gcreate2"; "H5Gcreate_anon"; "H5Gopen1"; "H5Gopen2";
+      "H5Gclose"; "H5Gget_create_plist"; "H5Gget_info"; "H5Gget_info_by_name";
+      "H5Gget_info_by_idx"; "H5Gflush"; "H5Grefresh"; "H5Glink"; "H5Glink2";
+      "H5Gmove"; "H5Gmove2"; "H5Gunlink"; "H5Gget_linkval"; "H5Gset_comment";
+      "H5Gget_comment"; "H5Giterate"; "H5Gget_num_objs"; "H5Gget_objname_by_idx";
+      "H5Gget_objtype_by_idx"; "H5Gget_objinfo" ]
+  in
+  let h5t_bases =
+    [ "H5Tcreate"; "H5Topen1"; "H5Topen2"; "H5Tcommit1"; "H5Tcommit2";
+      "H5Tcommit_anon"; "H5Tcommitted"; "H5Tcopy"; "H5Tequal"; "H5Tlock";
+      "H5Tclose"; "H5Tencode"; "H5Tdecode"; "H5Tflush"; "H5Trefresh";
+      "H5Tinsert"; "H5Tpack"; "H5Tenum_create"; "H5Tenum_insert";
+      "H5Tenum_nameof"; "H5Tenum_valueof"; "H5Tvlen_create";
+      "H5Tarray_create1"; "H5Tarray_create2"; "H5Tget_array_ndims";
+      "H5Tget_array_dims1"; "H5Tget_array_dims2"; "H5Tconvert";
+      "H5Treclaim"; "H5Tfind"; "H5Tcompiler_conv"; "H5Tregister";
+      "H5Tunregister"; "H5Tdetect_class" ]
+  in
+  let h5t_props =
+    (* get/set pairs for datatype properties *)
+    let props =
+      [ "size"; "order"; "precision"; "offset"; "pad"; "sign"; "fields";
+        "ebias"; "norm"; "inpad"; "cset"; "strpad"; "tag" ]
+    in
+    List.concat_map (fun p -> [ "H5Tget_" ^ p; "H5Tset_" ^ p ]) props
+    @ [ "H5Tget_class"; "H5Tget_super"; "H5Tget_native_type";
+        "H5Tget_nmembers"; "H5Tget_member_name"; "H5Tget_member_index";
+        "H5Tget_member_offset"; "H5Tget_member_class"; "H5Tget_member_type";
+        "H5Tget_member_value"; "H5Tis_variable_str" ]
+  in
+  let h5p_props =
+    (* The property-list family: a generated get/set pair per property,
+       exactly how the real H5P API explodes to hundreds of functions. *)
+    let props =
+      [ "alignment"; "alloc_time"; "append_flush"; "attr_creation_order";
+        "attr_phase_change"; "btree_ratios"; "buffer"; "cache"; "chunk";
+        "chunk_cache"; "chunk_opts"; "copy_object"; "core_write_tracking";
+        "create_intermediate_group"; "data_transform"; "deflate";
+        "driver"; "dset_no_attrs_hint"; "dxpl_mpio"; "dxpl_mpio_chunk_opt";
+        "dxpl_mpio_chunk_opt_num"; "dxpl_mpio_chunk_opt_ratio";
+        "dxpl_mpio_collective_opt"; "edc_check"; "efile_prefix";
+        "elink_acc_flags"; "elink_cb"; "elink_fapl"; "elink_file_cache_size";
+        "elink_prefix"; "est_link_info"; "evict_on_close"; "external";
+        "external_count"; "family_offset"; "fapl_core"; "fapl_direct";
+        "fapl_family"; "fapl_log"; "fapl_mpio"; "fapl_multi"; "fapl_sec2";
+        "fapl_split"; "fapl_stdio"; "fapl_windows"; "fclose_degree";
+        "file_image"; "file_image_callbacks"; "file_locking";
+        "file_space_page_size"; "file_space_strategy"; "fill_time";
+        "fill_value"; "filter"; "filter_by_id"; "fletcher32"; "gc_references";
+        "hyper_vector_size"; "istore_k"; "layout"; "libver_bounds";
+        "link_creation_order"; "link_phase_change"; "local_heap_size_hint";
+        "mcdt_search_cb"; "mdc_config"; "mdc_image_config";
+        "mdc_log_options"; "measure_time"; "meta_block_size";
+        "metadata_read_attempts"; "multi_type"; "nbit"; "nlinks";
+        "obj_track_times"; "object_flush_cb"; "page_buffer_size";
+        "preserve"; "scaleoffset"; "shared_mesg_index";
+        "shared_mesg_nindexes"; "shared_mesg_phase_change"; "shuffle";
+        "sieve_buf_size"; "sizes"; "small_data_block_size"; "sym_k";
+        "szip"; "type_conv_cb"; "userblock"; "version";
+        "virtual_prefix"; "virtual_printf_gap"; "virtual_view";
+        "vlen_mem_manager"; "vol" ]
+    in
+    List.concat_map (fun p -> [ "H5Pget_" ^ p; "H5Pset_" ^ p ]) props
+    @ [ "H5Pcreate"; "H5Pcreate_class"; "H5Pclose"; "H5Pclose_class";
+        "H5Pcopy"; "H5Pcopy_prop"; "H5Pequal"; "H5Pexist"; "H5Pget";
+        "H5Pset"; "H5Pget_class"; "H5Pget_class_name"; "H5Pget_class_parent";
+        "H5Pget_nprops"; "H5Pget_size"; "H5Pinsert1"; "H5Pinsert2";
+        "H5Pisa_class"; "H5Piterate"; "H5Pregister1"; "H5Pregister2";
+        "H5Premove"; "H5Premove_filter"; "H5Punregister"; "H5Pall_filters_avail";
+        "H5Pget_nfilters"; "H5Pmodify_filter"; "H5Pfill_value_defined" ]
+  in
+  let h5o =
+    [ "H5Oopen"; "H5Oopen_by_idx"; "H5Oopen_by_addr"; "H5Oopen_by_token";
+      "H5Oclose"; "H5Ocopy"; "H5Olink"; "H5Oincr_refcount";
+      "H5Odecr_refcount"; "H5Oget_info1"; "H5Oget_info2"; "H5Oget_info3";
+      "H5Oget_info_by_name1"; "H5Oget_info_by_name2"; "H5Oget_info_by_name3";
+      "H5Oget_info_by_idx1"; "H5Oget_info_by_idx2"; "H5Oget_info_by_idx3";
+      "H5Oget_native_info"; "H5Oget_native_info_by_name";
+      "H5Oget_native_info_by_idx"; "H5Oset_comment"; "H5Oset_comment_by_name";
+      "H5Oget_comment"; "H5Oget_comment_by_name"; "H5Ovisit1"; "H5Ovisit2";
+      "H5Ovisit3"; "H5Ovisit_by_name1"; "H5Ovisit_by_name2";
+      "H5Ovisit_by_name3"; "H5Oexists_by_name"; "H5Oflush"; "H5Orefresh";
+      "H5Odisable_mdc_flushes"; "H5Oenable_mdc_flushes";
+      "H5Oare_mdc_flushes_disabled"; "H5Otoken_cmp"; "H5Otoken_to_str";
+      "H5Otoken_from_str" ]
+  in
+  let h5l =
+    [ "H5Lcreate_hard"; "H5Lcreate_soft"; "H5Lcreate_external";
+      "H5Lcreate_ud"; "H5Ldelete"; "H5Ldelete_by_idx"; "H5Lexists";
+      "H5Lget_info1"; "H5Lget_info2"; "H5Lget_info_by_idx1";
+      "H5Lget_info_by_idx2"; "H5Lget_name_by_idx"; "H5Lget_val";
+      "H5Lget_val_by_idx"; "H5Literate1"; "H5Literate2";
+      "H5Literate_by_name1"; "H5Literate_by_name2"; "H5Lvisit1"; "H5Lvisit2";
+      "H5Lvisit_by_name1"; "H5Lvisit_by_name2"; "H5Lcopy"; "H5Lmove";
+      "H5Lis_registered"; "H5Lregister"; "H5Lunregister"; "H5Lunpack_elink_val" ]
+  in
+  let h5misc =
+    [ "H5open"; "H5close"; "H5dont_atexit"; "H5garbage_collect";
+      "H5set_free_list_limits"; "H5get_free_list_sizes"; "H5get_libversion";
+      "H5check_version"; "H5is_library_threadsafe"; "H5free_memory";
+      "H5allocate_memory"; "H5resize_memory";
+      "H5Iregister"; "H5Iobject_verify"; "H5Iremove_verify"; "H5Iget_type";
+      "H5Iget_file_id"; "H5Iget_name"; "H5Iinc_ref"; "H5Idec_ref";
+      "H5Iget_ref"; "H5Iregister_type"; "H5Iclear_type"; "H5Idestroy_type";
+      "H5Iinc_type_ref"; "H5Idec_type_ref"; "H5Iget_type_ref"; "H5Isearch";
+      "H5Iiterate"; "H5Inmembers"; "H5Itype_exists"; "H5Iis_valid";
+      "H5Eset_auto1"; "H5Eset_auto2"; "H5Eget_auto1"; "H5Eget_auto2";
+      "H5Eclear1"; "H5Eclear2"; "H5Eprint1"; "H5Eprint2"; "H5Epush1";
+      "H5Epush2"; "H5Ewalk1"; "H5Ewalk2"; "H5Eget_class_name";
+      "H5Eregister_class"; "H5Eunregister_class"; "H5Ecreate_msg";
+      "H5Eclose_msg"; "H5Ecreate_stack"; "H5Eget_current_stack";
+      "H5Eclose_stack"; "H5Eget_num"; "H5Epop"; "H5Eauto_is_v2";
+      "H5Eget_msg"; "H5Eappend_stack";
+      "H5Zregister"; "H5Zunregister"; "H5Zfilter_avail";
+      "H5Zget_filter_info";
+      "H5Rcreate"; "H5Rdereference1"; "H5Rdereference2"; "H5Rget_region";
+      "H5Rget_obj_type1"; "H5Rget_obj_type2"; "H5Rget_name";
+      "H5Rcreate_object"; "H5Rcreate_region"; "H5Rcreate_attr"; "H5Rdestroy";
+      "H5Rcopy"; "H5Requal"; "H5Rget_file_name"; "H5Rget_obj_name";
+      "H5Rget_attr_name"; "H5Rget_type"; "H5Ropen_object"; "H5Ropen_region";
+      "H5Ropen_attr";
+      "H5Mcreate"; "H5Mopen"; "H5Mclose"; "H5Mput"; "H5Mget";
+      "H5Mget_key_type"; "H5Mget_val_type"; "H5Mget_count"; "H5Mexists";
+      "H5Mdelete"; "H5Miterate"; "H5Miterate_by_name";
+      "H5EScreate"; "H5ESwait"; "H5ESget_count"; "H5ESget_op_counter";
+      "H5ESget_err_status"; "H5ESget_err_count"; "H5ESget_err_info";
+      "H5ESfree_err_info"; "H5ESregister_insert_func";
+      "H5ESregister_complete_func"; "H5ESclose" ]
+  in
+  let h5vl_fd_pl =
+    [ "H5VLregister_connector"; "H5VLregister_connector_by_name";
+      "H5VLregister_connector_by_value"; "H5VLis_connector_registered_by_name";
+      "H5VLis_connector_registered_by_value"; "H5VLget_connector_id";
+      "H5VLget_connector_id_by_name"; "H5VLget_connector_id_by_value";
+      "H5VLget_connector_name"; "H5VLclose"; "H5VLunregister_connector";
+      "H5VLquery_optional"; "H5VLobject_is_native";
+      "H5FDregister"; "H5FDunregister"; "H5FDopen"; "H5FDclose"; "H5FDcmp";
+      "H5FDquery"; "H5FDalloc"; "H5FDfree"; "H5FDget_eoa"; "H5FDset_eoa";
+      "H5FDget_eof"; "H5FDget_vfd_handle"; "H5FDread"; "H5FDwrite";
+      "H5FDflush"; "H5FDtruncate"; "H5FDlock"; "H5FDunlock";
+      "H5FDdriver_query"; "H5FDdelete"; "H5FDctl";
+      "H5PLset_loading_state"; "H5PLget_loading_state"; "H5PLappend";
+      "H5PLprepend"; "H5PLreplace"; "H5PLinsert"; "H5PLremove"; "H5PLget";
+      "H5PLsize" ]
+  in
+  dedup_sort
+    (h5f @ h5d @ h5s @ h5a @ h5g @ h5t_bases @ h5t_props @ h5p_props @ h5o
+   @ h5l @ h5misc @ h5vl_fd_pl)
+
+let functions = function
+  | HDF5 -> hdf5_functions
+  | NetCDF -> netcdf_functions
+  | PnetCDF -> pnetcdf_functions
+
+let count lib = List.length (functions lib)
+
+let tables = Hashtbl.create 3
+
+let table lib =
+  match Hashtbl.find_opt tables lib with
+  | Some t -> t
+  | None ->
+    let t = Hashtbl.create 1024 in
+    List.iter (fun f -> Hashtbl.replace t f ()) (functions lib);
+    Hashtbl.replace tables lib t;
+    t
+
+let supported lib name = Hashtbl.mem (table lib) name
+
+let legacy_recorder_hdf5_count = 84
+
+let table_ii_rows =
+  [
+    ("Recorder", Some legacy_recorder_hdf5_count, None, None);
+    ("Recorder+", Some (count HDF5), Some (count NetCDF), Some (count PnetCDF));
+  ]

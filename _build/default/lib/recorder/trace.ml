@@ -1,0 +1,94 @@
+type pending = { p_layer : Record.layer; p_func : string }
+
+type rank_state = {
+  mutable stack : pending list;  (* innermost first *)
+  mutable entries : Record.t ref list;  (* reversed; cells updated at exit *)
+  mutable next_seq : int;
+}
+
+type t = { ranks : rank_state array; mutable clock : int }
+
+let in_flight_ret = "<in-flight>"
+
+let create ~nranks =
+  if nranks <= 0 then invalid_arg "Trace.create: nranks must be positive";
+  {
+    ranks =
+      Array.init nranks (fun _ -> { stack = []; entries = []; next_seq = 0 });
+    clock = 0;
+  }
+
+let nranks t = Array.length t.ranks
+
+let tick t =
+  let c = t.clock in
+  t.clock <- c + 1;
+  c
+
+let rank_state t rank =
+  if rank < 0 || rank >= Array.length t.ranks then
+    invalid_arg "Trace: rank out of range";
+  t.ranks.(rank)
+
+(* The record is appended at ENTRY (with ret = "<in-flight>" and tend = -1)
+   and completed in place at exit. This way a call that never returns —
+   e.g. a collective suspended when the job deadlocks or aborts on a
+   mismatched collective — still appears in the trace, which is exactly what
+   the verifier's unmatched-call detection needs (paper §V-D). The args
+   array is shared with the wrapper, so out-parameters written before a
+   suspension are visible too. *)
+let intercept t ~rank ~layer ~func ~args ~ret f =
+  let st = rank_state t rank in
+  let call_path = List.rev_map (fun p -> (p.p_layer, p.p_func)) st.stack in
+  let tstart = tick t in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  let cell =
+    ref
+      {
+        Record.rank;
+        seq;
+        tstart;
+        tend = -1;
+        layer;
+        func;
+        args;
+        ret = in_flight_ret;
+        call_path;
+      }
+  in
+  st.entries <- cell :: st.entries;
+  st.stack <- { p_layer = layer; p_func = func } :: st.stack;
+  let finish ret_str =
+    st.stack <- (match st.stack with [] -> [] | _ :: rest -> rest);
+    cell := { !cell with tend = tick t; ret = ret_str }
+  in
+  match f () with
+  | v ->
+    finish (ret v);
+    v
+  | exception e ->
+    finish "<raised>";
+    raise e
+
+let is_tracing t ~rank = (rank_state t rank).stack <> []
+
+let rank_records t rank =
+  let st = rank_state t rank in
+  List.sort
+    (fun (a : Record.t) b -> compare a.seq b.seq)
+    (List.rev_map ( ! ) st.entries)
+
+let records t =
+  List.concat (List.init (nranks t) (fun r -> rank_records t r))
+
+let record_count t =
+  Array.fold_left (fun n st -> n + List.length st.entries) 0 t.ranks
+
+let reset t =
+  Array.iter
+    (fun st ->
+      st.stack <- [];
+      st.entries <- [];
+      st.next_seq <- 0)
+    t.ranks

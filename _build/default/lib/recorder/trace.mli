@@ -1,0 +1,58 @@
+(** The trace collector (step 1 of the workflow).
+
+    Every substrate in this repository routes its API calls through
+    {!intercept}, the in-process equivalent of Recorder+'s LD_PRELOAD
+    wrappers: the prologue stamps the entry time and pushes the call onto the
+    rank's interception stack (which yields the call chain), the wrapped
+    function runs, and the epilogue stamps the exit time and appends the
+    finished record.
+
+    A single [Trace.t] collects records from all ranks of one execution. The
+    logical clock is global and monotonic, so entry timestamps give a valid
+    interleaving-independent per-rank program order. *)
+
+type t
+
+val create : nranks:int -> t
+(** A collector for an execution with [nranks] processes. *)
+
+val nranks : t -> int
+
+val intercept :
+  t ->
+  rank:int ->
+  layer:Record.layer ->
+  func:string ->
+  args:string array ->
+  ret:('a -> string) ->
+  (unit -> 'a) ->
+  'a
+(** [intercept t ~rank ~layer ~func ~args ~ret f] runs [f ()] inside a
+    wrapper that records the call. The [args] array is captured by reference:
+    a wrapper may update cells after the inner call returns, which is how
+    out-parameters (e.g. the [MPI_Status] of a wildcard receive, or the file
+    descriptor returned by [open]) land in the trace, mirroring the paper's
+    "post-invocation arguments". Exceptions from [f] propagate after the
+    record (with ret ["<raised>"]) is appended, so a failing execution still
+    yields a usable trace. *)
+
+val is_tracing : t -> rank:int -> bool
+(** True when the rank is currently inside at least one intercepted call. *)
+
+val records : t -> Record.t list
+(** All records of the execution, sorted by (rank, seq). Sequence numbers
+    are per-rank entry-time positions. *)
+
+val rank_records : t -> int -> Record.t list
+(** Records of one rank in program order. *)
+
+val record_count : t -> int
+
+val reset : t -> unit
+(** Drop all collected records (the logical clock keeps advancing, so
+    timestamps stay globally unique across resets). *)
+
+val in_flight_ret : string
+(** The [ret] value of a record whose call never returned — the call was
+    still executing (typically suspended at an aborted collective) when the
+    run ended. Such records also have [tend = -1]. *)

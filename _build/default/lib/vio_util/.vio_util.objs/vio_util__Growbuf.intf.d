@@ -1,0 +1,1 @@
+lib/vio_util/growbuf.mli:

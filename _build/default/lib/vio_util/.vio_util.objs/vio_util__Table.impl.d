@@ -1,0 +1,1 @@
+lib/vio_util/table.ml: Array Buffer Format List String

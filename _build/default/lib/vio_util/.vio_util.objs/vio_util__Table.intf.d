@@ -1,0 +1,1 @@
+lib/vio_util/table.mli: Format

@@ -1,0 +1,58 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl bit)))
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl bit) land 0xff))
+
+let mem t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl bit) <> 0
+
+let union_into ~dst ~src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: size mismatch";
+  for i = 0 to Bytes.length dst.bits - 1 do
+    Bytes.unsafe_set dst.bits i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst.bits i)
+         lor Char.code (Bytes.unsafe_get src.bits i)))
+  done
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.bits;
+  !n
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n }
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits

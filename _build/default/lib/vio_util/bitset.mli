@@ -1,0 +1,31 @@
+(** Dense mutable bitsets backed by [Bytes].
+
+    Used by the transitive-closure happens-before engine, where each graph
+    node carries the set of nodes it reaches. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset over the universe [0 .. n-1], all bits clear. *)
+
+val length : t -> int
+(** Size of the universe. *)
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val union_into : dst:t -> src:t -> unit
+(** [union_into ~dst ~src] ORs [src] into [dst]. The two sets must have the
+    same universe size. *)
+
+val cardinal : t -> int
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over set bits in increasing order. *)
+
+val equal : t -> t -> bool

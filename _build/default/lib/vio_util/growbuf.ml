@@ -1,0 +1,56 @@
+type t = { mutable data : Bytes.t; mutable size : int }
+
+let create () = { data = Bytes.make 64 '\000'; size = 0 }
+
+let size t = t.size
+
+let ensure t capacity =
+  let cur = Bytes.length t.data in
+  if capacity > cur then begin
+    let cap = ref (max cur 64) in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.make !cap '\000' in
+    Bytes.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end
+
+let write t ~off data =
+  if off < 0 then invalid_arg "Growbuf.write: negative offset";
+  let len = Bytes.length data in
+  ensure t (off + len);
+  (* A write past current EOF leaves a zero-filled hole, which [ensure]
+     already guarantees because fresh capacity is zero-initialised and
+     [truncate] re-zeroes abandoned tails. *)
+  Bytes.blit data 0 t.data off len;
+  if off + len > t.size then t.size <- off + len
+
+let write_string t ~off s = write t ~off (Bytes.of_string s)
+
+let read t ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Growbuf.read";
+  if off >= t.size then Bytes.create 0
+  else
+    let n = min len (t.size - off) in
+    Bytes.sub t.data off n
+
+let read_string t ~off ~len = Bytes.to_string (read t ~off ~len)
+
+let truncate t n =
+  if n < 0 then invalid_arg "Growbuf.truncate";
+  if n < t.size then
+    (* Zero the abandoned tail so a later extension reads back as holes. *)
+    Bytes.fill t.data n (t.size - n) '\000'
+  else ensure t n;
+  t.size <- n
+
+let copy t = { data = Bytes.copy t.data; size = t.size }
+
+let blit_from ~src ~dst =
+  ensure dst src.size;
+  Bytes.blit src.data 0 dst.data 0 src.size;
+  if dst.size > src.size then Bytes.fill dst.data src.size (dst.size - src.size) '\000';
+  dst.size <- src.size
+
+let contents t = Bytes.sub_string t.data 0 t.size

@@ -1,0 +1,36 @@
+(** Growable byte buffers with random access.
+
+    Backs file contents in the simulated POSIX file system: files grow on
+    write past EOF and reads past EOF are short, exactly as with a real
+    sparse file (holes read as zero bytes). *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Current logical size (the simulated file's EOF). *)
+
+val write : t -> off:int -> bytes -> unit
+(** [write t ~off data] stores [data] at [off], growing the buffer if needed;
+    any hole created reads back as ['\000']. *)
+
+val write_string : t -> off:int -> string -> unit
+
+val read : t -> off:int -> len:int -> bytes
+(** [read t ~off ~len] returns at most [len] bytes starting at [off]; the
+    result is shorter when the range crosses EOF and empty at/after EOF. *)
+
+val read_string : t -> off:int -> len:int -> string
+
+val truncate : t -> int -> unit
+(** Set the logical size; extending reads back as zero bytes. *)
+
+val copy : t -> t
+
+val blit_from : src:t -> dst:t -> unit
+(** Make [dst] an exact copy of [src]'s contents (used when publishing a
+    rank's shadow buffer to the globally visible file). *)
+
+val contents : t -> string
+(** Whole contents as a string (for assertions in tests). *)

@@ -1,0 +1,48 @@
+type t = { os : int; oe : int }
+
+let make ~os ~oe =
+  if os < 0 then invalid_arg "Interval.make: negative start";
+  if oe < os then invalid_arg "Interval.make: end before start";
+  { os; oe }
+
+let of_len ~off ~len =
+  if len < 0 then invalid_arg "Interval.of_len: negative length";
+  make ~os:off ~oe:(off + len)
+
+let length t = t.oe - t.os
+
+let is_empty t = t.oe <= t.os
+
+let overlaps a b =
+  (not (is_empty a)) && (not (is_empty b)) && a.os < b.oe && b.os < a.oe
+
+let contains t x = t.os <= x && x < t.oe
+
+let intersect a b =
+  let os = max a.os b.os and oe = min a.oe b.oe in
+  if os < oe then Some { os; oe } else None
+
+let union_hull a b = { os = min a.os b.os; oe = max a.oe b.oe }
+
+let compare_start a b =
+  let c = compare a.os b.os in
+  if c <> 0 then c else compare a.oe b.oe
+
+let pp ppf t = Format.fprintf ppf "[%d,%d)" t.os t.oe
+
+let to_string t = Format.asprintf "%a" pp t
+
+let coalesce l =
+  let l = List.filter (fun t -> not (is_empty t)) l in
+  let l = List.sort compare_start l in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest -> (
+      match acc with
+      | prev :: acc' when x.os <= prev.oe ->
+        go ({ prev with oe = max prev.oe x.oe } :: acc') rest
+      | _ -> go (x :: acc) rest)
+  in
+  go [] l
+
+let total_covered l = List.fold_left (fun n t -> n + length t) 0 (coalesce l)

@@ -1,0 +1,49 @@
+(** Half-open byte intervals [os, oe) over a file.
+
+    Intervals are the currency of conflict detection (Def. 4 of the paper):
+    two data operations conflict iff their access ranges overlap and at least
+    one is a write. *)
+
+type t = { os : int;  (** start offset, inclusive *)
+           oe : int   (** end offset, exclusive *) }
+
+val make : os:int -> oe:int -> t
+(** [make ~os ~oe] builds an interval. Raises [Invalid_argument] if
+    [oe < os] or [os < 0]. Empty intervals ([os = oe]) are allowed. *)
+
+val of_len : off:int -> len:int -> t
+(** [of_len ~off ~len] is the interval starting at [off] spanning [len]
+    bytes. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] is true iff the two intervals share at least one byte.
+    Empty intervals overlap nothing. *)
+
+val contains : t -> int -> bool
+(** [contains t x] is true iff byte [x] lies inside [t]. *)
+
+val intersect : t -> t -> t option
+(** Intersection, or [None] when disjoint (or the overlap is empty). *)
+
+val union_hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val compare_start : t -> t -> int
+(** Orders by start offset, then end offset; the order used by the
+    conflict-detection sweep. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val coalesce : t list -> t list
+(** [coalesce l] sorts the intervals and merges overlapping or adjacent
+    ones, yielding a minimal sorted disjoint cover. Empty intervals are
+    dropped. *)
+
+val total_covered : t list -> int
+(** Number of distinct bytes covered by the list (after coalescing). *)

@@ -1,0 +1,39 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let minimum xs = Array.fold_left min infinity xs
+
+let maximum xs = Array.fold_left max neg_infinity xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.
+
+let timeit ?(repeats = 1) f =
+  if repeats < 1 then invalid_arg "Stats.timeit: repeats < 1";
+  let result = ref None in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeats do
+    result := Some (f ())
+  done;
+  let t1 = Unix.gettimeofday () in
+  let r = match !result with Some r -> r | None -> assert false in
+  ((t1 -. t0) /. float_of_int repeats, r)

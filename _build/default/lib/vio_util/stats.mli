@@ -1,0 +1,23 @@
+(** Small descriptive statistics for the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0. for fewer than two
+    samples. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0., 100.], linear interpolation between
+    closest ranks. Raises [Invalid_argument] on an empty array or [p] out of
+    range. *)
+
+val median : float array -> float
+
+val timeit : ?repeats:int -> (unit -> 'a) -> float * 'a
+(** [timeit f] runs [f] [repeats] times (default 1) and returns the mean
+    wall-clock seconds per run together with the last result. *)

@@ -1,0 +1,27 @@
+(** Aligned ASCII tables for the benchmark harness and reports.
+
+    The bench executable regenerates the paper's tables as text; this module
+    renders them with aligned columns and optional separators. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** A table whose column count is fixed by [headers]. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment; defaults to [Left] for every column. Lists shorter
+    than the column count leave the remaining columns [Left]. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header
+    width. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule at the current position. *)
+
+val render : t -> string
+(** Render with a header rule and outer borders. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Hdf5sim List Mpisim Netcdfsim Option Pncdf Posixfs Recorder Verifyio

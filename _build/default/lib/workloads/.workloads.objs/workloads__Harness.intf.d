@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Hdf5sim Mpisim Netcdfsim Pncdf Posixfs Recorder Verifyio

@@ -1,0 +1,1 @@
+lib/workloads/hdf5_suite.ml: Harness Patterns

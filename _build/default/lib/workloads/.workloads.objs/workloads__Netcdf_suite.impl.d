@@ -1,0 +1,1 @@
+lib/workloads/netcdf_suite.ml: Harness Patterns

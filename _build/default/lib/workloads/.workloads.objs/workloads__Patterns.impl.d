@@ -1,0 +1,1 @@
+lib/workloads/patterns.ml: Bytes Harness Hdf5sim List Mpisim Netcdfsim Pncdf Printf

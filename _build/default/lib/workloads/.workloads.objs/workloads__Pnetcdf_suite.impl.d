@@ -1,0 +1,1 @@
+lib/workloads/pnetcdf_suite.ml: Harness List Mpisim Patterns Pncdf Printf

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Harness Hdf5_suite List Netcdf_suite Pnetcdf_suite

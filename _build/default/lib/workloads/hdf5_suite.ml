@@ -1,0 +1,48 @@
+(* The 15 HDF5-style test executions. Verdict mix matches the paper's
+   Table III row: 3 not properly synchronized even under POSIX, 7 under the
+   relaxed models, 8 clean. *)
+
+open Harness
+
+let w ?(nranks = 4) ?(scale = 1) name expect program =
+  { name; library = Hdf5; nranks; scale; expect; program }
+
+let all =
+  [
+    (* --- clean (8) ------------------------------------------------ *)
+    w "t_pread" clean
+      (Patterns.h5_disjoint_rows { Patterns.dsets = 2; elems = 32 });
+    w "t_bigio" clean
+      (Patterns.h5_disjoint_rows { Patterns.dsets = 1; elems = 256 });
+    w "t_chunk_alloc" clean
+      (Patterns.h5_disjoint_rows { Patterns.dsets = 3; elems = 16 });
+    w "t_pflush2" clean
+      (Patterns.h5_full_chain { Patterns.dsets = 2; elems = 24 });
+    w "t_prestart" clean
+      (Patterns.h5_full_chain { Patterns.dsets = 1; elems = 16 });
+    w "t_pshutdown" clean
+      (Patterns.h5_full_chain { Patterns.dsets = 1; elems = 32 });
+    w "t_coll_md_read" clean
+      (Patterns.h5_disjoint_rows { Patterns.dsets = 4; elems = 8 });
+    w "t_cache_image" clean ~nranks:2
+      (Patterns.h5_mpi_heavy ~iters:10);
+    (* --- racy under the relaxed models only (4) -------------------- *)
+    w "shapesame" relaxed_racy
+      (Patterns.h5_write_barrier_read { Patterns.dsets = 4; elems = 48 });
+    w "testphdf5" relaxed_racy
+      (Patterns.h5_write_barrier_read { Patterns.dsets = 6; elems = 32 });
+    w "cache" relaxed_racy ~nranks:2
+      (fun ~scale ctx env ->
+        (* Communication-heavy, with one attribute conflict pair. *)
+        Patterns.h5_mpi_heavy ~iters:40 ~scale ctx env;
+        Patterns.h5_attr_barrier_read ~scale ctx env);
+    w "pmulti_dset" relaxed_racy
+      (Patterns.h5_write_barrier_read { Patterns.dsets = 10; elems = 24 });
+    (* --- racy even under POSIX (3) --------------------------------- *)
+    w "t_mpi" posix_racy
+      (Patterns.h5_concurrent_writes { Patterns.dsets = 1; elems = 16 });
+    w "t_pflush1" posix_racy
+      (Patterns.h5_concurrent_writes { Patterns.dsets = 2; elems = 8 });
+    w "t_filters_parallel" posix_racy
+      (Patterns.h5_concurrent_writes { Patterns.dsets = 3; elems = 12 });
+  ]

@@ -1,0 +1,50 @@
+(* The 17 NetCDF-style test executions. Verdict mix matches the paper's
+   Table III row: 1 racy under POSIX, 9 under the relaxed models, 8 clean. *)
+
+open Harness
+
+let w ?(nranks = 4) ?(scale = 1) name expect program =
+  { name; library = Netcdf; nranks; scale; expect; program }
+
+let all =
+  [
+    (* --- clean (8) ------------------------------------------------ *)
+    w "tst_parallel" clean
+      (Patterns.nc_disjoint { Patterns.vars = 2; len = 24 });
+    w "tst_mode" clean ~nranks:2
+      (Patterns.nc_disjoint { Patterns.vars = 1; len = 8 });
+    w "tst_formatx" clean ~nranks:2
+      (Patterns.nc_disjoint { Patterns.vars = 1; len = 16 });
+    w "tst_cdf5format" clean ~nranks:2
+      (Patterns.nc_full_chain { Patterns.vars = 1; len = 16 });
+    w "tst_dims_par" clean
+      (Patterns.nc_full_chain { Patterns.vars = 2; len = 8 });
+    w "tst_grps_par" clean
+      (Patterns.nc_full_chain { Patterns.vars = 3; len = 8 });
+    w "tst_parallel_zlib" clean
+      (Patterns.nc_disjoint { Patterns.vars = 2; len = 32 });
+    w "tst_parallel_compress" clean
+      (Patterns.nc_disjoint { Patterns.vars = 3; len = 16 });
+    (* --- racy under the relaxed models only (8) --------------------- *)
+    w "tst_nc4perf" relaxed_racy ~scale:2
+      (Patterns.nc_barrier_only { Patterns.vars = 4; len = 48 });
+    w "tst_parallel3" relaxed_racy
+      (Patterns.nc_barrier_only { Patterns.vars = 2; len = 24 });
+    w "tst_parallel4" relaxed_racy
+      (Patterns.nc_barrier_only { Patterns.vars = 3; len = 16 });
+    w "tst_simplerw_coll_r" relaxed_racy ~nranks:2
+      (Patterns.nc_barrier_only { Patterns.vars = 1; len = 32 });
+    w "tst_mpi_parallel" relaxed_racy
+      (Patterns.nc_barrier_only { Patterns.vars = 2; len = 16 });
+    w "tst_atts_par" relaxed_racy ~nranks:2
+      (fun ~scale ctx env ->
+        Patterns.nc_disjoint { Patterns.vars = 1; len = 8 } ~scale ctx env;
+        Patterns.h5_attr_barrier_read ~scale ctx env);
+    w "tst_vars_par" relaxed_racy
+      (Patterns.nc_barrier_only { Patterns.vars = 4; len = 8 });
+    w "tst_quantize_par" relaxed_racy ~nranks:2
+      (Patterns.nc_barrier_only { Patterns.vars = 2; len = 12 });
+    (* --- racy even under POSIX (1) ---------------------------------- *)
+    w "tst_parallel5" posix_racy ~nranks:2
+      (Patterns.nc_concurrent_put_var { Patterns.vars = 2; len = 16 });
+  ]

@@ -1,0 +1,384 @@
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module H5 = Hdf5sim.H5
+module NC = Netcdfsim.Netcdf
+module P = Pncdf.Pnetcdf
+
+let path_of ctx tag =
+  (* One file per workload execution; the engine is fresh each run so a
+     fixed name per tag is unique within a trace. *)
+  ignore ctx;
+  "/" ^ tag
+
+(* ---------------------------------------------------------------- *)
+(* HDF5                                                               *)
+(* ---------------------------------------------------------------- *)
+
+type h5_opts = { dsets : int; elems : int }
+
+let h5_setup ctx env ~tag { dsets; elems } ~scale =
+  let comm = M.comm_world ctx in
+  let nranks = M.comm_size ctx comm in
+  let file = H5.h5fcreate ctx env.Harness.h5 ~comm (path_of ctx tag) in
+  let rows = nranks in
+  let cols = elems * scale in
+  let ds =
+    List.init (dsets * scale) (fun k ->
+        H5.h5dcreate ctx file ~name:(Printf.sprintf "d%d" k)
+          ~dims:[ rows; cols ] ~esize:1)
+  in
+  (comm, nranks, file, ds, cols)
+
+let h5_disjoint_rows opts ~scale ctx env =
+  let comm, _, file, ds, cols = h5_setup ctx env ~tag:"h5disj" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun d ->
+      let sel = H5.Hyperslab { start = [ rank; 0 ]; count = [ 1; cols ] } in
+      H5.h5dwrite ctx d ~sel H5.Collective (Bytes.make cols 'w');
+      ignore (H5.h5dread ctx d ~sel H5.Collective))
+    ds;
+  M.barrier ctx comm;
+  H5.h5fclose ctx file
+
+let h5_write_barrier_read opts ~scale ctx env =
+  let comm, _, file, ds, cols = h5_setup ctx env ~tag:"h5wbr" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun d ->
+      let sel = H5.Hyperslab { start = [ rank; 0 ]; count = [ 1; cols ] } in
+      H5.h5dwrite ctx d ~sel H5.Collective (Bytes.make cols 's'))
+    ds;
+  M.barrier ctx comm;
+  (* Every rank reads the whole dataset: overlaps every other rank's
+     write with only the barrier in between. *)
+  List.iter (fun d -> ignore (H5.h5dread ctx d H5.Independent)) ds;
+  M.barrier ctx comm;
+  H5.h5fclose ctx file
+
+let h5_full_chain opts ~scale ctx env =
+  let comm, _, file, ds, cols = h5_setup ctx env ~tag:"h5fc" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun d ->
+      let sel = H5.Hyperslab { start = [ rank; 0 ]; count = [ 1; cols ] } in
+      H5.h5dwrite ctx d ~sel H5.Collective (Bytes.make cols 'f'))
+    ds;
+  H5.h5fflush ctx file;
+  H5.h5fclose ctx file;
+  M.barrier ctx comm;
+  let file2 = H5.h5fopen ctx env.Harness.h5 ~comm (path_of ctx "h5fc") in
+  List.iteri
+    (fun k _ ->
+      let d = H5.h5dopen ctx file2 ~name:(Printf.sprintf "d%d" k) in
+      ignore (H5.h5dread ctx d H5.Independent))
+    ds;
+  H5.h5fclose ctx file2
+
+let h5_concurrent_writes opts ~scale ctx env =
+  let comm, _, file, ds, cols = h5_setup ctx env ~tag:"h5cc" opts ~scale in
+  ignore cols;
+  (* Unordered: every rank independently writes each full dataset. *)
+  List.iter
+    (fun d ->
+      H5.h5dwrite ctx d H5.Independent
+        (Bytes.make (H5.dataset_byte_size d) 'c'))
+    ds;
+  M.barrier ctx comm;
+  H5.h5fclose ctx file
+
+let h5_attr_barrier_read ~scale ctx env =
+  let comm = M.comm_world ctx in
+  let file = H5.h5fcreate ctx env.Harness.h5 ~comm (path_of ctx "h5attr") in
+  let attrs =
+    List.init (2 * scale) (fun k ->
+        H5.h5acreate ctx file ~name:(Printf.sprintf "a%d" k) ~size:8)
+  in
+  if ctx.E.rank = 0 then
+    List.iter (fun a -> H5.h5awrite ctx a (Bytes.make 8 'v')) attrs;
+  M.barrier ctx comm;
+  List.iter (fun a -> ignore (H5.h5aread ctx a)) attrs;
+  List.iter (fun a -> H5.h5aclose ctx a) attrs;
+  H5.h5fclose ctx file
+
+let h5_mpi_heavy ~iters ~scale ctx env =
+  let comm = M.comm_world ctx in
+  let rank = ctx.E.rank in
+  let file = H5.h5fcreate ctx env.Harness.h5 ~comm (path_of ctx "h5cache") in
+  let d =
+    H5.h5dcreate ctx file ~name:"cache" ~dims:[ M.comm_size ctx comm; 64 ]
+      ~esize:1
+  in
+  for _ = 1 to iters * scale do
+    ignore (M.allreduce ctx ~op:M.Max ~comm [| rank |]);
+    M.barrier ctx comm;
+    ignore (M.bcast ctx ~root:0 ~comm (Bytes.make 4 'b'))
+  done;
+  let sel = H5.Hyperslab { start = [ rank; 0 ]; count = [ 1; 64 ] } in
+  H5.h5dwrite ctx d ~sel H5.Collective (Bytes.make 64 'm');
+  ignore (H5.h5dread ctx d ~sel H5.Independent);
+  H5.h5fclose ctx file
+
+(* ---------------------------------------------------------------- *)
+(* NetCDF                                                             *)
+(* ---------------------------------------------------------------- *)
+
+type nc_opts = { vars : int; len : int }
+
+let nc_setup ctx env ~tag { vars; len } ~scale =
+  let comm = M.comm_world ctx in
+  let nranks = M.comm_size ctx comm in
+  let nc = NC.create_par ctx env.Harness.nc ~comm (path_of ctx tag) in
+  let rows = NC.def_dim ctx nc ~name:"rows" ~len:nranks in
+  let cols = NC.def_dim ctx nc ~name:"cols" ~len:(len * scale) in
+  let vs =
+    List.init (vars * scale) (fun k ->
+        NC.def_var ctx nc ~name:(Printf.sprintf "v%d" k) NC.Char
+          ~dims:[ rows; cols ])
+  in
+  NC.enddef ctx nc;
+  (comm, nranks, nc, vs, len * scale)
+
+let nc_concurrent_put_var opts ~scale ctx env =
+  let comm = M.comm_world ctx in
+  let nc = NC.create_par ctx env.Harness.nc ~comm (path_of ctx "ncp5") in
+  let dx = NC.def_dim ctx nc ~name:"x" ~len:(opts.len * scale) in
+  let vs =
+    List.init (opts.vars * scale) (fun k ->
+        NC.def_var ctx nc ~name:(Printf.sprintf "v%d" k) NC.Byte ~dims:[ dx ])
+  in
+  NC.enddef ctx nc;
+  (* Incorrect use of nc_put_var_schar: every rank writes the whole
+     variable with independent access. *)
+  List.iter
+    (fun v -> NC.put_var ctx nc v (Bytes.make (opts.len * scale) 'p'))
+    vs;
+  M.barrier ctx comm;
+  NC.close ctx nc
+
+let nc_disjoint opts ~scale ctx env =
+  let comm, _, nc, vs, cols = nc_setup ctx env ~tag:"ncdisj" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun v ->
+      NC.var_par_access ctx nc v NC.Collective;
+      NC.put_vara ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]
+        (Bytes.make cols 'd');
+      ignore (NC.get_vara ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]))
+    vs;
+  M.barrier ctx comm;
+  NC.close ctx nc
+
+let nc_barrier_only opts ~scale ctx env =
+  let comm, nranks, nc, vs, cols = nc_setup ctx env ~tag:"ncbo" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun v ->
+      NC.var_par_access ctx nc v NC.Collective;
+      NC.put_vara ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]
+        (Bytes.make cols 'b'))
+    vs;
+  M.barrier ctx comm;
+  (* Read the neighbour's row with nothing but the barrier in between. *)
+  let peer = (rank + 1) mod nranks in
+  List.iter
+    (fun v ->
+      NC.var_par_access ctx nc v NC.Independent;
+      ignore (NC.get_vara ctx nc v ~start:[ peer; 0 ] ~count:[ 1; cols ]))
+    vs;
+  M.barrier ctx comm;
+  NC.close ctx nc
+
+let nc_full_chain opts ~scale ctx env =
+  let comm, nranks, nc, vs, cols = nc_setup ctx env ~tag:"ncfc" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun v ->
+      NC.var_par_access ctx nc v NC.Collective;
+      NC.put_vara ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]
+        (Bytes.make cols 'g'))
+    vs;
+  NC.sync ctx nc;
+  NC.close ctx nc;
+  M.barrier ctx comm;
+  let nc2 = NC.open_par ctx env.Harness.nc ~comm (path_of ctx "ncfc") in
+  let peer = (rank + 1) mod nranks in
+  List.iteri
+    (fun k _ ->
+      let v = NC.inq_varid ctx nc2 (Printf.sprintf "v%d" k) in
+      ignore (NC.get_vara ctx nc2 v ~start:[ peer; 0 ] ~count:[ 1; cols ]))
+    vs;
+  NC.close ctx nc2
+
+(* ---------------------------------------------------------------- *)
+(* PnetCDF                                                            *)
+(* ---------------------------------------------------------------- *)
+
+type pn_opts = { pn_vars : int; pn_len : int; pn_type : P.nctype }
+
+let pn_setup ?(fill = false) ctx env ~tag { pn_vars; pn_len; pn_type } ~scale =
+  let comm = M.comm_world ctx in
+  let nranks = M.comm_size ctx comm in
+  let nc = P.create ctx env.Harness.pn ~comm (path_of ctx tag) in
+  let rows = P.def_dim ctx nc ~name:"rows" ~len:nranks in
+  let cols = P.def_dim ctx nc ~name:"cols" ~len:(pn_len * scale) in
+  let vs =
+    List.init (pn_vars * scale) (fun k ->
+        P.def_var ctx nc ~name:(Printf.sprintf "v%d" k) pn_type
+          ~dims:[ rows; cols ])
+  in
+  if fill then P.set_fill ctx nc true;
+  P.enddef ctx nc;
+  (comm, nranks, nc, vs, pn_len * scale, Pncdf.Pnetcdf.type_size pn_type)
+
+let pn_disjoint ?(nonblocking = false) ?(indep = false) opts ~scale ctx env =
+  let comm, _, nc, vs, cols, esz = pn_setup ctx env ~tag:"pndisj" opts ~scale in
+  let rank = ctx.E.rank in
+  let payload = Bytes.make (cols * esz) 'd' in
+  if nonblocking then begin
+    let reqs =
+      List.map
+        (fun v -> P.iput_vara ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ] payload)
+        vs
+    in
+    P.wait_all ctx nc reqs
+  end
+  else if indep then begin
+    P.begin_indep ctx nc;
+    List.iter
+      (fun v -> P.put_vara ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ] payload)
+      vs;
+    P.end_indep ctx nc
+  end
+  else
+    List.iter
+      (fun v -> P.put_vara_all ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ] payload)
+      vs;
+  List.iter
+    (fun v -> ignore (P.get_vara_all ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]))
+    vs;
+  M.barrier ctx comm;
+  P.close ctx nc
+
+let pn_full_chain opts ~scale ctx env =
+  let comm, nranks, nc, vs, cols, esz = pn_setup ctx env ~tag:"pnfc" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun v ->
+      P.put_vara_all ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]
+        (Bytes.make (cols * esz) 'f'))
+    vs;
+  P.sync ctx nc;
+  P.close ctx nc;
+  M.barrier ctx comm;
+  let nc2 = P.open_ ctx env.Harness.pn ~comm (path_of ctx "pnfc") in
+  let peer = (rank + 1) mod nranks in
+  List.iter
+    (fun v -> ignore (P.get_vara_all ctx nc2 v ~start:[ peer; 0 ] ~count:[ 1; cols ]))
+    vs;
+  P.close ctx nc2
+
+let pn_barrier_only opts ~scale ctx env =
+  let comm, nranks, nc, vs, cols, esz = pn_setup ctx env ~tag:"pnbo" opts ~scale in
+  let rank = ctx.E.rank in
+  List.iter
+    (fun v ->
+      P.put_vara_all ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]
+        (Bytes.make (cols * esz) 'b'))
+    vs;
+  M.barrier ctx comm;
+  let peer = (rank + 1) mod nranks in
+  List.iter
+    (fun v -> ignore (P.get_vara_all ctx nc v ~start:[ peer; 0 ] ~count:[ 1; cols ]))
+    vs;
+  M.barrier ctx comm;
+  P.close ctx nc
+
+let pn_same_element opts ~scale ctx env =
+  let comm, _, nc, vs, _, esz = pn_setup ctx env ~tag:"pnsame" opts ~scale in
+  (* Misuse: a collective put of the SAME element from every rank. *)
+  List.iter
+    (fun v -> P.put_var1_all ctx nc v ~index:[ 0; 0 ] (Bytes.make esz 'x'))
+    vs;
+  M.barrier ctx comm;
+  P.close ctx nc
+
+let pn_fill_columns opts ~scale ctx env =
+  let comm, _, nc, vs, cols, esz =
+    pn_setup ~fill:true ctx env ~tag:"pnflex" opts ~scale
+  in
+  let rank = ctx.E.rank in
+  ignore cols;
+  (* Column-wise collective writes: the strided view triggers collective
+     buffering, so rank 0 rewrites regions every rank just filled. *)
+  List.iter
+    (fun v ->
+      let nranks = M.comm_size ctx comm in
+      let width = cols / nranks in
+      let width = max 1 width in
+      let start = [ 0; min (rank * width) (cols - 1) ] in
+      let count = [ nranks; min width (cols - (rank * width)) ] in
+      let count = match count with [ r; c ] -> [ r; max 1 c ] | c -> c in
+      let n = List.fold_left ( * ) 1 count * esz in
+      P.put_vara_all ctx nc v ~start ~count (Bytes.make n 'v'))
+    vs;
+  M.barrier ctx comm;
+  P.close ctx nc
+
+let pn_transpose opts ~scale ctx env =
+  let comm, nranks, nc, vs, cols, esz = pn_setup ctx env ~tag:"pntr" opts ~scale in
+  let rank = ctx.E.rank in
+  let width = max 1 (cols / nranks) in
+  List.iter
+    (fun v ->
+      let c = min width (cols - (rank * width)) in
+      let c = max 1 c in
+      P.put_vara_all ctx nc v ~start:[ 0; rank * width ] ~count:[ nranks; c ]
+        (Bytes.make (nranks * c * esz) 't'))
+    vs;
+  M.barrier ctx comm;
+  (* Read back own row: those bytes were physically written by the
+     aggregator. *)
+  List.iter
+    (fun v -> ignore (P.get_vara_all ctx nc v ~start:[ rank; 0 ] ~count:[ 1; cols ]))
+    vs;
+  M.barrier ctx comm;
+  P.close ctx nc
+
+let pn_collective_error ~scale ctx env =
+  ignore scale;
+  let comm = M.comm_world ctx in
+  let nc = P.create ctx env.Harness.pn ~comm (path_of ctx "pnerr") in
+  let d = P.def_dim ctx nc ~name:"x" ~len:16 in
+  let v = P.def_var ctx nc ~name:"v" P.Int ~dims:[ d ] in
+  P.enddef ctx nc;
+  (* Only rank 0 issues the collective put; the others head straight for
+     close — a collective call mismatch. *)
+  if ctx.E.rank = 0 then
+    P.put_vara_all ctx nc v ~start:[ 0 ] ~count:[ 4 ] (Bytes.make 16 'e');
+  P.close ctx nc
+
+let pn_wait_bug opts ~scale ctx env =
+  let comm = M.comm_world ctx in
+  let nranks = M.comm_size ctx comm in
+  let nc = P.create ctx env.Harness.pn_buggy ~comm (path_of ctx "pnwb") in
+  let d =
+    P.def_dim ctx nc ~name:"x" ~len:(nranks * opts.pn_len * scale)
+  in
+  let vs =
+    List.init (opts.pn_vars * scale) (fun k ->
+        P.def_var ctx nc ~name:(Printf.sprintf "v%d" k) opts.pn_type ~dims:[ d ])
+  in
+  P.enddef ctx nc;
+  let esz = P.type_size opts.pn_type in
+  let reqs =
+    List.map
+      (fun v ->
+        P.iput_vara ctx nc v
+          ~start:[ ctx.E.rank * opts.pn_len * scale ]
+          ~count:[ opts.pn_len * scale ]
+          (Bytes.make (opts.pn_len * scale * esz) 'w'))
+      vs
+  in
+  P.wait_all ctx nc reqs;
+  P.close ctx nc

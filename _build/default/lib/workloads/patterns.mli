@@ -1,0 +1,73 @@
+(** Reusable access-pattern combinators for the evaluation suites.
+
+    Each pattern is a rank program shaped like the corresponding family of
+    library built-in tests. Synchronization discipline determines the
+    expected verdicts:
+
+    - [`Disjoint] patterns create no cross-rank conflicts: properly
+      synchronized under every model;
+    - [`Full_chain] patterns put sync + close / barrier / reopen between
+      conflicting accesses: properly synchronized under every model;
+    - [`Barrier_only] patterns separate conflicting accesses with nothing
+      but MPI ordering: POSIX-clean, racy under the relaxed models;
+    - [`Unordered] patterns have conflicting accesses with no ordering at
+      all: racy under every model. *)
+
+type h5_opts = { dsets : int; elems : int }
+(** Number of datasets and elements (bytes) per dataset. *)
+
+val h5_disjoint_rows : h5_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** Each rank collectively writes and reads back only its own row block. *)
+
+val h5_write_barrier_read : h5_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** The shapesame pattern (paper Fig. 6 left): disjoint collective writes,
+    a barrier, then every rank reads the whole dataset. *)
+
+val h5_full_chain : h5_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** Fig. 6 right: flush + close / barrier / reopen before the reads. *)
+
+val h5_concurrent_writes : h5_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** Every rank independently writes the same datasets, unordered. *)
+
+val h5_attr_barrier_read : scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** H5Awrite / barrier / H5Aread (the attribute variant of Fig. 6). *)
+
+val h5_mpi_heavy : iters:int -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** The cache pattern: communication-dominated, disjoint I/O. *)
+
+type nc_opts = { vars : int; len : int }
+
+val nc_concurrent_put_var : nc_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** parallel5 (§V-B1): every rank [nc_put_var] on the same variables. *)
+
+val nc_disjoint : nc_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+
+val nc_barrier_only : nc_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+
+val nc_full_chain : nc_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+
+type pn_opts = { pn_vars : int; pn_len : int; pn_type : Pncdf.Pnetcdf.nctype }
+
+val pn_disjoint :
+  ?nonblocking:bool -> ?indep:bool -> pn_opts -> scale:int ->
+  Mpisim.Engine.ctx -> Harness.env -> unit
+
+val pn_full_chain : pn_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+
+val pn_barrier_only : pn_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+
+val pn_same_element : pn_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** null_args / test_erange (§V-B2): all ranks write the same element. *)
+
+val pn_fill_columns : pn_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** flexible (§V-C1): fill at enddef, then column-wise [put_vara_all] whose
+    strided view triggers aggregation at rank 0. *)
+
+val pn_transpose : pn_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** Column-block writes (aggregated) then barrier-only cross reads. *)
+
+val pn_collective_error : scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** Rank 0 issues a collective data call the other ranks never make. *)
+
+val pn_wait_bug : pn_opts -> scale:int -> Mpisim.Engine.ctx -> Harness.env -> unit
+(** Non-blocking puts drained through the buggy split-path wait (§V-D). *)

@@ -1,0 +1,20 @@
+let all = Hdf5_suite.all @ Netcdf_suite.all @ Pnetcdf_suite.all
+
+let by_library lib =
+  List.filter (fun (w : Harness.t) -> w.Harness.library = lib) all
+
+let find name =
+  List.find_opt (fun (w : Harness.t) -> w.Harness.name = name) all
+
+let counts () =
+  List.map
+    (fun lib -> (lib, List.length (by_library lib)))
+    [ Harness.Hdf5; Harness.Netcdf; Harness.Pnetcdf ]
+
+let expected_table_iii =
+  [
+    ("POSIX", 3, 1, 2, 6);
+    ("Commit", 7, 9, 12, 28);
+    ("Session", 7, 9, 12, 28);
+    ("MPI-IO", 7, 9, 12, 28);
+  ]

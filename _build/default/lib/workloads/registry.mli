@@ -1,0 +1,16 @@
+(** The full evaluation registry: 91 test executions across the three
+    libraries, as in the paper's §V (15 HDF5 + 17 NetCDF + 59 PnetCDF). *)
+
+val all : Harness.t list
+(** In suite order: HDF5, NetCDF, PnetCDF. *)
+
+val by_library : Harness.library -> Harness.t list
+
+val find : string -> Harness.t option
+(** Lookup by test name. *)
+
+val counts : unit -> (Harness.library * int) list
+
+val expected_table_iii : (string * int * int * int * int) list
+(** Rows (semantics, hdf5, netcdf, pnetcdf, total) of improperly
+    synchronized executions the paper reports in Table III. *)

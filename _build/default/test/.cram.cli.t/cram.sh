@@ -1,0 +1,13 @@
+  $ ../../bin/verifyio_cli.exe list --library hdf5 | head -3
+  $ ../../bin/verifyio_cli.exe models | grep -c Consistency
+  $ ../../bin/verifyio_cli.exe run tst_parallel5 -o p5.trace
+  $ head -1 p5.trace
+  $ ../../bin/verifyio_cli.exe verify p5.trace -m POSIX --limit 1 > out.txt 2>&1; echo "exit=$?"
+  $ grep -c "race:" out.txt
+  $ grep "call chain" out.txt | head -1
+  $ ../../bin/verifyio_cli.exe verify t_pread -a > /dev/null 2>&1; echo "exit=$?"
+  $ ../../bin/verifyio_cli.exe verify nonexistent 2>&1
+  $ ../../bin/verifyio_cli.exe verify t_pread -m Weird 2>&1
+  $ ../../bin/verifyio_cli.exe stats flexible | head -4
+  $ ../../bin/verifyio_cli.exe graph tst_parallel5 -o g.dot
+  $ head -1 g.dot

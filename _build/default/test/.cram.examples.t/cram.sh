@@ -1,0 +1,7 @@
+  $ ../../examples/quickstart.exe | grep -A4 "Step 4"
+  $ ../../examples/shapesame_pattern.exe | grep verdicts:
+  $ ../../examples/flexible_aggregation.exe | grep -c "ncmpi_enddef"
+  $ ../../examples/consistency_corruption.exe | grep "barrier only"
+  $ ../../examples/engines_comparison.exe | grep -c "^vector-clock\|^graph-reachability\|^transitive-closure\|^on-the-fly"
+  $ ../../examples/heat_checkpoint.exe | grep -E "(POSIX|MPI-IO)" | tr -s ' '
+  $ ../../examples/training_shards.exe | grep -E "  (POSIX|MPI-IO)" | tr -s ' '

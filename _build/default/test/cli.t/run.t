@@ -1,0 +1,54 @@
+The CLI lists the evaluation workloads:
+
+  $ ../../bin/verifyio_cli.exe list --library hdf5 | head -3
+  t_pread                  HDF5     nranks=4
+  t_bigio                  HDF5     nranks=4
+  t_chunk_alloc            HDF5     nranks=4
+
+Table I renders the four builtin models:
+
+  $ ../../bin/verifyio_cli.exe models | grep -c Consistency
+  5
+
+Running a workload writes a decodable trace, and verifying it against
+POSIX finds the parallel5 race (exit code 2 = races found):
+
+  $ ../../bin/verifyio_cli.exe run tst_parallel5 -o p5.trace
+  wrote 52 records to p5.trace
+  $ head -1 p5.trace
+  VERIFYIO-TRACE 1
+  $ ../../bin/verifyio_cli.exe verify p5.trace -m POSIX --limit 1 > out.txt 2>&1; echo "exit=$?"
+  exit=2
+  $ grep -c "race:" out.txt
+  1
+  $ grep "call chain" out.txt | head -1
+      call chain: app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+
+A clean workload verifies with exit code 0 under all four models:
+
+  $ ../../bin/verifyio_cli.exe verify t_pread -a > /dev/null 2>&1; echo "exit=$?"
+  exit=0
+
+Unknown inputs produce helpful errors:
+
+  $ ../../bin/verifyio_cli.exe verify nonexistent 2>&1
+  "nonexistent" is neither a trace file nor a known workload
+  [1]
+  $ ../../bin/verifyio_cli.exe verify t_pread -m Weird 2>&1
+  unknown model "Weird" (POSIX, Commit, Session, MPI-IO)
+  [1]
+
+Trace statistics summarize layers and functions:
+
+  $ ../../bin/verifyio_cli.exe stats flexible | head -4
+  4 ranks, 80 records
+  
+  records per layer:
+    PNETCDF  32
+
+The happens-before graph exports as Graphviz DOT:
+
+  $ ../../bin/verifyio_cli.exe graph tst_parallel5 -o g.dot
+  wrote 55 nodes, 60 edges to g.dot
+  $ head -1 g.dot
+  digraph happens_before {

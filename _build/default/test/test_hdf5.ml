@@ -1,0 +1,402 @@
+(* Tests for the simplified HDF5: layout engine, dataset/attribute I/O,
+   independent vs collective transfer, hyperslabs, the Fig. 6 sync pattern,
+   and trace call-chains. *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module H5 = Hdf5sim.H5
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let b = Bytes.of_string
+let s = Bytes.to_string
+
+let run ?trace ~nranks ~model program =
+  let fs = F.create ?trace ~model () in
+  let sys = H5.create_system ~fs in
+  let eng = E.create ?trace ~nranks () in
+  E.run eng (fun ctx -> program ctx sys);
+  (fs, sys)
+
+let test_create_write_read () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/f.h5" in
+         let d = H5.h5dcreate ctx f ~name:"data" ~dims:[ 16 ] ~esize:1 in
+         check_int "size" 16 (H5.dataset_byte_size d);
+         if ctx.E.rank = 0 then H5.h5dwrite ctx d H5.Independent (Bytes.make 16 'x');
+         H5.h5fflush ctx f;
+         let back = H5.h5dread ctx d H5.Independent in
+         check_string "read back" (String.make 16 'x') (s back);
+         H5.h5dclose ctx d;
+         H5.h5fclose ctx f))
+
+let test_dataset_regions_disjoint () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/l.h5" in
+         let d1 = H5.h5dcreate ctx f ~name:"a" ~dims:[ 100 ] ~esize:1 in
+         let d2 = H5.h5dcreate ctx f ~name:"b" ~dims:[ 50 ] ~esize:4 in
+         let o1 = H5.dataset_data_offset d1 and o2 = H5.dataset_data_offset d2 in
+         check_bool "disjoint regions" true (o1 + 100 <= o2);
+         check_int "second sized by dims*esize" 200 (H5.dataset_byte_size d2);
+         (* Writing one dataset must not disturb the other. *)
+         H5.h5dwrite ctx d1 H5.Independent (Bytes.make 100 'A');
+         H5.h5dwrite ctx d2 H5.Independent (Bytes.make 200 'B');
+         check_string "d1 intact" (String.make 100 'A') (s (H5.h5dread ctx d1 H5.Independent));
+         H5.h5fclose ctx f))
+
+let test_reopen_by_name () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/r.h5" in
+         let d = H5.h5dcreate ctx f ~name:"v" ~dims:[ 4 ] ~esize:1 in
+         H5.h5dwrite ctx d H5.Independent (b "abcd");
+         H5.h5fclose ctx f;
+         let f2 = H5.h5fopen ctx sys ~comm "/r.h5" in
+         let d2 = H5.h5dopen ctx f2 ~name:"v" in
+         check_string "persisted" "abcd" (s (H5.h5dread ctx d2 H5.Independent));
+         H5.h5fclose ctx f2))
+
+let test_hyperslab_rows () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/hs.h5" in
+         (* 2 x 8 dataset; each rank writes its own full row: contiguous. *)
+         let d = H5.h5dcreate ctx f ~name:"m" ~dims:[ 2; 8 ] ~esize:1 in
+         let sel = H5.Hyperslab { start = [ ctx.E.rank; 0 ]; count = [ 1; 8 ] } in
+         H5.h5dwrite ctx d ~sel H5.Collective
+           (Bytes.make 8 (if ctx.E.rank = 0 then 'a' else 'b'));
+         M.barrier ctx comm;
+         let all = H5.h5dread ctx d H5.Independent in
+         check_string "rows" "aaaaaaaabbbbbbbb" (s all);
+         H5.h5fclose ctx f))
+
+let test_hyperslab_columns_collective () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/col.h5" in
+         (* 2 x 4 dataset; each rank writes its own column pair: strided ->
+            aggregated collective write. *)
+         let d = H5.h5dcreate ctx f ~name:"m" ~dims:[ 2; 4 ] ~esize:1 in
+         let sel =
+           H5.Hyperslab { start = [ 0; ctx.E.rank * 2 ]; count = [ 2; 2 ] }
+         in
+         H5.h5dwrite ctx d ~sel H5.Collective
+           (Bytes.make 4 (if ctx.E.rank = 0 then 'x' else 'y'));
+         M.barrier ctx comm;
+         let all = H5.h5dread ctx d H5.Independent in
+         check_string "interleaved columns" "xxyyxxyy" (s all);
+         H5.h5fclose ctx f))
+
+let test_hyperslab_bounds () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/bad.h5" in
+         let d = H5.h5dcreate ctx f ~name:"m" ~dims:[ 2; 4 ] ~esize:1 in
+         (try
+            H5.h5dwrite ctx d
+              ~sel:(H5.Hyperslab { start = [ 1; 3 ]; count = [ 1; 2 ] })
+              H5.Independent (b "zz");
+            Alcotest.fail "expected bounds failure"
+          with Failure msg ->
+            check_bool "mentions bounds" true
+              (String.length msg > 0 && msg <> ""));
+         H5.h5fclose ctx f))
+
+let test_chunked_round_trip () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/ch.h5" in
+         (* 4x4 dataset in 2x2 chunks. *)
+         let d =
+           H5.h5dcreate ctx ~chunks:[ 2; 2 ] f ~name:"c" ~dims:[ 4; 4 ] ~esize:1
+         in
+         H5.h5dwrite ctx d H5.Independent (b "0123456789abcdef");
+         let back = H5.h5dread ctx d H5.Independent in
+         check_string "logical round trip" "0123456789abcdef" (s back);
+         (* The physical layout is chunk-major: the first chunk holds the
+            2x2 corner (0,1,4,5). *)
+         let fs = H5.fs sys in
+         let off = H5.dataset_data_offset d in
+         let raw =
+           String.sub (F.global_contents fs "/ch.h5") off 16
+         in
+         check_string "chunk-major physical layout" "0145" (String.sub raw 0 4);
+         H5.h5fclose ctx f))
+
+let test_chunked_subselection () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/cs.h5" in
+         let d =
+           H5.h5dcreate ctx ~chunks:[ 2; 2 ] f ~name:"c" ~dims:[ 4; 4 ] ~esize:1
+         in
+         H5.h5dwrite ctx d H5.Independent (b "0123456789abcdef");
+         (* A 2x2 block straddling four chunks. *)
+         let sel = H5.Hyperslab { start = [ 1; 1 ]; count = [ 2; 2 ] } in
+         let back = H5.h5dread ctx d ~sel H5.Independent in
+         check_string "straddling block" "569a" (s back);
+         (* Overwrite it and read the full dataset back. *)
+         H5.h5dwrite ctx d ~sel H5.Independent (b "WXYZ");
+         check_string "overwrite across chunks" "01234WX78YZbcdef"
+           (s (H5.h5dread ctx d H5.Independent));
+         H5.h5fclose ctx f))
+
+let test_chunked_collective_aggregates () =
+  (* Each rank writes one row of a 2x8 dataset chunked 2x2: every chunk
+     holds two cells of each row, so each rank's row shatters into 4
+     segments interleaved with the other rank's — collective buffering
+     aggregates. *)
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/ca.h5" in
+         let d =
+           H5.h5dcreate ctx ~chunks:[ 2; 2 ] f ~name:"c" ~dims:[ 2; 8 ] ~esize:1
+         in
+         let sel = H5.Hyperslab { start = [ ctx.E.rank; 0 ]; count = [ 1; 8 ] } in
+         H5.h5dwrite ctx d ~sel H5.Collective
+           (Bytes.make 8 (if ctx.E.rank = 0 then 'p' else 'q'));
+         M.barrier ctx comm;
+         check_string "rows intact" "ppppppppqqqqqqqq"
+           (s (H5.h5dread ctx d H5.Independent));
+         H5.h5fclose ctx f));
+  let pwrites rank =
+    List.filter
+      (fun (r : Recorder.Record.t) ->
+        r.func = "pwrite"
+        && List.exists (fun (_, fn) -> fn = "H5Dwrite") r.call_path)
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_bool "aggregated at rank 0" true (List.length (pwrites 0) >= 1);
+  check_int "rank 1 wrote nothing" 0 (List.length (pwrites 1))
+
+let test_chunked_validation () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/cv.h5" in
+         (try
+            ignore
+              (H5.h5dcreate ctx ~chunks:[ 2 ] f ~name:"bad-rank"
+                 ~dims:[ 4; 4 ] ~esize:1);
+            Alcotest.fail "expected rank mismatch"
+          with Failure _ -> ());
+         (try
+            ignore
+              (H5.h5dcreate ctx ~chunks:[ 0; 2 ] f ~name:"bad-extent"
+                 ~dims:[ 4; 4 ] ~esize:1);
+            Alcotest.fail "expected bad extent"
+          with Failure _ -> ());
+         H5.h5fclose ctx f))
+
+let test_multi_dataset_io () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/multi.h5" in
+         let d1 = H5.h5dcreate ctx f ~name:"a" ~dims:[ 2; 4 ] ~esize:1 in
+         let d2 = H5.h5dcreate ctx f ~name:"b" ~dims:[ 2; 4 ] ~esize:1 in
+         (* One collective call writes this rank's row of both datasets. *)
+         let sel = H5.Hyperslab { start = [ ctx.E.rank; 0 ]; count = [ 1; 4 ] } in
+         let mark c = Bytes.make 4 c in
+         H5.h5dwrite_multi ctx
+           [ (d1, sel, mark (if ctx.E.rank = 0 then 'a' else 'b'));
+             (d2, sel, mark (if ctx.E.rank = 0 then 'A' else 'B')) ];
+         M.barrier ctx comm;
+         (match H5.h5dread_multi ctx [ (d1, H5.All); (d2, H5.All) ] with
+         | [ r1; r2 ] ->
+           check_string "dataset a" "aaaabbbb" (s r1);
+           check_string "dataset b" "AAAABBBB" (s r2)
+         | _ -> Alcotest.fail "expected two results");
+         (* Mixed-file requests are rejected. *)
+         let f2 = H5.h5fcreate ctx sys ~comm "/multi2.h5" in
+         let d3 = H5.h5dcreate ctx f2 ~name:"c" ~dims:[ 4 ] ~esize:1 in
+         (try
+            H5.h5dwrite_multi ctx [ (d1, sel, mark 'x'); (d3, H5.All, mark 'x') ];
+            Alcotest.fail "expected same-file rejection"
+          with Failure _ ->
+            (* Both ranks raised before any rendezvous on the second file's
+               communicator was consumed; resynchronize explicitly. *)
+            ());
+         H5.h5fclose ctx f2;
+         H5.h5fclose ctx f))
+
+let test_groups () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/grp.h5" in
+         let g = H5.h5gcreate ctx f ~name:"results" () in
+         let sub = H5.h5gcreate ctx f ~loc:g ~name:"step0" () in
+         (* Datasets with the same leaf name live apart in different
+            groups. *)
+         let d_top = H5.h5dcreate ctx f ~name:"v" ~dims:[ 4 ] ~esize:1 in
+         let d_sub = H5.h5dcreate ctx ~loc:sub f ~name:"v" ~dims:[ 4 ] ~esize:1 in
+         check_bool "distinct storage" true
+           (H5.dataset_data_offset d_top <> H5.dataset_data_offset d_sub);
+         H5.h5dwrite ctx d_top H5.Independent (b "topv");
+         H5.h5dwrite ctx d_sub H5.Independent (b "subv");
+         M.barrier ctx comm;
+         let again = H5.h5dopen ctx ~loc:sub f ~name:"v" in
+         check_string "group-scoped reopen" "subv"
+           (s (H5.h5dread ctx again H5.Independent));
+         (* Reopening a group by path works; a missing group fails. *)
+         let g2 = H5.h5gopen ctx f ~name:"results" () in
+         H5.h5gclose ctx g2;
+         (try
+            ignore (H5.h5gopen ctx f ~name:"nope" ());
+            Alcotest.fail "expected missing-group failure"
+          with Failure _ -> ());
+         H5.h5gclose ctx sub;
+         H5.h5gclose ctx g;
+         H5.h5fclose ctx f))
+
+let test_attributes () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/att.h5" in
+         let a = H5.h5acreate ctx f ~name:"version" ~size:4 in
+         if ctx.E.rank = 0 then H5.h5awrite ctx a (b "v2.1");
+         M.barrier ctx comm;
+         check_string "attribute read" "v2.1" (s (H5.h5aread ctx a));
+         H5.h5aclose ctx a;
+         H5.h5fclose ctx f))
+
+let test_fig6_sync_pattern_works_on_commit_fs () =
+  (* The properly synchronized variant of Fig. 6: flush-barrier-flush makes
+     the data visible even on a commit-consistency file system. *)
+  ignore
+    (run ~nranks:2 ~model:F.Commit (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/fig6.h5" in
+         let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 8 ] ~esize:1 in
+         if ctx.E.rank = 0 then begin
+           H5.h5dwrite ctx d H5.Independent (b "DATASET!");
+           H5.h5fflush ctx f
+         end
+         else H5.h5fflush ctx f;
+         M.barrier ctx comm;
+         H5.h5fflush ctx f;
+         if ctx.E.rank = 1 then
+           check_string "synced read" "DATASET!" (s (H5.h5dread ctx d H5.Independent));
+         H5.h5fclose ctx f))
+
+let test_fig6_barrier_only_corrupts_on_commit_fs () =
+  (* The improperly synchronized variant: barrier-only gives a stale read on
+     a non-POSIX file system — the silent corruption of §V-C2. *)
+  ignore
+    (run ~nranks:2 ~model:F.Commit (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/fig6b.h5" in
+         let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 8 ] ~esize:1 in
+         if ctx.E.rank = 0 then H5.h5dwrite ctx d H5.Independent (b "DATASET!");
+         M.barrier ctx comm;
+         if ctx.E.rank = 1 then begin
+           let got = s (H5.h5dread ctx d H5.Independent) in
+           check_bool "stale read" true (got <> "DATASET!")
+         end;
+         H5.h5fclose ctx f))
+
+let test_call_chain () =
+  let trace = Recorder.Trace.create ~nranks:1 in
+  ignore
+    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/cc.h5" in
+         let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 4 ] ~esize:1 in
+         H5.h5dwrite ctx d H5.Independent (b "wxyz");
+         H5.h5fclose ctx f));
+  let recs = Recorder.Trace.rank_records trace 0 in
+  (* The data pwrite's chain runs H5Dwrite -> MPI_File_write_at -> pwrite. *)
+  let data_pwrites =
+    List.filter
+      (fun (r : Recorder.Record.t) ->
+        r.func = "pwrite"
+        && List.exists (fun (_, f) -> f = "H5Dwrite") r.call_path)
+      recs
+  in
+  match data_pwrites with
+  | [ r ] ->
+    Alcotest.(check (list string))
+      "chain" [ "H5Dwrite"; "MPI_File_write_at" ]
+      (List.map snd r.Recorder.Record.call_path)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 data pwrite, got %d" (List.length l))
+
+let test_no_sync_in_data_path () =
+  (* Like the real HDF5, h5dwrite must not emit MPI_File_sync. *)
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let f = H5.h5fcreate ctx sys ~comm "/ns.h5" in
+         let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 2; 4 ] ~esize:1 in
+         let sel = H5.Hyperslab { start = [ 0; ctx.E.rank * 2 ]; count = [ 2; 2 ] } in
+         H5.h5dwrite ctx d ~sel H5.Collective (Bytes.make 4 'q');
+         H5.h5fclose ctx f));
+  let syncs =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "MPI_File_sync")
+      (Recorder.Trace.records trace)
+  in
+  check_int "no MPI_File_sync from the data path" 0 (List.length syncs)
+
+let () =
+  Alcotest.run "hdf5sim"
+    [
+      ( "files-and-datasets",
+        [
+          Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+          Alcotest.test_case "disjoint regions" `Quick
+            test_dataset_regions_disjoint;
+          Alcotest.test_case "reopen by name" `Quick test_reopen_by_name;
+        ] );
+      ( "hyperslabs",
+        [
+          Alcotest.test_case "full rows" `Quick test_hyperslab_rows;
+          Alcotest.test_case "columns (collective)" `Quick
+            test_hyperslab_columns_collective;
+          Alcotest.test_case "bounds" `Quick test_hyperslab_bounds;
+        ] );
+      ( "multi-dataset",
+        [ Alcotest.test_case "write_multi/read_multi" `Quick test_multi_dataset_io ] );
+      ( "chunked",
+        [
+          Alcotest.test_case "round trip" `Quick test_chunked_round_trip;
+          Alcotest.test_case "subselection" `Quick test_chunked_subselection;
+          Alcotest.test_case "collective aggregates" `Quick
+            test_chunked_collective_aggregates;
+          Alcotest.test_case "validation" `Quick test_chunked_validation;
+        ] );
+      ( "groups",
+        [ Alcotest.test_case "nested groups" `Quick test_groups ] );
+      ( "attributes",
+        [ Alcotest.test_case "create/write/read" `Quick test_attributes ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "sync pattern works on Commit fs" `Quick
+            test_fig6_sync_pattern_works_on_commit_fs;
+          Alcotest.test_case "barrier-only corrupts on Commit fs" `Quick
+            test_fig6_barrier_only_corrupts_on_commit_fs;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "call chain" `Quick test_call_chain;
+          Alcotest.test_case "no sync in data path" `Quick
+            test_no_sync_in_data_path;
+        ] );
+    ]

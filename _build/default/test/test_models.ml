@@ -1,0 +1,254 @@
+(* Tests for the consistency-model layer: builtin specifications (Table I),
+   custom model construction, sync-operation predicates (file scoping, API
+   flavours), and MSC checking against hand-crafted traces. *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module V = Verifyio
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Specifications                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_builtin_shapes () =
+  check_int "four builtin models" 4 (List.length V.Model.builtin);
+  let shapes =
+    List.map
+      (fun (m : V.Model.t) ->
+        ( m.V.Model.name,
+          List.map
+            (fun (msc : V.Model.msc) ->
+              (List.length msc.V.Model.edges, List.length msc.V.Model.syncs))
+            m.V.Model.mscs ))
+      V.Model.builtin
+  in
+  Alcotest.(check (list (pair string (list (pair int int)))))
+    "edge/sync arities (Table I)"
+    [
+      ("POSIX", [ (1, 0) ]);
+      ("Commit", [ (2, 1) ]);
+      ("Session", [ (3, 2) ]);
+      ("MPI-IO", [ (3, 2) ]);
+    ]
+    shapes
+
+let test_by_name () =
+  List.iter
+    (fun (query, expected) ->
+      match V.Model.by_name query with
+      | Some m -> check_string query expected m.V.Model.name
+      | None -> Alcotest.fail ("lookup failed for " ^ query))
+    [
+      ("posix", "POSIX"); ("POSIX", "POSIX"); ("commit", "Commit");
+      ("Session", "Session"); ("mpi-io", "MPI-IO"); ("MPIIO", "MPI-IO");
+      ("mpiio", "MPI-IO");
+    ];
+  check_bool "unknown" true (V.Model.by_name "weird" = None)
+
+let test_make_validation () =
+  let sync =
+    { V.Model.sp_name = "s"; sp_matches = (fun _ ~fid:_ -> true) }
+  in
+  (* Mismatched arity rejected. *)
+  (try
+     ignore
+       (V.Model.make ~name:"bad" ~sync_set:[] ~msc_desc:""
+          ~mscs:[ { V.Model.edges = [ V.Model.Hb ]; syncs = [ sync ] } ]);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (V.Model.make ~name:"empty" ~sync_set:[] ~msc_desc:"" ~mscs:[]);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  (* Well-formed custom model accepted. *)
+  let m =
+    V.Model.make ~name:"custom" ~sync_set:[ "s" ] ~msc_desc:"-hb-> s -hb->"
+      ~mscs:[ { V.Model.edges = [ V.Model.Hb; V.Model.Hb ]; syncs = [ sync ] } ]
+  in
+  check_string "name kept" "custom" m.V.Model.name
+
+(* ------------------------------------------------------------------ *)
+(* MSC checking on real traces                                          *)
+(* ------------------------------------------------------------------ *)
+
+let collect ~nranks program =
+  let trace = Recorder.Trace.create ~nranks in
+  let fs = F.create ~trace ~model:F.Posix () in
+  let eng = E.create ~trace ~nranks () in
+  E.run eng (fun ctx -> program ctx fs);
+  Recorder.Trace.records trace
+
+(* A standard scenario: rank 0 writes /x with optional syncs; rank 1 reads
+   both /x and /y; /y is written by rank 1 itself so it never conflicts. *)
+let verify_under model program =
+  let records = collect ~nranks:2 program in
+  let o = V.Pipeline.verify ~model ~nranks:2 records in
+  o.V.Pipeline.races = []
+
+let test_commit_needs_fsync_not_close () =
+  (* write + close + barrier + reopen-read: Session yes, Commit no. *)
+  let program (ctx : E.ctx) fs =
+    let comm = M.comm_world ctx in
+    if ctx.E.rank = 0 then begin
+      let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/x" in
+      ignore (F.pwrite fs ~rank:0 fd ~off:0 (Bytes.make 4 'a'));
+      F.close fs ~rank:0 fd;
+      M.barrier ctx comm
+    end
+    else begin
+      M.barrier ctx comm;
+      let fd = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/x" in
+      ignore (F.pread fs ~rank:1 fd ~off:0 ~len:4);
+      F.close fs ~rank:1 fd
+    end
+  in
+  check_bool "Session satisfied by close/open" true
+    (verify_under V.Model.session program);
+  check_bool "Commit NOT satisfied by close alone" false
+    (verify_under V.Model.commit program)
+
+let test_sync_op_must_be_on_same_file () =
+  (* fsync of a DIFFERENT file must not satisfy the commit MSC. *)
+  let program (ctx : E.ctx) fs =
+    let comm = M.comm_world ctx in
+    let fd = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/x" in
+    let other = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/other" in
+    if ctx.E.rank = 0 then begin
+      ignore (F.pwrite fs ~rank:0 fd ~off:0 (Bytes.make 4 'a'));
+      F.fsync fs ~rank:0 other  (* wrong file! *)
+    end;
+    M.barrier ctx comm;
+    if ctx.E.rank = 1 then ignore (F.pread fs ~rank:1 fd ~off:0 ~len:4);
+    F.close fs ~rank:ctx.E.rank other;
+    F.close fs ~rank:ctx.E.rank fd
+  in
+  check_bool "foreign fsync does not commit /x" false
+    (verify_under V.Model.commit program)
+
+let test_mpiio_model_ignores_posix_sync_ops () =
+  (* POSIX-level fsync + close/open chains do NOT satisfy MPI-IO, whose S
+     contains only MPI_File_* operations. *)
+  let program (ctx : E.ctx) fs =
+    let comm = M.comm_world ctx in
+    if ctx.E.rank = 0 then begin
+      let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/x" in
+      ignore (F.pwrite fs ~rank:0 fd ~off:0 (Bytes.make 4 'a'));
+      F.fsync fs ~rank:0 fd;
+      F.close fs ~rank:0 fd;
+      M.barrier ctx comm
+    end
+    else begin
+      M.barrier ctx comm;
+      let fd = F.openf fs ~rank:1 ~flags:[ F.O_RDWR ] "/x" in
+      ignore (F.pread fs ~rank:1 fd ~off:0 ~len:4);
+      F.close fs ~rank:1 fd
+    end
+  in
+  check_bool "POSIX chain satisfies Session" true
+    (verify_under V.Model.session program);
+  check_bool "POSIX chain satisfies Commit" true
+    (verify_under V.Model.commit program);
+  check_bool "POSIX chain does NOT satisfy MPI-IO" false
+    (verify_under V.Model.mpi_io program)
+
+let test_mpiio_sync_order_matters () =
+  (* MPI-IO's MSC is po -> s1 -> hb -> s2 -> po: the writer's sync must be
+     AFTER the write in program order, the reader's BEFORE the read. A
+     sync before the write does not help. *)
+  let mpiio_prog ~sync_before (ctx : E.ctx) fs =
+    let comm = M.comm_world ctx in
+    let f =
+      Mpiio.File.open_ ctx ~comm ~fs
+        ~amode:[ Mpiio.File.Create; Mpiio.File.Rdwr ] "/x"
+    in
+    if sync_before then Mpiio.File.sync ctx f;
+    if ctx.E.rank = 0 then Mpiio.File.write_at ctx f ~off:0 (Bytes.make 4 'a');
+    if not sync_before then Mpiio.File.sync ctx f;
+    M.barrier ctx comm;
+    if not sync_before then Mpiio.File.sync ctx f;
+    if ctx.E.rank = 1 then ignore (Mpiio.File.read_at ctx f ~off:0 ~len:4);
+    Mpiio.File.close ctx f
+  in
+  check_bool "sync after write works" true
+    (verify_under V.Model.mpi_io (mpiio_prog ~sync_before:false));
+  check_bool "sync only before write fails" false
+    (verify_under V.Model.mpi_io (mpiio_prog ~sync_before:true))
+
+let test_custom_model () =
+  (* A custom "fence" model whose only sync op is a barrier-like POSIX
+     fsync on ANY file: S = {any_fsync}, MSC = hb any_fsync hb. *)
+  let any_fsync =
+    {
+      V.Model.sp_name = "any_fsync";
+      sp_matches =
+        (fun op ~fid:_ ->
+          match op.V.Op.kind with
+          | V.Op.File_sync _ -> true
+          | _ -> false);
+    }
+  in
+  let fence =
+    V.Model.make ~name:"Fence" ~sync_set:[ "any_fsync" ]
+      ~msc_desc:"-hb-> any_fsync -hb->"
+      ~mscs:
+        [ { V.Model.edges = [ V.Model.Hb; V.Model.Hb ]; syncs = [ any_fsync ] } ]
+  in
+  let program (ctx : E.ctx) fs =
+    let comm = M.comm_world ctx in
+    let fd = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/x" in
+    let other = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/o" in
+    if ctx.E.rank = 0 then begin
+      ignore (F.pwrite fs ~rank:0 fd ~off:0 (Bytes.make 4 'a'));
+      F.fsync fs ~rank:0 other
+    end;
+    M.barrier ctx comm;
+    if ctx.E.rank = 1 then ignore (F.pread fs ~rank:1 fd ~off:0 ~len:4);
+    F.close fs ~rank:ctx.E.rank other;
+    F.close fs ~rank:ctx.E.rank fd
+  in
+  (* Under the custom model the foreign-file fsync counts. *)
+  check_bool "fence model accepts any fsync" true (verify_under fence program);
+  check_bool "builtin commit still rejects it" false
+    (verify_under V.Model.commit program)
+
+let test_msc_sync_index () =
+  let records =
+    collect ~nranks:1 (fun ctx fs ->
+        let fd = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/z" in
+        F.fsync fs ~rank:0 fd;
+        F.fsync fs ~rank:0 fd;
+        F.close fs ~rank:0 fd)
+  in
+  let d = V.Op.decode ~nranks:1 records in
+  let sidx = V.Msc.build_index d in
+  (* open + 2 fsync + close = 4 sync-capable ops *)
+  check_int "sync op count" 4 (V.Msc.sync_op_count sidx)
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "specifications",
+        [
+          Alcotest.test_case "builtin shapes" `Quick test_builtin_shapes;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+        ] );
+      ( "msc",
+        [
+          Alcotest.test_case "commit needs fsync" `Quick
+            test_commit_needs_fsync_not_close;
+          Alcotest.test_case "same-file scoping" `Quick
+            test_sync_op_must_be_on_same_file;
+          Alcotest.test_case "MPI-IO ignores POSIX syncs" `Quick
+            test_mpiio_model_ignores_posix_sync_ops;
+          Alcotest.test_case "sync order matters" `Quick
+            test_mpiio_sync_order_matters;
+          Alcotest.test_case "custom model" `Quick test_custom_model;
+          Alcotest.test_case "sync index" `Quick test_msc_sync_index;
+        ] );
+    ]

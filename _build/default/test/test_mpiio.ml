@@ -1,0 +1,474 @@
+(* Tests for the MPI-IO layer: views, independent and collective access,
+   two-phase aggregation, sync operations, and trace shape (nesting of POSIX
+   records under MPIIO records). *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module V = Mpiio.View
+module MF = Mpiio.File
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let b = Bytes.of_string
+let s = Bytes.to_string
+
+let run ?trace ~nranks ~model program =
+  let fs = F.create ?trace ~model () in
+  let eng = E.create ?trace ~nranks () in
+  E.run eng (fun ctx -> program ctx fs);
+  fs
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_view_contiguous () =
+  let v = V.make ~disp:100 V.Contiguous in
+  Alcotest.(check (list (pair int int)))
+    "offset mapping" [ (110, 5) ]
+    (V.map_range v ~off:10 ~len:5);
+  Alcotest.(check (list (pair int int))) "empty" [] (V.map_range v ~off:3 ~len:0)
+
+let test_view_strided () =
+  (* blocks of 4 bytes every 16 bytes, displaced by 8 *)
+  let v = V.make ~disp:8 (V.Strided { blocklen = 4; stride = 16 }) in
+  Alcotest.(check (list (pair int int)))
+    "one block" [ (8, 4) ]
+    (V.map_range v ~off:0 ~len:4);
+  Alcotest.(check (list (pair int int)))
+    "crosses blocks" [ (10, 2); (24, 4); (40, 1) ]
+    (V.map_range v ~off:2 ~len:7);
+  Alcotest.(check (list (pair int int)))
+    "mid block" [ (25, 2) ]
+    (V.map_range v ~off:5 ~len:2)
+
+let test_view_adjacent_blocks_merge () =
+  (* stride = blocklen means the view is actually contiguous. *)
+  let v = V.make ~disp:0 (V.Strided { blocklen = 4; stride = 4 }) in
+  Alcotest.(check (list (pair int int)))
+    "merged" [ (0, 10) ]
+    (V.map_range v ~off:0 ~len:10)
+
+let test_view_validation () =
+  Alcotest.check_raises "negative disp"
+    (Invalid_argument "View.make: negative displacement") (fun () ->
+      ignore (V.make ~disp:(-1) V.Contiguous));
+  Alcotest.check_raises "stride < blocklen"
+    (Invalid_argument "View.make: stride < blocklen") (fun () ->
+      ignore (V.make ~disp:0 (V.Strided { blocklen = 8; stride = 4 })))
+
+let test_view_describe_round_trip () =
+  let views =
+    [
+      V.default;
+      V.make ~disp:128 V.Contiguous;
+      V.make ~disp:0 (V.Strided { blocklen = 4; stride = 16 });
+      V.make ~disp:512 (V.Strided { blocklen = 100; stride = 400 });
+    ]
+  in
+  List.iter
+    (fun v ->
+      match V.of_description (V.describe v) with
+      | Some v' -> check_bool ("round trip " ^ V.describe v) true (v = v')
+      | None -> Alcotest.fail ("failed to parse " ^ V.describe v))
+    views;
+  check_bool "garbage rejected" true (V.of_description "bogus" = None)
+
+let prop_view_mapping_total_and_monotonic =
+  QCheck2.Test.make
+    ~name:"strided mapping covers exactly len bytes, ascending and disjoint"
+    ~count:200
+    QCheck2.Gen.(
+      let* blocklen = int_range 1 8 in
+      let* extra = int_range 0 8 in
+      let* disp = int_range 0 32 in
+      let* off = int_range 0 40 in
+      let* len = int_range 0 40 in
+      return (blocklen, blocklen + extra, disp, off, len))
+    (fun (blocklen, stride, disp, off, len) ->
+      let v = V.make ~disp (V.Strided { blocklen; stride }) in
+      let segs = V.map_range v ~off ~len in
+      let total = List.fold_left (fun a (_, l) -> a + l) 0 segs in
+      let rec ascending = function
+        | (o1, l1) :: ((o2, _) :: _ as rest) ->
+          o1 + l1 <= o2 && ascending rest
+        | _ -> true
+      in
+      total = len && ascending segs
+      && List.for_all (fun (_, l) -> l > 0) segs)
+
+(* ------------------------------------------------------------------ *)
+(* Independent access                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_open_write_read_close () =
+  let fs =
+    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f =
+          MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/out"
+        in
+        MF.write_at ctx f ~off:(ctx.E.rank * 4)
+          (b (Printf.sprintf "R%d__" ctx.E.rank));
+        M.barrier ctx comm;
+        let back = MF.read_at ctx f ~off:0 ~len:8 in
+        check_string "both writes visible" "R0__R1__" (s back);
+        MF.close ctx f)
+  in
+  check_string "file contents" "R0__R1__" (F.global_contents fs "/out")
+
+let test_strided_independent_write () =
+  let fs =
+    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/st" in
+        (* Each rank's view interleaves 2-byte blocks with stride 4. *)
+        let view =
+          V.make ~disp:(ctx.E.rank * 2) (V.Strided { blocklen = 2; stride = 4 })
+        in
+        MF.set_view ctx f view;
+        let payload = if ctx.E.rank = 0 then "AABB" else "aabb" in
+        MF.write_at ctx f ~off:0 (b payload);
+        M.barrier ctx comm;
+        MF.close ctx f)
+  in
+  check_string "interleaved" "AAaaBBbb" (F.global_contents fs "/st")
+
+let test_seek_and_write_all () =
+  let fs =
+    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/wa" in
+        ignore (MF.seek ctx f ~off:(ctx.E.rank * 3) F.SEEK_SET);
+        MF.write_all ctx f (b (Printf.sprintf "%d%d%d" ctx.E.rank ctx.E.rank ctx.E.rank));
+        MF.close ctx f)
+  in
+  check_string "write_all at pointers" "000111" (F.global_contents fs "/wa")
+
+(* ------------------------------------------------------------------ *)
+(* Collective access and aggregation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_collective_contiguous_no_aggregation () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  let fs =
+    run ~trace ~nranks:2 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/cc" in
+        MF.write_at_all ctx f ~off:(ctx.E.rank * 4)
+          (b (if ctx.E.rank = 0 then "aaaa" else "bbbb"));
+        MF.close ctx f)
+  in
+  check_string "contents" "aaaabbbb" (F.global_contents fs "/cc");
+  (* Without aggregation each rank issues its own pwrite. *)
+  let pwrites_of rank =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "pwrite")
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_int "rank 0 pwrites" 1 (List.length (pwrites_of 0));
+  check_int "rank 1 pwrites" 1 (List.length (pwrites_of 1))
+
+let test_collective_strided_aggregates_at_rank0 () =
+  let trace = Recorder.Trace.create ~nranks:4 in
+  let fs =
+    run ~trace ~nranks:4 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/agg" in
+        let view =
+          V.make ~disp:(ctx.E.rank * 2) (V.Strided { blocklen = 2; stride = 8 })
+        in
+        MF.set_view ctx f view;
+        let c = Char.chr (Char.code 'A' + ctx.E.rank) in
+        MF.write_at_all ctx f ~off:0 (Bytes.make 4 c);
+        MF.close ctx f)
+  in
+  check_string "interleaved by aggregation" "AABBCCDDAABBCCDD"
+    (F.global_contents fs "/agg");
+  let pwrites_of rank =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "pwrite")
+      (Recorder.Trace.rank_records trace rank)
+  in
+  (* Only the aggregator touched the file. *)
+  check_int "rank 0 did the merged write" 1 (List.length (pwrites_of 0));
+  check_int "rank 1 wrote nothing" 0 (List.length (pwrites_of 1));
+  check_int "rank 2 wrote nothing" 0 (List.length (pwrites_of 2));
+  check_int "rank 3 wrote nothing" 0 (List.length (pwrites_of 3));
+  (* The merged write spans every rank's range. *)
+  match pwrites_of 0 with
+  | [ r ] ->
+    check_string "count" "16" (Recorder.Record.arg r 1);
+    check_string "offset" "0" (Recorder.Record.arg r 2)
+  | _ -> Alcotest.fail "expected exactly one aggregated pwrite"
+
+let test_cb_hint_forces_aggregation () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f =
+           MF.open_ ctx ~comm ~fs
+             ~hints:[ ("romio_cb_write", "enable") ]
+             ~amode:[ MF.Create; MF.Rdwr ] "/hint"
+         in
+         MF.write_at_all ctx f ~off:(ctx.E.rank * 4)
+           (b (if ctx.E.rank = 0 then "xxxx" else "yyyy"));
+         MF.close ctx f));
+  let pwrites_of rank =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "pwrite")
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_int "aggregator wrote" 1 (List.length (pwrites_of 0));
+  check_int "other rank did not" 0 (List.length (pwrites_of 1))
+
+let test_cb_hint_disables_aggregation () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f =
+           MF.open_ ctx ~comm ~fs
+             ~hints:[ ("romio_cb_write", "disable") ]
+             ~amode:[ MF.Create; MF.Rdwr ] "/nohint"
+         in
+         let view =
+           V.make ~disp:(ctx.E.rank * 2) (V.Strided { blocklen = 2; stride = 4 })
+         in
+         MF.set_view ctx f view;
+         MF.write_at_all ctx f ~off:0 (b "zz");
+         MF.close ctx f));
+  let pwrites_of rank =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "pwrite")
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_int "rank 0 wrote own block" 1 (List.length (pwrites_of 0));
+  check_int "rank 1 wrote own block" 1 (List.length (pwrites_of 1))
+
+let test_cb_nodes_multiple_aggregators () =
+  (* With cb_nodes=2, the merged range splits into two stripes written by
+     ranks 0 and 1. *)
+  let trace = Recorder.Trace.create ~nranks:4 in
+  let fs =
+    run ~trace ~nranks:4 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f =
+          MF.open_ ctx ~comm ~fs
+            ~hints:[ ("romio_cb_write", "enable"); ("cb_nodes", "2") ]
+            ~amode:[ MF.Create; MF.Rdwr ] "/cbn"
+        in
+        MF.write_at_all ctx f ~off:(ctx.E.rank * 4)
+          (Bytes.make 4 (Char.chr (Char.code 'a' + ctx.E.rank)));
+        MF.close ctx f)
+  in
+  check_string "contents intact" "aaaabbbbccccdddd" (F.global_contents fs "/cbn");
+  let pwrites_of rank =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "pwrite")
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_int "rank 0 wrote a stripe" 1 (List.length (pwrites_of 0));
+  check_int "rank 1 wrote a stripe" 1 (List.length (pwrites_of 1));
+  check_int "rank 2 wrote nothing" 0 (List.length (pwrites_of 2));
+  check_int "rank 3 wrote nothing" 0 (List.length (pwrites_of 3));
+  (* The two stripes cover half the range each. *)
+  (match (pwrites_of 0, pwrites_of 1) with
+  | [ w0 ], [ w1 ] ->
+    check_string "stripe 0 offset" "0" (Recorder.Record.arg w0 2);
+    check_string "stripe 0 size" "8" (Recorder.Record.arg w0 1);
+    check_string "stripe 1 offset" "8" (Recorder.Record.arg w1 2);
+    check_string "stripe 1 size" "8" (Recorder.Record.arg w1 1)
+  | _ -> Alcotest.fail "expected one stripe write per aggregator");
+  ignore fs
+
+let test_cb_nodes_capped_and_validated () =
+  (* cb_nodes above the communicator size is capped; garbage rejected. *)
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f =
+           MF.open_ ctx ~comm ~fs
+             ~hints:[ ("romio_cb_write", "enable"); ("cb_nodes", "99") ]
+             ~amode:[ MF.Create; MF.Rdwr ] "/cap"
+         in
+         MF.write_at_all ctx f ~off:(ctx.E.rank * 2) (Bytes.make 2 'k');
+         MF.close ctx f));
+  try
+    ignore
+      (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+           let comm = M.comm_world ctx in
+           ignore
+             (MF.open_ ctx ~comm ~fs
+                ~hints:[ ("cb_nodes", "zero") ]
+                ~amode:[ MF.Create; MF.Rdwr ] "/bad")));
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_aggregation_preserves_gap_bytes () =
+  (* The read-modify-write phase must not clobber bytes inside the merged
+     run that no rank wrote in this collective. *)
+  let fs =
+    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+        let comm = M.comm_world ctx in
+        let f =
+          MF.open_ ctx ~comm ~fs
+            ~hints:[ ("romio_cb_write", "enable") ]
+            ~amode:[ MF.Create; MF.Rdwr ] "/gap"
+        in
+        (* Pre-populate the whole region with dots through a direct write. *)
+        if ctx.E.rank = 0 then MF.write_at ctx f ~off:0 (b "........");
+        MF.sync ctx f;
+        (* Aggregated collective: rank 0 writes [0,2), rank 1 writes [6,8);
+           bytes [2,6) are a gap inside the merged run. *)
+        MF.write_at_all ctx f ~off:(ctx.E.rank * 6)
+          (b (if ctx.E.rank = 0 then "AA" else "BB"));
+        MF.close ctx f)
+  in
+  check_string "gap preserved" "AA....BB" (F.global_contents fs "/gap")
+
+let test_read_at_all () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/ra" in
+         if ctx.E.rank = 0 then MF.write_at ctx f ~off:0 (b "collective!");
+         MF.sync ctx f;
+         let got = MF.read_at_all ctx f ~off:0 ~len:11 in
+         check_string "both read" "collective!" (s got);
+         MF.close ctx f))
+
+let test_collective_mismatch_detected () =
+  let raised = ref false in
+  (try
+     ignore
+       (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+            let comm = M.comm_world ctx in
+            let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/mm" in
+            (* Rank 0 calls write_at_all, rank 1 calls write_all: the split
+               code path of the paper's ncmpi_wait bug. *)
+            if ctx.E.rank = 0 then MF.write_at_all ctx f ~off:0 (b "x")
+            else MF.write_all ctx f (b "x");
+            MF.close ctx f))
+   with E.Mismatch _ -> raised := true);
+  check_bool "mismatch raised" true !raised
+
+(* ------------------------------------------------------------------ *)
+(* Sync semantics over relaxed file systems                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sync_publishes_on_commit_fs () =
+  ignore
+    (run ~nranks:2 ~model:F.Commit (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/cm" in
+         if ctx.E.rank = 0 then begin
+           MF.write_at ctx f ~off:0 (b "payload");
+           MF.sync ctx f
+         end
+         else begin
+           MF.sync ctx f;
+           (* After the collective sync the data is committed. *)
+           let got = MF.read_at ctx f ~off:0 ~len:7 in
+           check_string "visible after sync" "payload" (s got)
+         end;
+         MF.close ctx f))
+
+let test_missing_sync_hides_data_on_commit_fs () =
+  ignore
+    (run ~nranks:2 ~model:F.Commit (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/stale" in
+         if ctx.E.rank = 0 then MF.write_at ctx f ~off:0 (b "payload");
+         (* Only a barrier — the paper's improperly synchronized pattern. *)
+         M.barrier ctx comm;
+         if ctx.E.rank = 1 then begin
+           let got = MF.read_at ctx f ~off:0 ~len:7 in
+           check_string "stale read returns nothing" "" (s got)
+         end;
+         MF.close ctx f))
+
+(* ------------------------------------------------------------------ *)
+(* Trace shape                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_nesting () =
+  let trace = Recorder.Trace.create ~nranks:1 in
+  ignore
+    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx fs ->
+         let comm = M.comm_world ctx in
+         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/tn" in
+         MF.write_at ctx f ~off:0 (b "zz");
+         MF.sync ctx f;
+         MF.close ctx f));
+  let recs = Recorder.Trace.rank_records trace 0 in
+  let find f = List.find (fun (r : Recorder.Record.t) -> r.func = f) recs in
+  let pw = find "pwrite" in
+  Alcotest.(check (list string))
+    "pwrite nested under MPI_File_write_at" [ "MPI_File_write_at" ]
+    (List.map snd pw.Recorder.Record.call_path);
+  let fsync = find "fsync" in
+  Alcotest.(check (list string))
+    "fsync nested under MPI_File_sync" [ "MPI_File_sync" ]
+    (List.map snd fsync.Recorder.Record.call_path);
+  let posix_open = find "open" in
+  Alcotest.(check (list string))
+    "open nested under MPI_File_open" [ "MPI_File_open" ]
+    (List.map snd posix_open.Recorder.Record.call_path)
+
+let () =
+  Alcotest.run "mpiio"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "contiguous" `Quick test_view_contiguous;
+          Alcotest.test_case "strided" `Quick test_view_strided;
+          Alcotest.test_case "adjacent merge" `Quick
+            test_view_adjacent_blocks_merge;
+          Alcotest.test_case "validation" `Quick test_view_validation;
+          Alcotest.test_case "describe round trip" `Quick
+            test_view_describe_round_trip;
+          QCheck_alcotest.to_alcotest prop_view_mapping_total_and_monotonic;
+        ] );
+      ( "independent",
+        [
+          Alcotest.test_case "open/write/read/close" `Quick
+            test_open_write_read_close;
+          Alcotest.test_case "strided write" `Quick
+            test_strided_independent_write;
+          Alcotest.test_case "seek + write_all" `Quick test_seek_and_write_all;
+        ] );
+      ( "collective",
+        [
+          Alcotest.test_case "contiguous: no aggregation" `Quick
+            test_collective_contiguous_no_aggregation;
+          Alcotest.test_case "strided: aggregates at rank 0" `Quick
+            test_collective_strided_aggregates_at_rank0;
+          Alcotest.test_case "cb hint enables" `Quick
+            test_cb_hint_forces_aggregation;
+          Alcotest.test_case "cb hint disables" `Quick
+            test_cb_hint_disables_aggregation;
+          Alcotest.test_case "gap bytes preserved" `Quick
+            test_aggregation_preserves_gap_bytes;
+          Alcotest.test_case "cb_nodes striping" `Quick
+            test_cb_nodes_multiple_aggregators;
+          Alcotest.test_case "cb_nodes validation" `Quick
+            test_cb_nodes_capped_and_validated;
+          Alcotest.test_case "read_at_all" `Quick test_read_at_all;
+          Alcotest.test_case "mismatch detected" `Quick
+            test_collective_mismatch_detected;
+        ] );
+      ( "sync-semantics",
+        [
+          Alcotest.test_case "sync publishes (Commit fs)" `Quick
+            test_sync_publishes_on_commit_fs;
+          Alcotest.test_case "missing sync hides data" `Quick
+            test_missing_sync_hides_data_on_commit_fs;
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "nesting" `Quick test_trace_nesting ] );
+    ]

@@ -1,0 +1,177 @@
+(* Tests for the NetCDF-4 layer: definition, data access through HDF5, the
+   parallel5 concurrent-put pattern, and the four-deep call chains. *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module NC = Netcdfsim.Netcdf
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let s = Bytes.to_string
+
+let run ?trace ~nranks ~model program =
+  let fs = F.create ?trace ~model () in
+  let sys = NC.create_system ~fs in
+  let eng = E.create ?trace ~nranks () in
+  E.run eng (fun ctx -> program ctx sys);
+  fs
+
+let test_def_and_round_trip () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = NC.create_par ctx sys ~comm "/t.nc" in
+         let dx = NC.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = NC.def_var ctx nc ~name:"a" NC.Char ~dims:[ dx ] in
+         NC.enddef ctx nc;
+         (* Each rank writes a disjoint half via vara. *)
+         NC.put_vara ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ]
+           (Bytes.make 4 (if ctx.E.rank = 0 then 'l' else 'r'));
+         M.barrier ctx comm;
+         let back = NC.get_var ctx nc v in
+         check_string "round trip" "llllrrrr" (s back);
+         NC.close ctx nc))
+
+let test_reopen_reads_back () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = NC.create_par ctx sys ~comm "/p2.nc" in
+         let dx = NC.def_dim ctx nc ~name:"x" ~len:4 in
+         let v = NC.def_var ctx nc ~name:"a" NC.Char ~dims:[ dx ] in
+         NC.enddef ctx nc;
+         NC.put_var ctx nc v (Bytes.of_string "data");
+         NC.close ctx nc;
+         ignore v;
+         let nc2 = NC.open_par ctx sys ~comm "/p2.nc" in
+         let v2 = NC.inq_varid ctx nc2 "a" in
+         check_string "reopened data" "data" (s (NC.get_var ctx nc2 v2));
+         NC.close ctx nc2))
+
+let test_parallel5_pattern_concurrent_put () =
+  (* Both ranks write the whole variable with independent access: the
+     §V-B1 same-bytes conflict. On POSIX the result is one of the two
+     values; with our deterministic schedule, rank 1's write lands last. *)
+  let fs =
+    run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+        let comm = M.comm_world ctx in
+        let nc = NC.create_par ctx sys ~comm "/par5.nc" in
+        let dx = NC.def_dim ctx nc ~name:"x" ~len:4 in
+        let v = NC.def_var ctx nc ~name:"v" NC.Byte ~dims:[ dx ] in
+        NC.enddef ctx nc;
+        NC.put_var ctx nc v (Bytes.make 4 (Char.chr (Char.code '0' + ctx.E.rank)));
+        M.barrier ctx comm;
+        NC.close ctx nc)
+  in
+  ignore fs
+
+let test_collective_access_switch () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = NC.create_par ctx sys ~comm "/coll.nc" in
+         let dr = NC.def_dim ctx nc ~name:"r" ~len:2 in
+         let dc = NC.def_dim ctx nc ~name:"c" ~len:8 in
+         let v = NC.def_var ctx nc ~name:"m" NC.Char ~dims:[ dr; dc ] in
+         NC.enddef ctx nc;
+         NC.var_par_access ctx nc v NC.Collective;
+         NC.put_vara ctx nc v ~start:[ ctx.E.rank; 0 ] ~count:[ 1; 8 ]
+           (Bytes.make 8 'c');
+         NC.close ctx nc));
+  (* Collective access maps to MPI_File_write_at_all. *)
+  let colls =
+    List.filter
+      (fun (r : Recorder.Record.t) -> r.func = "MPI_File_write_at_all")
+      (Recorder.Trace.records trace)
+  in
+  check_int "collective writes" 2 (List.length colls)
+
+let test_four_layer_call_chain () =
+  let trace = Recorder.Trace.create ~nranks:1 in
+  ignore
+    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = NC.create_par ctx sys ~comm "/chain.nc" in
+         let dx = NC.def_dim ctx nc ~name:"x" ~len:4 in
+         let v = NC.def_var ctx nc ~name:"v" NC.Byte ~dims:[ dx ] in
+         NC.enddef ctx nc;
+         NC.put_var ctx nc v (Bytes.make 4 'z');
+         NC.close ctx nc));
+  let recs = Recorder.Trace.rank_records trace 0 in
+  let data_pwrite =
+    List.find
+      (fun (r : Recorder.Record.t) ->
+        r.func = "pwrite"
+        && List.exists (fun (_, f) -> f = "nc_put_var_schar") r.call_path)
+      recs
+  in
+  Alcotest.(check (list string))
+    "nc_put_var_schar -> H5Dwrite -> MPI_File_write_at -> pwrite"
+    [ "nc_put_var_schar"; "H5Dwrite"; "MPI_File_write_at" ]
+    (List.map snd data_pwrite.Recorder.Record.call_path);
+  (* And the NETCDF-layer names come from the generated registry. *)
+  List.iter
+    (fun (r : Recorder.Record.t) ->
+      if r.layer = Recorder.Record.Netcdf then
+        check_bool (r.func ^ " in registry") true
+          (Recorder.Signatures.supported Recorder.Signatures.NetCDF r.func))
+    recs
+
+let test_attributes () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = NC.create_par ctx sys ~comm "/at.nc" in
+         let dx = NC.def_dim ctx nc ~name:"x" ~len:2 in
+         ignore (NC.def_var ctx nc ~name:"v" NC.Char ~dims:[ dx ]);
+         NC.enddef ctx nc;
+         NC.put_att_text ctx nc ~name:"units" "degC";
+         M.barrier ctx comm;
+         check_string "attribute round trip" "degC"
+           (NC.get_att_text ctx nc ~name:"units");
+         NC.close ctx nc))
+
+let test_nc_sync_flushes () =
+  let trace = Recorder.Trace.create ~nranks:1 in
+  ignore
+    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = NC.create_par ctx sys ~comm "/sy.nc" in
+         let dx = NC.def_dim ctx nc ~name:"x" ~len:2 in
+         let v = NC.def_var ctx nc ~name:"v" NC.Char ~dims:[ dx ] in
+         NC.enddef ctx nc;
+         ignore v;
+         NC.sync ctx nc;
+         NC.close ctx nc));
+  let chain =
+    List.find
+      (fun (r : Recorder.Record.t) -> r.func = "MPI_File_sync")
+      (Recorder.Trace.records trace)
+  in
+  Alcotest.(check (list string))
+    "nc_sync -> H5Fflush -> MPI_File_sync" [ "nc_sync"; "H5Fflush" ]
+    (List.map snd chain.Recorder.Record.call_path)
+
+let () =
+  Alcotest.run "netcdf"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "def + round trip" `Quick test_def_and_round_trip;
+          Alcotest.test_case "reopen reads back" `Quick test_reopen_reads_back;
+          Alcotest.test_case "parallel5 pattern" `Quick
+            test_parallel5_pattern_concurrent_put;
+          Alcotest.test_case "collective switch" `Quick
+            test_collective_access_switch;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "four-layer chain" `Quick test_four_layer_call_chain;
+          Alcotest.test_case "nc_sync flushes" `Quick test_nc_sync_flushes;
+        ] );
+    ]

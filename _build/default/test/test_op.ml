@@ -1,0 +1,253 @@
+(* Tests for trace decoding robustness: malformed traces must fail loudly
+   with descriptive errors (never silently misattribute I/O), descriptor
+   reuse must rebind correctly, and in-flight records must decode. *)
+
+module R = Recorder.Record
+module V = Verifyio
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(rank = 0) ~seq ~layer ~func ~args ?(ret = "0") () =
+  {
+    R.rank;
+    seq;
+    tstart = (rank * 1000) + (seq * 2);
+    tend = (rank * 1000) + (seq * 2) + 1;
+    layer;
+    func;
+    args = Array.of_list args;
+    ret;
+    call_path = [];
+  }
+
+let expect_malformed ?expect records =
+  match V.Op.decode ~nranks:2 records with
+  | exception V.Op.Malformed msg ->
+    (match expect with
+    | Some needle ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool (Printf.sprintf "error %S mentions %S" msg needle) true
+        (contains msg needle)
+    | None -> ())
+  | _ -> Alcotest.fail "expected Malformed"
+
+let test_io_on_unknown_fd () =
+  expect_malformed ~expect:"unknown/closed handle"
+    [ mk ~seq:0 ~layer:R.Posix ~func:"pwrite" ~args:[ "9"; "4"; "0" ] ~ret:"4" () ]
+
+let test_io_after_close () =
+  expect_malformed ~expect:"unknown/closed handle"
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:1 ~layer:R.Posix ~func:"close" ~args:[ "3" ] ();
+      mk ~seq:2 ~layer:R.Posix ~func:"pread" ~args:[ "3"; "4"; "0" ] ~ret:"0" ();
+    ]
+
+let test_garbage_args () =
+  expect_malformed ~expect:"expected an int"
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:1 ~layer:R.Posix ~func:"pwrite" ~args:[ "3"; "lots"; "0" ] ~ret:"4" ();
+    ]
+
+let test_unknown_posix_func () =
+  expect_malformed ~expect:"unknown POSIX function"
+    [ mk ~seq:0 ~layer:R.Posix ~func:"mystery_call" ~args:[] () ]
+
+let test_bad_whence () =
+  expect_malformed ~expect:"unknown whence"
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:1 ~layer:R.Posix ~func:"lseek" ~args:[ "3"; "0"; "SEEK_WAT" ] ~ret:"0" ();
+    ]
+
+let test_fd_reuse_rebinds () =
+  let records =
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/a"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:1 ~layer:R.Posix ~func:"pwrite" ~args:[ "3"; "4"; "0" ] ~ret:"4" ();
+      mk ~seq:2 ~layer:R.Posix ~func:"close" ~args:[ "3" ] ();
+      (* fd 3 reused for a different file *)
+      mk ~seq:3 ~layer:R.Posix ~func:"open" ~args:[ "/b"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:4 ~layer:R.Posix ~func:"pwrite" ~args:[ "3"; "4"; "0" ] ~ret:"4" ();
+      mk ~seq:5 ~layer:R.Posix ~func:"close" ~args:[ "3" ] ();
+    ]
+  in
+  let d = V.Op.decode ~nranks:2 records in
+  let fids =
+    Array.to_list d.V.Op.ops
+    |> List.filter_map (fun (o : V.Op.t) ->
+           match o.V.Op.kind with V.Op.Data { fid; _ } -> Some fid | _ -> None)
+  in
+  check_int "two different files" 2 (List.length (List.sort_uniq compare fids));
+  check_bool "fid of /a resolved" true (V.Op.fid_of_path d "/a" <> None);
+  check_bool "fid of /b resolved" true (V.Op.fid_of_path d "/b" <> None)
+
+let test_in_flight_open_skipped () =
+  (* An open that never returned has no descriptor; it must decode to a
+     non-I/O op rather than poison the handle table. *)
+  let records =
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ]
+        ~ret:Recorder.Trace.in_flight_ret ();
+    ]
+  in
+  let d = V.Op.decode ~nranks:2 records in
+  check_int "no data ops" 0
+    (Array.length (Array.of_list (List.filter V.Op.is_data (Array.to_list d.V.Op.ops))))
+
+let test_append_offset_uses_global_eof () =
+  (* Rank 0 extends the file; rank 1's later O_APPEND write must land at
+     the grown EOF (reconstructed in global timestamp order). *)
+  let records =
+    [
+      mk ~rank:0 ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~rank:0 ~seq:1 ~layer:R.Posix ~func:"pwrite" ~args:[ "3"; "10"; "0" ] ~ret:"10" ();
+      mk ~rank:1 ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_RDWR|O_APPEND" ] ~ret:"3" ();
+      mk ~rank:1 ~seq:1 ~layer:R.Posix ~func:"write" ~args:[ "3"; "5" ] ~ret:"5" ();
+    ]
+  in
+  (* Rank 1's records must come after rank 0's in the global clock. *)
+  let records =
+    List.map
+      (fun (r : R.t) ->
+        if r.rank = 1 then { r with tstart = r.tstart + 5000; tend = r.tend + 5000 }
+        else r)
+      records
+  in
+  let d = V.Op.decode ~nranks:2 records in
+  let append_write =
+    Array.to_list d.V.Op.ops
+    |> List.find (fun (o : V.Op.t) ->
+           o.V.Op.record.R.rank = 1 && V.Op.is_write o)
+  in
+  (match append_write.V.Op.kind with
+  | V.Op.Data { iv; _ } ->
+    check_int "append lands at EOF" 10 iv.Vio_util.Interval.os;
+    check_int "append extent" 15 iv.Vio_util.Interval.oe
+  | _ -> Alcotest.fail "expected a data op")
+
+let test_trunc_resets_eof () =
+  let records =
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:1 ~layer:R.Posix ~func:"pwrite" ~args:[ "3"; "100"; "0" ] ~ret:"100" ();
+      mk ~seq:2 ~layer:R.Posix ~func:"ftruncate" ~args:[ "3"; "10" ] ();
+      mk ~seq:3 ~layer:R.Posix ~func:"lseek" ~args:[ "3"; "0"; "SEEK_END" ] ~ret:"10" ();
+      mk ~seq:4 ~layer:R.Posix ~func:"write" ~args:[ "3"; "4" ] ~ret:"4" ();
+    ]
+  in
+  let d = V.Op.decode ~nranks:2 records in
+  let last_write =
+    Array.to_list d.V.Op.ops
+    |> List.filter (fun o -> V.Op.is_write o)
+    |> List.rev |> List.hd
+  in
+  match last_write.V.Op.kind with
+  | V.Op.Data { iv; _ } ->
+    check_int "write after truncate+seek_end" 10 iv.Vio_util.Interval.os
+  | _ -> Alcotest.fail "expected data op"
+
+let test_negative_count_malformed () =
+  expect_malformed ~expect:"invalid value"
+    [
+      mk ~seq:0 ~layer:R.Posix ~func:"open" ~args:[ "/f"; "O_CREAT|O_RDWR" ] ~ret:"3" ();
+      mk ~seq:1 ~layer:R.Posix ~func:"pwrite" ~args:[ "3"; "-4"; "0" ] ~ret:"-4" ();
+    ]
+
+(* Adversarial fuzz: any byte salad either decodes or raises Malformed (via
+   the codec's Failure) — the pipeline must never crash with an unexpected
+   exception on hostile input. *)
+let prop_decoder_total =
+  let func_pool =
+    [ "open"; "close"; "pwrite"; "pread"; "write"; "read"; "lseek"; "fsync";
+      "fopen"; "fclose"; "fwrite"; "fread"; "fseek"; "ftell"; "fflush";
+      "ftruncate"; "unlink"; "garbage"; "MPI_File_open"; "MPI_File_close";
+      "MPI_File_sync"; "MPI_Barrier"; "MPI_Send"; "MPI_Recv" ]
+  in
+  let arg_pool =
+    [ "0"; "1"; "3"; "-1"; "999999"; "/f"; "O_CREAT|O_RDWR"; "SEEK_SET";
+      "SEEK_END"; "w+"; "junk"; "" ]
+  in
+  QCheck2.Test.make ~name:"decode is total: success or Malformed" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 15)
+        (triple (oneofl func_pool)
+           (list_size (int_range 0 4) (oneofl arg_pool))
+           (oneofl [ "0"; "3"; "-1"; "x"; "" ])))
+    (fun calls ->
+      let layer_of f =
+        if String.length f > 8 && String.sub f 0 8 = "MPI_File" then R.Mpiio
+        else if String.length f > 3 && String.sub f 0 4 = "MPI_" then R.Mpi
+        else R.Posix
+      in
+      let records =
+        List.mapi
+          (fun k (func, args, ret) ->
+            mk ~seq:k ~layer:(layer_of func) ~func ~args ~ret ())
+          calls
+      in
+      match V.Op.decode ~nranks:2 records with
+      | _ -> true
+      | exception V.Op.Malformed _ -> true)
+
+let prop_pipeline_total =
+  QCheck2.Test.make
+    ~name:"full pipeline is total on decodable traces" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 0 12)
+        (pair (int_range 0 1) (int_range 0 30)))
+    (fun ops ->
+      (* Well-formed but arbitrary POSIX traffic on two ranks. *)
+      let records =
+        List.concat_map
+          (fun rank ->
+            mk ~rank ~seq:0 ~layer:R.Posix ~func:"open"
+              ~args:[ "/fz"; "O_CREAT|O_RDWR" ] ~ret:"3" ()
+            :: List.mapi
+                 (fun k (kind, off) ->
+                   if kind = 0 then
+                     mk ~rank ~seq:(k + 1) ~layer:R.Posix ~func:"pwrite"
+                       ~args:[ "3"; "4"; string_of_int off ] ~ret:"4" ()
+                   else
+                     mk ~rank ~seq:(k + 1) ~layer:R.Posix ~func:"pread"
+                       ~args:[ "3"; "4"; string_of_int off ] ~ret:"4" ())
+                 ops)
+          [ 0; 1 ]
+      in
+      List.for_all
+        (fun model ->
+          let o = V.Pipeline.verify ~model ~nranks:2 records in
+          o.V.Pipeline.race_count >= 0)
+        V.Model.builtin)
+
+let () =
+  Alcotest.run "op-decode"
+    [
+      ( "malformed",
+        [
+          Alcotest.test_case "unknown fd" `Quick test_io_on_unknown_fd;
+          Alcotest.test_case "use after close" `Quick test_io_after_close;
+          Alcotest.test_case "garbage args" `Quick test_garbage_args;
+          Alcotest.test_case "unknown func" `Quick test_unknown_posix_func;
+          Alcotest.test_case "bad whence" `Quick test_bad_whence;
+          Alcotest.test_case "negative count" `Quick
+            test_negative_count_malformed;
+        ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decoder_total; prop_pipeline_total ] );
+      ( "reconstruction",
+        [
+          Alcotest.test_case "fd reuse" `Quick test_fd_reuse_rebinds;
+          Alcotest.test_case "in-flight open" `Quick test_in_flight_open_skipped;
+          Alcotest.test_case "append at global EOF" `Quick
+            test_append_offset_uses_global_eof;
+          Alcotest.test_case "truncate resets EOF" `Quick test_trunc_resets_eof;
+        ] );
+    ]

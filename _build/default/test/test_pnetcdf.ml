@@ -1,0 +1,581 @@
+(* Tests for the simplified PnetCDF: define mode, layout, fill, collective
+   and independent data access, aggregation via strided selections, the
+   non-blocking queue, and the split-wait implementation bug. *)
+
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module P = Pncdf.Pnetcdf
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let s = Bytes.to_string
+
+let run ?trace ?(bug = false) ~nranks ~model program =
+  let fs = F.create ?trace ~model () in
+  let sys = P.create_system ~bug_split_wait:bug ~fs () in
+  let eng = E.create ?trace ~nranks () in
+  E.run eng (fun ctx -> program ctx sys);
+  fs
+
+let test_define_and_layout () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/d.nc" in
+         let dx = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let dy = P.def_dim ctx nc ~name:"y" ~len:4 in
+         let v1 = P.def_var ctx nc ~name:"a" P.Int ~dims:[ dx ] in
+         let v2 = P.def_var ctx nc ~name:"b" P.Double ~dims:[ dx; dy ] in
+         P.put_att_text ctx nc ~name:"title" "layout test";
+         P.enddef ctx nc;
+         check_int "var a bytes" 32 (P.var_byte_size nc v1);
+         check_int "var b bytes" 256 (P.var_byte_size nc v2);
+         let o1 = P.var_offset nc v1 and o2 = P.var_offset nc v2 in
+         check_bool "header then a then b" true (o1 >= 512 && o2 = o1 + 32);
+         P.close ctx nc))
+
+let test_define_mode_enforced () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/m.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         (* Data calls before enddef fail. *)
+         (try
+            P.put_vara_all ctx nc v ~start:[ 0 ] ~count:[ 1 ] (Bytes.make 1 'x');
+            Alcotest.fail "expected define-mode error"
+          with P.Nc_error _ -> ());
+         P.enddef ctx nc;
+         (* def calls after enddef fail. *)
+         (try
+            ignore (P.def_dim ctx nc ~name:"y" ~len:2);
+            Alcotest.fail "expected not-in-define-mode error"
+          with P.Nc_error _ -> ());
+         P.close ctx nc))
+
+let test_put_get_round_trip () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/rt.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         (* Each rank writes its half. *)
+         let payload = Bytes.make 4 (if ctx.E.rank = 0 then 'L' else 'R') in
+         P.put_vara_all ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ] payload;
+         let back = P.get_vara_all ctx nc v ~start:[ 0 ] ~count:[ 8 ] in
+         check_string "round trip" "LLLLRRRR" (s back);
+         P.close ctx nc))
+
+let test_fill_at_enddef () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/fill.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.set_fill ctx nc true;
+         P.enddef ctx nc;
+         ignore v;
+         P.close ctx nc));
+  (* Both ranks participated in the fill: one write_at_all under enddef per
+     rank, each writing a distinct half. *)
+  List.iter
+    (fun rank ->
+      let fills =
+        List.filter
+          (fun (r : Recorder.Record.t) ->
+            r.func = "MPI_File_write_at_all"
+            && List.exists (fun (_, f) -> f = "ncmpi_enddef") r.call_path)
+          (Recorder.Trace.rank_records trace rank)
+      in
+      check_int (Printf.sprintf "rank %d fill writes" rank) 1 (List.length fills))
+    [ 0; 1 ]
+
+let test_strided_put_aggregates () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  let fs =
+    run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+        let comm = M.comm_world ctx in
+        let nc = P.create ctx sys ~comm "/agg.nc" in
+        let rows = P.def_dim ctx nc ~name:"rows" ~len:4 in
+        let cols = P.def_dim ctx nc ~name:"cols" ~len:4 in
+        let v = P.def_var ctx nc ~name:"m" P.Text ~dims:[ rows; cols ] in
+        P.enddef ctx nc;
+        (* Each rank writes a 4x2 column block: strided -> aggregation. *)
+        P.put_vara_all ctx nc v ~start:[ 0; ctx.E.rank * 2 ] ~count:[ 4; 2 ]
+          (Bytes.make 8 (if ctx.E.rank = 0 then 'A' else 'B'));
+        let back = P.get_vara_all ctx nc v ~start:[ 0; 0 ] ~count:[ 4; 4 ] in
+        check_string "interleaved columns" "AABBAABBAABBAABB" (s back);
+        P.close ctx nc)
+  in
+  ignore fs;
+  (* The aggregated write happened at rank 0 only. *)
+  let data_pwrites rank =
+    List.filter
+      (fun (r : Recorder.Record.t) ->
+        r.func = "pwrite"
+        && List.exists (fun (_, f) -> f = "MPI_File_write_at_all") r.call_path
+        && List.exists
+             (fun (_, f) -> String.length f > 10 && String.sub f 0 10 = "ncmpi_put_")
+             r.call_path)
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_int "rank 0 aggregated" 1 (List.length (data_pwrites 0));
+  check_int "rank 1 no data pwrite" 0 (List.length (data_pwrites 1))
+
+let test_var1_same_element_conflicts () =
+  (* null_args-style: both ranks write the same element; file ends up with
+     one of the values (engine order: later rank's collective pwrite last). *)
+  let fs =
+    run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+        let comm = M.comm_world ctx in
+        let nc = P.create ctx sys ~comm "/v1.nc" in
+        let d = P.def_dim ctx nc ~name:"x" ~len:4 in
+        let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+        P.enddef ctx nc;
+        P.put_var1_all ctx nc v ~index:[ 0 ]
+          (Bytes.make 1 (if ctx.E.rank = 0 then '0' else '1'));
+        P.close ctx nc)
+  in
+  ignore fs
+
+let test_independent_access_mode () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/ind.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         (* Independent puts require begin_indep. *)
+         (try
+            P.put_vara ctx nc v ~start:[ 0 ] ~count:[ 1 ] (Bytes.make 1 'x');
+            Alcotest.fail "expected indep-mode error"
+          with P.Nc_error _ -> ());
+         P.begin_indep ctx nc;
+         if ctx.E.rank = 0 then
+           P.put_vara ctx nc v ~start:[ 0 ] ~count:[ 4 ] (Bytes.make 4 'i');
+         P.end_indep ctx nc;
+         M.barrier ctx comm;
+         let back = P.get_vara_all ctx nc v ~start:[ 0 ] ~count:[ 4 ] in
+         check_string "independent write landed" "iiii" (s back);
+         P.close ctx nc))
+
+let test_nonblocking_iput_wait () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/nb.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         let r1 =
+           P.iput_vara ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 2 ]
+             (Bytes.make 2 'p')
+         in
+         let r2 =
+           P.iput_vara ctx nc v ~start:[ (ctx.E.rank * 4) + 2 ] ~count:[ 2 ]
+             (Bytes.make 2 'q')
+         in
+         (* Nothing written yet: requests are queued. *)
+         P.wait_all ctx nc [ r1; r2 ];
+         let back = P.get_vara_all ctx nc v ~start:[ 0 ] ~count:[ 8 ] in
+         check_string "queued writes executed" "ppqqppqq" (s back);
+         P.close ctx nc))
+
+let test_iget_round_trip () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/ig.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         P.put_vara_all ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ]
+           (Bytes.make 4 (if ctx.E.rank = 0 then 'L' else 'R'));
+         (* Queue two reads, drain them with one wait, fetch both. *)
+         let r1 = P.iget_vara ctx nc v ~start:[ 0 ] ~count:[ 4 ] in
+         let r2 = P.iget_vara ctx nc v ~start:[ 4 ] ~count:[ 4 ] in
+         (* Not available before the wait. *)
+         (try
+            ignore (P.iget_result nc r1);
+            Alcotest.fail "expected missing-result error"
+          with P.Nc_error _ -> ());
+         P.wait_all ctx nc [ r1; r2 ];
+         check_string "first half" "LLLL" (s (P.iget_result nc r1));
+         check_string "second half" "RRRR" (s (P.iget_result nc r2));
+         (* Results are single-fetch. *)
+         (try
+            ignore (P.iget_result nc r1);
+            Alcotest.fail "expected second fetch to fail"
+          with P.Nc_error _ -> ());
+         P.close ctx nc))
+
+let test_mixed_iput_iget_wait () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/mix.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         (* A put and a get of the same rank's region drain in queue
+            order, so the get observes the put. *)
+         let w =
+           P.iput_vara ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ]
+             (Bytes.make 4 'm')
+         in
+         let r = P.iget_vara ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ] in
+         P.wait_all ctx nc [ w; r ];
+         check_string "get sees queued put" "mmmm" (s (P.iget_result nc r));
+         P.close ctx nc))
+
+let test_close_with_pending_fails () =
+  (try
+     ignore
+       (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+            let comm = M.comm_world ctx in
+            let nc = P.create ctx sys ~comm "/pend.nc" in
+            let d = P.def_dim ctx nc ~name:"x" ~len:4 in
+            let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+            P.enddef ctx nc;
+            ignore (P.iput_vara ctx nc v ~start:[ 0 ] ~count:[ 1 ] (Bytes.make 1 'z'));
+            P.close ctx nc));
+     Alcotest.fail "expected close failure"
+   with P.Nc_error msg ->
+     check_bool "mentions pending" true
+       (String.length msg > 0))
+
+let test_split_wait_bug_mismatch () =
+  (* With the bug flag the wait path splits per rank and the engine reports
+     a collective mismatch, as §V-D describes. *)
+  let trace = Recorder.Trace.create ~nranks:2 in
+  let raised = ref false in
+  (try
+     ignore
+       (run ~trace ~bug:true ~nranks:2 ~model:F.Posix (fun ctx sys ->
+            let comm = M.comm_world ctx in
+            let nc = P.create ctx sys ~comm "/bug.nc" in
+            let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+            let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+            P.enddef ctx nc;
+            let r =
+              P.iput_vara ctx nc v ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ]
+                (Bytes.make 4 'w')
+            in
+            P.wait_all ctx nc [ r ];
+            P.close ctx nc))
+   with E.Mismatch _ -> raised := true);
+  check_bool "mismatch raised" true !raised;
+  (* The trace still shows the split: write_at_all on rank 0, write_all on
+     rank 1 — what the verifier flags as unmatched. *)
+  let funcs rank =
+    List.filter_map
+      (fun (r : Recorder.Record.t) ->
+        if r.func = "MPI_File_write_at_all" || r.func = "MPI_File_write_all" then
+          Some r.func
+        else None)
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_bool "rank 0 took the write_at_all path" true
+    (List.exists (fun f -> f = "MPI_File_write_at_all") (funcs 0));
+  check_bool "rank 1 took the write_all path" true
+    (List.exists (fun f -> f = "MPI_File_write_all") (funcs 1))
+
+let test_reopen () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/ro.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let v = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         P.put_vara_all ctx nc v ~start:[ 0 ] ~count:[ 4 ] (Bytes.of_string "keep");
+         P.close ctx nc;
+         let nc2 = P.open_ ctx sys ~comm "/ro.nc" in
+         let back = P.get_vara_all ctx nc2 v ~start:[ 0 ] ~count:[ 4 ] in
+         check_string "reopened data" "keep" (s back);
+         P.close ctx nc2))
+
+let test_trace_api_names_in_registry () =
+  (* Every PNETCDF-layer record must use a name from the generated
+     signature registry (Recorder+ full coverage). *)
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/api.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v = P.def_var ctx nc ~name:"a" P.Int ~dims:[ d ] in
+         P.set_fill ctx nc true;
+         P.enddef ctx nc;
+         P.put_vara_all ctx nc v ~start:[ 0 ] ~count:[ 2 ]
+           (Bytes.make 8 '\000');
+         P.sync ctx nc;
+         P.close ctx nc));
+  List.iter
+    (fun (r : Recorder.Record.t) ->
+      if r.layer = Recorder.Record.Pnetcdf then
+        check_bool (r.func ^ " in registry") true
+          (Recorder.Signatures.supported Recorder.Signatures.PnetCDF r.func))
+    (Recorder.Trace.records trace)
+
+let test_redef_appends_vars () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/rd.nc" in
+         let d = P.def_dim ctx nc ~name:"x" ~len:8 in
+         let v1 = P.def_var ctx nc ~name:"a" P.Text ~dims:[ d ] in
+         P.enddef ctx nc;
+         P.put_vara_all ctx nc v1 ~start:[ 0 ] ~count:[ 8 ]
+           (Bytes.of_string "original");
+         let off1 = P.var_offset nc v1 in
+         (* Re-enter define mode and add a second variable. *)
+         P.redef ctx nc;
+         let v2 = P.def_var ctx nc ~name:"b" P.Int ~dims:[ d ] in
+         P.enddef ctx nc;
+         (* Existing data kept its storage and its bytes. *)
+         check_int "v1 offset unchanged" off1 (P.var_offset nc v1);
+         check_string "v1 data survives" "original"
+           (s (P.get_vara_all ctx nc v1 ~start:[ 0 ] ~count:[ 8 ]));
+         check_bool "v2 lives after v1" true
+           (P.var_offset nc v2 >= off1 + 8);
+         P.put_vara_all ctx nc v2 ~start:[ ctx.E.rank * 4 ] ~count:[ 4 ]
+           (Bytes.make 16 'n');
+         M.barrier ctx comm;
+         P.close ctx nc))
+
+let test_redef_rules () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/rr.nc" in
+         (* redef before enddef is invalid. *)
+         (try
+            P.redef ctx nc;
+            Alcotest.fail "expected redef-in-define-mode error"
+          with P.Nc_error _ -> ());
+         let t = P.def_dim ctx nc ~name:"t" ~len:0 in
+         let x = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let rv = P.def_var ctx nc ~name:"rv" P.Text ~dims:[ t; x ] in
+         P.enddef ctx nc;
+         P.put_vara_all ctx nc rv ~start:[ 0; 0 ] ~count:[ 1; 4 ]
+           (Bytes.make 4 'r');
+         (* Adding a record variable once records exist is rejected at the
+            next enddef. *)
+         P.redef ctx nc;
+         ignore (P.def_var ctx nc ~name:"rv2" P.Text ~dims:[ t; x ]);
+         (try
+            P.enddef ctx nc;
+            Alcotest.fail "expected record-var addition rejection"
+          with P.Nc_error _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Record variables                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_record_var_layout () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/rec.nc" in
+         let time = P.def_dim ctx nc ~name:"time" ~len:0 in
+         let x = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let fixed = P.def_var ctx nc ~name:"fixed" P.Int ~dims:[ x ] in
+         let ra = P.def_var ctx nc ~name:"ra" P.Text ~dims:[ time; x ] in
+         let rb = P.def_var ctx nc ~name:"rb" P.Text ~dims:[ time; x ] in
+         P.enddef ctx nc;
+         (* Record vars live after the fixed section; record 0 interleaves
+            ra then rb. *)
+         let fo = P.var_offset nc fixed in
+         let rao = P.var_offset nc ra and rbo = P.var_offset nc rb in
+         check_bool "records after fixed" true (rao >= fo + 16);
+         check_int "rb follows ra within the record" (rao + 4) rbo;
+         P.close ctx nc))
+
+let test_record_var_round_trip () =
+  ignore
+    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/rt2.nc" in
+         let time = P.def_dim ctx nc ~name:"time" ~len:0 in
+         let x = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let ra = P.def_var ctx nc ~name:"ra" P.Text ~dims:[ time; x ] in
+         let rb = P.def_var ctx nc ~name:"rb" P.Text ~dims:[ time; x ] in
+         P.enddef ctx nc;
+         (* Each rank appends its own record to both variables. *)
+         let r = ctx.E.rank in
+         P.put_vara_all ctx nc ra ~start:[ r; 0 ] ~count:[ 1; 4 ]
+           (Bytes.make 4 (Char.chr (Char.code 'a' + r)));
+         P.put_vara_all ctx nc rb ~start:[ r; 0 ] ~count:[ 1; 4 ]
+           (Bytes.make 4 (Char.chr (Char.code 'A' + r)));
+         M.barrier ctx comm;
+         (* Each rank only knows about its own record until the counts are
+            reconciled. *)
+         check_int "local view first" (r + 1) (P.inq_num_recs ctx nc);
+         P.sync_numrecs ctx nc;
+         check_int "two records" 2 (P.inq_num_recs ctx nc);
+         (* Reading both records of ra skips rb's interleaved chunks. *)
+         let back = P.get_vara_all ctx nc ra ~start:[ 0; 0 ] ~count:[ 2; 4 ] in
+         check_string "interleaved layout skipped" "aaaabbbb" (s back);
+         let backb = P.get_vara_all ctx nc rb ~start:[ 0; 0 ] ~count:[ 2; 4 ] in
+         check_string "rb too" "AAAABBBB" (s backb);
+         P.close ctx nc))
+
+let test_record_var_bounds () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/rb.nc" in
+         let time = P.def_dim ctx nc ~name:"time" ~len:0 in
+         let x = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let ra = P.def_var ctx nc ~name:"ra" P.Text ~dims:[ time; x ] in
+         P.enddef ctx nc;
+         (* Reads past numrecs fail; the unlimited dim itself has no upper
+            bound for writes. *)
+         (try
+            ignore (P.get_vara_all ctx nc ra ~start:[ 0; 0 ] ~count:[ 1; 4 ]);
+            Alcotest.fail "expected read-past-records error"
+          with P.Nc_error _ -> ());
+         P.put_vara_all ctx nc ra ~start:[ 7; 0 ] ~count:[ 1; 4 ] (Bytes.make 4 'z');
+         check_int "numrecs grows to cover the write" 8 (P.inq_num_recs ctx nc);
+         P.close ctx nc))
+
+let test_unlimited_dim_rules () =
+  ignore
+    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/ud.nc" in
+         let _time = P.def_dim ctx nc ~name:"time" ~len:0 in
+         (try
+            ignore (P.def_dim ctx nc ~name:"time2" ~len:0);
+            Alcotest.fail "expected single-unlimited error"
+          with P.Nc_error _ -> ());
+         let x = P.def_dim ctx nc ~name:"x" ~len:4 in
+         (try
+            ignore (P.def_var ctx nc ~name:"bad" P.Int ~dims:[ x; _time ]);
+            Alcotest.fail "expected unlimited-first error"
+          with P.Nc_error _ -> ());
+         P.enddef ctx nc;
+         P.close ctx nc))
+
+let test_multi_record_write_aggregates () =
+  (* Writing several records at once is strided by the record size, which
+     triggers collective buffering (aggregation at rank 0) when two record
+     variables interleave. *)
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/mr.nc" in
+         let time = P.def_dim ctx nc ~name:"time" ~len:0 in
+         let x = P.def_dim ctx nc ~name:"x" ~len:4 in
+         let ra = P.def_var ctx nc ~name:"ra" P.Text ~dims:[ time; x ] in
+         let rb = P.def_var ctx nc ~name:"rb" P.Text ~dims:[ time; x ] in
+         ignore rb;
+         P.enddef ctx nc;
+         (* Both ranks collectively write 3 records of ra. *)
+         P.put_vara_all ctx nc ra ~start:[ ctx.E.rank * 3; 0 ] ~count:[ 3; 4 ]
+           (Bytes.make 12 'm');
+         P.close ctx nc));
+  let pwrites rank =
+    List.filter
+      (fun (r : Recorder.Record.t) ->
+        r.func = "pwrite"
+        && List.exists (fun (_, f) -> f = "MPI_File_write_at_all") r.call_path
+        && List.exists
+             (fun (_, f) ->
+               String.length f > 9 && String.sub f 0 9 = "ncmpi_put")
+             r.call_path)
+      (Recorder.Trace.rank_records trace rank)
+  in
+  check_int "aggregated at rank 0" 1 (List.length (pwrites 0));
+  check_int "rank 1 wrote nothing" 0 (List.length (pwrites 1))
+
+let test_sync_numrecs () =
+  let trace = Recorder.Trace.create ~nranks:2 in
+  ignore
+    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+         let comm = M.comm_world ctx in
+         let nc = P.create ctx sys ~comm "/sn.nc" in
+         let time = P.def_dim ctx nc ~name:"time" ~len:0 in
+         let x = P.def_dim ctx nc ~name:"x" ~len:2 in
+         let ra = P.def_var ctx nc ~name:"ra" P.Text ~dims:[ time; x ] in
+         P.enddef ctx nc;
+         (* Only rank 1 writes; after sync_numrecs both agree. *)
+         if ctx.E.rank = 1 then
+           P.put_vara_all ctx nc ra ~start:[ 4; 0 ] ~count:[ 1; 2 ]
+             (Bytes.make 2 'q')
+         else
+           P.put_vara_all ctx nc ra ~start:[ 0; 0 ] ~count:[ 1; 2 ]
+             (Bytes.make 2 'q');
+         check_bool "counts disagree before sync" true
+           (ctx.E.rank = 1 || P.inq_num_recs ctx nc < 5);
+         P.sync_numrecs ctx nc;
+         check_int "agreed numrecs" 5 (P.inq_num_recs ctx nc);
+         P.close ctx nc));
+  (* Rank 0 rewrote the header's numrecs field. *)
+  let hdr_writes =
+    List.filter
+      (fun (r : Recorder.Record.t) ->
+        r.func = "pwrite"
+        && List.exists (fun (_, f) -> f = "ncmpi_sync_numrecs") r.call_path)
+      (Recorder.Trace.rank_records trace 0)
+  in
+  check_int "header rewrite by rank 0" 1 (List.length hdr_writes)
+
+let () =
+  Alcotest.run "pnetcdf"
+    [
+      ( "define-mode",
+        [
+          Alcotest.test_case "layout" `Quick test_define_and_layout;
+          Alcotest.test_case "mode enforcement" `Quick test_define_mode_enforced;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "put/get round trip" `Quick test_put_get_round_trip;
+          Alcotest.test_case "fill at enddef" `Quick test_fill_at_enddef;
+          Alcotest.test_case "strided put aggregates" `Quick
+            test_strided_put_aggregates;
+          Alcotest.test_case "var1 same element" `Quick
+            test_var1_same_element_conflicts;
+          Alcotest.test_case "independent mode" `Quick
+            test_independent_access_mode;
+          Alcotest.test_case "reopen" `Quick test_reopen;
+          Alcotest.test_case "redef appends" `Quick test_redef_appends_vars;
+          Alcotest.test_case "redef rules" `Quick test_redef_rules;
+        ] );
+      ( "non-blocking",
+        [
+          Alcotest.test_case "iput/wait_all" `Quick test_nonblocking_iput_wait;
+          Alcotest.test_case "iget round trip" `Quick test_iget_round_trip;
+          Alcotest.test_case "mixed iput/iget" `Quick test_mixed_iput_iget_wait;
+          Alcotest.test_case "close with pending" `Quick
+            test_close_with_pending_fails;
+          Alcotest.test_case "split-wait bug" `Quick test_split_wait_bug_mismatch;
+        ] );
+      ( "record-vars",
+        [
+          Alcotest.test_case "layout" `Quick test_record_var_layout;
+          Alcotest.test_case "round trip" `Quick test_record_var_round_trip;
+          Alcotest.test_case "bounds" `Quick test_record_var_bounds;
+          Alcotest.test_case "unlimited rules" `Quick test_unlimited_dim_rules;
+          Alcotest.test_case "multi-record aggregates" `Quick
+            test_multi_record_write_aggregates;
+          Alcotest.test_case "sync_numrecs" `Quick test_sync_numrecs;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "API names in registry" `Quick
+            test_trace_api_names_in_registry;
+        ] );
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the simulated POSIX file system: descriptor and stream APIs,
+   file-pointer semantics, error handling, and — most importantly — the
+   pluggable consistency visibility engine (POSIX vs Commit vs Session). *)
+
+module F = Posixfs.Fs
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let b = Bytes.of_string
+let s = Bytes.to_string
+
+let fresh ?trace model = F.create ?trace ~model ()
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor basics (POSIX model)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_open_write_read () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/data" in
+  check_int "written" 5 (F.pwrite fs ~rank:0 fd ~off:0 (b "hello"));
+  check_string "read back" "hello" (s (F.pread fs ~rank:0 fd ~off:0 ~len:5));
+  check_string "partial" "ell" (s (F.pread fs ~rank:0 fd ~off:1 ~len:3));
+  F.close fs ~rank:0 fd;
+  check_string "persisted" "hello" (F.global_contents fs "/data")
+
+let test_open_missing_fails () =
+  let fs = fresh F.Posix in
+  (try
+     ignore (F.openf fs ~rank:0 ~flags:[ F.O_RDONLY ] "/nope");
+     Alcotest.fail "expected ENOENT"
+   with F.Error (errno, _) -> check_string "errno" "ENOENT" errno)
+
+let test_trunc_flag () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "old-content"));
+  F.close fs ~rank:0 fd;
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_RDWR; F.O_TRUNC ] "/f" in
+  check_int "truncated" 0 (F.file_size fs ~rank:0 fd);
+  F.close fs ~rank:0 fd
+
+let test_sequential_write_moves_pointer () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.write fs ~rank:0 fd (b "abc"));
+  ignore (F.write fs ~rank:0 fd (b "def"));
+  check_string "sequential writes append" "abcdef" (F.global_contents fs "/f");
+  ignore (F.lseek fs ~rank:0 fd ~off:0 F.SEEK_SET);
+  check_string "read 1" "ab" (s (F.read fs ~rank:0 fd ~len:2));
+  check_string "read 2 continues" "cd" (s (F.read fs ~rank:0 fd ~len:2));
+  F.close fs ~rank:0 fd
+
+let test_lseek_whence () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "0123456789"));
+  check_int "SEEK_SET" 4 (F.lseek fs ~rank:0 fd ~off:4 F.SEEK_SET);
+  check_int "SEEK_CUR" 6 (F.lseek fs ~rank:0 fd ~off:2 F.SEEK_CUR);
+  check_int "SEEK_END" 10 (F.lseek fs ~rank:0 fd ~off:0 F.SEEK_END);
+  check_int "SEEK_END negative" 7 (F.lseek fs ~rank:0 fd ~off:(-3) F.SEEK_END);
+  (try
+     ignore (F.lseek fs ~rank:0 fd ~off:(-99) F.SEEK_SET);
+     Alcotest.fail "expected EINVAL"
+   with F.Error (errno, _) -> check_string "errno" "EINVAL" errno);
+  F.close fs ~rank:0 fd
+
+let test_append_mode () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "base"));
+  F.close fs ~rank:0 fd;
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_RDWR; F.O_APPEND ] "/f" in
+  ignore (F.lseek fs ~rank:0 fd ~off:0 F.SEEK_SET);
+  (* O_APPEND writes ignore the file pointer and go to EOF. *)
+  ignore (F.write fs ~rank:0 fd (b "+tail"));
+  check_string "appended" "base+tail" (F.global_contents fs "/f");
+  F.close fs ~rank:0 fd
+
+let test_write_past_eof_leaves_hole () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:5 (b "x"));
+  check_int "size includes hole" 6 (F.file_size fs ~rank:0 fd);
+  check_string "hole reads zeros" "\000\000\000\000\000x"
+    (s (F.pread fs ~rank:0 fd ~off:0 ~len:6));
+  F.close fs ~rank:0 fd
+
+let test_short_reads () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "abc"));
+  check_string "read past eof empty" "" (s (F.pread fs ~rank:0 fd ~off:10 ~len:5));
+  check_string "short read" "bc" (s (F.pread fs ~rank:0 fd ~off:1 ~len:99));
+  F.close fs ~rank:0 fd
+
+let test_ftruncate () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "0123456789"));
+  F.ftruncate fs ~rank:0 fd 4;
+  check_string "truncated" "0123" (F.global_contents fs "/f");
+  F.ftruncate fs ~rank:0 fd 6;
+  check_string "extended with zeros" "0123\000\000" (F.global_contents fs "/f");
+  F.close fs ~rank:0 fd
+
+let test_unlink () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  F.close fs ~rank:0 fd;
+  check_bool "exists" true (F.file_exists fs "/f");
+  F.unlink fs ~rank:0 "/f";
+  check_bool "gone" false (F.file_exists fs "/f");
+  try
+    F.unlink fs ~rank:0 "/f";
+    Alcotest.fail "expected ENOENT"
+  with F.Error (errno, _) -> check_string "errno" "ENOENT" errno
+
+let test_fd_reuse () =
+  let fs = fresh F.Posix in
+  let fd1 = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/a" in
+  let fd2 = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/b" in
+  check_int "first fd is 3" 3 (F.fd_number fd1);
+  check_int "second fd is 4" 4 (F.fd_number fd2);
+  F.close fs ~rank:0 fd1;
+  let fd3 = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/c" in
+  check_int "fd 3 reused" 3 (F.fd_number fd3);
+  (* Different ranks have independent descriptor tables. *)
+  let other = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/d" in
+  check_int "rank 1 starts at 3" 3 (F.fd_number other)
+
+let test_closed_fd_errors () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  F.close fs ~rank:0 fd;
+  List.iter
+    (fun f ->
+      try
+        f ();
+        Alcotest.fail "expected EBADF"
+      with F.Error (errno, _) -> check_string "errno" "EBADF" errno)
+    [
+      (fun () -> ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "x")));
+      (fun () -> ignore (F.pread fs ~rank:0 fd ~off:0 ~len:1));
+      (fun () -> F.fsync fs ~rank:0 fd);
+      (fun () -> F.close fs ~rank:0 fd);
+    ]
+
+let test_readonly_writeonly () =
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "data"));
+  F.close fs ~rank:0 fd;
+  let ro = F.openf fs ~rank:0 ~flags:[ F.O_RDONLY ] "/f" in
+  (try
+     ignore (F.pwrite fs ~rank:0 ro ~off:0 (b "x"));
+     Alcotest.fail "expected EBADF"
+   with F.Error (errno, _) -> check_string "ro write" "EBADF" errno);
+  F.close fs ~rank:0 ro;
+  let wo = F.openf fs ~rank:0 ~flags:[ F.O_WRONLY ] "/f" in
+  (try
+     ignore (F.pread fs ~rank:0 wo ~off:0 ~len:1);
+     Alcotest.fail "expected EBADF"
+   with F.Error (errno, _) -> check_string "wo read" "EBADF" errno);
+  F.close fs ~rank:0 wo
+
+(* ------------------------------------------------------------------ *)
+(* Streams                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_write_read () =
+  let fs = fresh F.Posix in
+  let st = F.fopen fs ~rank:0 ~mode:"w+" "/s" in
+  check_int "items written" 3 (F.fwrite fs ~rank:0 st ~size:2 ~nitems:3 (b "aabbcc"));
+  F.fseek fs ~rank:0 st ~off:0 F.SEEK_SET;
+  let data, items = F.fread fs ~rank:0 st ~size:2 ~nitems:3 in
+  check_int "items read" 3 items;
+  check_string "data" "aabbcc" (s data);
+  check_int "ftell" 6 (F.ftell fs ~rank:0 st);
+  F.fclose fs ~rank:0 st
+
+let test_stream_modes () =
+  let fs = fresh F.Posix in
+  (* "w" truncates. *)
+  let st = F.fopen fs ~rank:0 ~mode:"w" "/m" in
+  ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:4 (b "abcd"));
+  F.fclose fs ~rank:0 st;
+  let st = F.fopen fs ~rank:0 ~mode:"w" "/m" in
+  F.fclose fs ~rank:0 st;
+  check_string "w truncated" "" (F.global_contents fs "/m");
+  (* "a" appends. *)
+  let st = F.fopen fs ~rank:0 ~mode:"a" "/m" in
+  ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:2 (b "xy"));
+  ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:1 (b "z"));
+  F.fclose fs ~rank:0 st;
+  check_string "appended" "xyz" (F.global_contents fs "/m");
+  (* "r" on missing file fails. *)
+  (try
+     ignore (F.fopen fs ~rank:0 ~mode:"r" "/missing");
+     Alcotest.fail "expected ENOENT"
+   with F.Error (errno, _) -> check_string "errno" "ENOENT" errno);
+  (* bad mode *)
+  try
+    ignore (F.fopen fs ~rank:0 ~mode:"q" "/m");
+    Alcotest.fail "expected EINVAL"
+  with F.Error (errno, _) -> check_string "errno" "EINVAL" errno
+
+let test_fd_and_stream_same_file () =
+  (* The paper's corner case: pwrite via an fd and fwrite via a stream to
+     the same file. *)
+  let fs = fresh F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/shared" in
+  let st = F.fopen fs ~rank:1 ~mode:"r+" "/shared" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "AAAA"));
+  F.fseek fs ~rank:1 st ~off:2 F.SEEK_SET;
+  ignore (F.fwrite fs ~rank:1 st ~size:1 ~nitems:2 (b "BB"));
+  check_string "interleaved" "AABB" (F.global_contents fs "/shared");
+  F.close fs ~rank:0 fd;
+  F.fclose fs ~rank:1 st
+
+(* ------------------------------------------------------------------ *)
+(* Consistency models                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_posix_immediate_visibility () =
+  let fs = fresh F.Posix in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  check_string "visible immediately" "fresh"
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+
+let test_commit_visibility () =
+  let fs = fresh F.Commit in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  (* Not committed yet: the reader sees nothing... *)
+  check_string "invisible before commit" ""
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5));
+  (* ...but the writer reads its own writes. *)
+  check_string "read-your-writes" "fresh" (s (F.pread fs ~rank:0 w ~off:0 ~len:5));
+  F.fsync fs ~rank:0 w;
+  check_string "visible after commit" "fresh"
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+
+let test_session_visibility () =
+  let fs = fresh F.Session in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  (* Reader opens while the writer's session is active. *)
+  let r_before = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  F.close fs ~rank:0 w;
+  (* The early descriptor's view is frozen at its open: stale. *)
+  check_string "stale through old descriptor" ""
+    (s (F.pread fs ~rank:1 r_before ~off:0 ~len:5));
+  (* A descriptor opened after the writer's close sees the data. *)
+  let r_after = F.openf fs ~rank:1 ~flags:[ F.O_RDWR ] "/v" in
+  check_string "fresh through new descriptor" "fresh"
+    (s (F.pread fs ~rank:1 r_after ~off:0 ~len:5))
+
+let test_commit_overlapping_publishes () =
+  (* Two ranks commit overlapping writes; the committed image reflects
+     commit order. *)
+  let fs = fresh F.Commit in
+  let a = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/o" in
+  let c = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/o" in
+  ignore (F.pwrite fs ~rank:0 a ~off:0 (b "AAAA"));
+  ignore (F.pwrite fs ~rank:1 c ~off:2 (b "BBBB"));
+  F.fsync fs ~rank:0 a;
+  F.fsync fs ~rank:1 c;
+  check_string "commit order wins" "AABBBB" (F.global_contents fs "/o")
+
+let test_session_fflush_publishes () =
+  let fs = fresh F.Session in
+  let st = F.fopen fs ~rank:0 ~mode:"w" "/p" in
+  ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:3 (b "pub"));
+  check_string "not yet global" "" (F.global_contents fs "/p");
+  F.fflush fs ~rank:0 st;
+  check_string "fflush published" "pub" (F.global_contents fs "/p");
+  F.fclose fs ~rank:0 st
+
+let test_trace_capture () =
+  let trace = Recorder.Trace.create ~nranks:1 in
+  let fs = fresh ~trace F.Posix in
+  let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/t" in
+  ignore (F.pwrite fs ~rank:0 fd ~off:16 (b "payload"));
+  ignore (F.lseek fs ~rank:0 fd ~off:0 F.SEEK_END);
+  F.close fs ~rank:0 fd;
+  let funcs =
+    List.map (fun (r : Recorder.Record.t) -> r.func) (Recorder.Trace.records trace)
+  in
+  Alcotest.(check (list string)) "sequence" [ "open"; "pwrite"; "lseek"; "close" ] funcs;
+  let records = Recorder.Trace.records trace in
+  let pw = List.nth records 1 in
+  check_string "count arg" "7" (Recorder.Record.arg pw 1);
+  check_string "offset arg" "16" (Recorder.Record.arg pw 2);
+  let sk = List.nth records 2 in
+  check_string "lseek returns new pos" "23" sk.Recorder.Record.ret
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_posix_pwrite_pread_round_trip =
+  QCheck2.Test.make
+    ~name:"POSIX: any pwrite sequence reads back like a byte-array model"
+    ~count:150
+    QCheck2.Gen.(
+      list_size (int_range 1 15)
+        (pair (int_range 0 64)
+           (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))))
+    (fun writes ->
+      let fs = fresh F.Posix in
+      let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/q" in
+      let model = Bytes.make 128 '\000' in
+      let eof = ref 0 in
+      List.iter
+        (fun (off, data) ->
+          ignore (F.pwrite fs ~rank:0 fd ~off (b data));
+          Bytes.blit_string data 0 model off (String.length data);
+          eof := max !eof (off + String.length data))
+        writes;
+      F.global_contents fs "/q" = Bytes.sub_string model 0 !eof)
+
+let prop_commit_equals_posix_after_full_sync =
+  QCheck2.Test.make
+    ~name:"Commit model converges to POSIX image once every rank fsyncs"
+    ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 12)
+        (triple (int_range 0 3) (int_range 0 48)
+           (string_size ~gen:(char_range 'A' 'Z') (int_range 1 6))))
+    (fun raw_writes ->
+      (* Make writes one byte long at rank-disjoint offsets so inter-rank
+         ordering cannot matter — the properly-synchronized case, where the
+         two models must agree. *)
+      let writes =
+        List.map
+          (fun (rank, off, data) ->
+            (rank, (off * 4) + rank, String.sub data 0 1))
+          raw_writes
+      in
+      let run model =
+        let fs = fresh model in
+        let fds =
+          Array.init 4 (fun rank ->
+              F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/c")
+        in
+        List.iter
+          (fun (rank, off, data) ->
+            ignore (F.pwrite fs ~rank fds.(rank) ~off (b data)))
+          writes;
+        Array.iteri (fun rank fd -> F.fsync fs ~rank fd) fds;
+        F.global_contents fs "/c"
+      in
+      run F.Posix = run F.Commit)
+
+let () =
+  Alcotest.run "posixfs"
+    [
+      ( "descriptors",
+        [
+          Alcotest.test_case "open/write/read" `Quick test_open_write_read;
+          Alcotest.test_case "missing file" `Quick test_open_missing_fails;
+          Alcotest.test_case "O_TRUNC" `Quick test_trunc_flag;
+          Alcotest.test_case "file pointer" `Quick
+            test_sequential_write_moves_pointer;
+          Alcotest.test_case "lseek whence" `Quick test_lseek_whence;
+          Alcotest.test_case "O_APPEND" `Quick test_append_mode;
+          Alcotest.test_case "holes" `Quick test_write_past_eof_leaves_hole;
+          Alcotest.test_case "short reads" `Quick test_short_reads;
+          Alcotest.test_case "ftruncate" `Quick test_ftruncate;
+          Alcotest.test_case "unlink" `Quick test_unlink;
+          Alcotest.test_case "fd reuse" `Quick test_fd_reuse;
+          Alcotest.test_case "EBADF on closed" `Quick test_closed_fd_errors;
+          Alcotest.test_case "access modes" `Quick test_readonly_writeonly;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "write/read" `Quick test_stream_write_read;
+          Alcotest.test_case "modes" `Quick test_stream_modes;
+          Alcotest.test_case "fd+stream same file" `Quick
+            test_fd_and_stream_same_file;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "POSIX immediate" `Quick
+            test_posix_immediate_visibility;
+          Alcotest.test_case "Commit visibility" `Quick test_commit_visibility;
+          Alcotest.test_case "Session close-to-open" `Quick
+            test_session_visibility;
+          Alcotest.test_case "Commit overlapping" `Quick
+            test_commit_overlapping_publishes;
+          Alcotest.test_case "fflush publishes" `Quick
+            test_session_fflush_publishes;
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "capture" `Quick test_trace_capture ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_posix_pwrite_pread_round_trip;
+            prop_commit_equals_posix_after_full_sync;
+          ] );
+    ]

@@ -1,0 +1,311 @@
+(* Tests for the utility library: intervals, bitsets, tables, stats and
+   growable buffers. *)
+
+module I = Vio_util.Interval
+module B = Vio_util.Bitset
+module T = Vio_util.Table
+module S = Vio_util.Stats
+module G = Vio_util.Growbuf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ival os oe = I.make ~os ~oe
+
+let test_interval_basics () =
+  let t = ival 4 10 in
+  check_int "length" 6 (I.length t);
+  check_bool "not empty" false (I.is_empty t);
+  check_bool "empty" true (I.is_empty (ival 5 5));
+  check_bool "contains start" true (I.contains t 4);
+  check_bool "excludes end" false (I.contains t 10);
+  check_string "printing" "[4,10)" (I.to_string t)
+
+let test_interval_validation () =
+  Alcotest.check_raises "negative start"
+    (Invalid_argument "Interval.make: negative start") (fun () ->
+      ignore (ival (-1) 3));
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Interval.make: end before start") (fun () ->
+      ignore (ival 5 2));
+  Alcotest.check_raises "negative len"
+    (Invalid_argument "Interval.of_len: negative length") (fun () ->
+      ignore (I.of_len ~off:0 ~len:(-4)))
+
+let test_overlap_cases () =
+  let t = ival 10 20 in
+  check_bool "disjoint left" false (I.overlaps t (ival 0 10));
+  check_bool "disjoint right" false (I.overlaps t (ival 20 30));
+  check_bool "touching boundaries do not overlap" false
+    (I.overlaps (ival 0 10) (ival 10 20));
+  check_bool "partial left" true (I.overlaps t (ival 5 11));
+  check_bool "partial right" true (I.overlaps t (ival 19 25));
+  check_bool "contained" true (I.overlaps t (ival 12 15));
+  check_bool "containing" true (I.overlaps t (ival 0 100));
+  check_bool "empty never overlaps" false (I.overlaps t (ival 15 15))
+
+let test_intersect_union () =
+  (match I.intersect (ival 0 10) (ival 5 20) with
+  | Some x ->
+    check_int "inter start" 5 x.I.os;
+    check_int "inter end" 10 x.I.oe
+  | None -> Alcotest.fail "expected intersection");
+  check_bool "disjoint intersect" true
+    (I.intersect (ival 0 5) (ival 5 9) = None);
+  let h = I.union_hull (ival 0 3) (ival 10 12) in
+  check_int "hull start" 0 h.I.os;
+  check_int "hull end" 12 h.I.oe
+
+let test_coalesce () =
+  let input = [ ival 10 20; ival 0 5; ival 4 8; ival 19 25; ival 30 30 ] in
+  let out = I.coalesce input in
+  Alcotest.(check (list string))
+    "merged" [ "[0,8)"; "[10,25)" ]
+    (List.map I.to_string out);
+  check_int "covered bytes" 23 (I.total_covered input)
+
+let prop_coalesce_preserves_coverage =
+  QCheck2.Test.make ~name:"coalesce preserves per-byte coverage" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 12)
+        (pair (int_range 0 50) (int_range 0 10)))
+    (fun pairs ->
+      let ivs = List.map (fun (off, len) -> I.of_len ~off ~len) pairs in
+      let covered l x = List.exists (fun t -> I.contains t x) l in
+      let out = I.coalesce ivs in
+      let ok = ref true in
+      for x = 0 to 70 do
+        if covered ivs x <> covered out x then ok := false
+      done;
+      (* Output must also be sorted and pairwise disjoint. *)
+      let rec disjoint_sorted = function
+        | a :: (b :: _ as rest) ->
+          a.I.oe < b.I.os && disjoint_sorted rest
+        | _ -> true
+      in
+      !ok && disjoint_sorted out)
+
+(* ------------------------------------------------------------------ *)
+(* Bitsets                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let b = B.create 100 in
+  check_int "universe" 100 (B.length b);
+  check_bool "initially clear" false (B.mem b 42);
+  B.set b 42;
+  B.set b 0;
+  B.set b 99;
+  check_bool "set" true (B.mem b 42);
+  check_int "cardinal" 3 (B.cardinal b);
+  B.clear b 42;
+  check_bool "cleared" false (B.mem b 42);
+  check_int "cardinal after clear" 2 (B.cardinal b)
+
+let test_bitset_bounds () =
+  let b = B.create 8 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> B.set b (-1));
+  Alcotest.check_raises "past end" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (B.mem b 8))
+
+let test_bitset_union () =
+  let a = B.create 20 and b = B.create 20 in
+  B.set a 1;
+  B.set a 5;
+  B.set b 5;
+  B.set b 17;
+  B.union_into ~dst:a ~src:b;
+  let got = ref [] in
+  B.iter (fun i -> got := i :: !got) a;
+  Alcotest.(check (list int)) "union" [ 1; 5; 17 ] (List.rev !got);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Bitset.union_into: size mismatch") (fun () ->
+      B.union_into ~dst:a ~src:(B.create 8))
+
+let test_bitset_copy_independent () =
+  let a = B.create 10 in
+  B.set a 3;
+  let c = B.copy a in
+  B.set a 4;
+  check_bool "copy has 3" true (B.mem c 3);
+  check_bool "copy lacks 4" false (B.mem c 4);
+  check_bool "equal after same mutation" true
+    (B.set c 4;
+     B.equal a c)
+
+let prop_bitset_matches_model =
+  QCheck2.Test.make ~name:"bitset behaves like a bool array" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 64)
+        (list_size (int_range 0 40) (pair bool (int_range 0 63))))
+    (fun (n, ops) ->
+      let b = B.create n in
+      let model = Array.make n false in
+      List.iter
+        (fun (is_set, idx) ->
+          let idx = idx mod n in
+          if is_set then begin
+            B.set b idx;
+            model.(idx) <- true
+          end
+          else begin
+            B.clear b idx;
+            model.(idx) <- false
+          end)
+        ops;
+      let ok = ref true in
+      Array.iteri (fun i v -> if B.mem b i <> v then ok := false) model;
+      !ok && B.cardinal b = Array.fold_left (fun a v -> if v then a + 1 else a) 0 model)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_table_render () =
+  let t = T.create ~headers:[ "name"; "count" ] in
+  T.set_aligns t [ T.Left; T.Right ];
+  T.add_row t [ "alpha"; "1" ];
+  T.add_row t [ "b"; "100" ];
+  let s = T.render t in
+  check_bool "has header" true (contains_substring s "| name  | count |");
+  check_bool "right aligned" true (contains_substring s "|     1 |")
+
+let test_table_errors () =
+  let t = T.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      T.add_row t [ "only-one" ])
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basics () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (S.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (S.median xs);
+  Alcotest.(check (float 1e-6)) "stddev" 1.290994 (S.stddev xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (S.minimum xs);
+  Alcotest.(check (float 1e-9)) "max" 4. (S.maximum xs);
+  Alcotest.(check (float 1e-9)) "p0" 1. (S.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100" 4. (S.percentile xs 100.)
+
+let test_stats_degenerate () =
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (S.mean [||]);
+  Alcotest.(check (float 1e-9)) "stddev single" 0. (S.stddev [| 7. |]);
+  Alcotest.check_raises "percentile empty"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (S.percentile [||] 50.))
+
+(* ------------------------------------------------------------------ *)
+(* Growbuf                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_growbuf_write_read () =
+  let g = G.create () in
+  check_int "empty size" 0 (G.size g);
+  G.write_string g ~off:0 "hello";
+  check_int "size" 5 (G.size g);
+  check_string "read back" "hello" (G.read_string g ~off:0 ~len:5);
+  check_string "short read" "llo" (G.read_string g ~off:2 ~len:100);
+  check_string "read past eof" "" (G.read_string g ~off:10 ~len:4)
+
+let test_growbuf_holes () =
+  let g = G.create () in
+  G.write_string g ~off:100 "x";
+  check_int "hole extends size" 101 (G.size g);
+  check_string "hole reads zero" "\000\000\000" (G.read_string g ~off:50 ~len:3)
+
+let test_growbuf_truncate () =
+  let g = G.create () in
+  G.write_string g ~off:0 "abcdef";
+  G.truncate g 3;
+  check_int "shrunk" 3 (G.size g);
+  G.truncate g 6;
+  check_string "re-extended tail is zero" "abc\000\000\000"
+    (G.read_string g ~off:0 ~len:6)
+
+let test_growbuf_copy_blit () =
+  let g = G.create () in
+  G.write_string g ~off:0 "source";
+  let c = G.copy g in
+  G.write_string g ~off:0 "mutate";
+  check_string "copy unaffected" "source" (G.contents c);
+  let d = G.create () in
+  G.write_string d ~off:0 "longer-than-source";
+  G.blit_from ~src:c ~dst:d;
+  check_string "blit replaces" "source" (G.contents d)
+
+let prop_growbuf_matches_model =
+  QCheck2.Test.make ~name:"growbuf write/read matches a byte-array model"
+    ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (pair (int_range 0 60) (string_size ~gen:(char_range 'a' 'z') (int_range 1 10))))
+    (fun writes ->
+      let g = G.create () in
+      let model = Bytes.make 200 '\000' in
+      let eof = ref 0 in
+      List.iter
+        (fun (off, s) ->
+          G.write_string g ~off s;
+          Bytes.blit_string s 0 model off (String.length s);
+          eof := max !eof (off + String.length s))
+        writes;
+      G.contents g = Bytes.sub_string model 0 !eof)
+
+let () =
+  Alcotest.run "vio_util"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "validation" `Quick test_interval_validation;
+          Alcotest.test_case "overlap cases" `Quick test_overlap_cases;
+          Alcotest.test_case "intersect/union" `Quick test_intersect_union;
+          Alcotest.test_case "coalesce" `Quick test_coalesce;
+          QCheck_alcotest.to_alcotest prop_coalesce_preserves_coverage;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "union" `Quick test_bitset_union;
+          Alcotest.test_case "copy independence" `Quick
+            test_bitset_copy_independent;
+          QCheck_alcotest.to_alcotest prop_bitset_matches_model;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "errors" `Quick test_table_errors;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "degenerate" `Quick test_stats_degenerate;
+        ] );
+      ( "growbuf",
+        [
+          Alcotest.test_case "write/read" `Quick test_growbuf_write_read;
+          Alcotest.test_case "holes" `Quick test_growbuf_holes;
+          Alcotest.test_case "truncate" `Quick test_growbuf_truncate;
+          Alcotest.test_case "copy/blit" `Quick test_growbuf_copy_blit;
+          QCheck_alcotest.to_alcotest prop_growbuf_matches_model;
+        ] );
+    ]
