@@ -551,6 +551,27 @@ let bechamel_benches () =
              ignore (Recorder.Codec.encode ~nranks records));
          test_of "codec-decode" (fun () ->
              ignore (Recorder.Codec.decode encoded));
+         (* Lenient decoding on a pristine trace measures the overhead of
+            the mode machinery alone; on a faulted trace it also pays for
+            diagnostic accumulation and record salvage. *)
+         test_of "codec-decode-lenient" (fun () ->
+             ignore
+               (Recorder.Codec.decode_ext ~mode:Recorder.Diagnostic.Lenient
+                  encoded));
+         (let faulted, _ =
+            Recorder.Inject.apply
+              [
+                { Recorder.Inject.kind = Recorder.Inject.Drop_record;
+                  rate = 0.05 };
+                { Recorder.Inject.kind = Recorder.Inject.Corrupt_arg;
+                  rate = 0.05 };
+              ]
+              ~seed:42 encoded
+          in
+          test_of "codec-decode-lenient-faulted" (fun () ->
+              ignore
+                (Recorder.Codec.decode_ext ~mode:Recorder.Diagnostic.Lenient
+                   faulted)));
        ]
       @ List.map engine_test V.Reach.all_engines)
   in

@@ -29,13 +29,30 @@ let list_workloads lib_filter =
     Workloads.Registry.all;
   0
 
-let run_workload name out scale =
-  match Workloads.Registry.find name with
-  | None ->
+let parse_abort_rank = function
+  | None -> Ok None
+  | Some spec -> (
+    match String.split_on_char ':' spec with
+    | [ r; n ] -> (
+      match (int_of_string_opt r, int_of_string_opt n) with
+      | Some r, Some n when r >= 0 && n >= 0 -> Ok (Some (r, n))
+      | _ -> Error (Printf.sprintf "bad abort spec %S (want RANK:NCALLS)" spec))
+    | _ -> Error (Printf.sprintf "bad abort spec %S (want RANK:NCALLS)" spec))
+
+let run_workload name out scale abort_spec =
+  match (Workloads.Registry.find name, parse_abort_rank abort_spec) with
+  | None, _ ->
     Printf.eprintf "unknown workload %S (try `verifyio list`)\n" name;
     1
-  | Some w ->
-    let records = Workloads.Harness.run ?scale w in
+  | _, Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  | Some w, Ok (Some (r, _)) when r >= w.Workloads.Harness.nranks ->
+    Printf.eprintf "abort rank %d out of range: %s has %d rank(s)\n" r name
+      w.Workloads.Harness.nranks;
+    1
+  | Some w, Ok abort_rank ->
+    let records = Workloads.Harness.run ?scale ?abort_rank w in
     let data = Recorder.Codec.encode ~nranks:w.nranks records in
     let path =
       match out with Some p -> p | None -> name ^ ".vio-trace"
@@ -68,11 +85,52 @@ let resolve_engine = function
 
 let load_source source =
   if Sys.file_exists source then
-    try Ok (Recorder.Codec.of_file source)
-    with Failure e -> Error ("cannot read trace: " ^ e)
+    try Ok (Recorder.Codec.of_file source) with
+    | Failure e -> Error ("cannot read trace: " ^ e)
+    | Recorder.Codec.Malformed { line; reason } ->
+      Error (Printf.sprintf "cannot read trace (line %d): %s" line reason)
   else
     match Workloads.Registry.find source with
     | Some w -> Ok (w.nranks, Workloads.Harness.run w)
+    | None ->
+      Error
+        (Printf.sprintf "%S is neither a trace file nor a known workload" source)
+
+(* Source loader for [verify]: optionally injects faults into the encoded
+   trace bytes (a workload source is encoded first so injection always
+   works on the same representation), then decodes in the requested
+   mode. Returns codec-level diagnostics for the pipeline's degradation
+   summary. *)
+let load_source_ext ~mode ~plan ~seed source =
+  let decode_str encoded =
+    let encoded =
+      match plan with
+      | [] -> encoded
+      | plan ->
+        let faulted, events = Recorder.Inject.apply plan ~seed encoded in
+        (* A zero-rate plan is the identity; stay silent so the output is
+           bit-identical to an uninjected run. *)
+        if events <> [] then
+          Printf.printf "injected %d fault(s) (seed %d)\n" (List.length events)
+            seed;
+        faulted
+    in
+    match Recorder.Codec.decode_ext ~mode encoded with
+    | dec ->
+      Ok
+        ( dec.Recorder.Codec.nranks,
+          dec.Recorder.Codec.records,
+          dec.Recorder.Codec.diagnostics )
+    | exception Recorder.Codec.Malformed { line; reason } ->
+      Error (Printf.sprintf "cannot read trace (line %d): %s" line reason)
+  in
+  if Sys.file_exists source then decode_str (Recorder.Codec.read_file source)
+  else
+    match Workloads.Registry.find source with
+    | Some w ->
+      let records = Workloads.Harness.run w in
+      if plan = [] then Ok (w.nranks, records, [])
+      else decode_str (Recorder.Codec.encode ~nranks:w.nranks records)
     | None ->
       Error
         (Printf.sprintf "%S is neither a trace file nor a known workload" source)
@@ -148,17 +206,25 @@ let graph_cmd source out =
     | None -> print_string dot);
     0
 
-let verify_cmd source model_name engine_name all_models limit grouped =
+let verify_cmd source model_name engine_name all_models limit grouped lenient
+    inject_spec seed =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     1
   in
+  let mode =
+    if lenient then Recorder.Diagnostic.Lenient else Recorder.Diagnostic.Strict
+  in
   let* engine = resolve_engine engine_name in
-  let* nranks, records = load_source source in
+  let* plan = Recorder.Inject.plan_of_string inject_spec in
+  let* nranks, records, upstream = load_source_ext ~mode ~plan ~seed source in
   let verify_one model =
-    let o = Verifyio.Pipeline.verify ?engine ~model ~nranks records in
+    let o =
+      Verifyio.Pipeline.verify ?engine ~mode ~upstream ~model ~nranks records
+    in
     if grouped then print_string (Verifyio.Report.grouped_report o)
     else print_string (Verifyio.Report.race_report ~limit o);
+    print_string (Verifyio.Report.degradation_report o);
     Printf.printf "engine: %s\n"
       (Verifyio.Reach.engine_name o.Verifyio.Pipeline.engine_used);
     let t = o.Verifyio.Pipeline.timings in
@@ -167,7 +233,11 @@ let verify_cmd source model_name engine_name all_models limit grouped =
       t.Verifyio.Pipeline.t_read t.Verifyio.Pipeline.t_conflicts
       t.Verifyio.Pipeline.t_graph t.Verifyio.Pipeline.t_engine
       t.Verifyio.Pipeline.t_verify;
-    Verifyio.Pipeline.is_properly_synchronized o
+    (* A lenient run succeeds when nothing definite is wrong: degradation
+       and the Under_degradation verdicts it causes are reported, not
+       fatal. A strict run demands full proper synchronization. *)
+    if lenient then Verifyio.Pipeline.definite_races o = []
+    else Verifyio.Pipeline.is_properly_synchronized o
   in
   if all_models then begin
     let ok = List.for_all verify_one Verifyio.Model.builtin in
@@ -210,7 +280,18 @@ let scale_arg =
     & opt (some int) None
     & info [ "scale" ] ~docv:"N" ~doc:"Workload size multiplier.")
 
-let run_term = Term.(const run_workload $ name_arg $ out_arg $ scale_arg)
+let abort_rank_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "abort-rank" ] ~docv:"RANK:NCALLS"
+        ~doc:
+          "Simulate a crash: the given rank stops at the start of its \
+           (NCALLS+1)-th MPI operation, leaving in-flight records in the \
+           trace.")
+
+let run_term =
+  Term.(const run_workload $ name_arg $ out_arg $ scale_arg $ abort_rank_arg)
 
 let source_arg =
   Arg.(
@@ -247,10 +328,35 @@ let grouped_arg =
     & info [ "g"; "grouped" ]
         ~doc:"Aggregate races by call-chain pair instead of listing each.")
 
+let lenient_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:
+          "Decode and verify leniently: salvage what a degraded trace still \
+           proves instead of failing on the first unreadable byte. Race \
+           verdicts touching degraded regions are marked accordingly, and a \
+           degradation summary is printed.")
+
+let inject_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Inject faults into the trace before decoding, e.g. \
+           $(b,drop:0.01,truncate:0.3). Kinds: drop, truncate, corrupt, \
+           duplicate, strip-epilogue, clobber-table; rates in [0,1]. \
+           Deterministic for a fixed $(b,--seed).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for $(b,--inject).")
+
 let verify_term =
   Term.(
     const verify_cmd $ source_arg $ model_arg $ engine_arg $ all_models_arg
-    $ limit_arg $ grouped_arg)
+    $ limit_arg $ grouped_arg $ lenient_arg $ inject_arg $ seed_arg)
 
 let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
 

@@ -1,4 +1,5 @@
 module R = Recorder.Record
+module D = Recorder.Diagnostic
 
 type event =
   | P2p of { send : int; completion : int }
@@ -40,6 +41,7 @@ type result = {
   events : event list;
   unmatched : unmatched list;
   comm_ranks : (int * int array) list;
+  diagnostics : D.t list;
 }
 
 let is_clean r = r.unmatched = []
@@ -75,6 +77,8 @@ let in_flight (r : R.t) = r.ret = Recorder.Trace.in_flight_ret
 
 type state = {
   d : Op.decoded;
+  mode : D.mode;
+  mutable diags : D.t list;
   mutable events : event list;
   mutable unmatched : unmatched list;
   comms : (int, int array) Hashtbl.t;  (* comm id -> world ranks *)
@@ -87,6 +91,25 @@ type state = {
 
 let comm_of_coll d idx = R.int_arg (Op.op d idx).Op.record 0
 
+(* In lenient mode a corrupt MPI record must not take the whole matching
+   pass down: absorb the parse failure as a diagnostic and skip the unit
+   of work that needed the bad field. *)
+let guarded st ?rank ?seq ~what f =
+  match st.mode with
+  | D.Strict -> f ()
+  | D.Lenient -> (
+    try f () with
+    | Op.Malformed msg | Failure msg ->
+      st.diags <-
+        D.make ?rank ?seq ~fault:D.Bad_argument
+          (Printf.sprintf "%s: %s" what msg)
+        :: st.diags
+    | Invalid_argument msg ->
+      st.diags <-
+        D.make ?rank ?seq ~fault:D.Bad_argument
+          (Printf.sprintf "%s: invalid value (%s)" what msg)
+        :: st.diags)
+
 (* One pass over Wait/Waitall/Test/Testsome records: which call completed
    which request id, and with what recovered status. *)
 let collect_completions st =
@@ -98,6 +121,8 @@ let collect_completions st =
     (fun (o : Op.t) ->
       let r = o.Op.record in
       if r.R.layer = R.Mpi && not (in_flight r) then
+        guarded st ~rank:r.R.rank ~seq:r.R.seq
+          ~what:(Printf.sprintf "completion record %s" r.R.func) @@ fun () ->
         match r.R.func with
         | "MPI_Wait" ->
           note ~rank:r.R.rank ~rid:(R.int_arg r 0) ~src:(R.int_arg r 1)
@@ -136,7 +161,10 @@ let collect_completions st =
 let collect_collectives st =
   Array.iter
     (fun (o : Op.t) ->
-      if is_collective o.record then begin
+      if is_collective o.record then
+        guarded st ~rank:o.record.R.rank ~seq:o.record.R.seq
+          ~what:(Printf.sprintf "collective record %s" o.record.R.func)
+        @@ fun () ->
         let key = (comm_of_coll st.d o.idx, o.record.R.rank) in
         let cell =
           match Hashtbl.find_opt st.coll_seqs key with
@@ -146,8 +174,7 @@ let collect_collectives st =
             Hashtbl.replace st.coll_seqs key c;
             c
         in
-        cell := o.idx :: !cell
-      end)
+        cell := o.idx :: !cell)
     st.d.Op.ops;
   (* Store in program order. *)
   Hashtbl.iter (fun _ c -> c := List.rev !c) st.coll_seqs
@@ -194,6 +221,20 @@ let match_comm st comm_id =
         List.sort_uniq compare
           (List.map (fun (_, idx) -> (Op.op st.d idx).Op.record.R.func) present)
       in
+      let orphan_rest () =
+        (* Everything after this position on this communicator is
+           unreliable. *)
+        Array.iteri
+          (fun ci w ->
+            for p = pos + 1 to Array.length seqs.(ci) - 1 do
+              st.unmatched <-
+                Orphan_collective { comm = comm_id; rank = w; op = seqs.(ci).(p) }
+                :: st.unmatched
+            done)
+          members;
+        aborted := true
+      in
+      let process () =
       match (funcs, missing) with
       | [ func ], [] ->
         let inits = List.map snd present in
@@ -275,15 +316,20 @@ let match_comm st comm_id =
             }
           :: st.unmatched;
         (* Everything after a mismatch on this communicator is unreliable. *)
-        Array.iteri
-          (fun ci w ->
-            for p = pos + 1 to Array.length seqs.(ci) - 1 do
-              st.unmatched <-
-                Orphan_collective { comm = comm_id; rank = w; op = seqs.(ci).(p) }
-                :: st.unmatched
-            done)
-          members;
-        aborted := true
+        orphan_rest ()
+      in
+      match st.mode with
+      | D.Strict -> process ()
+      | D.Lenient -> (
+        try process ()
+        with Op.Malformed msg | Failure msg | Invalid_argument msg ->
+          st.diags <-
+            D.make ~fault:D.Bad_argument
+              (Printf.sprintf
+                 "collective at position %d on comm %d unusable: %s" pos
+                 comm_id msg)
+            :: st.diags;
+          orphan_rest ())
     end
   done;
   !fresh
@@ -357,6 +403,8 @@ let match_p2p st =
     (fun (o : Op.t) ->
       let r = o.record in
       if r.R.layer = R.Mpi then
+        guarded st ~rank:r.R.rank ~seq:r.R.seq
+          ~what:(Printf.sprintf "p2p record %s" r.R.func) @@ fun () ->
         match r.R.func with
         | "MPI_Send" | "MPI_Isend" ->
           sends :=
@@ -494,10 +542,12 @@ let match_p2p st =
     tbl;
   st.unmatched <- !pending_unmatched @ st.unmatched
 
-let run d =
+let run ?(mode = D.Strict) d =
   let st =
     {
       d;
+      mode;
+      diags = [];
       events = [];
       unmatched = [];
       comms = Hashtbl.create 8;
@@ -514,4 +564,5 @@ let run d =
     comm_ranks =
       Hashtbl.fold (fun id ranks acc -> (id, ranks) :: acc) st.comms []
       |> List.sort compare;
+    diagnostics = List.rev st.diags;
   }

@@ -55,9 +55,17 @@ type result = {
   events : event list;
   unmatched : unmatched list;
   comm_ranks : (int * int array) list;  (** comm id -> member world ranks *)
+  diagnostics : Recorder.Diagnostic.t list;
+      (** corrupt MPI records absorbed by lenient matching; always empty in
+          strict mode *)
 }
 
-val run : Op.decoded -> result
+val run : ?mode:Recorder.Diagnostic.mode -> Op.decoded -> result
+(** Strict mode (default) propagates {!Op.Malformed} on corrupt MPI
+    arguments. Lenient mode never raises: a record whose fields cannot be
+    parsed is dropped from matching with a diagnostic, and a collective
+    position that references it is treated like a mismatch (subsequent
+    calls on that communicator become {!Orphan_collective}). *)
 
 val is_clean : result -> bool
 (** No unmatched diagnostics. *)

@@ -1,9 +1,17 @@
 module R = Recorder.Record
 module I = Vio_util.Interval
+module D = Recorder.Diagnostic
 
 exception Malformed of string
 
 let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+(* Handle-tracking failures get their own (internal) exception so lenient
+   decoding can classify them as orphaned descriptors rather than generic
+   argument corruption. *)
+exception Orphan of string
+
+let orphan fmt = Format.kasprintf (fun s -> raise (Orphan s)) fmt
 
 type api = Fd | Stream | Mpiio_handle
 
@@ -51,6 +59,8 @@ type decoded = {
   ops : t array;
   by_rank : int array array;
   files : (string * int) list;
+  diagnostics : D.t list;
+  degraded : bool array;
 }
 
 let op d idx = d.ops.(idx)
@@ -94,7 +104,7 @@ let grow_eof st fid upto =
 let handle st ~rank ~api n =
   match Hashtbl.find_opt st.handles (rank, api, n) with
   | Some h -> h
-  | None -> malformed "rank %d: I/O on unknown/closed handle %d" rank n
+  | None -> orphan "rank %d: I/O on unknown/closed handle %d" rank n
 
 let open_handle st ~rank ~api ~n ~fid ~append ~at_end =
   let h =
@@ -233,7 +243,26 @@ let classify st (r : R.t) : kind =
   | R.Mpi, _ -> Mpi_call
   | (R.App | R.Hdf5 | R.Netcdf | R.Pnetcdf), _ -> Other
 
-let decode ~nranks records =
+let decode ?(mode = D.Strict) ~nranks records =
+  let lenient = mode = D.Lenient in
+  let diags = ref [] in
+  let add_diag d = diags := d :: !diags in
+  (* Records attributed to ranks the trace does not have cannot be placed
+     in any per-rank program order; lenient decoding drops them. *)
+  let records =
+    if not lenient then records
+    else
+      List.filter
+        (fun (r : R.t) ->
+          if r.rank >= 0 && r.rank < nranks then true
+          else begin
+            add_diag
+              (D.make ~seq:r.seq ~fault:D.Unreadable_record
+                 (Printf.sprintf "rank %d out of range [0, %d)" r.rank nranks));
+            false
+          end)
+        records
+  in
   let arr =
     Array.of_list
       (List.sort
@@ -250,6 +279,7 @@ let decode ~nranks records =
     }
   in
   let ops = Array.make n None in
+  let degraded = Array.make n false in
   (* Classify in global timestamp order so the per-file EOF reconstruction
      sees writes in the order they actually executed. *)
   let order = Array.init n Fun.id in
@@ -257,20 +287,44 @@ let decode ~nranks records =
   Array.iter
     (fun idx ->
       let r = arr.(idx) in
+      let never_returned = r.R.ret = Recorder.Trace.in_flight_ret in
+      let in_flight = never_returned && r.layer <> R.Mpi in
+      if never_returned && lenient then begin
+        degraded.(idx) <- true;
+        add_diag
+          (D.make ~rank:r.rank ~seq:r.seq ~fault:D.Incomplete_epilogue
+             (Printf.sprintf "%s never returned" r.func))
+      end;
       let kind =
         (* Argument-access failures from the record layer are trace
            malformations too. *)
         try
-        if is_mpi_comm_record r then Mpi_call
-        else
-          (* In-flight records never completed; handle-returning calls
-             without a return value cannot be decoded as I/O. *)
-          if r.ret = Recorder.Trace.in_flight_ret && r.layer <> R.Mpi then
+          if is_mpi_comm_record r then Mpi_call
+          else if in_flight then
+            (* In-flight records never completed; handle-returning calls
+               without a return value cannot be decoded as I/O. *)
             match (r.layer, r.func) with
-            | R.Posix, ("open" | "fopen") -> Other
+            | R.Posix, ("open" | "fopen") | R.Mpiio, "MPI_File_open" -> Other
             | _ -> classify st r
           else classify st r
         with
+        | Orphan msg ->
+          if lenient then begin
+            degraded.(idx) <- true;
+            add_diag (D.make ~rank:r.rank ~seq:r.seq ~fault:D.Orphan_handle msg);
+            Other
+          end
+          else raise (Malformed msg)
+        | (Malformed msg | Failure msg) when lenient ->
+          degraded.(idx) <- true;
+          add_diag (D.make ~rank:r.rank ~seq:r.seq ~fault:D.Bad_argument msg);
+          Other
+        | Invalid_argument msg when lenient ->
+          degraded.(idx) <- true;
+          add_diag
+            (D.make ~rank:r.rank ~seq:r.seq ~fault:D.Bad_argument
+               ("invalid value in trace: " ^ msg));
+          Other
         | Failure msg -> raise (Malformed msg)
         | Invalid_argument msg ->
           (* e.g. negative lengths reaching interval construction *)
@@ -291,6 +345,6 @@ let decode ~nranks records =
     Hashtbl.fold (fun path fid acc -> (path, fid) :: acc) st.fids []
     |> List.sort (fun (_, a) (_, b) -> compare a b)
   in
-  { nranks; ops; by_rank; files }
+  { nranks; ops; by_rank; files; diagnostics = List.rev !diags; degraded }
 
 let fid_of_path d path = List.assoc_opt path d.files

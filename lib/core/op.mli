@@ -44,13 +44,29 @@ type decoded = {
   ops : t array;  (** index = [idx]; sorted by (rank, seq) *)
   by_rank : int array array;  (** per-rank op indices in program order *)
   files : (string * int) list;  (** path to fid mapping, in fid order *)
+  diagnostics : Recorder.Diagnostic.t list;
+      (** losses absorbed by lenient decoding, in classification order;
+          always empty in strict mode *)
+  degraded : bool array;
+      (** per-op flag (index = [idx]): true when the op could not be fully
+          decoded and was downgraded to {!Other} *)
 }
 
 exception Malformed of string
 (** Raised when the trace is internally inconsistent (unknown descriptor,
     I/O on a closed handle, unparsable arguments). *)
 
-val decode : nranks:int -> Recorder.Record.t list -> decoded
+val decode :
+  ?mode:Recorder.Diagnostic.mode ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  decoded
+(** Strict mode (default) raises {!Malformed} on the first inconsistency.
+    Lenient mode never raises: records that cannot be classified are kept
+    as {!Other} (preserving program order for the happens-before graph),
+    flagged in [degraded], and explained in [diagnostics]; in-flight calls
+    and I/O on descriptors whose open was lost are reported likewise.
+    Records attributed to out-of-range ranks are dropped. *)
 
 val op : decoded -> int -> t
 

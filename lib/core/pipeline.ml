@@ -1,3 +1,5 @@
+module D = Recorder.Diagnostic
+
 type timings = {
   t_read : float;
   t_conflicts : float;
@@ -7,8 +9,32 @@ type timings = {
   t_total : float;
 }
 
+type degradation = {
+  records_lost : int;
+  ops_degraded : int;
+  fds_orphaned : int;
+  chains_broken : int;
+  epilogues_missing : int;
+  unmatched_mpi : int;
+  graph_fallback : bool;
+  diagnostics : D.t list;
+}
+
+let no_degradation =
+  {
+    records_lost = 0;
+    ops_degraded = 0;
+    fds_orphaned = 0;
+    chains_broken = 0;
+    epilogues_missing = 0;
+    unmatched_mpi = 0;
+    graph_fallback = false;
+    diagnostics = [];
+  }
+
 type outcome = {
   model : Model.t;
+  mode : D.mode;
   races : Verify.race list;
   race_count : int;
   unmatched : Match_mpi.unmatched list;
@@ -19,6 +45,7 @@ type outcome = {
   timings : timings;
   decoded : Op.decoded;
   engine_used : Reach.engine;
+  degradation : degradation;
 }
 
 let timed f =
@@ -26,13 +53,33 @@ let timed f =
   let v = f () in
   (Unix.gettimeofday () -. t0, v)
 
-let verify ?engine ?(pruning = true) ~model ~nranks records =
-  let t_read, d = timed (fun () -> Op.decode ~nranks records) in
+let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
+    ~nranks records =
+  let lenient = mode = D.Lenient in
+  let t_read, d = timed (fun () -> Op.decode ~mode ~nranks records) in
   let t_conflicts, groups = timed (fun () -> Conflict.detect d) in
-  let t_graph, (matching, graph) =
+  let t_graph, (matching, graph, graph_fallback) =
     timed (fun () ->
-        let m = Match_mpi.run d in
-        (m, Hb_graph.build d m))
+        let m = Match_mpi.run ~mode d in
+        match Hb_graph.build d m with
+        | g -> (m, g, false)
+        | exception Op.Malformed _ when lenient ->
+          (* The salvaged MPI events are inconsistent (e.g. a cycle from a
+             half-lost collective): fall back to program order + file
+             metadata only. Every cross-rank verdict is then degraded. *)
+          (m, Hb_graph.build d { m with Match_mpi.events = [] }, true))
+  in
+  let diagnostics =
+    upstream @ d.Op.diagnostics
+    @ matching.Match_mpi.diagnostics
+    @
+    if graph_fallback then
+      [
+        D.make ~fault:D.Degraded_graph
+          "happens-before graph rebuilt without MPI edges (salvaged events \
+           were inconsistent)";
+      ]
+    else []
   in
   let engine =
     match engine with
@@ -43,11 +90,50 @@ let verify ?engine ?(pruning = true) ~model ~nranks records =
   in
   let t_engine, reach = timed (fun () -> Reach.create engine graph) in
   let sidx = Msc.build_index d in
+  let degraded =
+    if not lenient then fun _ -> false
+    else begin
+      (* A rank touched by any diagnostic is suspect end to end: the lost
+         record could have carried the synchronization that orders its
+         other ops. Diagnostics with no rank attribution (and unmatched
+         MPI, whose missing participants are unknowable) taint the whole
+         trace. *)
+      let by_rank = Array.make (max 1 d.Op.nranks) false in
+      let any_global = ref (graph_fallback || matching.Match_mpi.unmatched <> []) in
+      List.iter
+        (fun (diag : D.t) ->
+          match diag.D.rank with
+          | Some r when r >= 0 && r < Array.length by_rank -> by_rank.(r) <- true
+          | Some _ | None -> any_global := true)
+        diagnostics;
+      if !any_global then fun _ -> true
+      else fun idx -> d.Op.degraded.(idx) || by_rank.(Op.rank_of d idx)
+    end
+  in
   let t_verify, (races, stats) =
-    timed (fun () -> Verify.run ~pruning model reach sidx d groups)
+    timed (fun () -> Verify.run ~pruning ~degraded model reach sidx d groups)
+  in
+  let degradation =
+    if not lenient then no_degradation
+    else
+      {
+        records_lost =
+          D.count_class D.Truncated_trace diagnostics
+          + D.count_class D.Unreadable_record diagnostics
+          + D.count_class D.Duplicate_record diagnostics;
+        ops_degraded =
+          Array.fold_left (fun n b -> if b then n + 1 else n) 0 d.Op.degraded;
+        fds_orphaned = D.count_class D.Orphan_handle diagnostics;
+        chains_broken = D.count_class D.Broken_call_chain diagnostics;
+        epilogues_missing = D.count_class D.Incomplete_epilogue diagnostics;
+        unmatched_mpi = List.length matching.Match_mpi.unmatched;
+        graph_fallback;
+        diagnostics;
+      }
   in
   {
     model;
+    mode;
     races;
     race_count = List.length races;
     unmatched = matching.Match_mpi.unmatched;
@@ -66,6 +152,7 @@ let verify ?engine ?(pruning = true) ~model ~nranks records =
       };
     decoded = d;
     engine_used = engine;
+    degradation;
   }
 
 let verify_all_models ?engine ~nranks records =
@@ -74,3 +161,10 @@ let verify_all_models ?engine ~nranks records =
     Model.builtin
 
 let is_properly_synchronized o = o.races = [] && o.unmatched = []
+
+let is_degraded o =
+  o.degradation.diagnostics <> [] || o.degradation.graph_fallback
+
+let definite_races o =
+  List.filter (fun (r : Verify.race) -> r.Verify.confidence = Verify.Definite)
+    o.races

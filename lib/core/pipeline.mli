@@ -3,7 +3,14 @@
 
     Stages: decode the trace (offset/fid resolution) → detect conflicts →
     match MPI calls and build the happens-before graph → prepare the
-    happens-before engine (e.g. generate vector clocks) → verify. *)
+    happens-before engine (e.g. generate vector clocks) → verify.
+
+    In {!Recorder.Diagnostic.Lenient} mode the pipeline degrades
+    gracefully instead of raising: every stage absorbs what it cannot
+    decode, the happens-before graph is built on the salvageable subset,
+    and the {!degradation} summary accounts for everything given up. Race
+    verdicts that rest on a degraded region are tagged
+    {!Verify.Under_degradation}. *)
 
 type timings = {
   t_read : float;  (** decode records into operations *)
@@ -14,8 +21,28 @@ type timings = {
   t_total : float;
 }
 
+type degradation = {
+  records_lost : int;
+      (** records truncated, unreadable, or deduplicated away *)
+  ops_degraded : int;  (** ops downgraded to {!Op.Other} during decoding *)
+  fds_orphaned : int;  (** I/O calls on descriptors whose open was lost *)
+  chains_broken : int;  (** call chains that could not be resolved *)
+  epilogues_missing : int;  (** calls that never returned *)
+  unmatched_mpi : int;
+  graph_fallback : bool;
+      (** true when the happens-before graph had to be rebuilt without MPI
+          edges *)
+  diagnostics : Recorder.Diagnostic.t list;
+      (** everything absorbed, pipeline-wide and in stage order (upstream
+          codec diagnostics first when supplied) *)
+}
+
+val no_degradation : degradation
+(** The all-zero summary a strict (or pristine lenient) run reports. *)
+
 type outcome = {
   model : Model.t;
+  mode : Recorder.Diagnostic.mode;
   races : Verify.race list;
   race_count : int;
   unmatched : Match_mpi.unmatched list;
@@ -26,11 +53,14 @@ type outcome = {
   timings : timings;
   decoded : Op.decoded;
   engine_used : Reach.engine;
+  degradation : degradation;
 }
 
 val verify :
   ?engine:Reach.engine ->
   ?pruning:bool ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
   model:Model.t ->
   nranks:int ->
   Recorder.Record.t list ->
@@ -38,7 +68,13 @@ val verify :
 (** Run the full pipeline on raw trace records. When [engine] is omitted
     it is selected dynamically from the graph size and conflict count
     ({!Reach.recommend}, the paper's planned extension); the choice is
-    reported in [engine_used]. *)
+    reported in [engine_used].
+
+    [mode] defaults to strict: any internal inconsistency raises
+    {!Op.Malformed}. With [~mode:Lenient] the pipeline never raises on a
+    degraded trace. [upstream] carries diagnostics already collected by an
+    earlier stage (typically a lenient {!Recorder.Codec.decode_ext}); they
+    join the degradation summary and taint the ranks they name. *)
 
 val verify_all_models :
   ?engine:Reach.engine ->
@@ -49,3 +85,9 @@ val verify_all_models :
 
 val is_properly_synchronized : outcome -> bool
 (** No races and no unmatched MPI calls. *)
+
+val is_degraded : outcome -> bool
+(** True when the lenient pipeline had to give anything up. *)
+
+val definite_races : outcome -> Verify.race list
+(** The races whose verdicts do not rest on degraded trace regions. *)

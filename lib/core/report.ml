@@ -6,7 +6,12 @@ let pp_race d ppf (race : Verify.race) =
     let o = Op.op d idx in
     Format.asprintf "%a@,    call chain: %a" Op.pp o R.pp_call_chain o.Op.record
   in
-  Format.fprintf ppf "@[<v 2>race:@,%s@,%s@]" (show race.Verify.rx)
+  let marker =
+    match race.Verify.confidence with
+    | Verify.Definite -> ""
+    | Verify.Under_degradation -> " [under degradation]"
+  in
+  Format.fprintf ppf "@[<v 2>race:%s@,%s@,%s@]" marker (show race.Verify.rx)
     (show race.Verify.ry)
 
 let race_report ?(limit = 10) (o : Pipeline.outcome) =
@@ -29,6 +34,38 @@ let race_report ?(limit = 10) (o : Pipeline.outcome) =
         (Format.asprintf "unmatched MPI: %a@." (Match_mpi.pp_unmatched d) u))
     o.Pipeline.unmatched;
   Buffer.contents buf
+
+let degradation_report ?(limit = 10) (o : Pipeline.outcome) =
+  let dg = o.Pipeline.degradation in
+  if not (Pipeline.is_degraded o) then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "degraded trace: verdicts on the salvaged subset\n";
+    let counter name n =
+      if n > 0 then
+        Buffer.add_string buf (Printf.sprintf "  %-24s %d\n" name n)
+    in
+    counter "records lost" dg.Pipeline.records_lost;
+    counter "ops degraded" dg.Pipeline.ops_degraded;
+    counter "fds orphaned" dg.Pipeline.fds_orphaned;
+    counter "call chains broken" dg.Pipeline.chains_broken;
+    counter "epilogues missing" dg.Pipeline.epilogues_missing;
+    counter "unmatched MPI calls" dg.Pipeline.unmatched_mpi;
+    if dg.Pipeline.graph_fallback then
+      Buffer.add_string buf
+        "  happens-before graph rebuilt without MPI edges\n";
+    let diags = dg.Pipeline.diagnostics in
+    let total = List.length diags in
+    List.iteri
+      (fun i diag ->
+        if i < limit then
+          Buffer.add_string buf
+            (Printf.sprintf "  %s\n" (Recorder.Diagnostic.to_string diag)))
+      diags;
+    if total > limit then
+      Buffer.add_string buf (Printf.sprintf "  ... and %d more\n" (total - limit));
+    Buffer.contents buf
+  end
 
 let summary_line ~name (o : Pipeline.outcome) =
   Printf.sprintf "%-24s %-8s conflicts=%-8d races=%-8d unmatched=%d" name

@@ -9,7 +9,13 @@ val pp_race :
 
 val race_report : ?limit:int -> Pipeline.outcome -> string
 (** Multi-line report of the outcome's races (default [limit] 10) and
-    unmatched MPI diagnostics. *)
+    unmatched MPI diagnostics. Races whose verdict rests on a degraded
+    trace region are marked [\[under degradation\]]. *)
+
+val degradation_report : ?limit:int -> Pipeline.outcome -> string
+(** What a lenient run had to give up: per-class loss counters followed by
+    the first [limit] (default 10) diagnostics. Empty string when nothing
+    was degraded. *)
 
 val summary_line : name:string -> Pipeline.outcome -> string
 (** One line: test name, model, conflicts, races, unmatched. *)

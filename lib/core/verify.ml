@@ -1,4 +1,6 @@
-type race = { rx : int; ry : int }
+type confidence = Definite | Under_degradation
+
+type race = { rx : int; ry : int; confidence : confidence }
 
 type stats = {
   groups : int;
@@ -8,7 +10,10 @@ type stats = {
   rule_hits : int array;
 }
 
-let run ?(pruning = true) model reach sidx (d : Op.decoded) groups =
+let no_degradation _ = false
+
+let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
+    (d : Op.decoded) groups =
   let checks = ref 0 in
   let fast = ref 0 in
   (* Memoize pair verdicts: the pruning rules revisit boundary pairs, and
@@ -27,10 +32,15 @@ let run ?(pruning = true) model reach sidx (d : Op.decoded) groups =
       v
   in
   let rule_hits = Array.make 4 0 in
-  let races : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let races : (int * int, confidence) Hashtbl.t = Hashtbl.create 64 in
   let note_race a b =
     let key = (min a b, max a b) in
-    Hashtbl.replace races key ()
+    (* A verdict that rests on a degraded op (or a degraded portion of the
+       trace) is only as good as what survived decoding. *)
+    let confidence =
+      if degraded a || degraded b then Under_degradation else Definite
+    in
+    Hashtbl.replace races key confidence
   in
   List.iter
     (fun (g : Conflict.group) ->
@@ -70,7 +80,9 @@ let run ?(pruning = true) model reach sidx (d : Op.decoded) groups =
         g.Conflict.peers)
     groups;
   let race_list =
-    Hashtbl.fold (fun (a, b) () acc -> { rx = a; ry = b } :: acc) races []
+    Hashtbl.fold
+      (fun (a, b) confidence acc -> { rx = a; ry = b; confidence } :: acc)
+      races []
     |> List.sort (fun r1 r2 -> compare (r1.rx, r1.ry) (r2.rx, r2.ry))
   in
   ( race_list,
@@ -82,7 +94,8 @@ let run ?(pruning = true) model reach sidx (d : Op.decoded) groups =
       rule_hits;
     } )
 
-let run_parallel ?domains model graph sidx (d : Op.decoded) groups =
+let run_parallel ?domains ?(degraded = no_degradation) model graph sidx
+    (d : Op.decoded) groups =
   let ndomains =
     match domains with
     | Some n when n >= 1 -> n
@@ -92,7 +105,7 @@ let run_parallel ?domains model graph sidx (d : Op.decoded) groups =
   let groups_arr = Array.of_list groups in
   let n = Array.length groups_arr in
   if ndomains = 1 || n = 0 then
-    run model (Reach.create Reach.Vector_clock graph) sidx d groups
+    run ~degraded model (Reach.create Reach.Vector_clock graph) sidx d groups
   else begin
     let chunk = (n + ndomains - 1) / ndomains in
     let work k =
@@ -104,7 +117,7 @@ let run_parallel ?domains model graph sidx (d : Op.decoded) groups =
         (* Each domain gets its own engine: queries are then fully
            domain-local over the shared immutable graph. *)
         let reach = Reach.create Reach.Vector_clock graph in
-        run model reach sidx d
+        run ~degraded model reach sidx d
           (Array.to_list (Array.sub groups_arr lo (hi - lo)))
     in
     let handles =

@@ -17,7 +17,14 @@
     fall back to pairwise checks, with rules 3/4 still suppressing whole
     directions. *)
 
-type race = { rx : int; ry : int }
+type confidence =
+  | Definite  (** both ops decoded cleanly from an intact trace region *)
+  | Under_degradation
+      (** the verdict involves an op (or rank) affected by trace
+          degradation: the race is real on the salvaged subset, but lost
+          records could have carried the synchronization that orders it *)
+
+type race = { rx : int; ry : int; confidence : confidence }
 (** Op indices with [rx < ry]. *)
 
 type stats = {
@@ -33,6 +40,7 @@ type stats = {
 
 val run :
   ?pruning:bool ->
+  ?degraded:(int -> bool) ->
   Model.t ->
   Reach.t ->
   Msc.sync_index ->
@@ -40,10 +48,14 @@ val run :
   Conflict.group list ->
   race list * stats
 (** Races sorted by (rx, ry). [pruning] defaults to [true]; disabling it
-    checks every pair in both directions (the ablation baseline). *)
+    checks every pair in both directions (the ablation baseline).
+    [degraded] (default: always false) says whether the op with a given
+    index sits in a degraded region of the trace; races touching one are
+    tagged {!Under_degradation}. *)
 
 val run_parallel :
   ?domains:int ->
+  ?degraded:(int -> bool) ->
   Model.t ->
   Hb_graph.t ->
   Msc.sync_index ->

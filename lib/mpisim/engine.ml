@@ -59,6 +59,9 @@ type t = {
   mutable started : bool;
   sched_random : bool;
   mutable sched_state : int;  (* PRNG state for the randomized policy *)
+  mutable abort : (int * int) option;  (* (rank, MPI-call budget) *)
+  calls : int array;  (* MPI calls issued, per world rank *)
+  mutable abort_fired : bool;
 }
 
 type ctx = { engine : t; rank : int }
@@ -82,6 +85,9 @@ let create ?trace ?(sched_seed = 0) ~nranks () =
       started = false;
       sched_random = sched_seed <> 0;
       sched_state = sched_seed;
+      abort = None;
+      calls = Array.make nranks 0;
+      abort_fired = false;
     }
   in
   Hashtbl.replace t.comms Comm.world_id
@@ -126,14 +132,36 @@ type _ Effect.t += Suspend : string * (unit -> bool) -> unit Effect.t
 let wait_until ~what pred =
   if not (pred ()) then Effect.perform (Suspend (what, pred))
 
+(* Every MPI operation charges the caller's budget. When the budget of an
+   aborting rank is exhausted its fiber suspends on an unsatisfiable
+   condition — the crash point. The operation never runs, so its trace
+   record keeps the in-flight marker, exactly like a real rank dying
+   inside an MPI call under LD_PRELOAD tracing. *)
+let note_call ctx =
+  let t = ctx.engine in
+  match t.abort with
+  | Some (rank, budget) when rank = ctx.rank ->
+    t.calls.(rank) <- t.calls.(rank) + 1;
+    if t.calls.(rank) > budget then begin
+      t.abort_fired <- true;
+      Effect.perform (Suspend ("aborted (simulated crash)", fun () -> false))
+    end
+  | _ -> ()
+
 type fiber_slot = {
   fs_what : string;
   fs_pred : unit -> bool;
   fs_cont : (unit, unit) Effect.Deep.continuation;
 }
 
-let run t program =
+let run ?abort_rank t program =
   if t.started then invalid_arg "Engine.run: engine is single-shot";
+  (match abort_rank with
+  | Some (rank, _) when rank < 0 || rank >= t.n ->
+    invalid_arg "Engine.run: abort rank out of range"
+  | Some (_, budget) when budget < 0 ->
+    invalid_arg "Engine.run: abort budget must be non-negative"
+  | _ -> t.abort <- abort_rank);
   t.started <- true;
   let blocked : fiber_slot option array = Array.make t.n None in
   let finished = Array.make t.n false in
@@ -174,7 +202,8 @@ let run t program =
     t.sched_state <- ((t.sched_state * 1103515245) + 12345) land 0x3FFFFFFF;
     t.sched_state
   in
-  while not (all_done ()) do
+  let stalled = ref false in
+  while not (all_done ()) && not !stalled do
     let progressed = ref false in
     if not t.sched_random then
       for rank = 0 to t.n - 1 do
@@ -203,16 +232,23 @@ let run t program =
           Effect.Deep.continue f.fs_cont ()
         | None -> assert false)
     end;
-    if not !progressed then begin
-      let buf = Buffer.create 128 in
-      Buffer.add_string buf "MPI deadlock;";
-      for rank = 0 to t.n - 1 do
-        match blocked.(rank) with
-        | Some f -> Buffer.add_string buf (Printf.sprintf " rank %d: %s;" rank f.fs_what)
-        | None -> ()
-      done;
-      raise (Deadlock (Buffer.contents buf))
-    end
+    if not !progressed then
+      if t.abort_fired then
+        (* A simulated crash took a rank down; whoever is still blocked on
+           it stays in-flight in the trace, which is the point of the
+           exercise. Stop scheduling instead of calling it a deadlock. *)
+        stalled := true
+      else begin
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf "MPI deadlock;";
+        for rank = 0 to t.n - 1 do
+          match blocked.(rank) with
+          | Some f ->
+            Buffer.add_string buf (Printf.sprintf " rank %d: %s;" rank f.fs_what)
+          | None -> ()
+        done;
+        raise (Deadlock (Buffer.contents buf))
+      end
   done
 
 (* ---------------------------------------------------------------- *)
@@ -220,6 +256,7 @@ let run t program =
 (* ---------------------------------------------------------------- *)
 
 let post_send ctx ~dst ~tag ~comm data =
+  note_call ctx;
   let t = ctx.engine in
   let src_comm =
     match Comm.rank_of_world comm ctx.rank with
@@ -281,6 +318,7 @@ let progress_rank t rank =
 let progress t = progress_rank t
 
 let post_recv ctx ~src ~tag ~comm =
+  note_call ctx;
   let t = ctx.engine in
   (match Comm.rank_of_world comm ctx.rank with
   | Some _ -> ()
@@ -319,6 +357,7 @@ let completed req =
     end
 
 let wait ctx req =
+  note_call ctx;
   let t = ctx.engine in
   if req.owner <> ctx.rank then invalid_arg "Engine.wait: foreign request";
   (match completed req with
@@ -332,6 +371,7 @@ let wait ctx req =
   match completed req with Some r -> r | None -> assert false
 
 let test ctx req =
+  note_call ctx;
   if req.owner <> ctx.rank then invalid_arg "Engine.test: foreign request";
   progress ctx.engine ctx.rank;
   completed req
@@ -386,6 +426,10 @@ let deposit ctx ~kind ~comm ~contrib =
 
 let arrive ctx ~kind ~comm ~contrib =
   let self, seq, slot = deposit ctx ~kind ~comm ~contrib in
+  (* The crash point sits after the contribution: the collective can
+     complete on the peers while this rank never returns from it — so the
+     peers run on and their later collectives genuinely miss this rank. *)
+  note_call ctx;
   wait_until
     ~what:(Printf.sprintf "%s on comm %d (slot %d)" kind comm.Comm.id seq)
     (fun () -> slot_full slot);
@@ -409,6 +453,7 @@ let collective_shared ctx ~kind ~comm ~contrib ~compute =
 let icollective ctx ~kind ~comm ~contrib ~compute =
   let t = ctx.engine in
   let self, _, slot = deposit ctx ~kind ~comm ~contrib in
+  note_call ctx;
   {
     rid = next_request_id t;
     owner = ctx.rank;

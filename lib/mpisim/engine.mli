@@ -57,10 +57,17 @@ val world : t -> Comm.t
 val comm_of_id : t -> int -> Comm.t
 (** Look up a live communicator; raises [Not_found] for unknown ids. *)
 
-val run : t -> (ctx -> unit) -> unit
+val run : ?abort_rank:int * int -> t -> (ctx -> unit) -> unit
 (** [run t program] starts one fiber per rank executing [program] and
     schedules them to completion.
-    @raise Deadlock when no fiber can make progress.
+
+    [~abort_rank:(rank, n)] simulates [rank] crashing mid-run: its fiber
+    is cut at the start of its (n+1)-th MPI operation (the call never
+    executes, so its trace record keeps the in-flight marker), and every
+    other rank then blocked on the dead rank is left in-flight too — the
+    run ends without raising, producing an organically degraded trace.
+
+    @raise Deadlock when no fiber can make progress (and no abort fired).
     @raise Mismatch on collective misuse. Exceptions raised by rank programs
     propagate. An engine is single-shot: running it twice raises
     [Invalid_argument]. *)

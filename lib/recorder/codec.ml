@@ -1,5 +1,16 @@
 let magic = "VERIFYIO-TRACE 1"
 
+exception Malformed of { line : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Malformed { line; reason } ->
+      Some (Printf.sprintf "Codec.Malformed (line %d: %s)" line reason)
+    | _ -> None)
+
+let malformed ~line fmt =
+  Printf.ksprintf (fun reason -> raise (Malformed { line; reason })) fmt
+
 let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -13,7 +24,7 @@ let escape s =
     s;
   Buffer.contents buf
 
-let unescape s =
+let unescape_at ~line s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let hex c =
@@ -21,12 +32,12 @@ let unescape s =
     | '0' .. '9' -> Char.code c - Char.code '0'
     | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
     | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-    | _ -> failwith "Codec.unescape: bad hex digit"
+    | _ -> malformed ~line "unescape: bad hex digit %C in %S" c s
   in
   let rec go i =
     if i < n then
       if s.[i] = '%' then begin
-        if i + 2 >= n then failwith "Codec.unescape: truncated escape";
+        if i + 2 >= n then malformed ~line "unescape: truncated escape in %S" s;
         Buffer.add_char buf (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
         go (i + 3)
       end
@@ -37,6 +48,8 @@ let unescape s =
   in
   go 0;
   Buffer.contents buf
+
+let unescape s = unescape_at ~line:0 s
 
 (* The dictionary maps (layer, func) pairs to small integers. *)
 module Key = struct
@@ -106,108 +119,296 @@ let encode ~nranks records =
     records;
   Buffer.contents buf
 
-let decode s =
-  let lines = String.split_on_char '\n' s in
-  let fail msg = failwith ("Codec.decode: " ^ msg) in
-  let lines = match lines with
-    | m :: rest when m = magic -> rest
-    | m :: _ -> fail (Printf.sprintf "bad magic %S" m)
-    | [] -> fail "empty input"
+(* ---------------------------------------------------------------- *)
+(* Decoding                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type decoded = {
+  nranks : int;
+  records : Record.t list;
+  diagnostics : Diagnostic.t list;
+}
+
+(* A record line that must be skipped, with enough context to attribute
+   the loss. In strict mode skips escalate to {!Malformed}. *)
+exception Skip of {
+  sk_fault : Diagnostic.fault_class;
+  sk_rank : int option;
+  sk_seq : int option;
+  sk_reason : string;
+}
+
+let skip ?rank ?seq ~fault fmt =
+  Printf.ksprintf
+    (fun reason ->
+      raise (Skip { sk_fault = fault; sk_rank = rank; sk_seq = seq; sk_reason = reason }))
+    fmt
+
+let parse_record ~mode ~lookup ~nranks_opt ~line l =
+  let toks = String.split_on_char ' ' l in
+  let int ?rank ?seq what tok =
+    match int_of_string_opt tok with
+    | Some n -> n
+    | None ->
+      skip ?rank ?seq ~fault:Diagnostic.Unreadable_record
+        "expected int for %s, got %S" what tok
   in
-  let parse_header name line =
-    match String.split_on_char ' ' line with
-    | [ key; v ] when key = name -> (
-      match int_of_string_opt v with
-      | Some n -> n
-      | None -> fail (Printf.sprintf "bad %s count" name))
-    | _ -> fail (Printf.sprintf "expected %s header, got %S" name line)
-  in
-  let nranks, lines =
-    match lines with
-    | l :: rest -> (parse_header "nranks" l, rest)
-    | [] -> fail "missing nranks"
-  in
-  let nfuncs, lines =
-    match lines with
-    | l :: rest -> (parse_header "funcs" l, rest)
-    | [] -> fail "missing funcs"
-  in
-  let table = Array.make (max nfuncs 1) (Record.App, "") in
-  let rec read_funcs i lines =
-    if i >= nfuncs then lines
-    else
-      match lines with
-      | l :: rest -> (
-        match String.index_opt l ' ' with
-        | None -> fail "bad func table line"
-        | Some sp -> (
-          let layer_s = String.sub l 0 sp in
-          let func = unescape (String.sub l (sp + 1) (String.length l - sp - 1)) in
-          match Record.layer_of_string layer_s with
-          | None -> fail (Printf.sprintf "unknown layer %S" layer_s)
-          | Some layer ->
-            table.(i) <- (layer, func);
-            read_funcs (i + 1) rest))
-      | [] -> fail "truncated func table"
-  in
-  let lines = read_funcs 0 lines in
-  let nrecords, lines =
-    match lines with
-    | l :: rest -> (parse_header "records" l, rest)
-    | [] -> fail "missing records"
-  in
-  let lookup i =
-    if i < 0 || i >= nfuncs then fail "func index out of range" else table.(i)
-  in
-  let parse_record line =
-    let toks = String.split_on_char ' ' line in
-    let int tok =
-      match int_of_string_opt tok with
-      | Some n -> n
-      | None -> fail (Printf.sprintf "expected int, got %S" tok)
-    in
-    match toks with
-    | rank :: seq :: tstart :: tend :: fidx :: ret :: nargs :: rest ->
-      let nargs = int nargs in
-      let rec take n acc rest =
-        if n = 0 then (List.rev acc, rest)
-        else
-          match rest with
-          | x :: tl -> take (n - 1) (x :: acc) tl
-          | [] -> fail "truncated args"
-      in
-      let args, rest = take nargs [] rest in
-      let npath, rest =
+  match toks with
+  | rank :: seq :: tstart :: tend :: fidx :: ret :: nargs :: rest ->
+    let rank = int "rank" rank in
+    let seq = int ~rank "seq" seq in
+    (match nranks_opt with
+    | Some n when rank < 0 || rank >= n ->
+      skip ~seq ~fault:Diagnostic.Unreadable_record
+        "rank %d out of range [0, %d)" rank n
+    | _ -> ());
+    let skipf fault fmt = skip ~rank ~seq ~fault fmt in
+    let int what tok = int ~rank ~seq what tok in
+    let tstart = int "tstart" tstart in
+    let tend = int "tend" tend in
+    let fidx = int "func index" fidx in
+    let nargs = int "arg count" nargs in
+    let rec take what n acc rest =
+      if n <= 0 then (List.rev acc, rest)
+      else
         match rest with
-        | x :: tl -> (int x, tl)
-        | [] -> fail "missing call-path length"
-      in
-      let path_idx, rest = take npath [] rest in
-      if rest <> [] then fail "trailing tokens on record line";
-      let layer, func = lookup (int fidx) in
-      {
-        Record.rank = int rank;
-        seq = int seq;
-        tstart = int tstart;
-        tend = int tend;
+        | x :: tl -> take what (n - 1) (x :: acc) tl
+        | [] -> skipf Diagnostic.Unreadable_record "truncated %s" what
+    in
+    let args, rest = take "args" nargs [] rest in
+    let npath, rest =
+      match rest with
+      | x :: tl -> (int "call-path length" x, tl)
+      | [] -> skipf Diagnostic.Unreadable_record "missing call-path length"
+    in
+    let path_toks, rest = take "call path" npath [] rest in
+    if rest <> [] then
+      skipf Diagnostic.Unreadable_record "trailing tokens on record line";
+    let layer, func =
+      match lookup fidx with
+      | Some entry -> entry
+      | None ->
+        skipf Diagnostic.Unknown_function
+          "function index %d is missing or clobbered" fidx
+    in
+    let unescape_field what s =
+      try unescape_at ~line s
+      with Malformed { reason; _ } ->
+        skipf Diagnostic.Bad_argument "corrupt %s: %s" what reason
+    in
+    let args = List.map (unescape_field "argument") args in
+    let ret = unescape_field "return value" ret in
+    (* A clobbered call-path entry degrades the chain, not the record:
+       resolve the longest intact prefix and report the break. *)
+    let chain_diag = ref None in
+    let rec resolve acc = function
+      | [] -> List.rev acc
+      | tok :: tl -> (
+        match Option.bind (int_of_string_opt tok) lookup with
+        | Some entry -> resolve (entry :: acc) tl
+        | None -> (
+          match mode with
+          | Diagnostic.Strict ->
+            skipf Diagnostic.Broken_call_chain
+              "call-path entry %S is missing or clobbered" tok
+          | Diagnostic.Lenient ->
+            chain_diag :=
+              Some
+                (Diagnostic.make ~rank ~seq ~line
+                   ~fault:Diagnostic.Broken_call_chain
+                   (Printf.sprintf
+                      "call-path entry %S is missing or clobbered; chain \
+                       truncated"
+                      tok));
+            List.rev acc))
+    in
+    let call_path = resolve [] path_toks in
+    ( {
+        Record.rank;
+        seq;
+        tstart;
+        tend;
         layer;
         func;
-        args = Array.of_list (List.map unescape args);
-        ret = unescape ret;
-        call_path = List.map (fun i -> lookup (int i)) path_idx;
-      }
-    | _ -> fail (Printf.sprintf "bad record line %S" line)
+        args = Array.of_list args;
+        ret;
+        call_path;
+      },
+      !chain_diag )
+  | _ -> skip ~fault:Diagnostic.Unreadable_record "bad record line %S" l
+
+let decode_ext ?(mode = Diagnostic.Strict) s =
+  let lines = Array.of_list (String.split_on_char '\n' s) in
+  let nlines = Array.length lines in
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  (* [problem] raises in strict mode and records a diagnostic in lenient
+     mode; callers continue with a fallback after it returns. *)
+  let problem ?rank ?seq ~line ~fault fmt =
+    Printf.ksprintf
+      (fun reason ->
+        match mode with
+        | Diagnostic.Strict -> raise (Malformed { line; reason })
+        | Diagnostic.Lenient -> diag (Diagnostic.make ?rank ?seq ~line ~fault reason))
+      fmt
   in
-  let rec read_records i acc lines =
-    if i >= nrecords then List.rev acc
-    else
-      match lines with
-      | "" :: rest -> read_records i acc rest
-      | l :: rest -> read_records (i + 1) (parse_record l :: acc) rest
-      | [] -> fail "truncated records"
+  let finish ~nranks records =
+    { nranks; records = List.rev records; diagnostics = List.rev !diags }
   in
-  let records = read_records 0 [] lines in
-  (nranks, records)
+  if nlines = 0 || lines.(0) <> magic then begin
+    let shown =
+      if nlines = 0 then ""
+      else if String.length lines.(0) <= 40 then lines.(0)
+      else String.sub lines.(0) 0 40 ^ "..."
+    in
+    problem ~line:1 ~fault:Diagnostic.Bad_header "bad magic %S" shown;
+    (* Without the magic line nothing downstream can be trusted. *)
+    finish ~nranks:0 []
+  end
+  else begin
+    let pos = ref 1 in
+    let line () = !pos + 1 in
+    let parse_header name =
+      if !pos >= nlines then begin
+        problem ~line:(line ()) ~fault:Diagnostic.Bad_header "missing %s header"
+          name;
+        None
+      end
+      else
+        match String.split_on_char ' ' lines.(!pos) with
+        | [ key; v ] when key = name -> (
+          incr pos;
+          match int_of_string_opt v with
+          | Some n -> Some n
+          | None ->
+            problem ~line:(!pos) ~fault:Diagnostic.Bad_header "bad %s count" name;
+            None)
+        | _ ->
+          problem ~line:(line ()) ~fault:Diagnostic.Bad_header
+            "expected %s header, got %S" name lines.(!pos);
+          None
+    in
+    let nranks_opt = parse_header "nranks" in
+    let nfuncs_opt = parse_header "funcs" in
+    let is_records_header l =
+      match String.split_on_char ' ' l with
+      | [ "records"; v ] -> int_of_string_opt v <> None
+      | _ -> false
+    in
+    (* Function table: entries that cannot be read stay [None] so that
+       records referencing them are individually diagnosable. *)
+    let table = ref [] in
+    let read_table_line () =
+      let l = lines.(!pos) in
+      let ln = line () in
+      incr pos;
+      match String.index_opt l ' ' with
+      | None ->
+        problem ~line:ln ~fault:Diagnostic.Bad_string_table
+          "bad func table line %S" l;
+        None
+      | Some sp -> (
+        let layer_s = String.sub l 0 sp in
+        match Record.layer_of_string layer_s with
+        | None ->
+          problem ~line:ln ~fault:Diagnostic.Bad_string_table
+            "unknown layer %S" layer_s;
+          None
+        | Some layer -> (
+          match unescape_at ~line:ln (String.sub l (sp + 1) (String.length l - sp - 1)) with
+          | func -> Some (layer, func)
+          | exception Malformed { reason; _ } ->
+            problem ~line:ln ~fault:Diagnostic.Bad_string_table
+              "corrupt function name: %s" reason;
+            None))
+    in
+    (match nfuncs_opt with
+    | Some k ->
+      let i = ref 0 in
+      while !i < k && !pos < nlines do
+        table := read_table_line () :: !table;
+        incr i
+      done;
+      if !i < k then
+        problem ~line:(line ()) ~fault:Diagnostic.Bad_header
+          "truncated func table: %d of %d entries" !i k
+    | None ->
+      (* Unknown table size: consume lines until the records header. *)
+      while !pos < nlines && not (is_records_header lines.(!pos)) do
+        table := read_table_line () :: !table
+      done);
+    let table = Array.of_list (List.rev !table) in
+    let nfuncs = Array.length table in
+    let lookup i = if i < 0 || i >= nfuncs then None else table.(i) in
+    let nrecords_opt = parse_header "records" in
+    let records = ref [] in
+    let kept = ref 0 in
+    let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+    let read_one () =
+      let l = lines.(!pos) in
+      let ln = line () in
+      incr pos;
+      if l = "" then false
+      else begin
+        (match parse_record ~mode ~lookup ~nranks_opt ~line:ln l with
+        | r, chain_diag ->
+          if Hashtbl.mem seen (r.Record.rank, r.Record.seq) then
+            problem ~rank:r.Record.rank ~seq:r.Record.seq ~line:ln
+              ~fault:Diagnostic.Duplicate_record
+              "duplicate record for (rank %d, seq %d)" r.Record.rank
+              r.Record.seq
+          else begin
+            Hashtbl.replace seen (r.Record.rank, r.Record.seq) ();
+            Option.iter diag chain_diag;
+            records := r :: !records;
+            incr kept
+          end
+        | exception Skip { sk_fault; sk_rank; sk_seq; sk_reason } -> (
+          match mode with
+          | Diagnostic.Strict -> raise (Malformed { line = ln; reason = sk_reason })
+          | Diagnostic.Lenient ->
+            diag
+              (Diagnostic.make ?rank:sk_rank ?seq:sk_seq ~line:ln
+                 ~fault:sk_fault sk_reason)));
+        true
+      end
+    in
+    (match (mode, nrecords_opt) with
+    | Diagnostic.Strict, Some n ->
+      (* Exactly n records, skipping blank lines, as the format promises. *)
+      let i = ref 0 in
+      while !i < n do
+        if !pos >= nlines then malformed ~line:(line ()) "truncated records";
+        if read_one () then incr i
+      done
+    | Diagnostic.Strict, None ->
+      (* parse_header already raised in strict mode. *)
+      assert false
+    | Diagnostic.Lenient, _ ->
+      (* Advisory count: salvage every parseable line to EOF, then account
+         for the shortfall record by record. *)
+      while !pos < nlines do
+        ignore (read_one ())
+      done;
+      (match nrecords_opt with
+      | Some n when !kept < n ->
+        for i = !kept + 1 to n do
+          problem ~line:nlines ~fault:Diagnostic.Truncated_trace
+            "record %d of %d lost to truncation or corruption" i n
+        done
+      | _ -> ()));
+    let nranks =
+      match nranks_opt with
+      | Some n -> n
+      | None ->
+        1 + List.fold_left (fun m (r : Record.t) -> max m r.rank) (-1) !records
+    in
+    finish ~nranks !records
+  end
+
+let decode s =
+  let d = decode_ext ~mode:Diagnostic.Strict s in
+  (d.nranks, d.records)
 
 let encode_trace t = encode ~nranks:(Trace.nranks t) (Trace.records t)
 
@@ -217,10 +418,14 @@ let to_file path t =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (encode_trace t))
 
-let of_file path =
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      decode (really_input_string ic n))
+      really_input_string ic n)
+
+let of_file_ext ?mode path = decode_ext ?mode (read_file path)
+
+let of_file path = decode (read_file path)

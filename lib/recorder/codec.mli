@@ -4,10 +4,23 @@
     (layer, function) pair is written once in a header table and referenced
     by index from the record lines, mirroring Recorder's string-table
     compression. The format is self-describing and versioned; decoding a
-    trace written by a different major version fails loudly. *)
+    trace written by a different major version fails loudly.
+
+    Decoding has two modes. {!Diagnostic.Strict} (the default) raises
+    {!Malformed} on the first unreadable byte — all-or-nothing, for traces
+    that are supposed to be pristine. {!Diagnostic.Lenient} never raises:
+    unreadable records are skipped, clobbered string-table entries poison
+    only the records that reference them, duplicate (rank, seq) slots keep
+    their first occupant, and every loss is reported as a
+    {!Diagnostic.t}. *)
 
 val magic : string
 (** First line of every trace file. *)
+
+exception Malformed of { line : int; reason : string }
+(** Strict-mode decode failure. [line] is the 1-based line of the encoded
+    trace at fault (0 when no line context applies, e.g. a direct
+    {!unescape} call). *)
 
 val encode : nranks:int -> Record.t list -> string
 (** Serialize an execution's records (any order; they are re-sorted by
@@ -15,8 +28,23 @@ val encode : nranks:int -> Record.t list -> string
 
 val decode : string -> int * Record.t list
 (** [decode s] returns [(nranks, records)] with records sorted by
-    (rank, seq).
-    @raise Failure on malformed or version-mismatched input. *)
+    (rank, seq). Strict:
+    @raise Malformed on malformed or version-mismatched input. *)
+
+type decoded = {
+  nranks : int;
+      (** from the header; in lenient mode inferred from the records when
+          the header itself is unreadable *)
+  records : Record.t list;  (** salvaged records, sorted by (rank, seq) *)
+  diagnostics : Diagnostic.t list;
+      (** what was lost, in trace order; empty in strict mode (strict
+          raises instead) and on pristine lenient decodes *)
+}
+
+val decode_ext : ?mode:Diagnostic.mode -> string -> decoded
+(** Mode-aware decode. With [~mode:Lenient] this never raises; with
+    [~mode:Strict] (default) it behaves like {!decode}. On a well-formed
+    trace both modes return identical records and no diagnostics. *)
 
 val encode_trace : Trace.t -> string
 
@@ -24,8 +52,15 @@ val to_file : string -> Trace.t -> unit
 
 val of_file : string -> int * Record.t list
 
+val of_file_ext : ?mode:Diagnostic.mode -> string -> decoded
+
+val read_file : string -> string
+(** Raw file contents (exposed so callers can inject faults into an
+    encoded trace before decoding it). *)
+
 val escape : string -> string
 (** Percent-escaping of whitespace, [%] and newlines used for argument
     fields (exposed for tests). *)
 
 val unescape : string -> string
+(** @raise Malformed (with [line = 0]) on a truncated or non-hex escape. *)

@@ -1,0 +1,58 @@
+type mode = Strict | Lenient
+
+type fault_class =
+  | Bad_header
+  | Bad_string_table
+  | Unreadable_record
+  | Bad_argument
+  | Unknown_function
+  | Duplicate_record
+  | Truncated_trace
+  | Broken_call_chain
+  | Incomplete_epilogue
+  | Orphan_handle
+  | Degraded_graph
+
+let fault_class_to_string = function
+  | Bad_header -> "bad-header"
+  | Bad_string_table -> "bad-string-table"
+  | Unreadable_record -> "unreadable-record"
+  | Bad_argument -> "bad-argument"
+  | Unknown_function -> "unknown-function"
+  | Duplicate_record -> "duplicate-record"
+  | Truncated_trace -> "truncated-trace"
+  | Broken_call_chain -> "broken-call-chain"
+  | Incomplete_epilogue -> "incomplete-epilogue"
+  | Orphan_handle -> "orphan-handle"
+  | Degraded_graph -> "degraded-graph"
+
+let all_fault_classes =
+  [
+    Bad_header; Bad_string_table; Unreadable_record; Bad_argument;
+    Unknown_function; Duplicate_record; Truncated_trace; Broken_call_chain;
+    Incomplete_epilogue; Orphan_handle; Degraded_graph;
+  ]
+
+type t = {
+  rank : int option;
+  seq : int option;
+  line : int option;
+  fault : fault_class;
+  reason : string;
+}
+
+let make ?rank ?seq ?line ~fault reason = { rank; seq; line; fault; reason }
+
+let pp ppf d =
+  let opt name = function
+    | Some v -> Printf.sprintf " %s %d" name v
+    | None -> ""
+  in
+  Format.fprintf ppf "@[<h>[%s]%s%s%s: %s@]"
+    (fault_class_to_string d.fault)
+    (opt "rank" d.rank) (opt "seq" d.seq) (opt "line" d.line) d.reason
+
+let to_string d = Format.asprintf "%a" pp d
+
+let count_class fault diags =
+  List.length (List.filter (fun d -> d.fault = fault) diags)

@@ -1,0 +1,51 @@
+(** Structured degradation diagnostics.
+
+    Production traces are routinely imperfect: a rank dies and its stream
+    is truncated, an LD_PRELOAD epilogue never fires, a record line is
+    corrupted in transit. Every stage of the pipeline that can salvage a
+    partial trace reports what it had to give up as a list of diagnostics;
+    the pipeline aggregates them into its degradation summary and uses
+    them to downgrade race verdicts from [Definite] to [Under_degradation]
+    (paper §V-D's gray rows). *)
+
+type mode = Strict | Lenient
+(** [Strict] decoding raises on the first malformation (all-or-nothing);
+    [Lenient] skips what it cannot read and accumulates diagnostics. *)
+
+type fault_class =
+  | Bad_header  (** magic/nranks/funcs/records header unreadable *)
+  | Bad_string_table  (** a function-table entry is clobbered *)
+  | Unreadable_record  (** a record line that cannot be parsed at all *)
+  | Bad_argument  (** an argument/return field is corrupt *)
+  | Unknown_function
+      (** a record references a missing or clobbered table entry *)
+  | Duplicate_record  (** two records share one (rank, seq) slot *)
+  | Truncated_trace  (** fewer records than the trace promises *)
+  | Broken_call_chain  (** a call-path entry could not be resolved *)
+  | Incomplete_epilogue  (** a call that never returned (in-flight) *)
+  | Orphan_handle
+      (** I/O on a descriptor whose open was lost to degradation *)
+  | Degraded_graph
+      (** the happens-before graph had to be rebuilt without MPI edges *)
+
+val fault_class_to_string : fault_class -> string
+
+val all_fault_classes : fault_class list
+
+type t = {
+  rank : int option;  (** world rank, when attributable *)
+  seq : int option;  (** per-rank sequence number, when known *)
+  line : int option;  (** 1-based line in the encoded trace, when known *)
+  fault : fault_class;
+  reason : string;
+}
+
+val make :
+  ?rank:int -> ?seq:int -> ?line:int -> fault:fault_class -> string -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val count_class : fault_class -> t list -> int
+(** How many diagnostics carry the given fault class. *)

@@ -1,0 +1,246 @@
+type kind =
+  | Drop_record
+  | Truncate_tail
+  | Corrupt_arg
+  | Duplicate_record
+  | Strip_epilogue
+  | Clobber_string_table
+
+let kind_to_string = function
+  | Drop_record -> "drop"
+  | Truncate_tail -> "truncate"
+  | Corrupt_arg -> "corrupt"
+  | Duplicate_record -> "duplicate"
+  | Strip_epilogue -> "strip-epilogue"
+  | Clobber_string_table -> "clobber-table"
+
+let kind_of_string = function
+  | "drop" -> Some Drop_record
+  | "truncate" -> Some Truncate_tail
+  | "corrupt" -> Some Corrupt_arg
+  | "duplicate" -> Some Duplicate_record
+  | "strip-epilogue" | "strip" -> Some Strip_epilogue
+  | "clobber-table" | "clobber" -> Some Clobber_string_table
+  | _ -> None
+
+let all_kinds =
+  [
+    Drop_record; Truncate_tail; Corrupt_arg; Duplicate_record; Strip_epilogue;
+    Clobber_string_table;
+  ]
+
+type spec = { kind : kind; rate : float }
+
+type plan = spec list
+
+type event = { e_kind : kind; e_line : int; e_detail : string }
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[<h>%s @@ line %d: %s@]" (kind_to_string e.e_kind)
+    e.e_line e.e_detail
+
+let plan_of_string s =
+  let parse_one part =
+    match String.split_on_char ':' (String.trim part) with
+    | [ name; rate ] -> (
+      match (kind_of_string name, float_of_string_opt rate) with
+      | Some kind, Some rate when rate >= 0.0 && rate <= 1.0 ->
+        Ok { kind; rate }
+      | None, _ ->
+        Error
+          (Printf.sprintf "unknown fault kind %S (%s)" name
+             (String.concat ", " (List.map kind_to_string all_kinds)))
+      | _, _ -> Error (Printf.sprintf "bad rate %S (want a float in [0, 1])" rate))
+    | _ -> Error (Printf.sprintf "bad fault spec %S (want kind:rate)" part)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match parse_one p with Ok s -> go (s :: acc) rest | Error e -> Error e)
+  in
+  match String.split_on_char ',' s with
+  | [ "" ] -> Ok []
+  | parts -> go [] parts
+
+let plan_to_string plan =
+  String.concat ","
+    (List.map (fun s -> Printf.sprintf "%s:%g" (kind_to_string s.kind) s.rate) plan)
+
+(* ---------------------------------------------------------------- *)
+(* Deterministic PRNG (same splitmix-style mixer everywhere, so a     *)
+(* fault plan + seed is a reproducible experiment id)                 *)
+(* ---------------------------------------------------------------- *)
+
+type rng = { mutable state : int }
+
+let rng_create seed = { state = (seed lxor 0x9E3779B9) land max_int }
+
+let rng_next r =
+  let s = (r.state + 0x9E3779B9) land max_int in
+  r.state <- s;
+  let z = s lxor (s lsr 16) in
+  let z = (z * 0x85EBCA6B) land max_int in
+  let z = z lxor (z lsr 13) in
+  let z = (z * 0xC2B2AE35) land max_int in
+  z lxor (z lsr 16)
+
+let rng_float r = float_of_int (rng_next r land 0xFFFFFF) /. float_of_int 0x1000000
+
+let rng_int r bound = if bound <= 0 then 0 else rng_next r mod bound
+
+let rate plan kind =
+  List.fold_left
+    (fun acc s -> if s.kind = kind then acc +. s.rate else acc)
+    0.0 plan
+
+(* ---------------------------------------------------------------- *)
+(* Application                                                        *)
+(* ---------------------------------------------------------------- *)
+
+(* Layout of an encoded trace (1-based line numbers):
+     1                 magic
+     2                 nranks N
+     3                 funcs K
+     4 .. 3+K          string table
+     4+K               records M
+     5+K ..            record lines *)
+
+type layout = {
+  table_start : int;  (* 0-based index of first table line *)
+  table_len : int;
+  recs_start : int;  (* 0-based index of first record line *)
+}
+
+let layout_of lines =
+  let n = Array.length lines in
+  if n < 4 || lines.(0) <> Codec.magic then None
+  else
+    let header name l =
+      match String.split_on_char ' ' l with
+      | [ key; v ] when key = name -> int_of_string_opt v
+      | _ -> None
+    in
+    match (header "nranks" lines.(1), header "funcs" lines.(2)) with
+    | Some _, Some k when 3 + k < n -> (
+      match header "records" lines.(3 + k) with
+      | Some _ -> Some { table_start = 3; table_len = k; recs_start = 4 + k }
+      | None -> None)
+    | _ -> None
+
+(* Replace the ret field or a random argument field with a detectably
+   invalid escape sequence ("%G" is not hex), modelling a field scribbled
+   over in transit. Token layout of a record line:
+     rank seq tstart tend fidx ret nargs arg.. npath path.. *)
+let corrupt_line rng l =
+  match String.split_on_char ' ' l with
+  | (_ :: _ :: _ :: _ :: _ :: _ :: nargs :: _) as toks ->
+    let nargs = Option.value ~default:0 (int_of_string_opt nargs) in
+    let target = if nargs > 0 then 7 + rng_int rng nargs else 5 in
+    let toks =
+      List.mapi (fun i tok -> if i = target then "%G" ^ tok else tok) toks
+    in
+    Some (String.concat " " toks, Printf.sprintf "field %d" target)
+  | _ -> None
+
+(* Rewrite tend to -1 and ret to the in-flight marker: the call's epilogue
+   never ran, as when a rank dies mid-call. *)
+let strip_epilogue_line l =
+  match String.split_on_char ' ' l with
+  | rank :: seq :: tstart :: _tend :: fidx :: _ret :: rest ->
+    Some
+      (String.concat " "
+         (rank :: seq :: tstart :: "-1" :: fidx
+         :: Codec.escape Trace.in_flight_ret :: rest))
+  | _ -> None
+
+let apply plan ~seed encoded =
+  let lines = Array.of_list (String.split_on_char '\n' encoded) in
+  match layout_of lines with
+  | None -> (encoded, [])
+  | Some lay ->
+    let rng = rng_create seed in
+    let events = ref [] in
+    let note kind line detail = events := { e_kind = kind; e_line = line; e_detail = detail } :: !events in
+    let hit kind = rate plan kind > 0.0 && rng_float rng < rate plan kind in
+    (* String table: clobber entries in place. *)
+    for i = lay.table_start to lay.table_start + lay.table_len - 1 do
+      if lines.(i) <> "" && hit Clobber_string_table then begin
+        note Clobber_string_table (i + 1)
+          (Printf.sprintf "entry %d (%S) clobbered" (i - lay.table_start) lines.(i));
+        lines.(i) <- "?? <clobbered>"
+      end
+    done;
+    (* Record lines: drop / duplicate / corrupt / strip, one pass in
+       order so the draw sequence is reproducible. *)
+    let out = ref [] in
+    let nlines = Array.length lines in
+    for i = 0 to lay.recs_start - 1 do
+      out := lines.(i) :: !out
+    done;
+    for i = lay.recs_start to nlines - 1 do
+      let l = lines.(i) in
+      if l = "" then out := l :: !out
+      else if hit Drop_record then
+        note Drop_record (i + 1) "record line dropped"
+      else begin
+        let l =
+          if hit Corrupt_arg then
+            match corrupt_line rng l with
+            | Some (l', detail) ->
+              note Corrupt_arg (i + 1) detail;
+              l'
+            | None -> l
+          else l
+        in
+        let l =
+          if hit Strip_epilogue then
+            match strip_epilogue_line l with
+            | Some l' ->
+              note Strip_epilogue (i + 1) "epilogue stripped (in-flight)";
+              l'
+            | None -> l
+          else l
+        in
+        out := l :: !out;
+        if hit Duplicate_record then begin
+          note Duplicate_record (i + 1) "record line duplicated";
+          out := l :: !out
+        end
+      end
+    done;
+    let s = String.concat "\n" (List.rev !out) in
+    (* Tail truncation last: cut a seed-dependent number of bytes off the
+       end, proportional to the rate, like a stream cut by a dying rank. *)
+    let s =
+      let r = rate plan Truncate_tail in
+      if r > 0.0 then begin
+        let header_len =
+          (* Never cut into the headers or string table. *)
+          let rec len i acc =
+            if i >= lay.recs_start then acc
+            else len (i + 1) (acc + String.length lines.(i) + 1)
+          in
+          len 0 0
+        in
+        let body = String.length s - header_len in
+        if body <= 0 then s
+        else begin
+          let max_cut = int_of_float (float_of_int body *. r) in
+          let cut = if max_cut <= 0 then 1 else 1 + rng_int rng max_cut in
+          (* A cut that removes only trailing newlines loses nothing the
+             decoder can notice; widen it until at least one record byte
+             goes with it. *)
+          let len = String.length s in
+          let rec widen c =
+            if c >= body then body
+            else if s.[len - c] <> '\n' then c
+            else widen (c + 1)
+          in
+          let cut = widen cut in
+          note Truncate_tail 0 (Printf.sprintf "%d byte(s) cut off the tail" cut);
+          String.sub s 0 (len - cut)
+        end
+      end
+      else s
+    in
+    (s, List.rev !events)

@@ -39,7 +39,7 @@ let posix_racy = { exp_posix = false; exp_relaxed = false; exp_unmatched = false
 
 let unmatched = { exp_posix = true; exp_relaxed = true; exp_unmatched = true }
 
-let run ?scale w =
+let run ?scale ?abort_rank w =
   let scale = Option.value ~default:w.scale scale in
   let trace = Recorder.Trace.create ~nranks:w.nranks in
   let fs = F.create ~trace ~model:F.Posix () in
@@ -53,7 +53,7 @@ let run ?scale w =
     }
   in
   let eng = E.create ~trace ~nranks:w.nranks () in
-  (try E.run eng (fun ctx -> w.program ~scale ctx env)
+  (try E.run ?abort_rank eng (fun ctx -> w.program ~scale ctx env)
    with E.Deadlock _ | E.Mismatch _ -> ());
   Recorder.Trace.records trace
 

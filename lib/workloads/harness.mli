@@ -49,10 +49,12 @@ val posix_racy : expectation
 
 val unmatched : expectation
 
-val run : ?scale:int -> t -> Recorder.Record.t list
+val run : ?scale:int -> ?abort_rank:int * int -> t -> Recorder.Record.t list
 (** Execute the workload on a fresh traced stack (engine aborts from
     deliberate collective misuse are caught; the partial trace is
-    returned). *)
+    returned). [abort_rank] is forwarded to {!Mpisim.Engine.run}: the
+    given rank crashes after its MPI-call budget, yielding an organically
+    degraded trace with in-flight records. *)
 
 val verify :
   ?scale:int -> ?engine:Verifyio.Reach.engine -> t ->

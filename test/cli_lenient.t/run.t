@@ -1,0 +1,51 @@
+A rank crash mid-run leaves in-flight records and collectives the peers
+completed without it. The lenient pipeline verifies the salvageable
+subset and exits 0 (no definite races) instead of aborting:
+
+  $ ../../bin/verifyio_cli.exe run put_vara_int -o abort.trace --abort-rank 1:2
+  wrote 40 records to abort.trace
+  $ ../../bin/verifyio_cli.exe verify abort.trace --lenient -m MPI-IO > lenient.out 2>&1; echo "exit=$?"
+  exit=0
+  $ grep "^unmatched MPI" lenient.out
+  unmatched MPI: mismatched collective on comm 0 at position 1: rank 0 calls MPI_File_write_at_all, rank 2 calls MPI_File_write_at_all, rank 3 calls MPI_File_write_at_all; no call from rank(s) 1
+  $ grep "^degraded trace" lenient.out
+  degraded trace: verdicts on the salvaged subset
+  $ grep -E "epilogues missing|unmatched MPI calls" lenient.out
+    epilogues missing        7
+    unmatched MPI calls      1
+  $ grep -c "incomplete-epilogue" lenient.out
+  7
+
+Seeded fault injection is reproducible; in lenient mode every injected
+fault is accounted for and verification still completes:
+
+  $ ../../bin/verifyio_cli.exe run t_pread -o clean.trace
+  wrote 110 records to clean.trace
+  $ ../../bin/verifyio_cli.exe verify clean.trace --lenient --inject "drop:0.05,corrupt:0.05,truncate:0.2" --seed 42 -m POSIX > inj.out 2>&1; echo "exit=$?"
+  exit=0
+  $ head -1 inj.out
+  injected 9 fault(s) (seed 42)
+  $ grep "records lost" inj.out
+    records lost             26
+  $ grep -c "bad-argument" inj.out
+  3
+
+Strict mode refuses the same corrupted trace loudly (exit 1):
+
+  $ ../../bin/verifyio_cli.exe verify clean.trace --inject "corrupt:0.3" --seed 7 -m POSIX 2>&1; echo "exit=$?"
+  injected 39 fault(s) (seed 7)
+  cannot read trace (line 26): corrupt argument: unescape: bad hex digit 'G' in "%G0"
+  exit=1
+
+A rate-0 plan injects nothing and lenient output matches strict output
+bit for bit (modulo the timing line):
+
+  $ ../../bin/verifyio_cli.exe verify clean.trace --lenient --inject "drop:0" -m POSIX 2>&1 | grep -v "^stages:" > a.out
+  $ ../../bin/verifyio_cli.exe verify clean.trace -m POSIX 2>&1 | grep -v "^stages:" > b.out
+  $ diff a.out b.out
+
+Malformed injection specs are rejected up front:
+
+  $ ../../bin/verifyio_cli.exe verify clean.trace --lenient --inject "explode:0.5" 2>&1; echo "exit=$?"
+  unknown fault kind "explode" (drop, truncate, corrupt, duplicate, strip-epilogue, clobber-table)
+  exit=1

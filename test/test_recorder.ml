@@ -205,7 +205,7 @@ let test_codec_rejects_garbage () =
   List.iter
     (fun bad ->
       match Codec.decode bad with
-      | exception Failure _ -> ()
+      | exception Codec.Malformed _ -> ()
       | _ -> Alcotest.fail "expected decode failure")
     [ ""; "NOT-A-TRACE"; "VERIFYIO-TRACE 1\nnranks x"; "VERIFYIO-TRACE 2\nnranks 1" ]
 
