@@ -514,6 +514,20 @@ let parallel_verification () =
       (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Batch engine: the corpus through sequential vs parallel pipelines     *)
+(* ------------------------------------------------------------------ *)
+
+let batch_corpus () =
+  section
+    "Batch verification engine (extension): the full 91-workload corpus\n\
+     through the sequential per-model pipeline vs Batch.run at 1/2/4\n\
+     domains (shared trace artifacts per job). Writes BENCH_pr2.json.";
+  let r = Workloads.Bench_report.run ~tag:"pr2" ~repeats:3 () in
+  print_string (Workloads.Bench_report.summary r);
+  Workloads.Bench_report.write ~path:"BENCH_pr2.json" r;
+  print_endline "wrote BENCH_pr2.json (schema: EXPERIMENTS.md \"Perf trajectory\")"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -610,5 +624,6 @@ let () =
   tracing_overhead ();
   conflict_scaling ();
   parallel_verification ();
+  batch_corpus ();
   bechamel_benches ();
   print_newline ()

@@ -4,10 +4,14 @@
      list             enumerate the evaluation workloads
      run              execute a workload and write its trace to a file
      verify           verify a trace file (or a named workload) against a model
+     report           one-line verdict per model, races grouped by call chain
+     bench            corpus benchmark; writes a BENCH_<tag>.json perf report
      models           print the builtin consistency models (paper Table I)
      coverage         print tracer API coverage (paper Table II)
      stats            per-layer/function statistics of a trace
      graph            emit the happens-before graph as Graphviz DOT
+
+   The full reference with worked examples is docs/cli.md.
 *)
 
 open Cmdliner
@@ -247,6 +251,86 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
     let* model = resolve_model model_name in
     if verify_one model then 0 else 2
 
+(* All-model summary of one source: a line per model plus, with
+   [--grouped], the distinct racing call-chain pairs of each racy model.
+   Deliberately timing-free so the output is deterministic (cram-locked
+   in test/cli_report.t). *)
+let report_cmd source engine_name grouped =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  in
+  let* engine = resolve_engine engine_name in
+  let* nranks, records = load_source source in
+  let outcomes =
+    Verifyio.Pipeline.verify_shared ?engine ~nranks records
+  in
+  Printf.printf "%s: %d ranks, %d records\n\n" source nranks
+    (List.length records);
+  List.iter
+    (fun (_, o) -> print_endline (Verifyio.Report.summary_line ~name:source o))
+    outcomes;
+  let racy =
+    List.filter
+      (fun (_, (o : Verifyio.Pipeline.outcome)) ->
+        o.Verifyio.Pipeline.race_count > 0)
+      outcomes
+  in
+  if grouped && racy <> [] then begin
+    print_newline ();
+    List.iter
+      (fun ((m : Verifyio.Model.t), o) ->
+        Printf.printf "--- %s ---\n" m.Verifyio.Model.name;
+        print_string (Verifyio.Report.grouped_report o))
+      racy
+  end;
+  let synchronized =
+    List.filter_map
+      (fun ((m : Verifyio.Model.t), o) ->
+        if Verifyio.Pipeline.is_properly_synchronized o then
+          Some m.Verifyio.Model.name
+        else None)
+      outcomes
+  in
+  print_newline ();
+  Printf.printf "properly synchronized under: %s\n"
+    (match synchronized with [] -> "(none)" | l -> String.concat ", " l);
+  0
+
+let parse_domains = function
+  | "" -> Ok None
+  | spec -> (
+    let parts = String.split_on_char ',' spec in
+    let nums = List.map int_of_string_opt parts in
+    if List.for_all (function Some n -> n >= 1 | None -> false) nums then
+      Ok (Some (List.map Option.get nums))
+    else
+      Error
+        (Printf.sprintf "bad domain list %S (want e.g. 1,2,4; all >= 1)" spec))
+
+let bench_cmd out tag domains_spec scale repeats smoke =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  in
+  let* domains = parse_domains domains_spec in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 4 ]
+  in
+  let repeats = if smoke then 1 else repeats in
+  let r = Workloads.Bench_report.run ~tag ?scale ~domains ~repeats () in
+  print_string (Workloads.Bench_report.summary r);
+  let path =
+    match out with Some p -> p | None -> "BENCH_" ^ tag ^ ".json"
+  in
+  Workloads.Bench_report.write ~path r;
+  Printf.printf "wrote %s\n" path;
+  (* A benchmark whose parallel verdicts diverge from the sequential
+     pipeline is reporting numbers for a broken engine — fail loudly. *)
+  if r.Workloads.Bench_report.verdicts_identical then 0 else 3
+
 let models_cmd () =
   print_string (Verifyio.Report.table_i ());
   0
@@ -358,6 +442,43 @@ let verify_term =
     const verify_cmd $ source_arg $ model_arg $ engine_arg $ all_models_arg
     $ limit_arg $ grouped_arg $ lenient_arg $ inject_arg $ seed_arg)
 
+let report_term = Term.(const report_cmd $ source_arg $ engine_arg $ grouped_arg)
+
+let tag_arg =
+  Arg.(
+    value & opt string "pr2"
+    & info [ "tag" ] ~docv:"TAG"
+        ~doc:
+          "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
+           and is recorded inside the report.")
+
+let domains_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "domains" ] ~docv:"N,N,..."
+        ~doc:
+          "Comma-separated worker-domain counts to benchmark the batch \
+           engine at (default 1,2,4; 1,2 with $(b,--smoke)).")
+
+let repeats_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "repeats" ] ~docv:"N"
+        ~doc:"Timed repetitions per configuration; best run is reported.")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "Scaled-down run for CI: one repetition, domain counts 1,2. Same \
+           corpus and report schema as the full bench.")
+
+let bench_term =
+  Term.(
+    const bench_cmd $ out_arg $ tag_arg $ domains_arg $ scale_arg
+    $ repeats_arg $ smoke_arg)
+
 let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
 
 let () =
@@ -372,6 +493,10 @@ let () =
       cmd_of run_term "run" "Run a workload and save its execution trace";
       cmd_of verify_term "verify"
         "Verify an execution trace against a consistency model";
+      cmd_of report_term "report"
+        "Per-model verdict summary of a trace or workload";
+      cmd_of bench_term "bench"
+        "Benchmark the corpus: sequential vs batch engine; write BENCH JSON";
       cmd_of Term.(const models_cmd $ const ()) "models"
         "Print the builtin consistency models (Table I)";
       cmd_of Term.(const coverage_cmd $ const ()) "coverage"

@@ -1,0 +1,101 @@
+module M = Vio_util.Metrics
+
+type job = {
+  name : string;
+  nranks : int;
+  records : Recorder.Record.t list;
+  models : Model.t list;
+  engine : Reach.engine option;
+  mode : Recorder.Diagnostic.mode;
+  upstream : Recorder.Diagnostic.t list;
+}
+
+let job ?models ?engine ?(mode = Recorder.Diagnostic.Strict) ?(upstream = [])
+    ~name ~nranks records =
+  {
+    name;
+    nranks;
+    records;
+    models = Option.value ~default:Model.builtin models;
+    engine;
+    mode;
+    upstream;
+  }
+
+type result = {
+  job : job;
+  outcomes : (Model.t * Pipeline.outcome) list;
+  wall : float;
+}
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let run_job j =
+  let t0 = Unix.gettimeofday () in
+  let p =
+    Pipeline.prepare ?engine:j.engine ~mode:j.mode ~upstream:j.upstream
+      ~nranks:j.nranks j.records
+  in
+  let outcomes =
+    List.map (fun m -> (m, Pipeline.verify_prepared ~model:m p)) j.models
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  M.incr "batch/jobs";
+  M.observe "batch/job_wall" wall;
+  { job = j; outcomes; wall }
+
+let run ?domains jobs =
+  let ndomains =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Batch.run: domains must be positive"
+    | None -> default_domains ()
+  in
+  let arr = Array.of_list jobs in
+  let n = Array.length arr in
+  let results : (result, exn) Stdlib.result option array = Array.make n None in
+  (* Shared-counter task queue: each worker claims the next unclaimed job.
+     Claims are atomic, every job runs on exactly one domain, and the
+     result lands in its job's slot — so the output order (and, since each
+     job is deterministic, its content) is independent of scheduling. *)
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+           Some (try Ok (run_job arr.(i)) with exn -> Error exn));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if ndomains = 1 || n <= 1 then worker ()
+  else begin
+    let helpers =
+      List.init
+        (min (ndomains - 1) (n - 1))
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok r) -> r
+         | Some (Error exn) -> raise exn
+         | None -> assert false (* every index below [n] was claimed *))
+       results)
+
+let verdicts_agree (a : result) (b : result) =
+  List.length a.outcomes = List.length b.outcomes
+  && List.for_all2
+       (fun ((ma : Model.t), (oa : Pipeline.outcome))
+            ((mb : Model.t), (ob : Pipeline.outcome)) ->
+         ma.Model.name = mb.Model.name
+         && oa.Pipeline.races = ob.Pipeline.races
+         && List.length oa.Pipeline.unmatched
+            = List.length ob.Pipeline.unmatched
+         && oa.Pipeline.conflicts = ob.Pipeline.conflicts)
+       a.outcomes b.outcomes

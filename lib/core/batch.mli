@@ -1,0 +1,70 @@
+(** Domain-parallel batch verification — many (trace × model) pipeline
+    runs across OCaml domains, sharing per-trace artifacts.
+
+    An extension beyond the paper, whose evaluation (§V) verifies its 91
+    test executions strictly sequentially, re-running the whole pipeline
+    for each of the four models. This engine restructures that corpus
+    work along two axes:
+
+    - {b sharing}: each job's trace is decoded once, its conflicts
+      detected once, its happens-before graph and engine built once
+      ({!Pipeline.prepare}), and every requested model verified from
+      those shared artifacts ({!Pipeline.verify_prepared}) — ~4× less
+      stage work than the sequential per-model pipeline for the builtin
+      model set;
+    - {b parallelism}: jobs are claimed from a shared-counter task queue
+      by [domains] worker domains. A job never spans domains, so the
+      memoizing happens-before engine stays domain-local and no
+      verification state is shared.
+
+    Verdicts are bit-identical to the sequential pipeline for every
+    domain count (qcheck-property-tested in [test/test_batch.ml]): job
+    claiming only decides {e which} domain runs a job, and each job is a
+    deterministic function of its inputs. *)
+
+type job = {
+  name : string;  (** label for reports; not interpreted *)
+  nranks : int;
+  records : Recorder.Record.t list;  (** the raw trace *)
+  models : Model.t list;  (** models to verify, in output order *)
+  engine : Reach.engine option;  (** [None] = dynamic selection *)
+  mode : Recorder.Diagnostic.mode;
+  upstream : Recorder.Diagnostic.t list;
+      (** pre-decode diagnostics, as in {!Pipeline.verify} *)
+}
+
+val job :
+  ?models:Model.t list ->
+  ?engine:Reach.engine ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
+  name:string ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  job
+(** Job constructor; [models] defaults to {!Model.builtin}. *)
+
+type result = {
+  job : job;
+  outcomes : (Model.t * Pipeline.outcome) list;
+      (** one per requested model, in [job.models] order *)
+  wall : float;  (** this job's wall-clock seconds on its worker domain *)
+}
+
+val default_domains : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())] — the worker count used
+    when [?domains] is omitted. *)
+
+val run : ?domains:int -> job list -> result list
+(** Run every job; results are in job order regardless of scheduling.
+    [domains = 1] (or a single job) runs inline with no domain spawned.
+    If a job raises (e.g. a strict-mode {!Op.Malformed}), the remaining
+    claimed jobs still complete, then the first failing job's exception
+    (in job order) is re-raised.
+
+    @raise Invalid_argument if [domains < 1]. *)
+
+val verdicts_agree : result -> result -> bool
+(** Same models in the same order with identical race lists, unmatched
+    counts and conflict counts — the batch-determinism check used by the
+    bench and the property tests. *)

@@ -83,7 +83,11 @@ let detect (d : Op.decoded) =
         { x = anchor; peers } :: acc)
       conflicts []
   in
-  List.sort (fun a b -> compare a.x b.x) groups
+  let groups = List.sort (fun a b -> compare a.x b.x) groups in
+  Vio_util.Metrics.incr "conflict/detect_runs";
+  Vio_util.Metrics.incr ~n:(List.length groups) "conflict/groups";
+  Vio_util.Metrics.incr ~n:(Hashtbl.length by_fid) "conflict/files_with_data";
+  groups
 
 let group_pairs g =
   List.fold_left (fun acc (_, ops) -> acc + Array.length ops) 0 g.peers

@@ -20,17 +20,24 @@
 type t
 
 val build : Op.decoded -> Match_mpi.result -> t
+(** Assemble the graph from a decoded trace and its MPI matching.
+    Incomplete events (a participant never returned) contribute no
+    synchronization edges — the conservative choice for aborted runs. *)
 
 val size : t -> int
 (** Total node count (records + synthetic). *)
 
 val real_nodes : t -> int
+(** Record nodes only (node ids [0 .. real_nodes - 1]); ids at or above
+    this are synthetic collective joins. *)
 
 val edge_count : t -> int
 
 val succs : t -> int -> int list
+(** Direct happens-before successors of a node (synthetic ids included). *)
 
 val preds : t -> int -> int list
+(** Direct predecessors — the reverse of {!succs}. *)
 
 val topo_order : t -> int array
 (** All nodes in a topological order. *)
@@ -42,6 +49,7 @@ val rank_pos : t -> int -> int
 (** Position of a real node within its rank's program-order chain. *)
 
 val rank_chain : t -> int -> int array
+(** A rank's record nodes in program order. *)
 
 val nranks : t -> int
 

@@ -50,6 +50,8 @@ type unmatched =
                                found a sender *)
 
 val pp_unmatched : Op.decoded -> Format.formatter -> unmatched -> unit
+(** Render one unmatched diagnostic with rank/function context — the
+    gray-row annotations of Fig. 4. *)
 
 type result = {
   events : event list;

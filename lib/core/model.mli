@@ -22,6 +22,7 @@
     Custom models can be assembled from the same pieces. *)
 
 type edge = Po | Hb
+(** An MSC edge: same-rank program order, or general happens-before. *)
 
 type sync_pred = {
   sp_name : string;  (** e.g. ["commit"], ["session_close"] *)
@@ -39,12 +40,16 @@ type t = {
 }
 
 val posix : t
+(** Table I row 1: S = {}, MSC = [hb]. *)
 
 val commit : t
+(** Table I row 2: S = {commit}, MSC = [hb commit hb]. *)
 
 val session : t
+(** Table I row 3: S = {close, open}, MSC = [po close hb open po]. *)
 
 val mpi_io : t
+(** Table I row 4: the sync-barrier-sync construct. *)
 
 val builtin : t list
 (** The four models, in the paper's order. *)

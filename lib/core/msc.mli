@@ -13,10 +13,16 @@
     happens-before engine. *)
 
 type sync_index
+(** Per-(file, rank) program-order lists of the trace's sync-capable
+    operations (opens, closes, syncs) — the candidate pool every MSC
+    instantiation draws [S1..Sk] from. *)
 
 val build_index : Op.decoded -> sync_index
+(** One linear pass over the decoded ops; build once per trace and share
+    across models and conflict pairs (as {!Pipeline.prepare} does). *)
 
 val sync_op_count : sync_index -> int
+(** Total indexed sync operations (a workload-size statistic). *)
 
 val properly_synchronized :
   Model.t -> Reach.t -> sync_index -> x:Op.t -> y:Op.t -> bool

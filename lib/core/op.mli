@@ -17,6 +17,8 @@
     matcher consumes. *)
 
 type api = Fd | Stream | Mpiio_handle
+(** Which handle family a file-scoped call went through: a POSIX file
+    descriptor, a stdio stream, or an MPI-IO file handle. *)
 
 type kind =
   | Data of { fid : int; write : bool; iv : Vio_util.Interval.t }
@@ -31,13 +33,16 @@ type kind =
 type t = { idx : int; record : Recorder.Record.t; kind : kind }
 
 val is_data : t -> bool
+(** Is the op a {!Data} access (the only kind conflict detection sees)? *)
 
 val is_write : t -> bool
+(** Is the op a {!Data} write? [false] for reads and non-data ops. *)
 
 val fid_of : t -> int option
 (** The file identifier for file-scoped operations. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line rendering: rank, seq, function and decoded kind. *)
 
 type decoded = {
   nranks : int;
@@ -69,8 +74,10 @@ val decode :
     Records attributed to out-of-range ranks are dropped. *)
 
 val op : decoded -> int -> t
+(** [op d idx] is [d.ops.(idx)]. *)
 
 val rank_of : decoded -> int -> int
 (** Rank of the op with the given index. *)
 
 val fid_of_path : decoded -> string -> int option
+(** Reverse lookup in [files]: the fid a path was assigned, if opened. *)

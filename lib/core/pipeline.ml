@@ -1,4 +1,5 @@
 module D = Recorder.Diagnostic
+module M = Vio_util.Metrics
 
 type timings = {
   t_read : float;
@@ -48,13 +49,30 @@ type outcome = {
   degradation : degradation;
 }
 
+type prepared = {
+  p_mode : D.mode;
+  p_decoded : Op.decoded;
+  p_groups : Conflict.group list;
+  p_conflicts : int;
+  p_matching : Match_mpi.result;
+  p_graph : Hb_graph.t;
+  p_reach : Reach.t;
+  p_sidx : Msc.sync_index;
+  p_engine : Reach.engine;
+  p_degraded : int -> bool;
+  p_degradation : degradation;
+  p_t_read : float;
+  p_t_conflicts : float;
+  p_t_graph : float;
+  p_t_engine : float;
+}
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (Unix.gettimeofday () -. t0, v)
 
-let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
-    ~nranks records =
+let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
   let lenient = mode = D.Lenient in
   let t_read, d = timed (fun () -> Op.decode ~mode ~nranks records) in
   let t_conflicts, groups = timed (fun () -> Conflict.detect d) in
@@ -81,12 +99,13 @@ let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
       ]
     else []
   in
+  let conflicts = Conflict.distinct_pairs groups in
   let engine =
     match engine with
     | Some e -> e
     | None ->
       Reach.recommend ~graph_nodes:(Hb_graph.size graph)
-        ~conflict_pairs:(Conflict.distinct_pairs groups)
+        ~conflict_pairs:conflicts
   in
   let t_engine, reach = timed (fun () -> Reach.create engine graph) in
   let sidx = Msc.build_index d in
@@ -110,9 +129,6 @@ let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
       else fun idx -> d.Op.degraded.(idx) || by_rank.(Op.rank_of d idx)
     end
   in
-  let t_verify, (races, stats) =
-    timed (fun () -> Verify.run ~pruning ~degraded model reach sidx d groups)
-  in
   let degradation =
     if not lenient then no_degradation
     else
@@ -131,34 +147,88 @@ let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
         diagnostics;
       }
   in
+  M.incr "pipeline/prepares";
+  M.observe "pipeline/stage/read" t_read;
+  M.observe "pipeline/stage/conflicts" t_conflicts;
+  M.observe "pipeline/stage/graph" t_graph;
+  M.observe "pipeline/stage/engine" t_engine;
+  M.incr ~n:conflicts "conflict/pairs";
+  M.incr ~n:(Hb_graph.size graph) "graph/nodes";
+  M.incr ~n:(Hb_graph.edge_count graph) "graph/edges";
+  {
+    p_mode = mode;
+    p_decoded = d;
+    p_groups = groups;
+    p_conflicts = conflicts;
+    p_matching = matching;
+    p_graph = graph;
+    p_reach = reach;
+    p_sidx = sidx;
+    p_engine = engine;
+    p_degraded = degraded;
+    p_degradation = degradation;
+    p_t_read = t_read;
+    p_t_conflicts = t_conflicts;
+    p_t_graph = t_graph;
+    p_t_engine = t_engine;
+  }
+
+let verify_prepared ?(pruning = true) ~model p =
+  let queries_before = Reach.query_count p.p_reach in
+  let hits_before, misses_before = Reach.memo_stats p.p_reach in
+  let t_verify, (races, stats) =
+    timed (fun () ->
+        Verify.run ~pruning ~degraded:p.p_degraded model p.p_reach p.p_sidx
+          p.p_decoded p.p_groups)
+  in
+  M.incr "pipeline/verifies";
+  M.observe "pipeline/stage/verify" t_verify;
+  M.incr
+    ~n:(Reach.query_count p.p_reach - queries_before)
+    ("reach/queries/" ^ Reach.engine_name p.p_engine);
+  let memo_hits, memo_misses = Reach.memo_stats p.p_reach in
+  M.incr ~n:(memo_hits - hits_before) "reach/memo_hits";
+  M.incr ~n:(memo_misses - misses_before) "reach/memo_misses";
   {
     model;
-    mode;
+    mode = p.p_mode;
     races;
     race_count = List.length races;
-    unmatched = matching.Match_mpi.unmatched;
-    conflicts = Conflict.distinct_pairs groups;
-    graph_nodes = Hb_graph.size graph;
-    graph_edges = Hb_graph.edge_count graph;
+    unmatched = p.p_matching.Match_mpi.unmatched;
+    conflicts = p.p_conflicts;
+    graph_nodes = Hb_graph.size p.p_graph;
+    graph_edges = Hb_graph.edge_count p.p_graph;
     stats;
     timings =
       {
-        t_read;
-        t_conflicts;
-        t_graph;
-        t_engine;
+        t_read = p.p_t_read;
+        t_conflicts = p.p_t_conflicts;
+        t_graph = p.p_t_graph;
+        t_engine = p.p_t_engine;
         t_verify;
-        t_total = t_read +. t_conflicts +. t_graph +. t_engine +. t_verify;
+        t_total =
+          p.p_t_read +. p.p_t_conflicts +. p.p_t_graph +. p.p_t_engine
+          +. t_verify;
       };
-    decoded = d;
-    engine_used = engine;
-    degradation;
+    decoded = p.p_decoded;
+    engine_used = p.p_engine;
+    degradation = p.p_degradation;
   }
+
+let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
+    ~nranks records =
+  let p = prepare ?engine ~mode ~upstream ~nranks records in
+  verify_prepared ~pruning ~model p
 
 let verify_all_models ?engine ~nranks records =
   List.map
     (fun model -> (model, verify ?engine ~model ~nranks records))
     Model.builtin
+
+let verify_shared ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
+    ?(models = Model.builtin) ~nranks records =
+  let p = prepare ?engine ~mode ~upstream ~nranks records in
+  List.map (fun model -> (model, verify_prepared ~pruning ~model p)) models
 
 let is_properly_synchronized o = o.races = [] && o.unmatched = []
 

@@ -1,24 +1,41 @@
-(** The end-to-end verification pipeline (Fig. 1), with the per-stage
-    timing breakdown of the paper's Table IV.
+(** The end-to-end verification pipeline (the paper's Fig. 1 workflow),
+    with the per-stage timing breakdown of Table IV.
 
-    Stages: decode the trace (offset/fid resolution) → detect conflicts →
-    match MPI calls and build the happens-before graph → prepare the
-    happens-before engine (e.g. generate vector clocks) → verify.
+    Stages: decode the trace (offset/fid resolution, §IV-B) → detect
+    conflicts (§IV-B) → match MPI calls and build the happens-before graph
+    (§IV-C) → prepare the happens-before engine (§IV-D, e.g. generate
+    vector clocks) → verify (§IV-D, Fig. 3 pruning).
+
+    Two entry points cover the two cost profiles:
+
+    - {!verify} runs all five stages for one model — the paper's exact
+      measurement unit (each Table IV column is one such run).
+    - {!prepare} runs the four model-independent stages once and returns a
+      {!prepared} value from which {!verify_prepared} derives a per-model
+      verdict; the decoded trace, conflict groups, happens-before graph
+      and engine state are shared across models. {!verify_shared} bundles
+      the two. Verdicts are bit-identical to {!verify} (property-tested) —
+      every shared stage is deterministic and model-independent.
 
     In {!Recorder.Diagnostic.Lenient} mode the pipeline degrades
     gracefully instead of raising: every stage absorbs what it cannot
     decode, the happens-before graph is built on the salvageable subset,
     and the {!degradation} summary accounts for everything given up. Race
     verdicts that rest on a degraded region are tagged
-    {!Verify.Under_degradation}. *)
+    {!Verify.Under_degradation}.
+
+    Every stage reports wall time and headline counters to
+    {!Vio_util.Metrics} (keys [pipeline/stage/*], [conflict/*], [graph/*],
+    [reach/*], [verify/*]) — the raw material of the [BENCH_*.json]
+    perf-trajectory files. *)
 
 type timings = {
   t_read : float;  (** decode records into operations *)
-  t_conflicts : float;
+  t_conflicts : float;  (** conflict detection (interval sweep) *)
   t_graph : float;  (** MPI matching + happens-before graph construction *)
   t_engine : float;  (** engine preparation, e.g. vector clock generation *)
-  t_verify : float;
-  t_total : float;
+  t_verify : float;  (** MSC verification of every conflict group *)
+  t_total : float;  (** sum of the five stages *)
 }
 
 type degradation = {
@@ -28,7 +45,7 @@ type degradation = {
   fds_orphaned : int;  (** I/O calls on descriptors whose open was lost *)
   chains_broken : int;  (** call chains that could not be resolved *)
   epilogues_missing : int;  (** calls that never returned *)
-  unmatched_mpi : int;
+  unmatched_mpi : int;  (** unmatched MPI diagnostics (§V-D) *)
   graph_fallback : bool;
       (** true when the happens-before graph had to be rebuilt without MPI
           edges *)
@@ -41,20 +58,54 @@ val no_degradation : degradation
 (** The all-zero summary a strict (or pristine lenient) run reports. *)
 
 type outcome = {
-  model : Model.t;
-  mode : Recorder.Diagnostic.mode;
-  races : Verify.race list;
-  race_count : int;
+  model : Model.t;  (** the consistency model this verdict is against *)
+  mode : Recorder.Diagnostic.mode;  (** strict or lenient decoding *)
+  races : Verify.race list;  (** every data race found, sorted by op pair *)
+  race_count : int;  (** [List.length races] *)
   unmatched : Match_mpi.unmatched list;
-  conflicts : int;  (** distinct conflicting pairs *)
-  graph_nodes : int;
+      (** unmatched MPI calls — nonempty means verification is incomplete
+          (the gray rows of Fig. 4) *)
+  conflicts : int;  (** distinct unordered conflicting pairs *)
+  graph_nodes : int;  (** happens-before graph size, synthetic joins included *)
   graph_edges : int;
-  stats : Verify.stats;
+  stats : Verify.stats;  (** pruning-rule hit counts and check totals *)
   timings : timings;
-  decoded : Op.decoded;
+  decoded : Op.decoded;  (** the decoded trace (for report rendering) *)
   engine_used : Reach.engine;
+      (** the engine that served this run's happens-before queries *)
   degradation : degradation;
 }
+
+type prepared
+(** The model-independent artifacts of one trace, computed once: decoded
+    operations, conflict groups, MPI matching, happens-before graph,
+    prepared happens-before engine, sync-op index, degradation summary and
+    the four preparation-stage timings. Sharing one [prepared] across the
+    four builtin models does ~4× less stage work than four {!verify} calls
+    — the batch engine's core saving (see {!Batch}).
+
+    A [prepared] value must be used from one domain at a time: the
+    happens-before engine inside it memoizes and counts queries. *)
+
+val prepare :
+  ?engine:Reach.engine ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  prepared
+(** Run the four model-independent stages (read, conflicts, graph, engine)
+    on raw trace records. Parameters are those of {!verify} minus the
+    model. When [engine] is omitted it is selected from the graph size and
+    conflict count ({!Reach.recommend}); the choice applies to every model
+    verified from this [prepared]. *)
+
+val verify_prepared :
+  ?pruning:bool -> model:Model.t -> prepared -> outcome
+(** Derive one model's verdict from prepared artifacts. Only the verify
+    stage runs; the outcome's read/conflicts/graph/engine timings are the
+    shared preparation's (identical across models of one [prepared]), and
+    [t_total] is preparation plus this model's verification. *)
 
 val verify :
   ?engine:Reach.engine ->
@@ -65,8 +116,9 @@ val verify :
   nranks:int ->
   Recorder.Record.t list ->
   outcome
-(** Run the full pipeline on raw trace records. When [engine] is omitted
-    it is selected dynamically from the graph size and conflict count
+(** Run the full pipeline on raw trace records — equivalent to {!prepare}
+    followed by {!verify_prepared}. When [engine] is omitted it is
+    selected dynamically from the graph size and conflict count
     ({!Reach.recommend}, the paper's planned extension); the choice is
     reported in [engine_used].
 
@@ -81,10 +133,26 @@ val verify_all_models :
   nranks:int ->
   Recorder.Record.t list ->
   (Model.t * outcome) list
-(** One pass per builtin model, sharing nothing (each timed end-to-end). *)
+(** One {e independent} pass per builtin model, sharing nothing — each
+    timed end-to-end, re-deriving the trace artifacts every time. This is
+    the sequential baseline the bench compares the batch engine against;
+    prefer {!verify_shared} when the timings need not be independent. *)
+
+val verify_shared :
+  ?engine:Reach.engine ->
+  ?pruning:bool ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
+  ?models:Model.t list ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  (Model.t * outcome) list
+(** One {!prepare} shared by every model in [models] (default
+    {!Model.builtin}, in the paper's order). Verdicts are identical to
+    {!verify_all_models}; only the cost differs. *)
 
 val is_properly_synchronized : outcome -> bool
-(** No races and no unmatched MPI calls. *)
+(** No races and no unmatched MPI calls (Def. 8). *)
 
 val is_degraded : outcome -> bool
 (** True when the lenient pipeline had to give anything up. *)

@@ -21,6 +21,8 @@ type t = {
   g : Hb_graph.t;
   state : state;
   mutable queries : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 let engine t = t.eng
@@ -28,6 +30,8 @@ let engine t = t.eng
 let graph t = t.g
 
 let query_count t = t.queries
+
+let memo_stats t = (t.memo_hits, t.memo_misses)
 
 (* ---------------------------------------------------------------- *)
 (* Construction                                                       *)
@@ -77,7 +81,7 @@ let create eng g =
     | Transitive_closure -> build_closure g
     | On_the_fly -> Fly
   in
-  { eng; g; state; queries = 0 }
+  { eng; g; state; queries = 0; memo_hits = 0; memo_misses = 0 }
 
 (* ---------------------------------------------------------------- *)
 (* Queries                                                            *)
@@ -126,8 +130,11 @@ let reaches t a b =
     | Memo cache ->
       let set =
         match Hashtbl.find_opt cache a with
-        | Some s -> s
+        | Some s ->
+          t.memo_hits <- t.memo_hits + 1;
+          s
         | None ->
+          t.memo_misses <- t.memo_misses + 1;
           let s = bfs_set t.g a in
           Hashtbl.replace cache a s;
           s

@@ -20,12 +20,21 @@
 type engine = Vector_clock | Bfs_memo | Transitive_closure | On_the_fly
 
 val engine_name : engine -> string
+(** Display name: ["vector-clock"], ["graph-reachability"],
+    ["transitive-closure"], ["on-the-fly"]. *)
 
 val all_engines : engine list
+(** The four engines in the order above (bench/table order). *)
 
 type t
+(** An engine instance bound to one graph, holding whatever the engine
+    precomputes plus its query/memo counters. Not domain-safe: each
+    domain builds its own instance over the shared immutable graph. *)
 
 val create : engine -> Hb_graph.t -> t
+(** Runs the engine's precomputation ({!Vector_clock} clock propagation,
+    {!Transitive_closure} bitsets; {!Bfs_memo} and {!On_the_fly} are
+    lazy). *)
 
 val engine : t -> engine
 
@@ -39,7 +48,13 @@ val concurrent : t -> int -> int -> bool
 (** Neither reaches the other. *)
 
 val query_count : t -> int
-(** Number of [reaches] queries served (for the pruning ablation). *)
+(** Number of [reaches] queries served (for the pruning ablation and the
+    bench's per-engine throughput figures). *)
+
+val memo_stats : t -> int * int
+(** [(hits, misses)] of the {!Bfs_memo} engine's per-source reachable-set
+    cache; [(0, 0)] for every other engine. A miss pays one full BFS, a
+    hit is a bitset lookup. *)
 
 val recommend : graph_nodes:int -> conflict_pairs:int -> engine
 (** The dynamic selection heuristic the paper sketches as future work:

@@ -85,14 +85,23 @@ let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
       races []
     |> List.sort (fun r1 r2 -> compare (r1.rx, r1.ry) (r2.rx, r2.ry))
   in
-  ( race_list,
+  let stats =
     {
       groups = List.length groups;
       pairs = Conflict.distinct_pairs groups;
       ps_checks = !checks;
       fast_groups = !fast;
       rule_hits;
-    } )
+    }
+  in
+  let module M = Vio_util.Metrics in
+  M.incr "verify/runs";
+  M.incr ~n:stats.ps_checks "verify/ps_checks";
+  M.incr ~n:(List.length race_list) "verify/races";
+  Array.iteri
+    (fun i hits -> M.incr ~n:hits (Printf.sprintf "verify/rule%d_hits" (i + 1)))
+    rule_hits;
+  (race_list, stats)
 
 let run_parallel ?domains ?(degraded = no_degradation) model graph sidx
     (d : Op.decoded) groups =

@@ -1,0 +1,77 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if Float.is_finite f then
+    (* %.6g never yields a bare "1e5" without a digit issue, but it can
+       yield "1" for integral floats — valid JSON either way. *)
+    Printf.sprintf "%.6g" f
+  else "null"
+
+let to_string ?(indent = 2) doc =
+  let b = Buffer.create 1024 in
+  let pad level =
+    if indent > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (level * indent) ' ')
+    end
+  in
+  let rec go level = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (level + 1);
+          go (level + 1) item)
+        items;
+      pad level;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (level + 1);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b (if indent > 0 then "\": " else "\":");
+          go (level + 1) v)
+        fields;
+      pad level;
+      Buffer.add_char b '}'
+  in
+  go 0 doc;
+  Buffer.contents b

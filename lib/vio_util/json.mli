@@ -1,0 +1,26 @@
+(** A minimal JSON document builder for machine-readable outputs
+    (benchmark reports, metrics snapshots).
+
+    Emission only — the repo never parses JSON, so no decoder is provided.
+    Output is deterministic: object fields render in the order given,
+    floats in ["%.6g"] (non-finite floats become [null], keeping every
+    emitted document valid JSON). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string  (** escaped on output; any OCaml string is accepted *)
+  | List of t list
+  | Obj of (string * t) list  (** fields render in list order *)
+
+val to_string : ?indent:int -> t -> string
+(** Render a document. [indent] (default 2) is the number of spaces per
+    nesting level; [~indent:0] renders compactly on one line. The result
+    always ends without a trailing newline. *)
+
+val escape : string -> string
+(** The JSON string-literal escaping applied to {!Str} payloads and object
+    keys (quotes, backslashes, control characters), without the
+    surrounding quotes. *)

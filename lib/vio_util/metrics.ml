@@ -1,0 +1,74 @@
+type timer = { count : int; total : float; min : float; max : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timer) list;
+}
+
+let lock = Mutex.create ()
+
+let counters : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
+
+let protect f = Mutex.protect lock f
+
+let incr ?(n = 1) name =
+  protect (fun () ->
+      Hashtbl.replace counters name
+        (n + Option.value ~default:0 (Hashtbl.find_opt counters name)))
+
+let observe name dt =
+  protect (fun () ->
+      let t =
+        match Hashtbl.find_opt timers name with
+        | None -> { count = 1; total = dt; min = dt; max = dt }
+        | Some t ->
+          {
+            count = t.count + 1;
+            total = t.total +. dt;
+            min = Float.min t.min dt;
+            max = Float.max t.max dt;
+          }
+      in
+      Hashtbl.replace timers name t)
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe name (Unix.gettimeofday () -. t0)) f
+
+let reset () =
+  protect (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset timers)
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let snapshot () =
+  protect (fun () ->
+      { counters = sorted_bindings counters; timers = sorted_bindings timers })
+
+let find_counter s name = Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let find_timer s name = List.assoc_opt name s.timers
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (k, (t : timer)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int t.count);
+                     ("total_s", Json.Float t.total);
+                     ("min_s", Json.Float t.min);
+                     ("max_s", Json.Float t.max);
+                   ] ))
+             s.timers) );
+    ]

@@ -1,0 +1,326 @@
+module H = Harness
+module V = Verifyio
+module J = Vio_util.Json
+module M = Vio_util.Metrics
+
+type wall = { domains : int; seconds : float; speedup : float }
+
+type engine_row = {
+  er_name : string;
+  er_prepare_s : float;
+  er_verify_s : float;
+  er_queries : int;
+  er_queries_per_s : float;
+}
+
+type stages = {
+  read_s : float;
+  conflicts_s : float;
+  graph_s : float;
+  engine_s : float;
+  verify_s : float;
+}
+
+type t = {
+  tag : string;
+  generated_at : float;
+  recommended_domains : int;
+  ocaml_version : string;
+  repeats : int;
+  scale : int option;
+  workloads : int;
+  records : int;
+  conflict_pairs : int;
+  races_by_model : (string * int) list;
+  sequential_s : float;
+  walls : wall list;
+  verdicts_identical : bool;
+  stages : stages;
+  metrics : M.snapshot;
+  engines : engine_row list;
+}
+
+(* A comparable digest of a corpus verification: per workload, per model,
+   the races (with confidence), the unmatched count and the conflict
+   count. Two runs with equal digests reached identical verdicts. *)
+let digest outcomes_by_workload =
+  List.map
+    (fun (name, outcomes) ->
+      ( name,
+        List.map
+          (fun ((m : V.Model.t), (o : V.Pipeline.outcome)) ->
+            ( m.V.Model.name,
+              List.map
+                (fun (r : V.Verify.race) ->
+                  (r.V.Verify.rx, r.V.Verify.ry, r.V.Verify.confidence))
+                o.V.Pipeline.races,
+              List.length o.V.Pipeline.unmatched,
+              o.V.Pipeline.conflicts ))
+          outcomes ))
+    outcomes_by_workload
+
+let best_of repeats f =
+  let rec go best left last =
+    if left = 0 then (best, Option.get last)
+    else
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      go (Float.min best dt) (left - 1) (Some v)
+  in
+  go infinity (max 1 repeats) None
+
+let run_sequential traces =
+  List.map
+    (fun ((w : H.t), records) ->
+      (w.H.name, V.Pipeline.verify_all_models ~nranks:w.H.nranks records))
+    traces
+
+let engine_rows () =
+  match Registry.find "pmulti_dset" with
+  | None -> []
+  | Some w ->
+    let records = H.run ~scale:2 w in
+    let d = V.Op.decode ~nranks:w.H.nranks records in
+    let m = V.Match_mpi.run d in
+    let g = V.Hb_graph.build d m in
+    let sidx = V.Msc.build_index d in
+    let groups = V.Conflict.detect d in
+    List.map
+      (fun eng ->
+        let t0 = Unix.gettimeofday () in
+        let reach = V.Reach.create eng g in
+        let t_prep = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        ignore (V.Verify.run V.Model.mpi_io reach sidx d groups);
+        let t_verify = Unix.gettimeofday () -. t0 in
+        let queries = V.Reach.query_count reach in
+        {
+          er_name = V.Reach.engine_name eng;
+          er_prepare_s = t_prep;
+          er_verify_s = t_verify;
+          er_queries = queries;
+          er_queries_per_s =
+            (if t_verify > 0. then float_of_int queries /. t_verify else 0.);
+        })
+      V.Reach.all_engines
+
+let run ?(tag = "pr2") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
+  (* Multi-domain minor collections are stop-the-world handshakes; on
+     hosts with fewer cores than domains each handshake can wait out a
+     scheduler timeslice. A larger minor heap keeps the handshake rate
+     low so the wall-clock comparison measures verification, not GC
+     scheduling. Applied identically to every configuration measured. *)
+  let gc = Gc.get () in
+  if gc.Gc.minor_heap_size < 4 * 1024 * 1024 then
+    Gc.set { gc with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  let traces =
+    List.map (fun (w : H.t) -> (w, H.run ?scale w)) Registry.all
+  in
+  let records = List.fold_left (fun n (_, r) -> n + List.length r) 0 traces in
+  (* Sequential baseline: the paper's measurement shape — one full
+     pipeline per (workload, model), nothing shared. The first pass runs
+     inside a fresh metrics window so the report's stage totals describe
+     exactly one sequential corpus sweep. *)
+  M.reset ();
+  let t0 = Unix.gettimeofday () in
+  let seq_results = run_sequential traces in
+  let first_pass = Unix.gettimeofday () -. t0 in
+  let snap = M.snapshot () in
+  let sequential_s, _ =
+    if repeats <= 1 then (first_pass, seq_results)
+    else
+      let best, r = best_of (repeats - 1) (fun () -> run_sequential traces) in
+      (Float.min first_pass best, r)
+  in
+  let seq_digest = digest seq_results in
+  let jobs =
+    List.map
+      (fun ((w : H.t), records) ->
+        Verifyio.Batch.job ~name:w.H.name ~nranks:w.H.nranks records)
+      traces
+  in
+  let verdicts_identical = ref true in
+  let walls =
+    List.map
+      (fun d ->
+        let seconds, results =
+          best_of repeats (fun () -> Verifyio.Batch.run ~domains:d jobs)
+        in
+        let batch_digest =
+          digest
+            (List.map
+               (fun (r : Verifyio.Batch.result) ->
+                 (r.Verifyio.Batch.job.Verifyio.Batch.name,
+                  r.Verifyio.Batch.outcomes))
+               results)
+        in
+        if batch_digest <> seq_digest then verdicts_identical := false;
+        { domains = d; seconds; speedup = sequential_s /. seconds })
+      domains
+  in
+  let stage name =
+    match M.find_timer snap ("pipeline/stage/" ^ name) with
+    | Some t -> t.M.total
+    | None -> 0.
+  in
+  let races_by_model =
+    List.map
+      (fun (m : V.Model.t) ->
+        ( m.V.Model.name,
+          List.fold_left
+            (fun n (_, outcomes) ->
+              let _, o =
+                List.find
+                  (fun ((m' : V.Model.t), _) ->
+                    m'.V.Model.name = m.V.Model.name)
+                  outcomes
+              in
+              n + o.V.Pipeline.race_count)
+            0 seq_results ))
+      V.Model.builtin
+  in
+  {
+    tag;
+    generated_at = Unix.time ();
+    recommended_domains = Domain.recommended_domain_count ();
+    ocaml_version = Sys.ocaml_version;
+    repeats;
+    scale;
+    workloads = List.length traces;
+    records;
+    conflict_pairs =
+      List.fold_left
+        (fun n (_, outcomes) ->
+          match outcomes with
+          | (_, (o : V.Pipeline.outcome)) :: _ -> n + o.V.Pipeline.conflicts
+          | [] -> n)
+        0 seq_results;
+    races_by_model;
+    sequential_s;
+    walls;
+    verdicts_identical = !verdicts_identical;
+    stages =
+      {
+        read_s = stage "read";
+        conflicts_s = stage "conflicts";
+        graph_s = stage "graph";
+        engine_s = stage "engine";
+        verify_s = stage "verify";
+      };
+    metrics = snap;
+    engines = engine_rows ();
+  }
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.Str "verifyio-bench");
+      ("schema_version", J.Int 1);
+      ("tag", J.Str r.tag);
+      ("generated_at_unix", J.Float r.generated_at);
+      ( "environment",
+        J.Obj
+          [
+            ("ocaml_version", J.Str r.ocaml_version);
+            ("recommended_domains", J.Int r.recommended_domains);
+            ("word_size_bits", J.Int Sys.word_size);
+          ] );
+      ( "config",
+        J.Obj
+          [
+            ("repeats", J.Int r.repeats);
+            ("scale", match r.scale with None -> J.Null | Some s -> J.Int s);
+            ( "domain_counts",
+              J.List (List.map (fun w -> J.Int w.domains) r.walls) );
+          ] );
+      ( "corpus",
+        J.Obj
+          [
+            ("workloads", J.Int r.workloads);
+            ("records", J.Int r.records);
+            ("conflict_pairs", J.Int r.conflict_pairs);
+            ( "races_by_model",
+              J.Obj (List.map (fun (m, n) -> (m, J.Int n)) r.races_by_model) );
+          ] );
+      ( "wall_clock",
+        J.Obj
+          [
+            ("sequential_per_model_s", J.Float r.sequential_s);
+            ( "batch",
+              J.List
+                (List.map
+                   (fun w ->
+                     J.Obj
+                       [
+                         ("domains", J.Int w.domains);
+                         ("seconds", J.Float w.seconds);
+                         ("speedup_vs_sequential", J.Float w.speedup);
+                       ])
+                   r.walls) );
+            ("verdicts_identical", J.Bool r.verdicts_identical);
+          ] );
+      ( "stages",
+        J.Obj
+          [
+            ("read_s", J.Float r.stages.read_s);
+            ("conflicts_s", J.Float r.stages.conflicts_s);
+            ("graph_s", J.Float r.stages.graph_s);
+            ("engine_s", J.Float r.stages.engine_s);
+            ("verify_s", J.Float r.stages.verify_s);
+            ( "total_s",
+              J.Float
+                (r.stages.read_s +. r.stages.conflicts_s +. r.stages.graph_s
+                +. r.stages.engine_s +. r.stages.verify_s) );
+          ] );
+      ( "engines",
+        J.List
+          (List.map
+             (fun e ->
+               J.Obj
+                 [
+                   ("engine", J.Str e.er_name);
+                   ("prepare_s", J.Float e.er_prepare_s);
+                   ("verify_s", J.Float e.er_verify_s);
+                   ("hb_queries", J.Int e.er_queries);
+                   ("queries_per_s", J.Float e.er_queries_per_s);
+                 ])
+             r.engines) );
+      ("metrics", M.to_json r.metrics);
+    ]
+
+let write ~path r =
+  let oc = open_out path in
+  output_string oc (J.to_string (to_json r));
+  output_char oc '\n';
+  close_out oc
+
+let summary r =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "corpus: %d workloads, %d records, %d conflict pairs; races %s\n"
+    r.workloads r.records r.conflict_pairs
+    (String.concat ", "
+       (List.map (fun (m, n) -> Printf.sprintf "%s=%d" m n) r.races_by_model));
+  Printf.bprintf b
+    "stages (sequential sweep): read %.3fs conflicts %.3fs graph %.3fs \
+     engine %.3fs verify %.3fs\n"
+    r.stages.read_s r.stages.conflicts_s r.stages.graph_s r.stages.engine_s
+    r.stages.verify_s;
+  Printf.bprintf b "sequential per-model pipeline: %.3fs (best of %d)\n"
+    r.sequential_s r.repeats;
+  List.iter
+    (fun w ->
+      Printf.bprintf b "batch %d domain(s): %.3fs (%.2fx vs sequential)\n"
+        w.domains w.seconds w.speedup)
+    r.walls;
+  Printf.bprintf b "verdicts identical to sequential: %b\n"
+    r.verdicts_identical;
+  List.iter
+    (fun e ->
+      Printf.bprintf b
+        "engine %-20s prepare %.2fms verify %.2fms %d queries (%.0f q/s)\n"
+        e.er_name (e.er_prepare_s *. 1000.) (e.er_verify_s *. 1000.)
+        e.er_queries e.er_queries_per_s)
+    r.engines;
+  Buffer.contents b

@@ -1,0 +1,76 @@
+(** The perf-trajectory benchmark: run the full evaluation corpus through
+    the sequential per-model pipeline and the domain-parallel batch
+    engine, and emit a versioned machine-readable report
+    ([BENCH_<tag>.json]).
+
+    The report records the numbers every later PR is measured against:
+    per-stage wall times of one sequential corpus sweep (the shape of the
+    paper's Table IV, aggregated over all 91 workloads), sequential vs.
+    batch wall clock at each domain count, per-engine happens-before query
+    throughput, and the {!Vio_util.Metrics} counter snapshot. The JSON
+    schema is documented in [EXPERIMENTS.md] ("Perf trajectory"). *)
+
+type wall = {
+  domains : int;
+  seconds : float;  (** best-of-[repeats] wall clock for the whole corpus *)
+  speedup : float;  (** [sequential_s /. seconds] *)
+}
+
+type engine_row = {
+  er_name : string;  (** {!Verifyio.Reach.engine_name} *)
+  er_prepare_s : float;
+  er_verify_s : float;
+  er_queries : int;  (** happens-before queries served during verify *)
+  er_queries_per_s : float;
+}
+
+type stages = {
+  read_s : float;
+  conflicts_s : float;
+  graph_s : float;
+  engine_s : float;
+  verify_s : float;
+}
+(** Summed stage wall times over one sequential corpus sweep (91
+    workloads × 4 models). *)
+
+type t = {
+  tag : string;  (** e.g. ["pr2"]; names the output file [BENCH_<tag>.json] *)
+  generated_at : float;  (** unix epoch seconds *)
+  recommended_domains : int;
+  ocaml_version : string;
+  repeats : int;
+  scale : int option;  (** workload scale override, [None] = suite defaults *)
+  workloads : int;
+  records : int;  (** total trace records across the corpus *)
+  conflict_pairs : int;
+  races_by_model : (string * int) list;
+  sequential_s : float;  (** legacy per-model pipeline, best of [repeats] *)
+  walls : wall list;
+  verdicts_identical : bool;
+      (** every batch run produced verdicts identical to sequential *)
+  stages : stages;
+  metrics : Vio_util.Metrics.snapshot;  (** the sequential sweep's counters *)
+  engines : engine_row list;
+}
+
+val run :
+  ?tag:string ->
+  ?scale:int ->
+  ?domains:int list ->
+  ?repeats:int ->
+  unit ->
+  t
+(** Execute the benchmark: generate all corpus traces (sequentially — the
+    simulator is single-domain), time the sequential baseline and
+    {!Verifyio.Batch.run} at each domain count (default [[1; 2; 4]],
+    best of [repeats], default 3), and verify that every batch run's
+    verdicts match the sequential ones. *)
+
+val to_json : t -> Vio_util.Json.t
+
+val write : path:string -> t -> unit
+(** Serialize {!to_json} to [path] with a trailing newline. *)
+
+val summary : t -> string
+(** Human-readable digest of the same numbers, for the CLI and bench. *)

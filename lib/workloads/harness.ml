@@ -59,7 +59,7 @@ let run ?scale ?abort_rank w =
 
 let verify ?scale ?engine w =
   let records = run ?scale w in
-  Verifyio.Pipeline.verify_all_models ?engine ~nranks:w.nranks records
+  Verifyio.Pipeline.verify_shared ?engine ~nranks:w.nranks records
 
 let matches_expectation w outcomes =
   List.for_all

@@ -1,0 +1,80 @@
+The report subcommand prints one summary line per builtin model for a
+fixed workload. Its output is deliberately timing-free, so this test
+locks it byte-for-byte:
+
+  $ ../../bin/verifyio_cli.exe report flexible
+  flexible: 4 ranks, 80 records
+  
+  flexible                 POSIX    conflicts=6        races=0        unmatched=0
+  flexible                 Commit   conflicts=6        races=6        unmatched=0
+  flexible                 Session  conflicts=6        races=6        unmatched=0
+  flexible                 MPI-IO   conflicts=6        races=6        unmatched=0
+  
+  properly synchronized under: POSIX
+
+With --grouped, racy models additionally list their races grouped by
+distinct call-chain pair (Fig. 4's presentation):
+
+  $ ../../bin/verifyio_cli.exe report --grouped tst_parallel5
+  tst_parallel5: 2 ranks, 52 records
+  
+  tst_parallel5            POSIX    conflicts=2        races=2        unmatched=0
+  tst_parallel5            Commit   conflicts=2        races=2        unmatched=0
+  tst_parallel5            Session  conflicts=2        races=2        unmatched=0
+  tst_parallel5            MPI-IO   conflicts=2        races=2        unmatched=0
+  
+  --- POSIX ---
+  model POSIX: 2 data race(s) from 1 distinct call-chain pair(s)
+       2x  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+       vs  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+  --- Commit ---
+  model Commit: 2 data race(s) from 1 distinct call-chain pair(s)
+       2x  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+       vs  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+  --- Session ---
+  model Session: 2 data race(s) from 1 distinct call-chain pair(s)
+       2x  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+       vs  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+  --- MPI-IO ---
+  model MPI-IO: 2 data race(s) from 1 distinct call-chain pair(s)
+       2x  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+       vs  app -> NETCDF:nc_put_var_schar -> HDF5:H5Dwrite -> MPIIO:MPI_File_write_at -> POSIX:pwrite
+  
+  properly synchronized under: (none)
+
+The stats subcommand summarizes a trace without verifying it:
+
+  $ ../../bin/verifyio_cli.exe stats flexible
+  4 ranks, 80 records
+  
+  records per layer:
+    PNETCDF  32
+    MPIIO    21
+    MPI      12
+    POSIX    15
+  
+  top functions:
+         8  PNETCDF:ncmpi_def_dim
+         8  MPIIO:MPI_File_write_at_all
+         8  MPI:MPI_Comm_size
+         6  POSIX:pwrite
+         4  POSIX:open
+         4  POSIX:close
+         4  PNETCDF:ncmpi_set_fill
+         4  PNETCDF:ncmpi_put_vara_int_all
+         4  PNETCDF:ncmpi_enddef
+         4  PNETCDF:ncmpi_def_var
+         4  PNETCDF:ncmpi_create
+         4  PNETCDF:ncmpi_close
+         4  MPIIO:MPI_File_set_view
+         4  MPIIO:MPI_File_open
+         4  MPIIO:MPI_File_close
+  
+  files (bytes written/read across ranks):
+    fid 0 = /pnflex                      4608 written      256 read
+
+Unknown sources fail with exit code 1:
+
+  $ ../../bin/verifyio_cli.exe report nosuch
+  "nosuch" is neither a trace file nor a known workload
+  [1]
