@@ -6,6 +6,8 @@
      verify           verify a trace file (or a named workload) against a model
      report           one-line verdict per model, races grouped by call chain
      bench            corpus benchmark; writes a BENCH_<tag>.json perf report
+     fuzz             differential fuzzing: generated workloads, every
+                      optimized path vs the naive oracle, shrinking repros
      models           print the builtin consistency models (paper Table I)
      coverage         print tracer API coverage (paper Table II)
      stats            per-layer/function statistics of a trace
@@ -331,6 +333,170 @@ let bench_cmd out tag domains_spec scale repeats smoke =
      pipeline is reporting numbers for a broken engine — fail loudly. *)
   if r.Workloads.Bench_report.verdicts_identical then 0 else 3
 
+(* ---- fuzz: differential testing against the naive oracle ---- *)
+
+(* One deterministic line summarizing a trace's oracle verdicts, printed
+   per program (small runs) and per replayed corpus file. *)
+let oracle_line ~label ~nranks records =
+  let oracle = Verifyio.Oracle.verify ~nranks records in
+  let conflicts =
+    match oracle with
+    | (_, (v : Verifyio.Oracle.verdict)) :: _ -> v.Verifyio.Oracle.conflicts
+    | [] -> 0
+  in
+  let race_counts =
+    List.map
+      (fun (_, (v : Verifyio.Oracle.verdict)) ->
+        string_of_int (List.length v.Verifyio.Oracle.races))
+      oracle
+  in
+  Printf.printf "  %s: %d ranks, %d records, %d conflict pair(s), races %s\n"
+    label nranks (List.length records) conflicts
+    (String.concat "/" race_counts);
+  (conflicts, oracle)
+
+let racy_verdicts oracle =
+  List.length
+    (List.filter
+       (fun (_, (v : Verifyio.Oracle.verdict)) -> v.Verifyio.Oracle.races <> [])
+       oracle)
+
+(* A corpus keeper: a trace whose verdict differs across models (the
+   interesting boundary cases) or that left MPI calls unmatched. *)
+let corpus_worthy oracle =
+  let racy = racy_verdicts oracle in
+  racy > 0
+  && (racy < List.length oracle
+     || List.exists
+          (fun (_, (v : Verifyio.Oracle.verdict)) -> v.Verifyio.Oracle.unmatched > 0)
+          oracle)
+
+let print_divergences divs =
+  List.iter
+    (fun d ->
+      Format.printf "    %a@." Viogen.Diff.pp_divergence d)
+    divs
+
+let fuzz_replay path domains =
+  let files =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".vio-trace")
+      |> List.sort compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  Printf.printf "replay: %s (%d trace(s))\n" path (List.length files);
+  let bad = ref 0 in
+  List.iter
+    (fun f ->
+      match Recorder.Codec.of_file f with
+      | exception Recorder.Codec.Malformed { line; reason } ->
+        incr bad;
+        Printf.printf "  %s: cannot decode (line %d): %s\n" (Filename.basename f)
+          line reason
+      | nranks, records ->
+        ignore (oracle_line ~label:(Filename.basename f) ~nranks records);
+        let divs = Viogen.Diff.check ~domains ~nranks records in
+        if divs <> [] then begin
+          incr bad;
+          print_divergences divs
+        end)
+    files;
+  Printf.printf "replay: %d divergent trace(s) of %d\n" !bad (List.length files);
+  if !bad = 0 then 0 else 4
+
+let fuzz_generate seed count smoke shrink save_corpus domains =
+  let count = if smoke then 8 else count in
+  Printf.printf "fuzz: seed %d, %d program(s)%s\n" seed count
+    (if smoke then " (smoke)" else "");
+  Printf.printf "subjects: %s\n"
+    (String.concat ", " (Viogen.Diff.subject_names ~domains));
+  let verbose = count <= 20 in
+  let total_records = ref 0 in
+  let total_pairs = ref 0 in
+  let total_racy = ref 0 in
+  let divergent = ref [] in
+  let saved = ref 0 in
+  for i = 0 to count - 1 do
+    let s = seed + i in
+    let p = Viogen.Workload.generate ~seed:s () in
+    let records = Viogen.Workload.run p in
+    let nranks = p.Viogen.Workload.nranks in
+    let oracle = Verifyio.Oracle.verify ~nranks records in
+    let conflicts =
+      match oracle with
+      | (_, v) :: _ -> v.Verifyio.Oracle.conflicts
+      | [] -> 0
+    in
+    total_records := !total_records + List.length records;
+    total_pairs := !total_pairs + conflicts;
+    total_racy := !total_racy + racy_verdicts oracle;
+    if verbose then
+      ignore (oracle_line ~label:(Printf.sprintf "seed %d" s) ~nranks records)
+    else if (i + 1) mod 100 = 0 then Printf.printf "  %d/%d\n%!" (i + 1) count;
+    let divs = Viogen.Diff.check ~domains ~nranks records in
+    if divs <> [] then begin
+      divergent := s :: !divergent;
+      Printf.printf "  seed %d: DIVERGENCE (%d disagreeing verdict(s))\n" s
+        (List.length divs);
+      print_divergences divs;
+      if shrink then begin
+        let interesting q = Viogen.Diff.check_program ~domains q <> [] in
+        let small = Viogen.Diff.shrink ~interesting p in
+        let small_records = Viogen.Workload.run small in
+        Printf.printf "  shrunk %d -> %d step(s)\n"
+          (List.length p.Viogen.Workload.steps)
+          (List.length small.Viogen.Workload.steps);
+        let repro = Printf.sprintf "fuzz-repro-%d.vio-trace" s in
+        let oc = open_out repro in
+        output_string oc
+          (Recorder.Codec.encode ~nranks:small.Viogen.Workload.nranks
+             small_records);
+        close_out oc;
+        Printf.printf "  wrote %s (%d records)\n" repro
+          (List.length small_records);
+        Format.printf "  %a" Viogen.Workload.pp_program small
+      end
+    end
+    else
+      match save_corpus with
+      | Some dir when corpus_worthy oracle && !saved < 8 ->
+        incr saved;
+        let path = Filename.concat dir (Printf.sprintf "seed%d.vio-trace" s) in
+        let oc = open_out path in
+        output_string oc (Recorder.Codec.encode ~nranks records);
+        close_out oc;
+        Printf.printf "  saved %s\n" path
+      | _ -> ()
+  done;
+  Printf.printf
+    "checked %d program(s): %d records, %d oracle conflict pair(s), %d racy \
+     verdict(s)\n"
+    count !total_records !total_pairs !total_racy;
+  Printf.printf "divergences: %d\n" (List.length !divergent);
+  if !divergent = [] then 0 else 4
+
+let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  in
+  let* domains = parse_domains domains_spec in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 3; 4 ]
+  in
+  match replay with
+  | Some path ->
+    if Sys.file_exists path then fuzz_replay path domains
+    else begin
+      Printf.eprintf "no such trace or directory: %s\n" path;
+      1
+    end
+  | None -> fuzz_generate seed count smoke shrink save_corpus domains
+
 let models_cmd () =
   print_string (Verifyio.Report.table_i ());
   0
@@ -479,6 +645,58 @@ let bench_term =
     const bench_cmd $ out_arg $ tag_arg $ domains_arg $ scale_arg
     $ repeats_arg $ smoke_arg)
 
+let fuzz_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"Base seed; program i uses seed N+i.")
+
+let fuzz_count_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "count" ] ~docv:"N"
+        ~doc:"Number of generated programs (ignored with $(b,--smoke)).")
+
+let fuzz_shrink_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "shrink" ] ~docv:"BOOL"
+        ~doc:
+          "On divergence, greedily delete program steps while the divergence \
+           persists and write the minimal trace as \
+           $(b,fuzz-repro-<seed>.vio-trace) (default true).")
+
+let fuzz_replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"PATH"
+        ~doc:
+          "Differentially re-verify an existing $(b,.vio-trace) file, or every \
+           one in a directory (the committed fuzz corpus), instead of \
+           generating programs.")
+
+let fuzz_save_corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-corpus" ] ~docv:"DIR"
+        ~doc:
+          "Save up to 8 interesting generated traces (model-distinguishing \
+           verdicts) into DIR for committing as corpus entries.")
+
+let fuzz_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI-sized run: 8 programs, batch domains 1,2. Deterministic output \
+           (locked by a cram test).")
+
+let fuzz_term =
+  Term.(
+    const fuzz_cmd $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_smoke_arg
+    $ fuzz_shrink_arg $ fuzz_replay_arg $ fuzz_save_corpus_arg $ domains_arg)
+
 let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
 
 let () =
@@ -497,6 +715,8 @@ let () =
         "Per-model verdict summary of a trace or workload";
       cmd_of bench_term "bench"
         "Benchmark the corpus: sequential vs batch engine; write BENCH JSON";
+      cmd_of fuzz_term "fuzz"
+        "Differentially fuzz the verifier against the naive oracle";
       cmd_of Term.(const models_cmd $ const ()) "models"
         "Print the builtin consistency models (Table I)";
       cmd_of Term.(const coverage_cmd $ const ()) "coverage"

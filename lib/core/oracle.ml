@@ -1,0 +1,115 @@
+(* The naive reference verifier. Correctness over speed, everywhere: no
+   sweep, no pruning, no memoization, no sharing. Anything clever here
+   would defeat its purpose as the independent side of the differential
+   check. *)
+
+type verdict = {
+  races : (int * int) list;
+  conflicts : int;
+  unmatched : int;
+}
+
+let conflict_pairs (d : Op.decoded) =
+  let datas =
+    Array.to_list d.Op.ops
+    |> List.filter_map (fun (o : Op.t) ->
+           match o.Op.kind with
+           | Op.Data { fid; write; iv }
+             when not (Vio_util.Interval.is_empty iv) ->
+             Some (o.Op.idx, o.Op.record.Recorder.Record.rank, fid, write, iv)
+           | _ -> None)
+  in
+  let pairs = ref [] in
+  List.iter
+    (fun (i1, r1, f1, w1, v1) ->
+      List.iter
+        (fun (i2, r2, f2, w2, v2) ->
+          if
+            i1 < i2 && r1 <> r2 && f1 = f2 && (w1 || w2)
+            && Vio_util.Interval.overlaps v1 v2
+          then pairs := (i1, i2) :: !pairs)
+        datas)
+    datas;
+  List.sort compare !pairs
+
+let reaches g a b =
+  if a = b then true
+  else begin
+    let visited = Array.make (Hb_graph.size g) false in
+    let rec go v =
+      v = b
+      || (not visited.(v)
+         && begin
+              visited.(v) <- true;
+              List.exists go (Hb_graph.succs g v)
+            end)
+    in
+    visited.(a) <- true;
+    List.exists go (Hb_graph.succs g a)
+  end
+
+let is_sync_op (o : Op.t) =
+  match o.Op.kind with
+  | Op.File_open _ | Op.File_close _ | Op.File_sync _ -> true
+  | Op.Data _ | Op.Mpi_call | Op.Meta | Op.Other -> false
+
+(* Same-rank op indices are program-ordered (ops are sorted by
+   (rank, seq)), so program order is just index order within a rank. *)
+let po_before (d : Op.decoded) a b =
+  Op.rank_of d a = Op.rank_of d b && a < b
+
+let properly_synchronized model g (d : Op.decoded) ~x ~y =
+  let xo = Op.op d x in
+  let fid =
+    match xo.Op.kind with
+    | Op.Data { fid; _ } -> fid
+    | _ -> invalid_arg "Oracle.properly_synchronized: x is not a data op"
+  in
+  if not (Op.is_write xo) then reaches g x y
+  else begin
+    let n = Array.length d.Op.ops in
+    let edge_ok e a b =
+      match (e : Model.edge) with
+      | Model.Po -> po_before d a b
+      | Model.Hb -> reaches g a b
+    in
+    (* Try every operation of the trace as each sync step of the MSC. *)
+    let rec go from edges syncs =
+      match (edges, syncs) with
+      | [ last ], [] -> edge_ok last from y
+      | e :: edges', (p : Model.sync_pred) :: syncs' ->
+        let found = ref false in
+        for s = 0 to n - 1 do
+          if not !found then
+            let so = Op.op d s in
+            if
+              is_sync_op so
+              && p.Model.sp_matches so ~fid
+              && edge_ok e from s
+              && go s edges' syncs'
+            then found := true
+        done;
+        !found
+      | _ -> invalid_arg "Oracle: malformed MSC"
+    in
+    List.exists (fun (m : Model.msc) -> go x m.Model.edges m.Model.syncs)
+      model.Model.mscs
+  end
+
+let verify ?(models = Model.builtin) ~nranks records =
+  let d = Op.decode ~nranks records in
+  let m = Match_mpi.run d in
+  let g = Hb_graph.build d m in
+  let pairs = conflict_pairs d in
+  let unmatched = List.length m.Match_mpi.unmatched in
+  List.map
+    (fun model ->
+      let races =
+        List.filter
+          (fun (a, b) ->
+            (not (properly_synchronized model g d ~x:a ~y:b))
+            && not (properly_synchronized model g d ~x:b ~y:a))
+          pairs
+      in
+      (model, { races; conflicts = List.length pairs; unmatched }))
+    models

@@ -1,0 +1,53 @@
+(** The differential-testing oracle: a deliberately naive reference
+    verifier, independent of every optimized code path.
+
+    The optimized stack earns its trust by agreeing with this one on an
+    unbounded stream of generated workloads (the [verifyio fuzz]
+    subcommand): where {!Conflict.detect} sweeps sorted intervals, the
+    oracle compares every pair of data operations; where {!Reach} engines
+    precompute clocks, closures or memoized reachable sets, the oracle
+    re-runs a plain depth-first search for every single happens-before
+    query; where {!Verify.run} prunes whole conflict groups with the
+    Fig. 3 rules and memoizes pair verdicts, the oracle checks both
+    directions of every pair from scratch; and where {!Pipeline.prepare}
+    shares artifacts across models, the oracle re-derives everything per
+    call.
+
+    Only trace decoding ({!Op.decode}), MPI matching ({!Match_mpi.run})
+    and happens-before graph {e construction} ({!Hb_graph.build}) are
+    reused — they define the input, not the verdict; graph {e traversal}
+    is the oracle's own. Intended for small generated traces: every
+    happens-before query costs a full O(V+E) search. *)
+
+type verdict = {
+  races : (int * int) list;
+      (** racing op-index pairs, [rx < ry], sorted — comparable to the
+          [(rx, ry)] projection of {!Pipeline.outcome} races *)
+  conflicts : int;  (** distinct unordered conflicting pairs *)
+  unmatched : int;  (** unmatched MPI diagnostics *)
+}
+
+val conflict_pairs : Op.decoded -> (int * int) list
+(** Every conflicting pair by brute force: all (i, j) with [i < j],
+    different ranks, same file, overlapping non-empty intervals, at least
+    one write. Sorted. *)
+
+val reaches : Hb_graph.t -> int -> int -> bool
+(** One fresh depth-first search over {!Hb_graph.succs} per call (no
+    memoization, no precomputation); reflexive like {!Reach.reaches}. *)
+
+val properly_synchronized :
+  Model.t -> Hb_graph.t -> Op.decoded -> x:int -> y:int -> bool
+(** Def. 6 by exhaustive search: a read [x] needs a happens-before path
+    to [y]; a write [x] needs one of the model's MSCs instantiated by
+    trying {e every} operation of the trace as each sync step. Raises
+    [Invalid_argument] when [x] is not a data operation. *)
+
+val verify :
+  ?models:Model.t list ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  (Model.t * verdict) list
+(** Decode, match, build the graph, then derive each model's verdict the
+    slow way. [models] defaults to {!Model.builtin}. Strict decoding
+    only — generated traces are pristine by construction. *)

@@ -58,24 +58,47 @@ let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
               incr fast;
               rule_hits.(0) <- rule_hits.(0) + 1
             end
-            else if ps ys.(n - 1) x then begin
-              (* rule 2 *)
-              incr fast;
-              rule_hits.(1) <- rule_hits.(1) + 1
-            end
             else begin
-              (* Rules 3 and 4 suppress whole directions. *)
-              let x_may_precede = ps x ys.(n - 1) in
-              let y_may_precede = ps ys.(0) x in
-              if not x_may_precede then rule_hits.(2) <- rule_hits.(2) + 1;
-              if not y_may_precede then rule_hits.(3) <- rule_hits.(3) + 1;
-              Array.iter
-                (fun y ->
-                  let ok =
-                    (x_may_precede && ps x y) || (y_may_precede && ps y x)
-                  in
-                  if not ok then note_race x y)
-                ys
+              (* The Y -ps-> X direction is only monotone in program order
+                 within one access kind: Def. 6 synchronizes a read by plain
+                 happens-before but a write by a full MSC instantiation, so
+                 a read Y can be properly synchronized before X while an
+                 earlier (or later) write Y is not. Rules 2 and 4 therefore
+                 take their boundary ops per kind. *)
+              let reads, writes =
+                Array.to_list ys
+                |> List.partition (fun y -> not (Op.is_write (Op.op d y)))
+              in
+              let last_precedes = function
+                | [] -> true
+                | l -> ps (List.nth l (List.length l - 1)) x
+              in
+              if last_precedes reads && last_precedes writes then begin
+                (* rule 2, per kind *)
+                incr fast;
+                rule_hits.(1) <- rule_hits.(1) + 1
+              end
+              else begin
+                (* Rules 3 and 4 suppress whole directions. *)
+                let x_may_precede = ps x ys.(n - 1) in
+                let first_precedes = function [] -> false | y :: _ -> ps y x in
+                let read_may_precede = first_precedes reads in
+                let write_may_precede = first_precedes writes in
+                if not x_may_precede then rule_hits.(2) <- rule_hits.(2) + 1;
+                if not (read_may_precede || write_may_precede) then
+                  rule_hits.(3) <- rule_hits.(3) + 1;
+                Array.iter
+                  (fun y ->
+                    let y_may_precede =
+                      if Op.is_write (Op.op d y) then write_may_precede
+                      else read_may_precede
+                    in
+                    let ok =
+                      (x_may_precede && ps x y) || (y_may_precede && ps y x)
+                    in
+                    if not ok then note_race x y)
+                  ys
+              end
             end)
         g.Conflict.peers)
     groups;

@@ -11,11 +11,17 @@
     + ¬[X -ps-> Yn] ⟹  ¬[X -ps-> Yi] for all i (skip that direction);
     + ¬[Y1 -ps-> X] ⟹  ¬[Yi -ps-> X] for all i (skip that direction).
 
-    (Rules 1-3 are sound because an MSC's first/last edge composes with
-    program order on the peer side; rule 4 because a Yi-to-X construct for
-    a later Yi prefixes one for Y1.) Groups that none of the rules decide
-    fall back to pairwise checks, with rules 3/4 still suppressing whole
-    directions. *)
+    Rules 1 and 3 are sound as stated: they vary Y only as the {e target}
+    of [ps], and an MSC's last edge composes with program order on the
+    target side whatever X's kind. Rules 2 and 4 vary Y as the {e source},
+    and Def. 6 gives read and write sources different predicates (plain
+    happens-before vs. a full MSC construct) — [Yi -ps-> X] is monotone in
+    program order only among Ys of one access kind. The implementation
+    therefore applies rules 2 and 4 with per-kind boundary ops (the last,
+    respectively first, conflicting read and write on the peer rank); the
+    differential fuzz oracle caught the unsplit variant reporting false
+    races on mixed read/write groups. Groups no rule decides fall back to
+    pairwise checks, with rules 3/4 still suppressing whole directions. *)
 
 type confidence =
   | Definite  (** both ops decoded cleanly from an intact trace region *)

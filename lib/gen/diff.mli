@@ -1,0 +1,67 @@
+(** The differential check: every optimized verification path against
+    the naive {!Verifyio.Oracle}, plus greedy shrinking of programs
+    whose verdicts diverge.
+
+    One {!check} compares, per builtin model, the race-pair set,
+    conflict-pair count and unmatched-MPI count of each subject against
+    the oracle's:
+
+    - [engine:<name>] — {!Verifyio.Pipeline.verify_shared} pinned to
+      each of the four {!Verifyio.Reach} engines;
+    - [sequential] — {!Verifyio.Pipeline.verify_all_models}, the
+      nothing-shared per-model baseline;
+    - [shared] — {!Verifyio.Pipeline.verify_shared} with dynamic engine
+      selection;
+    - [batch:<k>] — {!Verifyio.Batch.run} at every domain count in
+      [domains] (default 1–4).
+
+    A {!mutation} lets the test suite break one subject on purpose and
+    confirm the harness catches and shrinks it — the mutation smoke
+    check of the fuzz tests. *)
+
+type divergence = {
+  subject : string;  (** e.g. ["engine:vector-clock"], ["batch:2"] *)
+  model : string;
+  expected : string;  (** rendered oracle verdict *)
+  got : string;  (** rendered subject verdict *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type mutation = {
+  target : string;
+      (** subject-name prefix the mutation applies to; [""] hits all *)
+  rewrite : (int * int) list -> (int * int) list;
+      (** applied to the matching subjects' race-pair lists before
+          comparison — simulates a broken engine *)
+}
+
+val subject_names : domains:int list -> string list
+(** The subjects a {!check} with these domain counts compares, in
+    comparison order. *)
+
+val check :
+  ?mutation:mutation ->
+  ?domains:int list ->
+  nranks:int ->
+  Recorder.Record.t list ->
+  divergence list
+(** Empty means every subject agreed with the oracle on every model.
+    Strict decoding; raises like the pipeline would on a malformed
+    trace (generated traces never are). *)
+
+val check_program :
+  ?mutation:mutation -> ?domains:int list -> Workload.program -> divergence list
+(** {!Workload.run} then {!check}. *)
+
+val shrink :
+  ?budget:int ->
+  interesting:(Workload.program -> bool) ->
+  Workload.program ->
+  Workload.program
+(** Greedy delta-debugging over the step list: repeatedly delete the
+    largest chunk of steps that keeps [interesting] true (halving the
+    chunk size down to single steps), until a pass removes nothing or
+    the evaluation [budget] (default 400 candidate runs) is spent. The
+    input must itself be interesting; every candidate is a valid
+    program by {!Workload}'s subset-closure property. *)

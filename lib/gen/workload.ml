@@ -1,0 +1,350 @@
+module E = Mpisim.Engine
+module M = Mpisim.Mpi
+module F = Posixfs.Fs
+module MF = Mpiio.File
+
+type comm = World | Split of int
+
+type coll = Barrier | Allreduce | Bcast | Allgather | Ibarrier
+
+type step =
+  | Pwrite of { rank : int; file : int; off : int; len : int }
+  | Pread of { rank : int; file : int; off : int; len : int }
+  | Fsync of { rank : int; file : int }
+  | Reopen of { rank : int; file : int }
+  | Coll of { comm : comm; coll : coll }
+  | P2p of { src : int; dst : int; wildcard : bool; nonblocking : bool }
+  | Chain of comm
+  | Comm_split of { ways : int }
+  | M_open of { comm : comm; file : int; cb : bool }
+  | M_write_at_all of { handle : int; off : int; len : int; each : bool }
+  | M_read_at_all of { handle : int; off : int; len : int; each : bool }
+  | M_write_at of { rank : int; handle : int; off : int; len : int }
+  | M_read_at of { rank : int; handle : int; off : int; len : int }
+  | M_sync of { handle : int }
+  | M_close of { handle : int }
+  | Overlap_ibarrier of { file : int; off : int; len : int }
+
+type program = {
+  seed : int;
+  nranks : int;
+  nfiles : int;
+  steps : step list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Generation                                                         *)
+(* ---------------------------------------------------------------- *)
+
+(* A plain LCG; splitmix-style seed scrambling keeps adjacent seeds from
+   producing near-identical programs. *)
+type rng = { mutable s : int }
+
+let mk_rng seed =
+  let s = (seed * 0x9E3779B9) lxor (seed lsr 7) lxor 0x5DEECE66D in
+  { s = s land 0x3FFFFFFF }
+
+let rand r n =
+  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  if n <= 1 then 0 else r.s mod n
+
+let pick r l = List.nth l (rand r (List.length l))
+
+let generate ?(max_steps = 16) ~seed () =
+  let r = mk_rng seed in
+  let nranks = 2 + rand r 3 in
+  let nfiles = 1 + rand r 2 in
+  let nsteps = 4 + rand r (max 1 (max_steps - 3)) in
+  let splits = ref 0 in
+  let open_handles = ref [] in
+  let next_handle = ref 0 in
+  let any_comm () =
+    if !splits = 0 || rand r 3 > 0 then World else Split (rand r !splits)
+  in
+  let rank () = rand r nranks in
+  let file () = rand r nfiles in
+  (* Offsets snap to an 8-byte grid half the time so duplicate starts and
+     exactly-touching ranges are common, not freak accidents. *)
+  let off () = if rand r 2 = 0 then 8 * rand r 8 else rand r 64 in
+  let len () = if rand r 12 = 0 then 0 else 1 + rand r 11 in
+  let data_op () =
+    if rand r 5 < 3 then
+      Pwrite { rank = rank (); file = file (); off = off (); len = len () }
+    else Pread { rank = rank (); file = file (); off = off (); len = len () }
+  in
+  let sync_idiom () =
+    match rand r 3 with
+    | 0 ->
+      (* commit idiom: publish, then rendezvous *)
+      [ Fsync { rank = rank (); file = file () };
+        Coll { comm = World; coll = Barrier } ]
+    | 1 ->
+      (* session idiom: writer closes, rendezvous, reader reopens *)
+      [ Reopen { rank = rank (); file = file () };
+        Coll { comm = World; coll = Barrier };
+        Reopen { rank = rank (); file = file () } ]
+    | _ ->
+      (* publish then order through a message chain instead of a barrier *)
+      [ Fsync { rank = rank (); file = file () }; Chain World ]
+  in
+  let mpiio_op () =
+    match !open_handles with
+    | [] ->
+      let h = !next_handle in
+      incr next_handle;
+      open_handles := h :: !open_handles;
+      [ M_open { comm = any_comm (); file = file (); cb = rand r 2 = 0 } ]
+    | hs -> (
+      let handle = pick r hs in
+      match rand r 7 with
+      | 0 | 1 ->
+        [ M_write_at_all
+            { handle; off = 8 * rand r 6; len = 1 + rand r 6;
+              each = rand r 2 = 0 } ]
+      | 2 ->
+        [ M_read_at_all
+            { handle; off = 8 * rand r 6; len = 1 + rand r 6;
+              each = rand r 2 = 0 } ]
+      | 3 ->
+        [ M_write_at { rank = rank (); handle; off = off (); len = 1 + rand r 6 } ]
+      | 4 ->
+        [ M_read_at { rank = rank (); handle; off = off (); len = 1 + rand r 6 } ]
+      | 5 -> [ M_sync { handle } ]
+      | _ ->
+        open_handles := List.filter (fun h -> h <> handle) !open_handles;
+        [ M_close { handle } ])
+  in
+  let rec build acc n =
+    if n <= 0 then List.rev acc
+    else
+      let emitted =
+        match rand r 100 with
+        | w when w < 32 -> [ data_op () ]
+        | w when w < 44 -> sync_idiom ()
+        | w when w < 54 ->
+          if rand r 6 = 0 then
+            [ Overlap_ibarrier { file = file (); off = off (); len = 1 + rand r 4 } ]
+          else
+            [ Coll
+                { comm = any_comm ();
+                  coll = pick r [ Barrier; Allreduce; Bcast; Allgather; Ibarrier ] } ]
+        | w when w < 66 ->
+          [ P2p
+              { src = rank (); dst = rank (); wildcard = rand r 3 = 0;
+                nonblocking = rand r 2 = 0 } ]
+        | w when w < 73 -> [ Chain (any_comm ()) ]
+        | w when w < 79 ->
+          if !splits < 2 && nranks > 2 then begin
+            incr splits;
+            [ Comm_split { ways = 2 + rand r 2 } ]
+          end
+          else [ Coll { comm = any_comm (); coll = Barrier } ]
+        | _ -> mpiio_op ()
+      in
+      build (List.rev_append emitted acc) (n - List.length emitted)
+  in
+  { seed; nranks; nfiles; steps = build [] nsteps }
+
+(* ---------------------------------------------------------------- *)
+(* Interpretation                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let fname f = Printf.sprintf "/f%d" f
+
+let payload i len = Bytes.make len (Char.chr (65 + (i mod 26)))
+
+(* Every rank runs this; steps that do not involve the rank are skipped
+   locally. Steps whose prerequisites were shrunk away (a handle with no
+   open, a split that no longer exists) degrade identically on every
+   rank, so any step subset executes deadlock-free. *)
+let interpret (p : program) (ctx : E.ctx) fs =
+  let rank = ctx.E.rank in
+  let world = M.comm_world ctx in
+  let comms = ref [||] in
+  let comm_of = function
+    | World -> world
+    | Split i -> if i < Array.length !comms then !comms.(i) else world
+  in
+  let fds =
+    Array.init p.nfiles (fun f ->
+        F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] (fname f))
+  in
+  if rank = 0 then
+    Array.iteri
+      (fun f fd -> ignore (F.pwrite fs ~rank fd ~off:0 (payload f 48)))
+      fds;
+  M.barrier ctx world;
+  (* Handle ids mirror generator numbering: the n-th executed M_open is
+     handle n. The table keeps the opening communicator alongside the
+     handle for per-rank offset computation. *)
+  let handles : (int, Mpisim.Comm.t * MF.t) Hashtbl.t = Hashtbl.create 4 in
+  let opened = ref 0 in
+  List.iteri
+    (fun i step ->
+      let tag = 10 + i in
+      match step with
+      | Pwrite { rank = r; file; off; len } ->
+        if rank = r then ignore (F.pwrite fs ~rank fds.(file) ~off (payload i len))
+      | Pread { rank = r; file; off; len } ->
+        if rank = r then ignore (F.pread fs ~rank fds.(file) ~off ~len)
+      | Fsync { rank = r; file } -> if rank = r then F.fsync fs ~rank fds.(file)
+      | Reopen { rank = r; file } ->
+        if rank = r then begin
+          F.close fs ~rank fds.(file);
+          fds.(file) <-
+            F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] (fname file)
+        end
+      | Coll { comm; coll } -> (
+        let c = comm_of comm in
+        match coll with
+        | Barrier -> M.barrier ctx c
+        | Allreduce -> ignore (M.allreduce ctx ~op:M.Sum ~comm:c [| rank |])
+        | Bcast -> ignore (M.bcast ctx ~root:0 ~comm:c (payload i 2))
+        | Allgather -> ignore (M.allgather ctx ~comm:c (payload i 1))
+        | Ibarrier ->
+          let rq = M.ibarrier ctx c in
+          ignore (M.wait ctx rq))
+      | P2p { src; dst; wildcard; nonblocking } ->
+        (* Tags are unique per step and receives always name their tag,
+           so a wildcard source can only match this step's message. *)
+        if rank = src then begin
+          if nonblocking then begin
+            let rq = M.isend ctx ~dst ~tag ~comm:world (payload i 3) in
+            ignore (M.wait ctx rq)
+          end
+          else M.send ctx ~dst ~tag ~comm:world (payload i 3)
+        end;
+        if rank = dst then begin
+          let s = if wildcard then M.any_source else src in
+          if nonblocking then begin
+            let rq = M.irecv ctx ~src:s ~tag ~comm:world in
+            ignore (M.wait ctx rq)
+          end
+          else ignore (M.recv ctx ~src:s ~tag ~comm:world)
+        end
+      | Chain comm ->
+        let c = comm_of comm in
+        let sz = M.comm_size ctx c in
+        let cr = M.comm_rank ctx c in
+        if sz > 1 then begin
+          if cr > 0 then ignore (M.recv ctx ~src:(cr - 1) ~tag ~comm:c);
+          if cr < sz - 1 then M.send ctx ~dst:(cr + 1) ~tag ~comm:c (payload i 1)
+        end
+      | Comm_split { ways } ->
+        let nc = M.comm_split ctx ~color:(rank mod ways) ~key:0 world in
+        comms := Array.append !comms [| nc |]
+      | M_open { comm; file; cb } ->
+        let c = comm_of comm in
+        let hints = if cb then [ ("romio_cb_write", "enable") ] else [] in
+        let h =
+          MF.open_ ctx ~comm:c ~fs ~hints ~amode:[ MF.Create; MF.Rdwr ]
+            (fname file)
+        in
+        Hashtbl.replace handles !opened (c, h);
+        incr opened
+      | M_write_at_all { handle; off; len; each } -> (
+        match Hashtbl.find_opt handles handle with
+        | None -> ()
+        | Some (c, h) ->
+          let cr = M.comm_rank ctx c in
+          let off = if each then off + (cr * len) else off in
+          MF.write_at_all ctx h ~off (payload i len))
+      | M_read_at_all { handle; off; len; each } -> (
+        match Hashtbl.find_opt handles handle with
+        | None -> ()
+        | Some (c, h) ->
+          let cr = M.comm_rank ctx c in
+          let off = if each then off + (cr * len) else off in
+          ignore (MF.read_at_all ctx h ~off ~len))
+      | M_write_at { rank = r; handle; off; len } -> (
+        match Hashtbl.find_opt handles handle with
+        | None -> ()
+        | Some (_, h) -> if rank = r then MF.write_at ctx h ~off (payload i len))
+      | M_read_at { rank = r; handle; off; len } -> (
+        match Hashtbl.find_opt handles handle with
+        | None -> ()
+        | Some (_, h) -> if rank = r then ignore (MF.read_at ctx h ~off ~len))
+      | M_sync { handle } -> (
+        match Hashtbl.find_opt handles handle with
+        | None -> ()
+        | Some (_, h) -> MF.sync ctx h)
+      | M_close { handle } -> (
+        match Hashtbl.find_opt handles handle with
+        | None -> ()
+        | Some (_, h) ->
+          MF.close ctx h;
+          Hashtbl.remove handles handle)
+      | Overlap_ibarrier { file; off; len } ->
+        let rq = M.ibarrier ctx world in
+        ignore (F.pwrite fs ~rank fds.(file) ~off:(off + (rank * len)) (payload i len));
+        ignore (M.wait ctx rq))
+    p.steps;
+  (* Epilogue: close surviving handles in id order (the set and order are
+     identical on every rank), rendezvous, release the descriptors. *)
+  Hashtbl.fold (fun id _ acc -> id :: acc) handles []
+  |> List.sort compare
+  |> List.iter (fun id -> MF.close ctx (snd (Hashtbl.find handles id)));
+  M.barrier ctx world;
+  Array.iter (fun fd -> F.close fs ~rank fd) fds
+
+let run (p : program) =
+  let trace = Recorder.Trace.create ~nranks:p.nranks in
+  let fs = F.create ~trace ~model:F.Posix () in
+  let eng = E.create ~trace ~nranks:p.nranks () in
+  E.run eng (fun ctx -> interpret p ctx fs);
+  Recorder.Trace.records trace
+
+(* ---------------------------------------------------------------- *)
+(* Rendering                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let comm_to_string = function
+  | World -> "world"
+  | Split i -> Printf.sprintf "split%d" i
+
+let coll_to_string = function
+  | Barrier -> "barrier"
+  | Allreduce -> "allreduce"
+  | Bcast -> "bcast"
+  | Allgather -> "allgather"
+  | Ibarrier -> "ibarrier"
+
+let step_to_string = function
+  | Pwrite { rank; file; off; len } ->
+    Printf.sprintf "pwrite   rank=%d file=%d [%d,%d)" rank file off (off + len)
+  | Pread { rank; file; off; len } ->
+    Printf.sprintf "pread    rank=%d file=%d [%d,%d)" rank file off (off + len)
+  | Fsync { rank; file } -> Printf.sprintf "fsync    rank=%d file=%d" rank file
+  | Reopen { rank; file } -> Printf.sprintf "reopen   rank=%d file=%d" rank file
+  | Coll { comm; coll } ->
+    Printf.sprintf "coll     %s@%s" (coll_to_string coll) (comm_to_string comm)
+  | P2p { src; dst; wildcard; nonblocking } ->
+    Printf.sprintf "p2p      %d->%d%s%s" src dst
+      (if wildcard then " any-source" else "")
+      (if nonblocking then " nonblocking" else "")
+  | Chain comm -> Printf.sprintf "chain    @%s" (comm_to_string comm)
+  | Comm_split { ways } -> Printf.sprintf "split    %d-way" ways
+  | M_open { comm; file; cb } ->
+    Printf.sprintf "mf_open  file=%d @%s%s" file (comm_to_string comm)
+      (if cb then " cb=enable" else "")
+  | M_write_at_all { handle; off; len; each } ->
+    Printf.sprintf "mf_write_at_all h%d [%d,%d)%s" handle off (off + len)
+      (if each then " per-rank" else " shared")
+  | M_read_at_all { handle; off; len; each } ->
+    Printf.sprintf "mf_read_at_all  h%d [%d,%d)%s" handle off (off + len)
+      (if each then " per-rank" else " shared")
+  | M_write_at { rank; handle; off; len } ->
+    Printf.sprintf "mf_write_at     h%d rank=%d [%d,%d)" handle rank off (off + len)
+  | M_read_at { rank; handle; off; len } ->
+    Printf.sprintf "mf_read_at      h%d rank=%d [%d,%d)" handle rank off (off + len)
+  | M_sync { handle } -> Printf.sprintf "mf_sync  h%d" handle
+  | M_close { handle } -> Printf.sprintf "mf_close h%d" handle
+  | Overlap_ibarrier { file; off; len } ->
+    Printf.sprintf "ibarrier+pwrite file=%d base=%d len=%d" file off len
+
+let pp_program fmt (p : program) =
+  Format.fprintf fmt "seed %d: %d ranks, %d files, %d steps@." p.seed p.nranks
+    p.nfiles (List.length p.steps);
+  List.iteri
+    (fun i s -> Format.fprintf fmt "  %2d. %s@." i (step_to_string s))
+    p.steps

@@ -1,0 +1,89 @@
+(** Seeded random workload generation for differential fuzzing.
+
+    A {!program} is a flat list of {!step}s over the simulated stack —
+    POSIX and MPI-IO data operations, point-to-point messages (wildcard
+    and non-blocking included), blocking and non-blocking collectives,
+    communicator splits, and the synchronization idioms real codes use
+    (fsync-then-barrier, close/barrier/reopen sessions, send-recv
+    chains). Missing-synchronization scenarios need no special casing:
+    the generator simply does not always emit the sync half of an idiom,
+    so a stream of programs covers both racy and properly-synchronized
+    executions of the same shapes.
+
+    Programs are deterministic twice over: {!generate} is a pure
+    function of its seed, and {!run} executes on the deterministic
+    {!Mpisim.Engine} scheduler, so a (seed, step list) pair always
+    yields the same trace structure.
+
+    Every subset of a program's steps is itself a valid program: the
+    interpreter skips steps whose prerequisites were removed (an MPI-IO
+    access whose collective open is gone, a collective on a split that
+    no longer exists falls back to the world communicator) —
+    identically on every rank, so no removal can introduce a mismatch
+    or deadlock. {!Diff.shrink} leans on this to minimize failing
+    programs by plain step deletion. *)
+
+type comm =
+  | World
+  | Split of int
+      (** the communicator this rank obtained from the program's n-th
+          {!Comm_split} step; out-of-range (e.g. after shrinking away
+          the split) falls back to {!World} *)
+
+type coll = Barrier | Allreduce | Bcast | Allgather | Ibarrier
+
+type step =
+  | Pwrite of { rank : int; file : int; off : int; len : int }
+  | Pread of { rank : int; file : int; off : int; len : int }
+  | Fsync of { rank : int; file : int }  (** commit-class sync *)
+  | Reopen of { rank : int; file : int }
+      (** close then open — the two halves of a session boundary *)
+  | Coll of { comm : comm; coll : coll }
+  | P2p of { src : int; dst : int; wildcard : bool; nonblocking : bool }
+      (** one message, tag = step position; [wildcard] receives with
+          [MPI_ANY_SOURCE], [nonblocking] uses isend/irecv + wait *)
+  | Chain of comm
+      (** send-recv chain: comm rank i receives from i-1, sends to i+1
+          — a happens-before path through every member *)
+  | Comm_split of { ways : int }  (** color = world rank mod ways *)
+  | M_open of { comm : comm; file : int; cb : bool }
+      (** collective [MPI_File_open] of the same file namespace the
+          POSIX steps use; [cb] forces collective buffering
+          ([romio_cb_write=enable]), re-routing bytes through the
+          aggregator rank's descriptor *)
+  | M_write_at_all of { handle : int; off : int; len : int; each : bool }
+      (** collective write; [each] shifts every rank to a disjoint
+          slot ([off + comm_rank * len]), otherwise all ranks target
+          the same range *)
+  | M_read_at_all of { handle : int; off : int; len : int; each : bool }
+  | M_write_at of { rank : int; handle : int; off : int; len : int }
+  | M_read_at of { rank : int; handle : int; off : int; len : int }
+  | M_sync of { handle : int }
+  | M_close of { handle : int }
+  | Overlap_ibarrier of { file : int; off : int; len : int }
+      (** [MPI_Ibarrier], a per-rank disjoint [pwrite] while the
+          collective is in flight, then the wait *)
+
+type program = {
+  seed : int;
+  nranks : int;  (** 2–4 *)
+  nfiles : int;  (** POSIX/MPI-IO shared file namespace, 1–2 files *)
+  steps : step list;
+}
+
+val generate : ?max_steps:int -> seed:int -> unit -> program
+(** Deterministic in [seed]. [max_steps] (default 16) bounds the step
+    count; idiom expansions may exceed it by a step or two. *)
+
+val run : program -> Recorder.Record.t list
+(** Execute on a fresh traced stack. The interpreter wraps the steps in
+    a fixed prologue (every rank opens the files; rank 0 seeds base
+    contents; barrier) and epilogue (close surviving MPI-IO handles,
+    barrier, close the files), so session and EOF state are always
+    well-defined. *)
+
+val step_to_string : step -> string
+
+val pp_program : Format.formatter -> program -> unit
+(** Multi-line rendering, one numbered step per line — the shape a
+    shrunken repro is reported in. *)

@@ -1,0 +1,37 @@
+The fuzz subcommand generates seeded random workloads and checks every
+optimized verification path against the brute-force oracle. All of its
+output is derived from the seed — program shapes, record counts, oracle
+verdicts — so the smoke campaign locks byte-for-byte:
+
+  $ ../../bin/verifyio_cli.exe fuzz --smoke --seed 42
+  fuzz: seed 42, 8 program(s) (smoke)
+  subjects: engine:vector-clock, engine:graph-reachability, engine:transitive-closure, engine:on-the-fly, sequential, shared, batch:1, batch:2
+    seed 42: 2 ranks, 52 records, 1 conflict pair(s), races 0/0/1/1
+    seed 43: 3 ranks, 67 records, 7 conflict pair(s), races 1/7/7/7
+    seed 44: 3 ranks, 50 records, 3 conflict pair(s), races 0/3/3/3
+    seed 45: 4 ranks, 42 records, 0 conflict pair(s), races 0/0/0/0
+    seed 46: 2 ranks, 37 records, 0 conflict pair(s), races 0/0/0/0
+    seed 47: 4 ranks, 49 records, 1 conflict pair(s), races 0/1/1/1
+    seed 48: 4 ranks, 90 records, 5 conflict pair(s), races 3/3/3/5
+    seed 49: 2 ranks, 26 records, 1 conflict pair(s), races 0/1/1/1
+  checked 8 program(s): 413 records, 18 oracle conflict pair(s), 19 racy verdict(s)
+  divergences: 0
+
+Replaying the committed corpus re-verifies every saved trace through all
+subjects. seed41.vio-trace is the regression witness for the per-kind
+split of pruning rules 2/4 in Verify.run (a mixed read/write peer group
+once produced a false race); a divergence here would exit 4:
+
+  $ ../../bin/verifyio_cli.exe fuzz --replay ../fuzz_corpus
+  replay: ../fuzz_corpus (10 trace(s))
+    seed1.vio-trace: 2 ranks, 25 records, 1 conflict pair(s), races 0/1/1/1
+    seed10.vio-trace: 2 ranks, 63 records, 2 conflict pair(s), races 0/2/2/2
+    seed11.vio-trace: 3 ranks, 59 records, 4 conflict pair(s), races 0/4/4/4
+    seed2.vio-trace: 2 ranks, 44 records, 2 conflict pair(s), races 0/2/2/2
+    seed3.vio-trace: 3 ranks, 86 records, 13 conflict pair(s), races 0/3/11/11
+    seed41.vio-trace: 2 ranks, 56 records, 3 conflict pair(s), races 0/2/2/2
+    seed494.vio-trace: 3 ranks, 80 records, 4 conflict pair(s), races 0/0/3/3
+    seed7.vio-trace: 3 ranks, 69 records, 5 conflict pair(s), races 0/5/2/2
+    seed8.vio-trace: 2 ranks, 56 records, 2 conflict pair(s), races 0/2/2/2
+    seed9.vio-trace: 3 ranks, 44 records, 3 conflict pair(s), races 0/3/3/3
+  replay: 0 divergent trace(s) of 10

@@ -73,6 +73,52 @@ let test_adjacent_ranges_no_conflict () =
   in
   check_int "adjacent is not overlapping" 0 (V.Conflict.distinct_pairs groups)
 
+let test_touching_boundary_cases () =
+  (* [0,8) vs [8,16) share only the boundary offset (oe = os): no overlap.
+     A third access [7,9) straddles the boundary and conflicts with both
+     cross-rank writes. *)
+  let _, groups =
+    groups_of ~nranks:3 (fun ctx fs ->
+        let fd = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+        (match ctx.E.rank with
+        | 0 -> ignore (F.pwrite fs ~rank:0 fd ~off:0 (Bytes.make 8 'a'))
+        | 1 -> ignore (F.pwrite fs ~rank:1 fd ~off:8 (Bytes.make 8 'b'))
+        | _ -> ignore (F.pwrite fs ~rank:2 fd ~off:7 (Bytes.make 2 'c')));
+        F.close fs ~rank:ctx.E.rank fd)
+  in
+  check_int "only the straddler conflicts, once per neighbour" 2
+    (V.Conflict.distinct_pairs groups)
+
+let test_zero_length_never_conflicts () =
+  (* A zero-length write carries an empty interval: it must not pair with
+     anything, even when its offset lies inside a non-empty write. *)
+  let _, groups =
+    groups_of ~nranks:2 (fun ctx fs ->
+        let fd = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+        (if ctx.E.rank = 0 then
+           ignore (F.pwrite fs ~rank:0 fd ~off:0 (Bytes.make 16 'a'))
+         else begin
+           ignore (F.pwrite fs ~rank:1 fd ~off:4 Bytes.empty);
+           ignore (F.pread fs ~rank:1 fd ~off:8 ~len:0)
+         end);
+        F.close fs ~rank:ctx.E.rank fd)
+  in
+  check_int "empty intervals are exempt" 0 (V.Conflict.distinct_pairs groups)
+
+let test_duplicate_offsets () =
+  (* Several ops with the identical interval on each side: the sweep's
+     order-by-offset tie-breaking must still produce every cross-rank
+     pair exactly once. *)
+  let _, groups =
+    groups_of ~nranks:2 (fun ctx fs ->
+        let fd = F.openf fs ~rank:ctx.E.rank ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
+        ignore (F.pwrite fs ~rank:ctx.E.rank fd ~off:4 (Bytes.make 4 'x'));
+        ignore (F.pwrite fs ~rank:ctx.E.rank fd ~off:4 (Bytes.make 4 'y'));
+        F.close fs ~rank:ctx.E.rank fd)
+  in
+  check_int "2x2 identical intervals" 4 (V.Conflict.distinct_pairs groups);
+  check_int "mirrored groups, one per op" 4 (List.length groups)
+
 let test_group_structure () =
   (* Rank 0 writes [0,16); ranks 1 and 2 each read pieces of it twice. *)
   let d, groups =
@@ -193,6 +239,11 @@ let () =
             test_different_files_no_conflict;
           Alcotest.test_case "adjacent exempt" `Quick
             test_adjacent_ranges_no_conflict;
+          Alcotest.test_case "touching boundary" `Quick
+            test_touching_boundary_cases;
+          Alcotest.test_case "zero-length exempt" `Quick
+            test_zero_length_never_conflicts;
+          Alcotest.test_case "duplicate offsets" `Quick test_duplicate_offsets;
         ] );
       ( "groups",
         [

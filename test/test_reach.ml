@@ -167,6 +167,58 @@ let prop_engines_pairwise_equal =
       done;
       !ok)
 
+(* Stronger agreement property for the differential-fuzzing PR: engines
+   must agree on [concurrent] as well as [reaches], the diagonal must be
+   reflexive (hence never concurrent), and programs that open with a
+   collective exercise the synthetic-source corner — the first real op of
+   every rank then hangs off a synthetic collective node, where
+   vector-clock positions are easiest to get wrong. *)
+let prop_engines_agree_reaches_and_concurrent =
+  QCheck2.Test.make
+    ~name:"random programs: engines agree on reaches and concurrent"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 2 4))
+    (fun (seed, nranks) ->
+      let g =
+        graph_of ~nranks (fun ctx fs ->
+            (* Barrier before any file op: rank chains start at a node
+               whose only hb predecessor is a synthetic collective. *)
+            Mpisim.Mpi.barrier ctx (Mpisim.Mpi.comm_world ctx);
+            random_program seed ~rounds:5 ctx fs)
+      in
+      let rs = List.map (fun e -> V.Reach.create e g) V.Reach.all_engines in
+      let n = V.Hb_graph.real_nodes g in
+      let agree a b =
+        match List.map (fun r -> V.Reach.reaches r a b) rs with
+        | [] -> true
+        | x :: rest -> List.for_all (( = ) x) rest
+      and agree_conc a b =
+        match List.map (fun r -> V.Reach.concurrent r a b) rs with
+        | [] -> true
+        | x :: rest -> List.for_all (( = ) x) rest
+      in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        (* Self-reachability corner: reflexive on every engine, so never
+           self-concurrent. *)
+        List.iter
+          (fun r ->
+            if not (V.Reach.reaches r v v) then ok := false;
+            if V.Reach.concurrent r v v then ok := false)
+          rs
+      done;
+      let step = max 1 (n / 10) in
+      let a = ref 0 in
+      while !a < n do
+        let b = ref 0 in
+        while !b < n do
+          if not (agree !a !b && agree_conc !a !b) then ok := false;
+          b := !b + step
+        done;
+        a := !a + step
+      done;
+      !ok)
+
 let () =
   Alcotest.run "reach"
     [
@@ -184,5 +236,8 @@ let () =
           Alcotest.test_case "memo caching" `Quick test_memo_engine_caches;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_engines_pairwise_equal ] );
+        [
+          QCheck_alcotest.to_alcotest prop_engines_pairwise_equal;
+          QCheck_alcotest.to_alcotest prop_engines_agree_reaches_and_concurrent;
+        ] );
     ]
