@@ -521,11 +521,11 @@ let batch_corpus () =
   section
     "Batch verification engine (extension): the full 91-workload corpus\n\
      through the sequential per-model pipeline vs Batch.run at 1/2/4\n\
-     domains (shared trace artifacts per job). Writes BENCH_pr2.json.";
-  let r = Workloads.Bench_report.run ~tag:"pr2" ~repeats:3 () in
+     domains (shared trace artifacts per job). Writes BENCH_pr4.json.";
+  let r = Workloads.Bench_report.run ~tag:"pr4" ~repeats:3 () in
   print_string (Workloads.Bench_report.summary r);
-  Workloads.Bench_report.write ~path:"BENCH_pr2.json" r;
-  print_endline "wrote BENCH_pr2.json (schema: EXPERIMENTS.md \"Perf trajectory\")"
+  Workloads.Bench_report.write ~path:"BENCH_pr4.json" r;
+  print_endline "wrote BENCH_pr4.json (schema: EXPERIMENTS.md \"Perf trajectory\")"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                             *)

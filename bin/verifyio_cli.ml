@@ -45,18 +45,23 @@ let parse_abort_rank = function
       | _ -> Error (Printf.sprintf "bad abort spec %S (want RANK:NCALLS)" spec))
     | _ -> Error (Printf.sprintf "bad abort spec %S (want RANK:NCALLS)" spec))
 
+(* Usage errors (bad flag values, missing files, unknown names) exit 2
+   with a one-line diagnostic; see [usage_exit] at the bottom for the
+   cmdliner-level equivalent. *)
+let usage_error = 2
+
 let run_workload name out scale abort_spec =
   match (Workloads.Registry.find name, parse_abort_rank abort_spec) with
   | None, _ ->
     Printf.eprintf "unknown workload %S (try `verifyio list`)\n" name;
-    1
+    usage_error
   | _, Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   | Some w, Ok (Some (r, _)) when r >= w.Workloads.Harness.nranks ->
     Printf.eprintf "abort rank %d out of range: %s has %d rank(s)\n" r name
       w.Workloads.Harness.nranks;
-    1
+    usage_error
   | Some w, Ok abort_rank ->
     let records = Workloads.Harness.run ?scale ?abort_rank w in
     let data = Recorder.Codec.encode ~nranks:w.nranks records in
@@ -145,7 +150,7 @@ let stats_cmd source =
   match load_source source with
   | Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   | Ok (nranks, records) ->
     let module R = Recorder.Record in
     Printf.printf "%d ranks, %d records\n\n" nranks (List.length records);
@@ -194,7 +199,7 @@ let graph_cmd source out =
   match load_source source with
   | Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   | Ok (nranks, records) ->
     let d = Verifyio.Op.decode ~nranks records in
     let m = Verifyio.Match_mpi.run d in
@@ -213,23 +218,34 @@ let graph_cmd source out =
     0
 
 let verify_cmd source model_name engine_name all_models limit grouped lenient
-    inject_spec seed =
+    partial budget inject_spec seed =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   in
   let mode =
     if lenient then Recorder.Diagnostic.Lenient else Recorder.Diagnostic.Strict
   in
   let* engine = resolve_engine engine_name in
+  let* () =
+    match budget with
+    | Some b when b < 1 -> Error "budget must be a positive step count"
+    | _ -> Ok ()
+  in
   let* plan = Recorder.Inject.plan_of_string inject_spec in
   let* nranks, records, upstream = load_source_ext ~mode ~plan ~seed source in
   let verify_one model =
+    (* A fresh budget per model: each model's verification pass gets the
+       full allowance, so `--all-models` verdicts match single-model
+       runs. *)
+    let budget = Option.map Vio_util.Budget.create budget in
     let o =
-      Verifyio.Pipeline.verify ?engine ~mode ~upstream ~model ~nranks records
+      Verifyio.Pipeline.verify ?engine ~mode ~upstream ~partial ?budget ~model
+        ~nranks records
     in
     if grouped then print_string (Verifyio.Report.grouped_report o)
     else print_string (Verifyio.Report.race_report ~limit o);
+    print_string (Verifyio.Report.unmatched_table o);
     print_string (Verifyio.Report.degradation_report o);
     Printf.printf "engine: %s\n"
       (Verifyio.Reach.engine_name o.Verifyio.Pipeline.engine_used);
@@ -241,17 +257,32 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
       t.Verifyio.Pipeline.t_verify;
     (* A lenient run succeeds when nothing definite is wrong: degradation
        and the Under_degradation verdicts it causes are reported, not
-       fatal. A strict run demands full proper synchronization. *)
-    if lenient then Verifyio.Pipeline.definite_races o = []
-    else Verifyio.Pipeline.is_properly_synchronized o
+       fatal. A strict run demands full proper synchronization — except
+       that with partial matching, unmatched calls downgrade the verdict
+       (exit 5) rather than fail it (exit 2). *)
+    let ok =
+      if lenient then Verifyio.Pipeline.definite_races o = []
+      else if partial then o.Verifyio.Pipeline.race_count = 0
+      else Verifyio.Pipeline.is_properly_synchronized o
+    in
+    if not ok then `Races
+    else if o.Verifyio.Pipeline.inventory <> [] then `Partial
+    else `Ok
   in
-  if all_models then begin
-    let ok = List.for_all verify_one Verifyio.Model.builtin in
-    if ok then 0 else 2
-  end
-  else
-    let* model = resolve_model model_name in
-    if verify_one model then 0 else 2
+  let* models =
+    if all_models then Ok Verifyio.Model.builtin
+    else Result.map (fun m -> [ m ]) (resolve_model model_name)
+  in
+  match List.map verify_one models with
+  | statuses ->
+    if List.mem `Races statuses then 2
+    else if List.mem `Partial statuses then 5
+    else 0
+  | exception (Vio_util.Budget.Exhausted _ as e) ->
+    (match Vio_util.Budget.describe e with
+    | Some msg -> Printf.eprintf "%s\n" msg
+    | None -> ());
+    6
 
 (* All-model summary of one source: a line per model plus, with
    [--grouped], the distinct racing call-chain pairs of each racy model.
@@ -260,7 +291,7 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
 let report_cmd source engine_name grouped =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   in
   let* engine = resolve_engine engine_name in
   let* nranks, records = load_source source in
@@ -313,7 +344,7 @@ let parse_domains = function
 let bench_cmd out tag domains_spec scale repeats smoke =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   in
   let* domains = parse_domains domains_spec in
   let domains =
@@ -477,10 +508,81 @@ let fuzz_generate seed count smoke shrink save_corpus domains =
   Printf.printf "divergences: %d\n" (List.length !divergent);
   if !divergent = [] then 0 else 4
 
-let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec =
+(* Resilience campaign: every generated program becomes a supervised
+   batch job (lenient decode + partial matching), one third of the seeds
+   mutated with a rank abort and one third with a tail truncation. The
+   supervisor guarantees every job ends in a verdict, a budget timeout,
+   or quarantine — never an uncaught exception. *)
+let fuzz_resilience seed count smoke retries budget =
+  let count = if smoke then 8 else count in
+  Printf.printf "resilience: seed %d, %d job(s), retries %d%s%s\n" seed count
+    retries
+    (match budget with
+    | Some b -> Printf.sprintf ", budget %d" b
+    | None -> "")
+    (if smoke then " (smoke)" else "");
+  let mutations = [| "pristine"; "abort"; "truncate" |] in
+  let jobs =
+    List.init count (fun i ->
+        let s = seed + i in
+        let p = Viogen.Workload.generate ~seed:s () in
+        let nranks = p.Viogen.Workload.nranks in
+        let kind = s mod 3 in
+        let records =
+          match kind with
+          | 1 ->
+            (* Rank abort: a rank dies mid-run, leaving in-flight
+               records. Rank and call-count choice are pure functions of
+               the seed. *)
+            let rank = (s / 3) mod nranks in
+            let ncalls = 1 + ((s / 7) mod 5) in
+            Viogen.Workload.run ~abort_rank:(rank, ncalls) p
+          | 2 ->
+            (* Tail truncation: the trace of a rank that stopped
+               reporting — well-formed but incomplete. *)
+            let records = Viogen.Workload.run p in
+            fst (Viogen.Mutate.random_truncation ~seed:s ~nranks records)
+          | _ -> Viogen.Workload.run p
+        in
+        Verifyio.Batch.job ~mode:Recorder.Diagnostic.Lenient ~partial:true
+          ?budget
+          ~name:(Printf.sprintf "seed%d/%s" s mutations.(kind))
+          ~nranks records)
+  in
+  let isolated = Verifyio.Batch.run_isolated ~retries jobs in
+  print_string (Verifyio.Report.quarantine_summary isolated);
+  let inventories = ref 0 and partial_races = ref 0 and mutated = ref 0 in
+  List.iter
+    (fun (i : Verifyio.Batch.isolated) ->
+      if
+        not
+          (Filename.check_suffix i.Verifyio.Batch.i_job.Verifyio.Batch.name
+             "pristine")
+      then incr mutated;
+      match i.Verifyio.Batch.i_status with
+      | Verifyio.Batch.Done outcomes ->
+        List.iter
+          (fun (_, (o : Verifyio.Pipeline.outcome)) ->
+            if o.Verifyio.Pipeline.inventory <> [] then incr inventories;
+            List.iter
+              (fun (r : Verifyio.Verify.race) ->
+                if r.Verifyio.Verify.confidence = Verifyio.Verify.Under_partial_order
+                then incr partial_races)
+              o.Verifyio.Pipeline.races)
+          outcomes
+      | _ -> ())
+    isolated;
+  Printf.printf
+    "campaign: %d mutated job(s); %d verdict(s) with unmatched inventories, \
+     %d race(s) under partial order\n"
+    !mutated !inventories !partial_races;
+  0
+
+let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
+    retries budget =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
-    1
+    usage_error
   in
   let* domains = parse_domains domains_spec in
   let domains =
@@ -488,14 +590,23 @@ let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec =
     | Some d -> d
     | None -> if smoke then [ 1; 2 ] else [ 1; 2; 3; 4 ]
   in
-  match replay with
-  | Some path ->
-    if Sys.file_exists path then fuzz_replay path domains
-    else begin
-      Printf.eprintf "no such trace or directory: %s\n" path;
-      1
-    end
-  | None -> fuzz_generate seed count smoke shrink save_corpus domains
+  let* () =
+    if retries < 0 then Error "retries must be >= 0"
+    else
+      match budget with
+      | Some b when b < 1 -> Error "budget must be a positive step count"
+      | _ -> Ok ()
+  in
+  if resilience then fuzz_resilience seed count smoke retries budget
+  else
+    match replay with
+    | Some path ->
+      if Sys.file_exists path then fuzz_replay path domains
+      else begin
+        Printf.eprintf "no such trace or directory: %s\n" path;
+        usage_error
+      end
+    | None -> fuzz_generate seed count smoke shrink save_corpus domains
 
 let models_cmd () =
   print_string (Verifyio.Report.table_i ());
@@ -588,6 +699,38 @@ let lenient_arg =
            verdicts touching degraded regions are marked accordingly, and a \
            degradation summary is printed.")
 
+let partial_arg =
+  Arg.(
+    value & flag
+    & info [ "partial-match" ]
+        ~doc:
+          "Partial MPI matching: record unmatched calls in a structured \
+           inventory, drop only the happens-before edges they (or \
+           inconsistent matched events) would have contributed, and keep \
+           verifying. Verdicts on implicated ranks are downgraded to \
+           $(i,under partial order); a race-free run with a nonempty \
+           inventory exits 5 (verified modulo unmatched calls).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"STEPS"
+        ~doc:
+          "Deterministic step budget per verification pass (records \
+           decoded, conflict pairs, graph edges, nodes, synchronization \
+           checks all charge it). A pass that runs out is cut off; \
+           $(b,verify) exits 6.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Supervised campaigns re-attempt a job that raised up to N more \
+           times before quarantining it (budget timeouts are never \
+           retried; they are deterministic).")
+
 let inject_arg =
   Arg.(
     value & opt string ""
@@ -606,13 +749,14 @@ let seed_arg =
 let verify_term =
   Term.(
     const verify_cmd $ source_arg $ model_arg $ engine_arg $ all_models_arg
-    $ limit_arg $ grouped_arg $ lenient_arg $ inject_arg $ seed_arg)
+    $ limit_arg $ grouped_arg $ lenient_arg $ partial_arg $ budget_arg
+    $ inject_arg $ seed_arg)
 
 let report_term = Term.(const report_cmd $ source_arg $ engine_arg $ grouped_arg)
 
 let tag_arg =
   Arg.(
-    value & opt string "pr2"
+    value & opt string "pr4"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
@@ -692,12 +836,43 @@ let fuzz_smoke_arg =
           "CI-sized run: 8 programs, batch domains 1,2. Deterministic output \
            (locked by a cram test).")
 
+let fuzz_resilience_arg =
+  Arg.(
+    value & flag
+    & info [ "resilience" ]
+        ~doc:
+          "Supervised resilience campaign instead of differential fuzzing: \
+           every generated program runs as a fault-isolated batch job with \
+           lenient decoding and partial MPI matching; a third of the seeds \
+           get a rank abort, a third a tail truncation. Ends with a \
+           quarantine summary; never crashes on a job failure.")
+
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_smoke_arg
-    $ fuzz_shrink_arg $ fuzz_replay_arg $ fuzz_save_corpus_arg $ domains_arg)
+    $ fuzz_shrink_arg $ fuzz_replay_arg $ fuzz_save_corpus_arg $ domains_arg
+    $ fuzz_resilience_arg $ retries_arg $ budget_arg)
 
 let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
+
+(* Cmdliner reports parse failures (unknown flags, malformed option
+   values like a non-numeric --seed) with a multi-line usage dump and
+   exit 124/125. The supervisor contract wants a one-line diagnostic and
+   exit 2, so the error formatter is captured and its first line kept. *)
+let usage_exit code err_text =
+  if code = 124 || code = 125 then begin
+    let line =
+      String.split_on_char '\n' err_text
+      |> List.find_opt (fun l -> String.trim l <> "")
+      |> Option.value ~default:"verifyio: usage error"
+    in
+    prerr_endline line;
+    usage_error
+  end
+  else begin
+    prerr_string err_text;
+    code
+  end
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -727,4 +902,8 @@ let () =
         "Emit the happens-before graph as Graphviz DOT";
     ]
   in
-  exit (Cmd.eval' (Cmd.group ~default info cmds))
+  let err_buf = Buffer.create 256 in
+  let err_fmt = Format.formatter_of_buffer err_buf in
+  let code = Cmd.eval' ~err:err_fmt (Cmd.group ~default info cmds) in
+  Format.pp_print_flush err_fmt ();
+  exit (usage_exit code (Buffer.contents err_buf))

@@ -8,10 +8,12 @@ type job = {
   engine : Reach.engine option;
   mode : Recorder.Diagnostic.mode;
   upstream : Recorder.Diagnostic.t list;
+  partial : bool;
+  budget : int option;
 }
 
 let job ?models ?engine ?(mode = Recorder.Diagnostic.Strict) ?(upstream = [])
-    ~name ~nranks records =
+    ?(partial = false) ?budget ~name ~nranks records =
   {
     name;
     nranks;
@@ -20,6 +22,8 @@ let job ?models ?engine ?(mode = Recorder.Diagnostic.Strict) ?(upstream = [])
     engine;
     mode;
     upstream;
+    partial;
+    budget;
   }
 
 type result = {
@@ -30,11 +34,20 @@ type result = {
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* A worker domain per job slot is pure overhead past the hardware's
+   parallelism; requests above it are clamped, not refused, and the
+   effective value is what reports record. *)
+let effective_domains = function
+  | Some n when n >= 1 -> min n (Domain.recommended_domain_count ())
+  | Some _ -> invalid_arg "Batch.run: domains must be positive"
+  | None -> default_domains ()
+
 let run_job j =
   let t0 = Unix.gettimeofday () in
+  let budget = Option.map Vio_util.Budget.create j.budget in
   let p =
     Pipeline.prepare ?engine:j.engine ~mode:j.mode ~upstream:j.upstream
-      ~nranks:j.nranks j.records
+      ~partial:j.partial ?budget ~nranks:j.nranks j.records
   in
   let outcomes =
     List.map (fun m -> (m, Pipeline.verify_prepared ~model:m p)) j.models
@@ -45,12 +58,7 @@ let run_job j =
   { job = j; outcomes; wall }
 
 let run ?domains jobs =
-  let ndomains =
-    match domains with
-    | Some n when n >= 1 -> n
-    | Some _ -> invalid_arg "Batch.run: domains must be positive"
-    | None -> default_domains ()
-  in
+  let ndomains = effective_domains domains in
   let arr = Array.of_list jobs in
   let n = Array.length arr in
   let results : (result, exn) Stdlib.result option array = Array.make n None in
@@ -87,6 +95,81 @@ let run ?domains jobs =
          | Some (Error exn) -> raise exn
          | None -> assert false (* every index below [n] was claimed *))
        results)
+
+type status =
+  | Done of (Model.t * Pipeline.outcome) list
+  | Timed_out of { stage : string; limit : int; used : int }
+  | Quarantined of { attempts : int; error : string }
+
+type isolated = {
+  i_job : job;
+  i_status : status;
+  i_wall : float;
+  i_attempts : int;
+}
+
+let run_isolated_job ~retries j =
+  let t0 = Unix.gettimeofday () in
+  let max_attempts = 1 + max 0 retries in
+  let rec attempt k =
+    match run_job j with
+    | r -> (Done r.outcomes, k)
+    | exception Vio_util.Budget.Exhausted { stage; limit; used } ->
+      (* Budgets are deterministic step counts: re-running the job would
+         exhaust at exactly the same point, so a retry is pure waste. *)
+      M.incr "batch/timed_out";
+      (Timed_out { stage; limit; used }, k)
+    | exception exn ->
+      if k < max_attempts then begin
+        M.incr "batch/retries";
+        attempt (k + 1)
+      end
+      else begin
+        M.incr "batch/quarantined";
+        (Quarantined { attempts = k; error = Printexc.to_string exn }, k)
+      end
+  in
+  let status, attempts = attempt 1 in
+  let wall = Unix.gettimeofday () -. t0 in
+  M.incr "batch/isolated_jobs";
+  { i_job = j; i_status = status; i_wall = wall; i_attempts = attempts }
+
+let run_isolated ?domains ?(retries = 1) jobs =
+  let ndomains = effective_domains domains in
+  if retries < 0 then invalid_arg "Batch.run_isolated: retries must be >= 0";
+  let arr = Array.of_list jobs in
+  let n = Array.length arr in
+  let results : isolated option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_isolated_job ~retries arr.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if ndomains = 1 || n <= 1 then worker ()
+  else begin
+    let helpers =
+      List.init (min (ndomains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* every index below [n] was claimed *))
+       results)
+
+let quarantined isolated =
+  List.filter
+    (fun i -> match i.i_status with Quarantined _ -> true | _ -> false)
+    isolated
 
 let verdicts_agree (a : result) (b : result) =
   List.length a.outcomes = List.length b.outcomes

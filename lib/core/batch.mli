@@ -31,6 +31,10 @@ type job = {
   mode : Recorder.Diagnostic.mode;
   upstream : Recorder.Diagnostic.t list;
       (** pre-decode diagnostics, as in {!Pipeline.verify} *)
+  partial : bool;  (** partial MPI matching, as in {!Pipeline.prepare} *)
+  budget : int option;
+      (** per-attempt step budget ({!Pipeline.prepare}'s stage charges);
+          [None] = unbounded *)
 }
 
 val job :
@@ -38,11 +42,14 @@ val job :
   ?engine:Reach.engine ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:int ->
   name:string ->
   nranks:int ->
   Recorder.Record.t list ->
   job
-(** Job constructor; [models] defaults to {!Model.builtin}. *)
+(** Job constructor; [models] defaults to {!Model.builtin}, [partial] to
+    false, [budget] to unbounded. *)
 
 type result = {
   job : job;
@@ -55,14 +62,61 @@ val default_domains : unit -> int
 (** [min 8 (Domain.recommended_domain_count ())] — the worker count used
     when [?domains] is omitted. *)
 
+val effective_domains : int option -> int
+(** The worker count a [?domains] request actually gets: requests are
+    clamped to [Domain.recommended_domain_count ()] (a domain per
+    hardware thread is the useful maximum — more would only contend).
+    Reports record this value, not the request.
+
+    @raise Invalid_argument if the request is [< 1]. *)
+
 val run : ?domains:int -> job list -> result list
 (** Run every job; results are in job order regardless of scheduling.
-    [domains = 1] (or a single job) runs inline with no domain spawned.
-    If a job raises (e.g. a strict-mode {!Op.Malformed}), the remaining
-    claimed jobs still complete, then the first failing job's exception
-    (in job order) is re-raised.
+    [domains = 1] (or a single job) runs inline with no domain spawned;
+    requests above {!effective_domains} are clamped. If a job raises
+    (e.g. a strict-mode {!Op.Malformed}), the remaining claimed jobs
+    still complete, then the first failing job's exception (in job order)
+    is re-raised.
 
     @raise Invalid_argument if [domains < 1]. *)
+
+(** {2 Fault-isolated runs}
+
+    {!run} has all-or-nothing semantics: one malformed trace in a corpus
+    kills the whole batch. The isolated runner instead gives every job a
+    verdict-or-verdict-about-the-failure, never re-raising — the
+    supervisor loop of a long fuzzing or corpus-verification campaign. *)
+
+type status =
+  | Done of (Model.t * Pipeline.outcome) list
+      (** verified; one outcome per requested model, in [models] order *)
+  | Timed_out of { stage : string; limit : int; used : int }
+      (** the job's step budget ran out in [stage]. Deterministic, so the
+          job is {e not} retried — the same trace with the same budget
+          always times out at the same step. *)
+  | Quarantined of { attempts : int; error : string }
+      (** every attempt raised; [error] is the last exception. The trace
+          should be set aside for offline inspection. *)
+
+type isolated = {
+  i_job : job;
+  i_status : status;
+  i_wall : float;  (** wall-clock seconds across all attempts *)
+  i_attempts : int;  (** attempts actually made (1 = no retry needed) *)
+}
+
+val run_isolated : ?domains:int -> ?retries:int -> job list -> isolated list
+(** Run every job with per-job fault isolation: an exception is caught on
+    the worker domain, retried up to [retries] more times (default 1),
+    and finally quarantined; a {!Vio_util.Budget.Exhausted} becomes
+    {!Timed_out} immediately. Results are in job order; never raises on a
+    job failure. Metrics: [batch/retries], [batch/quarantined],
+    [batch/timed_out], [batch/isolated_jobs].
+
+    @raise Invalid_argument if [domains < 1] or [retries < 0]. *)
+
+val quarantined : isolated list -> isolated list
+(** The jobs that ended {!Quarantined}, in input order. *)
 
 val verdicts_agree : result -> result -> bool
 (** Same models in the same order with identical race lists, unmatched

@@ -35,7 +35,22 @@ let nranks t = t.d.Op.nranks
 
 let node_tstart t v = t.tstamps.(v)
 
-let build (d : Op.decoded) (m : Match_mpi.result) =
+(* Everything up to the acyclicity check: node numbering and the full
+   edge set. Shared between strict [build] (which raises on a cycle) and
+   [build_partial] (which locates the cycles and retries without the
+   events that caused them). *)
+type proto = {
+  a_n_real : int;
+  a_n_total : int;
+  a_succs : int list array;
+  a_preds : int list array;
+  a_pos : int array;
+  a_ranks : int array;
+  a_edges : int;
+  a_colls : (int * int option) list list;
+}
+
+let assemble (d : Op.decoded) (m : Match_mpi.result) =
   let n_real = Array.length d.Op.ops in
   let completed_colls =
     List.filter_map
@@ -114,9 +129,24 @@ let build (d : Op.decoded) (m : Match_mpi.result) =
           | None -> ())
         parts)
     completed_colls;
-  (* Topological order (Kahn). *)
+  {
+    a_n_real = n_real;
+    a_n_total = n_total;
+    a_succs = succs_arr;
+    a_preds = preds_arr;
+    a_pos = pos;
+    a_ranks = ranks;
+    a_edges = !edges;
+    a_colls = completed_colls;
+  }
+
+(* Kahn's algorithm; [None] when the edge set has a cycle. *)
+let topo_of a =
+  let n_total = a.a_n_total in
   let indeg = Array.make n_total 0 in
-  Array.iteri (fun _ l -> List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) l) succs_arr;
+  Array.iteri
+    (fun _ l -> List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) l)
+    a.a_succs;
   let queue = Queue.create () in
   Array.iteri (fun v dg -> if dg = 0 then Queue.add v queue) indeg;
   let topo = Array.make n_total (-1) in
@@ -129,11 +159,13 @@ let build (d : Op.decoded) (m : Match_mpi.result) =
       (fun w ->
         indeg.(w) <- indeg.(w) - 1;
         if indeg.(w) = 0 then Queue.add w queue)
-      succs_arr.(v)
+      a.a_succs.(v)
   done;
-  if !filled <> n_total then
-    raise (Op.Malformed "happens-before graph contains a cycle");
-  let tstamps = Array.make n_total 0 in
+  if !filled <> n_total then None else Some topo
+
+let graph_of (d : Op.decoded) a topo =
+  let n_real = a.a_n_real in
+  let tstamps = Array.make a.a_n_total 0 in
   for v = 0 to n_real - 1 do
     tstamps.(v) <- (Op.op d v).Op.record.R.tstart
   done;
@@ -143,9 +175,118 @@ let build (d : Op.decoded) (m : Match_mpi.result) =
         List.fold_left
           (fun acc (init, _) -> max acc (Op.op d init).Op.record.R.tend)
           0 parts)
-    completed_colls;
-  { d; n_real; n_total; succs_arr; preds_arr; pos; ranks; topo; tstamps;
-    edges = !edges }
+    a.a_colls;
+  {
+    d;
+    n_real;
+    n_total = a.a_n_total;
+    succs_arr = a.a_succs;
+    preds_arr = a.a_preds;
+    pos = a.a_pos;
+    ranks = a.a_ranks;
+    topo;
+    tstamps;
+    edges = a.a_edges;
+  }
+
+let build (d : Op.decoded) (m : Match_mpi.result) =
+  let a = assemble d m in
+  match topo_of a with
+  | Some topo -> graph_of d a topo
+  | None -> raise (Op.Malformed "happens-before graph contains a cycle")
+
+(* Strongly connected components (iterative Kosaraju). Returns the
+   component id of every node; only components of size > 1 can carry a
+   cycle (the edge set has no self loops). *)
+let scc_of a =
+  let n = a.a_n_total in
+  let visited = Array.make n false in
+  let order = ref [] in
+  for root = 0 to n - 1 do
+    if not visited.(root) then begin
+      let stack = ref [ (root, a.a_succs.(root)) ] in
+      visited.(root) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, next) :: rest -> (
+          match next with
+          | [] ->
+            order := v :: !order;
+            stack := rest
+          | w :: next' ->
+            stack := (v, next') :: rest;
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              stack := (w, a.a_succs.(w)) :: !stack
+            end)
+      done
+    end
+  done;
+  let comp = Array.make n (-1) in
+  let ncomp = ref 0 in
+  List.iter
+    (fun root ->
+      if comp.(root) = -1 then begin
+        let id = !ncomp in
+        incr ncomp;
+        let stack = ref [ root ] in
+        comp.(root) <- id;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | v :: rest ->
+            stack := rest;
+            List.iter
+              (fun w ->
+                if comp.(w) = -1 then begin
+                  comp.(w) <- id;
+                  stack := w :: !stack
+                end)
+              a.a_preds.(v)
+        done
+      end)
+    !order;
+  let sizes = Array.make !ncomp 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  (comp, sizes)
+
+let build_partial (d : Op.decoded) (m : Match_mpi.result) =
+  let a = assemble d m in
+  match topo_of a with
+  | Some topo -> (graph_of d a topo, [])
+  | None ->
+    (* Every cycle runs through at least one MPI event edge (program
+       order alone is acyclic), and every edge on a cycle connects two
+       nodes of one strongly connected component. Dropping exactly the
+       events with an intra-component edge therefore removes every
+       cycle in one pass while keeping all consistent synchronization. *)
+    let comp, sizes = scc_of a in
+    let in_cycle v = sizes.(comp.(v)) > 1 in
+    let join = ref 0 in
+    let dropped, kept =
+      List.fold_left
+        (fun (dropped, kept) ev ->
+          match ev with
+          | Match_mpi.P2p { send; completion } ->
+            if comp.(send) = comp.(completion) && in_cycle send then
+              (ev :: dropped, kept)
+            else (dropped, ev :: kept)
+          | Match_mpi.Collective { completed = true; _ } ->
+            let j = a.a_n_real + !join in
+            incr join;
+            if in_cycle j then (ev :: dropped, kept)
+            else (dropped, ev :: kept)
+          | Match_mpi.Collective { completed = false; _ } ->
+            (dropped, ev :: kept))
+        ([], []) m.Match_mpi.events
+    in
+    let kept = List.rev kept and dropped = List.rev dropped in
+    (match build d { m with Match_mpi.events = kept } with
+    | g -> (g, dropped)
+    | exception Op.Malformed _ ->
+      (* Cannot happen by the argument above; keep a hard floor anyway. *)
+      (build d { m with Match_mpi.events = [] }, m.Match_mpi.events))
 
 let to_dot ?(highlight = []) t =
   let buf = Buffer.create 1024 in

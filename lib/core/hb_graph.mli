@@ -24,6 +24,17 @@ val build : Op.decoded -> Match_mpi.result -> t
     Incomplete events (a participant never returned) contribute no
     synchronization edges — the conservative choice for aborted runs. *)
 
+val build_partial : Op.decoded -> Match_mpi.result -> t * Match_mpi.event list
+(** Like {!build}, but never raises on a cycle: the events whose edges
+    participate in a cycle (located via strongly connected components of
+    the full edge set) are dropped and the graph is rebuilt from the rest.
+    Returns the partial graph together with the dropped events — an empty
+    list means the graph is the same one {!build} would produce. Dropping
+    only removes happens-before edges, so verdicts over the partial graph
+    are sound for race {e reporting} (a pair ordered in the partial graph
+    may be racy in reality — callers must downgrade "properly
+    synchronized" verdicts that involve a dropped participant). *)
+
 val size : t -> int
 (** Total node count (records + synthetic). *)
 

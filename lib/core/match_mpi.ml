@@ -542,6 +542,196 @@ let match_p2p st =
     tbl;
   st.unmatched <- !pending_unmatched @ st.unmatched
 
+(* ---------------------------------------------------------------- *)
+(* Unmatched-call inventory                                           *)
+(* ---------------------------------------------------------------- *)
+
+type reason =
+  | Missing_participant
+  | Function_mismatch
+  | Orphaned
+  | No_matching_recv
+  | No_matching_send
+  | Never_completed
+  | Inconsistent_order
+
+let reason_to_string = function
+  | Missing_participant -> "missing participant"
+  | Function_mismatch -> "function mismatch"
+  | Orphaned -> "orphaned"
+  | No_matching_recv -> "no matching receive"
+  | No_matching_send -> "no matching send"
+  | Never_completed -> "never completed"
+  | Inconsistent_order -> "inconsistent order"
+
+type entry = {
+  e_func : string;
+  e_rank : int;
+  e_comm : int option;
+  e_seq : int option;
+  e_reason : reason;
+  e_detail : string;
+  e_implicated : int list;
+}
+
+let entry_diagnostic e =
+  D.make ~rank:e.e_rank ?seq:e.e_seq ~fault:D.Unmatched_call
+    (Printf.sprintf "%s: %s%s" e.e_func (reason_to_string e.e_reason)
+       (if e.e_detail = "" then "" else " (" ^ e.e_detail ^ ")"))
+
+let entries_of_event d ?(reason = Inconsistent_order)
+    ?(detail = "dropped from the happens-before graph") = function
+  | P2p { send; completion } ->
+    let s = (Op.op d send).Op.record in
+    let c = (Op.op d completion).Op.record in
+    [
+      {
+        e_func = s.R.func;
+        e_rank = s.R.rank;
+        e_comm = None;
+        e_seq = Some s.R.seq;
+        e_reason = reason;
+        e_detail = detail;
+        e_implicated = List.sort_uniq compare [ s.R.rank; c.R.rank ];
+      };
+    ]
+  | Collective { parts; _ } ->
+    let ranks =
+      List.sort_uniq compare
+        (List.map (fun (init, _) -> (Op.op d init).Op.record.R.rank) parts)
+    in
+    List.map
+      (fun (init, _) ->
+        let rc = (Op.op d init).Op.record in
+        {
+          e_func = rc.R.func;
+          e_rank = rc.R.rank;
+          e_comm = None;
+          e_seq = Some rc.R.seq;
+          e_reason = reason;
+          e_detail = detail;
+          e_implicated = ranks;
+        })
+      parts
+
+let inventory d (r : result) =
+  let members comm = List.assoc_opt comm r.comm_ranks in
+  let world ~comm cr =
+    match members comm with
+    | Some ranks when cr >= 0 && cr < Array.length ranks -> Some ranks.(cr)
+    | _ -> None
+  in
+  (* Inventory construction must never raise, whatever the decode mode:
+     a field that cannot be parsed simply leaves that slot unresolved. *)
+  let safe f = try f () with _ -> None in
+  List.concat_map
+    (function
+      | Mismatched_collective { comm; position; present; missing } ->
+        let implicated =
+          List.sort_uniq compare (List.map fst present @ missing)
+        in
+        let reason =
+          if missing <> [] then Missing_participant else Function_mismatch
+        in
+        let detail = Printf.sprintf "position %d on comm %d" position comm in
+        List.map
+          (fun (rank, func) ->
+            {
+              e_func = func;
+              e_rank = rank;
+              e_comm = Some comm;
+              e_seq = None;
+              e_reason = reason;
+              e_detail = detail;
+              e_implicated = implicated;
+            })
+          present
+        @ List.map
+            (fun rank ->
+              {
+                e_func = "(no call)";
+                e_rank = rank;
+                e_comm = Some comm;
+                e_seq = None;
+                e_reason = Missing_participant;
+                e_detail = detail;
+                e_implicated = implicated;
+              })
+            missing
+      | Orphan_collective { comm; rank; op } ->
+        let rc = (Op.op d op).Op.record in
+        [
+          {
+            e_func = rc.R.func;
+            e_rank = rank;
+            e_comm = Some comm;
+            e_seq = Some rc.R.seq;
+            e_reason = Orphaned;
+            e_detail = Printf.sprintf "comm %d never fully matched" comm;
+            e_implicated =
+              (match members comm with
+              | Some ranks -> Array.to_list ranks
+              | None -> [ rank ]);
+          };
+        ]
+      | Unmatched_send op ->
+        let rc = (Op.op d op).Op.record in
+        let comm = safe (fun () -> Some (R.int_arg rc 2)) in
+        let dst =
+          match comm with
+          | Some c -> safe (fun () -> world ~comm:c (R.int_arg rc 0))
+          | None -> None
+        in
+        [
+          {
+            e_func = rc.R.func;
+            e_rank = rc.R.rank;
+            e_comm = comm;
+            e_seq = Some rc.R.seq;
+            e_reason = No_matching_recv;
+            e_detail =
+              (match dst with
+              | Some w -> Printf.sprintf "to rank %d" w
+              | None -> "destination unresolved");
+            e_implicated =
+              (match dst with
+              | Some w -> List.sort_uniq compare [ rc.R.rank; w ]
+              | None -> []);
+          };
+        ]
+      | Unmatched_recv op ->
+        let rc = (Op.op d op).Op.record in
+        let comm = safe (fun () -> Some (R.int_arg rc 2)) in
+        let never_returned = in_flight rc in
+        let src =
+          (* Only a completed blocking receive carries a recovered status
+             we can trust; everything else leaves the sender unknown. *)
+          if never_returned || rc.R.func <> "MPI_Recv" then None
+          else
+            match comm with
+            | Some c -> safe (fun () -> world ~comm:c (R.int_arg rc 4))
+            | None -> None
+        in
+        [
+          {
+            e_func = rc.R.func;
+            e_rank = rc.R.rank;
+            e_comm = comm;
+            e_seq = Some rc.R.seq;
+            e_reason =
+              (if never_returned then Never_completed else No_matching_send);
+            e_detail =
+              (match src with
+              | Some w -> Printf.sprintf "from rank %d" w
+              | None -> "source unresolved");
+            e_implicated =
+              (match src with
+              | Some w -> List.sort_uniq compare [ rc.R.rank; w ]
+              | None -> []);
+          };
+        ])
+    r.unmatched
+
 let run ?(mode = D.Strict) d =
   let st =
     {

@@ -62,6 +62,53 @@ type result = {
           strict mode *)
 }
 
+type reason =
+  | Missing_participant  (** a collective position with absent ranks *)
+  | Function_mismatch
+      (** the ranks of a collective position disagree on the function *)
+  | Orphaned
+      (** a collective past a mismatch point, or on a communicator whose
+          creation was never traced *)
+  | No_matching_recv  (** a send with no receive left on its channel *)
+  | No_matching_send  (** a completed receive with no send on its channel *)
+  | Never_completed  (** a posted receive that never returned *)
+  | Inconsistent_order
+      (** a matched event whose edges contradicted the rest of the graph
+          and had to be dropped (partial graph construction) *)
+
+val reason_to_string : reason -> string
+
+type entry = {
+  e_func : string;  (** MPI function name, or ["(no call)"] for a rank
+                        absent from a collective position *)
+  e_rank : int;  (** world rank of the call (or of the absent rank) *)
+  e_comm : int option;  (** communicator id, when resolvable *)
+  e_seq : int option;  (** per-rank sequence number, when known *)
+  e_reason : reason;
+  e_detail : string;  (** free-form context, e.g. the peer rank *)
+  e_implicated : int list;
+      (** world ranks whose cross-rank ordering this unmatched call
+          weakens; [\[\]] means the affected set is unknowable (e.g. an
+          unresolved wildcard source) and every rank must be assumed
+          affected *)
+}
+
+val inventory : Op.decoded -> result -> entry list
+(** The structured unmatched-call inventory (paper §VI's "unmatched
+    calls" accounting): one entry per unmatched call, in [unmatched]
+    order. Never raises — fields that cannot be parsed from a (possibly
+    corrupt) record are left unresolved. *)
+
+val entries_of_event :
+  Op.decoded -> ?reason:reason -> ?detail:string -> event -> entry list
+(** Inventory entries for a {e matched} event that was nevertheless given
+    up — used by partial graph construction when an event's edges would
+    create a cycle. Default reason {!Inconsistent_order}. *)
+
+val entry_diagnostic : entry -> Recorder.Diagnostic.t
+(** Render an entry as an {!Recorder.Diagnostic.Unmatched_call}
+    diagnostic. *)
+
 val run : ?mode:Recorder.Diagnostic.mode -> Op.decoded -> result
 (** Strict mode (default) propagates {!Op.Malformed} on corrupt MPI
     arguments. Lenient mode never raises: a record whose fields cannot be

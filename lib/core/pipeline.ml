@@ -39,6 +39,8 @@ type outcome = {
   races : Verify.race list;
   race_count : int;
   unmatched : Match_mpi.unmatched list;
+  inventory : Match_mpi.entry list;
+  dropped_events : int;
   conflicts : int;
   graph_nodes : int;
   graph_edges : int;
@@ -60,6 +62,10 @@ type prepared = {
   p_sidx : Msc.sync_index;
   p_engine : Reach.engine;
   p_degraded : int -> bool;
+  p_partial : int -> bool;
+  p_inventory : Match_mpi.entry list;
+  p_dropped : int;
+  p_budget : Vio_util.Budget.t option;
   p_degradation : degradation;
   p_t_read : float;
   p_t_conflicts : float;
@@ -72,24 +78,49 @@ let timed f =
   let v = f () in
   (Unix.gettimeofday () -. t0, v)
 
-let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
+let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
+    ?budget ~nranks records =
   let lenient = mode = D.Lenient in
+  let spend stage n =
+    match budget with
+    | Some b -> Vio_util.Budget.spend b ~stage n
+    | None -> ()
+  in
   let t_read, d = timed (fun () -> Op.decode ~mode ~nranks records) in
+  spend "decode" (List.length records);
   let t_conflicts, groups = timed (fun () -> Conflict.detect d) in
-  let t_graph, (matching, graph, graph_fallback) =
+  let conflicts = Conflict.distinct_pairs groups in
+  spend "conflicts" conflicts;
+  let t_graph, (matching, graph, graph_fallback, dropped) =
     timed (fun () ->
         let m = Match_mpi.run ~mode d in
-        match Hb_graph.build d m with
-        | g -> (m, g, false)
-        | exception Op.Malformed _ when lenient ->
-          (* The salvaged MPI events are inconsistent (e.g. a cycle from a
-             half-lost collective): fall back to program order + file
-             metadata only. Every cross-rank verdict is then degraded. *)
-          (m, Hb_graph.build d { m with Match_mpi.events = [] }, true))
+        if partial then begin
+          (* Partial matching: keep going past unmatched calls, and if the
+             matched events are mutually inconsistent drop only the events
+             on a cycle instead of every MPI edge. *)
+          let g, dropped = Hb_graph.build_partial d m in
+          (m, g, false, dropped)
+        end
+        else
+          match Hb_graph.build d m with
+          | g -> (m, g, false, [])
+          | exception Op.Malformed _ when lenient ->
+            (* The salvaged MPI events are inconsistent (e.g. a cycle from a
+               half-lost collective): fall back to program order + file
+               metadata only. Every cross-rank verdict is then degraded. *)
+            (m, Hb_graph.build d { m with Match_mpi.events = [] }, true, []))
+  in
+  spend "graph" (Hb_graph.edge_count graph);
+  let inventory =
+    if not partial then []
+    else
+      Match_mpi.inventory d matching
+      @ List.concat_map (Match_mpi.entries_of_event d) dropped
   in
   let diagnostics =
     upstream @ d.Op.diagnostics
     @ matching.Match_mpi.diagnostics
+    @ List.map Match_mpi.entry_diagnostic inventory
     @
     if graph_fallback then
       [
@@ -99,7 +130,6 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
       ]
     else []
   in
-  let conflicts = Conflict.distinct_pairs groups in
   let engine =
     match engine with
     | Some e -> e
@@ -108,6 +138,7 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
         ~conflict_pairs:conflicts
   in
   let t_engine, reach = timed (fun () -> Reach.create engine graph) in
+  spend "engine" (Hb_graph.size graph);
   let sidx = Msc.build_index d in
   let degraded =
     if not lenient then fun _ -> false
@@ -116,17 +147,44 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
          record could have carried the synchronization that orders its
          other ops. Diagnostics with no rank attribution (and unmatched
          MPI, whose missing participants are unknowable) taint the whole
-         trace. *)
+         trace — unless partial matching is on, in which case unmatched
+         calls are accounted rank-by-rank via the inventory and downgrade
+         verdicts to [Under_partial_order] instead. *)
       let by_rank = Array.make (max 1 d.Op.nranks) false in
-      let any_global = ref (graph_fallback || matching.Match_mpi.unmatched <> []) in
+      let any_global =
+        ref
+          (graph_fallback
+          || ((not partial) && matching.Match_mpi.unmatched <> []))
+      in
       List.iter
         (fun (diag : D.t) ->
-          match diag.D.rank with
-          | Some r when r >= 0 && r < Array.length by_rank -> by_rank.(r) <- true
-          | Some _ | None -> any_global := true)
+          if not (partial && diag.D.fault = D.Unmatched_call) then
+            match diag.D.rank with
+            | Some r when r >= 0 && r < Array.length by_rank ->
+              by_rank.(r) <- true
+            | Some _ | None -> any_global := true)
         diagnostics;
       if !any_global then fun _ -> true
       else fun idx -> d.Op.degraded.(idx) || by_rank.(Op.rank_of d idx)
+    end
+  in
+  let partial_pred =
+    if inventory = [] then fun _ -> false
+    else begin
+      let by_rank = Array.make (max 1 d.Op.nranks) false in
+      let all = ref false in
+      List.iter
+        (fun (e : Match_mpi.entry) ->
+          match e.Match_mpi.e_implicated with
+          | [] -> all := true
+          | rs ->
+            List.iter
+              (fun r ->
+                if r >= 0 && r < Array.length by_rank then by_rank.(r) <- true)
+              rs)
+        inventory;
+      if !all then fun _ -> true
+      else fun idx -> by_rank.(Op.rank_of d idx)
     end
   in
   let degradation =
@@ -155,6 +213,8 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
   M.incr ~n:conflicts "conflict/pairs";
   M.incr ~n:(Hb_graph.size graph) "graph/nodes";
   M.incr ~n:(Hb_graph.edge_count graph) "graph/edges";
+  M.incr ~n:(List.length inventory) "match/unmatched_entries";
+  M.incr ~n:(List.length dropped) "graph/dropped_events";
   {
     p_mode = mode;
     p_decoded = d;
@@ -166,6 +226,10 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ~nranks records =
     p_sidx = sidx;
     p_engine = engine;
     p_degraded = degraded;
+    p_partial = partial_pred;
+    p_inventory = inventory;
+    p_dropped = List.length dropped;
+    p_budget = budget;
     p_degradation = degradation;
     p_t_read = t_read;
     p_t_conflicts = t_conflicts;
@@ -178,8 +242,8 @@ let verify_prepared ?(pruning = true) ~model p =
   let hits_before, misses_before = Reach.memo_stats p.p_reach in
   let t_verify, (races, stats) =
     timed (fun () ->
-        Verify.run ~pruning ~degraded:p.p_degraded model p.p_reach p.p_sidx
-          p.p_decoded p.p_groups)
+        Verify.run ~pruning ~degraded:p.p_degraded ~partial:p.p_partial
+          ?budget:p.p_budget model p.p_reach p.p_sidx p.p_decoded p.p_groups)
   in
   M.incr "pipeline/verifies";
   M.observe "pipeline/stage/verify" t_verify;
@@ -195,6 +259,8 @@ let verify_prepared ?(pruning = true) ~model p =
     races;
     race_count = List.length races;
     unmatched = p.p_matching.Match_mpi.unmatched;
+    inventory = p.p_inventory;
+    dropped_events = p.p_dropped;
     conflicts = p.p_conflicts;
     graph_nodes = Hb_graph.size p.p_graph;
     graph_edges = Hb_graph.edge_count p.p_graph;
@@ -215,9 +281,9 @@ let verify_prepared ?(pruning = true) ~model p =
     degradation = p.p_degradation;
   }
 
-let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = []) ~model
-    ~nranks records =
-  let p = prepare ?engine ~mode ~upstream ~nranks records in
+let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
+    ?partial ?budget ~model ~nranks records =
+  let p = prepare ?engine ~mode ~upstream ?partial ?budget ~nranks records in
   verify_prepared ~pruning ~model p
 
 let verify_all_models ?engine ~nranks records =
@@ -226,14 +292,16 @@ let verify_all_models ?engine ~nranks records =
     Model.builtin
 
 let verify_shared ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
-    ?(models = Model.builtin) ~nranks records =
-  let p = prepare ?engine ~mode ~upstream ~nranks records in
+    ?partial ?budget ?(models = Model.builtin) ~nranks records =
+  let p = prepare ?engine ~mode ~upstream ?partial ?budget ~nranks records in
   List.map (fun model -> (model, verify_prepared ~pruning ~model p)) models
 
 let is_properly_synchronized o = o.races = [] && o.unmatched = []
 
 let is_degraded o =
   o.degradation.diagnostics <> [] || o.degradation.graph_fallback
+
+let verified_under_partial_order o = o.races = [] && o.inventory <> []
 
 let definite_races o =
   List.filter (fun (r : Verify.race) -> r.Verify.confidence = Verify.Definite)

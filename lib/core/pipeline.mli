@@ -65,6 +65,14 @@ type outcome = {
   unmatched : Match_mpi.unmatched list;
       (** unmatched MPI calls — nonempty means verification is incomplete
           (the gray rows of Fig. 4) *)
+  inventory : Match_mpi.entry list;
+      (** the structured unmatched-call inventory, populated when the run
+          used partial matching: one entry per unmatched call plus one per
+          participant of every event dropped during partial graph
+          construction. Empty for non-partial runs (use [unmatched]). *)
+  dropped_events : int;
+      (** matched MPI events dropped by partial graph construction because
+          their edges formed a cycle; always 0 without partial matching *)
   conflicts : int;  (** distinct unordered conflicting pairs *)
   graph_nodes : int;  (** happens-before graph size, synthetic joins included *)
   graph_edges : int;
@@ -91,6 +99,8 @@ val prepare :
   ?engine:Reach.engine ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:Vio_util.Budget.t ->
   nranks:int ->
   Recorder.Record.t list ->
   prepared
@@ -98,7 +108,20 @@ val prepare :
     on raw trace records. Parameters are those of {!verify} minus the
     model. When [engine] is omitted it is selected from the graph size and
     conflict count ({!Reach.recommend}); the choice applies to every model
-    verified from this [prepared]. *)
+    verified from this [prepared].
+
+    [partial] (default false) enables partial MPI matching: unmatched
+    calls are recorded in the structured inventory instead of tainting the
+    whole trace, inconsistent matched events are dropped from the
+    happens-before graph individually ({!Hb_graph.build_partial}) rather
+    than all at once, and verdicts on implicated ranks downgrade to
+    {!Verify.Under_partial_order}.
+
+    [budget], when given, is charged a deterministic step count per stage
+    (decode: records; conflicts: pairs; graph: edges; engine: nodes;
+    verify: properly-synchronized checks) and the pipeline aborts with
+    {!Vio_util.Budget.Exhausted} when it runs out — the supervisor's
+    defense against pathological traces. *)
 
 val verify_prepared :
   ?pruning:bool -> model:Model.t -> prepared -> outcome
@@ -112,6 +135,8 @@ val verify :
   ?pruning:bool ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:Vio_util.Budget.t ->
   model:Model.t ->
   nranks:int ->
   Recorder.Record.t list ->
@@ -143,6 +168,8 @@ val verify_shared :
   ?pruning:bool ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:Vio_util.Budget.t ->
   ?models:Model.t list ->
   nranks:int ->
   Recorder.Record.t list ->
@@ -156,6 +183,12 @@ val is_properly_synchronized : outcome -> bool
 
 val is_degraded : outcome -> bool
 (** True when the lenient pipeline had to give anything up. *)
+
+val verified_under_partial_order : outcome -> bool
+(** No races, but a nonempty unmatched-call inventory: the trace is
+    properly synchronized {e modulo} the ordering its unmatched calls
+    would have contributed (the partial-matching analogue of Def. 8's
+    clean verdict; CLI exit code 5). *)
 
 val definite_races : outcome -> Verify.race list
 (** The races whose verdicts do not rest on degraded trace regions. *)

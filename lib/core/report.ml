@@ -9,6 +9,7 @@ let pp_race d ppf (race : Verify.race) =
   let marker =
     match race.Verify.confidence with
     | Verify.Definite -> ""
+    | Verify.Under_partial_order -> " [under partial order]"
     | Verify.Under_degradation -> " [under degradation]"
   in
   Format.fprintf ppf "@[<v 2>race:%s@,%s@,%s@]" marker (show race.Verify.rx)
@@ -66,6 +67,78 @@ let degradation_report ?(limit = 10) (o : Pipeline.outcome) =
       Buffer.add_string buf (Printf.sprintf "  ... and %d more\n" (total - limit));
     Buffer.contents buf
   end
+
+let unmatched_table (o : Pipeline.outcome) =
+  if o.Pipeline.inventory = [] then ""
+  else begin
+    let t =
+      T.create
+        ~headers:[ "Call"; "Rank"; "Comm"; "Seq"; "Reason"; "Detail" ]
+    in
+    T.set_aligns t [ T.Left; T.Right; T.Right; T.Right; T.Left; T.Left ];
+    let opt = function Some v -> string_of_int v | None -> "-" in
+    List.iter
+      (fun (e : Match_mpi.entry) ->
+        T.add_row t
+          [
+            e.Match_mpi.e_func;
+            string_of_int e.Match_mpi.e_rank;
+            opt e.Match_mpi.e_comm;
+            opt e.Match_mpi.e_seq;
+            Match_mpi.reason_to_string e.Match_mpi.e_reason;
+            e.Match_mpi.e_detail;
+          ])
+      o.Pipeline.inventory;
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "unmatched-call inventory: %d entr%s, %d matched event(s) dropped\n"
+         (List.length o.Pipeline.inventory)
+         (if List.length o.Pipeline.inventory = 1 then "y" else "ies")
+         o.Pipeline.dropped_events);
+    Buffer.add_string buf (T.render t);
+    if Pipeline.verified_under_partial_order o then
+      Buffer.add_string buf
+        "verdict: properly synchronized modulo unmatched calls\n";
+    Buffer.contents buf
+  end
+
+let quarantine_summary (isolated : Batch.isolated list) =
+  let buf = Buffer.create 256 in
+  let count p = List.length (List.filter p isolated) in
+  let done_ =
+    count (fun i -> match i.Batch.i_status with Batch.Done _ -> true | _ -> false)
+  in
+  let timed_out =
+    count (fun i ->
+        match i.Batch.i_status with Batch.Timed_out _ -> true | _ -> false)
+  in
+  let quarantined =
+    count (fun i ->
+        match i.Batch.i_status with Batch.Quarantined _ -> true | _ -> false)
+  in
+  let retried =
+    count (fun i -> i.Batch.i_attempts > 1)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "supervisor: %d job(s) — %d done, %d timed out, %d quarantined, %d \
+        retried\n"
+       (List.length isolated) done_ timed_out quarantined retried);
+  List.iter
+    (fun (i : Batch.isolated) ->
+      match i.Batch.i_status with
+      | Batch.Done _ -> ()
+      | Batch.Timed_out { stage; limit; used } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  timed out    %-24s %s stage, %d of %d steps\n"
+             i.Batch.i_job.Batch.name stage used limit)
+      | Batch.Quarantined { attempts; error } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  quarantined  %-24s after %d attempt(s): %s\n"
+             i.Batch.i_job.Batch.name attempts error))
+    isolated;
+  Buffer.contents buf
 
 let summary_line ~name (o : Pipeline.outcome) =
   Printf.sprintf "%-24s %-8s conflicts=%-8d races=%-8d unmatched=%d" name

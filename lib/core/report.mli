@@ -17,6 +17,19 @@ val degradation_report : ?limit:int -> Pipeline.outcome -> string
     the first [limit] (default 10) diagnostics. Empty string when nothing
     was degraded. *)
 
+val unmatched_table : Pipeline.outcome -> string
+(** The structured unmatched-call inventory of a partial-matching run as a
+    table (call, rank, communicator, sequence, reason, detail) — the
+    paper's unmatched-run accounting, one row per call instead of one gray
+    row per test. Ends with the "properly synchronized modulo unmatched
+    calls" verdict line when the run found no races. Empty string when the
+    inventory is empty. *)
+
+val quarantine_summary : Batch.isolated list -> string
+(** Supervisor roll-up for a fault-isolated batch: one headline counter
+    line (done / timed out / quarantined / retried), then one line per
+    non-[Done] job with its stage or error. *)
+
 val summary_line : name:string -> Pipeline.outcome -> string
 (** One line: test name, model, conflicts, races, unmatched. *)
 

@@ -1,4 +1,4 @@
-type confidence = Definite | Under_degradation
+type confidence = Definite | Under_partial_order | Under_degradation
 
 type race = { rx : int; ry : int; confidence : confidence }
 
@@ -12,8 +12,9 @@ type stats = {
 
 let no_degradation _ = false
 
-let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
-    (d : Op.decoded) groups =
+let run ?(pruning = true) ?(degraded = no_degradation)
+    ?(partial = no_degradation) ?budget model reach sidx (d : Op.decoded)
+    groups =
   let checks = ref 0 in
   let fast = ref 0 in
   (* Memoize pair verdicts: the pruning rules revisit boundary pairs, and
@@ -24,6 +25,9 @@ let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
     | Some v -> v
     | None ->
       incr checks;
+      (match budget with
+      | Some b -> Vio_util.Budget.spend b ~stage:"verify" 1
+      | None -> ());
       let v =
         Msc.properly_synchronized model reach sidx ~x:(Op.op d a)
           ~y:(Op.op d b)
@@ -36,9 +40,13 @@ let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
   let note_race a b =
     let key = (min a b, max a b) in
     (* A verdict that rests on a degraded op (or a degraded portion of the
-       trace) is only as good as what survived decoding. *)
+       trace) is only as good as what survived decoding; one that rests on
+       a rank with unmatched MPI calls holds only modulo the ordering
+       those calls would have contributed. *)
     let confidence =
-      if degraded a || degraded b then Under_degradation else Definite
+      if degraded a || degraded b then Under_degradation
+      else if partial a || partial b then Under_partial_order
+      else Definite
     in
     Hashtbl.replace races key confidence
   in
@@ -126,8 +134,8 @@ let run ?(pruning = true) ?(degraded = no_degradation) model reach sidx
     rule_hits;
   (race_list, stats)
 
-let run_parallel ?domains ?(degraded = no_degradation) model graph sidx
-    (d : Op.decoded) groups =
+let run_parallel ?domains ?(degraded = no_degradation)
+    ?(partial = no_degradation) model graph sidx (d : Op.decoded) groups =
   let ndomains =
     match domains with
     | Some n when n >= 1 -> n
@@ -137,7 +145,9 @@ let run_parallel ?domains ?(degraded = no_degradation) model graph sidx
   let groups_arr = Array.of_list groups in
   let n = Array.length groups_arr in
   if ndomains = 1 || n = 0 then
-    run ~degraded model (Reach.create Reach.Vector_clock graph) sidx d groups
+    run ~degraded ~partial model
+      (Reach.create Reach.Vector_clock graph)
+      sidx d groups
   else begin
     let chunk = (n + ndomains - 1) / ndomains in
     let work k =
@@ -149,7 +159,7 @@ let run_parallel ?domains ?(degraded = no_degradation) model graph sidx
         (* Each domain gets its own engine: queries are then fully
            domain-local over the shared immutable graph. *)
         let reach = Reach.create Reach.Vector_clock graph in
-        run ~degraded model reach sidx d
+        run ~degraded ~partial model reach sidx d
           (Array.to_list (Array.sub groups_arr lo (hi - lo)))
     in
     let handles =

@@ -25,6 +25,11 @@
 
 type confidence =
   | Definite  (** both ops decoded cleanly from an intact trace region *)
+  | Under_partial_order
+      (** the verdict involves a rank implicated by an unmatched MPI call
+          (partial matching): the trace decoded cleanly, but the unmatched
+          call could have carried the happens-before edge that orders the
+          pair — "racy modulo unmatched calls" *)
   | Under_degradation
       (** the verdict involves an op (or rank) affected by trace
           degradation: the race is real on the salvaged subset, but lost
@@ -47,6 +52,8 @@ type stats = {
 val run :
   ?pruning:bool ->
   ?degraded:(int -> bool) ->
+  ?partial:(int -> bool) ->
+  ?budget:Vio_util.Budget.t ->
   Model.t ->
   Reach.t ->
   Msc.sync_index ->
@@ -57,11 +64,17 @@ val run :
     checks every pair in both directions (the ablation baseline).
     [degraded] (default: always false) says whether the op with a given
     index sits in a degraded region of the trace; races touching one are
-    tagged {!Under_degradation}. *)
+    tagged {!Under_degradation}. [partial] (default: always false) says
+    whether the op belongs to a rank implicated by an unmatched MPI call;
+    races touching one (and no degraded op) are tagged
+    {!Under_partial_order}. [budget], when given, is charged one step per
+    properly-synchronized evaluation and the stage aborts with
+    {!Vio_util.Budget.Exhausted} when it runs out. *)
 
 val run_parallel :
   ?domains:int ->
   ?degraded:(int -> bool) ->
+  ?partial:(int -> bool) ->
   Model.t ->
   Hb_graph.t ->
   Msc.sync_index ->

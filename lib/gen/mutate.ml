@@ -1,0 +1,27 @@
+module R = Recorder.Record
+
+let truncate_rank_tail ~rank ~keep records =
+  if keep < 0 then invalid_arg "Mutate.truncate_rank_tail: keep must be >= 0";
+  List.filter (fun (r : R.t) -> r.R.rank <> rank || r.R.seq < keep) records
+
+let rank_length ~rank records =
+  List.fold_left
+    (fun n (r : R.t) -> if r.R.rank = rank then n + 1 else n)
+    0 records
+
+(* The same LCG family the generator uses; mutation choice must be a pure
+   function of the seed so campaigns replay exactly. *)
+let random_truncation ~seed ~nranks records =
+  let s = ref ((seed * 0x9E3779B9) lxor (seed lsr 5) lxor 0x2545F491) in
+  let rand n =
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    if n <= 1 then 0 else !s mod n
+  in
+  let rank = rand (max 1 nranks) in
+  let len = rank_length ~rank records in
+  (* Keep at least one record so the rank exists in the trace, and cut at
+     least one so the mutation is never the identity on nonempty ranks. *)
+  if len <= 1 then (records, (rank, len))
+  else
+    let keep = 1 + rand (len - 1) in
+    (truncate_rank_tail ~rank ~keep records, (rank, keep))

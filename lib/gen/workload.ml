@@ -287,11 +287,11 @@ let interpret (p : program) (ctx : E.ctx) fs =
   M.barrier ctx world;
   Array.iter (fun fd -> F.close fs ~rank fd) fds
 
-let run (p : program) =
+let run ?abort_rank (p : program) =
   let trace = Recorder.Trace.create ~nranks:p.nranks in
   let fs = F.create ~trace ~model:F.Posix () in
   let eng = E.create ~trace ~nranks:p.nranks () in
-  E.run eng (fun ctx -> interpret p ctx fs);
+  E.run ?abort_rank eng (fun ctx -> interpret p ctx fs);
   Recorder.Trace.records trace
 
 (* ---------------------------------------------------------------- *)

@@ -75,12 +75,15 @@ val generate : ?max_steps:int -> seed:int -> unit -> program
 (** Deterministic in [seed]. [max_steps] (default 16) bounds the step
     count; idiom expansions may exceed it by a step or two. *)
 
-val run : program -> Recorder.Record.t list
+val run : ?abort_rank:int * int -> program -> Recorder.Record.t list
 (** Execute on a fresh traced stack. The interpreter wraps the steps in
     a fixed prologue (every rank opens the files; rank 0 seeds base
     contents; barrier) and epilogue (close surviving MPI-IO handles,
     barrier, close the files), so session and EOF state are always
-    well-defined. *)
+    well-defined. [abort_rank] is forwarded to {!Mpisim.Engine.run}: the
+    given rank crashes at the start of its (n+1)-th MPI operation,
+    leaving in-flight records — the resilience campaign's rank-abort
+    mutation. *)
 
 val step_to_string : step -> string
 

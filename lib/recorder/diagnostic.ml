@@ -12,6 +12,8 @@ type fault_class =
   | Incomplete_epilogue
   | Orphan_handle
   | Degraded_graph
+  | Unmatched_call
+  | Budget_exhausted
 
 let fault_class_to_string = function
   | Bad_header -> "bad-header"
@@ -25,12 +27,15 @@ let fault_class_to_string = function
   | Incomplete_epilogue -> "incomplete-epilogue"
   | Orphan_handle -> "orphan-handle"
   | Degraded_graph -> "degraded-graph"
+  | Unmatched_call -> "unmatched-call"
+  | Budget_exhausted -> "budget-exhausted"
 
 let all_fault_classes =
   [
     Bad_header; Bad_string_table; Unreadable_record; Bad_argument;
     Unknown_function; Duplicate_record; Truncated_trace; Broken_call_chain;
-    Incomplete_epilogue; Orphan_handle; Degraded_graph;
+    Incomplete_epilogue; Orphan_handle; Degraded_graph; Unmatched_call;
+    Budget_exhausted;
   ]
 
 type t = {

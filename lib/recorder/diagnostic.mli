@@ -27,6 +27,12 @@ type fault_class =
       (** I/O on a descriptor whose open was lost to degradation *)
   | Degraded_graph
       (** the happens-before graph had to be rebuilt without MPI edges *)
+  | Unmatched_call
+      (** an MPI call the matcher could not pair — a missing collective
+          participant, an orphaned send/receive, a never-completed
+          request (partial matching keeps going without it) *)
+  | Budget_exhausted
+      (** a verification stage overran its step budget and was cut off *)
 
 val fault_class_to_string : fault_class -> string
 

@@ -1,0 +1,31 @@
+type t = { limit : int; mutable used : int }
+
+exception Exhausted of { stage : string; limit : int; used : int }
+
+let create limit =
+  if limit < 1 then invalid_arg "Budget.create: limit must be positive";
+  { limit; used = 0 }
+
+let limit t = t.limit
+
+let used t = t.used
+
+let remaining t = max 0 (t.limit - t.used)
+
+let exhausted t = t.used > t.limit
+
+let spend t ~stage n =
+  if n < 0 then invalid_arg "Budget.spend: negative amount";
+  t.used <- t.used + n;
+  if t.used > t.limit then begin
+    Metrics.incr "budget/overruns";
+    Metrics.incr ("budget/overruns/" ^ stage);
+    raise (Exhausted { stage; limit = t.limit; used = t.used })
+  end
+
+let describe = function
+  | Exhausted { stage; limit; used } ->
+    Some
+      (Printf.sprintf "budget exhausted during %s (%d of %d steps)" stage used
+         limit)
+  | _ -> None

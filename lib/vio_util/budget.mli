@@ -1,0 +1,46 @@
+(** Deterministic fuel accounting for per-stage verification budgets.
+
+    A budget is a fixed number of abstract {e steps} a pipeline run may
+    spend; each stage charges its natural unit (records decoded, conflict
+    pairs, graph edges, engine nodes, properly-synchronized checks).
+    Because steps count work items rather than wall time, an overrun is a
+    pure function of the input — the same trace and limit always exhaust
+    at the same point, which makes budget-kill behaviour reproducible in
+    tests and across machines (unlike a wall-clock timeout).
+
+    The supervisor ({!Verifyio.Batch.run_isolated}) turns an {!Exhausted}
+    escape into a per-job [Timed_out] status instead of letting it abort
+    the whole campaign. *)
+
+type t
+
+exception
+  Exhausted of {
+    stage : string;  (** the stage that ran out, e.g. ["verify"] *)
+    limit : int;
+    used : int;  (** steps spent at the moment of the overrun *)
+  }
+
+val create : int -> t
+(** A fresh budget of the given step limit.
+    @raise Invalid_argument when the limit is not positive. *)
+
+val limit : t -> int
+
+val used : t -> int
+(** Steps spent so far (may exceed {!limit} by the final charge). *)
+
+val remaining : t -> int
+(** [max 0 (limit - used)]. *)
+
+val exhausted : t -> bool
+
+val spend : t -> stage:string -> int -> unit
+(** Charge [n] steps against the budget on behalf of [stage]. Raises
+    {!Exhausted} (and bumps the [budget/overruns] metrics counters) the
+    moment the total crosses the limit.
+    @raise Invalid_argument when [n] is negative. *)
+
+val describe : exn -> string option
+(** One-line rendering of an {!Exhausted} exception; [None] for any
+    other exception. *)

@@ -3,7 +3,22 @@ module V = Verifyio
 module J = Vio_util.Json
 module M = Vio_util.Metrics
 
-type wall = { domains : int; seconds : float; speedup : float }
+type wall = {
+  domains : int;
+  effective_domains : int;
+  seconds : float;
+  speedup : float;
+}
+
+type resilience = {
+  rs_jobs : int;
+  rs_done : int;
+  rs_timed_out : int;
+  rs_quarantined : int;
+  rs_retries : int;
+  rs_unmatched_entries : int;
+  rs_dropped_events : int;
+}
 
 type engine_row = {
   er_name : string;
@@ -38,6 +53,7 @@ type t = {
   stages : stages;
   metrics : M.snapshot;
   engines : engine_row list;
+  resilience : resilience;
 }
 
 (* A comparable digest of a corpus verification: per workload, per model,
@@ -105,7 +121,73 @@ let engine_rows () =
         })
       V.Reach.all_engines
 
-let run ?(tag = "pr2") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
+(* The supervisor pass: a small fixed fleet of deliberately-faulted jobs
+   through {!Verifyio.Batch.run_isolated}, in its own metrics window, so
+   the report carries the retry/quarantine/unmatched counters the
+   resilience work is measured by. One of each failure class: a rank
+   abort and a tail truncation (absorbed by partial matching), a budget
+   overrun (timed out, not retried), and a malformed trace (retried then
+   quarantined) — plus a pristine control. *)
+let resilience_pass () =
+  let w =
+    match Registry.find "t_pread" with
+    | Some w -> w
+    | None -> List.hd Registry.all
+  in
+  let healthy = H.run w in
+  let aborted = H.run ~abort_rank:(1, 3) w in
+  let truncated =
+    List.filter
+      (fun (r : Recorder.Record.t) ->
+        r.Recorder.Record.rank <> 0 || r.Recorder.Record.seq < 5)
+      healthy
+  in
+  let malformed =
+    [
+      {
+        Recorder.Record.rank = 0; seq = 0; tstart = 0; tend = 1;
+        layer = Recorder.Record.Posix; func = "pwrite";
+        args = [| "99"; "8"; "0" |]; ret = "8"; call_path = [];
+      };
+    ]
+  in
+  let lenient = Recorder.Diagnostic.Lenient in
+  let jobs =
+    [
+      Verifyio.Batch.job ~name:"pristine" ~nranks:w.H.nranks healthy;
+      Verifyio.Batch.job ~mode:lenient ~partial:true ~name:"rank-abort"
+        ~nranks:w.H.nranks aborted;
+      Verifyio.Batch.job ~mode:lenient ~partial:true ~name:"tail-truncation"
+        ~nranks:w.H.nranks truncated;
+      Verifyio.Batch.job ~budget:5 ~name:"budget-overrun" ~nranks:w.H.nranks
+        healthy;
+      Verifyio.Batch.job ~name:"malformed" ~nranks:1 malformed;
+    ]
+  in
+  M.reset ();
+  let isolated = Verifyio.Batch.run_isolated ~domains:1 ~retries:1 jobs in
+  let snap = M.snapshot () in
+  let count f = List.length (List.filter f isolated) in
+  {
+    rs_jobs = List.length isolated;
+    rs_done =
+      count (fun (i : Verifyio.Batch.isolated) ->
+          match i.Verifyio.Batch.i_status with
+          | Verifyio.Batch.Done _ -> true
+          | _ -> false);
+    rs_timed_out =
+      count (fun i ->
+          match i.Verifyio.Batch.i_status with
+          | Verifyio.Batch.Timed_out _ -> true
+          | _ -> false);
+    rs_quarantined =
+      List.length (Verifyio.Batch.quarantined isolated);
+    rs_retries = M.find_counter snap "batch/retries";
+    rs_unmatched_entries = M.find_counter snap "match/unmatched_entries";
+    rs_dropped_events = M.find_counter snap "graph/dropped_events";
+  }
+
+let run ?(tag = "pr4") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
      scheduler timeslice. A larger minor heap keeps the handshake rate
@@ -156,7 +238,12 @@ let run ?(tag = "pr2") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
                results)
         in
         if batch_digest <> seq_digest then verdicts_identical := false;
-        { domains = d; seconds; speedup = sequential_s /. seconds })
+        {
+          domains = d;
+          effective_domains = Verifyio.Batch.effective_domains (Some d);
+          seconds;
+          speedup = sequential_s /. seconds;
+        })
       domains
   in
   let stage name =
@@ -210,6 +297,7 @@ let run ?(tag = "pr2") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
       };
     metrics = snap;
     engines = engine_rows ();
+    resilience = resilience_pass ();
   }
 
 let to_json r =
@@ -254,6 +342,7 @@ let to_json r =
                      J.Obj
                        [
                          ("domains", J.Int w.domains);
+                         ("effective_domains", J.Int w.effective_domains);
                          ("seconds", J.Float w.seconds);
                          ("speedup_vs_sequential", J.Float w.speedup);
                        ])
@@ -286,6 +375,17 @@ let to_json r =
                    ("queries_per_s", J.Float e.er_queries_per_s);
                  ])
              r.engines) );
+      ( "resilience",
+        J.Obj
+          [
+            ("jobs", J.Int r.resilience.rs_jobs);
+            ("done", J.Int r.resilience.rs_done);
+            ("timed_out", J.Int r.resilience.rs_timed_out);
+            ("quarantined", J.Int r.resilience.rs_quarantined);
+            ("retries", J.Int r.resilience.rs_retries);
+            ("unmatched_entries", J.Int r.resilience.rs_unmatched_entries);
+            ("dropped_events", J.Int r.resilience.rs_dropped_events);
+          ] );
       ("metrics", M.to_json r.metrics);
     ]
 
@@ -311,8 +411,9 @@ let summary r =
     r.sequential_s r.repeats;
   List.iter
     (fun w ->
-      Printf.bprintf b "batch %d domain(s): %.3fs (%.2fx vs sequential)\n"
-        w.domains w.seconds w.speedup)
+      Printf.bprintf b
+        "batch %d domain(s) (effective %d): %.3fs (%.2fx vs sequential)\n"
+        w.domains w.effective_domains w.seconds w.speedup)
     r.walls;
   Printf.bprintf b "verdicts identical to sequential: %b\n"
     r.verdicts_identical;
@@ -323,4 +424,12 @@ let summary r =
         e.er_name (e.er_prepare_s *. 1000.) (e.er_verify_s *. 1000.)
         e.er_queries e.er_queries_per_s)
     r.engines;
+  Printf.bprintf b
+    "resilience: %d fault-injected job(s) — %d done, %d timed out, %d \
+     quarantined; %d retry(s), %d unmatched entr%s, %d dropped event(s)\n"
+    r.resilience.rs_jobs r.resilience.rs_done r.resilience.rs_timed_out
+    r.resilience.rs_quarantined r.resilience.rs_retries
+    r.resilience.rs_unmatched_entries
+    (if r.resilience.rs_unmatched_entries = 1 then "y" else "ies")
+    r.resilience.rs_dropped_events;
   Buffer.contents b

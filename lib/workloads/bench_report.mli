@@ -11,10 +11,27 @@
     schema is documented in [EXPERIMENTS.md] ("Perf trajectory"). *)
 
 type wall = {
-  domains : int;
+  domains : int;  (** the requested worker count *)
+  effective_domains : int;
+      (** what the request actually got after
+          {!Verifyio.Batch.effective_domains} clamping *)
   seconds : float;  (** best-of-[repeats] wall clock for the whole corpus *)
   speedup : float;  (** [sequential_s /. seconds] *)
 }
+
+type resilience = {
+  rs_jobs : int;  (** fault-injected jobs run through the supervisor *)
+  rs_done : int;
+  rs_timed_out : int;  (** budget overruns (deterministic, not retried) *)
+  rs_quarantined : int;
+  rs_retries : int;  (** [batch/retries] counter over the pass *)
+  rs_unmatched_entries : int;  (** [match/unmatched_entries] counter *)
+  rs_dropped_events : int;  (** [graph/dropped_events] counter *)
+}
+(** One supervisor pass over a fixed fleet of deliberately-faulted jobs
+    (rank abort, tail truncation, budget overrun, malformed trace, plus a
+    pristine control) through {!Verifyio.Batch.run_isolated} — the
+    resilience counters the report tracks PR over PR. *)
 
 type engine_row = {
   er_name : string;  (** {!Verifyio.Reach.engine_name} *)
@@ -35,7 +52,7 @@ type stages = {
     workloads × 4 models). *)
 
 type t = {
-  tag : string;  (** e.g. ["pr2"]; names the output file [BENCH_<tag>.json] *)
+  tag : string;  (** e.g. ["pr4"]; names the output file [BENCH_<tag>.json] *)
   generated_at : float;  (** unix epoch seconds *)
   recommended_domains : int;
   ocaml_version : string;
@@ -52,6 +69,7 @@ type t = {
   stages : stages;
   metrics : Vio_util.Metrics.snapshot;  (** the sequential sweep's counters *)
   engines : engine_row list;
+  resilience : resilience;
 }
 
 val run :

@@ -33,10 +33,10 @@ Unknown inputs produce helpful errors:
 
   $ ../../bin/verifyio_cli.exe verify nonexistent 2>&1
   "nonexistent" is neither a trace file nor a known workload
-  [1]
+  [2]
   $ ../../bin/verifyio_cli.exe verify t_pread -m Weird 2>&1
   unknown model "Weird" (POSIX, Commit, Session, MPI-IO)
-  [1]
+  [2]
 
 Trace statistics summarize layers and functions:
 

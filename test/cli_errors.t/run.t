@@ -1,0 +1,67 @@
+Every usage error — unknown flags, missing files, malformed numeric
+arguments — exits 2 with a one-line diagnostic, so driver scripts can
+tell "you called me wrong" (2) apart from "I found races" (also 2 on
+verify, but with a report on stdout), "verified under partial order"
+(5), and "budget exhausted" (6).
+
+Unknown flags and commands:
+
+  $ ../../bin/verifyio_cli.exe verify --bogus-flag t_pread 2>&1
+  verifyio: unknown option '--bogus-flag'.
+  [2]
+  $ ../../bin/verifyio_cli.exe nosuchcommand 2>&1
+  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'stats' or 'verify'.
+  [2]
+
+Missing input files:
+
+  $ ../../bin/verifyio_cli.exe verify /no/such/trace.vio-trace 2>&1
+  "/no/such/trace.vio-trace" is neither a trace file nor a known workload
+  [2]
+  $ ../../bin/verifyio_cli.exe fuzz --replay /no/such/dir 2>&1
+  no such trace or directory: /no/such/dir
+  [2]
+
+Malformed numeric arguments:
+
+  $ ../../bin/verifyio_cli.exe fuzz --seed notanumber 2>&1
+  verifyio: option '--seed': invalid value 'notanumber', expected an integer
+  [2]
+  $ ../../bin/verifyio_cli.exe fuzz --smoke --domains 0 2>&1
+  bad domain list "0" (want e.g. 1,2,4; all >= 1)
+  [2]
+  $ ../../bin/verifyio_cli.exe fuzz --smoke --domains 2,x 2>&1
+  bad domain list "2,x" (want e.g. 1,2,4; all >= 1)
+  [2]
+
+Supervisor knobs are validated up front:
+
+  $ ../../bin/verifyio_cli.exe verify t_pread --budget 0 2>&1
+  budget must be a positive step count
+  [2]
+  $ ../../bin/verifyio_cli.exe fuzz --resilience --smoke --retries=-1 2>&1
+  retries must be >= 0
+  [2]
+  $ ../../bin/verifyio_cli.exe run t_pread --abort-rank 9:1 2>&1
+  abort rank 9 out of range: t_pread has 4 rank(s)
+  [2]
+
+A too-small budget is not a usage error — the trace and flags are fine,
+the work was cut short — so it gets its own exit code, 6:
+
+  $ ../../bin/verifyio_cli.exe verify t_pread --budget 3 2>&1
+  budget exhausted during decode (110 of 3 steps)
+  [6]
+
+And a trace that verifies clean but carries unmatched MPI calls exits 5
+("properly synchronized modulo unmatched calls"), distinct from the
+unconditional 0:
+
+  $ ../../bin/verifyio_cli.exe run t_pread -o abort.trace --abort-rank 1:3
+  wrote 36 records to abort.trace
+  $ ../../bin/verifyio_cli.exe verify abort.trace --lenient --partial-match -m POSIX > out.txt 2>&1; echo "exit=$?"
+  exit=5
+  $ grep "^verdict:" out.txt
+  verdict: properly synchronized modulo unmatched calls
+  $ grep -c "missing participant" out.txt
+  7

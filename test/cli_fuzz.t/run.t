@@ -20,13 +20,18 @@ verdicts — so the smoke campaign locks byte-for-byte:
 Replaying the committed corpus re-verifies every saved trace through all
 subjects. seed41.vio-trace is the regression witness for the per-kind
 split of pruning rules 2/4 in Verify.run (a mixed read/write peer group
-once produced a false race); a divergence here would exit 4:
+once produced a false race); the *_truncate traces are tail-truncation
+witnesses for partial MPI matching (one rank's call stream ends early,
+leaving unmatched collectives every subject must absorb identically);
+a divergence here would exit 4:
 
   $ ../../bin/verifyio_cli.exe fuzz --replay ../fuzz_corpus
-  replay: ../fuzz_corpus (10 trace(s))
+  replay: ../fuzz_corpus (12 trace(s))
     seed1.vio-trace: 2 ranks, 25 records, 1 conflict pair(s), races 0/1/1/1
     seed10.vio-trace: 2 ranks, 63 records, 2 conflict pair(s), races 0/2/2/2
+    seed105_truncate.vio-trace: 3 ranks, 42 records, 1 conflict pair(s), races 0/1/1/1
     seed11.vio-trace: 3 ranks, 59 records, 4 conflict pair(s), races 0/4/4/4
+    seed118_truncate.vio-trace: 2 ranks, 38 records, 0 conflict pair(s), races 0/0/0/0
     seed2.vio-trace: 2 ranks, 44 records, 2 conflict pair(s), races 0/2/2/2
     seed3.vio-trace: 3 ranks, 86 records, 13 conflict pair(s), races 0/3/11/11
     seed41.vio-trace: 2 ranks, 56 records, 3 conflict pair(s), races 0/2/2/2
@@ -34,4 +39,4 @@ once produced a false race); a divergence here would exit 4:
     seed7.vio-trace: 3 ranks, 69 records, 5 conflict pair(s), races 0/5/2/2
     seed8.vio-trace: 2 ranks, 56 records, 2 conflict pair(s), races 0/2/2/2
     seed9.vio-trace: 3 ranks, 44 records, 3 conflict pair(s), races 0/3/3/3
-  replay: 0 divergent trace(s) of 10
+  replay: 0 divergent trace(s) of 12

@@ -30,12 +30,12 @@ fault is accounted for and verification still completes:
   $ grep -c "bad-argument" inj.out
   3
 
-Strict mode refuses the same corrupted trace loudly (exit 1):
+Strict mode refuses the same corrupted trace loudly (usage exit 2):
 
   $ ../../bin/verifyio_cli.exe verify clean.trace --inject "corrupt:0.3" --seed 7 -m POSIX 2>&1; echo "exit=$?"
   injected 39 fault(s) (seed 7)
   cannot read trace (line 26): corrupt argument: unescape: bad hex digit 'G' in "%G0"
-  exit=1
+  exit=2
 
 A rate-0 plan injects nothing and lenient output matches strict output
 bit for bit (modulo the timing line):
@@ -48,4 +48,4 @@ Malformed injection specs are rejected up front:
 
   $ ../../bin/verifyio_cli.exe verify clean.trace --lenient --inject "explode:0.5" 2>&1; echo "exit=$?"
   unknown fault kind "explode" (drop, truncate, corrupt, duplicate, strip-epilogue, clobber-table)
-  exit=1
+  exit=2

@@ -73,8 +73,8 @@ The stats subcommand summarizes a trace without verifying it:
   files (bytes written/read across ranks):
     fid 0 = /pnflex                      4608 written      256 read
 
-Unknown sources fail with exit code 1:
+Unknown sources fail with the usage exit code 2:
 
   $ ../../bin/verifyio_cli.exe report nosuch
   "nosuch" is neither a trace file nor a known workload
-  [1]
+  [2]
