@@ -430,7 +430,7 @@ let conflict_scaling () =
                      "4"))
           [ 0; 1 ]
       in
-      let d = V.Op.decode ~nranks:2 records in
+      let d = V.Estore.of_records ~nranks:2 records in
       let sweep_ms, groups =
         let t0 = Unix.gettimeofday () in
         let g = V.Conflict.detect d in
@@ -439,12 +439,17 @@ let conflict_scaling () =
       let quad_ms, quad_pairs =
         let t0 = Unix.gettimeofday () in
         let datas =
-          Array.to_list d.V.Op.ops
-          |> List.filter_map (fun (o : V.Op.t) ->
-                 match o.V.Op.kind with
-                 | V.Op.Data { fid; write; iv } ->
-                   Some (o.V.Op.idx, o.V.Op.record.Recorder.Record.rank, fid, write, iv)
-                 | _ -> None)
+          List.filter_map
+            (fun i ->
+              if V.Estore.is_data d i then
+                Some
+                  ( i,
+                    V.Estore.rank d i,
+                    V.Estore.fid d i,
+                    V.Estore.is_write d i,
+                    V.Estore.iv d i )
+              else None)
+            (List.init (V.Estore.length d) Fun.id)
         in
         let count = ref 0 in
         List.iter
@@ -482,7 +487,7 @@ let parallel_verification () =
   | None -> ()
   | Some w ->
     let records = H.run ~scale:10 w in
-    let d = V.Op.decode ~nranks:w.H.nranks records in
+    let d = V.Estore.of_records ~nranks:w.H.nranks records in
     let m = V.Match_mpi.run d in
     let g = V.Hb_graph.build d m in
     let sidx = V.Msc.build_index d in
@@ -521,11 +526,11 @@ let batch_corpus () =
   section
     "Batch verification engine (extension): the full 91-workload corpus\n\
      through the sequential per-model pipeline vs Batch.run at 1/2/4\n\
-     domains (shared trace artifacts per job). Writes BENCH_pr4.json.";
+     domains (shared trace artifacts per job). Writes BENCH_pr5.json.";
   let r = Workloads.Bench_report.run ~tag:"pr4" ~repeats:3 () in
   print_string (Workloads.Bench_report.summary r);
-  Workloads.Bench_report.write ~path:"BENCH_pr4.json" r;
-  print_endline "wrote BENCH_pr4.json (schema: EXPERIMENTS.md \"Perf trajectory\")"
+  Workloads.Bench_report.write ~path:"BENCH_pr5.json" r;
+  print_endline "wrote BENCH_pr5.json (schema: EXPERIMENTS.md \"Perf trajectory\")"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                             *)
@@ -537,7 +542,7 @@ let bechamel_benches () =
   let w = Option.get (Reg.find "testphdf5") in
   let records = H.run ~scale:2 w in
   let nranks = w.H.nranks in
-  let decoded = V.Op.decode ~nranks records in
+  let decoded = V.Estore.of_records ~nranks records in
   let matching = V.Match_mpi.run decoded in
   let graph = V.Hb_graph.build decoded matching in
   let groups = V.Conflict.detect decoded in
@@ -553,7 +558,8 @@ let bechamel_benches () =
   let tests =
     Test.make_grouped ~name:"pipeline"
       ([
-         test_of "decode-trace" (fun () -> ignore (V.Op.decode ~nranks records));
+         test_of "decode-trace" (fun () ->
+             ignore (V.Estore.of_records ~nranks records));
          test_of "detect-conflicts" (fun () ->
              ignore (V.Conflict.detect decoded));
          test_of "match-mpi" (fun () -> ignore (V.Match_mpi.run decoded));

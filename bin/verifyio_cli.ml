@@ -94,12 +94,22 @@ let resolve_engine = function
           on-the-fly)"
          e)
 
+(* Render a Codec.Malformed position, including the byte offset and
+   record number when the decoder knows them. *)
+let malformed_pos ~line ~byte ~record =
+  Printf.sprintf "line %d%s%s" line
+    (if byte >= 0 then Printf.sprintf ", byte %d" byte else "")
+    (if record >= 0 then Printf.sprintf ", record %d" record else "")
+
 let load_source source =
   if Sys.file_exists source then
     try Ok (Recorder.Codec.of_file source) with
     | Failure e -> Error ("cannot read trace: " ^ e)
-    | Recorder.Codec.Malformed { line; reason } ->
-      Error (Printf.sprintf "cannot read trace (line %d): %s" line reason)
+    | Recorder.Codec.Malformed { line; byte; record; reason } ->
+      Error
+        (Printf.sprintf "cannot read trace (%s): %s"
+           (malformed_pos ~line ~byte ~record)
+           reason)
   else
     match Workloads.Registry.find source with
     | Some w -> Ok (w.nranks, Workloads.Harness.run w)
@@ -132,8 +142,11 @@ let load_source_ext ~mode ~plan ~seed source =
         ( dec.Recorder.Codec.nranks,
           dec.Recorder.Codec.records,
           dec.Recorder.Codec.diagnostics )
-    | exception Recorder.Codec.Malformed { line; reason } ->
-      Error (Printf.sprintf "cannot read trace (line %d): %s" line reason)
+    | exception Recorder.Codec.Malformed { line; byte; record; reason } ->
+      Error
+        (Printf.sprintf "cannot read trace (%s): %s"
+           (malformed_pos ~line ~byte ~record)
+           reason)
   in
   if Sys.file_exists source then decode_str (Recorder.Codec.read_file source)
   else
@@ -173,26 +186,25 @@ let stats_cmd source =
     List.iteri
       (fun i (n, f) -> if i < 15 then Printf.printf "  %6d  %s\n" n f)
       (List.sort (fun a b -> compare b a) funcs);
-    let d = Verifyio.Op.decode ~nranks records in
+    let d = Verifyio.Estore.of_records ~nranks records in
     Printf.printf "\nfiles (bytes written/read across ranks):\n";
     let totals = Hashtbl.create 8 in
-    Array.iter
-      (fun (o : Verifyio.Op.t) ->
-        match o.Verifyio.Op.kind with
-        | Verifyio.Op.Data { fid; write; iv } ->
-          let w, rd =
-            Option.value ~default:(0, 0) (Hashtbl.find_opt totals fid)
-          in
-          let n = Vio_util.Interval.length iv in
-          Hashtbl.replace totals fid
-            (if write then (w + n, rd) else (w, rd + n))
-        | _ -> ())
-      d.Verifyio.Op.ops;
+    for i = 0 to Verifyio.Estore.length d - 1 do
+      if Verifyio.Estore.is_data d i then begin
+        let fid = Verifyio.Estore.fid d i in
+        let w, rd =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt totals fid)
+        in
+        let n = Vio_util.Interval.length (Verifyio.Estore.iv d i) in
+        Hashtbl.replace totals fid
+          (if Verifyio.Estore.is_write d i then (w + n, rd) else (w, rd + n))
+      end
+    done;
     List.iter
       (fun (path, fid) ->
         let w, rd = Option.value ~default:(0, 0) (Hashtbl.find_opt totals fid) in
         Printf.printf "  fid %d = %-24s %8d written %8d read\n" fid path w rd)
-      d.Verifyio.Op.files;
+      (Verifyio.Estore.files d);
     0
 
 let graph_cmd source out =
@@ -201,7 +213,7 @@ let graph_cmd source out =
     Printf.eprintf "%s\n" e;
     usage_error
   | Ok (nranks, records) ->
-    let d = Verifyio.Op.decode ~nranks records in
+    let d = Verifyio.Estore.of_records ~nranks records in
     let m = Verifyio.Match_mpi.run d in
     let g = Verifyio.Hb_graph.build d m in
     let dot = Verifyio.Hb_graph.to_dot g in
@@ -353,7 +365,7 @@ let bench_cmd out tag domains_spec scale repeats smoke =
     | None -> if smoke then [ 1; 2 ] else [ 1; 2; 4 ]
   in
   let repeats = if smoke then 1 else repeats in
-  let r = Workloads.Bench_report.run ~tag ?scale ~domains ~repeats () in
+  let r = Workloads.Bench_report.run ~tag ?scale ~domains ~repeats ~smoke () in
   print_string (Workloads.Bench_report.summary r);
   let path =
     match out with Some p -> p | None -> "BENCH_" ^ tag ^ ".json"
@@ -422,10 +434,11 @@ let fuzz_replay path domains =
   List.iter
     (fun f ->
       match Recorder.Codec.of_file f with
-      | exception Recorder.Codec.Malformed { line; reason } ->
+      | exception Recorder.Codec.Malformed { line; byte; record; reason } ->
         incr bad;
-        Printf.printf "  %s: cannot decode (line %d): %s\n" (Filename.basename f)
-          line reason
+        Printf.printf "  %s: cannot decode (%s): %s\n" (Filename.basename f)
+          (malformed_pos ~line ~byte ~record)
+          reason
       | nranks, records ->
         ignore (oracle_line ~label:(Filename.basename f) ~nranks records);
         let divs = Viogen.Diff.check ~domains ~nranks records in
@@ -756,7 +769,7 @@ let report_term = Term.(const report_cmd $ source_arg $ engine_arg $ grouped_arg
 
 let tag_arg =
   Arg.(
-    value & opt string "pr4"
+    value & opt string "pr5"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
@@ -873,6 +886,16 @@ let usage_exit code err_text =
     prerr_string err_text;
     code
   end
+
+(* Measurement child re-exec: the bench spawns this same binary with
+   VERIFYIO_COLUMNAR_CHILD set so decode peak heap is measured in a
+   process that has allocated nothing else. Must run before cmdliner. *)
+let () =
+  match Sys.getenv_opt "VERIFYIO_COLUMNAR_CHILD" with
+  | Some path ->
+    Workloads.Bench_report.columnar_child path;
+    exit 0
+  | None -> ()
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -40,12 +40,12 @@ let () =
     records;
 
   print_endline "\n== Step 2: detect conflicts ==";
-  let d = V.Op.decode ~nranks records in
+  let d = V.Estore.of_records ~nranks records in
   let groups = V.Conflict.detect d in
   Printf.printf "%d conflicting pair(s)\n" (V.Conflict.distinct_pairs groups);
   List.iter
     (fun (g : V.Conflict.group) ->
-      Format.printf "  anchor %a@." V.Op.pp (V.Op.op d g.V.Conflict.x))
+      Format.printf "  anchor %a@." (V.Estore.pp d) g.V.Conflict.x)
     groups;
 
   print_endline "\n== Step 3: match MPI calls, build happens-before ==";

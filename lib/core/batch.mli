@@ -74,7 +74,7 @@ val run : ?domains:int -> job list -> result list
 (** Run every job; results are in job order regardless of scheduling.
     [domains = 1] (or a single job) runs inline with no domain spawned;
     requests above {!effective_domains} are clamped. If a job raises
-    (e.g. a strict-mode {!Op.Malformed}), the remaining claimed jobs
+    (e.g. a strict-mode {!Estore.Malformed}), the remaining claimed jobs
     still complete, then the first failing job's exception (in job order)
     is re-raised.
 

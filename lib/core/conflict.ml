@@ -1,28 +1,20 @@
+module E = Estore
+
 type group = { x : int; peers : (int * int array) list }
 
 type ival = { os : int; oe : int; write : bool; rank : int; idx : int }
 
-let detect (d : Op.decoded) =
-  (* Gather intervals per file id. *)
-  let by_fid : (int, ival list ref) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun (o : Op.t) ->
-      match o.Op.kind with
-      | Op.Data { fid; write; iv } when not (Vio_util.Interval.is_empty iv) ->
-        let cell =
-          match Hashtbl.find_opt by_fid fid with
-          | Some c -> c
-          | None ->
-            let c = ref [] in
-            Hashtbl.replace by_fid fid c;
-            c
-        in
-        cell :=
-          { os = iv.Vio_util.Interval.os; oe = iv.Vio_util.Interval.oe;
-            write; rank = o.record.Recorder.Record.rank; idx = o.idx }
-          :: !cell
-      | _ -> ())
-    d.Op.ops;
+(* Sweep one file's intervals (§IV-B): sorted by start offset; for each
+   interval, later-starting intervals are scanned until one starts past
+   its end. Returns the file's conflict groups in no particular order —
+   anchors are unique to a file, so the caller's global sort by anchor is
+   a deterministic merge. *)
+let sweep_file (arr : ival array) =
+  Array.sort
+    (fun a b ->
+      let c = compare a.os b.os in
+      if c <> 0 then c else compare a.oe b.oe)
+    arr;
   (* conflicts.(anchor) : rank -> op idx list (reversed) *)
   let conflicts : (int, (int, int list ref) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 64
@@ -46,44 +38,100 @@ let detect (d : Op.decoded) =
     in
     cell := peer :: !cell
   in
-  Hashtbl.iter
-    (fun _fid cell ->
-      let arr = Array.of_list !cell in
-      Array.sort (fun a b -> compare (a.os, a.oe) (b.os, b.oe)) arr;
-      let n = Array.length arr in
-      for i = 0 to n - 1 do
-        let a = arr.(i) in
-        let j = ref (i + 1) in
-        (* Later intervals start at or after a.os; once one starts past
-           a.oe, none of the rest overlaps a. *)
-        while !j < n && arr.(!j).os < a.oe do
-          let b = arr.(!j) in
-          if a.rank <> b.rank && (a.write || b.write) then begin
-            note ~anchor:a.idx ~peer_rank:b.rank ~peer:b.idx;
-            note ~anchor:b.idx ~peer_rank:a.rank ~peer:a.idx
-          end;
-          incr j
-        done
-      done)
-    by_fid;
-  let groups =
-    Hashtbl.fold
-      (fun anchor per_rank acc ->
-        let peers =
-          Hashtbl.fold
-            (fun rank cell acc ->
-              let ops = Array.of_list !cell in
-              Array.sort compare ops;
-              (* Program order within a rank is op-index order; duplicates
-                 cannot occur (each pair noted once per direction). *)
-              (rank, ops) :: acc)
-            per_rank []
-          |> List.sort (fun (r1, _) (r2, _) -> compare r1 r2)
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    let a = arr.(i) in
+    let j = ref (i + 1) in
+    (* Later intervals start at or after a.os; once one starts past
+       a.oe, none of the rest overlaps a. *)
+    while !j < n && arr.(!j).os < a.oe do
+      let b = arr.(!j) in
+      if a.rank <> b.rank && (a.write || b.write) then begin
+        note ~anchor:a.idx ~peer_rank:b.rank ~peer:b.idx;
+        note ~anchor:b.idx ~peer_rank:a.rank ~peer:a.idx
+      end;
+      incr j
+    done
+  done;
+  Hashtbl.fold
+    (fun anchor per_rank acc ->
+      let peers =
+        Hashtbl.fold
+          (fun rank cell acc ->
+            let ops = Array.of_list !cell in
+            Array.sort compare ops;
+            (* Program order within a rank is op-index order; duplicates
+               cannot occur (each pair noted once per direction). *)
+            (rank, ops) :: acc)
+          per_rank []
+        |> List.sort (fun (r1, _) (r2, _) -> compare r1 r2)
+      in
+      { x = anchor; peers } :: acc)
+    conflicts []
+
+let detect ?(domains = 1) (e : E.t) =
+  (* Gather intervals per file id. Iterating op indices ascending and
+     consing leaves each file's intervals in descending-index order — the
+     sweep's sort is not stable, so this initial order is part of the
+     contract with the boxed detector's output. *)
+  let by_fid : (int, ival list ref) Hashtbl.t = Hashtbl.create 16 in
+  let n = E.length e in
+  for i = 0 to n - 1 do
+    if E.is_data e i then begin
+      let os = E.iv_lo e i and oe = E.iv_hi e i in
+      if os < oe then begin
+        let cell =
+          match Hashtbl.find_opt by_fid (E.fid e i) with
+          | Some c -> c
+          | None ->
+            let c = ref [] in
+            Hashtbl.replace by_fid (E.fid e i) c;
+            c
         in
-        { x = anchor; peers } :: acc)
-      conflicts []
+        cell := { os; oe; write = E.is_write e i; rank = E.rank e i; idx = i } :: !cell
+      end
+    end
+  done;
+  (* Shard the sweep across domains, one task per file: files are
+     independent (conflicts never cross fids), so domains pull fids from a
+     shared cursor and write into per-fid result slots. Task order is
+     sorted by fid only so the big files (low fids, opened first) start
+     early; results are position-addressed, so scheduling cannot change
+     the output. *)
+  let tasks =
+    Hashtbl.fold (fun fid cell acc -> (fid, Array.of_list !cell) :: acc) by_fid []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
   in
-  let groups = List.sort (fun a b -> compare a.x b.x) groups in
+  let ntasks = Array.length tasks in
+  let results = Array.make ntasks [] in
+  let workers = max 1 (min domains ntasks) in
+  let run_worker next () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < ntasks then begin
+        results.(i) <- sweep_file (snd tasks.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if workers <= 1 then
+    for i = 0 to ntasks - 1 do
+      results.(i) <- sweep_file (snd tasks.(i))
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let spawned =
+      List.init (workers - 1) (fun _ -> Domain.spawn (run_worker next))
+    in
+    run_worker next ();
+    List.iter Domain.join spawned
+  end;
+  let groups =
+    Array.fold_left (fun acc gs -> List.rev_append gs acc) [] results
+    |> List.sort (fun a b -> compare a.x b.x)
+  in
   Vio_util.Metrics.incr "conflict/detect_runs";
   Vio_util.Metrics.incr ~n:(List.length groups) "conflict/groups";
   Vio_util.Metrics.incr ~n:(Hashtbl.length by_fid) "conflict/files_with_data";

@@ -1,7 +1,7 @@
-module R = Recorder.Record
+module E = Estore
 
 type t = {
-  d : Op.decoded;
+  d : E.t;
   n_real : int;
   n_total : int;
   succs_arr : int list array;
@@ -29,9 +29,9 @@ let node_rank t v = t.ranks.(v)
 
 let rank_pos t v = t.pos.(v)
 
-let rank_chain t r = t.d.Op.by_rank.(r)
+let rank_chain t r = E.rank_chain t.d r
 
-let nranks t = t.d.Op.nranks
+let nranks t = E.nranks t.d
 
 let node_tstart t v = t.tstamps.(v)
 
@@ -50,8 +50,8 @@ type proto = {
   a_colls : (int * int option) list list;
 }
 
-let assemble (d : Op.decoded) (m : Match_mpi.result) =
-  let n_real = Array.length d.Op.ops in
+let assemble (d : E.t) (m : Match_mpi.result) =
+  let n_real = E.length d in
   let completed_colls =
     List.filter_map
       (function
@@ -72,21 +72,20 @@ let assemble (d : Op.decoded) (m : Match_mpi.result) =
   (* Node -> (rank, position) for real nodes. *)
   let pos = Array.make n_total (-1) in
   let ranks = Array.make n_total (-1) in
-  Array.iteri
-    (fun rank chain ->
-      Array.iteri
-        (fun p idx ->
-          pos.(idx) <- p;
-          ranks.(idx) <- rank)
-        chain)
-    d.Op.by_rank;
+  for rank = 0 to E.nranks d - 1 do
+    Array.iteri
+      (fun p idx ->
+        pos.(idx) <- p;
+        ranks.(idx) <- rank)
+      (E.rank_chain d rank)
+  done;
   (* Program order chains. *)
-  Array.iter
-    (fun chain ->
-      for k = 0 to Array.length chain - 2 do
-        add_edge chain.(k) chain.(k + 1)
-      done)
-    d.Op.by_rank;
+  for rank = 0 to E.nranks d - 1 do
+    let chain = E.rank_chain d rank in
+    for k = 0 to Array.length chain - 2 do
+      add_edge chain.(k) chain.(k + 1)
+    done
+  done;
   (* Point-to-point edges. *)
   List.iter
     (function
@@ -98,12 +97,12 @@ let assemble (d : Op.decoded) (m : Match_mpi.result) =
      nesting contiguous per rank). *)
   let subtree_end c =
     let rank = ranks.(c) in
-    let chain = d.Op.by_rank.(rank) in
-    let tend = (Op.op d c).Op.record.R.tend in
+    let chain = E.rank_chain d rank in
+    let tend = E.tend d c in
     let rec go p =
       if
         p + 1 < Array.length chain
-        && (Op.op d chain.(p + 1)).Op.record.R.tstart < tend
+        && E.tstart d chain.(p + 1) < tend
       then go (p + 1)
       else p
     in
@@ -120,7 +119,7 @@ let assemble (d : Op.decoded) (m : Match_mpi.result) =
              after the completing call (the initiator itself for blocking
              collectives). *)
           let rank = ranks.(init) in
-          let chain = d.Op.by_rank.(rank) in
+          let chain = E.rank_chain d rank in
           add_edge chain.(subtree_end init) join;
           match completion with
           | Some c ->
@@ -163,17 +162,17 @@ let topo_of a =
   done;
   if !filled <> n_total then None else Some topo
 
-let graph_of (d : Op.decoded) a topo =
+let graph_of (d : E.t) a topo =
   let n_real = a.a_n_real in
   let tstamps = Array.make a.a_n_total 0 in
   for v = 0 to n_real - 1 do
-    tstamps.(v) <- (Op.op d v).Op.record.R.tstart
+    tstamps.(v) <- E.tstart d v
   done;
   List.iteri
     (fun k parts ->
       tstamps.(n_real + k) <-
         List.fold_left
-          (fun acc (init, _) -> max acc (Op.op d init).Op.record.R.tend)
+          (fun acc (init, _) -> max acc (E.tend d init))
           0 parts)
     a.a_colls;
   {
@@ -189,11 +188,11 @@ let graph_of (d : Op.decoded) a topo =
     edges = a.a_edges;
   }
 
-let build (d : Op.decoded) (m : Match_mpi.result) =
+let build (d : E.t) (m : Match_mpi.result) =
   let a = assemble d m in
   match topo_of a with
   | Some topo -> graph_of d a topo
-  | None -> raise (Op.Malformed "happens-before graph contains a cycle")
+  | None -> raise (E.Malformed "happens-before graph contains a cycle")
 
 (* Strongly connected components (iterative Kosaraju). Returns the
    component id of every node; only components of size > 1 can carry a
@@ -251,7 +250,7 @@ let scc_of a =
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
   (comp, sizes)
 
-let build_partial (d : Op.decoded) (m : Match_mpi.result) =
+let build_partial (d : E.t) (m : Match_mpi.result) =
   let a = assemble d m in
   match topo_of a with
   | Some topo -> (graph_of d a topo, [])
@@ -284,7 +283,7 @@ let build_partial (d : Op.decoded) (m : Match_mpi.result) =
     let kept = List.rev kept and dropped = List.rev dropped in
     (match build d { m with Match_mpi.events = kept } with
     | g -> (g, dropped)
-    | exception Op.Malformed _ ->
+    | exception E.Malformed _ ->
       (* Cannot happen by the argument above; keep a hard floor anyway. *)
       (build d { m with Match_mpi.events = [] }, m.Match_mpi.events))
 
@@ -299,12 +298,11 @@ let to_dot ?(highlight = []) t =
          rank rank);
     Array.iter
       (fun v ->
-        let r = (Op.op t.d v).Op.record in
         let fill = if List.mem v highlight then ", style=filled, fillcolor=salmon" else "" in
         Buffer.add_string buf
           (Printf.sprintf "    n%d [label=\"#%d %s\"%s];\n" v v
-             (escape r.R.func) fill))
-      t.d.Op.by_rank.(rank);
+             (escape (E.func t.d v)) fill))
+      (E.rank_chain t.d rank);
     Buffer.add_string buf "  }\n"
   done;
   for v = t.n_real to t.n_total - 1 do

@@ -14,17 +14,17 @@
       after its own matching call. Like the paper's matcher (and
       Recorder's), every matched collective is treated as synchronizing.
 
-    The graph is a DAG; {!build} raises [Op.Malformed] on a cycle (which
+    The graph is a DAG; {!build} raises [Estore.Malformed] on a cycle (which
     would indicate a corrupted trace). *)
 
 type t
 
-val build : Op.decoded -> Match_mpi.result -> t
+val build : Estore.t -> Match_mpi.result -> t
 (** Assemble the graph from a decoded trace and its MPI matching.
     Incomplete events (a participant never returned) contribute no
     synchronization edges — the conservative choice for aborted runs. *)
 
-val build_partial : Op.decoded -> Match_mpi.result -> t * Match_mpi.event list
+val build_partial : Estore.t -> Match_mpi.result -> t * Match_mpi.event list
 (** Like {!build}, but never raises on a cycle: the events whose edges
     participate in a cycle (located via strongly connected components of
     the full edge set) are dropped and the graph is rebuilt from the rest.

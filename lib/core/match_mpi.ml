@@ -1,5 +1,6 @@
 module R = Recorder.Record
 module D = Recorder.Diagnostic
+module E = Estore
 
 type event =
   | P2p of { send : int; completion : int }
@@ -30,12 +31,11 @@ let pp_unmatched d ppf = function
         ^ String.concat "," (List.map string_of_int l))
   | Orphan_collective { comm; rank; op } ->
     Format.fprintf ppf "@[<h>orphan collective %s on comm %d from rank %d@]"
-      (Op.op d op).Op.record.R.func comm rank
+      (E.func d op) comm rank
   | Unmatched_send op ->
-    Format.fprintf ppf "@[<h>unmatched send: %a@]" R.pp (Op.op d op).Op.record
+    Format.fprintf ppf "@[<h>unmatched send: %a@]" R.pp (E.record d op)
   | Unmatched_recv op ->
-    Format.fprintf ppf "@[<h>unmatched receive: %a@]" R.pp
-      (Op.op d op).Op.record
+    Format.fprintf ppf "@[<h>unmatched receive: %a@]" R.pp (E.record d op)
 
 type result = {
   events : event list;
@@ -59,24 +59,23 @@ let collective_funcs =
     "MPI_File_write_at_all"; "MPI_File_read_at_all"; "MPI_File_write_all";
   ]
 
-let is_collective (r : R.t) =
-  (r.layer = R.Mpi || r.layer = R.Mpiio) && List.mem r.func collective_funcs
+let is_collective d i =
+  let l = E.layer d i in
+  (l = R.Mpi || l = R.Mpiio) && List.mem (E.func d i) collective_funcs
 
 (* Request-id argument position of non-blocking collectives. *)
-let nonblocking_rid_arg (r : R.t) =
-  match r.func with
+let nonblocking_rid_arg func =
+  match func with
   | "MPI_Ibarrier" -> Some 1
   | "MPI_Iallreduce" -> Some 3
   | _ -> None
-
-let in_flight (r : R.t) = r.ret = Recorder.Trace.in_flight_ret
 
 (* ---------------------------------------------------------------- *)
 (* Matching                                                           *)
 (* ---------------------------------------------------------------- *)
 
 type state = {
-  d : Op.decoded;
+  d : E.t;
   mode : D.mode;
   mutable diags : D.t list;
   mutable events : event list;
@@ -89,7 +88,7 @@ type state = {
   completions : (int * int, int * int * int) Hashtbl.t;
 }
 
-let comm_of_coll d idx = R.int_arg (Op.op d idx).Op.record 0
+let comm_of_coll d idx = E.int_arg d idx 0
 
 (* In lenient mode a corrupt MPI record must not take the whole matching
    pass down: absorb the parse failure as a diagnostic and skip the unit
@@ -99,7 +98,7 @@ let guarded st ?rank ?seq ~what f =
   | D.Strict -> f ()
   | D.Lenient -> (
     try f () with
-    | Op.Malformed msg | Failure msg ->
+    | E.Malformed msg | Failure msg ->
       st.diags <-
         D.make ?rank ?seq ~fault:D.Bad_argument
           (Printf.sprintf "%s: %s" what msg)
@@ -113,69 +112,70 @@ let guarded st ?rank ?seq ~what f =
 (* One pass over Wait/Waitall/Test/Testsome records: which call completed
    which request id, and with what recovered status. *)
 let collect_completions st =
+  let d = st.d in
   let note ~rank ~rid ~src ~tag ~idx =
     if not (Hashtbl.mem st.completions (rank, rid)) then
       Hashtbl.replace st.completions (rank, rid) (idx, src, tag)
   in
-  Array.iter
-    (fun (o : Op.t) ->
-      let r = o.Op.record in
-      if r.R.layer = R.Mpi && not (in_flight r) then
-        guarded st ~rank:r.R.rank ~seq:r.R.seq
-          ~what:(Printf.sprintf "completion record %s" r.R.func) @@ fun () ->
-        match r.R.func with
-        | "MPI_Wait" ->
-          note ~rank:r.R.rank ~rid:(R.int_arg r 0) ~src:(R.int_arg r 1)
-            ~tag:(R.int_arg r 2) ~idx:o.Op.idx
-        | "MPI_Waitall" ->
-          let split_csv s = if s = "" then [] else String.split_on_char ',' s in
-          let rids = List.map int_of_string (split_csv (R.arg r 1)) in
-          let statuses =
-            List.map
-              (fun s ->
-                match String.split_on_char ':' s with
-                | [ a; b ] -> (int_of_string a, int_of_string b)
-                | _ -> raise (Op.Malformed "bad MPI_Waitall status"))
-              (split_csv (R.arg r 2))
-          in
-          List.iter2
-            (fun rid (src, tag) -> note ~rank:r.R.rank ~rid ~src ~tag ~idx:o.Op.idx)
-            rids statuses
-        | "MPI_Test" ->
-          if R.arg r 1 = "1" then
-            note ~rank:r.R.rank ~rid:(R.int_arg r 0) ~src:(R.int_arg r 2)
-              ~tag:(R.int_arg r 3) ~idx:o.Op.idx
-        | "MPI_Testsome" ->
-          let split_csv s = if s = "" then [] else String.split_on_char ',' s in
-          List.iter
-            (fun entry ->
-              match String.split_on_char ':' entry with
-              | [ rid; src; tag ] ->
-                note ~rank:r.R.rank ~rid:(int_of_string rid)
-                  ~src:(int_of_string src) ~tag:(int_of_string tag) ~idx:o.Op.idx
-              | _ -> raise (Op.Malformed "bad MPI_Testsome completion"))
-            (split_csv (R.arg r 3))
-        | _ -> ())
-    st.d.Op.ops
+  for i = 0 to E.length d - 1 do
+    if E.layer d i = R.Mpi && not (E.in_flight d i) then begin
+      let rank = E.rank d i and func = E.func d i in
+      guarded st ~rank ~seq:(E.seq d i)
+        ~what:(Printf.sprintf "completion record %s" func) @@ fun () ->
+      match func with
+      | "MPI_Wait" ->
+        note ~rank ~rid:(E.int_arg d i 0) ~src:(E.int_arg d i 1)
+          ~tag:(E.int_arg d i 2) ~idx:i
+      | "MPI_Waitall" ->
+        let split_csv s = if s = "" then [] else String.split_on_char ',' s in
+        let rids = List.map int_of_string (split_csv (E.arg d i 1)) in
+        let statuses =
+          List.map
+            (fun s ->
+              match String.split_on_char ':' s with
+              | [ a; b ] -> (int_of_string a, int_of_string b)
+              | _ -> raise (E.Malformed "bad MPI_Waitall status"))
+            (split_csv (E.arg d i 2))
+        in
+        List.iter2
+          (fun rid (src, tag) -> note ~rank ~rid ~src ~tag ~idx:i)
+          rids statuses
+      | "MPI_Test" ->
+        if E.arg d i 1 = "1" then
+          note ~rank ~rid:(E.int_arg d i 0) ~src:(E.int_arg d i 2)
+            ~tag:(E.int_arg d i 3) ~idx:i
+      | "MPI_Testsome" ->
+        let split_csv s = if s = "" then [] else String.split_on_char ',' s in
+        List.iter
+          (fun entry ->
+            match String.split_on_char ':' entry with
+            | [ rid; src; tag ] ->
+              note ~rank ~rid:(int_of_string rid) ~src:(int_of_string src)
+                ~tag:(int_of_string tag) ~idx:i
+            | _ -> raise (E.Malformed "bad MPI_Testsome completion"))
+          (split_csv (E.arg d i 3))
+      | _ -> ()
+    end
+  done
 
 let collect_collectives st =
-  Array.iter
-    (fun (o : Op.t) ->
-      if is_collective o.record then
-        guarded st ~rank:o.record.R.rank ~seq:o.record.R.seq
-          ~what:(Printf.sprintf "collective record %s" o.record.R.func)
-        @@ fun () ->
-        let key = (comm_of_coll st.d o.idx, o.record.R.rank) in
-        let cell =
-          match Hashtbl.find_opt st.coll_seqs key with
-          | Some c -> c
-          | None ->
-            let c = ref [] in
-            Hashtbl.replace st.coll_seqs key c;
-            c
-        in
-        cell := o.idx :: !cell)
-    st.d.Op.ops;
+  let d = st.d in
+  for i = 0 to E.length d - 1 do
+    if is_collective d i then
+      guarded st ~rank:(E.rank d i) ~seq:(E.seq d i)
+        ~what:(Printf.sprintf "collective record %s" (E.func d i))
+      @@ fun () ->
+      let key = (comm_of_coll d i, E.rank d i) in
+      let cell =
+        match Hashtbl.find_opt st.coll_seqs key with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.replace st.coll_seqs key c;
+          c
+      in
+      cell := i :: !cell
+  done;
   (* Store in program order. *)
   Hashtbl.iter (fun _ c -> c := List.rev !c) st.coll_seqs
 
@@ -219,7 +219,7 @@ let match_comm st comm_id =
       let present = List.rev !present and missing = List.rev !missing in
       let funcs =
         List.sort_uniq compare
-          (List.map (fun (_, idx) -> (Op.op st.d idx).Op.record.R.func) present)
+          (List.map (fun (_, idx) -> E.func st.d idx) present)
       in
       let orphan_rest () =
         (* Everything after this position on this communicator is
@@ -241,25 +241,24 @@ let match_comm st comm_id =
         let parts =
           List.map
             (fun idx ->
-              let r = (Op.op st.d idx).Op.record in
-              match nonblocking_rid_arg r with
+              match nonblocking_rid_arg (E.func st.d idx) with
               | None -> (idx, Some idx)
               | Some rid_arg -> (
-                match int_of_string_opt (R.arg r rid_arg) with
+                match int_of_string_opt (E.arg st.d idx rid_arg) with
                 | None -> (idx, None)
                 | Some rid -> (
-                  match Hashtbl.find_opt st.completions (r.R.rank, rid) with
+                  match Hashtbl.find_opt st.completions (E.rank st.d idx, rid) with
                   | Some (cidx, _, _) -> (idx, Some cidx)
                   | None -> (idx, None))))
             inits
         in
         let completed =
-          List.for_all (fun idx -> not (in_flight (Op.op st.d idx).Op.record)) inits
+          List.for_all (fun idx -> not (E.in_flight st.d idx)) inits
         in
         st.events <- Collective { parts; completed } :: st.events;
         (* Communicator creation registers the new communicator. *)
         if func = "MPI_Comm_dup" && completed then begin
-          let newcomm = R.int_arg (Op.op st.d (List.hd inits)).Op.record 1 in
+          let newcomm = E.int_arg st.d (List.hd inits) 1 in
           if not (Hashtbl.mem st.comms newcomm) then begin
             Hashtbl.replace st.comms newcomm (Array.copy members);
             fresh := newcomm :: !fresh
@@ -269,8 +268,10 @@ let match_comm st comm_id =
           let entries =
             List.map
               (fun idx ->
-                let r = (Op.op st.d idx).Op.record in
-                (r.R.rank, R.int_arg r 1, R.int_arg r 2, R.int_arg r 3))
+                ( E.rank st.d idx,
+                  E.int_arg st.d idx 1,
+                  E.int_arg st.d idx 2,
+                  E.int_arg st.d idx 3 ))
               inits
           in
           let colors =
@@ -309,9 +310,7 @@ let match_comm st comm_id =
               comm = comm_id;
               position = pos;
               present =
-                List.map
-                  (fun (w, idx) -> (w, (Op.op st.d idx).Op.record.R.func))
-                  present;
+                List.map (fun (w, idx) -> (w, E.func st.d idx)) present;
               missing;
             }
           :: st.unmatched;
@@ -322,7 +321,7 @@ let match_comm st comm_id =
       | D.Strict -> process ()
       | D.Lenient -> (
         try process ()
-        with Op.Malformed msg | Failure msg | Invalid_argument msg ->
+        with E.Malformed msg | Failure msg | Invalid_argument msg ->
           st.diags <-
             D.make ~fault:D.Bad_argument
               (Printf.sprintf
@@ -336,7 +335,7 @@ let match_comm st comm_id =
 
 let match_collectives st =
   collect_collectives st;
-  Hashtbl.replace st.comms 0 (Array.init st.d.Op.nranks Fun.id);
+  Hashtbl.replace st.comms 0 (Array.init (E.nranks st.d) Fun.id);
   let rec go known =
     match known with
     | [] -> ()
@@ -377,6 +376,7 @@ let world_of_comm_rank st ~comm cr =
 let split_csv s = if s = "" then [] else String.split_on_char ',' s
 
 let match_p2p st =
+  let d = st.d in
   let sends = ref [] and recvs = ref [] and pending_unmatched = ref [] in
   (* Per rank: rid -> (posted op idx, comm). *)
   let posted : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
@@ -399,91 +399,87 @@ let match_p2p st =
           :: !recvs
       | None -> pending_unmatched := Unmatched_recv posted_idx :: !pending_unmatched)
   in
-  Array.iter
-    (fun (o : Op.t) ->
-      let r = o.record in
-      if r.R.layer = R.Mpi then
-        guarded st ~rank:r.R.rank ~seq:r.R.seq
-          ~what:(Printf.sprintf "p2p record %s" r.R.func) @@ fun () ->
-        match r.R.func with
-        | "MPI_Send" | "MPI_Isend" ->
-          sends :=
-            {
-              s_idx = o.idx;
-              s_dst_w =
-                (match
-                   world_of_comm_rank st ~comm:(R.int_arg r 2) (R.int_arg r 0)
-                 with
-                | Some w -> w
-                | None -> -1);
-              s_tag = R.int_arg r 1;
-              s_comm = R.int_arg r 2;
-            }
-            :: !sends
-        | "MPI_Recv" ->
-          if in_flight r then
-            pending_unmatched := Unmatched_recv o.idx :: !pending_unmatched
-          else begin
-            let comm = R.int_arg r 2 in
-            let src_cr = R.int_arg r 4 and tag = R.int_arg r 5 in
-            match world_of_comm_rank st ~comm src_cr with
-            | Some src_w ->
-              recvs :=
-                {
-                  r_posted = o.idx;
-                  r_completion = o.idx;
-                  r_src_w = src_w;
-                  r_tag = tag;
-                  r_comm = comm;
-                }
-                :: !recvs
-            | None ->
-              pending_unmatched := Unmatched_recv o.idx :: !pending_unmatched
-          end
-        | "MPI_Irecv" ->
-          if not (in_flight r) then
-            Hashtbl.replace posted
-              (r.R.rank, R.int_arg r 3)
-              (o.idx, R.int_arg r 2)
-        | "MPI_Wait" ->
-          if not (in_flight r) then
-            complete_rid ~rank:r.R.rank ~rid:(R.int_arg r 0)
-              ~status:(R.int_arg r 1, R.int_arg r 2)
-              ~completion:o.idx
-        | "MPI_Waitall" ->
-          if not (in_flight r) then begin
-            let rids = List.map int_of_string (split_csv (R.arg r 1)) in
-            let statuses =
-              List.map
-                (fun s ->
-                  match String.split_on_char ':' s with
-                  | [ a; b ] -> (int_of_string a, int_of_string b)
-                  | _ -> raise (Op.Malformed "bad MPI_Waitall status"))
-                (split_csv (R.arg r 2))
-            in
-            List.iter2
-              (fun rid status ->
-                complete_rid ~rank:r.R.rank ~rid ~status ~completion:o.idx)
-              rids statuses
-          end
-        | "MPI_Test" ->
-          if (not (in_flight r)) && R.arg r 1 = "1" then
-            complete_rid ~rank:r.R.rank ~rid:(R.int_arg r 0)
-              ~status:(R.int_arg r 2, R.int_arg r 3)
-              ~completion:o.idx
-        | "MPI_Testsome" ->
-          if not (in_flight r) then
-            List.iter
-              (fun entry ->
-                match String.split_on_char ':' entry with
-                | [ rid; src; tag ] ->
-                  complete_rid ~rank:r.R.rank ~rid:(int_of_string rid)
-                    ~status:(int_of_string src, int_of_string tag)
-                    ~completion:o.idx
-                | _ -> raise (Op.Malformed "bad MPI_Testsome completion"))
-              (split_csv (R.arg r 3))
-        | _ -> ())
-    st.d.Op.ops;
+  for i = 0 to E.length d - 1 do
+    if E.layer d i = R.Mpi then begin
+      let rank = E.rank d i and func = E.func d i in
+      guarded st ~rank ~seq:(E.seq d i)
+        ~what:(Printf.sprintf "p2p record %s" func) @@ fun () ->
+      match func with
+      | "MPI_Send" | "MPI_Isend" ->
+        sends :=
+          {
+            s_idx = i;
+            s_dst_w =
+              (match
+                 world_of_comm_rank st ~comm:(E.int_arg d i 2) (E.int_arg d i 0)
+               with
+              | Some w -> w
+              | None -> -1);
+            s_tag = E.int_arg d i 1;
+            s_comm = E.int_arg d i 2;
+          }
+          :: !sends
+      | "MPI_Recv" ->
+        if E.in_flight d i then
+          pending_unmatched := Unmatched_recv i :: !pending_unmatched
+        else begin
+          let comm = E.int_arg d i 2 in
+          let src_cr = E.int_arg d i 4 and tag = E.int_arg d i 5 in
+          match world_of_comm_rank st ~comm src_cr with
+          | Some src_w ->
+            recvs :=
+              {
+                r_posted = i;
+                r_completion = i;
+                r_src_w = src_w;
+                r_tag = tag;
+                r_comm = comm;
+              }
+              :: !recvs
+          | None -> pending_unmatched := Unmatched_recv i :: !pending_unmatched
+        end
+      | "MPI_Irecv" ->
+        if not (E.in_flight d i) then
+          Hashtbl.replace posted (rank, E.int_arg d i 3) (i, E.int_arg d i 2)
+      | "MPI_Wait" ->
+        if not (E.in_flight d i) then
+          complete_rid ~rank ~rid:(E.int_arg d i 0)
+            ~status:(E.int_arg d i 1, E.int_arg d i 2)
+            ~completion:i
+      | "MPI_Waitall" ->
+        if not (E.in_flight d i) then begin
+          let rids = List.map int_of_string (split_csv (E.arg d i 1)) in
+          let statuses =
+            List.map
+              (fun s ->
+                match String.split_on_char ':' s with
+                | [ a; b ] -> (int_of_string a, int_of_string b)
+                | _ -> raise (E.Malformed "bad MPI_Waitall status"))
+              (split_csv (E.arg d i 2))
+          in
+          List.iter2
+            (fun rid status -> complete_rid ~rank ~rid ~status ~completion:i)
+            rids statuses
+        end
+      | "MPI_Test" ->
+        if (not (E.in_flight d i)) && E.arg d i 1 = "1" then
+          complete_rid ~rank ~rid:(E.int_arg d i 0)
+            ~status:(E.int_arg d i 2, E.int_arg d i 3)
+            ~completion:i
+      | "MPI_Testsome" ->
+        if not (E.in_flight d i) then
+          List.iter
+            (fun entry ->
+              match String.split_on_char ':' entry with
+              | [ rid; src; tag ] ->
+                complete_rid ~rank ~rid:(int_of_string rid)
+                  ~status:(int_of_string src, int_of_string tag)
+                  ~completion:i
+              | _ -> raise (E.Malformed "bad MPI_Testsome completion"))
+            (split_csv (E.arg d i 3))
+      | _ -> ()
+    end
+  done;
   (* Posted but never completed receives. *)
   Hashtbl.iter
     (fun _ (posted_idx, _) ->
@@ -510,12 +506,12 @@ let match_p2p st =
   in
   List.iter
     (fun s ->
-      let src_w = (Op.op st.d s.s_idx).Op.record.R.rank in
+      let src_w = E.rank d s.s_idx in
       push (s.s_comm, src_w, s.s_dst_w, s.s_tag) (`Send s))
     !sends;
   List.iter
     (fun rr ->
-      let dst_w = (Op.op st.d rr.r_posted).Op.record.R.rank in
+      let dst_w = E.rank d rr.r_posted in
       push (rr.r_comm, rr.r_src_w, dst_w, rr.r_tag) (`Recv rr))
     !recvs;
   Hashtbl.iter
@@ -582,32 +578,29 @@ let entry_diagnostic e =
 let entries_of_event d ?(reason = Inconsistent_order)
     ?(detail = "dropped from the happens-before graph") = function
   | P2p { send; completion } ->
-    let s = (Op.op d send).Op.record in
-    let c = (Op.op d completion).Op.record in
     [
       {
-        e_func = s.R.func;
-        e_rank = s.R.rank;
+        e_func = E.func d send;
+        e_rank = E.rank d send;
         e_comm = None;
-        e_seq = Some s.R.seq;
+        e_seq = Some (E.seq d send);
         e_reason = reason;
         e_detail = detail;
-        e_implicated = List.sort_uniq compare [ s.R.rank; c.R.rank ];
+        e_implicated =
+          List.sort_uniq compare [ E.rank d send; E.rank d completion ];
       };
     ]
   | Collective { parts; _ } ->
     let ranks =
-      List.sort_uniq compare
-        (List.map (fun (init, _) -> (Op.op d init).Op.record.R.rank) parts)
+      List.sort_uniq compare (List.map (fun (init, _) -> E.rank d init) parts)
     in
     List.map
       (fun (init, _) ->
-        let rc = (Op.op d init).Op.record in
         {
-          e_func = rc.R.func;
-          e_rank = rc.R.rank;
+          e_func = E.func d init;
+          e_rank = E.rank d init;
           e_comm = None;
-          e_seq = Some rc.R.seq;
+          e_seq = Some (E.seq d init);
           e_reason = reason;
           e_detail = detail;
           e_implicated = ranks;
@@ -659,13 +652,12 @@ let inventory d (r : result) =
               })
             missing
       | Orphan_collective { comm; rank; op } ->
-        let rc = (Op.op d op).Op.record in
         [
           {
-            e_func = rc.R.func;
+            e_func = E.func d op;
             e_rank = rank;
             e_comm = Some comm;
-            e_seq = Some rc.R.seq;
+            e_seq = Some (E.seq d op);
             e_reason = Orphaned;
             e_detail = Printf.sprintf "comm %d never fully matched" comm;
             e_implicated =
@@ -675,19 +667,18 @@ let inventory d (r : result) =
           };
         ]
       | Unmatched_send op ->
-        let rc = (Op.op d op).Op.record in
-        let comm = safe (fun () -> Some (R.int_arg rc 2)) in
+        let comm = safe (fun () -> Some (E.int_arg d op 2)) in
         let dst =
           match comm with
-          | Some c -> safe (fun () -> world ~comm:c (R.int_arg rc 0))
+          | Some c -> safe (fun () -> world ~comm:c (E.int_arg d op 0))
           | None -> None
         in
         [
           {
-            e_func = rc.R.func;
-            e_rank = rc.R.rank;
+            e_func = E.func d op;
+            e_rank = E.rank d op;
             e_comm = comm;
-            e_seq = Some rc.R.seq;
+            e_seq = Some (E.seq d op);
             e_reason = No_matching_recv;
             e_detail =
               (match dst with
@@ -695,29 +686,28 @@ let inventory d (r : result) =
               | None -> "destination unresolved");
             e_implicated =
               (match dst with
-              | Some w -> List.sort_uniq compare [ rc.R.rank; w ]
+              | Some w -> List.sort_uniq compare [ E.rank d op; w ]
               | None -> []);
           };
         ]
       | Unmatched_recv op ->
-        let rc = (Op.op d op).Op.record in
-        let comm = safe (fun () -> Some (R.int_arg rc 2)) in
-        let never_returned = in_flight rc in
+        let comm = safe (fun () -> Some (E.int_arg d op 2)) in
+        let never_returned = E.in_flight d op in
         let src =
           (* Only a completed blocking receive carries a recovered status
              we can trust; everything else leaves the sender unknown. *)
-          if never_returned || rc.R.func <> "MPI_Recv" then None
+          if never_returned || E.func d op <> "MPI_Recv" then None
           else
             match comm with
-            | Some c -> safe (fun () -> world ~comm:c (R.int_arg rc 4))
+            | Some c -> safe (fun () -> world ~comm:c (E.int_arg d op 4))
             | None -> None
         in
         [
           {
-            e_func = rc.R.func;
-            e_rank = rc.R.rank;
+            e_func = E.func d op;
+            e_rank = E.rank d op;
             e_comm = comm;
-            e_seq = Some rc.R.seq;
+            e_seq = Some (E.seq d op);
             e_reason =
               (if never_returned then Never_completed else No_matching_send);
             e_detail =
@@ -726,7 +716,7 @@ let inventory d (r : result) =
               | None -> "source unresolved");
             e_implicated =
               (match src with
-              | Some w -> List.sort_uniq compare [ rc.R.rank; w ]
+              | Some w -> List.sort_uniq compare [ E.rank d op; w ]
               | None -> []);
           };
         ])

@@ -49,7 +49,7 @@ type unmatched =
   | Unmatched_recv of int  (** posted receive that never completed or never
                                found a sender *)
 
-val pp_unmatched : Op.decoded -> Format.formatter -> unmatched -> unit
+val pp_unmatched : Estore.t -> Format.formatter -> unmatched -> unit
 (** Render one unmatched diagnostic with rank/function context — the
     gray-row annotations of Fig. 4. *)
 
@@ -93,14 +93,14 @@ type entry = {
           affected *)
 }
 
-val inventory : Op.decoded -> result -> entry list
+val inventory : Estore.t -> result -> entry list
 (** The structured unmatched-call inventory (paper §VI's "unmatched
     calls" accounting): one entry per unmatched call, in [unmatched]
     order. Never raises — fields that cannot be parsed from a (possibly
     corrupt) record are left unresolved. *)
 
 val entries_of_event :
-  Op.decoded -> ?reason:reason -> ?detail:string -> event -> entry list
+  Estore.t -> ?reason:reason -> ?detail:string -> event -> entry list
 (** Inventory entries for a {e matched} event that was nevertheless given
     up — used by partial graph construction when an event's edges would
     create a cycle. Default reason {!Inconsistent_order}. *)
@@ -109,8 +109,8 @@ val entry_diagnostic : entry -> Recorder.Diagnostic.t
 (** Render an entry as an {!Recorder.Diagnostic.Unmatched_call}
     diagnostic. *)
 
-val run : ?mode:Recorder.Diagnostic.mode -> Op.decoded -> result
-(** Strict mode (default) propagates {!Op.Malformed} on corrupt MPI
+val run : ?mode:Recorder.Diagnostic.mode -> Estore.t -> result
+(** Strict mode (default) propagates {!Estore.Malformed} on corrupt MPI
     arguments. Lenient mode never raises: a record whose fields cannot be
     parsed is dropped from matching with a diagnostic, and a collective
     position that references it is treated like a mismatch (subsequent

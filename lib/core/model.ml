@@ -1,6 +1,9 @@
 type edge = Po | Hb
 
-type sync_pred = { sp_name : string; sp_matches : Op.t -> fid:int -> bool }
+type sync_pred = {
+  sp_name : string;
+  sp_matches : Estore.t -> int -> fid:int -> bool;
+}
 
 type msc = { edges : edge list; syncs : sync_pred list }
 
@@ -24,46 +27,46 @@ let make ~name ~sync_set ~msc_desc ~mscs =
 
 (* Classify a file-scoped sync-capable operation on the given file:
    [`Open]/[`Close]/[`Sync] with its API flavour, or None. *)
-let sync_shape op ~fid =
-  match op.Op.kind with
-  | Op.File_open { fid = f; api } when f = fid -> Some (`Open, api)
-  | Op.File_close { fid = f; api } when f = fid -> Some (`Close, api)
-  | Op.File_sync { fid = f; api } when f = fid -> Some (`Sync, api)
-  | Op.File_open _ | Op.File_close _ | Op.File_sync _ | Op.Data _
-  | Op.Mpi_call | Op.Meta | Op.Other ->
-    None
+let sync_shape e i ~fid =
+  let module E = Estore in
+  let t = E.kind_tag e i in
+  if E.fid e i <> fid then None
+  else if t = E.tag_open then Some (`Open, E.api_of e i)
+  else if t = E.tag_close then Some (`Close, E.api_of e i)
+  else if t = E.tag_sync then Some (`Sync, E.api_of e i)
+  else None
 
 let commit_pred =
   {
     sp_name = "commit";
     sp_matches =
-      (fun op ~fid ->
-        match sync_shape op ~fid with Some (`Sync, _) -> true | _ -> false);
+      (fun e i ~fid ->
+        match sync_shape e i ~fid with Some (`Sync, _) -> true | _ -> false);
   }
 
 let session_close_pred =
   {
     sp_name = "session_close";
     sp_matches =
-      (fun op ~fid ->
-        match sync_shape op ~fid with Some (`Close, _) -> true | _ -> false);
+      (fun e i ~fid ->
+        match sync_shape e i ~fid with Some (`Close, _) -> true | _ -> false);
   }
 
 let session_open_pred =
   {
     sp_name = "session_open";
     sp_matches =
-      (fun op ~fid ->
-        match sync_shape op ~fid with Some (`Open, _) -> true | _ -> false);
+      (fun e i ~fid ->
+        match sync_shape e i ~fid with Some (`Open, _) -> true | _ -> false);
   }
 
 let mpiio_s1_pred =
   {
     sp_name = "MPI_File_close|MPI_File_sync";
     sp_matches =
-      (fun op ~fid ->
-        match sync_shape op ~fid with
-        | Some ((`Close | `Sync), Op.Mpiio_handle) -> true
+      (fun e i ~fid ->
+        match sync_shape e i ~fid with
+        | Some ((`Close | `Sync), Some Estore.Mpiio_handle) -> true
         | _ -> false);
   }
 
@@ -71,9 +74,9 @@ let mpiio_s2_pred =
   {
     sp_name = "MPI_File_sync|MPI_File_open";
     sp_matches =
-      (fun op ~fid ->
-        match sync_shape op ~fid with
-        | Some ((`Sync | `Open), Op.Mpiio_handle) -> true
+      (fun e i ~fid ->
+        match sync_shape e i ~fid with
+        | Some ((`Sync | `Open), Some Estore.Mpiio_handle) -> true
         | _ -> false);
   }
 

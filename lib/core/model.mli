@@ -26,7 +26,8 @@ type edge = Po | Hb
 
 type sync_pred = {
   sp_name : string;  (** e.g. ["commit"], ["session_close"] *)
-  sp_matches : Op.t -> fid:int -> bool;
+  sp_matches : Estore.t -> int -> fid:int -> bool;
+      (** does the op at this index synchronize the given file? *)
 }
 
 type msc = { edges : edge list; syncs : sync_pred list }

@@ -1,27 +1,24 @@
+module E = Estore
+
 type sync_index = {
-  d : Op.decoded;
+  d : E.t;
   per_rank : int array array;  (* sync-op idxs per rank, program order *)
   all : int array;  (* all sync-op idxs *)
 }
 
-let is_sync_op (o : Op.t) =
-  match o.Op.kind with
-  | Op.File_open _ | Op.File_close _ | Op.File_sync _ -> true
-  | Op.Data _ | Op.Mpi_call | Op.Meta | Op.Other -> false
+let is_sync_op d i =
+  let t = E.kind_tag d i in
+  t = E.tag_open || t = E.tag_close || t = E.tag_sync
 
-let build_index (d : Op.decoded) =
+let build_index (d : E.t) =
   let per_rank =
-    Array.map
-      (fun chain ->
+    Array.init (E.nranks d) (fun rank ->
         Array.of_list
-          (List.filter
-             (fun idx -> is_sync_op (Op.op d idx))
-             (Array.to_list chain)))
-      d.Op.by_rank
+          (List.filter (is_sync_op d)
+             (Array.to_list (E.rank_chain d rank))))
   in
   let all =
-    Array.of_list
-      (List.concat_map Array.to_list (Array.to_list per_rank))
+    Array.of_list (List.concat_map Array.to_list (Array.to_list per_rank))
   in
   Array.sort compare all;
   { d; per_rank; all }
@@ -34,13 +31,12 @@ let sync_op_count idx = Array.length idx.all
 let candidates t ~fid ~(pred : Model.sync_pred) ~edge ~prev =
   match (edge : Model.edge) with
   | Model.Po ->
-    let rank = (Op.op t.d prev).Op.record.Recorder.Record.rank in
+    let rank = E.rank t.d prev in
     Array.to_list t.per_rank.(rank)
-    |> List.filter (fun s ->
-           s > prev && pred.Model.sp_matches (Op.op t.d s) ~fid)
+    |> List.filter (fun s -> s > prev && pred.Model.sp_matches t.d s ~fid)
   | Model.Hb ->
     Array.to_list t.all
-    |> List.filter (fun s -> pred.Model.sp_matches (Op.op t.d s) ~fid)
+    |> List.filter (fun s -> pred.Model.sp_matches t.d s ~fid)
 
 let edge_holds reach ~edge a b =
   match (edge : Model.edge) with
@@ -69,23 +65,18 @@ let msc_holds t reach ~fid ~x ~y (m : Model.msc) =
   go ~from:x m.Model.edges m.Model.syncs
 
 let properly_synchronized model reach t ~x ~y =
-  let fid_x, write_x =
-    match x.Op.kind with
-    | Op.Data { fid; write; _ } -> (fid, write)
-    | _ -> invalid_arg "Msc.properly_synchronized: x is not a data op"
-  in
-  let fid_y =
-    match y.Op.kind with
-    | Op.Data { fid; _ } -> fid
-    | _ -> invalid_arg "Msc.properly_synchronized: y is not a data op"
-  in
-  if fid_x <> fid_y then
+  let d = t.d in
+  if not (E.is_data d x) then
+    invalid_arg "Msc.properly_synchronized: x is not a data op";
+  if not (E.is_data d y) then
+    invalid_arg "Msc.properly_synchronized: y is not a data op";
+  if E.fid d x <> E.fid d y then
     invalid_arg "Msc.properly_synchronized: operations on different files";
-  if not write_x then
+  if not (E.is_write d x) then
     (* Def. 6 case 1: a read is properly synchronized before Y iff it
        happens-before Y. *)
-    Reach.reaches reach x.Op.idx y.Op.idx
+    Reach.reaches reach x y
   else
     List.exists
-      (fun m -> msc_holds t reach ~fid:fid_x ~x:x.Op.idx ~y:y.Op.idx m)
+      (fun m -> msc_holds t reach ~fid:(E.fid d x) ~x ~y m)
       model.Model.mscs

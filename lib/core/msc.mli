@@ -17,7 +17,7 @@ type sync_index
     operations (opens, closes, syncs) — the candidate pool every MSC
     instantiation draws [S1..Sk] from. *)
 
-val build_index : Op.decoded -> sync_index
+val build_index : Estore.t -> sync_index
 (** One linear pass over the decoded ops; build once per trace and share
     across models and conflict pairs (as {!Pipeline.prepare} does). *)
 
@@ -25,6 +25,6 @@ val sync_op_count : sync_index -> int
 (** Total indexed sync operations (a workload-size statistic). *)
 
 val properly_synchronized :
-  Model.t -> Reach.t -> sync_index -> x:Op.t -> y:Op.t -> bool
-(** Both operations must be data operations on the same file; raises
-    [Invalid_argument] otherwise. *)
+  Model.t -> Reach.t -> sync_index -> x:int -> y:int -> bool
+(** [x] and [y] are op indices into the index's store; both must be data
+    operations on the same file ([Invalid_argument] otherwise). *)

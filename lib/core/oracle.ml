@@ -9,15 +9,14 @@ type verdict = {
   unmatched : int;
 }
 
-let conflict_pairs (d : Op.decoded) =
+let conflict_pairs (d : Estore.t) =
+  let module E = Estore in
   let datas =
-    Array.to_list d.Op.ops
-    |> List.filter_map (fun (o : Op.t) ->
-           match o.Op.kind with
-           | Op.Data { fid; write; iv }
-             when not (Vio_util.Interval.is_empty iv) ->
-             Some (o.Op.idx, o.Op.record.Recorder.Record.rank, fid, write, iv)
-           | _ -> None)
+    List.init (E.length d) Fun.id
+    |> List.filter_map (fun i ->
+           if E.is_data d i && not (Vio_util.Interval.is_empty (E.iv d i))
+           then Some (i, E.rank d i, E.fid d i, E.is_write d i, E.iv d i)
+           else None)
   in
   let pairs = ref [] in
   List.iter
@@ -48,26 +47,24 @@ let reaches g a b =
     List.exists go (Hb_graph.succs g a)
   end
 
-let is_sync_op (o : Op.t) =
-  match o.Op.kind with
-  | Op.File_open _ | Op.File_close _ | Op.File_sync _ -> true
-  | Op.Data _ | Op.Mpi_call | Op.Meta | Op.Other -> false
+let is_sync_op (d : Estore.t) i =
+  let module E = Estore in
+  let t = E.kind_tag d i in
+  t = E.tag_open || t = E.tag_close || t = E.tag_sync
 
 (* Same-rank op indices are program-ordered (ops are sorted by
    (rank, seq)), so program order is just index order within a rank. *)
-let po_before (d : Op.decoded) a b =
-  Op.rank_of d a = Op.rank_of d b && a < b
+let po_before (d : Estore.t) a b = Estore.rank d a = Estore.rank d b && a < b
 
-let properly_synchronized model g (d : Op.decoded) ~x ~y =
-  let xo = Op.op d x in
+let properly_synchronized model g (d : Estore.t) ~x ~y =
+  let module E = Estore in
   let fid =
-    match xo.Op.kind with
-    | Op.Data { fid; _ } -> fid
-    | _ -> invalid_arg "Oracle.properly_synchronized: x is not a data op"
+    if E.is_data d x then E.fid d x
+    else invalid_arg "Oracle.properly_synchronized: x is not a data op"
   in
-  if not (Op.is_write xo) then reaches g x y
+  if not (E.is_write d x) then reaches g x y
   else begin
-    let n = Array.length d.Op.ops in
+    let n = E.length d in
     let edge_ok e a b =
       match (e : Model.edge) with
       | Model.Po -> po_before d a b
@@ -81,10 +78,9 @@ let properly_synchronized model g (d : Op.decoded) ~x ~y =
         let found = ref false in
         for s = 0 to n - 1 do
           if not !found then
-            let so = Op.op d s in
             if
-              is_sync_op so
-              && p.Model.sp_matches so ~fid
+              is_sync_op d s
+              && p.Model.sp_matches d s ~fid
               && edge_ok e from s
               && go s edges' syncs'
             then found := true
@@ -97,7 +93,7 @@ let properly_synchronized model g (d : Op.decoded) ~x ~y =
   end
 
 let verify ?(models = Model.builtin) ~nranks records =
-  let d = Op.decode ~nranks records in
+  let d = Estore.of_records ~nranks records in
   let m = Match_mpi.run d in
   let g = Hb_graph.build d m in
   let pairs = conflict_pairs d in

@@ -13,7 +13,7 @@
     shares artifacts across models, the oracle re-derives everything per
     call.
 
-    Only trace decoding ({!Op.decode}), MPI matching ({!Match_mpi.run})
+    Only trace decoding ({!Estore.of_records}), MPI matching ({!Match_mpi.run})
     and happens-before graph {e construction} ({!Hb_graph.build}) are
     reused — they define the input, not the verdict; graph {e traversal}
     is the oracle's own. Intended for small generated traces: every
@@ -27,7 +27,7 @@ type verdict = {
   unmatched : int;  (** unmatched MPI diagnostics *)
 }
 
-val conflict_pairs : Op.decoded -> (int * int) list
+val conflict_pairs : Estore.t -> (int * int) list
 (** Every conflicting pair by brute force: all (i, j) with [i < j],
     different ranks, same file, overlapping non-empty intervals, at least
     one write. Sorted. *)
@@ -37,7 +37,7 @@ val reaches : Hb_graph.t -> int -> int -> bool
     memoization, no precomputation); reflexive like {!Reach.reaches}. *)
 
 val properly_synchronized :
-  Model.t -> Hb_graph.t -> Op.decoded -> x:int -> y:int -> bool
+  Model.t -> Hb_graph.t -> Estore.t -> x:int -> y:int -> bool
 (** Def. 6 by exhaustive search: a read [x] needs a happens-before path
     to [y]; a write [x] needs one of the model's MSCs instantiated by
     trying {e every} operation of the trace as each sync step. Raises

@@ -46,14 +46,14 @@ type outcome = {
   graph_edges : int;
   stats : Verify.stats;
   timings : timings;
-  decoded : Op.decoded;
+  decoded : Estore.t;
   engine_used : Reach.engine;
   degradation : degradation;
 }
 
 type prepared = {
   p_mode : D.mode;
-  p_decoded : Op.decoded;
+  p_decoded : Estore.t;
   p_groups : Conflict.group list;
   p_conflicts : int;
   p_matching : Match_mpi.result;
@@ -79,16 +79,18 @@ let timed f =
   (Unix.gettimeofday () -. t0, v)
 
 let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
-    ?budget ~nranks records =
+    ?budget ?(sweep_domains = 1) ~nranks records =
   let lenient = mode = D.Lenient in
   let spend stage n =
     match budget with
     | Some b -> Vio_util.Budget.spend b ~stage n
     | None -> ()
   in
-  let t_read, d = timed (fun () -> Op.decode ~mode ~nranks records) in
+  let t_read, d = timed (fun () -> Estore.of_records ~mode ~nranks records) in
   spend "decode" (List.length records);
-  let t_conflicts, groups = timed (fun () -> Conflict.detect d) in
+  let t_conflicts, groups =
+    timed (fun () -> Conflict.detect ~domains:sweep_domains d)
+  in
   let conflicts = Conflict.distinct_pairs groups in
   spend "conflicts" conflicts;
   let t_graph, (matching, graph, graph_fallback, dropped) =
@@ -104,7 +106,7 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
         else
           match Hb_graph.build d m with
           | g -> (m, g, false, [])
-          | exception Op.Malformed _ when lenient ->
+          | exception Estore.Malformed _ when lenient ->
             (* The salvaged MPI events are inconsistent (e.g. a cycle from a
                half-lost collective): fall back to program order + file
                metadata only. Every cross-rank verdict is then degraded. *)
@@ -118,7 +120,7 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
       @ List.concat_map (Match_mpi.entries_of_event d) dropped
   in
   let diagnostics =
-    upstream @ d.Op.diagnostics
+    upstream @ Estore.diagnostics d
     @ matching.Match_mpi.diagnostics
     @ List.map Match_mpi.entry_diagnostic inventory
     @
@@ -150,7 +152,7 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
          trace — unless partial matching is on, in which case unmatched
          calls are accounted rank-by-rank via the inventory and downgrade
          verdicts to [Under_partial_order] instead. *)
-      let by_rank = Array.make (max 1 d.Op.nranks) false in
+      let by_rank = Array.make (max 1 (Estore.nranks d)) false in
       let any_global =
         ref
           (graph_fallback
@@ -165,13 +167,13 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
             | Some _ | None -> any_global := true)
         diagnostics;
       if !any_global then fun _ -> true
-      else fun idx -> d.Op.degraded.(idx) || by_rank.(Op.rank_of d idx)
+      else fun idx -> Estore.degraded d idx || by_rank.(Estore.rank d idx)
     end
   in
   let partial_pred =
     if inventory = [] then fun _ -> false
     else begin
-      let by_rank = Array.make (max 1 d.Op.nranks) false in
+      let by_rank = Array.make (max 1 (Estore.nranks d)) false in
       let all = ref false in
       List.iter
         (fun (e : Match_mpi.entry) ->
@@ -184,7 +186,7 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
               rs)
         inventory;
       if !all then fun _ -> true
-      else fun idx -> by_rank.(Op.rank_of d idx)
+      else fun idx -> by_rank.(Estore.rank d idx)
     end
   in
   let degradation =
@@ -196,7 +198,11 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
           + D.count_class D.Unreadable_record diagnostics
           + D.count_class D.Duplicate_record diagnostics;
         ops_degraded =
-          Array.fold_left (fun n b -> if b then n + 1 else n) 0 d.Op.degraded;
+          (let n = ref 0 in
+           for i = 0 to Estore.length d - 1 do
+             if Estore.degraded d i then incr n
+           done;
+           !n);
         fds_orphaned = D.count_class D.Orphan_handle diagnostics;
         chains_broken = D.count_class D.Broken_call_chain diagnostics;
         epilogues_missing = D.count_class D.Incomplete_epilogue diagnostics;
@@ -282,8 +288,11 @@ let verify_prepared ?(pruning = true) ~model p =
   }
 
 let verify ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
-    ?partial ?budget ~model ~nranks records =
-  let p = prepare ?engine ~mode ~upstream ?partial ?budget ~nranks records in
+    ?partial ?budget ?sweep_domains ~model ~nranks records =
+  let p =
+    prepare ?engine ~mode ~upstream ?partial ?budget ?sweep_domains ~nranks
+      records
+  in
   verify_prepared ~pruning ~model p
 
 let verify_all_models ?engine ~nranks records =
@@ -292,8 +301,11 @@ let verify_all_models ?engine ~nranks records =
     Model.builtin
 
 let verify_shared ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
-    ?partial ?budget ?(models = Model.builtin) ~nranks records =
-  let p = prepare ?engine ~mode ~upstream ?partial ?budget ~nranks records in
+    ?partial ?budget ?sweep_domains ?(models = Model.builtin) ~nranks records =
+  let p =
+    prepare ?engine ~mode ~upstream ?partial ?budget ?sweep_domains ~nranks
+      records
+  in
   List.map (fun model -> (model, verify_prepared ~pruning ~model p)) models
 
 let is_properly_synchronized o = o.races = [] && o.unmatched = []

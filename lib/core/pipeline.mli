@@ -41,7 +41,8 @@ type timings = {
 type degradation = {
   records_lost : int;
       (** records truncated, unreadable, or deduplicated away *)
-  ops_degraded : int;  (** ops downgraded to {!Op.Other} during decoding *)
+  ops_degraded : int;
+      (** ops downgraded to {!Estore.Other} during decoding *)
   fds_orphaned : int;  (** I/O calls on descriptors whose open was lost *)
   chains_broken : int;  (** call chains that could not be resolved *)
   epilogues_missing : int;  (** calls that never returned *)
@@ -78,7 +79,7 @@ type outcome = {
   graph_edges : int;
   stats : Verify.stats;  (** pruning-rule hit counts and check totals *)
   timings : timings;
-  decoded : Op.decoded;  (** the decoded trace (for report rendering) *)
+  decoded : Estore.t;  (** the decoded trace (for report rendering) *)
   engine_used : Reach.engine;
       (** the engine that served this run's happens-before queries *)
   degradation : degradation;
@@ -101,6 +102,7 @@ val prepare :
   ?upstream:Recorder.Diagnostic.t list ->
   ?partial:bool ->
   ?budget:Vio_util.Budget.t ->
+  ?sweep_domains:int ->
   nranks:int ->
   Recorder.Record.t list ->
   prepared
@@ -121,7 +123,11 @@ val prepare :
     (decode: records; conflicts: pairs; graph: edges; engine: nodes;
     verify: properly-synchronized checks) and the pipeline aborts with
     {!Vio_util.Budget.Exhausted} when it runs out — the supervisor's
-    defense against pathological traces. *)
+    defense against pathological traces.
+
+    [sweep_domains] (default 1) shards conflict detection's interval sweep
+    across that many domains ({!Conflict.detect}); verdicts are identical
+    for every value. *)
 
 val verify_prepared :
   ?pruning:bool -> model:Model.t -> prepared -> outcome
@@ -137,6 +143,7 @@ val verify :
   ?upstream:Recorder.Diagnostic.t list ->
   ?partial:bool ->
   ?budget:Vio_util.Budget.t ->
+  ?sweep_domains:int ->
   model:Model.t ->
   nranks:int ->
   Recorder.Record.t list ->
@@ -148,7 +155,7 @@ val verify :
     reported in [engine_used].
 
     [mode] defaults to strict: any internal inconsistency raises
-    {!Op.Malformed}. With [~mode:Lenient] the pipeline never raises on a
+    {!Estore.Malformed}. With [~mode:Lenient] the pipeline never raises on a
     degraded trace. [upstream] carries diagnostics already collected by an
     earlier stage (typically a lenient {!Recorder.Codec.decode_ext}); they
     join the degradation summary and taint the ranks they name. *)
@@ -170,6 +177,7 @@ val verify_shared :
   ?upstream:Recorder.Diagnostic.t list ->
   ?partial:bool ->
   ?budget:Vio_util.Budget.t ->
+  ?sweep_domains:int ->
   ?models:Model.t list ->
   nranks:int ->
   Recorder.Record.t list ->

@@ -3,8 +3,8 @@ module T = Vio_util.Table
 
 let pp_race d ppf (race : Verify.race) =
   let show idx =
-    let o = Op.op d idx in
-    Format.asprintf "%a@,    call chain: %a" Op.pp o R.pp_call_chain o.Op.record
+    Format.asprintf "%a@,    call chain: %a" (Estore.pp d) idx R.pp_call_chain
+      (Estore.record d idx)
   in
   let marker =
     match race.Verify.confidence with
@@ -187,7 +187,7 @@ type race_group = {
 }
 
 let chain_of d idx =
-  Format.asprintf "%a" R.pp_call_chain (Op.op d idx).Op.record
+  Format.asprintf "%a" R.pp_call_chain (Estore.record d idx)
 
 let group_races (o : Pipeline.outcome) =
   let d = o.Pipeline.decoded in

@@ -2,7 +2,7 @@
     summary tables of the evaluation. *)
 
 val pp_race :
-  Op.decoded -> Format.formatter -> Verify.race -> unit
+  Estore.t -> Format.formatter -> Verify.race -> unit
 (** Renders both operations with their full interception call chains —
     the diagnostic that distinguishes application-level from library-level
     bugs. *)

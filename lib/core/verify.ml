@@ -13,7 +13,7 @@ type stats = {
 let no_degradation _ = false
 
 let run ?(pruning = true) ?(degraded = no_degradation)
-    ?(partial = no_degradation) ?budget model reach sidx (d : Op.decoded)
+    ?(partial = no_degradation) ?budget model reach sidx (d : Estore.t)
     groups =
   let checks = ref 0 in
   let fast = ref 0 in
@@ -28,10 +28,7 @@ let run ?(pruning = true) ?(degraded = no_degradation)
       (match budget with
       | Some b -> Vio_util.Budget.spend b ~stage:"verify" 1
       | None -> ());
-      let v =
-        Msc.properly_synchronized model reach sidx ~x:(Op.op d a)
-          ~y:(Op.op d b)
-      in
+      let v = Msc.properly_synchronized model reach sidx ~x:a ~y:b in
       Hashtbl.replace memo (a, b) v;
       v
   in
@@ -75,7 +72,7 @@ let run ?(pruning = true) ?(degraded = no_degradation)
                  take their boundary ops per kind. *)
               let reads, writes =
                 Array.to_list ys
-                |> List.partition (fun y -> not (Op.is_write (Op.op d y)))
+                |> List.partition (fun y -> not (Estore.is_write d y))
               in
               let last_precedes = function
                 | [] -> true
@@ -98,7 +95,7 @@ let run ?(pruning = true) ?(degraded = no_degradation)
                 Array.iter
                   (fun y ->
                     let y_may_precede =
-                      if Op.is_write (Op.op d y) then write_may_precede
+                      if Estore.is_write d y then write_may_precede
                       else read_may_precede
                     in
                     let ok =
@@ -135,7 +132,7 @@ let run ?(pruning = true) ?(degraded = no_degradation)
   (race_list, stats)
 
 let run_parallel ?domains ?(degraded = no_degradation)
-    ?(partial = no_degradation) model graph sidx (d : Op.decoded) groups =
+    ?(partial = no_degradation) model graph sidx (d : Estore.t) groups =
   let ndomains =
     match domains with
     | Some n when n >= 1 -> n

@@ -57,7 +57,7 @@ val run :
   Model.t ->
   Reach.t ->
   Msc.sync_index ->
-  Op.decoded ->
+  Estore.t ->
   Conflict.group list ->
   race list * stats
 (** Races sorted by (rx, ry). [pruning] defaults to [true]; disabling it
@@ -78,7 +78,7 @@ val run_parallel :
   Model.t ->
   Hb_graph.t ->
   Msc.sync_index ->
-  Op.decoded ->
+  Estore.t ->
   Conflict.group list ->
   race list * stats
 (** Multicore verification: conflict groups are partitioned across

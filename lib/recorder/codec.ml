@@ -1,15 +1,26 @@
 let magic = "VERIFYIO-TRACE 1"
 
-exception Malformed of { line : int; reason : string }
+(* [byte] is the offset of the offending line's first byte in the input
+   and [record] the 1-based index of the offending record line; both are
+   [-1] when unknown (e.g. header errors, or errors raised by {!unescape}
+   outside any trace context). *)
+exception
+  Malformed of { line : int; byte : int; record : int; reason : string }
 
 let () =
   Printexc.register_printer (function
-    | Malformed { line; reason } ->
-      Some (Printf.sprintf "Codec.Malformed (line %d: %s)" line reason)
+    | Malformed { line; byte; record; reason } ->
+      let ctx =
+        (if byte >= 0 then Printf.sprintf ", byte %d" byte else "")
+        ^ if record >= 0 then Printf.sprintf ", record %d" record else ""
+      in
+      Some (Printf.sprintf "Codec.Malformed (line %d%s: %s)" line ctx reason)
     | _ -> None)
 
-let malformed ~line fmt =
-  Printf.ksprintf (fun reason -> raise (Malformed { line; reason })) fmt
+let malformed ?(byte = -1) ?(record = -1) ~line fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Malformed { line; byte; record; reason }))
+    fmt
 
 let escape s =
   let buf = Buffer.create (String.length s) in
@@ -118,6 +129,95 @@ let encode ~nranks records =
       Buffer.add_char buf '\n')
     records;
   Buffer.contents buf
+
+(* ---------------------------------------------------------------- *)
+(* Line sources                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* A pull source of [(line, byte_offset_of_line_start)] with the exact
+   segmentation of [String.split_on_char '\n']: one segment per newline
+   plus one final segment after the last newline (possibly empty). The
+   decoder consumes lines strictly sequentially with one line of
+   lookahead, so traces are never resident as one string — the channel
+   source reads fixed-size chunks. *)
+
+let source_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else begin
+      let start = !pos in
+      match String.index_from_opt s start '\n' with
+      | Some i ->
+        pos := i + 1;
+        Some (String.sub s start (i - start), start)
+      | None ->
+        finished := true;
+        Some (String.sub s start (n - start), start)
+    end
+
+let default_chunk = 1 lsl 16
+
+let source_of_channel ?(chunk = default_chunk) ic =
+  let q = Queue.create () in
+  let partial = Buffer.create 256 in
+  let partial_start = ref 0 in
+  let offset = ref 0 in
+  let finished = ref false in
+  let bytes = Bytes.create chunk in
+  let rec fill () =
+    if Queue.is_empty q && not !finished then begin
+      let n = input ic bytes 0 chunk in
+      if n = 0 then begin
+        Queue.add (Buffer.contents partial, !partial_start) q;
+        Buffer.clear partial;
+        finished := true
+      end
+      else begin
+        let start = ref 0 in
+        for i = 0 to n - 1 do
+          if Bytes.get bytes i = '\n' then begin
+            Buffer.add_subbytes partial bytes !start (i - !start);
+            Queue.add (Buffer.contents partial, !partial_start) q;
+            Buffer.clear partial;
+            partial_start := !offset + i + 1;
+            start := i + 1
+          end
+        done;
+        Buffer.add_subbytes partial bytes !start (n - !start);
+        offset := !offset + n;
+        fill ()
+      end
+    end
+  in
+  fun () ->
+    fill ();
+    if Queue.is_empty q then None else Some (Queue.take q)
+
+(* One line of lookahead over a source, tracking consumed-line count. *)
+type reader = {
+  src : unit -> (string * int) option;
+  mutable ahead : (string * int) option option;
+  mutable consumed : int;
+}
+
+let reader src = { src; ahead = None; consumed = 0 }
+
+let rd_peek r =
+  match r.ahead with
+  | Some v -> v
+  | None ->
+    let v = r.src () in
+    r.ahead <- Some v;
+    v
+
+let rd_next r =
+  let v = rd_peek r in
+  r.ahead <- None;
+  (match v with Some _ -> r.consumed <- r.consumed + 1 | None -> ());
+  v
 
 (* ---------------------------------------------------------------- *)
 (* Decoding                                                           *)
@@ -237,56 +337,61 @@ let parse_record ~mode ~lookup ~nranks_opt ~line l =
       !chain_diag )
   | _ -> skip ~fault:Diagnostic.Unreadable_record "bad record line %S" l
 
-let decode_ext ?(mode = Diagnostic.Strict) s =
-  let lines = Array.of_list (String.split_on_char '\n' s) in
-  let nlines = Array.length lines in
+(* The streaming decode core: pulls lines from [rd] one at a time and
+   hands salvaged records to [emit] in parse order. Returns
+   [(nranks, emitted_count, diagnostics)]. *)
+let decode_from ?(mode = Diagnostic.Strict) rd ~emit =
   let diags = ref [] in
   let diag d = diags := d :: !diags in
   (* [problem] raises in strict mode and records a diagnostic in lenient
      mode; callers continue with a fallback after it returns. *)
-  let problem ?rank ?seq ~line ~fault fmt =
+  let problem ?rank ?seq ?(byte = -1) ?(record = -1) ~line ~fault fmt =
     Printf.ksprintf
       (fun reason ->
         match mode with
-        | Diagnostic.Strict -> raise (Malformed { line; reason })
+        | Diagnostic.Strict -> raise (Malformed { line; byte; record; reason })
         | Diagnostic.Lenient -> diag (Diagnostic.make ?rank ?seq ~line ~fault reason))
       fmt
   in
-  let finish ~nranks records =
-    { nranks; records = List.rev records; diagnostics = List.rev !diags }
+  (* The next line's 1-based number; equals lines consumed so far + 1. *)
+  let line () = rd.consumed + 1 in
+  let peek_byte () = match rd_peek rd with Some (_, b) -> b | None -> -1 in
+  let max_rank = ref (-1) in
+  let emitted = ref 0 in
+  let emit (r : Record.t) =
+    max_rank := max !max_rank r.rank;
+    incr emitted;
+    emit r
   in
-  if nlines = 0 || lines.(0) <> magic then begin
-    let shown =
-      if nlines = 0 then ""
-      else if String.length lines.(0) <= 40 then lines.(0)
-      else String.sub lines.(0) 0 40 ^ "..."
-    in
-    problem ~line:1 ~fault:Diagnostic.Bad_header "bad magic %S" shown;
+  let finish ~nranks = (nranks, !emitted, List.rev !diags) in
+  match rd_next rd with
+  | first when first <> Some (magic, 0) ->
+    let l = match first with Some (l, _) -> l | None -> "" in
+    let shown = if String.length l <= 40 then l else String.sub l 0 40 ^ "..." in
+    problem ~line:1 ~byte:0 ~fault:Diagnostic.Bad_header "bad magic %S" shown;
     (* Without the magic line nothing downstream can be trusted. *)
-    finish ~nranks:0 []
-  end
-  else begin
-    let pos = ref 1 in
-    let line () = !pos + 1 in
+    finish ~nranks:0
+  | _ ->
     let parse_header name =
-      if !pos >= nlines then begin
+      match rd_peek rd with
+      | None ->
         problem ~line:(line ()) ~fault:Diagnostic.Bad_header "missing %s header"
           name;
         None
-      end
-      else
-        match String.split_on_char ' ' lines.(!pos) with
+      | Some (l, byte) -> (
+        match String.split_on_char ' ' l with
         | [ key; v ] when key = name -> (
-          incr pos;
+          ignore (rd_next rd);
           match int_of_string_opt v with
           | Some n -> Some n
           | None ->
-            problem ~line:(!pos) ~fault:Diagnostic.Bad_header "bad %s count" name;
+            problem ~line:rd.consumed ~byte ~fault:Diagnostic.Bad_header
+              "bad %s count" name;
             None)
         | _ ->
-          problem ~line:(line ()) ~fault:Diagnostic.Bad_header
-            "expected %s header, got %S" name lines.(!pos);
-          None
+          problem ~line:(line ()) ~byte ~fault:Diagnostic.Bad_header
+            "expected %s header, got %S" name l;
+          None)
     in
     let nranks_opt = parse_header "nranks" in
     let nfuncs_opt = parse_header "funcs" in
@@ -299,33 +404,32 @@ let decode_ext ?(mode = Diagnostic.Strict) s =
        records referencing them are individually diagnosable. *)
     let table = ref [] in
     let read_table_line () =
-      let l = lines.(!pos) in
-      let ln = line () in
-      incr pos;
+      let l, byte = Option.get (rd_next rd) in
+      let ln = rd.consumed in
       match String.index_opt l ' ' with
       | None ->
-        problem ~line:ln ~fault:Diagnostic.Bad_string_table
+        problem ~line:ln ~byte ~fault:Diagnostic.Bad_string_table
           "bad func table line %S" l;
         None
       | Some sp -> (
         let layer_s = String.sub l 0 sp in
         match Record.layer_of_string layer_s with
         | None ->
-          problem ~line:ln ~fault:Diagnostic.Bad_string_table
+          problem ~line:ln ~byte ~fault:Diagnostic.Bad_string_table
             "unknown layer %S" layer_s;
           None
         | Some layer -> (
           match unescape_at ~line:ln (String.sub l (sp + 1) (String.length l - sp - 1)) with
           | func -> Some (layer, func)
           | exception Malformed { reason; _ } ->
-            problem ~line:ln ~fault:Diagnostic.Bad_string_table
+            problem ~line:ln ~byte ~fault:Diagnostic.Bad_string_table
               "corrupt function name: %s" reason;
             None))
     in
     (match nfuncs_opt with
     | Some k ->
       let i = ref 0 in
-      while !i < k && !pos < nlines do
+      while !i < k && rd_peek rd <> None do
         table := read_table_line () :: !table;
         incr i
       done;
@@ -334,38 +438,46 @@ let decode_ext ?(mode = Diagnostic.Strict) s =
           "truncated func table: %d of %d entries" !i k
     | None ->
       (* Unknown table size: consume lines until the records header. *)
-      while !pos < nlines && not (is_records_header lines.(!pos)) do
-        table := read_table_line () :: !table
+      let continue = ref true in
+      while !continue do
+        match rd_peek rd with
+        | Some (l, _) when not (is_records_header l) ->
+          table := read_table_line () :: !table
+        | _ -> continue := false
       done);
     let table = Array.of_list (List.rev !table) in
     let nfuncs = Array.length table in
     let lookup i = if i < 0 || i >= nfuncs then None else table.(i) in
     let nrecords_opt = parse_header "records" in
-    let records = ref [] in
     let kept = ref 0 in
+    let attempts = ref 0 in
     let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
     let read_one () =
-      let l = lines.(!pos) in
-      let ln = line () in
-      incr pos;
+      let l, byte = Option.get (rd_next rd) in
+      let ln = rd.consumed in
       if l = "" then false
       else begin
+        incr attempts;
+        let recno = !attempts in
         (match parse_record ~mode ~lookup ~nranks_opt ~line:ln l with
         | r, chain_diag ->
           if Hashtbl.mem seen (r.Record.rank, r.Record.seq) then
-            problem ~rank:r.Record.rank ~seq:r.Record.seq ~line:ln
-              ~fault:Diagnostic.Duplicate_record
+            problem ~rank:r.Record.rank ~seq:r.Record.seq ~line:ln ~byte
+              ~record:recno ~fault:Diagnostic.Duplicate_record
               "duplicate record for (rank %d, seq %d)" r.Record.rank
               r.Record.seq
           else begin
             Hashtbl.replace seen (r.Record.rank, r.Record.seq) ();
             Option.iter diag chain_diag;
-            records := r :: !records;
+            emit r;
             incr kept
           end
         | exception Skip { sk_fault; sk_rank; sk_seq; sk_reason } -> (
           match mode with
-          | Diagnostic.Strict -> raise (Malformed { line = ln; reason = sk_reason })
+          | Diagnostic.Strict ->
+            raise
+              (Malformed
+                 { line = ln; byte; record = recno; reason = sk_reason })
           | Diagnostic.Lenient ->
             diag
               (Diagnostic.make ?rank:sk_rank ?seq:sk_seq ~line:ln
@@ -378,7 +490,8 @@ let decode_ext ?(mode = Diagnostic.Strict) s =
       (* Exactly n records, skipping blank lines, as the format promises. *)
       let i = ref 0 in
       while !i < n do
-        if !pos >= nlines then malformed ~line:(line ()) "truncated records";
+        if rd_peek rd = None then
+          malformed ~line:(line ()) ~byte:(peek_byte ()) "truncated records";
         if read_one () then incr i
       done
     | Diagnostic.Strict, None ->
@@ -387,24 +500,28 @@ let decode_ext ?(mode = Diagnostic.Strict) s =
     | Diagnostic.Lenient, _ ->
       (* Advisory count: salvage every parseable line to EOF, then account
          for the shortfall record by record. *)
-      while !pos < nlines do
+      while rd_peek rd <> None do
         ignore (read_one ())
       done;
       (match nrecords_opt with
       | Some n when !kept < n ->
         for i = !kept + 1 to n do
-          problem ~line:nlines ~fault:Diagnostic.Truncated_trace
+          problem ~line:rd.consumed ~fault:Diagnostic.Truncated_trace
             "record %d of %d lost to truncation or corruption" i n
         done
       | _ -> ()));
     let nranks =
-      match nranks_opt with
-      | Some n -> n
-      | None ->
-        1 + List.fold_left (fun m (r : Record.t) -> max m r.rank) (-1) !records
+      match nranks_opt with Some n -> n | None -> !max_rank + 1
     in
-    finish ~nranks !records
-  end
+    finish ~nranks
+
+let decode_ext ?mode s =
+  let acc = ref [] in
+  let nranks, _, diagnostics =
+    decode_from ?mode (reader (source_of_string s)) ~emit:(fun r ->
+        acc := r :: !acc)
+  in
+  { nranks; records = List.rev !acc; diagnostics }
 
 let decode s =
   let d = decode_ext ~mode:Diagnostic.Strict s in
@@ -426,6 +543,41 @@ let read_file path =
       let n = in_channel_length ic in
       really_input_string ic n)
 
-let of_file_ext ?mode path = decode_ext ?mode (read_file path)
+type 'a folded = {
+  f_nranks : int;
+  f_value : 'a;
+  f_records : int;
+  f_diagnostics : Diagnostic.t list;
+}
 
-let of_file path = decode (read_file path)
+let fold_records ?mode ?chunk path ~init ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref init in
+      let nranks, count, diagnostics =
+        decode_from ?mode
+          (reader (source_of_channel ?chunk ic))
+          ~emit:(fun r -> acc := f !acc r)
+      in
+      {
+        f_nranks = nranks;
+        f_value = !acc;
+        f_records = count;
+        f_diagnostics = diagnostics;
+      })
+
+let of_file_ext ?mode path =
+  let folded =
+    fold_records ?mode path ~init:[] ~f:(fun acc r -> r :: acc)
+  in
+  {
+    nranks = folded.f_nranks;
+    records = List.rev folded.f_value;
+    diagnostics = folded.f_diagnostics;
+  }
+
+let of_file path =
+  let d = of_file_ext ~mode:Diagnostic.Strict path in
+  (d.nranks, d.records)

@@ -17,10 +17,14 @@
 val magic : string
 (** First line of every trace file. *)
 
-exception Malformed of { line : int; reason : string }
+exception
+  Malformed of { line : int; byte : int; record : int; reason : string }
 (** Strict-mode decode failure. [line] is the 1-based line of the encoded
     trace at fault (0 when no line context applies, e.g. a direct
-    {!unescape} call). *)
+    {!unescape} call); [byte] is the offset of that line's first byte in
+    the input and [record] the 1-based index of the offending record line
+    — both [-1] when the failing position carries no such context (header
+    errors, direct {!unescape} calls). *)
 
 val encode : nranks:int -> Record.t list -> string
 (** Serialize an execution's records (any order; they are re-sorted by
@@ -53,6 +57,33 @@ val to_file : string -> Trace.t -> unit
 val of_file : string -> int * Record.t list
 
 val of_file_ext : ?mode:Diagnostic.mode -> string -> decoded
+(** Like {!decode_ext}, but streaming: a thin wrapper over
+    {!fold_records} that collects the records into a list. The file is
+    read in fixed-size chunks and is never resident as one string. *)
+
+type 'a folded = {
+  f_nranks : int;  (** as {!decoded.nranks} *)
+  f_value : 'a;  (** the fold's final accumulator *)
+  f_records : int;  (** records salvaged and handed to [f] *)
+  f_diagnostics : Diagnostic.t list;  (** as {!decoded.diagnostics} *)
+}
+
+val fold_records :
+  ?mode:Diagnostic.mode ->
+  ?chunk:int ->
+  string ->
+  init:'a ->
+  f:('a -> Record.t -> 'a) ->
+  'a folded
+(** [fold_records path ~init ~f] decodes the trace file at [path]
+    incrementally, calling [f] on each salvaged record in trace order.
+    The file is pulled through a chunked line reader ([chunk] bytes at a
+    time, default 64 KiB), so memory stays bounded by the widest line
+    plus whatever the fold accumulates — this is how the columnar event
+    store ingests traces without materializing a [Record.t] list.
+    Strict mode raises {!Malformed} (with byte offset and record number)
+    exactly as {!decode} does; records emitted before the failure have
+    already been folded. *)
 
 val read_file : string -> string
 (** Raw file contents (exposed so callers can inject faults into an

@@ -5,18 +5,35 @@ type snapshot = {
   timers : (string * timer) list;
 }
 
-let lock = Mutex.create ()
+module Smap = Map.Make (String)
 
-let counters : (string, int) Hashtbl.t = Hashtbl.create 64
+(* Counters are lock-free: each name owns an [int Atomic.t] cell, and the
+   name->cell map is an immutable [Smap.t] swapped in with compare-and-set
+   (insertion is rare — the counter-name set is small and stable — while
+   bumps are the Batch hot path, so bumps must not serialize on a global
+   mutex). A cell, once published, is never replaced; [reset] swaps in an
+   empty map, so stale cells can no longer be observed. *)
+let counters : int Atomic.t Smap.t Atomic.t = Atomic.make Smap.empty
+
+let rec counter_cell name =
+  let m = Atomic.get counters in
+  match Smap.find_opt name m with
+  | Some c -> c
+  | None ->
+    let c = Atomic.make 0 in
+    if Atomic.compare_and_set counters m (Smap.add name c m) then c
+    else counter_cell name
+
+let incr ?(n = 1) name = ignore (Atomic.fetch_and_add (counter_cell name) n)
+
+(* Timers stay under a mutex: a min/max/total update is not a single
+   fetch-and-add, and timer observations happen once per stage, not per
+   work item, so contention is structurally impossible. *)
+let lock = Mutex.create ()
 
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
 
 let protect f = Mutex.protect lock f
-
-let incr ?(n = 1) name =
-  protect (fun () ->
-      Hashtbl.replace counters name
-        (n + Option.value ~default:0 (Hashtbl.find_opt counters name)))
 
 let observe name dt =
   protect (fun () ->
@@ -38,17 +55,23 @@ let time name f =
   Fun.protect ~finally:(fun () -> observe name (Unix.gettimeofday () -. t0)) f
 
 let reset () =
-  protect (fun () ->
-      Hashtbl.reset counters;
-      Hashtbl.reset timers)
-
-let sorted_bindings tbl =
-  List.sort (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  Atomic.set counters Smap.empty;
+  protect (fun () -> Hashtbl.reset timers)
 
 let snapshot () =
-  protect (fun () ->
-      { counters = sorted_bindings counters; timers = sorted_bindings timers })
+  let cs =
+    Smap.fold
+      (fun k c acc -> (k, Atomic.get c) :: acc)
+      (Atomic.get counters) []
+    |> List.rev
+  in
+  let ts =
+    protect (fun () ->
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) timers []))
+  in
+  { counters = cs; timers = ts }
 
 let find_counter s name = Option.value ~default:0 (List.assoc_opt name s.counters)
 

@@ -8,12 +8,15 @@
     perf snapshot (the [BENCH_*.json] trajectory files) without any module
     keeping private bookkeeping.
 
-    Updates take a single global mutex, so record at {e stage} granularity
-    (once per pipeline stage or run), never inside per-query hot loops:
-    hot-path statistics are accumulated locally (e.g.
-    {!val:Verifyio.Reach.query_count}) and flushed here once at the end of
-    a stage. All operations are safe to call concurrently from multiple
-    domains. *)
+    Counter bumps are lock-free (a per-name [Atomic.t] cell behind an
+    immutable name map swapped in by compare-and-set), so concurrent Batch
+    domains never serialize on a counter. Timer observations still take a
+    mutex — they happen once per pipeline stage, where contention is
+    structurally impossible. Even so, record at {e stage} granularity,
+    never inside per-query hot loops: hot-path statistics are accumulated
+    locally (e.g. {!val:Verifyio.Reach.query_count}) and flushed here once
+    at the end of a stage. All operations are safe to call concurrently
+    from multiple domains. *)
 
 type timer = {
   count : int;  (** number of observations *)

@@ -1,0 +1,36 @@
+type t = {
+  mutable arr : string array;
+  mutable n : int;
+  tbl : (string, int) Hashtbl.t;
+}
+
+let create ?(capacity = 64) () =
+  { arr = Array.make (max 1 capacity) ""; n = 0; tbl = Hashtbl.create (max 1 capacity) }
+
+let length t = t.n
+
+let intern t s =
+  match Hashtbl.find_opt t.tbl s with
+  | Some i -> i
+  | None ->
+    if t.n = Array.length t.arr then begin
+      let arr = Array.make (2 * t.n) "" in
+      Array.blit t.arr 0 arr 0 t.n;
+      t.arr <- arr
+    end;
+    let i = t.n in
+    t.arr.(i) <- s;
+    t.n <- i + 1;
+    Hashtbl.replace t.tbl s i;
+    i
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Strpool.get: id out of range";
+  t.arr.(i)
+
+let find_opt t s = Hashtbl.find_opt t.tbl s
+
+let iteri f t =
+  for i = 0 to t.n - 1 do
+    f i t.arr.(i)
+  done

@@ -1,0 +1,31 @@
+(** A string interning pool: each distinct string is stored once and
+    addressed by a dense non-negative id, so columnar stores can keep an
+    [int array] where a boxed representation would keep a string per
+    element ({!Verifyio.Estore} uses one pool per trace for function
+    names, return values and file paths).
+
+    Ids are assigned in first-intern order, starting at 0. A pool is not
+    domain-safe; build it single-threaded and share it read-only. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty pool. [capacity] (default 64) sizes the initial storage;
+    the pool grows as needed. *)
+
+val intern : t -> string -> int
+(** The id of the given string, allocating the next dense id on first
+    sight. *)
+
+val get : t -> int -> string
+(** The string behind an id.
+    @raise Invalid_argument when the id was never allocated. *)
+
+val find_opt : t -> string -> int option
+(** The id of a string that may not have been interned. *)
+
+val length : t -> int
+(** Number of distinct strings interned. *)
+
+val iteri : (int -> string -> unit) -> t -> unit
+(** Apply to every (id, string) pair in id order. *)

@@ -36,6 +36,23 @@ type stages = {
   verify_s : float;
 }
 
+type sweep_wall = { sw_domains : int; sw_effective : int; sw_seconds : float }
+
+type columnar = {
+  cl_child_process : bool;
+  cl_decode_steps : int;  (** viogen max_steps for the decode trace *)
+  cl_decode_records : int;
+  cl_decode_s : float;
+  cl_records_per_s : float;
+  cl_top_heap_words : int;
+  cl_heap_reduction : float;
+  cl_sweep_records : int;
+  cl_sweep_files : int;
+  cl_sweep_groups : int;
+  cl_sweep_pairs : int;
+  cl_sweep_walls : sweep_wall list;
+}
+
 type t = {
   tag : string;
   generated_at : float;
@@ -54,6 +71,7 @@ type t = {
   metrics : M.snapshot;
   engines : engine_row list;
   resilience : resilience;
+  columnar : columnar;
 }
 
 (* A comparable digest of a corpus verification: per workload, per model,
@@ -97,7 +115,7 @@ let engine_rows () =
   | None -> []
   | Some w ->
     let records = H.run ~scale:2 w in
-    let d = V.Op.decode ~nranks:w.H.nranks records in
+    let d = V.Estore.of_records ~nranks:w.H.nranks records in
     let m = V.Match_mpi.run d in
     let g = V.Hb_graph.build d m in
     let sidx = V.Msc.build_index d in
@@ -187,7 +205,197 @@ let resilience_pass () =
     rs_dropped_events = M.find_counter snap "graph/dropped_events";
   }
 
-let run ?(tag = "pr4") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
+(* ---- columnar event-core measurements (PR 5) ---- *)
+
+(* Legacy (boxed [Op.t]) decode baseline on the same generated trace
+   (viogen seed 7, max_steps 100000: 320,978 records), captured with a
+   one-off harness at the pre-refactor commit aedf786: [Codec.of_file]
+   followed by [Op.decode] in a fresh process, peak heap from
+   [Gc.quick_stat]. The legacy path has no streaming decoder, so the
+   whole record list and the boxed op array were live at once. *)
+let legacy_baseline_commit = "aedf786"
+let legacy_decode_records_per_s = 116_087.
+let legacy_decode_top_heap_words = 23_276_009
+
+(* Entry point for the fresh measurement process: decode the trace at
+   [path] through the streaming columnar path and report wall time and
+   the process-lifetime heap high-water mark on stdout. *)
+let columnar_child path =
+  let t0 = Unix.gettimeofday () in
+  let e = V.Estore.of_file path in
+  let dt = Unix.gettimeofday () -. t0 in
+  let st = Gc.quick_stat () in
+  Printf.printf "columnar-child records=%d decode_s=%.6f top_heap_words=%d\n"
+    (V.Estore.length e) dt st.Gc.top_heap_words
+
+(* Spawn the current executable back on itself (guarded by the
+   environment variable its main loop checks before cmdliner runs) so
+   [top_heap_words] reflects the decode alone, not whatever the bench
+   allocated before it. *)
+let decode_in_child path =
+  match Sys.getenv_opt "VERIFYIO_COLUMNAR_CHILD" with
+  | Some _ -> None  (* already a measurement child: never recurse *)
+  | None -> (
+    try
+      let exe = Sys.executable_name in
+      let env =
+        Array.append (Unix.environment ())
+          [| "VERIFYIO_COLUMNAR_CHILD=" ^ path |]
+      in
+      let r, w = Unix.pipe () in
+      let pid =
+        Unix.create_process_env exe [| exe |] env Unix.stdin w Unix.stderr
+      in
+      Unix.close w;
+      let ic = Unix.in_channel_of_descr r in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      let _, status = Unix.waitpid [] pid in
+      match (status, line) with
+      | Unix.WEXITED 0, Some l ->
+        Scanf.sscanf l "columnar-child records=%d decode_s=%f top_heap_words=%d"
+          (fun n s w -> Some (n, s, w))
+      | _ -> None
+    with _ -> None)
+
+(* A conflict-heavy multi-file trace for the sharded-sweep comparison:
+   viogen programs use 1-2 shared files, which leaves a file-sharded
+   sweep nothing to parallelize, so the sweep walls are measured on a
+   synthetic POSIX trace spreading uniform random accesses over enough
+   files to feed four domains. Deterministic in its parameters. *)
+let sweep_trace ~nranks ~nfiles ~ops_per_rank =
+  let mk rank seq func args ret =
+    {
+      Recorder.Record.rank;
+      seq;
+      tstart = (rank * 10_000_000) + (seq * 2);
+      tend = (rank * 10_000_000) + (seq * 2) + 1;
+      layer = Recorder.Record.Posix;
+      func;
+      args;
+      ret;
+      call_path = [];
+    }
+  in
+  List.concat_map
+    (fun rank ->
+      let state = ref ((rank * 2654435761) + 12345) in
+      let next () =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state
+      in
+      let opens =
+        List.init nfiles (fun k ->
+            mk rank k "open"
+              [| Printf.sprintf "/sweep%d" k; "O_CREAT|O_RDWR" |]
+              (string_of_int (3 + k)))
+      in
+      let ops =
+        List.init ops_per_rank (fun k ->
+            let fd = 3 + (next () mod nfiles) in
+            let off = next () mod 32768 and len = 1 + (next () mod 8) in
+            (* The LCG's low bit alternates; branch on a position-based
+               parity so writes and reads actually mix. *)
+            if (k + rank) mod 2 = 0 then
+              mk rank (nfiles + k) "pwrite"
+                [| string_of_int fd; string_of_int len; string_of_int off |]
+                (string_of_int len)
+            else
+              mk rank (nfiles + k) "pread"
+                [| string_of_int fd; string_of_int len; string_of_int off |]
+                (string_of_int len))
+      in
+      let closes =
+        List.init nfiles (fun k ->
+            mk rank
+              (nfiles + ops_per_rank + k)
+              "close"
+              [| string_of_int (3 + k) |]
+              "0")
+      in
+      opens @ ops @ closes)
+    (List.init nranks Fun.id)
+
+let columnar_pass ~smoke () =
+  (* Decode throughput and peak heap on the largest generated trace, in
+     a fresh process so the heap high-water mark is the decode's own. *)
+  let max_steps = if smoke then 20_000 else 100_000 in
+  let p = Viogen.Workload.generate ~max_steps ~seed:7 () in
+  let records = Viogen.Workload.run p in
+  let path = Filename.temp_file "verifyio_columnar" ".trace" in
+  let oc = open_out_bin path in
+  output_string oc
+    (Recorder.Codec.encode ~nranks:p.Viogen.Workload.nranks records);
+  close_out oc;
+  let child, (n_decode, decode_s, top_heap) =
+    match decode_in_child path with
+    | Some r -> (true, r)
+    | None ->
+      (* Fallback: measure in-process. The wall time is still honest;
+         the heap high-water mark includes the bench's earlier
+         allocations and is flagged as such in the report. *)
+      let t0 = Unix.gettimeofday () in
+      let e = V.Estore.of_file path in
+      let dt = Unix.gettimeofday () -. t0 in
+      (false, (V.Estore.length e, dt, (Gc.quick_stat ()).Gc.top_heap_words))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  (* Sharded-vs-single conflict sweep walls on the multi-file trace. *)
+  let nranks = 4 and nfiles = 8 in
+  let ops_per_rank = if smoke then 8_000 else 60_000 in
+  let sweep_records = sweep_trace ~nranks ~nfiles ~ops_per_rank in
+  let d = V.Estore.of_records ~nranks sweep_records in
+  let groups = ref [] in
+  (* Clamp exactly like the production batch runner: asking for more
+     domains than cores measures scheduler thrash, not the sharded
+     sweep. Both the requested and effective counts go in the report so
+     a reader can tell a clamped row at a glance — and since clamped
+     requests collapse onto the same computation, each distinct
+     effective count is measured once and shared between its rows
+     (re-timing an identical run would only report scheduler noise as a
+     difference). *)
+  let by_effective = Hashtbl.create 4 in
+  let walls =
+    List.map
+      (fun domains ->
+        let effective = V.Batch.effective_domains (Some domains) in
+        let seconds =
+          match Hashtbl.find_opt by_effective effective with
+          | Some s -> s
+          | None ->
+            let seconds, gs =
+              best_of 3 (fun () -> V.Conflict.detect ~domains:effective d)
+            in
+            if !groups = [] then groups := gs else assert (gs = !groups);
+            Hashtbl.replace by_effective effective seconds;
+            seconds
+        in
+        { sw_domains = domains; sw_effective = effective; sw_seconds = seconds })
+      [ 1; 2; 4 ]
+  in
+  {
+    cl_child_process = child;
+    cl_decode_steps = max_steps;
+    cl_decode_records = n_decode;
+    cl_decode_s = decode_s;
+    cl_records_per_s = float_of_int n_decode /. decode_s;
+    cl_top_heap_words = top_heap;
+    (* The ratio is only meaningful against the baseline's exact trace
+       and a clean-process measurement; otherwise report 0 rather than
+       a number that compares different traces. *)
+    cl_heap_reduction =
+      (if max_steps = 100_000 && child then
+         float_of_int legacy_decode_top_heap_words /. float_of_int top_heap
+       else 0.);
+    cl_sweep_records = List.length sweep_records;
+    cl_sweep_files = nfiles;
+    cl_sweep_groups = List.length !groups;
+    cl_sweep_pairs = V.Conflict.distinct_pairs !groups;
+    cl_sweep_walls = walls;
+  }
+
+let run ?(tag = "pr5") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
+    ?(smoke = false) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
      scheduler timeslice. A larger minor heap keeps the handshake rate
@@ -298,13 +506,14 @@ let run ?(tag = "pr4") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3) () =
     metrics = snap;
     engines = engine_rows ();
     resilience = resilience_pass ();
+    columnar = columnar_pass ~smoke ();
   }
 
 let to_json r =
   J.Obj
     [
       ("schema", J.Str "verifyio-bench");
-      ("schema_version", J.Int 1);
+      ("schema_version", J.Int 2);
       ("tag", J.Str r.tag);
       ("generated_at_unix", J.Float r.generated_at);
       ( "environment",
@@ -386,6 +595,48 @@ let to_json r =
             ("unmatched_entries", J.Int r.resilience.rs_unmatched_entries);
             ("dropped_events", J.Int r.resilience.rs_dropped_events);
           ] );
+      ( "columnar",
+        J.Obj
+          [
+            ("measured_in_child_process", J.Bool r.columnar.cl_child_process);
+            ( "decode",
+              J.Obj
+                [
+                  ( "trace",
+                    J.Str
+                      (Printf.sprintf "viogen seed=7 max_steps=%d"
+                         r.columnar.cl_decode_steps) );
+                  ("records", J.Int r.columnar.cl_decode_records);
+                  ("seconds", J.Float r.columnar.cl_decode_s);
+                  ("records_per_s", J.Float r.columnar.cl_records_per_s);
+                  ("top_heap_words", J.Int r.columnar.cl_top_heap_words);
+                  ( "legacy_records_per_s",
+                    J.Float legacy_decode_records_per_s );
+                  ( "legacy_top_heap_words",
+                    J.Int legacy_decode_top_heap_words );
+                  ("legacy_baseline_commit", J.Str legacy_baseline_commit);
+                  ("heap_reduction_x", J.Float r.columnar.cl_heap_reduction);
+                ] );
+            ( "sweep",
+              J.Obj
+                [
+                  ("records", J.Int r.columnar.cl_sweep_records);
+                  ("files", J.Int r.columnar.cl_sweep_files);
+                  ("groups", J.Int r.columnar.cl_sweep_groups);
+                  ("distinct_pairs", J.Int r.columnar.cl_sweep_pairs);
+                  ( "walls",
+                    J.List
+                      (List.map
+                         (fun w ->
+                           J.Obj
+                             [
+                               ("domains", J.Int w.sw_domains);
+                               ("effective_domains", J.Int w.sw_effective);
+                               ("seconds", J.Float w.sw_seconds);
+                             ])
+                         r.columnar.cl_sweep_walls) );
+                ] );
+          ] );
       ("metrics", M.to_json r.metrics);
     ]
 
@@ -432,4 +683,25 @@ let summary r =
     r.resilience.rs_unmatched_entries
     (if r.resilience.rs_unmatched_entries = 1 then "y" else "ies")
     r.resilience.rs_dropped_events;
+  Printf.bprintf b
+    "columnar decode: %d records in %.3fs (%.0f rec/s, legacy %.0f); peak \
+     heap %.1f MB vs legacy %.1f MB (%.1fx reduction%s)\n"
+    r.columnar.cl_decode_records r.columnar.cl_decode_s
+    r.columnar.cl_records_per_s legacy_decode_records_per_s
+    (float_of_int (r.columnar.cl_top_heap_words * 8) /. 1048576.)
+    (float_of_int (legacy_decode_top_heap_words * 8) /. 1048576.)
+    r.columnar.cl_heap_reduction
+    (if r.columnar.cl_child_process then "" else "; in-process, inflated");
+  Printf.bprintf b "columnar sweep (%d records, %d files, %d pairs):"
+    r.columnar.cl_sweep_records r.columnar.cl_sweep_files
+    r.columnar.cl_sweep_pairs;
+  List.iter
+    (fun w ->
+      if w.sw_effective = w.sw_domains then
+        Printf.bprintf b " %dd=%.3fs" w.sw_domains w.sw_seconds
+      else
+        Printf.bprintf b " %dd(eff %d)=%.3fs" w.sw_domains w.sw_effective
+          w.sw_seconds)
+    r.columnar.cl_sweep_walls;
+  Buffer.add_char b '\n';
   Buffer.contents b

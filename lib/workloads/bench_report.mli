@@ -51,8 +51,41 @@ type stages = {
 (** Summed stage wall times over one sequential corpus sweep (91
     workloads × 4 models). *)
 
+type sweep_wall = {
+  sw_domains : int;  (** requested shard count *)
+  sw_effective : int;
+      (** shard count actually run, after {!Verifyio.Batch.effective_domains}
+          clamping — equal to [sw_domains] on hosts with enough cores *)
+  sw_seconds : float;
+}
+
+type columnar = {
+  cl_child_process : bool;
+      (** the decode was measured in a fresh child process, so
+          [cl_top_heap_words] is the decode's own high-water mark; when
+          false the number includes the bench's earlier allocations *)
+  cl_decode_steps : int;  (** viogen [max_steps] for the decode trace *)
+  cl_decode_records : int;
+  cl_decode_s : float;  (** streaming [Estore.of_file] wall time *)
+  cl_records_per_s : float;
+  cl_top_heap_words : int;  (** [Gc.quick_stat].top_heap_words after decode *)
+  cl_heap_reduction : float;
+      (** legacy baseline peak heap / [cl_top_heap_words] *)
+  cl_sweep_records : int;  (** synthetic multi-file sweep trace size *)
+  cl_sweep_files : int;
+  cl_sweep_groups : int;
+  cl_sweep_pairs : int;
+  cl_sweep_walls : sweep_wall list;
+      (** [Conflict.detect ~domains] wall per domain count (1, 2, 4),
+          identical groups asserted across counts *)
+}
+(** Columnar event-core measurements (PR 5): streaming decode throughput
+    and peak heap on the largest generated trace vs. the boxed-record
+    baseline captured pre-refactor, plus sharded-vs-single-domain
+    conflict sweep walls. *)
+
 type t = {
-  tag : string;  (** e.g. ["pr4"]; names the output file [BENCH_<tag>.json] *)
+  tag : string;  (** e.g. ["pr5"]; names the output file [BENCH_<tag>.json] *)
   generated_at : float;  (** unix epoch seconds *)
   recommended_domains : int;
   ocaml_version : string;
@@ -70,6 +103,7 @@ type t = {
   metrics : Vio_util.Metrics.snapshot;  (** the sequential sweep's counters *)
   engines : engine_row list;
   resilience : resilience;
+  columnar : columnar;
 }
 
 val run :
@@ -77,13 +111,22 @@ val run :
   ?scale:int ->
   ?domains:int list ->
   ?repeats:int ->
+  ?smoke:bool ->
   unit ->
   t
 (** Execute the benchmark: generate all corpus traces (sequentially — the
     simulator is single-domain), time the sequential baseline and
     {!Verifyio.Batch.run} at each domain count (default [[1; 2; 4]],
     best of [repeats], default 3), and verify that every batch run's
-    verdicts match the sequential ones. *)
+    verdicts match the sequential ones. [smoke] (default false) shrinks
+    the columnar pass's traces to CI size. *)
+
+val columnar_child : string -> unit
+(** Measurement-child entry point: stream-decode the trace at the given
+    path and print records, wall seconds and [top_heap_words] on stdout.
+    The CLI calls this (and exits) when [VERIFYIO_COLUMNAR_CHILD] is set
+    in the environment, so {!run} can measure decode peak heap in a
+    process that has allocated nothing else. *)
 
 val to_json : t -> Vio_util.Json.t
 

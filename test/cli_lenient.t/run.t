@@ -34,7 +34,7 @@ Strict mode refuses the same corrupted trace loudly (usage exit 2):
 
   $ ../../bin/verifyio_cli.exe verify clean.trace --inject "corrupt:0.3" --seed 7 -m POSIX 2>&1; echo "exit=$?"
   injected 39 fault(s) (seed 7)
-  cannot read trace (line 26): corrupt argument: unescape: bad hex digit 'G' in "%G0"
+  cannot read trace (line 26, byte 509, record 5): corrupt argument: unescape: bad hex digit 'G' in "%G0"
   exit=2
 
 A rate-0 plan injects nothing and lenient output matches strict output

@@ -151,7 +151,7 @@ let test_failing_job_propagates () =
     try
       ignore (B.run ~domains:2 jobs);
       false
-    with V.Op.Malformed _ -> true
+    with V.Estore.Malformed _ -> true
   in
   check_bool "strict Malformed re-raised through Batch.run" true raised
 

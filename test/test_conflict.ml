@@ -17,7 +17,7 @@ let collect ~nranks program =
   Recorder.Trace.records trace
 
 let groups_of ~nranks program =
-  let d = V.Op.decode ~nranks (collect ~nranks program) in
+  let d = V.Estore.of_records ~nranks (collect ~nranks program) in
   (d, V.Conflict.detect d)
 
 (* ------------------------------------------------------------------ *)
@@ -138,7 +138,7 @@ let test_group_structure () =
   let write_group =
     List.find
       (fun (g : V.Conflict.group) ->
-        V.Op.is_write (V.Op.op d g.V.Conflict.x))
+        V.Estore.is_write d g.V.Conflict.x)
       groups
   in
   check_int "two peer ranks" 2 (List.length write_group.V.Conflict.peers);
@@ -162,15 +162,20 @@ let test_pair_counts () =
   check_int "total is twice distinct" 8 (V.Conflict.total_pairs groups)
 
 (* Brute-force oracle over the decoded data ops. *)
-let brute_force_pairs (d : V.Op.decoded) =
+let brute_force_pairs (d : V.Estore.t) =
   let datas =
-    Array.to_list d.V.Op.ops
-    |> List.filter_map (fun (o : V.Op.t) ->
-           match o.V.Op.kind with
-           | V.Op.Data { fid; write; iv } when not (Vio_util.Interval.is_empty iv)
-             ->
-             Some (o.V.Op.idx, o.V.Op.record.Recorder.Record.rank, fid, write, iv)
-           | _ -> None)
+    List.filter_map
+      (fun i ->
+        if V.Estore.is_data d i && not (Vio_util.Interval.is_empty (V.Estore.iv d i))
+        then
+          Some
+            ( i,
+              V.Estore.rank d i,
+              V.Estore.fid d i,
+              V.Estore.is_write d i,
+              V.Estore.iv d i )
+        else None)
+      (List.init (V.Estore.length d) Fun.id)
   in
   let pairs = ref [] in
   List.iter
@@ -227,6 +232,43 @@ let prop_sweep_matches_brute_force =
       in
       pairs_of_groups groups = brute_force_pairs d)
 
+(* The sharded sweep must be byte-identical to the single-domain one, at
+   every domain count, including more domains than files. *)
+let prop_sharded_sweep_deterministic =
+  QCheck2.Test.make ~name:"sharded sweep = single-domain sweep" ~count:30
+    QCheck2.Gen.(
+      pair (int_range 1 10000)
+        (pair (int_range 2 4) (int_range 3 15)))
+    (fun (seed, (nranks, ops_per_rank)) ->
+      let d, base =
+        groups_of ~nranks (fun ctx fs ->
+            let rank = ctx.E.rank in
+            (* Several files so the sharding has real tasks to pull. *)
+            let fds =
+              List.map
+                (fun k ->
+                  F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ]
+                    (Printf.sprintf "/s%d" k))
+                [ 0; 1; 2 ]
+            in
+            let state = ref (seed + (rank * 977)) in
+            let next () =
+              state := ((!state * 75) + 74) mod 65537;
+              !state
+            in
+            for _ = 1 to ops_per_rank do
+              let fd = List.nth fds (next () mod 3) in
+              let off = next () mod 40 and len = 1 + (next () mod 6) in
+              if next () mod 2 = 0 then
+                ignore (F.pwrite fs ~rank fd ~off (Bytes.make len 'p'))
+              else ignore (F.pread fs ~rank fd ~off ~len)
+            done;
+            List.iter (fun fd -> F.close fs ~rank fd) fds)
+      in
+      List.for_all
+        (fun domains -> V.Conflict.detect ~domains d = base)
+        [ 2; 4; 64 ])
+
 let () =
   Alcotest.run "conflict"
     [
@@ -251,5 +293,8 @@ let () =
           Alcotest.test_case "pair counts" `Quick test_pair_counts;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_sweep_matches_brute_force ] );
+        [
+          QCheck_alcotest.to_alcotest prop_sweep_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_sharded_sweep_deterministic;
+        ] );
     ]

@@ -1,6 +1,7 @@
-(* Tests for trace decoding robustness: malformed traces must fail loudly
-   with descriptive errors (never silently misattribute I/O), descriptor
-   reuse must rebind correctly, and in-flight records must decode. *)
+(* Tests for trace decoding robustness through the columnar event store:
+   malformed traces must fail loudly with descriptive errors (never
+   silently misattribute I/O), descriptor reuse must rebind correctly,
+   and in-flight records must decode. *)
 
 module R = Recorder.Record
 module V = Verifyio
@@ -22,8 +23,8 @@ let mk ?(rank = 0) ~seq ~layer ~func ~args ?(ret = "0") () =
   }
 
 let expect_malformed ?expect records =
-  match V.Op.decode ~nranks:2 records with
-  | exception V.Op.Malformed msg ->
+  match V.Estore.of_records ~nranks:2 records with
+  | exception V.Estore.Malformed msg ->
     (match expect with
     | Some needle ->
       let contains hay needle =
@@ -78,15 +79,15 @@ let test_fd_reuse_rebinds () =
       mk ~seq:5 ~layer:R.Posix ~func:"close" ~args:[ "3" ] ();
     ]
   in
-  let d = V.Op.decode ~nranks:2 records in
+  let d = V.Estore.of_records ~nranks:2 records in
   let fids =
-    Array.to_list d.V.Op.ops
-    |> List.filter_map (fun (o : V.Op.t) ->
-           match o.V.Op.kind with V.Op.Data { fid; _ } -> Some fid | _ -> None)
+    List.filter_map
+      (fun i -> if V.Estore.is_data d i then Some (V.Estore.fid d i) else None)
+      (List.init (V.Estore.length d) Fun.id)
   in
   check_int "two different files" 2 (List.length (List.sort_uniq compare fids));
-  check_bool "fid of /a resolved" true (V.Op.fid_of_path d "/a" <> None);
-  check_bool "fid of /b resolved" true (V.Op.fid_of_path d "/b" <> None)
+  check_bool "fid of /a resolved" true (V.Estore.fid_of_path d "/a" <> None);
+  check_bool "fid of /b resolved" true (V.Estore.fid_of_path d "/b" <> None)
 
 let test_in_flight_open_skipped () =
   (* An open that never returned has no descriptor; it must decode to a
@@ -97,9 +98,12 @@ let test_in_flight_open_skipped () =
         ~ret:Recorder.Trace.in_flight_ret ();
     ]
   in
-  let d = V.Op.decode ~nranks:2 records in
-  check_int "no data ops" 0
-    (Array.length (Array.of_list (List.filter V.Op.is_data (Array.to_list d.V.Op.ops))))
+  let d = V.Estore.of_records ~nranks:2 records in
+  let ndata = ref 0 in
+  for i = 0 to V.Estore.length d - 1 do
+    if V.Estore.is_data d i then incr ndata
+  done;
+  check_int "no data ops" 0 !ndata
 
 let test_append_offset_uses_global_eof () =
   (* Rank 0 extends the file; rank 1's later O_APPEND write must land at
@@ -120,17 +124,14 @@ let test_append_offset_uses_global_eof () =
         else r)
       records
   in
-  let d = V.Op.decode ~nranks:2 records in
+  let d = V.Estore.of_records ~nranks:2 records in
   let append_write =
-    Array.to_list d.V.Op.ops
-    |> List.find (fun (o : V.Op.t) ->
-           o.V.Op.record.R.rank = 1 && V.Op.is_write o)
+    List.find
+      (fun i -> V.Estore.rank d i = 1 && V.Estore.is_data d i && V.Estore.is_write d i)
+      (List.init (V.Estore.length d) Fun.id)
   in
-  (match append_write.V.Op.kind with
-  | V.Op.Data { iv; _ } ->
-    check_int "append lands at EOF" 10 iv.Vio_util.Interval.os;
-    check_int "append extent" 15 iv.Vio_util.Interval.oe
-  | _ -> Alcotest.fail "expected a data op")
+  check_int "append lands at EOF" 10 (V.Estore.iv_lo d append_write);
+  check_int "append extent" 15 (V.Estore.iv_hi d append_write)
 
 let test_trunc_resets_eof () =
   let records =
@@ -142,16 +143,14 @@ let test_trunc_resets_eof () =
       mk ~seq:4 ~layer:R.Posix ~func:"write" ~args:[ "3"; "4" ] ~ret:"4" ();
     ]
   in
-  let d = V.Op.decode ~nranks:2 records in
+  let d = V.Estore.of_records ~nranks:2 records in
   let last_write =
-    Array.to_list d.V.Op.ops
-    |> List.filter (fun o -> V.Op.is_write o)
+    List.filter
+      (fun i -> V.Estore.is_data d i && V.Estore.is_write d i)
+      (List.init (V.Estore.length d) Fun.id)
     |> List.rev |> List.hd
   in
-  match last_write.V.Op.kind with
-  | V.Op.Data { iv; _ } ->
-    check_int "write after truncate+seek_end" 10 iv.Vio_util.Interval.os
-  | _ -> Alcotest.fail "expected data op"
+  check_int "write after truncate+seek_end" 10 (V.Estore.iv_lo d last_write)
 
 let test_negative_count_malformed () =
   expect_malformed ~expect:"invalid value"
@@ -192,9 +191,9 @@ let prop_decoder_total =
             mk ~seq:k ~layer:(layer_of func) ~func ~args ~ret ())
           calls
       in
-      match V.Op.decode ~nranks:2 records with
+      match V.Estore.of_records ~nranks:2 records with
       | _ -> true
-      | exception V.Op.Malformed _ -> true)
+      | exception V.Estore.Malformed _ -> true)
 
 let prop_pipeline_total =
   QCheck2.Test.make
@@ -227,7 +226,7 @@ let prop_pipeline_total =
         V.Model.builtin)
 
 let () =
-  Alcotest.run "op-decode"
+  Alcotest.run "estore-decode"
     [
       ( "malformed",
         [

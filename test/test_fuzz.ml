@@ -39,7 +39,7 @@ let test_programs_nontrivial () =
   let with_conflicts = ref 0 in
   for seed = 1 to 30 do
     let p = W.generate ~seed () in
-    let d = V.Op.decode ~nranks:p.W.nranks (W.run p) in
+    let d = V.Estore.of_records ~nranks:p.W.nranks (W.run p) in
     if V.Oracle.conflict_pairs d <> [] then incr with_conflicts
   done;
   check_bool

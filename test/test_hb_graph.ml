@@ -21,17 +21,16 @@ let collect ~nranks program =
   Recorder.Trace.records trace
 
 let build ~nranks program =
-  let d = V.Op.decode ~nranks (collect ~nranks program) in
+  let d = V.Estore.of_records ~nranks (collect ~nranks program) in
   let m = V.Match_mpi.run d in
   (d, m, V.Hb_graph.build d m)
 
 let find_node d ~rank ~func =
   let found = ref None in
-  Array.iter
-    (fun (o : V.Op.t) ->
-      if o.V.Op.record.R.rank = rank && o.V.Op.record.R.func = func then
-        if !found = None then found := Some o.V.Op.idx)
-    d.V.Op.ops;
+  for i = 0 to V.Estore.length d - 1 do
+    if V.Estore.rank d i = rank && V.Estore.func d i = func then
+      if !found = None then found := Some i
+  done;
   match !found with
   | Some idx -> idx
   | None -> Alcotest.fail (Printf.sprintf "no %s on rank %d" func rank)
@@ -176,7 +175,7 @@ let test_incomplete_collective_no_join () =
      with E.Deadlock _ -> ());
     Recorder.Trace.records trace
   in
-  let d = V.Op.decode ~nranks:2 records in
+  let d = V.Estore.of_records ~nranks:2 records in
   let m = V.Match_mpi.run d in
   let g = V.Hb_graph.build d m in
   check_int "no synthetic node" (V.Hb_graph.real_nodes g) (V.Hb_graph.size g);

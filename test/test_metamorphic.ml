@@ -49,22 +49,19 @@ let trace_of ?(sched_seed = 0) ~seed ~rounds ~sync_level ~nranks () =
 let race_keys (o : V.Pipeline.outcome) =
   let d = o.V.Pipeline.decoded in
   let ordinal = Hashtbl.create 64 in
-  Array.iter
-    (fun chain ->
-      let k = ref 0 in
-      Array.iter
-        (fun idx ->
-          if V.Op.is_data (V.Op.op d idx) then begin
-            Hashtbl.replace ordinal idx !k;
-            incr k
-          end)
-        chain)
-    d.V.Op.by_rank;
+  for rank = 0 to V.Estore.nranks d - 1 do
+    let k = ref 0 in
+    Array.iter
+      (fun idx ->
+        if V.Estore.is_data d idx then begin
+          Hashtbl.replace ordinal idx !k;
+          incr k
+        end)
+      (V.Estore.rank_chain d rank)
+  done;
   List.map
     (fun (r : V.Verify.race) ->
-      let key idx =
-        ((V.Op.op d idx).V.Op.record.Recorder.Record.rank, Hashtbl.find ordinal idx)
-      in
+      let key idx = (V.Estore.rank d idx, Hashtbl.find ordinal idx) in
       let a = key r.V.Verify.rx and b = key r.V.Verify.ry in
       if a <= b then (a, b) else (b, a))
     o.V.Pipeline.races
@@ -96,7 +93,7 @@ let prop_ps_implies_hb =
     (fun (seed, sync_level) ->
       let nranks = 3 in
       let records = trace_of ~seed ~rounds:6 ~sync_level ~nranks () in
-      let d = V.Op.decode ~nranks records in
+      let d = V.Estore.of_records ~nranks records in
       let m = V.Match_mpi.run d in
       let g = V.Hb_graph.build d m in
       let reach = V.Reach.create V.Reach.Vector_clock g in
@@ -112,7 +109,7 @@ let prop_ps_implies_hb =
                     (fun y ->
                       let ps =
                         V.Msc.properly_synchronized model reach sidx
-                          ~x:(V.Op.op d grp.V.Conflict.x) ~y:(V.Op.op d y)
+                          ~x:grp.V.Conflict.x ~y
                       in
                       (not ps) || V.Reach.reaches reach grp.V.Conflict.x y)
                     ys)
@@ -127,15 +124,14 @@ let prop_relaxed_ps_implies_posix_ps =
     (fun (seed, sync_level) ->
       let nranks = 3 in
       let records = trace_of ~seed ~rounds:6 ~sync_level ~nranks () in
-      let d = V.Op.decode ~nranks records in
+      let d = V.Estore.of_records ~nranks records in
       let m = V.Match_mpi.run d in
       let g = V.Hb_graph.build d m in
       let reach = V.Reach.create V.Reach.Vector_clock g in
       let sidx = V.Msc.build_index d in
       let groups = V.Conflict.detect d in
       let ps model x y =
-        V.Msc.properly_synchronized model reach sidx ~x:(V.Op.op d x)
-          ~y:(V.Op.op d y)
+        V.Msc.properly_synchronized model reach sidx ~x ~y
       in
       List.for_all
         (fun relaxed ->

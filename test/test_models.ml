@@ -52,7 +52,7 @@ let test_by_name () =
 
 let test_make_validation () =
   let sync =
-    { V.Model.sp_name = "s"; sp_matches = (fun _ ~fid:_ -> true) }
+    { V.Model.sp_name = "s"; sp_matches = (fun _ _ ~fid:_ -> true) }
   in
   (* Mismatched arity rejected. *)
   (try
@@ -186,10 +186,7 @@ let test_custom_model () =
     {
       V.Model.sp_name = "any_fsync";
       sp_matches =
-        (fun op ~fid:_ ->
-          match op.V.Op.kind with
-          | V.Op.File_sync _ -> true
-          | _ -> false);
+        (fun d i ~fid:_ -> V.Estore.kind_tag d i = V.Estore.tag_sync);
     }
   in
   let fence =
@@ -224,7 +221,7 @@ let test_msc_sync_index () =
         F.fsync fs ~rank:0 fd;
         F.close fs ~rank:0 fd)
   in
-  let d = V.Op.decode ~nranks:1 records in
+  let d = V.Estore.of_records ~nranks:1 records in
   let sidx = V.Msc.build_index d in
   (* open + 2 fsync + close = 4 sync-capable ops *)
   check_int "sync op count" 4 (V.Msc.sync_op_count sidx)

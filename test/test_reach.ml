@@ -15,7 +15,7 @@ let graph_of ~nranks program =
   let fs = F.create ~trace ~model:F.Posix () in
   let eng = E.create ~trace ~nranks () in
   E.run eng (fun ctx -> program ctx fs);
-  let d = V.Op.decode ~nranks (Recorder.Trace.records trace) in
+  let d = V.Estore.of_records ~nranks (Recorder.Trace.records trace) in
   let m = V.Match_mpi.run d in
   V.Hb_graph.build d m
 

@@ -20,10 +20,7 @@ let check_bool = Alcotest.(check bool)
    two matchings by projecting op indices onto them. Incomplete
    collectives contribute no happens-before edges and are excluded. *)
 let project d events =
-  let id i =
-    let r = (V.Op.op d i).V.Op.record in
-    (r.R.rank, r.R.seq)
-  in
+  let id i = (V.Estore.rank d i, V.Estore.seq d i) in
   List.filter_map
     (function
       | V.Match_mpi.P2p { send; completion } ->
@@ -36,7 +33,7 @@ let project d events =
     events
 
 let match_events records nranks =
-  let d = V.Op.decode ~mode:D.Lenient ~nranks records in
+  let d = V.Estore.of_records ~mode:D.Lenient ~nranks records in
   let m = V.Match_mpi.run ~mode:D.Lenient d in
   (d, m)
 
@@ -112,8 +109,10 @@ let test_mutate_basics () =
 let cyclic_case () =
   let p = Viogen.Workload.generate ~seed:11 () in
   let records = Viogen.Workload.run p in
-  let d = V.Op.decode ~mode:D.Lenient ~nranks:p.Viogen.Workload.nranks records in
-  let chain r = d.V.Op.by_rank.(r) in
+  let d =
+    V.Estore.of_records ~mode:D.Lenient ~nranks:p.Viogen.Workload.nranks records
+  in
+  let chain r = V.Estore.rank_chain d r in
   Alcotest.(check bool)
     "trace has two ranks with two ops" true
     (Array.length (chain 0) >= 2 && Array.length (chain 1) >= 2);
@@ -137,7 +136,7 @@ let test_build_rejects_cycle () =
     (try
        ignore (V.Hb_graph.build d m);
        false
-     with V.Op.Malformed _ -> true)
+     with V.Estore.Malformed _ -> true)
 
 let test_build_partial_drops_cycle () =
   let d, m = cyclic_case () in
@@ -154,7 +153,7 @@ let test_build_partial_consistent_is_identity () =
      the same graph build would. *)
   let p = Viogen.Workload.generate ~seed:17 () in
   let records = Viogen.Workload.run p in
-  let d = V.Op.decode ~nranks:p.Viogen.Workload.nranks records in
+  let d = V.Estore.of_records ~nranks:p.Viogen.Workload.nranks records in
   let m = V.Match_mpi.run d in
   let g, dropped = V.Hb_graph.build_partial d m in
   let g_ref = V.Hb_graph.build d m in

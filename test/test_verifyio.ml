@@ -276,8 +276,7 @@ let test_subcomm_barrier_scopes_hb () =
   List.iter
     (fun (r : V.Verify.race) ->
       let ranks =
-        ( (V.Op.op d r.V.Verify.rx).V.Op.record.Recorder.Record.rank,
-          (V.Op.op d r.V.Verify.ry).V.Op.record.Recorder.Record.rank )
+        (V.Estore.rank d r.V.Verify.rx, V.Estore.rank d r.V.Verify.ry)
       in
       check_bool "race is between ranks 0 and 2" true
         (ranks = (0, 2) || ranks = (2, 0)))
@@ -368,14 +367,14 @@ let test_offset_reconstruction_write_lseek () =
     F.close fs ~rank:ctx.E.rank fd
   in
   let records = collect ~nranks:1 program in
-  let d = V.Op.decode ~nranks:1 records in
+  let d = V.Estore.of_records ~nranks:1 records in
   let datas =
-    Array.to_list d.V.Op.ops
-    |> List.filter_map (fun o ->
-           match o.V.Op.kind with
-           | V.Op.Data { iv; write = true; _ } ->
-             Some (iv.Vio_util.Interval.os, iv.Vio_util.Interval.oe)
-           | _ -> None)
+    List.filter_map
+      (fun i ->
+        if V.Estore.is_data d i && V.Estore.is_write d i then
+          Some (V.Estore.iv_lo d i, V.Estore.iv_hi d i)
+        else None)
+      (List.init (V.Estore.length d) Fun.id)
   in
   Alcotest.(check (list (pair int int)))
     "reconstructed ranges" [ (0, 4); (10, 12); (12, 13) ] datas
@@ -392,14 +391,14 @@ let test_offset_reconstruction_streams () =
     F.fclose fs ~rank:ctx.E.rank st
   in
   let records = collect ~nranks:1 program in
-  let d = V.Op.decode ~nranks:1 records in
+  let d = V.Estore.of_records ~nranks:1 records in
   let datas =
-    Array.to_list d.V.Op.ops
-    |> List.filter_map (fun o ->
-           match o.V.Op.kind with
-           | V.Op.Data { iv; write; _ } ->
-             Some (write, iv.Vio_util.Interval.os, iv.Vio_util.Interval.oe)
-           | _ -> None)
+    List.filter_map
+      (fun i ->
+        if V.Estore.is_data d i then
+          Some (V.Estore.is_write d i, V.Estore.iv_lo d i, V.Estore.iv_hi d i)
+        else None)
+      (List.init (V.Estore.length d) Fun.id)
   in
   Alcotest.(check (list (triple bool int int)))
     "stream ranges"
@@ -418,13 +417,11 @@ let test_fd_and_stream_same_fid () =
     end
   in
   let records = collect ~nranks:1 program in
-  let d = V.Op.decode ~nranks:1 records in
+  let d = V.Estore.of_records ~nranks:1 records in
   let fids =
-    Array.to_list d.V.Op.ops
-    |> List.filter_map (fun o ->
-           match o.V.Op.kind with
-           | V.Op.Data { fid; _ } -> Some fid
-           | _ -> None)
+    List.filter_map
+      (fun i -> if V.Estore.is_data d i then Some (V.Estore.fid d i) else None)
+      (List.init (V.Estore.length d) Fun.id)
     |> List.sort_uniq compare
   in
   check_int "one file id across both handle types" 1 (List.length fids)
@@ -495,7 +492,7 @@ let test_parallel_verification_agrees () =
         done;
         F.close fs ~rank:ctx.E.rank fd)
   in
-  let d = V.Op.decode ~nranks:4 records in
+  let d = V.Estore.of_records ~nranks:4 records in
   let m = V.Match_mpi.run d in
   let g = V.Hb_graph.build d m in
   let sidx = V.Msc.build_index d in
