@@ -8,6 +8,9 @@
      bench            corpus benchmark; writes a BENCH_<tag>.json perf report
      fuzz             differential fuzzing: generated workloads, every
                       optimized path vs the naive oracle, shrinking repros
+     serve            crash-safe verification daemon over a spool directory
+     submit           drop a job into a serve spool (optionally wait)
+     chaos            kill the daemon mid-batch, validate crash recovery
      models           print the builtin consistency models (paper Table I)
      coverage         print tracer API coverage (paper Table II)
      stats            per-layer/function statistics of a trace
@@ -526,12 +529,15 @@ let fuzz_generate seed count smoke shrink save_corpus domains =
    mutated with a rank abort and one third with a tail truncation. The
    supervisor guarantees every job ends in a verdict, a budget timeout,
    or quarantine — never an uncaught exception. *)
-let fuzz_resilience seed count smoke retries budget =
+let fuzz_resilience seed count smoke retries budget timeout_ms =
   let count = if smoke then 8 else count in
-  Printf.printf "resilience: seed %d, %d job(s), retries %d%s%s\n" seed count
+  Printf.printf "resilience: seed %d, %d job(s), retries %d%s%s%s\n" seed count
     retries
     (match budget with
     | Some b -> Printf.sprintf ", budget %d" b
+    | None -> "")
+    (match timeout_ms with
+    | Some t -> Printf.sprintf ", timeout %d ms" t
     | None -> "")
     (if smoke then " (smoke)" else "");
   let mutations = [| "pristine"; "abort"; "truncate" |] in
@@ -562,7 +568,7 @@ let fuzz_resilience seed count smoke retries budget =
           ~name:(Printf.sprintf "seed%d/%s" s mutations.(kind))
           ~nranks records)
   in
-  let isolated = Verifyio.Batch.run_isolated ~retries jobs in
+  let isolated = Verifyio.Batch.run_isolated ~retries ?timeout_ms jobs in
   print_string (Verifyio.Report.quarantine_summary isolated);
   let inventories = ref 0 and partial_races = ref 0 and mutated = ref 0 in
   List.iter
@@ -592,7 +598,7 @@ let fuzz_resilience seed count smoke retries budget =
   0
 
 let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
-    retries budget =
+    retries budget timeout_ms =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
@@ -610,7 +616,13 @@ let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
       | Some b when b < 1 -> Error "budget must be a positive step count"
       | _ -> Ok ()
   in
-  if resilience then fuzz_resilience seed count smoke retries budget
+  let* () =
+    match timeout_ms with
+    | Some t when t < 1 ->
+      Error "timeout must be a positive millisecond count"
+    | _ -> Ok ()
+  in
+  if resilience then fuzz_resilience seed count smoke retries budget timeout_ms
   else
     match replay with
     | Some path ->
@@ -620,6 +632,152 @@ let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
         usage_error
       end
     | None -> fuzz_generate seed count smoke shrink save_corpus domains
+
+(* ---- verification as a service: serve / submit / chaos ---- *)
+
+let absolutize p =
+  if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+
+let serve_cmd root domains retries timeout_ms backoff_ms budget hwm
+    crash_retries poll_ms once quiet =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    usage_error
+  in
+  let* () =
+    if retries < 0 then Error "retries must be >= 0"
+    else if timeout_ms < 1 then
+      Error "timeout must be a positive millisecond count"
+    else if backoff_ms < 0 then Error "backoff must be >= 0 ms"
+    else if hwm < 1 then Error "high-water mark must be >= 1"
+    else if crash_retries < 0 then Error "crash-retries must be >= 0"
+    else if poll_ms < 1 then Error "poll interval must be >= 1 ms"
+    else
+      match (budget, domains) with
+      | Some b, _ when b < 1 -> Error "budget must be a positive step count"
+      | _, Some d when d < 1 -> Error "domains must be >= 1"
+      | _ -> Ok ()
+  in
+  let stop = Atomic.make false in
+  let drain _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+  let cfg =
+    {
+      Serve.Daemon.root;
+      domains;
+      retries;
+      timeout_ms;
+      backoff_ms;
+      default_budget = budget;
+      hwm;
+      crash_retries;
+      poll_ms;
+      once;
+      quiet;
+    }
+  in
+  let summary = Serve.Daemon.run ~stop cfg in
+  if not quiet then Format.printf "[serve] %a@." Serve.Daemon.pp_summary summary;
+  0
+
+let submit_cmd root trace id model_name all_models lenient partial budget
+    timeout_ms wait wait_ms =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    usage_error
+  in
+  let* () =
+    if not (Sys.file_exists trace) then
+      Error (Printf.sprintf "no such trace file: %s" trace)
+    else
+      match (budget, timeout_ms) with
+      | Some b, _ when b < 1 -> Error "budget must be a positive step count"
+      | _, Some t when t < 1 ->
+        Error "timeout must be a positive millisecond count"
+      | _ -> Ok ()
+  in
+  let* () = if wait_ms < 1 then Error "wait must be >= 1 ms" else Ok () in
+  let* models =
+    if all_models then
+      Ok
+        (List.map
+           (fun (m : Verifyio.Model.t) -> m.Verifyio.Model.name)
+           Verifyio.Model.builtin)
+    else
+      Result.map
+        (fun (m : Verifyio.Model.t) -> [ m.Verifyio.Model.name ])
+        (resolve_model model_name)
+  in
+  let spool = Serve.Spool.layout root in
+  let trace = absolutize trace in
+  let spec =
+    { Serve.Spool.id = ""; trace; models; lenient; partial; budget; timeout_ms }
+  in
+  let id =
+    match id with
+    | Some i -> i
+    | None ->
+      (* Content-derived default: resubmitting the same trace with the
+         same configuration reuses the id (and hence the response slot). *)
+      let sha = Vio_util.Sha256.digest_file trace in
+      Printf.sprintf "%s-%s"
+        (Filename.remove_extension (Filename.basename trace))
+        (String.sub
+           (Vio_util.Sha256.digest_string
+              (sha ^ "\n" ^ Serve.Spool.flags_string spec ^ "\n"
+             ^ String.concat "," models))
+           0 8)
+  in
+  let spec = { spec with Serve.Spool.id = id } in
+  ignore (Serve.Spool.submit spool spec);
+  if not wait then begin
+    Printf.printf "submitted %s (response: %s)\n" id
+      (Serve.Spool.response_path spool ~id);
+    0
+  end
+  else begin
+    let deadline_polls = (wait_ms + 49) / 50 in
+    let rec poll n =
+      match Serve.Spool.read_response spool ~id with
+      | Ok r ->
+        Printf.printf "%s: %s%s (exit %d)\n" id r.Serve.Spool.r_status
+          (if r.Serve.Spool.r_cached then " (cached)" else "")
+          r.Serve.Spool.r_exit;
+        (match r.Serve.Spool.r_error with
+        | Some e -> Printf.printf "  %s\n" e
+        | None -> ());
+        r.Serve.Spool.r_exit
+      | Error _ when n < deadline_polls ->
+        Vio_util.Backoff.sleep_ms 50;
+        poll (n + 1)
+      | Error _ ->
+        Printf.eprintf "no response for %s within %d ms\n" id wait_ms;
+        1
+    in
+    poll 0
+  end
+
+let chaos_cmd root jobs kills seed domains quiet =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    usage_error
+  in
+  let* () =
+    if jobs < 1 then Error "jobs must be >= 1"
+    else if kills < 0 then Error "kills must be >= 0"
+    else
+      match domains with
+      | Some d when d < 1 -> Error "domains must be >= 1"
+      | _ -> Ok ()
+  in
+  let cfg =
+    { Serve.Chaos.root; exe = Sys.executable_name; jobs; kills; seed;
+      domains; quiet }
+  in
+  let r = Serve.Chaos.run cfg in
+  Format.printf "[chaos] %a@." Serve.Chaos.pp_report r;
+  if r.Serve.Chaos.violations = [] then 0 else 4
 
 let models_cmd () =
   print_string (Verifyio.Report.table_i ());
@@ -769,7 +927,7 @@ let report_term = Term.(const report_cmd $ source_arg $ engine_arg $ grouped_arg
 
 let tag_arg =
   Arg.(
-    value & opt string "pr5"
+    value & opt string "pr6"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
@@ -860,11 +1018,153 @@ let fuzz_resilience_arg =
            get a rank abort, a third a tail truncation. Ends with a \
            quarantine summary; never crashes on a job failure.")
 
+let timeout_ms_opt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-job wall-clock watchdog in milliseconds (default 60000). \
+           Checked cooperatively at the step budget's charge points; an \
+           over-deadline job is retried with exponential backoff (wall \
+           time is load-dependent, unlike steps) and reported as timed \
+           out when the retry allowance is spent.")
+
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_smoke_arg
     $ fuzz_shrink_arg $ fuzz_replay_arg $ fuzz_save_corpus_arg $ domains_arg
-    $ fuzz_resilience_arg $ retries_arg $ budget_arg)
+    $ fuzz_resilience_arg $ retries_arg $ budget_arg $ timeout_ms_opt_arg)
+
+(* ---- serve / submit / chaos argument sets ---- *)
+
+let root_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:
+          "Spool root directory (created if absent): incoming/, claimed/, \
+           responses/, quarantine/, cache/ and journal.jsonl live under it.")
+
+let serve_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for the batch waves (default: auto).")
+
+let serve_timeout_arg =
+  Arg.(
+    value
+    & opt int Verifyio.Batch.default_timeout_ms
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-job wall-clock watchdog applied to jobs that do not carry \
+           their own (default 60000).")
+
+let backoff_ms_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Base of the exponential backoff between deadline retries \
+           (wait MS·2^(k-1) before attempt k+1; 0 disables the wait).")
+
+let hwm_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "hwm" ] ~docv:"N"
+        ~doc:
+          "Admission high-water mark: submissions beyond this queue depth \
+           get a structured overloaded response (exit 8) instead of \
+           growing the backlog.")
+
+let crash_retries_arg =
+  Arg.(
+    value & opt int Serve.Journal.crash_budget
+    & info [ "crash-retries" ] ~docv:"N"
+        ~doc:
+          "Journal-replay crash budget: a job that has taken down N+1 \
+           daemon incarnations is quarantined instead of re-enqueued.")
+
+let poll_ms_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "poll-ms" ] ~docv:"MS" ~doc:"Idle sleep between spool scans.")
+
+let once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:"Drain the spool (admit + run until empty), then exit.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-job log lines.")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ root_arg $ serve_domains_arg $ retries_arg
+    $ serve_timeout_arg $ backoff_ms_arg $ budget_arg $ hwm_arg
+    $ crash_retries_arg $ poll_ms_arg $ once_arg $ quiet_arg)
+
+let submit_trace_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"The .vio-trace file to verify.")
+
+let submit_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "id" ] ~docv:"ID"
+        ~doc:
+          "Job id (names the response file). Default: derived from the \
+           trace contents and flags, so identical resubmissions share a \
+           response slot.")
+
+let wait_arg =
+  Arg.(
+    value & flag
+    & info [ "wait" ]
+        ~doc:
+          "Poll for the response and exit with the job's verify-style \
+           exit code instead of returning immediately.")
+
+let wait_ms_arg =
+  Arg.(
+    value & opt int 60_000
+    & info [ "wait-ms" ] ~docv:"MS"
+        ~doc:"Give up waiting after MS milliseconds (exit 1).")
+
+let submit_term =
+  Term.(
+    const submit_cmd $ root_arg $ submit_trace_arg $ submit_id_arg $ model_arg
+    $ all_models_arg $ lenient_arg $ partial_arg $ budget_arg
+    $ timeout_ms_opt_arg $ wait_arg $ wait_ms_arg)
+
+let chaos_jobs_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "jobs" ] ~docv:"N" ~doc:"Generated well-formed jobs.")
+
+let chaos_kills_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "kills" ] ~docv:"N"
+        ~doc:"SIGKILL rounds before the clean recovery run.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Drives trace generation and kill timing.")
+
+let chaos_term =
+  Term.(
+    const chaos_cmd $ root_arg $ chaos_jobs_arg $ chaos_kills_arg
+    $ chaos_seed_arg $ serve_domains_arg $ quiet_arg)
 
 let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
 
@@ -915,6 +1215,12 @@ let () =
         "Benchmark the corpus: sequential vs batch engine; write BENCH JSON";
       cmd_of fuzz_term "fuzz"
         "Differentially fuzz the verifier against the naive oracle";
+      cmd_of serve_term "serve"
+        "Run the crash-safe verification daemon over a spool directory";
+      cmd_of submit_term "submit"
+        "Drop a verification job into a serve spool";
+      cmd_of chaos_term "chaos"
+        "Chaos-test the daemon: SIGKILL mid-batch, validate recovery";
       cmd_of Term.(const models_cmd $ const ()) "models"
         "Print the builtin consistency models (Table I)";
       cmd_of Term.(const coverage_cmd $ const ()) "coverage"

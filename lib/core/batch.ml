@@ -10,10 +10,14 @@ type job = {
   upstream : Recorder.Diagnostic.t list;
   partial : bool;
   budget : int option;
+  timeout_ms : int option;
 }
 
 let job ?models ?engine ?(mode = Recorder.Diagnostic.Strict) ?(upstream = [])
-    ?(partial = false) ?budget ~name ~nranks records =
+    ?(partial = false) ?budget ?timeout_ms ~name ~nranks records =
+  (match timeout_ms with
+  | Some ms when ms < 1 -> invalid_arg "Batch.job: timeout_ms must be positive"
+  | _ -> ());
   {
     name;
     nranks;
@@ -24,6 +28,7 @@ let job ?models ?engine ?(mode = Recorder.Diagnostic.Strict) ?(upstream = [])
     upstream;
     partial;
     budget;
+    timeout_ms;
   }
 
 type result = {
@@ -44,7 +49,14 @@ let effective_domains = function
 
 let run_job j =
   let t0 = Unix.gettimeofday () in
-  let budget = Option.map Vio_util.Budget.create j.budget in
+  (* One budget covers both bounds: the deterministic step limit and (when
+     set) the wall-clock deadline, checked at the same charge points. *)
+  let budget =
+    match (j.budget, j.timeout_ms) with
+    | None, None -> None
+    | Some steps, timeout_ms -> Some (Vio_util.Budget.create ?timeout_ms steps)
+    | None, Some timeout_ms -> Some (Vio_util.Budget.timer ~timeout_ms ())
+  in
   let p =
     Pipeline.prepare ?engine:j.engine ~mode:j.mode ~upstream:j.upstream
       ~partial:j.partial ?budget ~nranks:j.nranks j.records
@@ -108,9 +120,15 @@ type isolated = {
   i_attempts : int;
 }
 
-let run_isolated_job ~retries j =
+let default_timeout_ms = 60_000
+
+let run_isolated_job ~retries ~backoff_ms j =
   let t0 = Unix.gettimeofday () in
   let max_attempts = 1 + max 0 retries in
+  let wait k =
+    Vio_util.Backoff.sleep_ms
+      (Vio_util.Backoff.delay_ms ~base_ms:backoff_ms ~attempt:k ())
+  in
   let rec attempt k =
     match run_job j with
     | r -> (Done r.outcomes, k)
@@ -119,9 +137,27 @@ let run_isolated_job ~retries j =
          exhaust at exactly the same point, so a retry is pure waste. *)
       M.incr "batch/timed_out";
       (Timed_out { stage; limit; used }, k)
+    | exception Vio_util.Budget.Deadline_exceeded { stage; timeout_ms; elapsed_ms }
+      ->
+      (* A wall-clock overrun, unlike a step overrun, depends on machine
+         load — worth retrying, with exponential backoff so a transiently
+         overloaded host gets room to recover. *)
+      if k < max_attempts then begin
+        M.incr "batch/retries";
+        M.incr "batch/deadline_retries";
+        wait k;
+        attempt (k + 1)
+      end
+      else begin
+        M.incr "batch/timed_out";
+        M.incr "batch/deadline_timed_out";
+        (Timed_out { stage = stage ^ " (wall clock)"; limit = timeout_ms;
+                     used = elapsed_ms }, k)
+      end
     | exception exn ->
       if k < max_attempts then begin
         M.incr "batch/retries";
+        wait k;
         attempt (k + 1)
       end
       else begin
@@ -134,9 +170,26 @@ let run_isolated_job ~retries j =
   M.incr "batch/isolated_jobs";
   { i_job = j; i_status = status; i_wall = wall; i_attempts = attempts }
 
-let run_isolated ?domains ?(retries = 1) jobs =
+let run_isolated ?domains ?(retries = 1) ?timeout_ms ?(backoff_ms = 0) jobs =
   let ndomains = effective_domains domains in
   if retries < 0 then invalid_arg "Batch.run_isolated: retries must be >= 0";
+  if backoff_ms < 0 then
+    invalid_arg "Batch.run_isolated: backoff_ms must be >= 0";
+  (match timeout_ms with
+  | Some ms when ms < 1 ->
+    invalid_arg "Batch.run_isolated: timeout_ms must be positive"
+  | _ -> ());
+  (* The supervisor guarantees every job a wall-clock bound: a job without
+     its own [timeout_ms] inherits the run's (default 60 s). *)
+  let default_ms = Option.value ~default:default_timeout_ms timeout_ms in
+  let jobs =
+    List.map
+      (fun j ->
+        match j.timeout_ms with
+        | Some _ -> j
+        | None -> { j with timeout_ms = Some default_ms })
+      jobs
+  in
   let arr = Array.of_list jobs in
   let n = Array.length arr in
   let results : isolated option array = Array.make n None in
@@ -145,7 +198,7 @@ let run_isolated ?domains ?(retries = 1) jobs =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (run_isolated_job ~retries arr.(i));
+        results.(i) <- Some (run_isolated_job ~retries ~backoff_ms arr.(i));
         loop ()
       end
     in

@@ -35,6 +35,11 @@ type job = {
   budget : int option;
       (** per-attempt step budget ({!Pipeline.prepare}'s stage charges);
           [None] = unbounded *)
+  timeout_ms : int option;
+      (** per-attempt wall-clock bound, enforced cooperatively at the
+          budget's charge points ({!Vio_util.Budget.Deadline_exceeded});
+          [None] = unbounded under {!run}, the run's default under
+          {!run_isolated} *)
 }
 
 val job :
@@ -44,12 +49,14 @@ val job :
   ?upstream:Recorder.Diagnostic.t list ->
   ?partial:bool ->
   ?budget:int ->
+  ?timeout_ms:int ->
   name:string ->
   nranks:int ->
   Recorder.Record.t list ->
   job
 (** Job constructor; [models] defaults to {!Model.builtin}, [partial] to
-    false, [budget] to unbounded. *)
+    false, [budget] and [timeout_ms] to unbounded.
+    @raise Invalid_argument if [timeout_ms] is [< 1]. *)
 
 type result = {
   job : job;
@@ -93,7 +100,11 @@ type status =
   | Timed_out of { stage : string; limit : int; used : int }
       (** the job's step budget ran out in [stage]. Deterministic, so the
           job is {e not} retried — the same trace with the same budget
-          always times out at the same step. *)
+          always times out at the same step. A {e wall-clock} overrun
+          (the job's [timeout_ms]) also lands here, with [stage] suffixed
+          ["(wall clock)"] and [limit]/[used] in milliseconds — but only
+          after the retry allowance is spent, because wall time, unlike
+          steps, depends on machine load. *)
   | Quarantined of { attempts : int; error : string }
       (** every attempt raised; [error] is the last exception. The trace
           should be set aside for offline inspection. *)
@@ -105,15 +116,32 @@ type isolated = {
   i_attempts : int;  (** attempts actually made (1 = no retry needed) *)
 }
 
-val run_isolated : ?domains:int -> ?retries:int -> job list -> isolated list
+val default_timeout_ms : int
+(** The per-job wall-clock bound {!run_isolated} applies to jobs that do
+    not set their own: 60_000 ms. The CLI exposes it as [--timeout-ms]. *)
+
+val run_isolated :
+  ?domains:int ->
+  ?retries:int ->
+  ?timeout_ms:int ->
+  ?backoff_ms:int ->
+  job list ->
+  isolated list
 (** Run every job with per-job fault isolation: an exception is caught on
     the worker domain, retried up to [retries] more times (default 1),
     and finally quarantined; a {!Vio_util.Budget.Exhausted} becomes
-    {!Timed_out} immediately. Results are in job order; never raises on a
-    job failure. Metrics: [batch/retries], [batch/quarantined],
-    [batch/timed_out], [batch/isolated_jobs].
+    {!Timed_out} immediately, a {!Vio_util.Budget.Deadline_exceeded} is
+    retried (with {!Vio_util.Backoff} waits of [backoff_ms·2^(k-1)]
+    between attempts; [backoff_ms] defaults to 0 = no wait) and becomes
+    {!Timed_out} when the allowance is spent. Every job is bounded:
+    [timeout_ms] (default {!default_timeout_ms}) is applied to jobs
+    without their own. Results are in job order; never raises on a job
+    failure. Metrics: [batch/retries], [batch/deadline_retries],
+    [batch/quarantined], [batch/timed_out], [batch/deadline_timed_out],
+    [batch/isolated_jobs].
 
-    @raise Invalid_argument if [domains < 1] or [retries < 0]. *)
+    @raise Invalid_argument if [domains < 1], [retries < 0],
+    [timeout_ms < 1] or [backoff_ms < 0]. *)
 
 val quarantined : isolated list -> isolated list
 (** The jobs that ended {!Quarantined}, in input order. *)

@@ -1,0 +1,61 @@
+(** The content-addressed result cache.
+
+    A verdict is a pure function of [(trace bytes, model, verification
+    flags, codec version)] — the pipeline is deterministic end to end —
+    so the cache key is the SHA-256 of exactly that tuple, and repeat
+    submissions (CI re-running the same build produces byte-identical
+    traces) resolve in O(hash) without decoding anything.
+
+    Entries live at [cache/<key[0..1]>/<key>.json] and are written with
+    the stage-then-rename protocol ({!Vio_util.Fsio.atomic_write}): a
+    crash at any instant leaves either no entry or a complete one, never
+    a torn file. Entry contents are fully deterministic (no timestamps,
+    no walls), which is what makes the chaos test's strongest assertion
+    possible: a cache entry written by a daemon that was SIGKILLed and
+    restarted mid-batch is byte-identical to one computed by a fresh
+    sequential run. *)
+
+val codec_version : string
+(** {!Recorder.Codec.magic} — bumping the trace format invalidates every
+    cached verdict by changing all keys. *)
+
+val key : trace_sha256:string -> model:string -> flags:string -> string
+(** The entry key: SHA-256 over the canonical tuple rendering (newline-
+    separated fields, codec version included). *)
+
+val entry_path : dir:string -> key:string -> string
+(** Where the entry lives under the cache directory (two-hex-char
+    sharding so directories stay small at campaign scale). *)
+
+val lookup : dir:string -> key:string -> string option
+(** The entry's exact bytes, or [None] on a miss. *)
+
+val store : dir:string -> key:string -> string -> unit
+(** Atomically install an entry (idempotent: identical bytes by
+    construction, so a concurrent or repeated store is harmless). *)
+
+val verdict_json :
+  flags:string ->
+  trace_sha256:string ->
+  lenient:bool ->
+  partial:bool ->
+  model:Verifyio.Model.t ->
+  Verifyio.Pipeline.outcome ->
+  Vio_util.Json.t
+(** The canonical cached-verdict document for one model's outcome:
+    verdict counters, per-race pairs with confidence (capped at
+    {!max_race_pairs} with an explicit truncation marker), and the
+    verify-style exit code ({!exit_code}). Deterministic — contains no
+    timings. *)
+
+val exit_code : lenient:bool -> partial:bool -> Verifyio.Pipeline.outcome -> int
+(** The per-model exit status, mirroring [verifyio verify]: 0 clean, 2
+    races (definite races only under [lenient]), 5 race-free modulo a
+    non-empty unmatched inventory. *)
+
+val max_race_pairs : int
+(** Cap on the per-race listing inside an entry (500). *)
+
+val render : Vio_util.Json.t -> string
+(** The exact byte rendering stored in (and compared against) cache
+    entries: [Json.to_string] plus a trailing newline. *)

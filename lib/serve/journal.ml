@@ -1,0 +1,123 @@
+module J = Vio_util.Json
+module Fsio = Vio_util.Fsio
+
+type t = { fd : Unix.file_descr }
+
+let open_ path =
+  Fsio.ensure_dir (Filename.dirname path);
+  { fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let append t doc = Fsio.append_line t.fd (J.to_string ~indent:0 doc)
+
+let enqueued t ~id ~spec =
+  append t (J.Obj [ ("ev", J.Str "enqueued"); ("id", J.Str id); ("spec", spec) ])
+
+let started t ~id ~attempt =
+  append t
+    (J.Obj
+       [ ("ev", J.Str "started"); ("id", J.Str id); ("attempt", J.Int attempt) ])
+
+let finished t ~id ~status =
+  append t
+    (J.Obj
+       [ ("ev", J.Str "finished"); ("id", J.Str id); ("status", J.Str status) ])
+
+let drained t = append t (J.Obj [ ("ev", J.Str "drained") ])
+
+type pending = { p_id : string; p_spec : J.t; p_crashes : int }
+
+type replayed = {
+  unfinished : pending list;
+  finished_ids : string list;
+  torn_tail : bool;
+  clean_shutdown : bool;
+}
+
+type jstate = {
+  mutable spec : J.t option;
+  mutable starts : int;
+  mutable terminal : bool;
+  order : int;
+}
+
+let replay path =
+  if not (Sys.file_exists path) then
+    { unfinished = []; finished_ids = []; torn_tail = false;
+      clean_shutdown = false }
+  else begin
+    let raw = Fsio.read_file path in
+    (* Split into lines by hand so we can tell a torn tail (no trailing
+       newline) from a complete final record. *)
+    let lines = ref [] and torn = ref false in
+    let n = String.length raw in
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if raw.[i] = '\n' then begin
+        lines := String.sub raw !start (i - !start) :: !lines;
+        start := i + 1
+      end
+    done;
+    if !start < n then begin
+      (* Trailing bytes without a newline: the single-write append was
+         cut short. The transition it described never took effect. *)
+      torn := true
+    end;
+    let lines = List.rev !lines in
+    let jobs : (string, jstate) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref 0 in
+    let last_drained = ref false in
+    let state id =
+      match Hashtbl.find_opt jobs id with
+      | Some s -> s
+      | None ->
+        let s = { spec = None; starts = 0; terminal = false; order = !order } in
+        incr order;
+        Hashtbl.add jobs id s;
+        s
+    in
+    List.iter
+      (fun line ->
+        last_drained := false;
+        match J.of_string line with
+        | Error _ -> ()  (* interior damage: skip; see .mli *)
+        | Ok doc -> (
+          let ev = Option.bind (J.member "ev" doc) J.to_str in
+          let id = Option.bind (J.member "id" doc) J.to_str in
+          match (ev, id) with
+          | Some "enqueued", Some id ->
+            let s = state id in
+            s.spec <- J.member "spec" doc;
+            (* A re-enqueue after crash recovery resets nothing: starts
+               keep accumulating so the crash budget spans restarts. *)
+            s.terminal <- false
+          | Some "started", Some id ->
+            let s = state id in
+            s.starts <- s.starts + 1
+          | Some "finished", Some id -> (state id).terminal <- true
+          | Some "drained", None -> last_drained := true
+          | _ -> ()))
+      lines;
+    let pending = ref [] and finished = ref [] in
+    Hashtbl.iter
+      (fun id s ->
+        if s.terminal then finished := (s.order, id) :: !finished
+        else
+          match s.spec with
+          | Some spec ->
+            pending :=
+              (s.order, { p_id = id; p_spec = spec; p_crashes = s.starts })
+              :: !pending
+          | None -> ())
+      jobs;
+    let by_order l = List.map snd (List.sort compare l) in
+    {
+      unfinished = by_order !pending;
+      finished_ids = by_order !finished;
+      torn_tail = !torn;
+      clean_shutdown = !last_drained;
+    }
+  end
+
+let crash_budget = 3

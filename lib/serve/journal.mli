@@ -1,0 +1,73 @@
+(** The daemon's write-ahead job journal ([<root>/journal.jsonl]).
+
+    One JSON object per line, appended with a single [write] plus
+    [fsync] {e before} the state transition it describes takes effect,
+    so the journal is always at least as new as the world:
+
+    - [{"ev":"enqueued","id":…,"spec":{…}}] — written before the job
+      file moves from [incoming/] to [claimed/]; carries the full spec,
+      making replay self-contained even if the claimed file is lost.
+    - [{"ev":"started","id":…,"attempt":k}] — written before attempt
+      [k] begins computing. The attempt counter survives restarts: a
+      job observed [started] but never [finished] across [k] daemon
+      incarnations has crashed the daemon [k] times.
+    - [{"ev":"finished","id":…,"status":…}] — terminal; written after
+      the cache entries and response file are durably in place.
+
+    Replay scans the journal start to finish, folding each id to its
+    last state. A torn final line (the crash hit mid-append) is detected
+    and ignored — by the append discipline, the transition it described
+    never happened. Jobs enqueued-or-started but not finished are the
+    crash's in-flight set: replay re-enqueues exactly those (no
+    duplicates — one entry per id regardless of how many events mention
+    it; no orphans — the [enqueued] record precedes the claim rename,
+    property-tested against arbitrary kill points in
+    [test/test_serve.ml]). Jobs whose [started] count exceeds the crash
+    budget are handed back as poison instead, for the quarantine dir. *)
+
+type t
+(** An open journal (append handle). *)
+
+val open_ : string -> t
+(** Open (creating if absent) for appending. *)
+
+val close : t -> unit
+
+val enqueued : t -> id:string -> spec:Vio_util.Json.t -> unit
+
+val started : t -> id:string -> attempt:int -> unit
+
+val finished : t -> id:string -> status:string -> unit
+
+val drained : t -> unit
+(** A clean-shutdown marker, written by the graceful SIGTERM path after
+    the last in-flight job's [finished] record. *)
+
+type pending = {
+  p_id : string;
+  p_spec : Vio_util.Json.t;  (** as journalled at enqueue *)
+  p_crashes : int;
+      (** [started] events observed without a [finished] — how many
+          daemon incarnations this job has taken down *)
+}
+
+type replayed = {
+  unfinished : pending list;  (** in original enqueue order *)
+  finished_ids : string list;
+      (** terminal ids (their claimed files are safe to sweep) *)
+  torn_tail : bool;  (** the final line was cut mid-append *)
+  clean_shutdown : bool;  (** last event is a [drained] marker *)
+}
+
+val replay : string -> replayed
+(** Fold the journal at the path (absent file = empty journal). Never
+    raises on torn or malformed lines: a malformed {e final} line is the
+    expected crash signature ([torn_tail]); malformed interior lines are
+    skipped (they can only lose [finished] markers, which errs toward
+    re-running — safe, since job execution is idempotent and cached). *)
+
+val crash_budget : int
+(** Default bound on [p_crashes] before the daemon routes a job to
+    [quarantine/] instead of re-enqueueing it (3): a job that kills the
+    daemon every time it is attempted must not crash-loop the service
+    forever. *)

@@ -1,0 +1,15 @@
+let delay_ms ?(cap_ms = 30_000) ~base_ms ~attempt () =
+  if base_ms < 0 then invalid_arg "Backoff.delay_ms: negative base";
+  if cap_ms < 0 then invalid_arg "Backoff.delay_ms: negative cap";
+  if attempt < 1 then invalid_arg "Backoff.delay_ms: attempt must be >= 1";
+  if base_ms = 0 then 0
+  else
+    (* Shift saturates well before overflow: past 2^25 doublings the cap
+       has long since won. *)
+    let exp = min (attempt - 1) 25 in
+    min cap_ms (base_ms * (1 lsl exp))
+
+let rec sleep_ms ms =
+  if ms > 0 then
+    try Unix.sleepf (float_of_int ms /. 1000.)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> sleep_ms ms

@@ -1,0 +1,17 @@
+(** Bounded exponential backoff for retry loops.
+
+    Delays are a pure function of the attempt number — no jitter — so a
+    supervised retry schedule is reproducible in tests: attempt 1 waits
+    [base_ms], attempt 2 [2·base_ms], doubling up to [cap_ms]. *)
+
+val delay_ms : ?cap_ms:int -> base_ms:int -> attempt:int -> unit -> int
+(** The wait before retry number [attempt] (1-based):
+    [min cap_ms (base_ms · 2^(attempt-1))]. [cap_ms] defaults to 30_000.
+    A [base_ms] of 0 disables the wait entirely (every delay is 0).
+    @raise Invalid_argument if [base_ms < 0], [cap_ms < 0] or
+    [attempt < 1]. *)
+
+val sleep_ms : int -> unit
+(** Block the calling domain for the given milliseconds ([<= 0] returns
+    immediately). Restarts on [EINTR] so a stray signal does not cut the
+    wait short. *)

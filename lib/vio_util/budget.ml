@@ -1,10 +1,31 @@
-type t = { limit : int; mutable used : int }
+type t = {
+  limit : int;
+  mutable used : int;
+  started : float;  (* epoch seconds at creation *)
+  timeout_ms : int option;
+}
 
 exception Exhausted of { stage : string; limit : int; used : int }
 
-let create limit =
+exception
+  Deadline_exceeded of { stage : string; timeout_ms : int; elapsed_ms : int }
+
+let create ?timeout_ms limit =
   if limit < 1 then invalid_arg "Budget.create: limit must be positive";
-  { limit; used = 0 }
+  (match timeout_ms with
+  | Some ms when ms < 1 ->
+    invalid_arg "Budget.create: timeout_ms must be positive"
+  | _ -> ());
+  { limit; used = 0; started = Unix.gettimeofday (); timeout_ms }
+
+let timer ~timeout_ms () =
+  if timeout_ms < 1 then invalid_arg "Budget.timer: timeout_ms must be positive";
+  {
+    limit = max_int;
+    used = 0;
+    started = Unix.gettimeofday ();
+    timeout_ms = Some timeout_ms;
+  }
 
 let limit t = t.limit
 
@@ -21,11 +42,26 @@ let spend t ~stage n =
     Metrics.incr "budget/overruns";
     Metrics.incr ("budget/overruns/" ^ stage);
     raise (Exhausted { stage; limit = t.limit; used = t.used })
-  end
+  end;
+  match t.timeout_ms with
+  | None -> ()
+  | Some timeout_ms ->
+    let elapsed_ms =
+      int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.)
+    in
+    if elapsed_ms > timeout_ms then begin
+      Metrics.incr "budget/deadline_overruns";
+      Metrics.incr ("budget/deadline_overruns/" ^ stage);
+      raise (Deadline_exceeded { stage; timeout_ms; elapsed_ms })
+    end
 
 let describe = function
   | Exhausted { stage; limit; used } ->
     Some
       (Printf.sprintf "budget exhausted during %s (%d of %d steps)" stage used
          limit)
+  | Deadline_exceeded { stage; timeout_ms; elapsed_ms } ->
+    Some
+      (Printf.sprintf "deadline exceeded during %s (%d ms elapsed, limit %d ms)"
+         stage elapsed_ms timeout_ms)
   | _ -> None

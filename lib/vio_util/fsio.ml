@@ -1,0 +1,82 @@
+let rec ensure_dir path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    ensure_dir (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Unique-enough staging names: pid + a process-local counter. Two
+   processes staging the same target never collide, and one process
+   staging it twice concurrently (two domains) gets distinct names. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_name path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
+
+let atomic_write ?(fsync = true) ~path contents =
+  let tmp = tmp_name path in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let ok =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let n = String.length contents in
+        let written = ref 0 in
+        while !written < n do
+          written :=
+            !written
+            + Unix.write_substring fd contents !written (n - !written)
+        done;
+        if fsync then Unix.fsync fd;
+        true)
+  in
+  if ok then (
+    try Unix.rename tmp path
+    with e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let append_line ?(fsync = true) fd line =
+  let data = line ^ "\n" in
+  let n = String.length data in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd data !written (n - !written)
+  done;
+  if fsync then Unix.fsync fd
+
+let files_with_suffix dir ~suffix =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f suffix)
+    |> List.sort compare
+
+(* A name is staging debris when it contains ".tmp." — the infix every
+   [tmp_name] produces and no artifact name does. *)
+let is_tmp name =
+  let needle = ".tmp." in
+  let nn = String.length needle and nh = String.length name in
+  let rec go i =
+    i + nn <= nh && (String.sub name i nn = needle || go (i + 1))
+  in
+  go 0
+
+let sweep_tmp dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    Array.fold_left
+      (fun acc f ->
+        if is_tmp f then (
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          acc + 1)
+        else acc)
+      0 (Sys.readdir dir)

@@ -1,0 +1,38 @@
+(** Crash-safe filesystem primitives for the service layer.
+
+    The protocol every durable artifact (cache entry, response file, job
+    submission) follows is {e stage-then-rename}: write the full contents
+    to a unique temporary name in the {b same directory}, flush, then
+    [rename] into place. POSIX rename within one filesystem is atomic, so
+    a reader never observes a torn file — it sees either nothing or the
+    complete artifact, whatever instant the writer was killed at. The
+    temporary orphans a crash can leave behind use a recognizable
+    [.tmp.*] suffix and are swept by {!sweep_tmp}. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]: create the directory and any missing parents; existing
+    directories are fine. *)
+
+val atomic_write : ?fsync:bool -> path:string -> string -> unit
+(** Write contents to [path] atomically: stage into
+    [path ^ ".tmp.<pid>.<n>"], optionally [fsync] (default true), then
+    rename over [path]. An existing file at [path] is replaced
+    atomically. The staging file lives in [path]'s directory so the
+    rename never crosses a filesystem boundary. *)
+
+val read_file : string -> string
+(** The file's raw bytes.
+    @raise Sys_error as [open_in] does. *)
+
+val append_line : ?fsync:bool -> Unix.file_descr -> string -> unit
+(** Append [line ^ "\n"] with a single [write] call (so a crash tears at
+    most the final line, never interleaves two) and optionally [fsync]
+    (default true) — the journal's append discipline. *)
+
+val files_with_suffix : string -> suffix:string -> string list
+(** Basenames in a directory carrying the suffix, sorted; [] when the
+    directory does not exist. *)
+
+val sweep_tmp : string -> int
+(** Delete leftover [*.tmp.*] staging files in a directory (crash
+    debris); returns how many were removed. *)

@@ -1,0 +1,33 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    The service layer's content addressing: cache entries are keyed by
+    the digest of the submitted trace bytes plus the verification
+    configuration, so byte-identical resubmissions (CI re-runs of the
+    same build — see Recorder's observation that traces from one build
+    are byte-identical) hit the cache in O(hash) without decoding.
+
+    Performance is adequate for that job (~100 MB/s); this is not a
+    cryptographic library and sits behind no secrecy requirement — the
+    property bought here is collision resistance far beyond any plausible
+    corpus size. *)
+
+type ctx
+(** A streaming hash in progress. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> ?off:int -> ?len:int -> string -> unit
+(** Absorb a substring (default: the whole string).
+    @raise Invalid_argument on an out-of-range substring. *)
+
+val hex : ctx -> string
+(** Finalize and render the 64-char lowercase hex digest. The context
+    must not be fed afterwards. *)
+
+val digest_string : string -> string
+(** One-shot [init |> feed |> hex]. *)
+
+val digest_file : string -> string
+(** Digest a file's raw bytes, read in 64 KiB chunks — the file is never
+    resident in memory.
+    @raise Sys_error as [open_in] does. *)

@@ -20,6 +20,17 @@ type resilience = {
   rs_dropped_events : int;
 }
 
+type service = {
+  sv_jobs : int;
+  sv_models : int;
+  sv_cold_s : float;  (** drain an N-job spool with an empty cache *)
+  sv_warm_s : float;  (** drain the same N jobs resubmitted, cache full *)
+  sv_warm_speedup : float;
+  sv_warm_cache_hits : int;
+  sv_replay_recovered : int;  (** jobs re-enqueued from the crash journal *)
+  sv_replay_s : float;  (** journal replay + recomputation of those jobs *)
+}
+
 type engine_row = {
   er_name : string;
   er_prepare_s : float;
@@ -72,6 +83,7 @@ type t = {
   engines : engine_row list;
   resilience : resilience;
   columnar : columnar;
+  service : service;
 }
 
 (* A comparable digest of a corpus verification: per workload, per model,
@@ -204,6 +216,105 @@ let resilience_pass () =
     rs_unmatched_entries = M.find_counter snap "match/unmatched_entries";
     rs_dropped_events = M.find_counter snap "graph/dropped_events";
   }
+
+(* ---- verification-service measurements (PR 6) ---- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* The service pass: drain a spool of generated jobs through the
+   [verifyio serve] daemon loop in-process, three ways. Cold — empty
+   content-addressed cache, every verdict computed. Warm — the same
+   traces resubmitted under fresh ids, every verdict answered from the
+   cache (the cold/warm ratio is the headline number for the result
+   cache). Replay — a spool whose journal says the daemon died with the
+   whole fleet in flight, measuring crash recovery end to end: journal
+   replay, re-enqueue, recomputation. *)
+let service_pass ~smoke () =
+  let root =
+    let f = Filename.temp_file "verifyio_serve_bench" "" in
+    Sys.remove f;
+    f
+  in
+  let njobs = if smoke then 3 else 6 in
+  let max_steps = if smoke then 64 else 160 in
+  let models =
+    List.map (fun (m : V.Model.t) -> m.V.Model.name) V.Model.builtin
+  in
+  let traces =
+    List.init njobs (fun i ->
+        let p = Viogen.Workload.generate ~max_steps ~seed:(40 + i) () in
+        let records = Viogen.Workload.run p in
+        let path = Filename.concat root (Printf.sprintf "bench-%02d.vio" i) in
+        Vio_util.Fsio.ensure_dir root;
+        Vio_util.Fsio.atomic_write ~path
+          (Recorder.Codec.encode ~nranks:p.Viogen.Workload.nranks records);
+        path)
+  in
+  let spec i suffix trace =
+    {
+      Serve.Spool.id = Printf.sprintf "bench-%02d%s" i suffix;
+      trace;
+      models;
+      lenient = false;
+      partial = false;
+      budget = None;
+      timeout_ms = None;
+    }
+  in
+  let spool = Serve.Spool.layout root in
+  let submit suffix =
+    List.iteri (fun i t -> ignore (Serve.Spool.submit spool (spec i suffix t)))
+      traces
+  in
+  let drain r =
+    let t0 = Unix.gettimeofday () in
+    let s =
+      Serve.Daemon.run
+        { (Serve.Daemon.default ~root:r) with Serve.Daemon.once = true;
+          quiet = true }
+    in
+    (Unix.gettimeofday () -. t0, s)
+  in
+  submit "";
+  let cold_s, _ = drain root in
+  submit "-warm";
+  let warm_s, warm = drain root in
+  (* Crash recovery: a sibling spool whose journal records the whole
+     fleet as enqueued by a daemon that never lived to finish any of it.
+     Its cache is empty, so the wall is replay plus full recomputation —
+     the worst-case recovery a SIGKILL can leave behind. *)
+  let replay_root = root ^ "-replay" in
+  let rspool = Serve.Spool.layout replay_root in
+  let jn = Serve.Journal.open_ rspool.Serve.Spool.journal in
+  List.iteri
+    (fun i t ->
+      let s = spec i "" t in
+      Serve.Journal.enqueued jn ~id:s.Serve.Spool.id
+        ~spec:(Serve.Spool.jobspec_to_json s))
+    traces;
+  Serve.Journal.close jn;
+  let replay_s, replayed = drain replay_root in
+  let r =
+    {
+      sv_jobs = njobs;
+      sv_models = List.length models;
+      sv_cold_s = cold_s;
+      sv_warm_s = warm_s;
+      sv_warm_speedup = (if warm_s > 0. then cold_s /. warm_s else 0.);
+      sv_warm_cache_hits = warm.Serve.Daemon.cache_hits;
+      sv_replay_recovered = replayed.Serve.Daemon.replayed;
+      sv_replay_s = replay_s;
+    }
+  in
+  rm_rf root;
+  rm_rf replay_root;
+  r
 
 (* ---- columnar event-core measurements (PR 5) ---- *)
 
@@ -394,7 +505,7 @@ let columnar_pass ~smoke () =
     cl_sweep_walls = walls;
   }
 
-let run ?(tag = "pr5") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
+let run ?(tag = "pr6") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     ?(smoke = false) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
@@ -507,13 +618,14 @@ let run ?(tag = "pr5") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     engines = engine_rows ();
     resilience = resilience_pass ();
     columnar = columnar_pass ~smoke ();
+    service = service_pass ~smoke ();
   }
 
 let to_json r =
   J.Obj
     [
       ("schema", J.Str "verifyio-bench");
-      ("schema_version", J.Int 2);
+      ("schema_version", J.Int 3);
       ("tag", J.Str r.tag);
       ("generated_at_unix", J.Float r.generated_at);
       ( "environment",
@@ -637,6 +749,18 @@ let to_json r =
                          r.columnar.cl_sweep_walls) );
                 ] );
           ] );
+      ( "service",
+        J.Obj
+          [
+            ("jobs", J.Int r.service.sv_jobs);
+            ("models_per_job", J.Int r.service.sv_models);
+            ("cold_drain_s", J.Float r.service.sv_cold_s);
+            ("warm_drain_s", J.Float r.service.sv_warm_s);
+            ("warm_speedup_x", J.Float r.service.sv_warm_speedup);
+            ("warm_cache_hits", J.Int r.service.sv_warm_cache_hits);
+            ("replay_recovered_jobs", J.Int r.service.sv_replay_recovered);
+            ("replay_recovery_s", J.Float r.service.sv_replay_s);
+          ] );
       ("metrics", M.to_json r.metrics);
     ]
 
@@ -692,6 +816,12 @@ let summary r =
     (float_of_int (legacy_decode_top_heap_words * 8) /. 1048576.)
     r.columnar.cl_heap_reduction
     (if r.columnar.cl_child_process then "" else "; in-process, inflated");
+  Printf.bprintf b
+    "service: %d job(s) x %d model(s) — cold drain %.3fs, warm drain %.3fs \
+     (%.0fx, %d cache hit(s)); crash recovery replayed %d job(s) in %.3fs\n"
+    r.service.sv_jobs r.service.sv_models r.service.sv_cold_s
+    r.service.sv_warm_s r.service.sv_warm_speedup r.service.sv_warm_cache_hits
+    r.service.sv_replay_recovered r.service.sv_replay_s;
   Printf.bprintf b "columnar sweep (%d records, %d files, %d pairs):"
     r.columnar.cl_sweep_records r.columnar.cl_sweep_files
     r.columnar.cl_sweep_pairs;

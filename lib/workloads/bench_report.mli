@@ -33,6 +33,27 @@ type resilience = {
     pristine control) through {!Verifyio.Batch.run_isolated} — the
     resilience counters the report tracks PR over PR. *)
 
+type service = {
+  sv_jobs : int;  (** generated jobs in the bench spool *)
+  sv_models : int;  (** models verified per job *)
+  sv_cold_s : float;
+      (** wall to drain the spool with an empty result cache — every
+          verdict computed through the batch supervisor *)
+  sv_warm_s : float;
+      (** wall to drain the same jobs resubmitted under fresh ids — every
+          verdict answered from the content-addressed cache *)
+  sv_warm_speedup : float;  (** [sv_cold_s /. sv_warm_s] *)
+  sv_warm_cache_hits : int;
+  sv_replay_recovered : int;
+      (** jobs re-enqueued by journal replay in the crash-recovery leg *)
+  sv_replay_s : float;
+      (** crash recovery end to end: replay a journal that says the whole
+          fleet was in flight, then recompute it (empty cache) *)
+}
+(** One service pass (PR 6): the [verifyio serve] daemon loop run
+    in-process over a spool of generated jobs — cold drain, warm
+    (cache-answered) drain, and worst-case crash recovery. *)
+
 type engine_row = {
   er_name : string;  (** {!Verifyio.Reach.engine_name} *)
   er_prepare_s : float;
@@ -104,6 +125,7 @@ type t = {
   engines : engine_row list;
   resilience : resilience;
   columnar : columnar;
+  service : service;
 }
 
 val run :

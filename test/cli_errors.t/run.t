@@ -10,7 +10,7 @@ Unknown flags and commands:
   verifyio: unknown option '--bogus-flag'.
   [2]
   $ ../../bin/verifyio_cli.exe nosuchcommand 2>&1
-  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'stats' or 'verify'.
+  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'chaos', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'serve', 'stats', 'submit' or 'verify'.
   [2]
 
 Missing input files:
@@ -65,3 +65,22 @@ unconditional 0:
   verdict: properly synchronized modulo unmatched calls
   $ grep -c "missing participant" out.txt
   7
+
+The service-layer knobs are validated the same way — a bad value is a
+usage error (exit 2) before any spool or daemon work happens:
+
+  $ ../../bin/verifyio_cli.exe fuzz --resilience --smoke --timeout-ms 0 2>&1
+  timeout must be a positive millisecond count
+  [2]
+  $ ../../bin/verifyio_cli.exe serve --root spool --timeout-ms=-5 2>&1
+  timeout must be a positive millisecond count
+  [2]
+  $ ../../bin/verifyio_cli.exe serve --root spool --hwm 0 2>&1
+  high-water mark must be >= 1
+  [2]
+  $ ../../bin/verifyio_cli.exe serve --root spool --poll-ms 0 2>&1
+  poll interval must be >= 1 ms
+  [2]
+  $ ../../bin/verifyio_cli.exe chaos --root spool --jobs 0 2>&1
+  jobs must be >= 1
+  [2]

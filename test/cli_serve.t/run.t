@@ -1,0 +1,80 @@
+The verification service: `submit` drops jobs into a spool, `serve`
+drains it. Build two real traces and one malformed one:
+
+  $ ../../bin/verifyio_cli.exe run t_pread -o pread.trace
+  wrote 110 records to pread.trace
+  $ ../../bin/verifyio_cli.exe run t_bigio -o bigio.trace
+  wrote 72 records to bigio.trace
+  $ printf 'not a trace\n' > malformed.trace
+
+A five-job spool: two clean jobs, a four-model job, a one-step budget
+(guaranteed overrun), and the malformed trace:
+
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root spool --id job-pread -m POSIX
+  submitted job-pread (response: spool/responses/job-pread.json)
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root spool --id job-pread-all --all-models
+  submitted job-pread-all (response: spool/responses/job-pread-all.json)
+  $ ../../bin/verifyio_cli.exe submit bigio.trace --root spool --id job-bigio -m MPI-IO
+  submitted job-bigio (response: spool/responses/job-bigio.json)
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root spool --id job-budget --budget 1
+  submitted job-budget (response: spool/responses/job-budget.json)
+  $ ../../bin/verifyio_cli.exe submit malformed.trace --root spool --id job-malformed
+  submitted job-malformed (response: spool/responses/job-malformed.json)
+
+Without --id the job id is derived from the trace contents and flags, so
+identical resubmissions share a response slot:
+
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root other-spool | sed -E 's/pread-[0-9a-f]{8}/pread-XXXXXXXX/g'
+  submitted pread-XXXXXXXX (response: other-spool/responses/pread-XXXXXXXX.json)
+
+Bad submissions never reach the spool:
+
+  $ ../../bin/verifyio_cli.exe submit missing.trace --root spool
+  no such trace file: missing.trace
+  [2]
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root spool -m NOPE
+  unknown model "NOPE" (POSIX, Commit, Session, MPI-IO)
+  [2]
+
+One --once pass drains the spool: the budget job times out in its first
+pipeline stage, the malformed trace is quarantined, everything else
+verifies. The daemon itself exits 0 — job failures are the jobs'
+problem, recorded in their responses:
+
+  $ ../../bin/verifyio_cli.exe serve --root spool --once
+  [serve] job-bigio: admitted
+  [serve] job-budget: admitted
+  [serve] job-malformed: admitted
+  [serve] job-pread-all: admitted
+  [serve] job-pread: admitted
+  [serve] job-bigio: done (1 model(s), exit 0)
+  [serve] job-budget: timed out in decode
+  [serve] job-malformed: quarantined: malformed trace (line 1): bad magic "not a trace"
+  [serve] job-pread-all: done (4 model(s), exit 0)
+  [serve] job-pread: done (1 model(s), exit 0)
+  [serve] cycles 2, admitted 5, replayed 0, completed 5 (0 cached), overloaded 0, quarantined 1
+
+Every job has a terminal response with a verify-style exit code, and the
+poison job file was set aside for inspection:
+
+  $ grep -o '"status": "[a-z_]*"' spool/responses/job-budget.json
+  "status": "timed_out"
+  $ grep -o '"status": "[a-z_]*"' spool/responses/job-malformed.json
+  "status": "quarantined"
+  $ ls spool/quarantine
+  job-malformed.job
+
+Resubmitting a verified trace is answered from the content-addressed
+cache — no recomputation, marked cached in both the log and response:
+
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root spool --id job-warm -m POSIX
+  submitted job-warm (response: spool/responses/job-warm.json)
+  $ ../../bin/verifyio_cli.exe serve --root spool --once --quiet
+  $ grep -o '"cached": [a-z]*' spool/responses/job-warm.json
+  "cached": true
+
+And `submit --wait` on an id that already has a response returns it
+immediately:
+
+  $ ../../bin/verifyio_cli.exe submit pread.trace --root spool --id job-warm -m POSIX --wait
+  job-warm: done (cached) (exit 0)

@@ -327,6 +327,211 @@ let test_metrics_basics () =
     (List.map fst s.M.counters);
   M.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Sha256                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Sha = Vio_util.Sha256
+
+(* FIPS 180-4 test vectors. *)
+let test_sha256_vectors () =
+  check_string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha.digest_string "");
+  check_string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha.digest_string "abc");
+  check_string "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_string "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha.digest_string (String.make 1_000_000 'a'))
+
+let prop_sha256_chunking_irrelevant =
+  QCheck2.Test.make
+    ~name:"sha256: chunked feeding matches the one-shot digest" ~count:100
+    QCheck2.Gen.(
+      pair (string_size ~gen:(char_range '\000' '\255') (int_range 0 300))
+        (list_size (int_range 0 8) (int_range 1 64)))
+    (fun (s, cuts) ->
+      let ctx = Sha.init () in
+      let off = ref 0 in
+      List.iter
+        (fun len ->
+          let len = min len (String.length s - !off) in
+          if len > 0 then begin
+            Sha.feed ctx ~off:!off ~len s;
+            off := !off + len
+          end)
+        cuts;
+      if !off < String.length s then
+        Sha.feed ctx ~off:!off ~len:(String.length s - !off) s;
+      Sha.hex ctx = Sha.digest_string s)
+
+let test_sha256_file () =
+  let path = Filename.temp_file "sha" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc "abc";
+  close_out oc;
+  check_string "file digest = string digest"
+    (Sha.digest_string "abc") (Sha.digest_file path);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Fsio                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Fsio = Vio_util.Fsio
+
+let test_fsio_atomic_write () =
+  let dir = Filename.temp_file "fsio" "" in
+  Sys.remove dir;
+  Fsio.ensure_dir (Filename.concat dir "a/b");
+  check_bool "mkdir -p" true (Sys.is_directory (Filename.concat dir "a/b"));
+  let path = Filename.concat dir "a/b/x.json" in
+  Fsio.atomic_write ~path "one";
+  check_string "write" "one" (Fsio.read_file path);
+  Fsio.atomic_write ~path "two";
+  check_string "overwrite" "two" (Fsio.read_file path);
+  Alcotest.(check (list string))
+    "listing" [ "x.json" ]
+    (Fsio.files_with_suffix (Filename.concat dir "a/b") ~suffix:".json");
+  Alcotest.(check (list string))
+    "missing dir lists empty" []
+    (Fsio.files_with_suffix (Filename.concat dir "nope") ~suffix:".json")
+
+let test_fsio_sweep_tmp () =
+  let dir = Filename.temp_file "fsio" "" in
+  Sys.remove dir;
+  Fsio.ensure_dir dir;
+  Fsio.atomic_write ~path:(Filename.concat dir "keep.json") "k";
+  let oc = open_out (Filename.concat dir "keep.json.tmp.999.1") in
+  close_out oc;
+  check_int "one staging file removed" 1 (Fsio.sweep_tmp dir);
+  Alcotest.(check (list string))
+    "staging debris removed" [ "keep.json" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)))
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Backoff = Vio_util.Backoff
+
+let test_backoff_delays () =
+  check_int "attempt 1" 50 (Backoff.delay_ms ~base_ms:50 ~attempt:1 ());
+  check_int "attempt 2" 100 (Backoff.delay_ms ~base_ms:50 ~attempt:2 ());
+  check_int "attempt 4" 400 (Backoff.delay_ms ~base_ms:50 ~attempt:4 ());
+  check_int "capped" 30_000 (Backoff.delay_ms ~base_ms:50 ~attempt:30 ());
+  check_int "custom cap" 250
+    (Backoff.delay_ms ~cap_ms:250 ~base_ms:100 ~attempt:5 ());
+  check_int "zero base disables" 0 (Backoff.delay_ms ~base_ms:0 ~attempt:9 ())
+
+(* ------------------------------------------------------------------ *)
+(* Json: parser and emit → parse round trip                             *)
+(* ------------------------------------------------------------------ *)
+
+module J = Vio_util.Json
+
+let test_json_parse_basics () =
+  check_bool "null" true (J.of_string "null" = Ok J.Null);
+  check_bool "int" true (J.of_string " 42 " = Ok (J.Int 42));
+  check_bool "negative" true (J.of_string "-7" = Ok (J.Int (-7)));
+  check_bool "float" true (J.of_string "1.5" = Ok (J.Float 1.5));
+  check_bool "string" true (J.of_string {|"a\nb"|} = Ok (J.Str "a\nb"));
+  check_bool "escape u" true
+    (J.of_string "\"\\u0001\"" = Ok (J.Str "\001"));
+  check_bool "surrogate pair" true
+    (J.of_string "\"\\ud83d\\ude00\"" = Ok (J.Str "\xf0\x9f\x98\x80"));
+  check_bool "list" true
+    (J.of_string "[1,true,null]" = Ok (J.List [ J.Int 1; J.Bool true; J.Null ]));
+  check_bool "nested obj" true
+    (J.of_string {|{"a":{"b":[]}}|}
+    = Ok (J.Obj [ ("a", J.Obj [ ("b", J.List []) ]) ]))
+
+let test_json_parse_errors () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check_bool "empty" true (is_err (J.of_string ""));
+  check_bool "torn string" true (is_err (J.of_string {|{"a": "tor|}));
+  check_bool "trailing garbage" true (is_err (J.of_string "1 2"));
+  check_bool "bare word" true (is_err (J.of_string "verdict"));
+  check_bool "unclosed obj" true (is_err (J.of_string {|{"a":1|}))
+
+let test_json_accessors () =
+  let doc = J.Obj [ ("n", J.Int 3); ("s", J.Str "x"); ("b", J.Bool true) ] in
+  check_bool "member+to_int" true
+    (Option.bind (J.member "n" doc) J.to_int = Some 3);
+  check_bool "member miss" true (J.member "z" doc = None);
+  check_bool "to_str" true
+    (Option.bind (J.member "s" doc) J.to_str = Some "x");
+  check_bool "to_bool" true
+    (Option.bind (J.member "b" doc) J.to_bool = Some true)
+
+(* Documents without floats round-trip exactly (floats render in %.6g,
+   which is deliberately lossy). Strings cover the full byte range:
+   control characters must survive via \uXXXX escaping. *)
+let json_doc_gen =
+  let open QCheck2.Gen in
+  let any_string = string_size ~gen:(char_range '\000' '\255') (int_range 0 12) in
+  let key = string_size ~gen:(char_range '\000' '\255') (int_range 0 6) in
+  sized_size (int_range 0 3) @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          [
+            return J.Null;
+            map (fun b -> J.Bool b) bool;
+            map (fun i -> J.Int i) (int_range (-1_000_000) 1_000_000);
+            map (fun s -> J.Str s) any_string;
+          ]
+      else
+        oneof
+          [
+            map (fun l -> J.List l) (list_size (int_range 0 4) (self (n - 1)));
+            map
+              (fun kvs -> J.Obj kvs)
+              (list_size (int_range 0 4) (pair key (self (n - 1))));
+          ])
+
+let prop_json_round_trip =
+  QCheck2.Test.make ~name:"json: emit then parse is the identity" ~count:500
+    json_doc_gen
+    (fun doc ->
+      J.of_string (J.to_string doc) = Ok doc
+      && J.of_string (J.to_string ~indent:0 doc) = Ok doc)
+
+(* ------------------------------------------------------------------ *)
+(* Budget deadlines                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Bu = Vio_util.Budget
+
+let test_budget_deadline () =
+  (* A 1 ms deadline has certainly passed after a 5 ms sleep; steps are
+     far from exhausted, so the deadline must be what fires. *)
+  let b = Bu.create ~timeout_ms:1 1_000_000 in
+  Backoff.sleep_ms 5;
+  (match Bu.spend b ~stage:"verify" 1 with
+  | () -> Alcotest.fail "deadline did not fire"
+  | exception Bu.Deadline_exceeded { stage; timeout_ms; elapsed_ms } ->
+    check_string "stage" "verify" stage;
+    check_int "timeout" 1 timeout_ms;
+    check_bool "elapsed >= timeout" true (elapsed_ms >= 1));
+  let t = Bu.timer ~timeout_ms:60_000 () in
+  Bu.spend t ~stage:"any" 1_000_000;
+  check_bool "timer never step-exhausts" true (not (Bu.exhausted t));
+  Alcotest.check_raises "steps still win over deadline"
+    (Bu.Exhausted { stage = "s"; limit = 1; used = 2 })
+    (fun () ->
+      let b = Bu.create ~timeout_ms:1 1 in
+      Backoff.sleep_ms 5;
+      Bu.spend b ~stage:"s" 2);
+  check_bool "describe deadline" true
+    (Bu.describe
+       (Bu.Deadline_exceeded
+          { stage = "s"; timeout_ms = 10; elapsed_ms = 12 })
+    <> None)
+
 let () =
   Alcotest.run "vio_util"
     [
@@ -372,4 +577,26 @@ let () =
           Alcotest.test_case "copy/blit" `Quick test_growbuf_copy_blit;
           QCheck_alcotest.to_alcotest prop_growbuf_matches_model;
         ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS 180-4 vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "file digest" `Quick test_sha256_file;
+          QCheck_alcotest.to_alcotest prop_sha256_chunking_irrelevant;
+        ] );
+      ( "fsio",
+        [
+          Alcotest.test_case "atomic write" `Quick test_fsio_atomic_write;
+          Alcotest.test_case "sweep tmp" `Quick test_fsio_sweep_tmp;
+        ] );
+      ( "backoff",
+        [ Alcotest.test_case "delay schedule" `Quick test_backoff_delays ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          QCheck_alcotest.to_alcotest prop_json_round_trip;
+        ] );
+      ( "budget",
+        [ Alcotest.test_case "wall-clock deadline" `Quick test_budget_deadline ] );
     ]
