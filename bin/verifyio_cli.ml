@@ -53,25 +53,34 @@ let parse_abort_rank = function
    cmdliner-level equivalent. *)
 let usage_error = 2
 
-let run_workload name out scale abort_spec =
-  match (Workloads.Registry.find name, parse_abort_rank abort_spec) with
-  | None, _ ->
+let resolve_format = function
+  | "text" -> Ok Recorder.Codec.Text
+  | "binary" -> Ok Recorder.Codec.Binary
+  | f -> Error (Printf.sprintf "unknown trace format %S (text, binary)" f)
+
+let run_workload name out format_name scale abort_spec =
+  match
+    ( Workloads.Registry.find name,
+      parse_abort_rank abort_spec,
+      resolve_format format_name )
+  with
+  | None, _, _ ->
     Printf.eprintf "unknown workload %S (try `verifyio list`)\n" name;
     usage_error
-  | _, Error e ->
+  | _, Error e, _ | _, _, Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
-  | Some w, Ok (Some (r, _)) when r >= w.Workloads.Harness.nranks ->
+  | Some w, Ok (Some (r, _)), _ when r >= w.Workloads.Harness.nranks ->
     Printf.eprintf "abort rank %d out of range: %s has %d rank(s)\n" r name
       w.Workloads.Harness.nranks;
     usage_error
-  | Some w, Ok abort_rank ->
+  | Some w, Ok abort_rank, Ok fmt ->
     let records = Workloads.Harness.run ?scale ?abort_rank w in
-    let data = Recorder.Codec.encode ~nranks:w.nranks records in
+    let data = Recorder.Codec.encode_format fmt ~nranks:w.nranks records in
     let path =
       match out with Some p -> p | None -> name ^ ".vio-trace"
     in
-    let oc = open_out path in
+    let oc = open_out_bin path in
     output_string oc data;
     close_out oc;
     Printf.printf "wrote %d records to %s\n" (List.length records) path;
@@ -162,21 +171,96 @@ let load_source_ext ~mode ~plan ~seed source =
       Error
         (Printf.sprintf "%S is neither a trace file nor a known workload" source)
 
+(* Re-encode a trace file in the other (or an explicit) wire format. The
+   input format is auto-detected by magic; the decode is strict — a
+   convert that silently dropped records would change verdicts. *)
+let convert_cmd source out to_format =
+  let ( let* ) r f =
+    match r with
+    | Ok v -> f v
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      usage_error
+  in
+  let* () =
+    if Sys.file_exists source then Ok ()
+    else Error (Printf.sprintf "no such trace file: %s" source)
+  in
+  let encoded = Recorder.Codec.read_file source in
+  let from_fmt = Recorder.Codec.detect encoded in
+  let* to_fmt =
+    match to_format with
+    | "" ->
+      (* Default: flip to the other format. *)
+      Ok
+        (match from_fmt with
+        | Recorder.Codec.Text -> Recorder.Codec.Binary
+        | Recorder.Codec.Binary -> Recorder.Codec.Text)
+    | f -> resolve_format f
+  in
+  match Recorder.Codec.decode encoded with
+  | exception Recorder.Codec.Malformed { line; byte; record; reason } ->
+    Printf.eprintf "cannot read trace (%s): %s\n"
+      (malformed_pos ~line ~byte ~record)
+      reason;
+    usage_error
+  | nranks, records ->
+    let data = Recorder.Codec.encode_format to_fmt ~nranks records in
+    let path =
+      match out with
+      | Some p -> p
+      | None -> (
+        match to_fmt with
+        | Recorder.Codec.Binary -> Filename.remove_extension source ^ ".vtb"
+        | Recorder.Codec.Text -> Filename.remove_extension source ^ ".vio-trace")
+    in
+    let oc = open_out_bin path in
+    output_string oc data;
+    close_out oc;
+    Printf.printf "converted %d records (%s -> %s) to %s\n"
+      (List.length records)
+      (Recorder.Codec.format_name from_fmt)
+      (Recorder.Codec.format_name to_fmt)
+      path;
+    0
+
+(* Build the columnar store for a read-only command. File sources use
+   the fused streaming path (no Record.t list, either wire format);
+   workload names run the simulation and ingest the records. *)
+let load_store source =
+  if Sys.file_exists source then
+    try Ok (Verifyio.Estore.of_file source) with
+    | Failure e -> Error ("cannot read trace: " ^ e)
+    | Verifyio.Estore.Malformed reason -> Error ("cannot read trace: " ^ reason)
+    | Recorder.Codec.Malformed { line; byte; record; reason } ->
+      Error
+        (Printf.sprintf "cannot read trace (%s): %s"
+           (malformed_pos ~line ~byte ~record)
+           reason)
+  else
+    match Workloads.Registry.find source with
+    | Some w ->
+      Ok (Verifyio.Estore.of_records ~nranks:w.nranks (Workloads.Harness.run w))
+    | None ->
+      Error
+        (Printf.sprintf "%S is neither a trace file nor a known workload" source)
+
 let stats_cmd source =
-  match load_source source with
+  match load_store source with
   | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
-  | Ok (nranks, records) ->
+  | Ok d ->
     let module R = Recorder.Record in
-    Printf.printf "%d ranks, %d records\n\n" nranks (List.length records);
+    let nranks = Verifyio.Estore.nranks d in
+    Printf.printf "%d ranks, %d records\n\n" nranks (Verifyio.Estore.length d);
     let by_layer = Hashtbl.create 8 and by_func = Hashtbl.create 64 in
     let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
-    List.iter
-      (fun (r : R.t) ->
-        bump by_layer r.layer;
-        bump by_func (R.layer_to_string r.layer ^ ":" ^ r.func))
-      records;
+    for i = 0 to Verifyio.Estore.length d - 1 do
+      let layer = Verifyio.Estore.layer d i in
+      bump by_layer layer;
+      bump by_func (R.layer_to_string layer ^ ":" ^ Verifyio.Estore.func d i)
+    done;
     Printf.printf "records per layer:\n";
     List.iter
       (fun l ->
@@ -189,7 +273,6 @@ let stats_cmd source =
     List.iteri
       (fun i (n, f) -> if i < 15 then Printf.printf "  %6d  %s\n" n f)
       (List.sort (fun a b -> compare b a) funcs);
-    let d = Verifyio.Estore.of_records ~nranks records in
     Printf.printf "\nfiles (bytes written/read across ranks):\n";
     let totals = Hashtbl.create 8 in
     for i = 0 to Verifyio.Estore.length d - 1 do
@@ -211,12 +294,11 @@ let stats_cmd source =
     0
 
 let graph_cmd source out =
-  match load_source source with
+  match load_store source with
   | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
-  | Ok (nranks, records) ->
-    let d = Verifyio.Estore.of_records ~nranks records in
+  | Ok d ->
     let m = Verifyio.Match_mpi.run d in
     let g = Verifyio.Hb_graph.build d m in
     let dot = Verifyio.Hb_graph.to_dot g in
@@ -248,15 +330,32 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
     | _ -> Ok ()
   in
   let* plan = Recorder.Inject.plan_of_string inject_spec in
-  let* nranks, records, upstream = load_source_ext ~mode ~plan ~seed source in
+  (* A file source with no fault injection verifies on the fused
+     streaming path: decode goes straight into Estore columns (text or
+     binary, auto-detected) with no intermediate Record.t list. Fault
+     injection needs the encoded bytes in memory, so --inject (and
+     workload sources, which have no file) take the materializing path.
+     Verdicts are byte-identical either way (golden-digest gate). *)
+  let* loaded =
+    if plan = [] && Sys.file_exists source then Ok `File
+    else
+      Result.map
+        (fun x -> `Records x)
+        (load_source_ext ~mode ~plan ~seed source)
+  in
   let verify_one model =
     (* A fresh budget per model: each model's verification pass gets the
        full allowance, so `--all-models` verdicts match single-model
        runs. *)
     let budget = Option.map Vio_util.Budget.create budget in
     let o =
-      Verifyio.Pipeline.verify ?engine ~mode ~upstream ~partial ?budget ~model
-        ~nranks records
+      match loaded with
+      | `File ->
+        Verifyio.Pipeline.verify_file ?engine ~mode ~partial ?budget ~model
+          source
+      | `Records (nranks, records, upstream) ->
+        Verifyio.Pipeline.verify ?engine ~mode ~upstream ~partial ?budget
+          ~model ~nranks records
     in
     if grouped then print_string (Verifyio.Report.grouped_report o)
     else print_string (Verifyio.Report.race_report ~limit o);
@@ -298,6 +397,16 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
     | Some msg -> Printf.eprintf "%s\n" msg
     | None -> ());
     6
+  | exception Recorder.Codec.Malformed { line; byte; record; reason } ->
+    (* Only the fused file path decodes inside verify_one; the
+       materializing path surfaced decode errors from load_source_ext. *)
+    Printf.eprintf "cannot read trace (%s): %s\n"
+      (malformed_pos ~line ~byte ~record)
+      reason;
+    usage_error
+  | exception Verifyio.Estore.Malformed reason ->
+    Printf.eprintf "cannot read trace: %s\n" reason;
+    usage_error
 
 (* All-model summary of one source: a line per model plus, with
    [--grouped], the distinct racing call-chain pairs of each racy model.
@@ -309,12 +418,34 @@ let report_cmd source engine_name grouped =
     usage_error
   in
   let* engine = resolve_engine engine_name in
-  let* nranks, records = load_source source in
-  let outcomes =
-    Verifyio.Pipeline.verify_shared ?engine ~nranks records
+  (* File sources stream through the fused path; workloads materialize
+     their records as before. Either way the decoded store rides along in
+     each outcome, so the header counts come from it. *)
+  let* outcomes =
+    if Sys.file_exists source then
+      match Verifyio.Pipeline.verify_shared_file ?engine source with
+      | outcomes -> Ok outcomes
+      | exception Recorder.Codec.Malformed { line; byte; record; reason } ->
+        Error
+          (Printf.sprintf "cannot read trace (%s): %s"
+             (malformed_pos ~line ~byte ~record)
+             reason)
+      | exception Verifyio.Estore.Malformed reason ->
+        Error ("cannot read trace: " ^ reason)
+    else
+      Result.map
+        (fun (nranks, records) ->
+          Verifyio.Pipeline.verify_shared ?engine ~nranks records)
+        (load_source source)
   in
-  Printf.printf "%s: %d ranks, %d records\n\n" source nranks
-    (List.length records);
+  let store =
+    match outcomes with
+    | (_, o) :: _ -> o.Verifyio.Pipeline.decoded
+    | [] -> assert false (* Model.builtin is never empty *)
+  in
+  Printf.printf "%s: %d ranks, %d records\n\n" source
+    (Verifyio.Estore.nranks store)
+    (Verifyio.Estore.length store);
   List.iter
     (fun (_, o) -> print_endline (Verifyio.Report.summary_line ~name:source o))
     outcomes;
@@ -822,8 +953,28 @@ let abort_rank_arg =
            (NCALLS+1)-th MPI operation, leaving in-flight records in the \
            trace.")
 
+let format_arg =
+  Arg.(
+    value & opt string "text"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Trace wire format to write: $(b,text) (the line-oriented v1 \
+           format, default) or $(b,binary) (the length-prefixed v2 format \
+           — ~2x smaller, ~10x faster to decode). Every reader \
+           auto-detects the format by magic; see docs/format.md.")
+
 let run_term =
-  Term.(const run_workload $ name_arg $ out_arg $ scale_arg $ abort_rank_arg)
+  Term.(
+    const run_workload $ name_arg $ out_arg $ format_arg $ scale_arg
+    $ abort_rank_arg)
+
+let convert_to_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "to" ] ~docv:"FMT"
+        ~doc:
+          "Target format: $(b,text) or $(b,binary). Default: the opposite \
+           of the input's (auto-detected) format.")
 
 let source_arg =
   Arg.(
@@ -927,7 +1078,7 @@ let report_term = Term.(const report_cmd $ source_arg $ engine_arg $ grouped_arg
 
 let tag_arg =
   Arg.(
-    value & opt string "pr6"
+    value & opt string "pr7"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
@@ -1188,14 +1339,20 @@ let usage_exit code err_text =
   end
 
 (* Measurement child re-exec: the bench spawns this same binary with
-   VERIFYIO_COLUMNAR_CHILD set so decode peak heap is measured in a
-   process that has allocated nothing else. Must run before cmdliner. *)
+   VERIFYIO_COLUMNAR_CHILD (or VERIFYIO_CODEC_CHILD, "<kind>:<path>")
+   set so decode walls and peak heaps are measured in a process that
+   has allocated nothing else. Must run before cmdliner. *)
 let () =
   match Sys.getenv_opt "VERIFYIO_COLUMNAR_CHILD" with
   | Some path ->
     Workloads.Bench_report.columnar_child path;
     exit 0
-  | None -> ()
+  | None -> (
+    match Sys.getenv_opt "VERIFYIO_CODEC_CHILD" with
+    | Some spec ->
+      Workloads.Bench_report.codec_child spec;
+      exit 0
+    | None -> ())
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1207,6 +1364,9 @@ let () =
     [
       cmd_of list_term "list" "List the builtin evaluation workloads";
       cmd_of run_term "run" "Run a workload and save its execution trace";
+      cmd_of
+        Term.(const convert_cmd $ source_arg $ out_arg $ convert_to_arg)
+        "convert" "Re-encode a trace file between the text and binary formats";
       cmd_of verify_term "verify"
         "Verify an execution trace against a consistency model";
       cmd_of report_term "report"

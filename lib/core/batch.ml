@@ -4,6 +4,7 @@ type job = {
   name : string;
   nranks : int;
   records : Recorder.Record.t list;
+  trace_file : string option;
   models : Model.t list;
   engine : Reach.engine option;
   mode : Recorder.Diagnostic.mode;
@@ -13,15 +14,35 @@ type job = {
   timeout_ms : int option;
 }
 
+let check_timeout = function
+  | Some ms when ms < 1 -> invalid_arg "Batch.job: timeout_ms must be positive"
+  | _ -> ()
+
 let job ?models ?engine ?(mode = Recorder.Diagnostic.Strict) ?(upstream = [])
     ?(partial = false) ?budget ?timeout_ms ~name ~nranks records =
-  (match timeout_ms with
-  | Some ms when ms < 1 -> invalid_arg "Batch.job: timeout_ms must be positive"
-  | _ -> ());
+  check_timeout timeout_ms;
   {
     name;
     nranks;
     records;
+    trace_file = None;
+    models = Option.value ~default:Model.builtin models;
+    engine;
+    mode;
+    upstream;
+    partial;
+    budget;
+    timeout_ms;
+  }
+
+let job_of_file ?models ?engine ?(mode = Recorder.Diagnostic.Strict)
+    ?(upstream = []) ?(partial = false) ?budget ?timeout_ms ~name path =
+  check_timeout timeout_ms;
+  {
+    name;
+    nranks = 0;
+    records = [];
+    trace_file = Some path;
     models = Option.value ~default:Model.builtin models;
     engine;
     mode;
@@ -58,8 +79,17 @@ let run_job j =
     | None, Some timeout_ms -> Some (Vio_util.Budget.timer ~timeout_ms ())
   in
   let p =
-    Pipeline.prepare ?engine:j.engine ~mode:j.mode ~upstream:j.upstream
-      ~partial:j.partial ?budget ~nranks:j.nranks j.records
+    match j.trace_file with
+    | Some path ->
+      (* File-backed job: the fused streaming path decodes straight into
+         Estore columns on this worker domain — the job record never holds
+         the trace's records, so a large trace costs one domain's store,
+         not a shared Record.t list. *)
+      Pipeline.prepare_file ?engine:j.engine ~mode:j.mode ~upstream:j.upstream
+        ~partial:j.partial ?budget path
+    | None ->
+      Pipeline.prepare ?engine:j.engine ~mode:j.mode ~upstream:j.upstream
+        ~partial:j.partial ?budget ~nranks:j.nranks j.records
   in
   let outcomes =
     List.map (fun m -> (m, Pipeline.verify_prepared ~model:m p)) j.models

@@ -78,16 +78,20 @@ let timed f =
   let v = f () in
   (Unix.gettimeofday () -. t0, v)
 
-let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
-    ?budget ?(sweep_domains = 1) ~nranks records =
+(* Everything downstream of the event store: conflicts, matching, the
+   happens-before graph, reachability engine, sync index, degradation
+   accounting. [t_read] and [n_decoded] describe the read stage that
+   produced [d] — list ingest ({!prepare}) and fused streaming file
+   ingest ({!prepare_file}) both land here. *)
+let prepare_store ?engine ~mode ~upstream ~partial ?budget ~sweep_domains
+    ~t_read ~n_decoded d =
   let lenient = mode = D.Lenient in
   let spend stage n =
     match budget with
     | Some b -> Vio_util.Budget.spend b ~stage n
     | None -> ()
   in
-  let t_read, d = timed (fun () -> Estore.of_records ~mode ~nranks records) in
-  spend "decode" (List.length records);
+  spend "decode" n_decoded;
   let t_conflicts, groups =
     timed (fun () -> Conflict.detect ~domains:sweep_domains d)
   in
@@ -243,6 +247,22 @@ let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
     p_t_engine = t_engine;
   }
 
+let prepare ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
+    ?budget ?(sweep_domains = 1) ~nranks records =
+  let t_read, d = timed (fun () -> Estore.of_records ~mode ~nranks records) in
+  prepare_store ?engine ~mode ~upstream ~partial ?budget ~sweep_domains ~t_read
+    ~n_decoded:(List.length records) d
+
+let prepare_file ?engine ?(mode = D.Strict) ?(upstream = []) ?(partial = false)
+    ?budget ?(sweep_domains = 1) path =
+  (* Fused ingest: the trace streams straight from disk into Estore
+     columns via [Codec.fold_records] (text or binary, auto-detected) —
+     no [Record.t list] is ever materialized, so peak memory is bounded
+     by the store itself, not the trace length. *)
+  let t_read, d = timed (fun () -> Estore.of_file ~mode path) in
+  prepare_store ?engine ~mode ~upstream ~partial ?budget ~sweep_domains ~t_read
+    ~n_decoded:(Estore.length d) d
+
 let verify_prepared ?(pruning = true) ~model p =
   let queries_before = Reach.query_count p.p_reach in
   let hits_before, misses_before = Reach.memo_stats p.p_reach in
@@ -305,6 +325,21 @@ let verify_shared ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
   let p =
     prepare ?engine ~mode ~upstream ?partial ?budget ?sweep_domains ~nranks
       records
+  in
+  List.map (fun model -> (model, verify_prepared ~pruning ~model p)) models
+
+let verify_file ?engine ?(pruning = true) ?(mode = D.Strict) ?(upstream = [])
+    ?partial ?budget ?sweep_domains ~model path =
+  let p =
+    prepare_file ?engine ~mode ~upstream ?partial ?budget ?sweep_domains path
+  in
+  verify_prepared ~pruning ~model p
+
+let verify_shared_file ?engine ?(pruning = true) ?(mode = D.Strict)
+    ?(upstream = []) ?partial ?budget ?sweep_domains ?(models = Model.builtin)
+    path =
+  let p =
+    prepare_file ?engine ~mode ~upstream ?partial ?budget ?sweep_domains path
   in
   List.map (fun model -> (model, verify_prepared ~pruning ~model p)) models
 

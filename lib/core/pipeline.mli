@@ -129,6 +129,28 @@ val prepare :
     across that many domains ({!Conflict.detect}); verdicts are identical
     for every value. *)
 
+val prepare_file :
+  ?engine:Reach.engine ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:Vio_util.Budget.t ->
+  ?sweep_domains:int ->
+  string ->
+  prepared
+(** {!prepare}, fused with decoding: the trace file streams straight into
+    {!Estore} columns via {!Recorder.Codec.fold_records} (text or binary,
+    auto-detected by magic) — no [Recorder.Record.t] list is ever
+    materialized, so peak memory is bounded by the store's columns rather
+    than scaling with an intermediate per-record structure. This is the
+    path to use for large on-disk traces; verdicts are byte-identical to
+    reading the file and calling {!prepare} (the golden-digest gate locks
+    this). Codec diagnostics arrive through the store, so [upstream] is
+    only for faults collected before the file existed.
+
+    In strict mode raises {!Recorder.Codec.Malformed} on undecodable
+    input and [Sys_error] if the file cannot be read. *)
+
 val verify_prepared :
   ?pruning:bool -> model:Model.t -> prepared -> outcome
 (** Derive one model's verdict from prepared artifacts. Only the verify
@@ -185,6 +207,34 @@ val verify_shared :
 (** One {!prepare} shared by every model in [models] (default
     {!Model.builtin}, in the paper's order). Verdicts are identical to
     {!verify_all_models}; only the cost differs. *)
+
+val verify_file :
+  ?engine:Reach.engine ->
+  ?pruning:bool ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:Vio_util.Budget.t ->
+  ?sweep_domains:int ->
+  model:Model.t ->
+  string ->
+  outcome
+(** {!verify} over a trace file via the fused {!prepare_file} path. *)
+
+val verify_shared_file :
+  ?engine:Reach.engine ->
+  ?pruning:bool ->
+  ?mode:Recorder.Diagnostic.mode ->
+  ?upstream:Recorder.Diagnostic.t list ->
+  ?partial:bool ->
+  ?budget:Vio_util.Budget.t ->
+  ?sweep_domains:int ->
+  ?models:Model.t list ->
+  string ->
+  (Model.t * outcome) list
+(** {!verify_shared} over a trace file via the fused {!prepare_file}
+    path: decode, conflicts, graph and engine run once, streamed from
+    disk, then every model verifies against the shared artifacts. *)
 
 val is_properly_synchronized : outcome -> bool
 (** No races and no unmatched MPI calls (Def. 8). *)

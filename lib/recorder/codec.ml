@@ -515,17 +515,13 @@ let decode_from ?(mode = Diagnostic.Strict) rd ~emit =
     in
     finish ~nranks
 
-let decode_ext ?mode s =
+let decode_text_ext ?mode s =
   let acc = ref [] in
   let nranks, _, diagnostics =
     decode_from ?mode (reader (source_of_string s)) ~emit:(fun r ->
         acc := r :: !acc)
   in
   { nranks; records = List.rev !acc; diagnostics }
-
-let decode s =
-  let d = decode_ext ~mode:Diagnostic.Strict s in
-  (d.nranks, d.records)
 
 let encode_trace t = encode ~nranks:(Trace.nranks t) (Trace.records t)
 
@@ -550,7 +546,7 @@ type 'a folded = {
   f_diagnostics : Diagnostic.t list;
 }
 
-let fold_records ?mode ?chunk path ~init ~f =
+let fold_text_records ?mode ?chunk path ~init ~f =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -568,10 +564,708 @@ let fold_records ?mode ?chunk path ~init ~f =
         f_diagnostics = diagnostics;
       })
 
-let of_file_ext ?mode path =
-  let folded =
-    fold_records ?mode path ~init:[] ~f:(fun acc r -> r :: acc)
+(* ---------------------------------------------------------------- *)
+(* Binary codec v2                                                    *)
+(*                                                                    *)
+(* The normative wire-format specification is docs/format.md; error   *)
+(* messages cite its section numbers. Layout (§3): an 8-byte magic    *)
+(* and a version byte, a varint header, a string-pool segment, one    *)
+(* record segment per rank, and a fixed-width footer (per-rank        *)
+(* segment offsets and record counts, the pool offset, a body CRC-32  *)
+(* and a trailing locator) so ranks decode independently and the      *)
+(* footer is found from EOF without scanning.                         *)
+(* ---------------------------------------------------------------- *)
+
+let magic_v2 = "VIOTRACE"
+let binary_version = 2
+let trailer_magic = "VIOTRFTR"
+
+type format = Text | Binary
+
+let format_name = function Text -> "text" | Binary -> "binary"
+
+let detect s =
+  if String.length s >= 8 && String.sub s 0 8 = magic_v2 then Binary else Text
+
+let detect_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = min 8 (in_channel_length ic) in
+      detect (really_input_string ic n))
+
+(* Layer tags (§3.4.1): the wire byte for each interception layer, in
+   {!Record.all_layers} order. *)
+let layer_tag (l : Record.layer) =
+  let rec idx i = function
+    | [] -> assert false
+    | x :: tl -> if x = l then i else idx (i + 1) tl
   in
+  idx 0 Record.all_layers
+
+let layer_of_tag =
+  let a = Array.of_list Record.all_layers in
+  fun i -> if i < 0 || i >= Array.length a then None else Some a.(i)
+
+(* §2.1 unsigned varint: 7-bit groups, least-significant first, high bit
+   = continuation. §2.2 signed: zigzag then uvarint. *)
+let add_uvarint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+let add_svarint buf n = add_uvarint buf (zigzag n)
+
+(* §2.3 fixed-width little-endian (footer only). *)
+let add_u64 buf n =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let add_u32 buf n =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let encode_binary ~nranks records =
+  let records =
+    List.sort
+      (fun (a : Record.t) (b : Record.t) ->
+        compare (a.rank, a.seq) (b.rank, b.seq))
+      records
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      if r.Record.rank < 0 || r.Record.rank >= nranks then
+        invalid_arg
+          (Printf.sprintf
+             "Codec.encode_binary: record rank %d outside [0, %d) — the \
+              binary format stores records in per-rank segments \
+              (format.md §3.3)"
+             r.Record.rank nranks))
+    records;
+  (* Pass 1: intern every string in first-use order (§3.2). *)
+  let pool : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let rev_entries = ref [] in
+  let next = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt pool s with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.add pool s i;
+      rev_entries := s :: !rev_entries;
+      i
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      ignore (intern r.func);
+      ignore (intern r.ret);
+      Array.iter (fun a -> ignore (intern a)) r.args;
+      List.iter (fun (_, f) -> ignore (intern f)) r.call_path)
+    records;
+  let buf = Buffer.create 65536 in
+  (* §3.1 header *)
+  Buffer.add_string buf magic_v2;
+  Buffer.add_char buf (Char.chr binary_version);
+  add_uvarint buf 0 (* flags: reserved, must be 0 *);
+  add_uvarint buf nranks;
+  (* §3.2 string pool *)
+  let pool_offset = Buffer.length buf in
+  add_uvarint buf !next;
+  List.iter
+    (fun s ->
+      add_uvarint buf (String.length s);
+      Buffer.add_string buf s)
+    (List.rev !rev_entries);
+  (* §3.3 rank segments, §3.4 records *)
+  let by_rank = Array.make nranks [] in
+  List.iter
+    (fun (r : Record.t) ->
+      by_rank.(r.Record.rank) <- r :: by_rank.(r.Record.rank))
+    records;
+  let offsets = Array.make nranks 0 in
+  let counts = Array.make nranks 0 in
+  for rank = 0 to nranks - 1 do
+    let rs = List.rev by_rank.(rank) in
+    offsets.(rank) <- Buffer.length buf;
+    counts.(rank) <- List.length rs;
+    add_uvarint buf counts.(rank);
+    List.iter
+      (fun (r : Record.t) ->
+        add_uvarint buf r.Record.seq;
+        add_svarint buf r.Record.tstart;
+        add_svarint buf r.Record.tend;
+        Buffer.add_char buf (Char.chr (layer_tag r.Record.layer));
+        add_uvarint buf (Hashtbl.find pool r.Record.func);
+        add_uvarint buf (Hashtbl.find pool r.Record.ret);
+        add_uvarint buf (Array.length r.Record.args);
+        Array.iter (fun a -> add_uvarint buf (Hashtbl.find pool a)) r.Record.args;
+        add_uvarint buf (List.length r.Record.call_path);
+        List.iter
+          (fun (l, f) ->
+            Buffer.add_char buf (Char.chr (layer_tag l));
+            add_uvarint buf (Hashtbl.find pool f))
+          r.Record.call_path)
+      rs
+  done;
+  (* §3.5 footer *)
+  let footer_start = Buffer.length buf in
+  let crc =
+    Vio_util.Crc32.finish
+      (Vio_util.Crc32.update_string Vio_util.Crc32.init (Buffer.contents buf))
+  in
+  for rank = 0 to nranks - 1 do
+    add_u64 buf offsets.(rank);
+    add_u64 buf counts.(rank)
+  done;
+  add_u64 buf pool_offset;
+  add_u32 buf crc;
+  add_u64 buf footer_start;
+  Buffer.add_string buf trailer_magic;
+  Buffer.contents buf
+
+(* ---- binary decoding ---- *)
+
+(* A cursor over a byte window. [base] is the absolute file/string offset
+   of [buf].[0], so Malformed positions are absolute (§4). The text
+   decoder reports 1-based lines; binary positions are pure byte offsets,
+   reported with [line = 0]. *)
+type bin_cur = {
+  bc_buf : Bytes.t;
+  bc_base : int;
+  mutable bc_pos : int;
+  bc_len : int;
+}
+
+let cur_of_bytes ?(base = 0) ?(pos = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf in
+  { bc_buf = buf; bc_base = base; bc_pos = pos; bc_len = len }
+
+let bin_error cur fmt =
+  Printf.ksprintf
+    (fun reason ->
+      raise
+        (Malformed
+           { line = 0; byte = cur.bc_base + cur.bc_pos; record = -1; reason }))
+    fmt
+
+let read_byte cur =
+  if cur.bc_pos >= cur.bc_len then
+    bin_error cur "input exhausted mid-field (format.md §3.4)";
+  let b = Char.code (Bytes.unsafe_get cur.bc_buf cur.bc_pos) in
+  cur.bc_pos <- cur.bc_pos + 1;
+  b
+
+let read_uvarint cur =
+  let b0 = read_byte cur in
+  if b0 < 0x80 then b0
+  else begin
+    let n = ref (b0 land 0x7F) in
+    let shift = ref 7 in
+    let continue = ref true in
+    while !continue do
+      if !shift > 62 then
+        bin_error cur "varint longer than 10 bytes (format.md §2.1)";
+      let b = read_byte cur in
+      n := !n lor ((b land 0x7F) lsl !shift);
+      shift := !shift + 7;
+      if b < 0x80 then continue := false
+    done;
+    !n
+  end
+
+let read_svarint cur = unzigzag (read_uvarint cur)
+
+let read_u64 cur =
+  let n = ref 0 in
+  for i = 0 to 7 do
+    let b = read_byte cur in
+    if i = 7 && b > 0x3F then
+      bin_error cur "64-bit field exceeds the OCaml int range (format.md §2.3)";
+    n := !n lor (b lsl (8 * i))
+  done;
+  !n
+
+let read_u32 cur =
+  let n = ref 0 in
+  for i = 0 to 3 do
+    n := !n lor (read_byte cur lsl (8 * i))
+  done;
+  !n
+
+(* §3.1: magic + version + flags + nranks. Returns (flags, nranks). *)
+let read_bin_header cur =
+  if cur.bc_len - cur.bc_pos < 9 then
+    bin_error cur "input shorter than the 9-byte magic+version (format.md §3.1)";
+  let m = Bytes.sub_string cur.bc_buf cur.bc_pos 8 in
+  if m <> magic_v2 then bin_error cur "bad binary magic %S (format.md §3.1)" m;
+  cur.bc_pos <- cur.bc_pos + 8;
+  let version = read_byte cur in
+  if version <> binary_version then
+    bin_error cur
+      "unsupported binary trace version %d (this decoder reads version %d; \
+       format.md §1.2)"
+      version binary_version;
+  let flags = read_uvarint cur in
+  if flags <> 0 then
+    bin_error cur "reserved flags %#x must be zero (format.md §3.1)" flags;
+  let nranks = read_uvarint cur in
+  (flags, nranks)
+
+(* §3.2 string pool. *)
+let read_pool cur =
+  let count = read_uvarint cur in
+  if count > cur.bc_len - cur.bc_pos then
+    bin_error cur "pool count %d exceeds remaining input (format.md §3.2)" count;
+  Array.init count (fun _ ->
+      let len = read_uvarint cur in
+      if len > cur.bc_len - cur.bc_pos then
+        bin_error cur "pool entry overruns input (format.md §3.2)";
+      let s = Bytes.sub_string cur.bc_buf cur.bc_pos len in
+      cur.bc_pos <- cur.bc_pos + len;
+      s)
+
+type footer = {
+  ft_offsets : int array;  (** per-rank segment start offsets *)
+  ft_counts : int array;  (** per-rank record counts *)
+  ft_pool_offset : int;
+  ft_crc : int;
+  ft_start : int;  (** absolute offset of the footer's first byte *)
+}
+
+let footer_fixed = 28 (* pool offset + crc + locator + trailer magic *)
+
+(* §3.5: locate the footer from the end of the input. [total] is the
+   full input length; [tail_cur] must expose at least the final 16
+   bytes positioned at [total - 16]. *)
+let read_footer_locator ~total tail_cur =
+  if total < 16 then
+    bin_error tail_cur "input too short for a footer (format.md §3.5)";
+  let trailer = Bytes.sub_string tail_cur.bc_buf (tail_cur.bc_pos + 8) 8 in
+  if trailer <> trailer_magic then
+    bin_error tail_cur
+      "trailing footer magic is %S, want %S — footer truncated or \
+       overwritten (format.md §3.5)"
+      (escape trailer) trailer_magic;
+  let footer_start = read_u64 tail_cur in
+  if footer_start > total - footer_fixed then
+    bin_error tail_cur "footer locator %d points past the input (format.md §3.5)"
+      footer_start;
+  footer_start
+
+(* §3.5: the rank table and trailing fields, [cur] positioned at
+   [ft_start]. *)
+let read_footer ~nranks ~total cur =
+  let ft_start = cur.bc_base + cur.bc_pos in
+  if total - ft_start <> (16 * nranks) + footer_fixed then
+    bin_error cur
+      "footer is %d bytes, want %d for %d rank(s) (format.md §3.5)"
+      (total - ft_start)
+      ((16 * nranks) + footer_fixed)
+      nranks;
+  let ft_offsets = Array.make (max 1 nranks) 0 in
+  let ft_counts = Array.make (max 1 nranks) 0 in
+  for r = 0 to nranks - 1 do
+    ft_offsets.(r) <- read_u64 cur;
+    ft_counts.(r) <- read_u64 cur
+  done;
+  let ft_pool_offset = read_u64 cur in
+  let ft_crc = read_u32 cur in
+  let locator = read_u64 cur in
+  if locator <> ft_start then
+    bin_error cur
+      "footer locator %d disagrees with footer position %d (format.md §3.5)"
+      locator ft_start;
+  (* Segments must be contiguous and in rank order (§3.3). *)
+  let prev = ref ft_pool_offset in
+  Array.iteri
+    (fun r off ->
+      if r < nranks then begin
+        if off < !prev then
+          bin_error cur
+            "rank %d segment offset %d precedes the previous segment's end \
+             (format.md §3.3)"
+            r off;
+        prev := off
+      end)
+    ft_offsets;
+  if nranks > 0 && ft_offsets.(0) < ft_pool_offset then
+    bin_error cur "first segment overlaps the string pool (format.md §3.3)";
+  if nranks > 0 && ft_offsets.(nranks - 1) > ft_start then
+    bin_error cur "last segment offset points past the footer (format.md §3.5)";
+  { ft_offsets; ft_counts; ft_pool_offset; ft_crc; ft_start }
+
+(* One record (§3.4). Raises on structural damage; semantic problems
+   (unknown layer tag, pool id out of range) raise [Skip] so lenient
+   callers can drop the record and keep the segment. *)
+let read_bin_record ~pool ~rank cur =
+  let seq = read_uvarint cur in
+  let tstart = read_svarint cur in
+  let tend = read_svarint cur in
+  let layer_b = read_byte cur in
+  let fidx = read_uvarint cur in
+  let ridx = read_uvarint cur in
+  let nargs = read_uvarint cur in
+  if nargs > cur.bc_len - cur.bc_pos then
+    bin_error cur "argument count %d overruns the segment (format.md §3.4)"
+      nargs;
+  let argids = Array.init nargs (fun _ -> read_uvarint cur) in
+  let npath = read_uvarint cur in
+  if npath > (cur.bc_len - cur.bc_pos + 1) / 2 then
+    bin_error cur "call-path length %d overruns the segment (format.md §3.4)"
+      npath;
+  let pathids =
+    Array.init npath (fun _ ->
+        let lb = read_byte cur in
+        let fi = read_uvarint cur in
+        (lb, fi))
+  in
+  (* Structure consumed; validate semantics. *)
+  let npool = Array.length pool in
+  let str ~what i =
+    if i < 0 || i >= npool then
+      skip ~rank ~seq ~fault:Diagnostic.Bad_argument
+        "%s pool id %d out of range [0, %d) (format.md §3.2)" what i npool
+    else Array.unsafe_get pool i
+  in
+  let layer ~what b =
+    match layer_of_tag b with
+    | Some l -> l
+    | None ->
+      skip ~rank ~seq ~fault:Diagnostic.Unknown_function
+        "%s layer tag %d is not in the layer table (format.md §3.4.1)" what b
+  in
+  let layer_v = layer ~what:"record" layer_b in
+  let func = str ~what:"function" fidx in
+  let ret = str ~what:"return-value" ridx in
+  let args = Array.map (fun i -> str ~what:"argument" i) argids in
+  let call_path =
+    Array.to_list
+      (Array.map
+         (fun (lb, fi) ->
+           (layer ~what:"call-path" lb, str ~what:"call-path function" fi))
+         pathids)
+  in
+  { Record.rank; seq; tstart; tend; layer = layer_v; func; ret; args; call_path }
+
+(* Decode one rank segment: a record count then that many records (§3.3).
+   Returns the number of records emitted. In lenient mode semantic skips
+   drop single records; structural damage abandons the segment's
+   remainder with a Truncated_trace diagnostic. In strict mode both
+   raise. *)
+let decode_segment ~mode ~pool ~rank ~expected ~diag ~emit cur =
+  let emitted = ref 0 in
+  let prev_seq = ref min_int in
+  (try
+     let count = read_uvarint cur in
+     (match expected with
+     | Some n when n <> count -> (
+       let reason =
+         Printf.sprintf
+           "rank %d segment declares %d record(s) but the footer says %d \
+            (format.md §3.5)"
+           rank count n
+       in
+       match mode with
+       | Diagnostic.Strict ->
+         raise
+           (Malformed
+              { line = 0; byte = cur.bc_base + cur.bc_pos; record = -1; reason })
+       | Diagnostic.Lenient ->
+         diag (Diagnostic.make ~rank ~fault:Diagnostic.Bad_header reason))
+     | _ -> ());
+     for _ = 1 to count do
+       let byte = cur.bc_base + cur.bc_pos in
+       match read_bin_record ~pool ~rank cur with
+       | r ->
+         if r.Record.seq <= !prev_seq then begin
+           let reason =
+             Printf.sprintf
+               "rank %d seq %d does not increase over the previous record's \
+                %d (format.md §3.3)"
+               rank r.Record.seq !prev_seq
+           in
+           match mode with
+           | Diagnostic.Strict ->
+             raise (Malformed { line = 0; byte; record = -1; reason })
+           | Diagnostic.Lenient ->
+             diag
+               (Diagnostic.make ~rank ~seq:r.Record.seq
+                  ~fault:Diagnostic.Duplicate_record reason)
+         end
+         else begin
+           prev_seq := r.Record.seq;
+           emit r;
+           incr emitted
+         end
+       | exception Skip { sk_fault; sk_rank; sk_seq; sk_reason } -> (
+         match mode with
+         | Diagnostic.Strict ->
+           raise (Malformed { line = 0; byte; record = -1; reason = sk_reason })
+         | Diagnostic.Lenient ->
+           diag (Diagnostic.make ?rank:sk_rank ?seq:sk_seq ~fault:sk_fault sk_reason))
+     done
+   with Malformed { reason; _ } when mode = Diagnostic.Lenient ->
+     (* Structural damage: the rest of the segment has no recoverable
+        record boundaries. Account for the loss and move on — the next
+        segment starts at a footer offset, not here. In lenient mode
+        this handler makes the whole function non-raising, so callers
+        never re-enter salvage after records were already emitted. *)
+     diag
+       (Diagnostic.make ~rank ~fault:Diagnostic.Truncated_trace
+          (Printf.sprintf "rank %d segment abandoned after %d record(s): %s"
+             rank !emitted reason)));
+  !emitted
+
+(* Strict whole-string binary decode; also the engine for lenient decode
+   when the footer is intact. *)
+let decode_binary_with_footer ~mode s ~emit =
+  let total = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let cur = cur_of_bytes b in
+  let _flags, nranks = read_bin_header cur in
+  let header_end = cur.bc_pos in
+  let footer_start =
+    read_footer_locator ~total (cur_of_bytes ~base:0 ~pos:(total - 16) b)
+  in
+  let ft = read_footer ~nranks ~total (cur_of_bytes ~pos:footer_start b) in
+  if ft.ft_pool_offset <> header_end then
+    bin_error cur
+      "pool offset %d in the footer disagrees with the header end %d \
+       (format.md §3.5)"
+      ft.ft_pool_offset header_end;
+  let crc =
+    Vio_util.Crc32.finish
+      (Vio_util.Crc32.update Vio_util.Crc32.init b ~pos:0 ~len:footer_start)
+  in
+  if crc <> ft.ft_crc then begin
+    let reason =
+      Printf.sprintf "body CRC-32 is %08x, footer says %08x (format.md §3.5)"
+        crc ft.ft_crc
+    in
+    match mode with
+    | Diagnostic.Strict ->
+      raise (Malformed { line = 0; byte = footer_start; record = -1; reason })
+    | Diagnostic.Lenient -> diag (Diagnostic.make ~fault:Diagnostic.Bad_header reason)
+  end;
+  let pool = read_pool (cur_of_bytes ~pos:ft.ft_pool_offset b) in
+  let emitted = ref 0 in
+  for rank = 0 to nranks - 1 do
+    let seg_end =
+      if rank + 1 < nranks then ft.ft_offsets.(rank + 1) else footer_start
+    in
+    if ft.ft_offsets.(rank) > seg_end || seg_end > total then
+      bin_error cur "rank %d segment bounds are inconsistent (format.md §3.5)"
+        rank;
+    let cur =
+      cur_of_bytes ~base:0 ~pos:ft.ft_offsets.(rank) ~len:seg_end b
+    in
+    emitted :=
+      !emitted
+      + decode_segment ~mode ~pool ~rank ~expected:(Some ft.ft_counts.(rank))
+          ~diag ~emit cur
+  done;
+  (nranks, !emitted, List.rev !diags)
+
+(* Lenient fallback when the footer is damaged: every structure before
+   the footer is self-delimiting (varint counts and length prefixes), so
+   the body decodes sequentially — header, pool, then up to nranks
+   segments until the bytes run out (§4). *)
+let decode_binary_salvage s ~emit =
+  let mode = Diagnostic.Lenient in
+  let b = Bytes.unsafe_of_string s in
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let emitted = ref 0 in
+  let nranks = ref 0 in
+  (try
+     let cur = cur_of_bytes b in
+     let _flags, n = read_bin_header cur in
+     nranks := n;
+     let pool = read_pool cur in
+     let rank = ref 0 in
+     while !rank < n && cur.bc_pos < cur.bc_len do
+       emitted :=
+         !emitted
+         + decode_segment ~mode ~pool ~rank:!rank ~expected:None ~diag ~emit
+             cur;
+       incr rank
+     done;
+     if !rank < n then
+       diag
+         (Diagnostic.make ~fault:Diagnostic.Truncated_trace
+            (Printf.sprintf
+               "input ends after %d of %d rank segment(s) (format.md §3.3)"
+               !rank n))
+   with Malformed { reason; _ } ->
+     diag (Diagnostic.make ~fault:Diagnostic.Bad_header reason));
+  (!nranks, !emitted, List.rev !diags)
+
+let decode_binary_from ~mode s ~emit =
+  match mode with
+  | Diagnostic.Strict -> decode_binary_with_footer ~mode s ~emit
+  | Diagnostic.Lenient -> (
+    (* Prefer the indexed path (it validates the CRC and recovers
+       per-segment); fall back to sequential salvage the moment the
+       header/footer skeleton itself is unreadable. *)
+    match decode_binary_with_footer ~mode s ~emit with
+    | r -> r
+    | exception Malformed { reason; _ } ->
+      let nranks, emitted, diags = decode_binary_salvage s ~emit in
+      let d =
+        Diagnostic.make ~fault:Diagnostic.Bad_header
+          ("footer index unusable, salvaged sequentially: " ^ reason)
+      in
+      (nranks, emitted, d :: diags))
+
+(* Streaming per-segment file decode: the footer is read from the end of
+   the file, then the pool and each rank segment are read as separate
+   blocks — peak memory is the pool plus the largest single segment, and
+   the body CRC is folded over the blocks as they stream through. *)
+let fold_binary_file ~mode ic ~emit =
+  let total = in_channel_length ic in
+  let block pos len =
+    seek_in ic pos;
+    let b = Bytes.create len in
+    really_input ic b 0 len;
+    b
+  in
+  let head_len = min total 64 in
+  let head = block 0 head_len in
+  let hcur = cur_of_bytes ~len:head_len head in
+  let _flags, nranks = read_bin_header hcur in
+  let header_end = hcur.bc_pos in
+  let tail = block (max 0 (total - 16)) (min 16 total) in
+  let footer_start =
+    read_footer_locator ~total (cur_of_bytes ~base:(total - 16) tail)
+  in
+  let fbytes = block footer_start (total - footer_start) in
+  let ft =
+    read_footer ~nranks ~total (cur_of_bytes ~base:footer_start fbytes)
+  in
+  if ft.ft_pool_offset <> header_end then
+    bin_error hcur
+      "pool offset %d in the footer disagrees with the header end %d \
+       (format.md §3.5)"
+      ft.ft_pool_offset header_end;
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let crc = ref Vio_util.Crc32.init in
+  let crc_over b len = crc := Vio_util.Crc32.update !crc b ~pos:0 ~len in
+  crc_over head (min header_end head_len);
+  let seg_start rank =
+    if rank < nranks then ft.ft_offsets.(rank) else footer_start
+  in
+  let pool_bytes = block ft.ft_pool_offset (seg_start 0 - ft.ft_pool_offset) in
+  crc_over pool_bytes (Bytes.length pool_bytes);
+  let pool = read_pool (cur_of_bytes ~base:ft.ft_pool_offset pool_bytes) in
+  let emitted = ref 0 in
+  for rank = 0 to nranks - 1 do
+    let lo = seg_start rank and hi = seg_start (rank + 1) in
+    if lo > hi || hi > total then
+      bin_error hcur "rank %d segment bounds are inconsistent (format.md §3.5)"
+        rank;
+    let seg = block lo (hi - lo) in
+    crc_over seg (hi - lo);
+    let cur = cur_of_bytes ~base:lo seg in
+    emitted :=
+      !emitted
+      + decode_segment ~mode ~pool ~rank ~expected:(Some ft.ft_counts.(rank))
+          ~diag ~emit cur
+  done;
+  let crc = Vio_util.Crc32.finish !crc in
+  if crc <> ft.ft_crc then begin
+    let reason =
+      Printf.sprintf "body CRC-32 is %08x, footer says %08x (format.md §3.5)"
+        crc ft.ft_crc
+    in
+    match mode with
+    | Diagnostic.Strict ->
+      raise (Malformed { line = 0; byte = footer_start; record = -1; reason })
+    | Diagnostic.Lenient -> diag (Diagnostic.make ~fault:Diagnostic.Bad_header reason)
+  end;
+  (nranks, !emitted, List.rev !diags)
+
+(* ---------------------------------------------------------------- *)
+(* Format-transparent entry points: every reader sniffs the magic     *)
+(* (§1.1) and routes to the text or binary decoder.                   *)
+(* ---------------------------------------------------------------- *)
+
+let encode_format fmt ~nranks records =
+  match fmt with
+  | Text -> encode ~nranks records
+  | Binary -> encode_binary ~nranks records
+
+let decode_binary_ext ?(mode = Diagnostic.Strict) s =
+  let acc = ref [] in
+  let nranks, _, diagnostics =
+    decode_binary_from ~mode s ~emit:(fun r -> acc := r :: !acc)
+  in
+  { nranks; records = List.rev !acc; diagnostics }
+
+let decode_ext ?mode s =
+  match detect s with
+  | Text -> decode_text_ext ?mode s
+  | Binary -> decode_binary_ext ?mode s
+
+let decode s =
+  let d = decode_ext ~mode:Diagnostic.Strict s in
+  (d.nranks, d.records)
+
+let fold_records ?mode ?chunk path ~init ~f =
+  match detect_file path with
+  | Text -> fold_text_records ?mode ?chunk path ~init ~f
+  | Binary ->
+    (* [chunk] tunes the text line source; the binary path reads whole
+       segments and ignores it. *)
+    let mode = match mode with Some m -> m | None -> Diagnostic.Strict in
+    let acc = ref init in
+    let emit r = acc := f !acc r in
+    let ic = open_in_bin path in
+    let nranks, count, diagnostics =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match fold_binary_file ~mode ic ~emit with
+          | r -> r
+          | exception Malformed { reason; _ }
+            when mode = Diagnostic.Lenient ->
+            (* The header/footer skeleton is unreadable; nothing was
+               emitted yet (segment decode is non-raising in lenient
+               mode), so the sequential salvage pass starts clean. *)
+            seek_in ic 0;
+            let s = really_input_string ic (in_channel_length ic) in
+            let nranks, emitted, diags = decode_binary_salvage s ~emit in
+            let d =
+              Diagnostic.make ~fault:Diagnostic.Bad_header
+                ("footer index unusable, salvaged sequentially: " ^ reason)
+            in
+            (nranks, emitted, d :: diags))
+    in
+    {
+      f_nranks = nranks;
+      f_value = !acc;
+      f_records = count;
+      f_diagnostics = diagnostics;
+    }
+
+let of_file_ext ?mode path =
+  let folded = fold_records ?mode path ~init:[] ~f:(fun acc r -> r :: acc) in
   {
     nranks = folded.f_nranks;
     records = List.rev folded.f_value;

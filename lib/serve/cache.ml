@@ -1,7 +1,9 @@
 module J = Vio_util.Json
 module Fsio = Vio_util.Fsio
 
-let codec_version = Recorder.Codec.magic
+let codec_version =
+  Printf.sprintf "%s+%s%d" Recorder.Codec.magic Recorder.Codec.magic_v2
+    Recorder.Codec.binary_version
 
 let key ~trace_sha256 ~model ~flags =
   Vio_util.Sha256.digest_string

@@ -16,8 +16,10 @@
     sequential run. *)
 
 val codec_version : string
-(** {!Recorder.Codec.magic} — bumping the trace format invalidates every
-    cached verdict by changing all keys. *)
+(** The combined version stamp of both trace formats the daemon reads
+    ({!Recorder.Codec.magic} and {!Recorder.Codec.magic_v2} +
+    {!Recorder.Codec.binary_version}) — bumping either format
+    invalidates every cached verdict by changing all keys. *)
 
 val key : trace_sha256:string -> model:string -> flags:string -> string
 (** The entry key: SHA-256 over the canonical tuple rendering (newline-

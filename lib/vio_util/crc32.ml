@@ -1,0 +1,37 @@
+(* Table-driven CRC-32 (reflected 0xEDB88320). The 256-entry table is
+   computed once at module initialization; update is one table load, one
+   shift and two xors per byte. *)
+
+type t = int
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let init = 0xFFFFFFFF
+
+let update crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.update";
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc :=
+      Array.unsafe_get table
+        ((!crc lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+      lxor (!crc lsr 8)
+  done;
+  !crc
+
+let update_string crc s =
+  update crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let finish crc = crc lxor 0xFFFFFFFF
+
+let string s = finish (update_string init s)

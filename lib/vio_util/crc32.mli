@@ -1,0 +1,28 @@
+(** CRC-32 (IEEE 802.3): the reflected polynomial [0xEDB88320], init and
+    final xor [0xFFFFFFFF] — the checksum of zlib, PNG and gzip. Used by
+    the binary trace codec's footer ([docs/format.md] §3.5) to detect
+    body corruption before verdicts are derived from a damaged trace.
+
+    Values are the standard unsigned 32-bit checksum carried in an OCaml
+    [int] (always positive; OCaml ints are at least 63-bit here). *)
+
+type t = int
+(** A running checksum state. Feed bytes with {!update}, read the final
+    value with {!finish}. *)
+
+val init : t
+(** The empty-message state. *)
+
+val update : t -> Bytes.t -> pos:int -> len:int -> t
+(** Fold [len] bytes of [b] starting at [pos] into the state.
+    @raise Invalid_argument if [pos]/[len] do not denote a valid range. *)
+
+val update_string : t -> string -> t
+(** {!update} over a whole string. *)
+
+val finish : t -> int
+(** The checksum of everything fed so far, in [0, 0xFFFFFFFF]. *)
+
+val string : string -> int
+(** One-shot checksum of a string:
+    [string s = finish (update_string init s)]. *)

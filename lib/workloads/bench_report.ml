@@ -64,6 +64,27 @@ type columnar = {
   cl_sweep_walls : sweep_wall list;
 }
 
+type codec_side = {
+  cs_bytes : int;
+  cs_decode_s : float;
+  cs_records_per_s : float;
+}
+
+type codec = {
+  co_child_process : bool;
+  co_steps : int;
+  co_records : int;
+  co_text : codec_side;
+  co_binary : codec_side;
+  co_speedup_vs_text : float;
+  co_speedup_vs_baseline : float;
+  co_staged_top_heap_words : int;
+  co_fused_top_heap_words : int;
+  co_fused_half_records : int;
+  co_fused_half_top_heap_words : int;
+  co_verdicts_identical : bool;
+}
+
 type t = {
   tag : string;
   generated_at : float;
@@ -83,6 +104,7 @@ type t = {
   engines : engine_row list;
   resilience : resilience;
   columnar : columnar;
+  codec : codec;
   service : service;
 }
 
@@ -505,7 +527,174 @@ let columnar_pass ~smoke () =
     cl_sweep_walls = walls;
   }
 
-let run ?(tag = "pr6") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
+(* ---- codec v1 vs v2 measurements (PR 7) ---- *)
+
+(* The text-path decode throughput the binary codec is gated against:
+   BENCH_pr5.json's columnar pass measured 251,975 records/s (streaming
+   [Estore.of_file] over the text codec, fresh process). Issue 7's
+   acceptance bar for the binary decoder is >= 10x this figure. *)
+let codec_text_baseline_records_per_s = 252_000.
+let codec_text_baseline_report = "BENCH_pr5.json"
+
+(* One decode configuration, measured from a cold start. Kinds:
+   - "decode": codec-level streaming fold ([Codec.fold_records]) that
+     only counts records — pure wire-format decode throughput;
+   - "fused":  [Estore.of_file] — decode fused straight into columns,
+     the streaming path's peak heap;
+   - "staged": read the file, [Codec.decode_ext] to a [Record.t] list,
+     then [Estore.of_records] — the materializing two-stage pipeline
+     the fused path replaces. *)
+let codec_measure ~kind path =
+  let t0 = Unix.gettimeofday () in
+  let records =
+    match kind with
+    | "decode" ->
+      (Recorder.Codec.fold_records path ~init:0 ~f:(fun n _ -> n + 1))
+        .Recorder.Codec.f_value
+    | "fused" -> V.Estore.length (V.Estore.of_file path)
+    | "staged" ->
+      let d = Recorder.Codec.decode_ext (Recorder.Codec.read_file path) in
+      V.Estore.length
+        (V.Estore.of_records ~nranks:d.Recorder.Codec.nranks
+           d.Recorder.Codec.records)
+    | k -> failwith ("codec-child: unknown kind " ^ k)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (records, dt, (Gc.quick_stat ()).Gc.top_heap_words)
+
+(* Entry point for a codec measurement child ([VERIFYIO_CODEC_CHILD] is
+   ["<kind>:<path>"]): run one configuration in a process of its own so
+   the wall and the heap high-water mark belong to that configuration
+   alone, and report them on stdout. *)
+let codec_child spec =
+  let kind, path =
+    match String.index_opt spec ':' with
+    | Some i ->
+      (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+    | None -> failwith ("codec-child: malformed spec " ^ spec)
+  in
+  let records, wall, heap = codec_measure ~kind path in
+  Printf.printf "codec-child records=%d wall_s=%.6f top_heap_words=%d\n"
+    records wall heap
+
+(* Same re-exec protocol as [decode_in_child], parameterized by kind. *)
+let codec_in_child ~kind path =
+  match Sys.getenv_opt "VERIFYIO_CODEC_CHILD" with
+  | Some _ -> None  (* already a measurement child: never recurse *)
+  | None -> (
+    try
+      let exe = Sys.executable_name in
+      let env =
+        Array.append (Unix.environment ())
+          [| "VERIFYIO_CODEC_CHILD=" ^ kind ^ ":" ^ path |]
+      in
+      let r, w = Unix.pipe () in
+      let pid =
+        Unix.create_process_env exe [| exe |] env Unix.stdin w Unix.stderr
+      in
+      Unix.close w;
+      let ic = Unix.in_channel_of_descr r in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      let _, status = Unix.waitpid [] pid in
+      match (status, line) with
+      | Unix.WEXITED 0, Some l ->
+        Scanf.sscanf l "codec-child records=%d wall_s=%f top_heap_words=%d"
+          (fun n s w -> Some (n, s, w))
+      | _ -> None
+    with _ -> None)
+
+let codec_pass ~smoke () =
+  (* viogen seed 7 at 1.5M steps yields 2.76M records — past the issue's
+     2M-record floor; the smoke size keeps CI runs to seconds. *)
+  let max_steps = if smoke then 20_000 else 1_500_000 in
+  let gen steps =
+    let p = Viogen.Workload.generate ~max_steps:steps ~seed:7 () in
+    (p.Viogen.Workload.nranks, Viogen.Workload.run p)
+  in
+  let write_trace fmt nranks records =
+    let ext =
+      match fmt with Recorder.Codec.Text -> ".trace" | Binary -> ".vtb"
+    in
+    let path = Filename.temp_file "verifyio_codec" ext in
+    let oc = open_out_bin path in
+    output_string oc (Recorder.Codec.encode_format fmt ~nranks records);
+    close_out oc;
+    path
+  in
+  let nranks, records = gen max_steps in
+  let text_path = write_trace Recorder.Codec.Text nranks records in
+  let bin_path = write_trace Recorder.Codec.Binary nranks records in
+  let measure ~kind path =
+    match codec_in_child ~kind path with
+    | Some r -> (true, r)
+    | None -> (false, codec_measure ~kind path)
+  in
+  let size path = (Unix.stat path).Unix.st_size in
+  (* Decode throughput is contention-sensitive: a stray compile on the
+     machine sinks a single sample. Best-of-3, like the pipeline pass. *)
+  let measure_best ~kind path =
+    let rec go i ((ok, (_, best_s, _)) as best) =
+      if i = 0 then best
+      else
+        let ok', ((_, s, _) as r) = measure ~kind path in
+        go (i - 1) (if s < best_s then (ok && ok', r) else (ok && ok', snd best))
+    in
+    go 2 (measure ~kind path)
+  in
+  let c1, (n_text, text_s, _) = measure_best ~kind:"decode" text_path in
+  let c2, (n_bin, bin_s, _) = measure_best ~kind:"decode" bin_path in
+  let c3, (_, _, fused_heap) = measure ~kind:"fused" bin_path in
+  let c4, (_, _, staged_heap) = measure ~kind:"staged" bin_path in
+  (* Boundedness evidence: the fused path's peak heap should track the
+     store (halve with a half-size trace), not carry a trace-length
+     intermediate on top of it the way the staged path does. *)
+  let half_nranks, half_records = gen (max_steps / 2) in
+  let half_path = write_trace Recorder.Codec.Binary half_nranks half_records in
+  let c5, (n_half, _, half_heap) = measure ~kind:"fused" half_path in
+  let text_bytes = size text_path and bin_bytes = size bin_path in
+  (* Verdict identity across the wire formats: the whole corpus, each
+     workload encoded both ways and verified through the fused file path,
+     compared with the same digest the batch-determinism check uses. *)
+  let digest_via fmt =
+    digest
+      (List.map
+         (fun (w : H.t) ->
+           let records = H.run w in
+           let path = write_trace fmt w.H.nranks records in
+           let outcomes = V.Pipeline.verify_shared_file path in
+           (try Sys.remove path with Sys_error _ -> ());
+           (w.H.name, outcomes))
+         Registry.all)
+  in
+  let verdicts_identical =
+    digest_via Recorder.Codec.Text = digest_via Recorder.Codec.Binary
+  in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ text_path; bin_path; half_path ];
+  let text_rps = float_of_int n_text /. text_s in
+  let bin_rps = float_of_int n_bin /. bin_s in
+  {
+    co_child_process = c1 && c2 && c3 && c4 && c5;
+    co_steps = max_steps;
+    co_records = n_bin;
+    co_text =
+      { cs_bytes = text_bytes; cs_decode_s = text_s;
+        cs_records_per_s = text_rps };
+    co_binary =
+      { cs_bytes = bin_bytes; cs_decode_s = bin_s;
+        cs_records_per_s = bin_rps };
+    co_speedup_vs_text = bin_rps /. text_rps;
+    co_speedup_vs_baseline = bin_rps /. codec_text_baseline_records_per_s;
+    co_staged_top_heap_words = staged_heap;
+    co_fused_top_heap_words = fused_heap;
+    co_fused_half_records = n_half;
+    co_fused_half_top_heap_words = half_heap;
+    co_verdicts_identical = verdicts_identical;
+  }
+
+let run ?(tag = "pr7") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     ?(smoke = false) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
@@ -618,6 +807,7 @@ let run ?(tag = "pr6") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     engines = engine_rows ();
     resilience = resilience_pass ();
     columnar = columnar_pass ~smoke ();
+    codec = codec_pass ~smoke ();
     service = service_pass ~smoke ();
   }
 
@@ -625,7 +815,7 @@ let to_json r =
   J.Obj
     [
       ("schema", J.Str "verifyio-bench");
-      ("schema_version", J.Int 3);
+      ("schema_version", J.Int 4);
       ("tag", J.Str r.tag);
       ("generated_at_unix", J.Float r.generated_at);
       ( "environment",
@@ -749,6 +939,53 @@ let to_json r =
                          r.columnar.cl_sweep_walls) );
                 ] );
           ] );
+      ( "codec",
+        J.Obj
+          [
+            ("measured_in_child_process", J.Bool r.codec.co_child_process);
+            ( "trace",
+              J.Str
+                (Printf.sprintf "viogen seed=7 max_steps=%d" r.codec.co_steps)
+            );
+            ("records", J.Int r.codec.co_records);
+            ( "text",
+              J.Obj
+                [
+                  ("bytes", J.Int r.codec.co_text.cs_bytes);
+                  ("decode_s", J.Float r.codec.co_text.cs_decode_s);
+                  ("records_per_s", J.Float r.codec.co_text.cs_records_per_s);
+                ] );
+            ( "binary",
+              J.Obj
+                [
+                  ("bytes", J.Int r.codec.co_binary.cs_bytes);
+                  ("decode_s", J.Float r.codec.co_binary.cs_decode_s);
+                  ( "records_per_s",
+                    J.Float r.codec.co_binary.cs_records_per_s );
+                ] );
+            ("speedup_vs_text_x", J.Float r.codec.co_speedup_vs_text);
+            ( "baseline",
+              J.Obj
+                [
+                  ( "records_per_s",
+                    J.Float codec_text_baseline_records_per_s );
+                  ("report", J.Str codec_text_baseline_report);
+                  ( "speedup_x",
+                    J.Float r.codec.co_speedup_vs_baseline );
+                ] );
+            ( "peak_heap",
+              J.Obj
+                [
+                  ( "staged_top_heap_words",
+                    J.Int r.codec.co_staged_top_heap_words );
+                  ( "fused_top_heap_words",
+                    J.Int r.codec.co_fused_top_heap_words );
+                  ("fused_half_records", J.Int r.codec.co_fused_half_records);
+                  ( "fused_half_top_heap_words",
+                    J.Int r.codec.co_fused_half_top_heap_words );
+                ] );
+            ("verdicts_identical", J.Bool r.codec.co_verdicts_identical);
+          ] );
       ( "service",
         J.Obj
           [
@@ -816,6 +1053,24 @@ let summary r =
     (float_of_int (legacy_decode_top_heap_words * 8) /. 1048576.)
     r.columnar.cl_heap_reduction
     (if r.columnar.cl_child_process then "" else "; in-process, inflated");
+  let mb words = float_of_int (words * 8) /. 1048576. in
+  Printf.bprintf b
+    "codec: %d records — text decode %.3fs (%.0f rec/s), binary %.3fs \
+     (%.0f rec/s; %.1fx text, %.1fx the %.0f rec/s baseline)%s\n"
+    r.codec.co_records r.codec.co_text.cs_decode_s
+    r.codec.co_text.cs_records_per_s r.codec.co_binary.cs_decode_s
+    r.codec.co_binary.cs_records_per_s r.codec.co_speedup_vs_text
+    r.codec.co_speedup_vs_baseline codec_text_baseline_records_per_s
+    (if r.codec.co_child_process then "" else "; in-process, inflated");
+  Printf.bprintf b
+    "codec heap: fused %.1f MB vs staged %.1f MB (%.1fx); half-size trace \
+     fused %.1f MB; verdicts identical across formats: %b\n"
+    (mb r.codec.co_fused_top_heap_words)
+    (mb r.codec.co_staged_top_heap_words)
+    (float_of_int r.codec.co_staged_top_heap_words
+    /. float_of_int (max 1 r.codec.co_fused_top_heap_words))
+    (mb r.codec.co_fused_half_top_heap_words)
+    r.codec.co_verdicts_identical;
   Printf.bprintf b
     "service: %d job(s) x %d model(s) — cold drain %.3fs, warm drain %.3fs \
      (%.0fx, %d cache hit(s)); crash recovery replayed %d job(s) in %.3fs\n"

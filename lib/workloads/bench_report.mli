@@ -105,6 +105,41 @@ type columnar = {
     baseline captured pre-refactor, plus sharded-vs-single-domain
     conflict sweep walls. *)
 
+type codec_side = {
+  cs_bytes : int;  (** encoded trace size on disk *)
+  cs_decode_s : float;  (** codec-level streaming fold wall, cold process *)
+  cs_records_per_s : float;
+}
+
+type codec = {
+  co_child_process : bool;
+      (** every wall/heap figure came from a fresh child process; when
+          false some came from the in-process fallback and the heap
+          numbers include the bench's earlier allocations *)
+  co_steps : int;  (** viogen [max_steps] for the measurement trace *)
+  co_records : int;
+  co_text : codec_side;  (** text (v1) decode of the same records *)
+  co_binary : codec_side;  (** binary (v2) decode of the same records *)
+  co_speedup_vs_text : float;  (** binary vs text records/s, this run *)
+  co_speedup_vs_baseline : float;
+      (** binary records/s vs the committed BENCH_pr5.json text decode
+          baseline (252k rec/s) — the issue's >= 10x gate *)
+  co_staged_top_heap_words : int;
+      (** decode-to-list then [Estore.of_records] (materializing) *)
+  co_fused_top_heap_words : int;  (** fused [Estore.of_file] streaming *)
+  co_fused_half_records : int;
+  co_fused_half_top_heap_words : int;
+      (** fused peak heap on a half-size trace: evidence the fused
+          path's overhead is bounded (peak tracks the store, with no
+          trace-length intermediate on top) *)
+  co_verdicts_identical : bool;
+      (** whole corpus encoded both ways and verified via the fused
+          file path produced digest-identical verdicts *)
+}
+(** Codec v1-vs-v2 measurements (PR 7): decode throughput of the same
+    multi-million-record generated trace through both wire formats,
+    fused-vs-staged peak heap, and cross-format verdict identity. *)
+
 type t = {
   tag : string;  (** e.g. ["pr5"]; names the output file [BENCH_<tag>.json] *)
   generated_at : float;  (** unix epoch seconds *)
@@ -125,6 +160,7 @@ type t = {
   engines : engine_row list;
   resilience : resilience;
   columnar : columnar;
+  codec : codec;
   service : service;
 }
 
@@ -149,6 +185,14 @@ val columnar_child : string -> unit
     The CLI calls this (and exits) when [VERIFYIO_COLUMNAR_CHILD] is set
     in the environment, so {!run} can measure decode peak heap in a
     process that has allocated nothing else. *)
+
+val codec_child : string -> unit
+(** Measurement-child entry point for the codec pass. The argument is
+    [VERIFYIO_CODEC_CHILD]'s value, ["<kind>:<path>"] with kind one of
+    ["decode"] (codec-level {!Recorder.Codec.fold_records} count),
+    ["fused"] ({!Verifyio.Estore.of_file}) or ["staged"] (decode to a
+    record list, then {!Verifyio.Estore.of_records}); prints records,
+    wall seconds and [top_heap_words] on stdout and returns. *)
 
 val to_json : t -> Vio_util.Json.t
 

@@ -1,0 +1,49 @@
+The binary trace codec (v2): format conversion, auto-detection, and
+verdict identity across wire formats (docs/format.md).
+
+A text trace converts to binary; the default output swaps the extension
+for .vtb and the file opens with the v2 magic (format.md §3.1):
+
+  $ ../../bin/verifyio_cli.exe run tst_parallel5 -o p5.trace
+  wrote 52 records to p5.trace
+  $ ../../bin/verifyio_cli.exe convert p5.trace
+  converted 52 records (text -> binary) to p5.vtb
+  $ head -c 8 p5.vtb
+  VIOTRACE
+
+Converting back to text reproduces the original byte for byte — the
+codec is lossless in both directions:
+
+  $ ../../bin/verifyio_cli.exe convert p5.vtb --to text -o p5_rt.trace
+  converted 52 records (binary -> text) to p5_rt.trace
+  $ cmp p5.trace p5_rt.trace && echo identical
+  identical
+
+"run --format binary" writes the same bytes convert produces:
+
+  $ ../../bin/verifyio_cli.exe run tst_parallel5 -o p5b.vtb --format binary
+  wrote 52 records to p5b.vtb
+  $ cmp p5.vtb p5b.vtb && echo identical
+  identical
+
+Every reading subcommand auto-detects the format from the first bytes,
+and verdicts are identical whichever format carried the trace:
+
+  $ ../../bin/verifyio_cli.exe stats p5.vtb | head -1
+  2 ranks, 52 records
+  $ ../../bin/verifyio_cli.exe verify p5.trace -m POSIX > out_text.txt 2>&1; echo "exit=$?"
+  exit=2
+  $ ../../bin/verifyio_cli.exe verify p5.vtb -m POSIX > out_bin.txt 2>&1; echo "exit=$?"
+  exit=2
+  $ grep "race:" out_text.txt > races_text.txt
+  $ grep "race:" out_bin.txt > races_bin.txt
+  $ cmp races_text.txt races_bin.txt && echo verdicts-identical
+  verdicts-identical
+
+Converting something that is not a trace fails with the usage exit code
+(2, see docs/exit-codes.md):
+
+  $ printf 'garbage\n' > junk.txt
+  $ ../../bin/verifyio_cli.exe convert junk.txt 2>&1; echo "exit=$?"
+  cannot read trace (line 1, byte 0): bad magic "garbage"
+  exit=2

@@ -10,7 +10,7 @@ Unknown flags and commands:
   verifyio: unknown option '--bogus-flag'.
   [2]
   $ ../../bin/verifyio_cli.exe nosuchcommand 2>&1
-  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'chaos', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'serve', 'stats', 'submit' or 'verify'.
+  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'chaos', 'convert', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'serve', 'stats', 'submit' or 'verify'.
   [2]
 
 Missing input files:

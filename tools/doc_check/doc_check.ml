@@ -1,0 +1,182 @@
+(* doc_check — keep the prose honest.
+
+   Two classes of documentation rot this tool catches:
+
+   1. Dead relative links: a [text](path) markdown link in README.md,
+      DESIGN.md or docs/*.md whose target file no longer exists
+      (renames and deletions silently strand links otherwise).
+
+   2. Stale flag names: a `--flag` token mentioned in the docs that no
+      longer matches any option actually declared in
+      bin/verifyio_cli.ml (flags get renamed; prose doesn't).
+
+   Run from anywhere with --root pointing at the workspace root. Exits
+   non-zero with one line per problem; prints a one-line summary when
+   clean. Wired into `dune runtest` via the @doc-check alias in
+   tools/doc_check/dune. *)
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "doc-check: %s\n" msg)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- markdown files under check ---------------------------------- *)
+
+let markdown_files root =
+  let docs_dir = Filename.concat root "docs" in
+  let in_docs =
+    if Sys.file_exists docs_dir && Sys.is_directory docs_dir then
+      Sys.readdir docs_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".md")
+      |> List.map (Filename.concat docs_dir)
+      |> List.sort compare
+    else []
+  in
+  let at_root =
+    [ "README.md"; "DESIGN.md" ]
+    |> List.map (Filename.concat root)
+    |> List.filter Sys.file_exists
+  in
+  at_root @ in_docs
+
+(* ---- 1. dead relative links -------------------------------------- *)
+
+let is_external target =
+  let starts p = String.length target >= String.length p
+                 && String.sub target 0 (String.length p) = p in
+  starts "http://" || starts "https://" || starts "mailto:"
+  || (String.length target > 0 && target.[0] = '#')
+
+(* Extract every "](target)" occurrence. Good enough for our docs: no
+   nested parens in link targets, no reference-style links. *)
+let links_of content =
+  let acc = ref [] in
+  let n = String.length content in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if content.[!i] = ']' && content.[!i + 1] = '(' then begin
+      (match String.index_from_opt content (!i + 2) ')' with
+      | Some close ->
+          acc := String.sub content (!i + 2) (close - !i - 2) :: !acc;
+          i := close
+      | None -> ())
+    end;
+    incr i
+  done;
+  List.rev !acc
+
+let line_of content target =
+  (* 1-based line of the first occurrence, for clickable messages. *)
+  match
+    Str.search_forward (Str.regexp_string ("(" ^ target ^ ")")) content 0
+  with
+  | pos ->
+      let line = ref 1 in
+      String.iteri (fun i c -> if i < pos && c = '\n' then incr line) content;
+      !line
+  | exception Not_found -> 0
+
+let check_links md content =
+  let checked = ref 0 in
+  links_of content
+  |> List.iter (fun raw ->
+         if not (is_external raw) then begin
+           (* strip a trailing #anchor; we only verify file existence *)
+           let target =
+             match String.index_opt raw '#' with
+             | Some 0 | None -> raw
+             | Some i -> String.sub raw 0 i
+           in
+           if target <> "" then begin
+             incr checked;
+             let resolved = Filename.concat (Filename.dirname md) target in
+             if not (Sys.file_exists resolved) then
+               fail "%s:%d: dead link (%s) — %s does not exist" md
+                 (line_of content raw) raw resolved
+           end
+         end);
+  !checked
+
+(* ---- 2. stale flag names ----------------------------------------- *)
+
+(* Every long option the CLI actually declares: the quoted names inside
+   each cmdliner `info [ ... ]` list in bin/verifyio_cli.ml, plus the
+   two options cmdliner itself adds to every command. *)
+let declared_flags cli_source =
+  let flags = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace flags b ()) [ "help"; "version" ];
+  let info_re = Str.regexp "info[ \t\n]*\\[\\([^]]*\\)\\]" in
+  let name_re = Str.regexp "\"\\([^\"]*\\)\"" in
+  let pos = ref 0 in
+  (try
+     while true do
+       pos := Str.search_forward info_re cli_source !pos + 1;
+       let body = Str.matched_group 1 cli_source in
+       let p = ref 0 in
+       try
+         while true do
+           p := Str.search_forward name_re body !p + 1;
+           Hashtbl.replace flags (Str.matched_group 1 body) ()
+         done
+       with Not_found -> ()
+     done
+   with Not_found -> ());
+  flags
+
+let flag_re = Str.regexp "--\\([a-zA-Z][a-zA-Z0-9-]*\\)"
+
+let check_flags flags md content =
+  let checked = ref 0 in
+  let pos = ref 0 in
+  (try
+     while true do
+       pos := Str.search_forward flag_re content !pos + 1;
+       let name = Str.matched_group 1 content in
+       incr checked;
+       if not (Hashtbl.mem flags name) then
+         fail "%s: stale flag --%s — not declared in bin/verifyio_cli.ml" md
+           name
+     done
+   with Not_found -> ());
+  !checked
+
+(* ---- driver ------------------------------------------------------- *)
+
+let () =
+  let root = ref "." in
+  let spec = [ ("--root", Arg.Set_string root, "DIR workspace root") ] in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "doc_check --root DIR";
+  let cli = Filename.concat !root "bin/verifyio_cli.ml" in
+  if not (Sys.file_exists cli) then begin
+    fail "cannot find %s — wrong --root?" cli;
+    exit 1
+  end;
+  let flags = declared_flags (read_file cli) in
+  let mds = markdown_files !root in
+  if mds = [] then fail "no markdown files found under %s" !root;
+  let links = ref 0 and mentions = ref 0 in
+  List.iter
+    (fun md ->
+      let content = read_file md in
+      links := !links + check_links md content;
+      mentions := !mentions + check_flags flags md content)
+    mds;
+  if !errors > 0 then begin
+    Printf.eprintf "doc-check: %d problem(s)\n" !errors;
+    exit 1
+  end;
+  Printf.printf
+    "doc-check: %d files, %d relative links, %d flag mentions — all good\n"
+    (List.length mds) !links !mentions
