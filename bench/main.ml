@@ -215,7 +215,7 @@ let pruning_ablation () =
 (* ------------------------------------------------------------------ *)
 
 let engine_comparison () =
-  section "S:IV-D: the four happens-before engines on one workload";
+  section "S:IV-D: the five happens-before engines on one workload";
   match Reg.find "pmulti_dset" with
   | None -> ()
   | Some w ->

@@ -99,12 +99,18 @@ let resolve_engine = function
   | "reachability" -> Ok (Some Verifyio.Reach.Bfs_memo)
   | "closure" -> Ok (Some Verifyio.Reach.Transitive_closure)
   | "on-the-fly" -> Ok (Some Verifyio.Reach.On_the_fly)
+  | "interval-index" -> Ok (Some Verifyio.Reach.Interval_index)
   | e ->
     Error
       (Printf.sprintf
          "unknown engine %S (auto, vector-clock, reachability, closure, \
-          on-the-fly)"
+          on-the-fly, interval-index)"
          e)
+
+let resolve_shard_domains = function
+  | None -> Ok None
+  | Some k when k >= 1 -> Ok (Some k)
+  | Some _ -> Error "shard-domains must be a positive domain count"
 
 (* Render a Codec.Malformed position, including the byte offset and
    record number when the decoder knows them. *)
@@ -314,8 +320,8 @@ let graph_cmd source out =
     | None -> print_string dot);
     0
 
-let verify_cmd source model_name engine_name all_models limit grouped lenient
-    partial budget inject_spec seed =
+let verify_cmd source model_name engine_name shard_domains all_models limit
+    grouped lenient partial budget inject_spec seed =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
@@ -324,6 +330,7 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
     if lenient then Recorder.Diagnostic.Lenient else Recorder.Diagnostic.Strict
   in
   let* engine = resolve_engine engine_name in
+  let* shard_domains = resolve_shard_domains shard_domains in
   let* () =
     match budget with
     | Some b when b < 1 -> Error "budget must be a positive step count"
@@ -351,11 +358,11 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
     let o =
       match loaded with
       | `File ->
-        Verifyio.Pipeline.verify_file ?engine ~mode ~partial ?budget ~model
-          source
+        Verifyio.Pipeline.verify_file ?engine ?shard_domains ~mode ~partial
+          ?budget ~model source
       | `Records (nranks, records, upstream) ->
-        Verifyio.Pipeline.verify ?engine ~mode ~upstream ~partial ?budget
-          ~model ~nranks records
+        Verifyio.Pipeline.verify ?engine ?shard_domains ~mode ~upstream
+          ~partial ?budget ~model ~nranks records
     in
     if grouped then print_string (Verifyio.Report.grouped_report o)
     else print_string (Verifyio.Report.race_report ~limit o);
@@ -412,18 +419,21 @@ let verify_cmd source model_name engine_name all_models limit grouped lenient
    [--grouped], the distinct racing call-chain pairs of each racy model.
    Deliberately timing-free so the output is deterministic (cram-locked
    in test/cli_report.t). *)
-let report_cmd source engine_name grouped =
+let report_cmd source engine_name shard_domains grouped =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
   in
   let* engine = resolve_engine engine_name in
+  let* shard_domains = resolve_shard_domains shard_domains in
   (* File sources stream through the fused path; workloads materialize
      their records as before. Either way the decoded store rides along in
      each outcome, so the header counts come from it. *)
   let* outcomes =
     if Sys.file_exists source then
-      match Verifyio.Pipeline.verify_shared_file ?engine source with
+      match
+        Verifyio.Pipeline.verify_shared_file ?engine ?shard_domains source
+      with
       | outcomes -> Ok outcomes
       | exception Recorder.Codec.Malformed { line; byte; record; reason } ->
         Error
@@ -435,7 +445,8 @@ let report_cmd source engine_name grouped =
     else
       Result.map
         (fun (nranks, records) ->
-          Verifyio.Pipeline.verify_shared ?engine ~nranks records)
+          Verifyio.Pipeline.verify_shared ?engine ?shard_domains ~nranks
+            records)
         (load_source source)
   in
   let store =
@@ -992,10 +1003,20 @@ let model_arg =
 let engine_arg =
   Arg.(
     value & opt string "auto"
-    & info [ "e"; "engine" ] ~docv:"ENGINE"
+    & info [ "e"; "engine"; "reach" ] ~docv:"ENGINE"
         ~doc:
           "Happens-before engine: auto (dynamic selection), vector-clock, \
-           reachability, closure or on-the-fly.")
+           reachability, closure, on-the-fly or interval-index.")
+
+let shard_domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "shard-domains" ] ~docv:"N"
+        ~doc:
+          "Build the happens-before graph through the sharded per-rank \
+           assembly across $(docv) domains (and fan binary v2 trace decoding \
+           out likewise). Verdicts are identical for every value; the \
+           default is the monolithic single-domain build.")
 
 let all_models_arg =
   Arg.(value & flag & info [ "a"; "all-models" ] ~doc:"Verify against all four models.")
@@ -1070,15 +1091,18 @@ let seed_arg =
 
 let verify_term =
   Term.(
-    const verify_cmd $ source_arg $ model_arg $ engine_arg $ all_models_arg
-    $ limit_arg $ grouped_arg $ lenient_arg $ partial_arg $ budget_arg
-    $ inject_arg $ seed_arg)
+    const verify_cmd $ source_arg $ model_arg $ engine_arg $ shard_domains_arg
+    $ all_models_arg $ limit_arg $ grouped_arg $ lenient_arg $ partial_arg
+    $ budget_arg $ inject_arg $ seed_arg)
 
-let report_term = Term.(const report_cmd $ source_arg $ engine_arg $ grouped_arg)
+let report_term =
+  Term.(
+    const report_cmd $ source_arg $ engine_arg $ shard_domains_arg
+    $ grouped_arg)
 
 let tag_arg =
   Arg.(
-    value & opt string "pr7"
+    value & opt string "pr8"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \

@@ -1,11 +1,12 @@
-(* The four happens-before engines of paper S:IV-D on one workload.
+(* The five happens-before engines (paper S:IV-D plus the PR 8 interval
+   index) on one workload.
 
-   All four — vector clocks, memoized graph reachability, transitive
-   closure, and the on-the-fly search — implement the same relation; they
-   differ in where they spend time (precomputation vs per-query work). This
-   example verifies the `testphdf5` workload with each engine, checks the
-   verdicts coincide, and prints the stage timings so the trade-off is
-   visible.
+   All five — vector clocks, memoized graph reachability, transitive
+   closure, the on-the-fly search, and the sharded-scale interval index —
+   implement the same relation; they differ in where they spend time
+   (precomputation vs per-query work). This example verifies the
+   `testphdf5` workload with each engine, checks the verdicts coincide,
+   and prints the stage timings so the trade-off is visible.
 
    Run with: dune exec examples/engines_comparison.exe *)
 
@@ -45,7 +46,8 @@ let () =
         o.V.Pipeline.stats.V.Verify.ps_checks)
     V.Reach.all_engines;
   print_endline
-    "\nAll four engines report identical data races (asserted above).\n\
+    "\nAll five engines report identical data races (asserted above).\n\
      Vector clocks pay one topological pass and answer queries in O(1);\n\
      transitive closure pays O(V^2) bits; the on-the-fly engine skips\n\
-     preparation entirely and searches per query."
+     preparation entirely and searches per query; the interval index\n\
+     labels per-rank chains with suffix intervals for O(1) queries."

@@ -732,7 +732,59 @@ let of_records ?mode ~nranks records =
   List.iter (add b) records;
   finish b
 
-let of_file ?(mode = D.Strict) path =
+(* Parallel binary ingest: the codec's segment plan validates the
+   container once, then each domain decodes whole rank segments off an
+   atomic cursor into per-rank record slots (one writer per slot — no
+   contention). The builder is fed afterwards, rank by rank, which is
+   exactly the order the sequential stream delivers (binary segments are
+   stored in rank order), so the resulting store — column contents, pool
+   interning order, everything — is identical to the one-domain path. *)
+let of_file_parallel ~domains path =
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.space_overhead = 40 };
+  Fun.protect ~finally:(fun () -> Gc.set gc) @@ fun () ->
+  let plan = Recorder.Codec.plan_file path in
+  let nranks = Recorder.Codec.plan_nranks plan in
+  let segs = Array.make (max 1 nranks) [||] in
+  let errors = Array.make (max 1 nranks) None in
+  let decode_one r =
+    let acc = ref [] in
+    let _n =
+      Recorder.Codec.decode_plan_segment plan ~rank:r ~emit:(fun x ->
+          acc := x :: !acc)
+    in
+    (* [!acc] is in reverse seq order; flip it into the slot array. *)
+    let a = Array.of_list !acc in
+    let len = Array.length a in
+    Array.init len (fun i -> a.(len - 1 - i))
+  in
+  let cursor = Atomic.make 0 in
+  let work () =
+    let continue = ref true in
+    while !continue do
+      let r = Atomic.fetch_and_add cursor 1 in
+      if r >= nranks then continue := false
+      else
+        match decode_one r with
+        | a -> segs.(r) <- a
+        | exception e -> errors.(r) <- Some e
+    done
+  in
+  let effective = max 1 (min domains (max 1 nranks)) in
+  if effective = 1 then work ()
+  else begin
+    let workers = Array.init (effective - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join workers
+  end;
+  (* Surface the lowest-rank failure — the one the sequential stream
+     would have hit first. *)
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  let b = builder ~mode:D.Strict ~nranks () in
+  Array.iter (fun seg -> Array.iter (add b) seg) segs;
+  finish b
+
+let of_file_seq ~mode path =
   (* A streaming load is a bulk-allocation phase: every parsed record is
      garbage as soon as its columns are copied out, so run it with the
      major GC tracking the live set closely rather than letting the heap
@@ -766,3 +818,14 @@ let of_file ?(mode = D.Strict) path =
       !pending;
   let e = finish b in
   { e with diagnostics = folded.Recorder.Codec.f_diagnostics @ e.diagnostics }
+
+let of_file ?domains ?(mode = D.Strict) path =
+  match domains with
+  | Some k
+    when k > 1 && mode = D.Strict
+         && Recorder.Codec.detect_file path = Recorder.Codec.Binary ->
+    (* Only binary v2 carries the per-rank footer index that makes
+       segments independently decodable; text v1 and lenient salvage
+       stay on the sequential stream. *)
+    of_file_parallel ~domains:k path
+  | _ -> of_file_seq ~mode path

@@ -98,6 +98,7 @@ type prepared
 
 val prepare :
   ?engine:Reach.engine ->
+  ?shard_domains:int ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
   ?partial:bool ->
@@ -127,10 +128,19 @@ val prepare :
 
     [sweep_domains] (default 1) shards conflict detection's interval sweep
     across that many domains ({!Conflict.detect}); verdicts are identical
-    for every value. *)
+    for every value.
+
+    [shard_domains], when given, builds the happens-before graph through
+    the shared-nothing sharded assembly ({!Hb_graph.build_sharded} across
+    that many domains, merged by {!Hb_graph.sharded_graph}) instead of
+    the monolithic build — and, on the file entry points, fans the binary
+    v2 segment decode out across the same domain count
+    ({!Estore.of_file}). Structurally identical output, so verdicts are
+    unchanged for every value (the golden-digest gate locks this). *)
 
 val prepare_file :
   ?engine:Reach.engine ->
+  ?shard_domains:int ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
   ?partial:bool ->
@@ -160,6 +170,7 @@ val verify_prepared :
 
 val verify :
   ?engine:Reach.engine ->
+  ?shard_domains:int ->
   ?pruning:bool ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
@@ -194,6 +205,7 @@ val verify_all_models :
 
 val verify_shared :
   ?engine:Reach.engine ->
+  ?shard_domains:int ->
   ?pruning:bool ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
@@ -210,6 +222,7 @@ val verify_shared :
 
 val verify_file :
   ?engine:Reach.engine ->
+  ?shard_domains:int ->
   ?pruning:bool ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->
@@ -223,6 +236,7 @@ val verify_file :
 
 val verify_shared_file :
   ?engine:Reach.engine ->
+  ?shard_domains:int ->
   ?pruning:bool ->
   ?mode:Recorder.Diagnostic.mode ->
   ?upstream:Recorder.Diagnostic.t list ->

@@ -1,20 +1,30 @@
 module B = Vio_util.Bitset
 
-type engine = Vector_clock | Bfs_memo | Transitive_closure | On_the_fly
+type engine =
+  | Vector_clock
+  | Bfs_memo
+  | Transitive_closure
+  | On_the_fly
+  | Interval_index
 
 let engine_name = function
   | Vector_clock -> "vector-clock"
   | Bfs_memo -> "graph-reachability"
   | Transitive_closure -> "transitive-closure"
   | On_the_fly -> "on-the-fly"
+  | Interval_index -> "interval-index"
 
-let all_engines = [ Vector_clock; Bfs_memo; Transitive_closure; On_the_fly ]
+let all_engines =
+  [ Vector_clock; Bfs_memo; Transitive_closure; On_the_fly; Interval_index ]
+
+let legacy_engines = [ Vector_clock; Bfs_memo; Transitive_closure; On_the_fly ]
 
 type state =
   | Vc of int array array  (* node -> per-rank clock *)
   | Memo of (int, B.t) Hashtbl.t
   | Closure of B.t array  (* node -> reachable set, including itself *)
   | Fly
+  | Interval of int array array  (* node -> per-shard interval start *)
 
 type t = {
   eng : engine;
@@ -73,6 +83,48 @@ let build_closure g =
   done;
   Closure sets
 
+(* Interval labels over the per-shard topological order (the sharded HB
+   graph's shard = one rank's program-order chain, whose chain position
+   IS its topological order). For every node [v] and shard [s],
+   [lo.(v).(s)] is the start of the suffix interval
+   [lo.(v).(s), chain_len_s) of shard-s positions reachable from [v] —
+   the reachable set within a totally ordered chain is always a suffix,
+   so one integer captures it exactly. Built in a single reverse
+   topological sweep: a node inherits the componentwise minimum of its
+   successors' labels, then caps its own shard's entry at its own chain
+   position. Propagation crosses a shard boundary only along transfer
+   edges (MPI match and collective join edges) — the stitching through
+   the transfer-edge frontier the sharded build makes explicit.
+
+   Intra-shard queries degenerate to a chain-position comparison;
+   cross-shard queries are one array lookup plus the same comparison —
+   O(1) either way. Unlike the vector-clock engine (its forward dual),
+   the sweep also labels synthetic join nodes, so boundary-node sources
+   cost nothing extra. *)
+let build_intervals g =
+  let n = Hb_graph.size g in
+  let nranks = Hb_graph.nranks g in
+  let lo = Array.init n (fun _ -> Array.make nranks max_int) in
+  let topo = Hb_graph.topo_order g in
+  (* Reverse topological order: successors' labels are already final. *)
+  for k = n - 1 downto 0 do
+    let v = topo.(k) in
+    let lv = lo.(v) in
+    List.iter
+      (fun s ->
+        let ls = lo.(s) in
+        for r = 0 to nranks - 1 do
+          if ls.(r) < lv.(r) then lv.(r) <- ls.(r)
+        done)
+      (Hb_graph.succs g v);
+    let rank = Hb_graph.node_rank g v in
+    if rank >= 0 then begin
+      let p = Hb_graph.rank_pos g v in
+      if p < lv.(rank) then lv.(rank) <- p
+    end
+  done;
+  Interval lo
+
 let create eng g =
   let state =
     match eng with
@@ -80,6 +132,7 @@ let create eng g =
     | Bfs_memo -> Memo (Hashtbl.create 64)
     | Transitive_closure -> build_closure g
     | On_the_fly -> Fly
+    | Interval_index -> build_intervals g
   in
   { eng; g; state; queries = 0; memo_hits = 0; memo_misses = 0 }
 
@@ -142,11 +195,20 @@ let reaches t a b =
       B.mem set b
     | Closure sets -> B.mem sets.(a) b
     | Fly -> dfs_reaches t.g a b
+    | Interval lo ->
+      let rank = Hb_graph.node_rank t.g b in
+      if rank < 0 then invalid_arg "Reach.reaches: synthetic target";
+      lo.(a).(rank) <= Hb_graph.rank_pos t.g b
 
 let concurrent t a b = (not (reaches t a b)) && not (reaches t b a)
 
-let recommend ~graph_nodes ~conflict_pairs =
+let recommend ~nranks ~graph_nodes ~conflict_pairs =
   if conflict_pairs = 0 then On_the_fly
+  else if nranks >= 64 then
+    (* High rank counts are what the sharded build and interval index
+       are for: per-shard suffix intervals keep queries O(1) without the
+       synthetic-source restriction the vector-clock engine carries. *)
+    Interval_index
   else if graph_nodes <= 4096 && conflict_pairs > graph_nodes then
     Transitive_closure
   else Vector_clock

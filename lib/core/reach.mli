@@ -1,4 +1,5 @@
-(** Happens-before queries — the four interchangeable engines of §IV-D.
+(** Happens-before queries — the five interchangeable engines (the four
+    of §IV-D plus the sharded-scale interval index of PR 8).
 
     - {!Vector_clock}: topologically propagate per-rank clocks once
       (O(V+E)), then answer queries in O(1).
@@ -11,20 +12,40 @@
       search pruned by the global logical timestamps (edges never go
       backwards in time), mirroring the paper's algorithm that matches its
       way forward through the trace at verification time.
+    - {!Interval_index}: per-shard suffix intervals over each rank
+      chain's topological (= program) order, built in one reverse
+      topological sweep — the backward dual of {!Vector_clock}. A node's
+      reachable set within a rank chain is always a suffix, so one
+      integer per (node, shard) answers intra-shard queries by position
+      comparison and cross-shard queries by a single array lookup, the
+      propagation having already stitched labels through the
+      transfer-edge frontier at collective boundaries
+      ({!Hb_graph.build_sharded}). Built for high rank counts.
 
-    All four implement the same relation — [reaches t a b] iff a path from
+    All five implement the same relation — [reaches t a b] iff a path from
     [a] to [b] exists (reflexively: [reaches t a a = true]) — and the test
     suite checks them against each other. Queries take *record* node ids
     (synthetic collective join nodes are internal). *)
 
-type engine = Vector_clock | Bfs_memo | Transitive_closure | On_the_fly
+type engine =
+  | Vector_clock
+  | Bfs_memo
+  | Transitive_closure
+  | On_the_fly
+  | Interval_index
 
 val engine_name : engine -> string
 (** Display name: ["vector-clock"], ["graph-reachability"],
-    ["transitive-closure"], ["on-the-fly"]. *)
+    ["transitive-closure"], ["on-the-fly"], ["interval-index"]. *)
 
 val all_engines : engine list
-(** The four engines in the order above (bench/table order). *)
+(** The five engines in the order above (bench/table order). *)
+
+val legacy_engines : engine list
+(** The four pre-PR8 engines (everything but {!Interval_index}) — the
+    set the [golden_pr5.digest] gate was recorded over. The gate iterates
+    this list so its line counts stay pinned, and asserts separately that
+    {!Interval_index} verdicts are byte-identical to {!Vector_clock}'s. *)
 
 type t
 (** An engine instance bound to one graph, holding whatever the engine
@@ -33,8 +54,8 @@ type t
 
 val create : engine -> Hb_graph.t -> t
 (** Runs the engine's precomputation ({!Vector_clock} clock propagation,
-    {!Transitive_closure} bitsets; {!Bfs_memo} and {!On_the_fly} are
-    lazy). *)
+    {!Transitive_closure} bitsets, {!Interval_index} interval labels;
+    {!Bfs_memo} and {!On_the_fly} are lazy). *)
 
 val engine : t -> engine
 
@@ -56,8 +77,9 @@ val memo_stats : t -> int * int
     cache; [(0, 0)] for every other engine. A miss pays one full BFS, a
     hit is a bitset lookup. *)
 
-val recommend : graph_nodes:int -> conflict_pairs:int -> engine
+val recommend : nranks:int -> graph_nodes:int -> conflict_pairs:int -> engine
 (** The dynamic selection heuristic the paper sketches as future work:
     with no conflicts to check, skip all precomputation ({!On_the_fly});
-    for small graphs queried heavily, precompute everything
-    ({!Transitive_closure}); otherwise {!Vector_clock}. *)
+    at 64+ ranks, the sharded-scale {!Interval_index}; for small graphs
+    queried heavily, precompute everything ({!Transitive_closure});
+    otherwise {!Vector_clock}. *)

@@ -50,11 +50,26 @@ let rand r n =
 
 let pick r l = List.nth l (rand r (List.length l))
 
-let generate ?(max_steps = 16) ~seed () =
+let generate ?(max_steps = 16) ?nranks ~seed () =
   let r = mk_rng seed in
-  let nranks = 2 + rand r 3 in
+  (* The default rank draw always happens, even under an override, so a
+     given seed's rand stream — and therefore every historical golden
+     digest — is byte-identical whether or not [?nranks] is passed. *)
+  let default_nranks = 2 + rand r 3 in
+  let nranks =
+    match nranks with Some n when n >= 2 -> n | Some _ | None -> default_nranks
+  in
   let nfiles = 1 + rand r 2 in
   let nsteps = 4 + rand r (max 1 (max_steps - 3)) in
+  (* High rank counts get more communicator structure: up to four
+     concurrent splits with data-dependent fan-out instead of the
+     two 2–3-way splits small programs use. Both widenings are gated on
+     [nranks > 4], which no default draw reaches, so small-seed programs
+     (and the golden gate built on them) are unchanged. *)
+  let split_cap = if nranks > 4 then 4 else 2 in
+  let split_ways () =
+    if nranks > 4 then 2 + rand r (min 16 (nranks / 2)) else 2 + rand r 2
+  in
   let splits = ref 0 in
   let open_handles = ref [] in
   let next_handle = ref 0 in
@@ -134,9 +149,9 @@ let generate ?(max_steps = 16) ~seed () =
                 nonblocking = rand r 2 = 0 } ]
         | w when w < 73 -> [ Chain (any_comm ()) ]
         | w when w < 79 ->
-          if !splits < 2 && nranks > 2 then begin
+          if !splits < split_cap && nranks > 2 then begin
             incr splits;
-            [ Comm_split { ways = 2 + rand r 2 } ]
+            [ Comm_split { ways = split_ways () } ]
           end
           else [ Coll { comm = any_comm (); coll = Barrier } ]
         | _ -> mpiio_op ()

@@ -66,14 +66,23 @@ type step =
 
 type program = {
   seed : int;
-  nranks : int;  (** 2–4 *)
+  nranks : int;  (** 2–4 by default; anything ≥ 2 under an override *)
   nfiles : int;  (** POSIX/MPI-IO shared file namespace, 1–2 files *)
   steps : step list;
 }
 
-val generate : ?max_steps:int -> seed:int -> unit -> program
+val generate : ?max_steps:int -> ?nranks:int -> seed:int -> unit -> program
 (** Deterministic in [seed]. [max_steps] (default 16) bounds the step
-    count; idiom expansions may exceed it by a step or two. *)
+    count; idiom expansions may exceed it by a step or two.
+
+    [nranks] overrides the default 2–4 rank draw (values below 2 are
+    ignored) — the sharded-graph campaigns run 64–256 ranks this way.
+    The override leaves the seed's random stream untouched (the default
+    draw is still consumed), so [generate ~seed ()] output never depends
+    on whether other callers override. Above 4 ranks the generator also
+    widens communicator structure: up to four concurrent splits, each
+    2–16-way (scaled to the rank count), instead of the two 2–3-way
+    splits small programs use. *)
 
 val run : ?abort_rank:int * int -> program -> Recorder.Record.t list
 (** Execute on a fresh traced stack. The interpreter wraps the steps in

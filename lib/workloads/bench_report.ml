@@ -85,6 +85,28 @@ type codec = {
   co_verdicts_identical : bool;
 }
 
+type graph_wall = {
+  gw_domains : int;
+  gw_build_s : float;  (** build_sharded + sharded_graph merge wall *)
+  gw_decode_s : float;  (** [Estore.of_file ~domains] on the binary trace *)
+}
+
+type graph = {
+  gr_child_process : bool;
+  gr_steps : int;  (** viogen max_steps for the measurement trace *)
+  gr_records : int;
+  gr_nodes : int;
+  gr_edges : int;
+  gr_build_seq_s : float;  (** monolithic [Hb_graph.build] wall *)
+  gr_walls : graph_wall list;
+  gr_graphs_identical : bool;
+  gr_queries : int;
+  gr_interval_prepare_s : float;
+  gr_vector_clock_prepare_s : float;
+  gr_interval_queries_per_s : float;
+  gr_vector_clock_queries_per_s : float;
+}
+
 type t = {
   tag : string;
   generated_at : float;
@@ -105,6 +127,7 @@ type t = {
   resilience : resilience;
   columnar : columnar;
   codec : codec;
+  graph : graph;
   service : service;
 }
 
@@ -552,6 +575,10 @@ let codec_measure ~kind path =
       (Recorder.Codec.fold_records path ~init:0 ~f:(fun n _ -> n + 1))
         .Recorder.Codec.f_value
     | "fused" -> V.Estore.length (V.Estore.of_file path)
+    | k when String.length k > 5 && String.sub k 0 5 = "fused" ->
+      (* "fused<N>": the parallel per-rank segment decode at N domains. *)
+      let domains = int_of_string (String.sub k 5 (String.length k - 5)) in
+      V.Estore.length (V.Estore.of_file ~domains path)
     | "staged" ->
       let d = Recorder.Codec.decode_ext (Recorder.Codec.read_file path) in
       V.Estore.length
@@ -694,7 +721,98 @@ let codec_pass ~smoke () =
     co_verdicts_identical = verdicts_identical;
   }
 
-let run ?(tag = "pr7") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
+(* The sharded-graph pass (PR 8): on the same multi-million-record viogen
+   trace the codec pass measures, time the parallel per-rank segment
+   decode ([Estore.of_file ~domains], in a child process so each
+   configuration decodes cold) and the sharded happens-before assembly
+   ([Hb_graph.build_sharded] + merge) against the monolithic build, then
+   race the interval-index engine against vector-clock on a fixed
+   deterministic query batch. Graph identity across builds is asserted,
+   not assumed. *)
+let graph_pass ~smoke () =
+  let max_steps = if smoke then 20_000 else 1_500_000 in
+  let p = Viogen.Workload.generate ~max_steps ~seed:7 () in
+  let records = Viogen.Workload.run p in
+  let nranks = p.Viogen.Workload.nranks in
+  let path = Filename.temp_file "verifyio_graph" ".vtb" in
+  let oc = open_out_bin path in
+  output_string oc (Recorder.Codec.encode_format Binary ~nranks records);
+  close_out oc;
+  let child_ok = ref true in
+  let decode_wall domains =
+    let kind = if domains = 1 then "fused" else "fused" ^ string_of_int domains in
+    let one () =
+      match codec_in_child ~kind path with
+      | Some (_, s, _) -> s
+      | None ->
+        child_ok := false;
+        let _, s, _ = codec_measure ~kind path in
+        s
+    in
+    let w1 = one () in
+    Float.min w1 (Float.min (one ()) (one ()))
+  in
+  let d = V.Estore.of_file path in
+  let m = V.Match_mpi.run d in
+  let build_seq_s, g_seq = best_of 3 (fun () -> V.Hb_graph.build d m) in
+  let identical = ref true in
+  let walls =
+    List.map
+      (fun domains ->
+        let gw_build_s, g_sh =
+          best_of 3 (fun () ->
+              V.Hb_graph.sharded_graph (V.Hb_graph.build_sharded ~domains d m))
+        in
+        if
+          V.Hb_graph.size g_sh <> V.Hb_graph.size g_seq
+          || V.Hb_graph.edge_count g_sh <> V.Hb_graph.edge_count g_seq
+          || V.Hb_graph.topo_order g_sh <> V.Hb_graph.topo_order g_seq
+        then identical := false;
+        { gw_domains = domains; gw_build_s; gw_decode_s = decode_wall domains })
+      [ 1; 2; 4 ]
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  (* Query throughput on a deterministic pseudo-random batch of real-node
+     pairs — the access pattern Verify's conflict loop produces, minus
+     the conflict structure, so both engines serve identical queries. *)
+  let queries = if smoke then 200_000 else 2_000_000 in
+  let n_real = V.Hb_graph.real_nodes g_seq in
+  let time_engine eng =
+    let t0 = Unix.gettimeofday () in
+    let r = V.Reach.create eng g_seq in
+    let prep = Unix.gettimeofday () -. t0 in
+    let state = ref 123456789 in
+    let next () =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state
+    in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to queries do
+      let a = next () mod n_real and b = next () mod n_real in
+      ignore (V.Reach.reaches r a b)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (prep, float_of_int queries /. Float.max dt 1e-9)
+  in
+  let ii_prep, ii_qps = time_engine V.Reach.Interval_index in
+  let vc_prep, vc_qps = time_engine V.Reach.Vector_clock in
+  {
+    gr_child_process = !child_ok;
+    gr_steps = max_steps;
+    gr_records = V.Estore.length d;
+    gr_nodes = V.Hb_graph.size g_seq;
+    gr_edges = V.Hb_graph.edge_count g_seq;
+    gr_build_seq_s = build_seq_s;
+    gr_walls = walls;
+    gr_graphs_identical = !identical;
+    gr_queries = queries;
+    gr_interval_prepare_s = ii_prep;
+    gr_vector_clock_prepare_s = vc_prep;
+    gr_interval_queries_per_s = ii_qps;
+    gr_vector_clock_queries_per_s = vc_qps;
+  }
+
+let run ?(tag = "pr8") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     ?(smoke = false) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
@@ -808,6 +926,7 @@ let run ?(tag = "pr7") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     resilience = resilience_pass ();
     columnar = columnar_pass ~smoke ();
     codec = codec_pass ~smoke ();
+    graph = graph_pass ~smoke ();
     service = service_pass ~smoke ();
   }
 
@@ -815,7 +934,7 @@ let to_json r =
   J.Obj
     [
       ("schema", J.Str "verifyio-bench");
-      ("schema_version", J.Int 4);
+      ("schema_version", J.Int 5);
       ("tag", J.Str r.tag);
       ("generated_at_unix", J.Float r.generated_at);
       ( "environment",
@@ -986,6 +1105,51 @@ let to_json r =
                 ] );
             ("verdicts_identical", J.Bool r.codec.co_verdicts_identical);
           ] );
+      ( "graph",
+        J.Obj
+          [
+            ("measured_in_child_process", J.Bool r.graph.gr_child_process);
+            ( "trace",
+              J.Str
+                (Printf.sprintf "viogen seed=7 max_steps=%d" r.graph.gr_steps)
+            );
+            ("records", J.Int r.graph.gr_records);
+            ("nodes", J.Int r.graph.gr_nodes);
+            ("edges", J.Int r.graph.gr_edges);
+            ("monolithic_build_s", J.Float r.graph.gr_build_seq_s);
+            ( "sharded",
+              J.List
+                (List.map
+                   (fun w ->
+                     J.Obj
+                       [
+                         ("domains", J.Int w.gw_domains);
+                         ("build_s", J.Float w.gw_build_s);
+                         ("segment_decode_s", J.Float w.gw_decode_s);
+                       ])
+                   r.graph.gr_walls) );
+            ("graphs_identical", J.Bool r.graph.gr_graphs_identical);
+            ( "query_throughput",
+              J.Obj
+                [
+                  ("queries", J.Int r.graph.gr_queries);
+                  ( "interval_index",
+                    J.Obj
+                      [
+                        ("prepare_s", J.Float r.graph.gr_interval_prepare_s);
+                        ( "queries_per_s",
+                          J.Float r.graph.gr_interval_queries_per_s );
+                      ] );
+                  ( "vector_clock",
+                    J.Obj
+                      [
+                        ( "prepare_s",
+                          J.Float r.graph.gr_vector_clock_prepare_s );
+                        ( "queries_per_s",
+                          J.Float r.graph.gr_vector_clock_queries_per_s );
+                      ] );
+                ] );
+          ] );
       ( "service",
         J.Obj
           [
@@ -1071,6 +1235,22 @@ let summary r =
     /. float_of_int (max 1 r.codec.co_fused_top_heap_words))
     (mb r.codec.co_fused_half_top_heap_words)
     r.codec.co_verdicts_identical;
+  Printf.bprintf b
+    "graph: %d records, %d nodes, %d edges — monolithic build %.3fs; sharded"
+    r.graph.gr_records r.graph.gr_nodes r.graph.gr_edges r.graph.gr_build_seq_s;
+  List.iter
+    (fun w ->
+      Printf.bprintf b " %dd=%.3fs(decode %.3fs)" w.gw_domains w.gw_build_s
+        w.gw_decode_s)
+    r.graph.gr_walls;
+  Printf.bprintf b "; identical: %b%s\n" r.graph.gr_graphs_identical
+    (if r.graph.gr_child_process then "" else "; in-process decode walls");
+  Printf.bprintf b
+    "graph queries (%d): interval-index %.0f q/s (prepare %.3fs) vs \
+     vector-clock %.0f q/s (prepare %.3fs)\n"
+    r.graph.gr_queries r.graph.gr_interval_queries_per_s
+    r.graph.gr_interval_prepare_s r.graph.gr_vector_clock_queries_per_s
+    r.graph.gr_vector_clock_prepare_s;
   Printf.bprintf b
     "service: %d job(s) x %d model(s) — cold drain %.3fs, warm drain %.3fs \
      (%.0fx, %d cache hit(s)); crash recovery replayed %d job(s) in %.3fs\n"

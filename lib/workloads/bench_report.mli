@@ -140,6 +140,40 @@ type codec = {
     multi-million-record generated trace through both wire formats,
     fused-vs-staged peak heap, and cross-format verdict identity. *)
 
+type graph_wall = {
+  gw_domains : int;  (** domain count for both measurements below *)
+  gw_build_s : float;
+      (** [Hb_graph.build_sharded ~domains] plus the [sharded_graph]
+          merge, best-of-3 *)
+  gw_decode_s : float;
+      (** [Estore.of_file ~domains] on the binary v2 encoding of the
+          same trace — the parallel per-rank segment decode *)
+}
+
+type graph = {
+  gr_child_process : bool;
+      (** decode walls were measured in fresh child processes; when false
+          some fell back to in-process measurement *)
+  gr_steps : int;  (** viogen [max_steps] for the measurement trace *)
+  gr_records : int;
+  gr_nodes : int;  (** happens-before graph size, synthetic joins included *)
+  gr_edges : int;
+  gr_build_seq_s : float;  (** monolithic [Hb_graph.build] wall, best-of-3 *)
+  gr_walls : graph_wall list;  (** domain counts 1, 2, 4 *)
+  gr_graphs_identical : bool;
+      (** every sharded merge matched the monolithic build node-for-node,
+          edge-for-edge, in topological order *)
+  gr_queries : int;  (** deterministic pseudo-random query batch size *)
+  gr_interval_prepare_s : float;
+  gr_vector_clock_prepare_s : float;
+  gr_interval_queries_per_s : float;
+  gr_vector_clock_queries_per_s : float;
+}
+(** Sharded happens-before graph measurements (PR 8): parallel segment
+    decode and sharded assembly walls against the monolithic baseline on
+    the same multi-million-record trace the codec pass uses, plus
+    interval-index vs vector-clock reachability query throughput. *)
+
 type t = {
   tag : string;  (** e.g. ["pr5"]; names the output file [BENCH_<tag>.json] *)
   generated_at : float;  (** unix epoch seconds *)
@@ -161,6 +195,7 @@ type t = {
   resilience : resilience;
   columnar : columnar;
   codec : codec;
+  graph : graph;
   service : service;
 }
 

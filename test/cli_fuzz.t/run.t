@@ -5,7 +5,7 @@ verdicts — so the smoke campaign locks byte-for-byte:
 
   $ ../../bin/verifyio_cli.exe fuzz --smoke --seed 42
   fuzz: seed 42, 8 program(s) (smoke)
-  subjects: engine:vector-clock, engine:graph-reachability, engine:transitive-closure, engine:on-the-fly, sequential, shared, batch:1, batch:2
+  subjects: engine:vector-clock, engine:graph-reachability, engine:transitive-closure, engine:on-the-fly, engine:interval-index, sequential, shared, batch:1, batch:2
     seed 42: 2 ranks, 52 records, 1 conflict pair(s), races 0/0/1/1
     seed 43: 3 ranks, 67 records, 7 conflict pair(s), races 1/7/7/7
     seed 44: 3 ranks, 50 records, 3 conflict pair(s), races 0/3/3/3
@@ -23,10 +23,12 @@ split of pruning rules 2/4 in Verify.run (a mixed read/write peer group
 once produced a false race); the *_truncate traces are tail-truncation
 witnesses for partial MPI matching (one rank's call stream ends early,
 leaving unmatched collectives every subject must absorb identically);
-a divergence here would exit 4:
+the wide* traces are 128- and 256-rank binary witnesses for the sharded
+graph build and the interval-index engine (wide256's verdict splits
+across models); a divergence here would exit 4:
 
   $ ../../bin/verifyio_cli.exe fuzz --replay ../fuzz_corpus
-  replay: ../fuzz_corpus (12 trace(s))
+  replay: ../fuzz_corpus (14 trace(s))
     seed1.vio-trace: 2 ranks, 25 records, 1 conflict pair(s), races 0/1/1/1
     seed10.vio-trace: 2 ranks, 63 records, 2 conflict pair(s), races 0/2/2/2
     seed105_truncate.vio-trace: 3 ranks, 42 records, 1 conflict pair(s), races 0/1/1/1
@@ -39,4 +41,6 @@ a divergence here would exit 4:
     seed7.vio-trace: 3 ranks, 69 records, 5 conflict pair(s), races 0/5/2/2
     seed8.vio-trace: 2 ranks, 56 records, 2 conflict pair(s), races 0/2/2/2
     seed9.vio-trace: 3 ranks, 44 records, 3 conflict pair(s), races 0/3/3/3
-  replay: 0 divergent trace(s) of 12
+    wide128_seed301.vio-trace: 128 ranks, 1030 records, 5 conflict pair(s), races 2/5/5/5
+    wide256_seed302.vio-trace: 256 ranks, 5381 records, 1 conflict pair(s), races 0/0/1/1
+  replay: 0 divergent trace(s) of 14

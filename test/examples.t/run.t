@@ -25,10 +25,10 @@ Corruption table: racy predictions line up with stale observations.
   $ ../../examples/consistency_corruption.exe | grep "barrier only"
   barrier only           | ok         STALE      STALE      | POSIX:safe Commit:racy Session:racy
 
-All four engines agree:
+All five engines agree:
 
-  $ ../../examples/engines_comparison.exe | grep -c "^vector-clock\|^graph-reachability\|^transitive-closure\|^on-the-fly"
-  4
+  $ ../../examples/engines_comparison.exe | grep -c "^vector-clock\|^graph-reachability\|^transitive-closure\|^on-the-fly\|^interval-index"
+  5
 
 The mini-apps verify as documented:
 

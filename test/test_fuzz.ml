@@ -94,9 +94,11 @@ let test_shrink_respects_budget () =
 
 let test_subject_names () =
   let names = D.subject_names ~domains:[ 1; 4 ] in
-  check_int "4 engines + sequential + shared + 2 batch" 8 (List.length names);
+  check_int "5 engines + sequential + shared + 2 batch" 9 (List.length names);
   check_bool "batch subjects reflect domains" true
-    (List.mem "batch:1" names && List.mem "batch:4" names)
+    (List.mem "batch:1" names && List.mem "batch:4" names);
+  check_bool "interval-index is a subject" true
+    (List.mem "engine:interval-index" names)
 
 let test_corpus_replays_clean () =
   let dir = "fuzz_corpus" in

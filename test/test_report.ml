@@ -71,19 +71,24 @@ let test_summary_line () =
 let test_recommend_heuristic () =
   Alcotest.(check bool)
     "no conflicts -> on-the-fly" true
-    (V.Reach.recommend ~graph_nodes:100000 ~conflict_pairs:0 = V.Reach.On_the_fly);
+    (V.Reach.recommend ~nranks:4 ~graph_nodes:100000 ~conflict_pairs:0
+    = V.Reach.On_the_fly);
   Alcotest.(check bool)
     "small graph, heavy queries -> closure" true
-    (V.Reach.recommend ~graph_nodes:1000 ~conflict_pairs:5000
+    (V.Reach.recommend ~nranks:4 ~graph_nodes:1000 ~conflict_pairs:5000
     = V.Reach.Transitive_closure);
   Alcotest.(check bool)
     "large graph -> vector clock" true
-    (V.Reach.recommend ~graph_nodes:100000 ~conflict_pairs:5000
+    (V.Reach.recommend ~nranks:4 ~graph_nodes:100000 ~conflict_pairs:5000
     = V.Reach.Vector_clock);
   Alcotest.(check bool)
     "few queries on small graph -> vector clock" true
-    (V.Reach.recommend ~graph_nodes:1000 ~conflict_pairs:10
-    = V.Reach.Vector_clock)
+    (V.Reach.recommend ~nranks:4 ~graph_nodes:1000 ~conflict_pairs:10
+    = V.Reach.Vector_clock);
+  Alcotest.(check bool)
+    "64+ ranks -> interval index" true
+    (V.Reach.recommend ~nranks:64 ~graph_nodes:100000 ~conflict_pairs:5000
+    = V.Reach.Interval_index)
 
 let test_pipeline_auto_selection () =
   (* A conflict-free workload should auto-select the no-precomputation
