@@ -320,8 +320,17 @@ let graph_cmd source out =
     | None -> print_string dot);
     0
 
-let verify_cmd source model_name engine_name shard_domains all_models limit
-    grouped lenient partial budget inject_spec seed =
+(* Shared by every command exposing --failpoints: install the fabric
+   before any instrumented code runs. A bad spec is a usage error. *)
+let apply_failpoints = function
+  | None -> Ok ()
+  | Some spec -> (
+    match Vio_util.Failpoint.configure spec with
+    | Ok () -> Ok ()
+    | Error e -> Error ("--failpoints: " ^ e))
+
+let verify_cmd failpoints source model_name engine_name shard_domains
+    all_models limit grouped lenient partial budget inject_spec seed =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
@@ -329,6 +338,7 @@ let verify_cmd source model_name engine_name shard_domains all_models limit
   let mode =
     if lenient then Recorder.Diagnostic.Lenient else Recorder.Diagnostic.Strict
   in
+  let* () = apply_failpoints failpoints in
   let* engine = resolve_engine engine_name in
   let* shard_domains = resolve_shard_domains shard_domains in
   let* () =
@@ -780,12 +790,13 @@ let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
 let absolutize p =
   if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
 
-let serve_cmd root domains retries timeout_ms backoff_ms budget hwm
+let serve_cmd failpoints root domains retries timeout_ms backoff_ms budget hwm
     crash_retries poll_ms once quiet =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
   in
+  let* () = apply_failpoints failpoints in
   let* () =
     if retries < 0 then Error "retries must be >= 0"
     else if timeout_ms < 1 then
@@ -920,6 +931,18 @@ let chaos_cmd root jobs kills seed domains quiet =
   let r = Serve.Chaos.run cfg in
   Format.printf "[chaos] %a@." Serve.Chaos.pp_report r;
   if r.Serve.Chaos.violations = [] then 0 else 4
+
+let torture_cmd seeds base_seed root smoke quiet =
+  let ( let* ) r f = match r with Ok v -> f v | Error e ->
+    Printf.eprintf "%s\n" e;
+    usage_error
+  in
+  let* () = if seeds < 1 then Error "seeds must be >= 1" else Ok () in
+  let seeds = if smoke then 1 else seeds in
+  let cfg = { Serve.Torture.seeds; base_seed; root; quiet } in
+  let r = Serve.Torture.run cfg in
+  Format.printf "[torture] %a@." Serve.Torture.pp_report r;
+  if r.Serve.Torture.t_violations = [] then 0 else 4
 
 let models_cmd () =
   print_string (Verifyio.Report.table_i ());
@@ -1089,11 +1112,25 @@ let seed_arg =
     value & opt int 1
     & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for $(b,--inject).")
 
+let failpoints_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failpoints" ] ~docv:"SPEC"
+        ~doc:
+          "Install deterministic fault-injection policies before running, \
+           e.g. $(b,codec.read=short:64;fsio.fsync=fail\\@2). Entries are \
+           $(i,SITE=POLICY) separated by $(b,;); policies: $(b,off), \
+           $(b,fail[\\@N]), $(b,prob:P[:SEED]), $(b,delay:MS), \
+           $(b,short:N), $(b,bitflip[:SEED]). Site registry and \
+           degradation matrix: docs/robustness.md. Also honored from the \
+           $(b,VERIFYIO_FAILPOINTS) environment variable.")
+
 let verify_term =
   Term.(
-    const verify_cmd $ source_arg $ model_arg $ engine_arg $ shard_domains_arg
-    $ all_models_arg $ limit_arg $ grouped_arg $ lenient_arg $ partial_arg
-    $ budget_arg $ inject_arg $ seed_arg)
+    const verify_cmd $ failpoints_arg $ source_arg $ model_arg $ engine_arg
+    $ shard_domains_arg $ all_models_arg $ limit_arg $ grouped_arg
+    $ lenient_arg $ partial_arg $ budget_arg $ inject_arg $ seed_arg)
 
 let report_term =
   Term.(
@@ -1102,7 +1139,7 @@ let report_term =
 
 let tag_arg =
   Arg.(
-    value & opt string "pr8"
+    value & opt string "pr9"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
@@ -1279,8 +1316,8 @@ let quiet_arg =
 
 let serve_term =
   Term.(
-    const serve_cmd $ root_arg $ serve_domains_arg $ retries_arg
-    $ serve_timeout_arg $ backoff_ms_arg $ budget_arg $ hwm_arg
+    const serve_cmd $ failpoints_arg $ root_arg $ serve_domains_arg
+    $ retries_arg $ serve_timeout_arg $ backoff_ms_arg $ budget_arg $ hwm_arg
     $ crash_retries_arg $ poll_ms_arg $ once_arg $ quiet_arg)
 
 let submit_trace_arg =
@@ -1341,6 +1378,43 @@ let chaos_term =
     const chaos_cmd $ root_arg $ chaos_jobs_arg $ chaos_kills_arg
     $ chaos_seed_arg $ serve_domains_arg $ quiet_arg)
 
+let torture_seeds_arg =
+  Arg.(
+    value & opt int Serve.Torture.default.Serve.Torture.seeds
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:
+          "Workload seeds to sweep; each runs the full per-seed scenario \
+           matrix (31 scenarios covering every failpoint site).")
+
+let torture_base_seed_arg =
+  Arg.(
+    value & opt int Serve.Torture.default.Serve.Torture.base_seed
+    & info [ "base-seed" ] ~docv:"N"
+        ~doc:"First workload seed (seed i of N uses base+i).")
+
+let torture_root_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:
+          "Scratch directory for traces and spool roots (kept afterwards \
+           for inspection). Default: a temporary directory, removed when \
+           the campaign ends.")
+
+let torture_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI-sized campaign: one seed (31 scenarios), same invariants as \
+           the full sweep.")
+
+let torture_term =
+  Term.(
+    const torture_cmd $ torture_seeds_arg $ torture_base_seed_arg
+    $ torture_root_arg $ torture_smoke_arg $ quiet_arg)
+
 let cmd_of term name doc = Cmd.v (Cmd.info name ~doc) Term.(const Fun.id $ term)
 
 (* Cmdliner reports parse failures (unknown flags, malformed option
@@ -1378,6 +1452,20 @@ let () =
       exit 0
     | None -> ())
 
+(* Environment-driven failpoint activation: unlike --failpoints, this
+   reaches re-exec'd children and subcommands that do not expose the
+   flag. Must run before cmdliner so the fabric is armed for whatever
+   the command does. *)
+let () =
+  match Sys.getenv_opt "VERIFYIO_FAILPOINTS" with
+  | None -> ()
+  | Some spec -> (
+    match Vio_util.Failpoint.configure spec with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "verifyio: VERIFYIO_FAILPOINTS: %s\n" e;
+      exit usage_error)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1405,6 +1493,9 @@ let () =
         "Drop a verification job into a serve spool";
       cmd_of chaos_term "chaos"
         "Chaos-test the daemon: SIGKILL mid-batch, validate recovery";
+      cmd_of torture_term "torture"
+        "Failpoint torture campaign: sweep every fault site, assert the \
+         robustness invariants";
       cmd_of Term.(const models_cmd $ const ()) "models"
         "Print the builtin consistency models (Table I)";
       cmd_of Term.(const coverage_cmd $ const ()) "coverage"
@@ -1417,6 +1508,27 @@ let () =
   in
   let err_buf = Buffer.create 256 in
   let err_fmt = Format.formatter_of_buffer err_buf in
-  let code = Cmd.eval' ~err:err_fmt (Cmd.group ~default info cmds) in
+  (* The fatal-error boundary: environment failures that escape every
+     structured handler (an unreadable file surfacing as Sys_error, the
+     allocator giving up, an injected fault no subsystem absorbed) exit
+     with the documented one-line diagnostic and code 2 — never a raw
+     backtrace (docs/exit-codes.md). *)
+  let code =
+    (* ~catch:false: cmdliner would otherwise intercept exceptions first
+       and print its own multi-line "internal error" backtrace dump. *)
+    try Cmd.eval' ~catch:false ~err:err_fmt (Cmd.group ~default info cmds) with
+    | Sys_error e ->
+      Printf.eprintf "verifyio: fatal: %s\n" e;
+      usage_error
+    | Out_of_memory ->
+      Printf.eprintf "verifyio: fatal: out of memory\n";
+      usage_error
+    | Vio_util.Failpoint.Injected _ as e ->
+      Printf.eprintf "verifyio: fatal: %s\n" (Printexc.to_string e);
+      usage_error
+    | Vio_util.Supervisor.Domain_failure _ as e ->
+      Printf.eprintf "verifyio: fatal: %s\n" (Printexc.to_string e);
+      usage_error
+  in
   Format.pp_print_flush err_fmt ();
   exit (usage_exit code (Buffer.contents err_buf))

@@ -69,6 +69,7 @@ let effective_domains = function
   | None -> default_domains ()
 
 let run_job j =
+  Vio_util.Failpoint.hit "batch.worker";
   let t0 = Unix.gettimeofday () in
   (* One budget covers both bounds: the deterministic step limit and (when
      set) the wall-clock deadline, checked at the same charge points. *)
@@ -109,7 +110,7 @@ let run ?domains jobs =
      result lands in its job's slot — so the output order (and, since each
      job is deterministic, its content) is independent of scheduling. *)
   let next = Atomic.make 0 in
-  let worker () =
+  let worker _w =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -120,15 +121,23 @@ let run ?domains jobs =
     in
     loop ()
   in
-  if ndomains = 1 || n <= 1 then worker ()
-  else begin
-    let helpers =
-      List.init
-        (min (ndomains - 1) (n - 1))
-        (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join helpers
+  let failures =
+    if ndomains = 1 || n <= 1 then (worker 0; [])
+    else
+      Vio_util.Supervisor.run_workers ~tag:"batch.worker"
+        ~domains:(min ndomains n) worker
+  in
+  (* A worker that died between claiming a slot and filling it (e.g. an
+     injected [batch.worker] fault escaping the per-job capture) leaves
+     [None] holes; run those jobs here, sequentially. *)
+  if failures <> [] then begin
+    Vio_util.Supervisor.note_fallback ~tag:"batch.worker" failures;
+    Array.iteri
+      (fun i slot ->
+        if slot = None then
+          results.(i) <-
+            Some (try Ok (run_job arr.(i)) with exn -> Error exn))
+      results
   end;
   Array.to_list
     (Array.map
@@ -155,10 +164,15 @@ let default_timeout_ms = 60_000
 let run_isolated_job ~retries ~backoff_ms j =
   let t0 = Unix.gettimeofday () in
   let max_attempts = 1 + max 0 retries in
-  let wait k =
-    Vio_util.Backoff.sleep_ms
-      (Vio_util.Backoff.delay_ms ~base_ms:backoff_ms ~attempt:k ())
+  (* Decorrelated jitter, seeded per job name: retry instants spread out
+     instead of synchronizing across a wave of same-failure jobs, and a
+     given job's schedule is reproducible run to run. *)
+  let jit =
+    lazy
+      (Vio_util.Backoff.jitter ~base_ms:backoff_ms
+         ~seed:(Hashtbl.hash j.name) ())
   in
+  let wait _k = Vio_util.Backoff.sleep_ms (Vio_util.Backoff.jitter_ms (Lazy.force jit)) in
   let rec attempt k =
     match run_job j with
     | r -> (Done r.outcomes, k)
@@ -224,7 +238,7 @@ let run_isolated ?domains ?(retries = 1) ?timeout_ms ?(backoff_ms = 0) jobs =
   let n = Array.length arr in
   let results : isolated option array = Array.make n None in
   let next = Atomic.make 0 in
-  let worker () =
+  let worker _w =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -234,13 +248,19 @@ let run_isolated ?domains ?(retries = 1) ?timeout_ms ?(backoff_ms = 0) jobs =
     in
     loop ()
   in
-  if ndomains = 1 || n <= 1 then worker ()
-  else begin
-    let helpers =
-      List.init (min (ndomains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join helpers
+  let failures =
+    if ndomains = 1 || n <= 1 then (worker 0; [])
+    else
+      Vio_util.Supervisor.run_workers ~tag:"batch.worker"
+        ~domains:(min ndomains n) worker
+  in
+  if failures <> [] then begin
+    Vio_util.Supervisor.note_fallback ~tag:"batch.worker" failures;
+    Array.iteri
+      (fun i slot ->
+        if slot = None then
+          results.(i) <- Some (run_isolated_job ~retries ~backoff_ms arr.(i)))
+      results
   end;
   Array.to_list
     (Array.map

@@ -746,6 +746,7 @@ let of_file_parallel ~domains path =
   let plan = Recorder.Codec.plan_file path in
   let nranks = Recorder.Codec.plan_nranks plan in
   let segs = Array.make (max 1 nranks) [||] in
+  let done_ = Array.make (max 1 nranks) false in
   let errors = Array.make (max 1 nranks) None in
   let decode_one r =
     let acc = ref [] in
@@ -759,23 +760,60 @@ let of_file_parallel ~domains path =
     Array.init len (fun i -> a.(len - 1 - i))
   in
   let cursor = Atomic.make 0 in
-  let work () =
+  let work _w =
     let continue = ref true in
     while !continue do
       let r = Atomic.fetch_and_add cursor 1 in
       if r >= nranks then continue := false
       else
-        match decode_one r with
-        | a -> segs.(r) <- a
+        match
+          Vio_util.Failpoint.hit "estore.segment";
+          decode_one r
+        with
+        | a ->
+          segs.(r) <- a;
+          done_.(r) <- true
         | exception e -> errors.(r) <- Some e
     done
   in
   let effective = max 1 (min domains (max 1 nranks)) in
-  if effective = 1 then work ()
-  else begin
-    let workers = Array.init (effective - 1) (fun _ -> Domain.spawn work) in
-    work ();
-    Array.iter Domain.join workers
+  let failures =
+    if effective = 1 then (work 0; [])
+    else
+      Vio_util.Supervisor.run_workers ~tag:"estore.segment" ~domains:effective
+        work
+  in
+  (* Degraded ranks — a failed segment decode or a worker domain that
+     died outside the per-rank capture — are retried sequentially on
+     this domain before anything is surfaced. A genuinely corrupt
+     segment fails its retry too and raises exactly the error the
+     sequential stream would have hit. *)
+  let degraded = ref (List.map (fun f -> f) failures) in
+  for r = nranks - 1 downto 0 do
+    if not done_.(r) then begin
+      (match errors.(r) with
+      | Some e ->
+        degraded :=
+          {
+            Vio_util.Supervisor.f_tag = "estore.segment";
+            f_index = r;
+            f_exn = Printexc.to_string e;
+          }
+          :: !degraded
+      | None -> ());
+      errors.(r) <- None
+    end
+  done;
+  if !degraded <> [] || Array.exists not (Array.sub done_ 0 nranks) then begin
+    Vio_util.Supervisor.note_fallback ~tag:"estore.segment" !degraded;
+    for r = 0 to nranks - 1 do
+      if not done_.(r) then
+        match decode_one r with
+        | a ->
+          segs.(r) <- a;
+          done_.(r) <- true
+        | exception e -> errors.(r) <- Some e
+    done
   end;
   (* Surface the lowest-rank failure — the one the sequential stream
      would have hit first. *)

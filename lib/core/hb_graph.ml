@@ -303,16 +303,27 @@ let build_sharded ?(domains = 1) (d : E.t) (m : Match_mpi.result) =
     done
   else begin
     let cursor = Atomic.make 0 in
-    let rec drain () =
+    let rec drain _w =
       let rank = Atomic.fetch_and_add cursor 1 in
       if rank < nranks then begin
+        Vio_util.Failpoint.hit "graph.shard";
         work rank;
-        drain ()
+        drain _w
       end
     in
-    let workers = Array.init (effective - 1) (fun _ -> Domain.spawn drain) in
-    drain ();
-    Array.iter Domain.join workers
+    let failures =
+      Vio_util.Supervisor.run_workers ~tag:"graph.shard" ~domains:effective
+        drain
+    in
+    (* A dead shard domain leaves some ranks unwalked. [work] only
+       overwrites its own rank's slots, so re-running every rank
+       sequentially is idempotent and restores full coverage. *)
+    if failures <> [] then begin
+      Vio_util.Supervisor.note_fallback ~tag:"graph.shard" failures;
+      for rank = 0 to nranks - 1 do
+        work rank
+      done
+    end
   end;
   (* Merge phase: route every cross-chain edge to its shards' transfer
      lists. Program-order edges are never materialized here — each shard

@@ -536,8 +536,15 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let n = in_channel_length ic in
-      really_input_string ic n)
+      (* Failpoint site codec.read: a [short] policy models a truncated
+         read, [bitflip] models media corruption — both then flow
+         through the real validation (trailer locator, body CRC), never
+         a synthetic error. *)
+      Vio_util.Failpoint.hit "codec.read";
+      let n =
+        Vio_util.Failpoint.adjust_len "codec.read" (in_channel_length ic)
+      in
+      Vio_util.Failpoint.mangle "codec.read" (really_input_string ic n))
 
 type 'a folded = {
   f_nranks : int;
@@ -1228,6 +1235,10 @@ let decode s =
   (d.nranks, d.records)
 
 let fold_records ?mode ?chunk path ~init ~f =
+  (* The streaming entry reads in blocks, so only the control-flow
+     policies (fail/delay) apply here; data corruption is injected on
+     the whole-buffer [read_file] path. *)
+  Vio_util.Failpoint.hit "codec.read";
   match detect_file path with
   | Text -> fold_text_records ?mode ?chunk path ~init ~f
   | Binary ->

@@ -17,6 +17,7 @@ let lookup ~dir ~key =
   if Sys.file_exists path then Some (Fsio.read_file path) else None
 
 let store ~dir ~key contents =
+  Vio_util.Failpoint.hit "cache.store";
   let path = entry_path ~dir ~key in
   Fsio.ensure_dir (Filename.dirname path);
   Fsio.atomic_write ~path contents

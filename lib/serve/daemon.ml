@@ -304,7 +304,15 @@ let finish_chunk st ready isolated =
                 Cache.key ~trace_sha256:k.k_sha
                   ~model:model.Verifyio.Model.name ~flags:k.k_flags
               in
-              Cache.store ~dir:st.spool.Spool.cache ~key (Cache.render doc);
+              (* The cache is an accelerator, never a correctness
+                 dependency: a failed store degrades to recomputing the
+                 verdict on the next identical submission. The response
+                 below still carries the verdict either way. *)
+              (try Cache.store ~dir:st.spool.Spool.cache ~key
+                     (Cache.render doc)
+               with
+              | Sys_error _ | Vio_util.Failpoint.Injected _ ->
+                M.incr "serve/cache_store_failures");
               (model.Verifyio.Model.name, doc))
             outcomes
         in
@@ -504,6 +512,14 @@ let run ?(stop = Atomic.make false) cfg =
     }
   in
   replay_startup st;
+  (* Jittered poll (seeded by pid): several daemons watching spools on
+     one host drift apart instead of scanning in lockstep. The cap is
+     the configured interval, so polling never gets slower than asked. *)
+  let poll =
+    Vio_util.Backoff.jitter
+      ~base_ms:(max 1 (cfg.poll_ms / 2))
+      ~cap_ms:(max 1 cfg.poll_ms) ~seed:(Unix.getpid ()) ()
+  in
   let rec loop () =
     if Atomic.get st.stop then
       (* In-flight work is always drained before we get here: waves are
@@ -519,7 +535,7 @@ let run ?(stop = Atomic.make false) cfg =
         if admitted_now > 0 || had_wave then loop ()
       end
       else begin
-        Vio_util.Backoff.sleep_ms cfg.poll_ms;
+        Vio_util.Backoff.sleep_ms (Vio_util.Backoff.jitter_ms poll);
         loop ()
       end
     end

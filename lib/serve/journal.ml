@@ -5,7 +5,28 @@ type t = { fd : Unix.file_descr }
 
 let open_ path =
   Fsio.ensure_dir (Filename.dirname path);
-  { fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 }
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  (* A crash mid-append leaves a torn final line with no newline. Left
+     as-is, the next incarnation's first record would be appended onto
+     that garbage and silently lost to every later replay — so terminate
+     the torn line before writing anything. (Found by the failpoint
+     torture campaign's [fsio.append=short] scenario.) *)
+  (try
+     let size = (Unix.fstat fd).Unix.st_size in
+     if size > 0 then begin
+       let last = Bytes.create 1 in
+       let ic = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close ic with Unix.Unix_error _ -> ())
+         (fun () ->
+           ignore (Unix.lseek ic (size - 1) Unix.SEEK_SET);
+           if Unix.read ic last 0 1 = 1 && Bytes.get last 0 <> '\n' then
+             ignore (Unix.write_substring fd "\n" 0 1))
+     end
+   with Unix.Unix_error _ -> ());
+  { fd }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

@@ -28,6 +28,12 @@ let layout root =
     [ t.incoming; t.claimed; t.responses; t.quarantine; t.cache ];
   ignore (Fsio.sweep_tmp t.incoming);
   ignore (Fsio.sweep_tmp t.responses);
+  (* Cache entries stage-then-rename inside two-hex-digit shard dirs; a
+     crash mid-store leaves .tmp debris one level down. *)
+  if Sys.file_exists t.cache && Sys.is_directory t.cache then
+    Array.iter
+      (fun sub -> ignore (Fsio.sweep_tmp (Filename.concat t.cache sub)))
+      (Sys.readdir t.cache);
   t
 
 type jobspec = {

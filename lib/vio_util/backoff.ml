@@ -9,6 +9,39 @@ let delay_ms ?(cap_ms = 30_000) ~base_ms ~attempt () =
     let exp = min (attempt - 1) 25 in
     min cap_ms (base_ms * (1 lsl exp))
 
+type jitter = {
+  j_base : int;
+  j_cap : int;
+  mutable j_prev : int;
+  mutable j_state : int;
+}
+
+let jitter ?(cap_ms = 30_000) ~base_ms ~seed () =
+  if base_ms < 0 then invalid_arg "Backoff.jitter: negative base";
+  if cap_ms < 0 then invalid_arg "Backoff.jitter: negative cap";
+  {
+    j_base = base_ms;
+    j_cap = max base_ms cap_ms;
+    j_prev = base_ms;
+    (* Avoid the all-zero LCG fixed point for seed 0. *)
+    j_state = (seed lxor 0x5DEECE66D) land max_int;
+  }
+
+(* A 48-bit-style LCG: cheap, deterministic, and plenty for spreading
+   retry instants — this is scheduling noise, not cryptography. *)
+let next_state s = (s * 25214903917 + 11) land 0x3FFFFFFFFFFF
+
+let jitter_ms j =
+  if j.j_base = 0 then 0
+  else begin
+    j.j_state <- next_state j.j_state;
+    let hi = min j.j_cap (j.j_prev * 3) in
+    let span = hi - j.j_base + 1 in
+    let d = j.j_base + (j.j_state mod span) in
+    j.j_prev <- d;
+    d
+  end
+
 let rec sleep_ms ms =
   if ms > 0 then
     try Unix.sleepf (float_of_int ms /. 1000.)

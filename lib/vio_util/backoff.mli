@@ -1,8 +1,15 @@
 (** Bounded exponential backoff for retry loops.
 
-    Delays are a pure function of the attempt number — no jitter — so a
-    supervised retry schedule is reproducible in tests: attempt 1 waits
-    [base_ms], attempt 2 [2·base_ms], doubling up to [cap_ms]. *)
+    Two schedules live here. {!delay_ms} is the pure, jitter-free
+    doubling schedule — a function of the attempt number alone, so a
+    supervised retry sequence is exactly reproducible in tests.
+    {!jitter}/{!jitter_ms} is the decorrelated-jitter schedule for
+    fleets: when many workers (batch retry loops, serve daemons polling
+    one spool) back off from the same event, the pure schedule has them
+    all retry on the same beat, re-creating the stampede each round.
+    Decorrelated jitter draws every delay from a seeded deterministic
+    stream in [[base_ms, cap_ms]] that depends on the previous delay —
+    reproducible under a fixed seed, decorrelated across seeds. *)
 
 val delay_ms : ?cap_ms:int -> base_ms:int -> attempt:int -> unit -> int
 (** The wait before retry number [attempt] (1-based):
@@ -10,6 +17,21 @@ val delay_ms : ?cap_ms:int -> base_ms:int -> attempt:int -> unit -> int
     A [base_ms] of 0 disables the wait entirely (every delay is 0).
     @raise Invalid_argument if [base_ms < 0], [cap_ms < 0] or
     [attempt < 1]. *)
+
+type jitter
+(** Mutable state of one decorrelated-jitter stream. *)
+
+val jitter : ?cap_ms:int -> base_ms:int -> seed:int -> unit -> jitter
+(** A fresh stream. [cap_ms] defaults to 30_000 and is clamped to at
+    least [base_ms]. A [base_ms] of 0 yields all-zero delays, mirroring
+    {!delay_ms}.
+    @raise Invalid_argument if [base_ms < 0] or [cap_ms < 0]. *)
+
+val jitter_ms : jitter -> int
+(** The next delay: uniform-ish in [[base_ms, min cap_ms (3 · prev)]]
+    (AWS decorrelated jitter), where [prev] is the previous delay (or
+    [base_ms] initially). Always within [[base_ms, cap_ms]]; the
+    sequence is a pure function of [(seed, base_ms, cap_ms)]. *)
 
 val sleep_ms : int -> unit
 (** Block the calling domain for the given milliseconds ([<= 0] returns

@@ -16,6 +16,7 @@ let tmp_name path =
     (Atomic.fetch_and_add tmp_counter 1)
 
 let atomic_write ?(fsync = true) ~path contents =
+  Failpoint.hit "fsio.atomic_write";
   let tmp = tmp_name path in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let ok =
@@ -29,10 +30,15 @@ let atomic_write ?(fsync = true) ~path contents =
             !written
             + Unix.write_substring fd contents !written (n - !written)
         done;
+        (* An injected fault here dies after the data was staged but
+           before it is durable or visible — the crash window that
+           leaves [.tmp.*] debris for [sweep_tmp]. *)
+        Failpoint.hit "fsio.fsync";
         if fsync then Unix.fsync fd;
         true)
   in
   if ok then (
+    Failpoint.hit "fsio.rename";
     try Unix.rename tmp path
     with e ->
       (try Sys.remove tmp with Sys_error _ -> ());
@@ -45,12 +51,16 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let append_line ?(fsync = true) fd line =
+  Failpoint.hit "fsio.append";
   let data = line ^ "\n" in
-  let n = String.length data in
+  (* A [short] policy tears the append mid-record — the torn-tail crash
+     the journal's replay must absorb. *)
+  let n = Failpoint.adjust_len "fsio.append" (String.length data) in
   let written = ref 0 in
   while !written < n do
     written := !written + Unix.write_substring fd data !written (n - !written)
   done;
+  Failpoint.hit "fsio.fsync";
   if fsync then Unix.fsync fd
 
 let files_with_suffix dir ~suffix =

@@ -7,7 +7,12 @@
     a reader never observes a torn file — it sees either nothing or the
     complete artifact, whatever instant the writer was killed at. The
     temporary orphans a crash can leave behind use a recognizable
-    [.tmp.*] suffix and are swept by {!sweep_tmp}. *)
+    [.tmp.*] suffix and are swept by {!sweep_tmp}.
+
+    Every step of the protocol carries a {!Failpoint} site
+    ([fsio.atomic_write], [fsio.fsync], [fsio.rename], [fsio.append]),
+    so the torture campaign can kill a writer at each crash window
+    deterministically; see docs/robustness.md for the registry. *)
 
 val ensure_dir : string -> unit
 (** [mkdir -p]: create the directory and any missing parents; existing

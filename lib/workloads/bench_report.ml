@@ -107,6 +107,20 @@ type graph = {
   gr_vector_clock_queries_per_s : float;
 }
 
+type robustness = {
+  rb_scenarios : int;
+  rb_exact : int;
+  rb_faulted : int;
+  rb_fallbacks : int;
+  rb_crashes : int;
+  rb_violations : int;
+  rb_campaign_s : float;
+  rb_verify_records : int;
+  rb_disabled_s : float;
+  rb_armed_s : float;
+  rb_overhead_ratio : float;
+}
+
 type t = {
   tag : string;
   generated_at : float;
@@ -129,6 +143,7 @@ type t = {
   codec : codec;
   graph : graph;
   service : service;
+  robustness : robustness;
 }
 
 (* A comparable digest of a corpus verification: per workload, per model,
@@ -360,6 +375,60 @@ let service_pass ~smoke () =
   rm_rf root;
   rm_rf replay_root;
   r
+
+(* ---- robustness: torture campaign + fabric overhead (PR 9) ---- *)
+
+let robustness_pass ~smoke () =
+  let cfg =
+    { Serve.Torture.default with
+      Serve.Torture.seeds = (if smoke then 1 else 2);
+      quiet = true }
+  in
+  let t0 = Unix.gettimeofday () in
+  let rep = Serve.Torture.run cfg in
+  let campaign_s = Unix.gettimeofday () -. t0 in
+  (* Fabric overhead: the same shared-file verify with the fabric
+     disabled (the shipped configuration) and with a policy armed on a
+     hit number that never arrives, so every instrumented site takes its
+     slow-path lookup but no fault ever fires. The ratio is the whole
+     cost of leaving the fabric compiled in. *)
+  let root =
+    let f = Filename.temp_file "verifyio_robustness_bench" "" in
+    Sys.remove f;
+    f
+  in
+  let max_steps = if smoke then 2_000 else 20_000 in
+  let p = Viogen.Workload.generate ~max_steps ~seed:90 () in
+  let records = Viogen.Workload.run p in
+  let path = Filename.concat root "robustness.viob" in
+  Vio_util.Fsio.ensure_dir root;
+  Vio_util.Fsio.atomic_write ~path
+    (Recorder.Codec.encode_binary ~nranks:p.Viogen.Workload.nranks records);
+  let models = [ List.hd V.Model.builtin ] in
+  let verify () =
+    ignore (V.Pipeline.verify_shared_file ~shard_domains:2 ~models path)
+  in
+  Vio_util.Failpoint.clear ();
+  let disabled_s, () = best_of 3 verify in
+  (match Vio_util.Failpoint.configure "codec.read=fail@1000000000" with
+  | Ok () -> ()
+  | Error e -> invalid_arg e);
+  let armed_s, () = best_of 3 verify in
+  Vio_util.Failpoint.clear ();
+  rm_rf root;
+  {
+    rb_scenarios = rep.Serve.Torture.t_scenarios;
+    rb_exact = rep.Serve.Torture.t_exact;
+    rb_faulted = rep.Serve.Torture.t_faulted;
+    rb_fallbacks = rep.Serve.Torture.t_fallbacks;
+    rb_crashes = rep.Serve.Torture.t_crashes;
+    rb_violations = List.length rep.Serve.Torture.t_violations;
+    rb_campaign_s = campaign_s;
+    rb_verify_records = List.length records;
+    rb_disabled_s = disabled_s;
+    rb_armed_s = armed_s;
+    rb_overhead_ratio = (if disabled_s > 0. then armed_s /. disabled_s else 0.);
+  }
 
 (* ---- columnar event-core measurements (PR 5) ---- *)
 
@@ -812,7 +881,7 @@ let graph_pass ~smoke () =
     gr_vector_clock_queries_per_s = vc_qps;
   }
 
-let run ?(tag = "pr8") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
+let run ?(tag = "pr9") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     ?(smoke = false) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
@@ -928,13 +997,14 @@ let run ?(tag = "pr8") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     codec = codec_pass ~smoke ();
     graph = graph_pass ~smoke ();
     service = service_pass ~smoke ();
+    robustness = robustness_pass ~smoke ();
   }
 
 let to_json r =
   J.Obj
     [
       ("schema", J.Str "verifyio-bench");
-      ("schema_version", J.Int 5);
+      ("schema_version", J.Int 6);
       ("tag", J.Str r.tag);
       ("generated_at_unix", J.Float r.generated_at);
       ( "environment",
@@ -1162,6 +1232,29 @@ let to_json r =
             ("replay_recovered_jobs", J.Int r.service.sv_replay_recovered);
             ("replay_recovery_s", J.Float r.service.sv_replay_s);
           ] );
+      ( "robustness",
+        J.Obj
+          [
+            ( "torture",
+              J.Obj
+                [
+                  ("scenarios", J.Int r.robustness.rb_scenarios);
+                  ("exact", J.Int r.robustness.rb_exact);
+                  ("faulted", J.Int r.robustness.rb_faulted);
+                  ("supervisor_fallbacks", J.Int r.robustness.rb_fallbacks);
+                  ("daemon_crashes_recovered", J.Int r.robustness.rb_crashes);
+                  ("violations", J.Int r.robustness.rb_violations);
+                  ("campaign_s", J.Float r.robustness.rb_campaign_s);
+                ] );
+            ( "fabric_overhead",
+              J.Obj
+                [
+                  ("verify_records", J.Int r.robustness.rb_verify_records);
+                  ("fabric_disabled_s", J.Float r.robustness.rb_disabled_s);
+                  ("fabric_armed_s", J.Float r.robustness.rb_armed_s);
+                  ("armed_over_disabled", J.Float r.robustness.rb_overhead_ratio);
+                ] );
+          ] );
       ("metrics", M.to_json r.metrics);
     ]
 
@@ -1257,6 +1350,16 @@ let summary r =
     r.service.sv_jobs r.service.sv_models r.service.sv_cold_s
     r.service.sv_warm_s r.service.sv_warm_speedup r.service.sv_warm_cache_hits
     r.service.sv_replay_recovered r.service.sv_replay_s;
+  Printf.bprintf b
+    "robustness: %d torture scenario(s) in %.3fs — %d absorbed exactly, %d \
+     surfaced documented, %d fallback(s), %d crash(es) recovered, %d \
+     violation(s); fabric overhead %.2fx (disabled %.3fs vs armed %.3fs, %d \
+     records)\n"
+    r.robustness.rb_scenarios r.robustness.rb_campaign_s r.robustness.rb_exact
+    r.robustness.rb_faulted r.robustness.rb_fallbacks r.robustness.rb_crashes
+    r.robustness.rb_violations r.robustness.rb_overhead_ratio
+    r.robustness.rb_disabled_s r.robustness.rb_armed_s
+    r.robustness.rb_verify_records;
   Printf.bprintf b "columnar sweep (%d records, %d files, %d pairs):"
     r.columnar.cl_sweep_records r.columnar.cl_sweep_files
     r.columnar.cl_sweep_pairs;

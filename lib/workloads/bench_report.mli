@@ -174,6 +174,26 @@ type graph = {
     the same multi-million-record trace the codec pass uses, plus
     interval-index vs vector-clock reachability query throughput. *)
 
+type robustness = {
+  rb_scenarios : int;  (** torture scenarios executed *)
+  rb_exact : int;  (** faults fully absorbed: digest equal to fault-free *)
+  rb_faulted : int;  (** faults surfaced as a documented error *)
+  rb_fallbacks : int;  (** supervisor sequential fallbacks observed *)
+  rb_crashes : int;  (** daemon crashes injected and recovered *)
+  rb_violations : int;  (** invariant violations — must be 0 *)
+  rb_campaign_s : float;  (** torture campaign wall *)
+  rb_verify_records : int;  (** trace size for the overhead measurement *)
+  rb_disabled_s : float;  (** shared-file verify wall, fabric disabled *)
+  rb_armed_s : float;
+      (** the same verify with a policy armed on a hit number that never
+          arrives: every site takes its slow-path lookup, nothing fires *)
+  rb_overhead_ratio : float;  (** [rb_armed_s /. rb_disabled_s] *)
+}
+(** Robustness pass (PR 9): an in-process {!Serve.Torture} campaign
+    (fewer seeds than the CLI default — the full 200+-scenario sweep is
+    [verifyio torture]'s job) plus the cost of the failpoint fabric
+    itself, disabled vs armed-but-inert. *)
+
 type t = {
   tag : string;  (** e.g. ["pr5"]; names the output file [BENCH_<tag>.json] *)
   generated_at : float;  (** unix epoch seconds *)
@@ -197,6 +217,7 @@ type t = {
   codec : codec;
   graph : graph;
   service : service;
+  robustness : robustness;
 }
 
 val run :

@@ -10,7 +10,7 @@ Unknown flags and commands:
   verifyio: unknown option '--bogus-flag'.
   [2]
   $ ../../bin/verifyio_cli.exe nosuchcommand 2>&1
-  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'chaos', 'convert', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'serve', 'stats', 'submit' or 'verify'.
+  verifyio: unknown command 'nosuchcommand', must be one of 'bench', 'chaos', 'convert', 'coverage', 'fuzz', 'graph', 'list', 'models', 'report', 'run', 'serve', 'stats', 'submit', 'torture' or 'verify'.
   [2]
 
 Missing input files:
@@ -84,3 +84,44 @@ usage error (exit 2) before any spool or daemon work happens:
   $ ../../bin/verifyio_cli.exe chaos --root spool --jobs 0 2>&1
   jobs must be >= 1
   [2]
+
+Failpoint specs are validated before any work happens — an unknown site
+or policy is a usage error with the registry in the message:
+
+  $ ../../bin/verifyio_cli.exe verify t_pread --failpoints "nope=fail" 2>&1
+  --failpoints: unknown failpoint site "nope" (known: codec.read, estore.segment, graph.shard, batch.worker, fsio.atomic_write, fsio.fsync, fsio.rename, fsio.append, cache.store)
+  [2]
+  $ ../../bin/verifyio_cli.exe verify t_pread --failpoints "codec.read=wat" 2>&1
+  --failpoints: unknown policy "wat"
+  [2]
+  $ VERIFYIO_FAILPOINTS="garbage" ../../bin/verifyio_cli.exe list 2>&1 | head -1
+  verifyio: VERIFYIO_FAILPOINTS: entry "garbage" is not SITE=POLICY
+  $ ../../bin/verifyio_cli.exe torture --seeds 0 2>&1
+  seeds must be >= 1
+  [2]
+
+An injected fault that no subsystem absorbs reaches the fatal-error
+boundary: one structured line, exit 2, never a backtrace
+(docs/exit-codes.md):
+
+  $ ../../bin/verifyio_cli.exe run t_pread -o fatal.trace
+  wrote 110 records to fatal.trace
+  $ ../../bin/verifyio_cli.exe verify fatal.trace --failpoints "codec.read=fail" -m POSIX 2>&1
+  verifyio: fatal: injected fault at failpoint codec.read (hit 1)
+  [2]
+
+The same fault on a worker domain is absorbed by the supervisor —
+sequential fallback, one stderr notice, and a verdict identical to the
+fault-free run:
+
+  $ ../../bin/verifyio_cli.exe run t_pread -o fatal.vtb --format binary
+  wrote 110 records to fatal.vtb
+  $ ../../bin/verifyio_cli.exe verify fatal.vtb --shard-domains 2 -m POSIX > clean.out 2>&1; echo "exit=$?"
+  exit=0
+  $ ../../bin/verifyio_cli.exe verify fatal.vtb --shard-domains 2 --failpoints "estore.segment=fail" -m POSIX > faulted.out 2> faulted.err; echo "exit=$?"
+  exit=0
+  $ grep -v "^stages:" clean.out > clean.flt
+  $ grep -v "^stages:" faulted.out > faulted.flt
+  $ diff clean.flt faulted.flt
+  $ grep -c "supervisor" faulted.err
+  1

@@ -282,6 +282,52 @@ let test_journal_torn_tail () =
   (* The torn finished line never took effect: a is in-flight again. *)
   check_int "a re-enqueued" 1 (List.length re.Journal.unfinished)
 
+module F = Vio_util.Failpoint
+
+(* A crash can tear more than the final record: under
+   [fsio.append=short:8] every append lands 8 bytes and no newline, so
+   consecutive records merge into one garbage tail. Replay must treat
+   the whole span as never-happened, and — the part a naive append-mode
+   reopen gets wrong — the next incarnation must terminate that tail
+   before its own first record, or the record merges into the garbage
+   and is lost to every later replay. *)
+let test_journal_torn_tail_multi_record () =
+  F.clear ();
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "j.jsonl" in
+  let t = Journal.open_ path in
+  Journal.enqueued t ~id:"a" ~spec:J.Null;
+  Journal.started t ~id:"a" ~attempt:1;
+  (match F.configure "fsio.append=short:8" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Journal.finished t ~id:"a" ~status:"done";
+  Journal.enqueued t ~id:"b" ~spec:J.Null;
+  F.clear ();
+  Journal.close t;
+  let re = Journal.replay path in
+  check_bool "torn tail flagged" true re.Journal.torn_tail;
+  check_bool "torn finish never took effect" true
+    (re.Journal.finished_ids = []);
+  (match re.Journal.unfinished with
+  | [ p ] ->
+    check_string "a still in flight" "a" p.Journal.p_id;
+    check_int "crash counted" 1 p.Journal.p_crashes
+  | l -> Alcotest.fail (Printf.sprintf "%d pending" (List.length l)));
+  let t = Journal.open_ path in
+  Journal.finished t ~id:"a" ~status:"done";
+  Journal.enqueued t ~id:"c" ~spec:J.Null;
+  Journal.close t;
+  let re = Journal.replay path in
+  check_bool "reopen terminated the garbage tail" true
+    (not re.Journal.torn_tail);
+  check_bool "post-recovery finish visible" true
+    (re.Journal.finished_ids = [ "a" ]);
+  (match re.Journal.unfinished with
+  | [ p ] -> check_string "c pending" "c" p.Journal.p_id
+  | l ->
+    Alcotest.fail (Printf.sprintf "%d pending after reopen" (List.length l)))
+
 (* ------------------------------------------------------------------ *)
 (* Daemon in-process: verdict byte-identity and recovery behaviors      *)
 (* ------------------------------------------------------------------ *)
@@ -300,6 +346,59 @@ let daemon_cfg root =
 let model_names () =
   List.map (fun (m : Verifyio.Model.t) -> m.Verifyio.Model.name)
     Verifyio.Model.builtin
+
+(* A submit whose publishing rename fails leaves its staged [.tmp.*]
+   file behind — the deliberate debris of stage-then-rename. The next
+   [Spool.layout] must sweep it (incoming and cache shards alike), and
+   the spool must be fully usable afterwards. *)
+let test_spool_tmp_survivor_recovery () =
+  F.clear ();
+  let root = fresh_dir () in
+  let spool = Spool.layout root in
+  let trace = write_trace root 0 11 in
+  let spec id =
+    {
+      Spool.id;
+      trace;
+      models = model_names ();
+      lenient = false;
+      partial = false;
+      budget = None;
+      timeout_ms = None;
+    }
+  in
+  (match F.configure "fsio.rename=fail" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Spool.submit spool (spec "victim") with
+  | _ -> Alcotest.fail "publishing rename did not fail"
+  | exception F.Injected { site; _ } ->
+    check_string "rename site fired" "fsio.rename" site);
+  F.clear ();
+  let is_tmp name =
+    let n = String.length name in
+    let rec go i = i + 5 <= n && (String.sub name i 5 = ".tmp." || go (i + 1)) in
+    go 0
+  in
+  let debris dir = List.filter is_tmp (Array.to_list (Sys.readdir dir)) in
+  check_bool "staged .tmp survived the failed submit" true
+    (debris spool.Spool.incoming <> []);
+  let shard = Filename.concat spool.Spool.cache "ab" in
+  Fsio.ensure_dir shard;
+  let oc = open_out (Filename.concat shard "entry.json.tmp.1.1") in
+  close_out oc;
+  let spool = Spool.layout root in
+  check_bool "startup sweep removed incoming debris" true
+    (debris spool.Spool.incoming = []);
+  check_bool "startup sweep removed cache-shard debris" true
+    (debris shard = []);
+  ignore (Spool.submit spool (spec "job-1"));
+  let s = Daemon.run (daemon_cfg root) in
+  check_int "resubmitted job drained" 1 s.Daemon.completed;
+  check_bool "response is terminal" true
+    (match Spool.read_response spool ~id:"job-1" with
+    | Ok r -> r.Spool.r_status = "done"
+    | Error _ -> false)
 
 (* The byte-identity contract, in-process: every cache entry the daemon
    writes equals a fresh sequential Pipeline run rendered through the
@@ -473,6 +572,8 @@ let () =
         [
           Alcotest.test_case "jobspec round trip" `Quick
             test_jobspec_round_trip;
+          Alcotest.test_case ".tmp survivor recovery" `Quick
+            test_spool_tmp_survivor_recovery;
           Alcotest.test_case "response round trip" `Quick
             test_response_round_trip;
           Alcotest.test_case "flags string" `Quick test_flags_string;
@@ -483,6 +584,8 @@ let () =
         [
           Alcotest.test_case "replay basics" `Quick test_journal_replay_basics;
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "torn tail spanning records" `Quick
+            test_journal_torn_tail_multi_record;
           QCheck_alcotest.to_alcotest prop_journal_kill_point;
         ] );
       ( "daemon",

@@ -428,6 +428,147 @@ let test_backoff_delays () =
     (Backoff.delay_ms ~cap_ms:250 ~base_ms:100 ~attempt:5 ());
   check_int "zero base disables" 0 (Backoff.delay_ms ~base_ms:0 ~attempt:9 ())
 
+let draw_jitter ?cap_ms ~base_ms ~seed n =
+  let j = Backoff.jitter ?cap_ms ~base_ms ~seed () in
+  List.init n (fun _ -> Backoff.jitter_ms j)
+
+let test_backoff_jitter_basics () =
+  let a = draw_jitter ~cap_ms:500 ~base_ms:10 ~seed:1 64 in
+  let b = draw_jitter ~cap_ms:500 ~base_ms:10 ~seed:1 64 in
+  check_bool "fixed seed reproduces the stream" true (a = b);
+  let c = draw_jitter ~cap_ms:500 ~base_ms:10 ~seed:2 64 in
+  check_bool "different seeds decorrelate" true (a <> c);
+  check_bool "zero base yields zero delays" true
+    (List.for_all (( = ) 0) (draw_jitter ~base_ms:0 ~seed:7 32));
+  check_bool "cap below base clamps to base" true
+    (List.for_all (( = ) 20) (draw_jitter ~cap_ms:5 ~base_ms:20 ~seed:3 32));
+  Alcotest.check_raises "negative base rejected"
+    (Invalid_argument "Backoff.jitter: negative base") (fun () ->
+      ignore (Backoff.jitter ~base_ms:(-1) ~seed:0 ()))
+
+(* The decorrelated-jitter contract: every delay lands in
+   [base_ms, max base_ms cap_ms] and the stream is a pure function of
+   (seed, base_ms, cap_ms). *)
+let prop_jitter_bounded_deterministic =
+  QCheck2.Test.make
+    ~name:"backoff: jitter stays in [base, cap] and replays under its seed"
+    ~count:200
+    QCheck2.Gen.(
+      triple (int_range 0 50) (int_range 0 200) (int_range 0 10_000))
+    (fun (base_ms, extra, seed) ->
+      let cap_ms = base_ms + extra in
+      let hi = max base_ms cap_ms in
+      let a = draw_jitter ~cap_ms ~base_ms ~seed 100 in
+      let b = draw_jitter ~cap_ms ~base_ms ~seed 100 in
+      a = b && List.for_all (fun d -> d >= base_ms && d <= hi) a)
+
+(* ------------------------------------------------------------------ *)
+(* Failpoint fabric                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module F = Vio_util.Failpoint
+
+let test_failpoint_disabled_noop () =
+  F.clear ();
+  check_bool "disabled after clear" false (F.enabled ());
+  List.iter (fun (site, _) -> F.hit site) F.known_sites;
+  check_int "hit on disabled fabric counts nothing" 0 (F.hit_count "codec.read");
+  check_int "adjust_len is the identity when off" 4096
+    (F.adjust_len "fsio.append" 4096);
+  let buf = String.make 64 'x' in
+  check_bool "mangle returns the very same buffer when off" true
+    (F.mangle "codec.read" buf == buf)
+
+let test_failpoint_spec_parse () =
+  F.clear ();
+  (match
+     F.configure
+       "codec.read=fail@3;fsio.fsync=prob:0.5:7;estore.segment=delay:1;\
+        fsio.append=short:16;cache.store=bitflip:9"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid spec rejected: %s" e);
+  check_bool "enabled after configure" true (F.enabled ());
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check_bool "unknown site rejected" true (is_err (F.configure "nope=fail"));
+  check_bool "missing '=' rejected" true (is_err (F.configure "codec.read"));
+  check_bool "unknown policy rejected" true
+    (is_err (F.configure "codec.read=explode"));
+  check_bool "bad count rejected" true (is_err (F.configure "codec.read=fail@x"));
+  check_bool "bad probability rejected" true
+    (is_err (F.configure "fsio.fsync=prob:1.5"));
+  (* A rejected spec must not disturb the installed configuration:
+     configure parses the whole spec before touching the table. *)
+  check_bool "failed configure keeps the previous fabric" true (F.enabled ());
+  F.clear ();
+  check_bool "clear disables" false (F.enabled ())
+
+let test_failpoint_fail_at_n () =
+  F.clear ();
+  F.set ~site:"codec.read" (F.Fail 3);
+  F.hit "codec.read";
+  F.hit "codec.read";
+  (match F.hit "codec.read" with
+  | () -> Alcotest.fail "third hit did not fire"
+  | exception F.Injected { site; hit } ->
+    check_string "site" "codec.read" site;
+    check_int "hit number" 3 hit);
+  F.hit "codec.read";
+  check_int "fires exactly once" 4 (F.hit_count "codec.read");
+  Alcotest.check_raises "unknown site rejected by set"
+    (Invalid_argument "Failpoint.set: unknown site \"nope\"") (fun () ->
+      F.set ~site:"nope" (F.Fail 1));
+  F.clear ()
+
+let test_failpoint_prob_deterministic () =
+  F.clear ();
+  let record () =
+    F.set ~site:"fsio.fsync" (F.Fail_prob (0.5, 42));
+    List.init 100 (fun _ ->
+        match F.hit "fsio.fsync" with
+        | () -> false
+        | exception F.Injected _ -> true)
+  in
+  let a = record () in
+  let b = record () in
+  check_bool "same seed replays the same fault pattern" true (a = b);
+  check_bool "p=0.5 actually fires" true (List.mem true a);
+  check_bool "p=0.5 actually passes" true (List.mem false a);
+  F.set ~site:"fsio.fsync" (F.Fail_prob (0.5, 43));
+  let c =
+    List.init 100 (fun _ ->
+        match F.hit "fsio.fsync" with
+        | () -> false
+        | exception F.Injected _ -> true)
+  in
+  check_bool "different seed decorrelates" true (a <> c);
+  F.clear ()
+
+let test_failpoint_short_and_bitflip () =
+  F.clear ();
+  F.set ~site:"fsio.append" (F.Short_io 4);
+  check_int "long write clamped" 4 (F.adjust_len "fsio.append" 100);
+  check_int "short write untouched" 2 (F.adjust_len "fsio.append" 2);
+  F.set ~site:"codec.read" (F.Bitflip 5);
+  let buf = String.make 32 '\000' in
+  let m1 = F.mangle "codec.read" buf in
+  check_bool "mangled copy differs from input" true (m1 <> buf);
+  let flipped_bits =
+    let n = ref 0 in
+    String.iteri
+      (fun i c ->
+        let x = Char.code c lxor Char.code buf.[i] in
+        let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+        n := !n + pop x)
+      m1;
+    !n
+  in
+  check_int "exactly one bit flipped" 1 flipped_bits;
+  F.set ~site:"codec.read" (F.Bitflip 5);
+  check_bool "same seed flips the same bit on the same hit" true
+    (F.mangle "codec.read" buf = m1);
+  F.clear ()
+
 (* ------------------------------------------------------------------ *)
 (* Json: parser and emit → parse round trip                             *)
 (* ------------------------------------------------------------------ *)
@@ -589,7 +730,24 @@ let () =
           Alcotest.test_case "sweep tmp" `Quick test_fsio_sweep_tmp;
         ] );
       ( "backoff",
-        [ Alcotest.test_case "delay schedule" `Quick test_backoff_delays ] );
+        [
+          Alcotest.test_case "delay schedule" `Quick test_backoff_delays;
+          Alcotest.test_case "decorrelated jitter" `Quick
+            test_backoff_jitter_basics;
+          QCheck_alcotest.to_alcotest prop_jitter_bounded_deterministic;
+        ] );
+      ( "failpoint",
+        [
+          Alcotest.test_case "disabled fabric is a no-op" `Quick
+            test_failpoint_disabled_noop;
+          Alcotest.test_case "spec parsing" `Quick test_failpoint_spec_parse;
+          Alcotest.test_case "fail@N fires exactly once" `Quick
+            test_failpoint_fail_at_n;
+          Alcotest.test_case "prob is seed-deterministic" `Quick
+            test_failpoint_prob_deterministic;
+          Alcotest.test_case "short/bitflip" `Quick
+            test_failpoint_short_and_bitflip;
+        ] );
       ( "json",
         [
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
