@@ -346,7 +346,7 @@ let tracing_overhead () =
       let trace =
         if traced then Some (Recorder.Trace.create ~nranks:w.H.nranks) else None
       in
-      let fs = F.create ?trace ~model:F.Posix () in
+      let fs = F.create ?trace ~model:F.posix () in
       let env =
         {
           H.fs;

@@ -90,8 +90,28 @@ let resolve_model name =
   match Verifyio.Model.by_name name with
   | Some m -> Ok m
   | None ->
-    Error
-      (Printf.sprintf "unknown model %S (POSIX, Commit, Session, MPI-IO)" name)
+    let known =
+      String.concat ", "
+        (List.map
+           (fun (m : Verifyio.Model.t) -> m.Verifyio.Model.name)
+           (Verifyio.Model.all ()))
+    in
+    Error (Printf.sprintf "unknown model %S (known: %s)" name known)
+
+(* A --models spec: "all" for the whole registry, or a comma-separated
+   list of names/aliases; default is the builtin four. *)
+let parse_models = function
+  | None -> Ok Verifyio.Model.builtin
+  | Some "all" -> Ok (Verifyio.Model.all ())
+  | Some spec ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match resolve_model (String.trim n) with
+        | Ok m -> go (m :: acc) rest
+        | Error e -> Error e)
+    in
+    go [] (String.split_on_char ',' spec)
 
 let resolve_engine = function
   | "auto" -> Ok None
@@ -535,8 +555,8 @@ let bench_cmd out tag domains_spec scale repeats smoke =
 
 (* One deterministic line summarizing a trace's oracle verdicts, printed
    per program (small runs) and per replayed corpus file. *)
-let oracle_line ~label ~nranks records =
-  let oracle = Verifyio.Oracle.verify ~nranks records in
+let oracle_line ~models ~label ~nranks records =
+  let oracle = Verifyio.Oracle.verify ~models ~nranks records in
   let conflicts =
     match oracle with
     | (_, (v : Verifyio.Oracle.verdict)) :: _ -> v.Verifyio.Oracle.conflicts
@@ -575,7 +595,7 @@ let print_divergences divs =
       Format.printf "    %a@." Viogen.Diff.pp_divergence d)
     divs
 
-let fuzz_replay path domains =
+let fuzz_replay path domains models =
   let files =
     if Sys.is_directory path then
       Sys.readdir path |> Array.to_list
@@ -595,8 +615,8 @@ let fuzz_replay path domains =
           (malformed_pos ~line ~byte ~record)
           reason
       | nranks, records ->
-        ignore (oracle_line ~label:(Filename.basename f) ~nranks records);
-        let divs = Viogen.Diff.check ~domains ~nranks records in
+        ignore (oracle_line ~models ~label:(Filename.basename f) ~nranks records);
+        let divs = Viogen.Diff.check ~models ~domains ~nranks records in
         if divs <> [] then begin
           incr bad;
           print_divergences divs
@@ -605,7 +625,7 @@ let fuzz_replay path domains =
   Printf.printf "replay: %d divergent trace(s) of %d\n" !bad (List.length files);
   if !bad = 0 then 0 else 4
 
-let fuzz_generate seed count smoke shrink save_corpus domains =
+let fuzz_generate seed count smoke shrink save_corpus domains models profile =
   let count = if smoke then 8 else count in
   Printf.printf "fuzz: seed %d, %d program(s)%s\n" seed count
     (if smoke then " (smoke)" else "");
@@ -619,10 +639,10 @@ let fuzz_generate seed count smoke shrink save_corpus domains =
   let saved = ref 0 in
   for i = 0 to count - 1 do
     let s = seed + i in
-    let p = Viogen.Workload.generate ~seed:s () in
+    let p = Viogen.Workload.generate ~profile ~seed:s () in
     let records = Viogen.Workload.run p in
     let nranks = p.Viogen.Workload.nranks in
-    let oracle = Verifyio.Oracle.verify ~nranks records in
+    let oracle = Verifyio.Oracle.verify ~models ~nranks records in
     let conflicts =
       match oracle with
       | (_, v) :: _ -> v.Verifyio.Oracle.conflicts
@@ -632,16 +652,19 @@ let fuzz_generate seed count smoke shrink save_corpus domains =
     total_pairs := !total_pairs + conflicts;
     total_racy := !total_racy + racy_verdicts oracle;
     if verbose then
-      ignore (oracle_line ~label:(Printf.sprintf "seed %d" s) ~nranks records)
+      ignore
+        (oracle_line ~models ~label:(Printf.sprintf "seed %d" s) ~nranks records)
     else if (i + 1) mod 100 = 0 then Printf.printf "  %d/%d\n%!" (i + 1) count;
-    let divs = Viogen.Diff.check ~domains ~nranks records in
+    let divs = Viogen.Diff.check ~models ~domains ~nranks records in
     if divs <> [] then begin
       divergent := s :: !divergent;
       Printf.printf "  seed %d: DIVERGENCE (%d disagreeing verdict(s))\n" s
         (List.length divs);
       print_divergences divs;
       if shrink then begin
-        let interesting q = Viogen.Diff.check_program ~domains q <> [] in
+        let interesting q =
+          Viogen.Diff.check_program ~models ~domains q <> []
+        in
         let small = Viogen.Diff.shrink ~interesting p in
         let small_records = Viogen.Workload.run small in
         Printf.printf "  shrunk %d -> %d step(s)\n"
@@ -749,8 +772,8 @@ let fuzz_resilience seed count smoke retries budget timeout_ms =
     !mutated !inventories !partial_races;
   0
 
-let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
-    retries budget timeout_ms =
+let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec
+    models_spec profile_extended resilience retries budget timeout_ms =
   let ( let* ) r f = match r with Ok v -> f v | Error e ->
     Printf.eprintf "%s\n" e;
     usage_error
@@ -760,6 +783,11 @@ let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
     match domains with
     | Some d -> d
     | None -> if smoke then [ 1; 2 ] else [ 1; 2; 3; 4 ]
+  in
+  let* models = parse_models models_spec in
+  let profile =
+    if profile_extended then Viogen.Workload.Extended
+    else Viogen.Workload.Classic
   in
   let* () =
     if retries < 0 then Error "retries must be >= 0"
@@ -778,12 +806,13 @@ let fuzz_cmd seed count smoke shrink replay save_corpus domains_spec resilience
   else
     match replay with
     | Some path ->
-      if Sys.file_exists path then fuzz_replay path domains
+      if Sys.file_exists path then fuzz_replay path domains models
       else begin
         Printf.eprintf "no such trace or directory: %s\n" path;
         usage_error
       end
-    | None -> fuzz_generate seed count smoke shrink save_corpus domains
+    | None ->
+      fuzz_generate seed count smoke shrink save_corpus domains models profile
 
 (* ---- verification as a service: serve / submit / chaos ---- *)
 
@@ -945,7 +974,7 @@ let torture_cmd seeds base_seed root smoke quiet =
   if r.Serve.Torture.t_violations = [] then 0 else 4
 
 let models_cmd () =
-  print_string (Verifyio.Report.table_i ());
+  print_string (Verifyio.Report.table_models ());
   0
 
 let coverage_cmd () =
@@ -1139,7 +1168,7 @@ let report_term =
 
 let tag_arg =
   Arg.(
-    value & opt string "pr9"
+    value & opt string "pr10"
     & info [ "tag" ] ~docv:"TAG"
         ~doc:
           "Report tag; names the default output file $(b,BENCH_<TAG>.json) \
@@ -1242,11 +1271,32 @@ let timeout_ms_opt_arg =
            time is load-dependent, unlike steps) and reported as timed \
            out when the retry allowance is spent.")
 
+let fuzz_models_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "models" ] ~docv:"SPEC"
+        ~doc:
+          "Models to verify differentially: $(b,all) for the whole registry, \
+           or a comma-separated list of registered names or aliases (e.g. \
+           $(b,nfs,commit-ps)). Default: the builtin four.")
+
+let fuzz_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "extended" ]
+        ~doc:
+          "Generate with the extended workload profile: checkpoint/restart \
+           cycles, cross-phase producer-consumer handoffs, third-party \
+           commits, read-modify-write, truncation, and up to four files — \
+           the shapes the extended consistency models distinguish.")
+
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_smoke_arg
     $ fuzz_shrink_arg $ fuzz_replay_arg $ fuzz_save_corpus_arg $ domains_arg
-    $ fuzz_resilience_arg $ retries_arg $ budget_arg $ timeout_ms_opt_arg)
+    $ fuzz_models_arg $ fuzz_profile_arg $ fuzz_resilience_arg $ retries_arg
+    $ budget_arg $ timeout_ms_opt_arg)
 
 (* ---- serve / submit / chaos argument sets ---- *)
 

@@ -67,10 +67,10 @@ let () =
           (fun fsmodel ->
             let _, seen = run_variant variant fsmodel in
             if seen = "record-1" then "ok" else "STALE")
-          [ F.Posix; F.Commit; F.Session ]
+          [ F.posix; F.commit; F.session ]
       in
       (* The prediction comes from verifying the POSIX-run trace. *)
-      let records, _ = run_variant variant F.Posix in
+      let records, _ = run_variant variant F.posix in
       let prediction =
         List.filter_map
           (fun (m, o) ->

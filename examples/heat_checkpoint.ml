@@ -120,7 +120,7 @@ let simulation ~proper (ctx : E.ctx) sys =
 
 let run_variant ~proper =
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let sys = P.create_system ~fs () in
   let eng = E.create ~trace ~nranks () in
   E.run eng (fun ctx -> simulation ~proper ctx sys);

@@ -17,7 +17,7 @@ let () =
   print_endline "== Step 1: run the program and collect a trace ==";
   let nranks = 2 in
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let eng = E.create ~trace ~nranks () in
   E.run eng (fun ctx ->
       let rank = ctx.E.rank in

@@ -49,11 +49,11 @@ let verdicts records =
 
 let () =
   print_endline "== Fig. 6 left: H5Dwrite; MPI_Barrier; H5Dread ==";
-  let records, _ = pattern ~with_flush:false ~fsmodel:F.Posix in
+  let records, _ = pattern ~with_flush:false ~fsmodel:F.posix in
   Printf.printf "verdicts: %s\n" (verdicts records);
 
   print_endline "\n== Fig. 6 right: + H5Fflush on both sides of the barrier ==";
-  let records, _ = pattern ~with_flush:true ~fsmodel:F.Posix in
+  let records, _ = pattern ~with_flush:true ~fsmodel:F.posix in
   Printf.printf "verdicts: %s\n" (verdicts records);
 
   print_endline "\n== Why it matters: the same code on different file systems ==";
@@ -64,7 +64,7 @@ let () =
       Printf.printf
         "  %-7s fs: barrier-only read = %-10S  flushed read = %S\n"
         (F.model_to_string fsmodel) stale fresh)
-    [ F.Posix; F.Commit; F.Session ];
+    [ F.posix; F.commit; F.session ];
   print_endline
     "\nOn POSIX file systems the shortcut is invisible; on commit/session\n\
      systems the barrier-only variant returns stale data — the silent\n\

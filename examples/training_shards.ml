@@ -88,7 +88,7 @@ let job ~proper (ctx : E.ctx) sys =
 
 let run_variant ~proper =
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let sys = H5.create_system ~fs in
   let eng = E.create ~trace ~nranks () in
   E.run eng (fun ctx -> job ~proper ctx sys);

@@ -1,7 +1,13 @@
 type edge = Po | Hb
 
+type shape = {
+  sh_class : [ `Open | `Close | `Sync ];
+  sh_api : Estore.api option;  (* None = any API flavour *)
+}
+
 type sync_pred = {
   sp_name : string;
+  sp_shapes : shape list option;
   sp_matches : Estore.t -> int -> fid:int -> bool;
 }
 
@@ -9,6 +15,7 @@ type msc = { edges : edge list; syncs : sync_pred list }
 
 type t = {
   name : string;
+  aliases : string list;
   sync_set : string list;
   msc_desc : string;
   mscs : msc list;
@@ -18,10 +25,10 @@ let check_msc m =
   if List.length m.edges <> List.length m.syncs + 1 then
     invalid_arg "Model: an MSC needs exactly one more edge than sync ops"
 
-let make ~name ~sync_set ~msc_desc ~mscs =
+let make ?(aliases = []) ~name ~sync_set ~msc_desc ~mscs () =
   if mscs = [] then invalid_arg "Model: at least one MSC required";
   List.iter check_msc mscs;
-  { name; sync_set; msc_desc; mscs }
+  { name; aliases; sync_set; msc_desc; mscs }
 
 (* Predicates over decoded operations, scoped to the conflicting file. *)
 
@@ -36,53 +43,59 @@ let sync_shape e i ~fid =
   else if t = E.tag_sync then Some (`Sync, E.api_of e i)
   else None
 
-let commit_pred =
+let shape_matches sh (cls, api) =
+  sh.sh_class = cls
+  && match sh.sh_api with None -> true | Some a -> api = Some a
+
+(* A predicate whose meaning is exactly a finite set of shapes. Keeping
+   the denotation next to the closure is what lets {!implies} decide
+   predicate entailment without running anything. *)
+let pred ~name shapes =
   {
-    sp_name = "commit";
+    sp_name = name;
+    sp_shapes = Some shapes;
     sp_matches =
       (fun e i ~fid ->
-        match sync_shape e i ~fid with Some (`Sync, _) -> true | _ -> false);
+        match sync_shape e i ~fid with
+        | None -> false
+        | Some got -> List.exists (fun sh -> shape_matches sh got) shapes);
   }
+
+let opaque_pred ~name matches =
+  { sp_name = name; sp_shapes = None; sp_matches = matches }
+
+let commit_pred = pred ~name:"commit" [ { sh_class = `Sync; sh_api = None } ]
 
 let session_close_pred =
-  {
-    sp_name = "session_close";
-    sp_matches =
-      (fun e i ~fid ->
-        match sync_shape e i ~fid with Some (`Close, _) -> true | _ -> false);
-  }
+  pred ~name:"session_close" [ { sh_class = `Close; sh_api = None } ]
 
 let session_open_pred =
-  {
-    sp_name = "session_open";
-    sp_matches =
-      (fun e i ~fid ->
-        match sync_shape e i ~fid with Some (`Open, _) -> true | _ -> false);
-  }
+  pred ~name:"session_open" [ { sh_class = `Open; sh_api = None } ]
 
 let mpiio_s1_pred =
-  {
-    sp_name = "MPI_File_close|MPI_File_sync";
-    sp_matches =
-      (fun e i ~fid ->
-        match sync_shape e i ~fid with
-        | Some ((`Close | `Sync), Some Estore.Mpiio_handle) -> true
-        | _ -> false);
-  }
+  pred ~name:"MPI_File_close|MPI_File_sync"
+    [
+      { sh_class = `Close; sh_api = Some Estore.Mpiio_handle };
+      { sh_class = `Sync; sh_api = Some Estore.Mpiio_handle };
+    ]
 
 let mpiio_s2_pred =
-  {
-    sp_name = "MPI_File_sync|MPI_File_open";
-    sp_matches =
-      (fun e i ~fid ->
-        match sync_shape e i ~fid with
-        | Some ((`Sync | `Open), Some Estore.Mpiio_handle) -> true
-        | _ -> false);
-  }
+  pred ~name:"MPI_File_sync|MPI_File_open"
+    [
+      { sh_class = `Sync; sh_api = Some Estore.Mpiio_handle };
+      { sh_class = `Open; sh_api = Some Estore.Mpiio_handle };
+    ]
+
+let fd_close_pred =
+  pred ~name:"fd_close" [ { sh_class = `Close; sh_api = Some Estore.Fd } ]
+
+let fd_open_pred =
+  pred ~name:"fd_open" [ { sh_class = `Open; sh_api = Some Estore.Fd } ]
 
 let posix =
   {
     name = "POSIX";
+    aliases = [];
     sync_set = [];
     msc_desc = "-hb->";
     mscs = [ { edges = [ Hb ]; syncs = [] } ];
@@ -91,6 +104,7 @@ let posix =
 let commit =
   {
     name = "Commit";
+    aliases = [];
     sync_set = [ "commit" ];
     msc_desc = "-hb-> commit -hb->";
     mscs = [ { edges = [ Hb; Hb ]; syncs = [ commit_pred ] } ];
@@ -99,6 +113,7 @@ let commit =
 let session =
   {
     name = "Session";
+    aliases = [];
     sync_set = [ "session_close"; "session_open" ];
     msc_desc = "-po-> session_close -hb-> session_open -po->";
     mscs =
@@ -113,17 +128,192 @@ let session =
 let mpi_io =
   {
     name = "MPI-IO";
+    aliases = [ "mpiio-nonatomic" ];
     sync_set = [ "MPI_File_sync"; "MPI_File_close"; "MPI_File_open" ];
     msc_desc = "-po-> {close|sync} -hb-> {sync|open} -po->";
     mscs =
       [ { edges = [ Po; Hb; Po ]; syncs = [ mpiio_s1_pred; mpiio_s2_pred ] } ];
   }
 
+let close_to_open =
+  {
+    name = "Close-to-open";
+    aliases = [ "nfs"; "c2o" ];
+    sync_set = [ "fd_close"; "fd_open" ];
+    msc_desc = "-po-> fd_close -hb-> fd_open -po->";
+    mscs =
+      [ { edges = [ Po; Hb; Po ]; syncs = [ fd_close_pred; fd_open_pred ] } ];
+  }
+
+let commit_ps =
+  {
+    name = "Commit-PS";
+    aliases = [ "per-syncer-commit" ];
+    sync_set = [ "commit" ];
+    msc_desc = "-po-> commit -hb->";
+    mscs = [ { edges = [ Po; Hb ]; syncs = [ commit_pred ] } ];
+  }
+
+let mpi_io_atomic =
+  {
+    name = "MPI-IO-Atomic";
+    aliases = [ "atomic" ];
+    sync_set = [];
+    msc_desc = "-hb-> (atomic mode)";
+    mscs = [ { edges = [ Hb ]; syncs = [] } ];
+  }
+
 let builtin = [ posix; commit; session; mpi_io ]
 
+(* ---------------------------------------------------------------- *)
+(* Registry                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let norm x =
+  String.lowercase_ascii
+    (String.concat ""
+       (List.concat_map (String.split_on_char '_') (String.split_on_char '-' x)))
+
+let names_of m = norm m.name :: List.map norm m.aliases
+
+let registered : t list ref = ref []
+
+let all () = builtin @ !registered
+
+let register m =
+  let taken = List.concat_map names_of (all ()) in
+  List.iter
+    (fun n ->
+      if List.mem n taken then
+        invalid_arg
+          (Printf.sprintf "Model.register: name or alias %S already taken" n))
+    (names_of m);
+  registered := !registered @ [ m ]
+
 let by_name s =
-  let norm x =
-    String.lowercase_ascii
-      (String.concat "" (String.split_on_char '-' x))
+  let n = norm s in
+  List.find_opt (fun m -> List.mem n (names_of m)) (all ())
+
+(* The extended instances ship registered, not builtin: [builtin] is the
+   paper's four-tuple and stays the default model set everywhere (the
+   golden-digest gate depends on that), while [all] exposes the full
+   lattice. *)
+let () = List.iter register [ close_to_open; commit_ps; mpi_io_atomic ]
+
+(* ---------------------------------------------------------------- *)
+(* Strength order                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* The denotation of a shape as a finite set of (class, api) atoms, so
+   wildcard-API shapes compare extensionally against specific ones. The
+   [None] api atom stands for operations whose API flavour the store
+   could not attribute. *)
+let shape_atoms sh =
+  match sh.sh_api with
+  | Some a -> [ (sh.sh_class, Some a) ]
+  | None ->
+    List.map
+      (fun a -> (sh.sh_class, a))
+      [ Some Estore.Fd; Some Estore.Stream; Some Estore.Mpiio_handle; None ]
+
+let shapes_subset s1 s2 =
+  let atoms shs = List.concat_map shape_atoms shs in
+  let a2 = atoms s2 in
+  List.for_all (fun atom -> List.mem atom a2) (atoms s1)
+
+(* Does every operation matched by [p1] also match [p2]? Decidable only
+   for shape-backed predicates; opaque closures entail only themselves. *)
+let pred_implies p1 p2 =
+  p1 == p2
+  ||
+  match (p1.sp_shapes, p2.sp_shapes) with
+  | Some s1, Some s2 -> shapes_subset s1 s2
+  | _ -> false
+
+let edge_ok d all_po = match d with Po -> all_po | Hb -> true
+
+(* [msc_subsumes a b]: any instantiation of MSC [a] between a conflicting
+   pair also instantiates MSC [b] — i.e. there is an order-preserving
+   injective embedding of [b]'s sync chain into [a]'s where each mapped
+   predicate of [a] entails [b]'s, every segment of [a]-edges standing in
+   for a [Po] edge of [b] is all-[Po], and every segment is non-empty
+   (so a [Hb] edge of [b] is witnessed by the composed path). *)
+let msc_subsumes (a : msc) (b : msc) =
+  let rec pair_chain edges syncs =
+    match (edges, syncs) with
+    | e :: edges, s :: syncs -> (s, e) :: pair_chain edges syncs
+    | [], [] -> []
+    | _ -> assert false
   in
-  List.find_opt (fun m -> norm m.name = norm s) builtin
+  match (a.edges, b.edges) with
+  | ea0 :: ea, eb0 :: eb ->
+    let achain = pair_chain ea a.syncs in
+    let bchain = pair_chain eb b.syncs in
+    (* [d] is the current [b]-edge being covered; [all_po] whether the
+       [a]-edges consumed into it so far are all program order. *)
+    let rec go d all_po achain bchain =
+      match achain with
+      | [] -> bchain = [] && edge_ok d all_po
+      | (s1, e1) :: arest ->
+        (* skip [s1]: absorb its following edge into the current segment *)
+        go d (all_po && e1 = Po) arest bchain
+        ||
+        (* or match [s1] against [b]'s next sync *)
+        (match bchain with
+        | (s2, e2) :: brest ->
+          edge_ok d all_po && pred_implies s1 s2 && go e2 (e1 = Po) arest brest
+        | [] -> false)
+    in
+    go eb0 (ea0 = Po) achain bchain
+  | _ -> false
+
+(* [implies m1 m2]: a conflicting pair properly synchronized under [m1]
+   is properly synchronized under [m2] — m1's synchronization discipline
+   is at least as demanding. Derived structurally: every MSC of [m1]
+   must subsume some MSC of [m2]. *)
+let implies m1 m2 =
+  List.for_all
+    (fun a -> List.exists (fun b -> msc_subsumes a b) m2.mscs)
+    m1.mscs
+
+let equivalent m1 m2 = implies m1 m2 && implies m2 m1
+
+(* ---------------------------------------------------------------- *)
+(* Definition digest                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let shape_to_string sh =
+  let cls =
+    match sh.sh_class with `Open -> "open" | `Close -> "close" | `Sync -> "sync"
+  in
+  let api =
+    match sh.sh_api with
+    | None -> "*"
+    | Some Estore.Fd -> "fd"
+    | Some Estore.Stream -> "stream"
+    | Some Estore.Mpiio_handle -> "mpiio"
+  in
+  cls ^ ":" ^ api
+
+let pred_to_string p =
+  p.sp_name ^ "="
+  ^
+  match p.sp_shapes with
+  | None -> "<opaque>"
+  | Some shs -> String.concat "|" (List.map shape_to_string shs)
+
+let edge_to_string = function Po -> "po" | Hb -> "hb"
+
+let msc_to_string (m : msc) =
+  let rec go edges syncs =
+    match (edges, syncs) with
+    | e :: edges, s :: syncs ->
+      edge_to_string e :: pred_to_string s :: go edges syncs
+    | [ e ], [] -> [ edge_to_string e ]
+    | _ -> assert false
+  in
+  String.concat " " (go m.edges m.syncs)
+
+let msc_digest m =
+  Vio_util.Sha256.digest_string
+    (String.concat "\n" (m.name :: List.map msc_to_string m.mscs))

@@ -1,5 +1,5 @@
 (** Consistency-model specifications (the unified framework of §III-A,
-    paper Table I).
+    paper Table I), organised as an open lattice.
 
     A model is a set of minimum synchronization constructs (MSCs, Def. 5):
     alternating edges and synchronization-operation predicates
@@ -19,13 +19,41 @@
       MSC = [po s1 hb s2 po] with s1 ∈ {close, sync}, s2 ∈ {sync, open} —
       the sync-barrier-sync construct.
 
-    Custom models can be assembled from the same pieces. *)
+    Three further instances ship {e registered} rather than builtin, so
+    the paper's four-tuple stays the default everywhere while the full
+    set is one {!all} away:
+
+    - {b Close-to-open} (alias [nfs], [c2o]): NFS semantics — only a
+      {e descriptor} close publishes and only a descriptor open
+      revalidates; MSC = [po fd_close hb fd_open po]. Strictly stronger
+      than Session, whose close/open predicates accept any API.
+    - {b Commit-PS} (alias [per-syncer-commit]): only the syncing rank's
+      own writes publish, so the commit must be program-ordered after
+      the write; MSC = [po commit hb]. Strictly stronger than Commit.
+    - {b MPI-IO-Atomic} (alias [atomic]): MPI-IO atomic mode — writes
+      are visible as soon as ordering is established, no sync-barrier-
+      sync needed; MSC = [hb], making it equivalent in strength to POSIX
+      while keeping its own visibility engine.
+
+    Custom models can be assembled from the same pieces with {!make} and
+    {!register}ed; {!implies} orders any two models structurally. *)
 
 type edge = Po | Hb
 (** An MSC edge: same-rank program order, or general happens-before. *)
 
+type shape = {
+  sh_class : [ `Open | `Close | `Sync ];
+  sh_api : Estore.api option;  (** [None] matches every API flavour *)
+}
+(** The extensional denotation of a sync predicate: which file-scoped
+    operation classes it accepts. Keeping this next to the matching
+    closure is what lets {!implies} decide predicate entailment. *)
+
 type sync_pred = {
   sp_name : string;  (** e.g. ["commit"], ["session_close"] *)
+  sp_shapes : shape list option;
+      (** the predicate's denotation; [None] marks an opaque closure,
+          which {!implies} treats as entailing only itself *)
   sp_matches : Estore.t -> int -> fid:int -> bool;
       (** does the op at this index synchronize the given file? *)
 }
@@ -35,10 +63,20 @@ type msc = { edges : edge list; syncs : sync_pred list }
 
 type t = {
   name : string;
+  aliases : string list;  (** extra {!by_name} spellings, e.g. ["nfs"] *)
   sync_set : string list;  (** display form of S for Table I *)
   msc_desc : string;  (** display form of the MSC for Table I *)
   mscs : msc list;  (** alternatives; any one suffices *)
 }
+
+val pred : name:string -> shape list -> sync_pred
+(** A predicate that accepts exactly the given shapes, with the
+    denotation recorded for {!implies}. *)
+
+val opaque_pred :
+  name:string -> (Estore.t -> int -> fid:int -> bool) -> sync_pred
+(** Escape hatch: a predicate from a bare closure. Sound but
+    order-opaque — {!implies} never equates it with anything else. *)
 
 val posix : t
 (** Table I row 1: S = {}, MSC = [hb]. *)
@@ -52,17 +90,63 @@ val session : t
 val mpi_io : t
 (** Table I row 4: the sync-barrier-sync construct. *)
 
+val close_to_open : t
+(** NFS close-to-open: descriptor close publishes, descriptor open
+    revalidates. Registered, not builtin. *)
+
+val commit_ps : t
+(** Per-syncer commit: the committing rank publishes only its own
+    writes, so MSC = [po commit hb]. Registered, not builtin. *)
+
+val mpi_io_atomic : t
+(** MPI-IO atomic mode: MSC = [hb]. Registered, not builtin. *)
+
 val builtin : t list
-(** The four models, in the paper's order. *)
+(** The four paper models, in Table I order — the default model set of
+    every pipeline entry point (the golden-digest gate locks this). *)
+
+val all : unit -> t list
+(** [builtin] followed by every registered model in registration order;
+    the three extended instances above are pre-registered. *)
+
+val register : t -> unit
+(** Add a model to the registry. Raises [Invalid_argument] when its name
+    or any alias collides (case- and separator-insensitively) with an
+    existing model's. *)
 
 val by_name : string -> t option
-(** Case-insensitive lookup among the builtins. *)
+(** Case-insensitive lookup over the whole registry, names and aliases,
+    ignoring [-]/[_] separators (so ["mpiio"], ["MPI-IO"] and ["nfs"]
+    all resolve). *)
+
+val implies : t -> t -> bool
+(** [implies m1 m2]: every conflicting pair properly synchronized under
+    [m1] is properly synchronized under [m2] — [m1] demands at least as
+    much synchronization. Derived structurally from MSC subsumption:
+    each MSC of [m1] must embed some MSC of [m2] order-preservingly,
+    with predicate entailment decided on {!shape} denotations and [Po]
+    edges of [m2] requiring all-[Po] segments of [m1]. Reflexive and
+    transitive; sound by construction, and exercised as a tested
+    invariant by the lattice-monotonicity fuzz property. *)
+
+val equivalent : t -> t -> bool
+(** Mutual {!implies} — e.g. [MPI-IO-Atomic] and [POSIX]. *)
+
+val msc_digest : t -> string
+(** A digest of the model's {e definition}: its name plus the canonical
+    rendering of every MSC (edges, predicate names, shape denotations).
+    Two models whose verdicts could differ get different digests, so
+    caches keyed on it can never serve a stale verdict for a redefined
+    model. Opaque predicates render as their name plus an opacity
+    marker. *)
 
 val make :
+  ?aliases:string list ->
   name:string ->
   sync_set:string list ->
   msc_desc:string ->
   mscs:msc list ->
+  unit ->
   t
 (** Build a custom model. Raises [Invalid_argument] if any MSC's edge and
     sync counts are inconsistent, or no MSC is given. *)

@@ -336,10 +336,8 @@ let verify ?engine ?shard_domains ?(pruning = true) ?(mode = D.Strict)
   in
   verify_prepared ~pruning ~model p
 
-let verify_all_models ?engine ~nranks records =
-  List.map
-    (fun model -> (model, verify ?engine ~model ~nranks records))
-    Model.builtin
+let verify_all_models ?engine ?(models = Model.builtin) ~nranks records =
+  List.map (fun model -> (model, verify ?engine ~model ~nranks records)) models
 
 let verify_shared ?engine ?shard_domains ?(pruning = true) ?(mode = D.Strict)
     ?(upstream = []) ?partial ?budget ?sweep_domains ?(models = Model.builtin)

@@ -195,10 +195,12 @@ val verify :
 
 val verify_all_models :
   ?engine:Reach.engine ->
+  ?models:Model.t list ->
   nranks:int ->
   Recorder.Record.t list ->
   (Model.t * outcome) list
-(** One {e independent} pass per builtin model, sharing nothing — each
+(** One {e independent} pass per model (default {!Model.builtin}),
+    sharing nothing — each
     timed end-to-end, re-deriving the trace artifacts every time. This is
     the sequential baseline the bench compares the batch engine against;
     prefer {!verify_shared} when the timings need not be independent. *)

@@ -158,6 +158,33 @@ let table_i () =
     Model.builtin;
   T.render t
 
+let table_models () =
+  let models = Model.all () in
+  let t =
+    T.create
+      ~headers:[ "Consistency Models"; "Aliases"; "S"; "MSC"; "Implies" ]
+  in
+  List.iter
+    (fun (m : Model.t) ->
+      let weaker =
+        List.filter
+          (fun (o : Model.t) -> o.Model.name <> m.Model.name && Model.implies m o)
+          models
+      in
+      T.add_row t
+        [
+          m.Model.name ^ " Consistency";
+          (match m.Model.aliases with [] -> "-" | l -> String.concat ", " l);
+          "{" ^ String.concat ", " m.Model.sync_set ^ "}";
+          m.Model.msc_desc;
+          (match weaker with
+          | [] -> "-"
+          | l ->
+            String.concat ", " (List.map (fun (o : Model.t) -> o.Model.name) l));
+        ])
+    models;
+  T.render t
+
 let table_ii () =
   let t = T.create ~headers:[ "Tracing Tool"; "HDF5"; "NetCDF"; "PnetCDF" ] in
   T.set_aligns t [ T.Left; T.Right; T.Right; T.Right ];

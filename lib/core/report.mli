@@ -36,6 +36,12 @@ val summary_line : name:string -> Pipeline.outcome -> string
 val table_i : unit -> string
 (** Regenerates the paper's Table I (S and MSC per builtin model). *)
 
+val table_models : unit -> string
+(** The full registry as a Table-I-style table with two extra columns:
+    each model's aliases and its lattice edges — the other registered
+    models it {!Model.implies} (every strictly weaker model, plus
+    equivalents). *)
+
 val table_ii : unit -> string
 (** Regenerates Table II (Recorder vs Recorder+ API coverage). *)
 

@@ -32,18 +32,19 @@ let subject_names ~domains =
   @ [ "sequential"; "shared" ]
   @ List.map (fun k -> Printf.sprintf "batch:%d" k) domains
 
-let subjects ~domains ~nranks records : (string * verdict list) list =
+let subjects ~models ~domains ~nranks records : (string * verdict list) list =
   List.map
     (fun e ->
       ( "engine:" ^ V.Reach.engine_name e,
-        of_outcomes (P.verify_shared ~engine:e ~nranks records) ))
+        of_outcomes (P.verify_shared ~engine:e ~models ~nranks records) ))
     V.Reach.all_engines
-  @ [ ("sequential", of_outcomes (P.verify_all_models ~nranks records));
-      ("shared", of_outcomes (P.verify_shared ~nranks records)) ]
+  @ [ ("sequential", of_outcomes (P.verify_all_models ~models ~nranks records));
+      ("shared", of_outcomes (P.verify_shared ~models ~nranks records)) ]
   @ List.map
       (fun k ->
         let results =
-          V.Batch.run ~domains:k [ V.Batch.job ~name:"fuzz" ~nranks records ]
+          V.Batch.run ~domains:k
+            [ V.Batch.job ~name:"fuzz" ~models ~nranks records ]
         in
         ( Printf.sprintf "batch:%d" k,
           of_outcomes (List.hd results).V.Batch.outcomes ))
@@ -64,9 +65,10 @@ let pp_divergence fmt d =
   Format.fprintf fmt "subject %s model %s:@.  oracle %s@.  got    %s" d.subject
     d.model d.expected d.got
 
-let check ?mutation ?(domains = default_domains) ~nranks records =
+let check ?mutation ?(models = V.Model.builtin) ?(domains = default_domains)
+    ~nranks records =
   let oracle =
-    V.Oracle.verify ~nranks records
+    V.Oracle.verify ~models ~nranks records
     |> List.map (fun ((m : V.Model.t), (v : V.Oracle.verdict)) ->
            (m.V.Model.name, v.V.Oracle.races, v.V.Oracle.conflicts,
             v.V.Oracle.unmatched))
@@ -78,7 +80,7 @@ let check ?mutation ?(domains = default_domains) ~nranks records =
       String.length subject >= String.length mu.target
       && String.sub subject 0 (String.length mu.target) = mu.target
   in
-  subjects ~domains ~nranks records
+  subjects ~models ~domains ~nranks records
   |> List.concat_map (fun (subject, verdicts) ->
          List.concat_map
            (fun (model, races, conflicts, unmatched) ->
@@ -96,8 +98,8 @@ let check ?mutation ?(domains = default_domains) ~nranks records =
              else [])
            verdicts)
 
-let check_program ?mutation ?domains (p : Workload.program) =
-  check ?mutation ?domains ~nranks:p.Workload.nranks (Workload.run p)
+let check_program ?mutation ?models ?domains (p : Workload.program) =
+  check ?mutation ?models ?domains ~nranks:p.Workload.nranks (Workload.run p)
 
 let shrink ?(budget = 400) ~interesting (p : Workload.program) =
   let remove (q : Workload.program) lo n =

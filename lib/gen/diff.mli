@@ -2,7 +2,8 @@
     the naive {!Verifyio.Oracle}, plus greedy shrinking of programs
     whose verdicts diverge.
 
-    One {!check} compares, per builtin model, the race-pair set,
+    One {!check} compares, per model (default the builtin four; any
+    registry subset via [?models]), the race-pair set,
     conflict-pair count and unmatched-MPI count of each subject against
     the oracle's:
 
@@ -42,6 +43,7 @@ val subject_names : domains:int list -> string list
 
 val check :
   ?mutation:mutation ->
+  ?models:Verifyio.Model.t list ->
   ?domains:int list ->
   nranks:int ->
   Recorder.Record.t list ->
@@ -51,7 +53,11 @@ val check :
     trace (generated traces never are). *)
 
 val check_program :
-  ?mutation:mutation -> ?domains:int list -> Workload.program -> divergence list
+  ?mutation:mutation ->
+  ?models:Verifyio.Model.t list ->
+  ?domains:int list ->
+  Workload.program ->
+  divergence list
 (** {!Workload.run} then {!check}. *)
 
 val shrink :

@@ -7,6 +7,8 @@ type comm = World | Split of int
 
 type coll = Barrier | Allreduce | Bcast | Allgather | Ibarrier
 
+type profile = Classic | Extended
+
 type step =
   | Pwrite of { rank : int; file : int; off : int; len : int }
   | Pread of { rank : int; file : int; off : int; len : int }
@@ -24,6 +26,27 @@ type step =
   | M_sync of { handle : int }
   | M_close of { handle : int }
   | Overlap_ibarrier of { file : int; off : int; len : int }
+  | Ckpt of { file : int; stride : int; publish : int }
+  | Restart of { file : int; stride : int; shift : int }
+  | Handoff of {
+      file : int;
+      off : int;
+      len : int;
+      producer : int;
+      consumer : int;
+      via_stream : bool;
+      publish : int;
+      notify : int;
+    }
+  | Foreign_sync of {
+      file : int;
+      writer : int;
+      syncer : int;
+      off : int;
+      len : int;
+    }
+  | Rmw of { rank : int; file : int; off : int; len : int }
+  | Trunc of { rank : int; file : int; size : int }
 
 type program = {
   seed : int;
@@ -50,16 +73,19 @@ let rand r n =
 
 let pick r l = List.nth l (rand r (List.length l))
 
-let generate ?(max_steps = 16) ?nranks ~seed () =
+let generate ?(max_steps = 16) ?nranks ?(profile = Classic) ~seed () =
   let r = mk_rng seed in
   (* The default rank draw always happens, even under an override, so a
      given seed's rand stream — and therefore every historical golden
-     digest — is byte-identical whether or not [?nranks] is passed. *)
+     digest — is byte-identical whether or not [?nranks] is passed. The
+     same discipline gates every [Extended] widening: under [Classic]
+     (the default) not a single extra draw happens. *)
   let default_nranks = 2 + rand r 3 in
   let nranks =
     match nranks with Some n when n >= 2 -> n | Some _ | None -> default_nranks
   in
   let nfiles = 1 + rand r 2 in
+  let nfiles = if profile = Extended then 1 + rand r 4 else nfiles in
   let nsteps = 4 + rand r (max 1 (max_steps - 3)) in
   (* High rank counts get more communicator structure: up to four
      concurrent splits with data-dependent fan-out instead of the
@@ -129,10 +155,41 @@ let generate ?(max_steps = 16) ?nranks ~seed () =
         open_handles := List.filter (fun h -> h <> handle) !open_handles;
         [ M_close { handle } ])
   in
+  (* The workload shapes only the extended models distinguish: striped
+     checkpoint/restart cycles with N→M rank remapping, producer-consumer
+     handoffs across phases (optionally through a stream, the NFS corner),
+     third-party commits (Commit vs Commit-PS), read-modify-write and
+     truncation. Each expansion is self-contained — every rank executes
+     the same collectives inside it — preserving the subset-closure
+     property shrinking relies on. *)
+  let extended_op () =
+    let stride () = 4 + (4 * rand r 3) in
+    match rand r 10 with
+    | 0 | 1 -> [ Ckpt { file = file (); stride = stride (); publish = rand r 3 } ]
+    | 2 | 3 ->
+      let f = file () and s = stride () in
+      [ Ckpt { file = f; stride = s; publish = rand r 3 };
+        Restart { file = f; stride = s; shift = 1 + rand r (nranks - 1) } ]
+    | 4 | 5 ->
+      let producer = rank () in
+      let consumer = (producer + 1 + rand r (nranks - 1)) mod nranks in
+      [ Handoff
+          { file = file (); off = off (); len = 1 + rand r 8; producer;
+            consumer; via_stream = rand r 2 = 0; publish = rand r 3;
+            notify = rand r 3 } ]
+    | 6 | 7 ->
+      [ Foreign_sync
+          { file = file (); writer = rank (); syncer = rank (); off = off ();
+            len = 1 + rand r 8 } ]
+    | 8 -> [ Rmw { rank = rank (); file = file (); off = off (); len = 1 + rand r 8 } ]
+    | _ -> [ Trunc { rank = rank (); file = file (); size = rand r 48 } ]
+  in
   let rec build acc n =
     if n <= 0 then List.rev acc
     else
       let emitted =
+        if profile = Extended && rand r 100 < 30 then extended_op ()
+        else
         match rand r 100 with
         | w when w < 32 -> [ data_op () ]
         | w when w < 44 -> sync_idiom ()
@@ -292,7 +349,78 @@ let interpret (p : program) (ctx : E.ctx) fs =
       | Overlap_ibarrier { file; off; len } ->
         let rq = M.ibarrier ctx world in
         ignore (F.pwrite fs ~rank fds.(file) ~off:(off + (rank * len)) (payload i len));
-        ignore (M.wait ctx rq))
+        ignore (M.wait ctx rq)
+      | Ckpt { file; stride; publish } ->
+        ignore (F.pwrite fs ~rank fds.(file) ~off:(rank * stride) (payload i stride));
+        (match publish with
+        | 0 -> F.fsync fs ~rank fds.(file)
+        | 1 ->
+          F.close fs ~rank fds.(file);
+          fds.(file) <-
+            F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] (fname file)
+        | _ -> ());
+        M.barrier ctx world
+      | Restart { file; stride; shift } ->
+        (* the restarted job reads the stripe another rank wrote *)
+        let src = (rank + shift) mod p.nranks in
+        ignore (F.pread fs ~rank fds.(file) ~off:(src * stride) ~len:stride)
+      | Handoff { file; off; len; producer; consumer; via_stream; publish; notify }
+        ->
+        if rank = producer then
+          if via_stream then begin
+            let s = F.fopen fs ~rank ~mode:"r+" (fname file) in
+            F.fseek fs ~rank s ~off F.SEEK_SET;
+            ignore (F.fwrite fs ~rank s ~size:1 ~nitems:len (payload i len));
+            if publish = 0 then F.fflush fs ~rank s;
+            F.fclose fs ~rank s
+          end
+          else begin
+            ignore (F.pwrite fs ~rank fds.(file) ~off (payload i len));
+            match publish with
+            | 0 -> F.fsync fs ~rank fds.(file)
+            | 1 ->
+              F.close fs ~rank fds.(file);
+              fds.(file) <-
+                F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] (fname file)
+            | _ -> ()
+          end;
+        (match notify with
+        | 0 -> M.barrier ctx world
+        | 1 ->
+          let sz = M.comm_size ctx world in
+          let cr = M.comm_rank ctx world in
+          if sz > 1 then begin
+            if cr > 0 then ignore (M.recv ctx ~src:(cr - 1) ~tag ~comm:world);
+            if cr < sz - 1 then
+              M.send ctx ~dst:(cr + 1) ~tag ~comm:world (payload i 1)
+          end
+        | _ ->
+          if producer <> consumer then begin
+            if rank = producer then
+              M.send ctx ~dst:consumer ~tag ~comm:world (payload i 1);
+            if rank = consumer then
+              ignore (M.recv ctx ~src:producer ~tag ~comm:world)
+          end);
+        if rank = consumer then begin
+          F.close fs ~rank fds.(file);
+          fds.(file) <-
+            F.openf fs ~rank ~flags:[ F.O_CREAT; F.O_RDWR ] (fname file);
+          ignore (F.pread fs ~rank fds.(file) ~off ~len)
+        end
+      | Foreign_sync { file; writer; syncer; off; len } ->
+        if rank = writer then
+          ignore (F.pwrite fs ~rank fds.(file) ~off (payload i len));
+        M.barrier ctx world;
+        if rank = syncer then F.fsync fs ~rank fds.(file);
+        M.barrier ctx world;
+        if rank <> writer then ignore (F.pread fs ~rank fds.(file) ~off ~len)
+      | Rmw { rank = r; file; off; len } ->
+        if rank = r then begin
+          ignore (F.pread fs ~rank fds.(file) ~off ~len);
+          ignore (F.pwrite fs ~rank fds.(file) ~off (payload i len))
+        end
+      | Trunc { rank = r; file; size } ->
+        if rank = r then F.ftruncate fs ~rank fds.(file) size)
     p.steps;
   (* Epilogue: close surviving handles in id order (the set and order are
      identical on every rank), rendezvous, release the descriptors. *)
@@ -304,7 +432,7 @@ let interpret (p : program) (ctx : E.ctx) fs =
 
 let run ?abort_rank (p : program) =
   let trace = Recorder.Trace.create ~nranks:p.nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let eng = E.create ~trace ~nranks:p.nranks () in
   E.run ?abort_rank eng (fun ctx -> interpret p ctx fs);
   Recorder.Trace.records trace
@@ -356,6 +484,25 @@ let step_to_string = function
   | M_close { handle } -> Printf.sprintf "mf_close h%d" handle
   | Overlap_ibarrier { file; off; len } ->
     Printf.sprintf "ibarrier+pwrite file=%d base=%d len=%d" file off len
+  | Ckpt { file; stride; publish } ->
+    Printf.sprintf "ckpt     file=%d stride=%d publish=%s" file stride
+      (match publish with 0 -> "fsync" | 1 -> "reopen" | _ -> "none")
+  | Restart { file; stride; shift } ->
+    Printf.sprintf "restart  file=%d stride=%d shift=%d" file stride shift
+  | Handoff { file; off; len; producer; consumer; via_stream; publish; notify }
+    ->
+    Printf.sprintf "handoff  file=%d [%d,%d) %d->%d via=%s publish=%s notify=%s"
+      file off (off + len) producer consumer
+      (if via_stream then "stream" else "fd")
+      (match publish with 0 -> "sync" | 1 -> "reopen" | _ -> "none")
+      (match notify with 0 -> "barrier" | 1 -> "chain" | _ -> "p2p")
+  | Foreign_sync { file; writer; syncer; off; len } ->
+    Printf.sprintf "fsync3rd file=%d [%d,%d) writer=%d syncer=%d" file off
+      (off + len) writer syncer
+  | Rmw { rank; file; off; len } ->
+    Printf.sprintf "rmw      rank=%d file=%d [%d,%d)" rank file off (off + len)
+  | Trunc { rank; file; size } ->
+    Printf.sprintf "truncate rank=%d file=%d size=%d" rank file size
 
 let pp_program fmt (p : program) =
   Format.fprintf fmt "seed %d: %d ranks, %d files, %d steps@." p.seed p.nranks

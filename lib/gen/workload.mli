@@ -32,6 +32,14 @@ type comm =
 
 type coll = Barrier | Allreduce | Bcast | Allgather | Ibarrier
 
+type profile = Classic | Extended
+(** [Classic] (the default) draws exactly the historical step mix — a
+    given seed's program is byte-identical to what it always was, which
+    the golden-digest gate depends on. [Extended] adds the workload
+    shapes the extended consistency models distinguish (checkpoint/
+    restart, cross-phase handoffs, third-party commits, read-modify-
+    write, truncation) and widens the dataset to up to four files. *)
+
 type step =
   | Pwrite of { rank : int; file : int; off : int; len : int }
   | Pread of { rank : int; file : int; off : int; len : int }
@@ -63,6 +71,48 @@ type step =
   | Overlap_ibarrier of { file : int; off : int; len : int }
       (** [MPI_Ibarrier], a per-rank disjoint [pwrite] while the
           collective is in flight, then the wait *)
+  | Ckpt of { file : int; stride : int; publish : int }
+      (** striped checkpoint: every rank writes
+          [[rank*stride, (rank+1)*stride)], publishes per flavour
+          (0 = fsync, 1 = close/reopen, 2 = nothing), then a world
+          barrier *)
+  | Restart of { file : int; stride : int; shift : int }
+      (** N→M restart remap: every rank reads the stripe rank
+          [(rank+shift) mod nranks] checkpointed — the reader set no
+          longer matches the writer set *)
+  | Handoff of {
+      file : int;
+      off : int;
+      len : int;
+      producer : int;
+      consumer : int;
+      via_stream : bool;
+      publish : int;
+      notify : int;
+    }
+      (** producer-consumer across phases: the producer writes (through
+          a stream when [via_stream] — the close-to-open corner, since
+          stream close publishes under Session but not under NFS
+          semantics), publishes per flavour (0 = sync, 1 = close/reopen,
+          2 = nothing), notification flows by [notify] (0 = barrier,
+          1 = chain, 2 = point-to-point), then the consumer reopens the
+          file and reads *)
+  | Foreign_sync of {
+      file : int;
+      writer : int;
+      syncer : int;
+      off : int;
+      len : int;
+    }
+      (** third-party commit: the writer writes, a barrier, the [syncer]
+          — possibly a different rank — fsyncs, a barrier, everyone else
+          reads. Properly synchronized under Commit (any rank's commit
+          publishes) but not under Commit-PS when [syncer <> writer] *)
+  | Rmw of { rank : int; file : int; off : int; len : int }
+      (** read-modify-write: a pread then a pwrite of the same range *)
+  | Trunc of { rank : int; file : int; size : int }
+      (** [ftruncate] — moves EOF under every later size-dependent
+          operation *)
 
 type program = {
   seed : int;
@@ -71,9 +121,12 @@ type program = {
   steps : step list;
 }
 
-val generate : ?max_steps:int -> ?nranks:int -> seed:int -> unit -> program
+val generate :
+  ?max_steps:int -> ?nranks:int -> ?profile:profile -> seed:int -> unit -> program
 (** Deterministic in [seed]. [max_steps] (default 16) bounds the step
-    count; idiom expansions may exceed it by a step or two.
+    count; idiom expansions may exceed it by a step or two. [profile]
+    defaults to {!Classic}, under which not a single extra random draw
+    happens — historical seeds stay byte-identical.
 
     [nranks] overrides the default 2–4 rank draw (values below 2 are
     ignored) — the sharded-graph campaigns run 64–256 ranks this way.

@@ -4,23 +4,133 @@ exception Error of string * string
 
 let err errno detail = raise (Error (errno, detail))
 
-type model = Posix | Commit | Session
+type scope = Own | All
 
-let model_to_string = function
-  | Posix -> "POSIX"
-  | Commit -> "Commit"
-  | Session -> "Session"
+type model = {
+  m_name : string;
+  m_aliases : string list;
+  m_buffered : bool;  (* writes stay private until published *)
+  m_snapshot : bool;  (* others' data frozen at open time *)
+  m_sync_publishes : scope option;  (* fsync/fflush; None = no-op *)
+  m_close_publishes : scope option;  (* close/fclose; None = no-op *)
+  m_sync_refreshes : bool;  (* sync re-pulls the global image *)
+  m_fd_only : bool;  (* stream close/flush neither publishes nor syncs *)
+}
 
-type file = { f_path : string; f_global : G.t }
+let model_to_string m = m.m_name
 
-type handle = {
+let posix =
+  {
+    m_name = "POSIX";
+    m_aliases = [];
+    m_buffered = false;
+    m_snapshot = false;
+    m_sync_publishes = Some Own;
+    m_close_publishes = Some Own;
+    m_sync_refreshes = false;
+    m_fd_only = false;
+  }
+
+let commit =
+  {
+    posix with
+    m_name = "Commit";
+    m_buffered = true;
+    (* a commit publishes every handle's pending writes on the file, so
+       a reader ordered after any rank's fsync sees the data — matching
+       the Commit MSC [hb commit hb], where the committing rank need not
+       be the writer *)
+    m_sync_publishes = Some All;
+  }
+
+let commit_ps =
+  {
+    commit with
+    m_name = "Commit-PS";
+    m_aliases = [ "per-syncer-commit" ];
+    (* only the syncing rank's own writes publish *)
+    m_sync_publishes = Some Own;
+  }
+
+let session =
+  {
+    posix with
+    m_name = "Session";
+    m_buffered = true;
+    m_snapshot = true;
+  }
+
+let close_to_open =
+  {
+    session with
+    m_name = "Close-to-open";
+    m_aliases = [ "nfs"; "c2o" ];
+    (* only a descriptor close publishes; fsync/fflush and stream close
+       move no bytes, so data written through streams never reaches
+       ranks that reopen — the NFS corner the Session model forgives *)
+    m_sync_publishes = None;
+    m_fd_only = true;
+  }
+
+let mpi_io =
+  {
+    session with
+    m_name = "MPI-IO";
+    m_aliases = [ "mpiio-nonatomic" ];
+    (* nonatomic mode: a writer's sync publishes, a reader's sync
+       revalidates its frozen view — the two halves of sync-barrier-sync *)
+    m_sync_refreshes = true;
+  }
+
+let mpi_io_atomic =
+  {
+    posix with
+    m_name = "MPI-IO-Atomic";
+    m_aliases = [ "atomic" ];
+  }
+
+let builtin_models =
+  [ posix; commit; commit_ps; session; close_to_open; mpi_io; mpi_io_atomic ]
+
+let registered_models : model list ref = ref []
+
+let model_norm x =
+  String.lowercase_ascii
+    (String.concat ""
+       (List.concat_map (String.split_on_char '_') (String.split_on_char '-' x)))
+
+let model_names m = model_norm m.m_name :: List.map model_norm m.m_aliases
+
+let models () = builtin_models @ !registered_models
+
+let register_model m =
+  let taken = List.concat_map model_names (models ()) in
+  List.iter
+    (fun n ->
+      if List.mem n taken then
+        invalid_arg
+          (Printf.sprintf "Fs.register_model: name or alias %S already taken" n))
+    (model_names m);
+  registered_models := !registered_models @ [ m ]
+
+let model_by_name s =
+  let n = model_norm s in
+  List.find_opt (fun m -> List.mem n (model_names m)) (models ())
+
+type file = {
+  f_path : string;
+  f_global : G.t;
+  mutable f_handles : handle list;  (* open handles, in open order *)
+}
+
+and handle = {
   h_file : file;
   h_rank : int;
   mutable h_pos : int;
   h_append : bool;
   h_readable : bool;
   h_writable : bool;
-  h_snapshot : G.t option;  (* Session model: others' data frozen at open *)
+  h_snapshot : G.t option;  (* frozen view of others' data at open *)
   mutable h_dirty : (int * bytes) list;  (* own unpublished writes, oldest first *)
   mutable h_open : bool;
 }
@@ -90,13 +200,12 @@ let i = string_of_int
 (* ---------------------------------------------------------------- *)
 
 (* The byte image a handle currently sees, ignoring its own dirty list:
-   the committed global image, except under Session where it is the
-   open-time snapshot. *)
+   the committed global image, or the open-time snapshot for models that
+   freeze a handle's view of others' data. *)
 let base_image t h =
-  match (t.fs_model, h.h_snapshot) with
-  | Session, Some snap -> snap
-  | Session, None -> assert false
-  | (Posix | Commit), _ -> h.h_file.f_global
+  if t.fs_model.m_snapshot then
+    match h.h_snapshot with Some snap -> snap | None -> assert false
+  else h.h_file.f_global
 
 let visible_size t h =
   let base = G.size (base_image t h) in
@@ -124,22 +233,39 @@ let visible_read t h ~off ~len =
 
 let apply_write t h ~off data =
   if off < 0 then err "EINVAL" "negative offset";
-  match t.fs_model with
-  | Posix -> G.write h.h_file.f_global ~off (Bytes.copy data)
-  | Commit | Session -> h.h_dirty <- h.h_dirty @ [ (off, Bytes.copy data) ]
+  if t.fs_model.m_buffered then h.h_dirty <- h.h_dirty @ [ (off, Bytes.copy data) ]
+  else G.write h.h_file.f_global ~off (Bytes.copy data)
 
-(* Publish the handle's pending writes into the committed image. Under
-   Session the handle's own snapshot absorbs them too, so it keeps
-   reading its own data afterwards. *)
-let publish t h =
+(* Publish one handle's pending writes into the committed image. Its own
+   snapshot (if any) absorbs them too, so it keeps reading its own data
+   afterwards; other handles' snapshots stay frozen. *)
+let publish_one h =
   List.iter
     (fun (off, data) ->
       G.write h.h_file.f_global ~off data;
-      match (t.fs_model, h.h_snapshot) with
-      | Session, Some snap -> G.write snap ~off data
-      | _ -> ())
+      match h.h_snapshot with
+      | Some snap -> G.write snap ~off data
+      | None -> ())
     h.h_dirty;
   h.h_dirty <- []
+
+(* Publish under the given scope: the handle's own pending writes, or —
+   for commit semantics where any rank's commit publishes the file —
+   every open handle's, in open order. *)
+let publish_scoped scope h =
+  match scope with
+  | Own -> publish_one h
+  | All -> List.iter publish_one h.h_file.f_handles
+
+let maybe_publish scope_opt h =
+  match scope_opt with None -> () | Some scope -> publish_scoped scope h
+
+(* Re-pull the committed image into the handle's frozen view (MPI-IO
+   sync: the reader half of sync-barrier-sync). *)
+let refresh_snapshot h =
+  match h.h_snapshot with
+  | None -> ()
+  | Some snap -> G.blit_from ~src:h.h_file.f_global ~dst:snap
 
 (* ---------------------------------------------------------------- *)
 (* Descriptor API                                                     *)
@@ -163,7 +289,7 @@ let lookup_file t ~create_ok ~trunc path =
     | Some f -> f
     | None ->
       if not create_ok then err "ENOENT" path;
-      let f = { f_path = path; f_global = G.create () } in
+      let f = { f_path = path; f_global = G.create (); f_handles = [] } in
       Hashtbl.replace t.files path f;
       f
   in
@@ -172,9 +298,7 @@ let lookup_file t ~create_ok ~trunc path =
 
 let make_handle t ~rank ~file ~readable ~writable ~append ~at_end =
   let snapshot =
-    match t.fs_model with
-    | Session -> Some (G.copy file.f_global)
-    | Posix | Commit -> None
+    if t.fs_model.m_snapshot then Some (G.copy file.f_global) else None
   in
   let h =
     {
@@ -190,7 +314,12 @@ let make_handle t ~rank ~file ~readable ~writable ~append ~at_end =
     }
   in
   if at_end then h.h_pos <- G.size file.f_global;
+  file.f_handles <- file.f_handles @ [ h ];
   h
+
+let drop_handle h =
+  h.h_open <- false;
+  h.h_file.f_handles <- List.filter (fun h' -> h' != h) h.h_file.f_handles
 
 let openf t ~rank ~flags path =
   let args =
@@ -211,8 +340,8 @@ let close t ~rank fd =
   traced t ~rank ~func:"close" ~args:[| i fd.fd_num |] ~ret:(fun () -> "0")
     (fun () ->
       check_open "close" fd.fd_h;
-      publish t fd.fd_h;
-      fd.fd_h.h_open <- false;
+      maybe_publish t.fs_model.m_close_publishes fd.fd_h;
+      drop_handle fd.fd_h;
       Alloc.release t.fd_alloc ~rank fd.fd_num)
 
 let pwrite t ~rank fd ~off data =
@@ -281,7 +410,8 @@ let fsync t ~rank fd =
   traced t ~rank ~func:"fsync" ~args:[| i fd.fd_num |] ~ret:(fun () -> "0")
     (fun () ->
       check_open "fsync" fd.fd_h;
-      publish t fd.fd_h)
+      maybe_publish t.fs_model.m_sync_publishes fd.fd_h;
+      if t.fs_model.m_sync_refreshes then refresh_snapshot fd.fd_h)
 
 let ftruncate t ~rank fd size =
   let args = [| i fd.fd_num; i size |] in
@@ -334,8 +464,9 @@ let fclose t ~rank s =
   traced t ~rank ~func:"fclose" ~args:[| i s.s_num |] ~ret:(fun () -> "0")
     (fun () ->
       check_open "fclose" s.s_h;
-      publish t s.s_h;
-      s.s_h.h_open <- false;
+      if not t.fs_model.m_fd_only then
+        maybe_publish t.fs_model.m_close_publishes s.s_h;
+      drop_handle s.s_h;
       Alloc.release t.stream_alloc ~rank s.s_num)
 
 let fwrite t ~rank s ~size ~nitems data =
@@ -381,7 +512,10 @@ let fflush t ~rank s =
   traced t ~rank ~func:"fflush" ~args:[| i s.s_num |] ~ret:(fun () -> "0")
     (fun () ->
       check_open "fflush" s.s_h;
-      publish t s.s_h)
+      if not t.fs_model.m_fd_only then begin
+        maybe_publish t.fs_model.m_sync_publishes s.s_h;
+        if t.fs_model.m_sync_refreshes then refresh_snapshot s.s_h
+      end)
 
 (* ---------------------------------------------------------------- *)
 (* Inspection                                                         *)

@@ -3,21 +3,31 @@
     The file system provides the POSIX *interface* — descriptor-based calls
     ([open]/[pread]/[pwrite]/[lseek]/[fsync]/…) and a [FILE*]-style stream
     layer ([fopen]/[fread]/[fwrite]/…) — while its *consistency model* is
-    pluggable, mirroring the systems the paper studies (GPFS/Lustre are
-    POSIX; UnifyFS commit; NFS-style close-to-open session):
+    pluggable: a {!model} is a record of visibility rules, and every
+    registered model is a runnable simulator, mirroring the systems the
+    paper studies (GPFS/Lustre are POSIX; UnifyFS commit; NFS-style
+    close-to-open). The shipped rule sets:
 
-    - {b Posix}: writes are immediately globally visible.
-    - {b Commit}: a rank's writes stay private until it calls [fsync] (the
-      commit operation, as in UnifyFS) or closes the file; reads see the
-      committed image plus the rank's own uncommitted writes.
-    - {b Session}: like Commit, but publication happens at [close], and a
-      reader's view of other ranks' data is frozen at [open] time
-      (close-to-open consistency) — a reader holding a descriptor opened
-      before the writer's [close] keeps reading the stale image.
+    - {b POSIX}: writes are immediately globally visible.
+    - {b Commit}: a rank's writes stay private until a commit ([fsync] /
+      [fflush], as in UnifyFS) or a close publishes them; a commit
+      publishes {e every} open handle's pending writes on the file
+      (any rank's commit makes the file's data durable).
+    - {b Commit-PS} (per-syncer commit): like Commit, but a commit
+      publishes only the committing handle's own writes.
+    - {b Session}: like Commit-PS, plus a reader's view of other ranks'
+      data is frozen at [open] time — a reader holding a handle opened
+      before the writer's close keeps reading the stale image.
+    - {b Close-to-open} (NFS): like Session, but only a {e descriptor}
+      close publishes; [fsync]/[fflush] and stream close move no bytes.
+    - {b MPI-IO}: like Session, but a sync also re-pulls the committed
+      image into the frozen view — the reader half of
+      sync-barrier-sync.
+    - {b MPI-IO-Atomic}: atomic mode — identical visibility to POSIX.
 
-    Running the same improperly synchronized program on [Posix] and on
-    [Session] therefore produces different bytes — the "silent data
-    corruption" of §V-C2 — which the examples demonstrate.
+    Running the same improperly synchronized program under two models
+    therefore produces different bytes — the "silent data corruption" of
+    §V-C2 — which the examples and [verifyio models] demonstrate.
 
     Every call is recorded to the attached trace (layer [POSIX]) with the
     argument layouts documented on each function; these are the records the
@@ -28,9 +38,53 @@
 exception Error of string * string
 (** [Error (errno, detail)], e.g. [Error ("EBADF", "pwrite on closed fd")]. *)
 
-type model = Posix | Commit | Session
+type scope = Own | All
+(** Whose pending writes an operation publishes: the acting handle's own,
+    or every open handle's on the file (in open order). *)
+
+type model = {
+  m_name : string;
+  m_aliases : string list;  (** extra {!model_by_name} spellings *)
+  m_buffered : bool;  (** writes stay private until published *)
+  m_snapshot : bool;  (** others' data frozen at open time *)
+  m_sync_publishes : scope option;  (** [fsync]/[fflush]; [None] = no-op *)
+  m_close_publishes : scope option;  (** [close]/[fclose]; [None] = no-op *)
+  m_sync_refreshes : bool;  (** sync re-pulls the committed image *)
+  m_fd_only : bool;  (** stream close/flush neither publishes nor syncs *)
+}
+(** A consistency model as a set of visibility rules. Custom models are
+    plain records — build one (e.g. via functional update of a shipped
+    value) and {!register_model} it. *)
 
 val model_to_string : model -> string
+
+val posix : model
+
+val commit : model
+
+val commit_ps : model
+
+val session : model
+
+val close_to_open : model
+
+val mpi_io : model
+
+val mpi_io_atomic : model
+
+val builtin_models : model list
+(** The seven shipped rule sets above, POSIX first. *)
+
+val models : unit -> model list
+(** [builtin_models] followed by every registered model. *)
+
+val register_model : model -> unit
+(** Raises [Invalid_argument] when the name or an alias collides (case-
+    and separator-insensitively) with an existing model's. *)
+
+val model_by_name : string -> model option
+(** Case-insensitive lookup over names and aliases, ignoring [-]/[_]
+    separators (so ["nfs"] finds close-to-open). *)
 
 type t
 (** One shared file system instance. *)
@@ -115,7 +169,8 @@ val fseek : t -> rank:int -> stream -> off:int -> whence -> unit
 val ftell : t -> rank:int -> stream -> int
 
 val fflush : t -> rank:int -> stream -> unit
-(** Publishes pending writes under [Commit]/[Session] (like [fsync]). *)
+(** Publishes pending writes per [m_sync_publishes] (like [fsync]),
+    unless the model is [m_fd_only]. *)
 
 (** {2 Inspection (untraced, for tests and examples)} *)
 

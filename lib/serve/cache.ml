@@ -5,9 +5,16 @@ let codec_version =
   Printf.sprintf "%s+%s%d" Recorder.Codec.magic Recorder.Codec.magic_v2
     Recorder.Codec.binary_version
 
-let key ~trace_sha256 ~model ~flags =
+let key ~trace_sha256 ~(model : Verifyio.Model.t) ~flags =
   Vio_util.Sha256.digest_string
-    (String.concat "\n" [ trace_sha256; model; flags; codec_version ])
+    (String.concat "\n"
+       [
+         trace_sha256;
+         model.Verifyio.Model.name;
+         Verifyio.Model.msc_digest model;
+         flags;
+         codec_version;
+       ])
 
 let entry_path ~dir ~key =
   Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".json")

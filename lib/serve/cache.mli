@@ -1,10 +1,15 @@
 (** The content-addressed result cache.
 
-    A verdict is a pure function of [(trace bytes, model, verification
-    flags, codec version)] — the pipeline is deterministic end to end —
-    so the cache key is the SHA-256 of exactly that tuple, and repeat
-    submissions (CI re-running the same build produces byte-identical
-    traces) resolve in O(hash) without decoding anything.
+    A verdict is a pure function of [(trace bytes, model definition,
+    verification flags, codec version)] — the pipeline is deterministic
+    end to end — so the cache key is the SHA-256 of exactly that tuple,
+    and repeat submissions (CI re-running the same build produces
+    byte-identical traces) resolve in O(hash) without decoding anything.
+
+    The model enters the key as its name {e plus} its definition digest
+    ({!Verifyio.Model.msc_digest}): a registered model whose MSCs are
+    later redefined under the same name can never collide with verdicts
+    cached under the old definition.
 
     Entries live at [cache/<key[0..1]>/<key>.json] and are written with
     the stage-then-rename protocol ({!Vio_util.Fsio.atomic_write}): a
@@ -21,9 +26,11 @@ val codec_version : string
     {!Recorder.Codec.binary_version}) — bumping either format
     invalidates every cached verdict by changing all keys. *)
 
-val key : trace_sha256:string -> model:string -> flags:string -> string
+val key :
+  trace_sha256:string -> model:Verifyio.Model.t -> flags:string -> string
 (** The entry key: SHA-256 over the canonical tuple rendering (newline-
-    separated fields, codec version included). *)
+    separated fields: trace digest, model name, model definition digest,
+    flags, codec version). *)
 
 val entry_path : dir:string -> key:string -> string
 (** Where the entry lives under the cache directory (two-hex-char

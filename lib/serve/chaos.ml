@@ -197,7 +197,7 @@ let run cfg =
           List.iter
             (fun (model : Verifyio.Model.t) ->
               let key =
-                Cache.key ~trace_sha256 ~model:model.Verifyio.Model.name
+                Cache.key ~trace_sha256 ~model
                   ~flags
               in
               match Cache.lookup ~dir:spool.Spool.cache ~key with

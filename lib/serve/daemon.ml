@@ -129,14 +129,16 @@ let combine_exits exits =
 let entry_exit doc =
   Option.value ~default:0 (Option.bind (J.member "exit" doc) J.to_int)
 
-(* A fully cache-resident job: answer without decoding anything. *)
-let try_cache st (spec : Spool.jobspec) ~trace_sha256 ~flags =
+(* A fully cache-resident job: answer without decoding anything. Takes
+   the resolved models — keys depend on each model's definition digest,
+   so names alone cannot address the cache. *)
+let try_cache st ~models ~trace_sha256 ~flags =
   let entries =
     List.map
-      (fun model ->
+      (fun (model : Verifyio.Model.t) ->
         let key = Cache.key ~trace_sha256 ~model ~flags in
-        (model, Cache.lookup ~dir:st.spool.Spool.cache ~key))
-      spec.Spool.models
+        (model.Verifyio.Model.name, Cache.lookup ~dir:st.spool.Spool.cache ~key))
+      models
   in
   if
     List.for_all (fun (_, e) -> Option.is_some e) entries
@@ -302,7 +304,7 @@ let finish_chunk st ready isolated =
               in
               let key =
                 Cache.key ~trace_sha256:k.k_sha
-                  ~model:model.Verifyio.Model.name ~flags:k.k_flags
+                  ~model ~flags:k.k_flags
               in
               (* The cache is an accelerator, never a correctness
                  dependency: a failed store degrades to recomputing the
@@ -365,36 +367,34 @@ let process_wave st =
       else begin
         let trace_sha256 = Vio_util.Sha256.digest_file spec.Spool.trace in
         let flags = Spool.flags_string spec in
-        match try_cache st spec ~trace_sha256 ~flags with
-        | Some verdicts ->
+        let resolved =
+          List.map
+            (fun name -> (name, Verifyio.Model.by_name name))
+            spec.Spool.models
+        in
+        match List.find_opt (fun (_, m) -> Option.is_none m) resolved with
+        | Some (name, _) ->
           Journal.started st.jn ~id:spec.Spool.id ~attempt;
-          respond_cached st spec ~attempts:attempt verdicts
+          log st (Printf.sprintf "%s: rejected: unknown model %S"
+                    spec.Spool.id name);
+          finish st
+            {
+              Spool.r_id = spec.Spool.id;
+              r_status = "rejected";
+              r_exit = 2;
+              r_cached = false;
+              r_wall_ms = 0;
+              r_attempts = attempt;
+              r_error = Some (Printf.sprintf "unknown model %S" name);
+              r_verdicts = [];
+            }
         | None -> (
-          let models =
-            List.map
-              (fun name -> (name, Verifyio.Model.by_name name))
-              spec.Spool.models
-          in
-          match
-            List.find_opt (fun (_, m) -> Option.is_none m) models
-          with
-          | Some (name, _) ->
+          let models = List.map (fun (_, m) -> Option.get m) resolved in
+          match try_cache st ~models ~trace_sha256 ~flags with
+          | Some verdicts ->
             Journal.started st.jn ~id:spec.Spool.id ~attempt;
-            log st (Printf.sprintf "%s: rejected: unknown model %S"
-                      spec.Spool.id name);
-            finish st
-              {
-                Spool.r_id = spec.Spool.id;
-                r_status = "rejected";
-                r_exit = 2;
-                r_cached = false;
-                r_wall_ms = 0;
-                r_attempts = attempt;
-                r_error = Some (Printf.sprintf "unknown model %S" name);
-                r_verdicts = [];
-              }
+            respond_cached st spec ~attempts:attempt verdicts
           | None ->
-            let models = List.map (fun (_, m) -> Option.get m) models in
             to_compute := (spec, attempt, trace_sha256, flags, models)
                           :: !to_compute)
       end)

@@ -298,7 +298,7 @@ let serve_scenario st ~scratch ~tag ~bin ~txt ~spec
           let key =
             Cache.key
               ~trace_sha256:(Vio_util.Sha256.digest_file s.Spool.trace)
-              ~model:m0.Verifyio.Model.name
+              ~model:m0
               ~flags:(Spool.flags_string s)
           in
           (* A failed store legitimately leaves no entry; a present one

@@ -121,6 +121,27 @@ type robustness = {
   rb_overhead_ratio : float;
 }
 
+type model_wall = {
+  mw_name : string;
+  mw_corpus_verify_s : float;
+      (** summed end-to-end verify wall under this model across the corpus *)
+  mw_corpus_races : int;
+  mw_wide_verify_s : float;
+      (** verify wall on the 256-rank Extended-profile witness trace *)
+  mw_wide_races : int;
+}
+
+type models_pass = {
+  mp_registry : int;  (** registered models measured *)
+  mp_lattice_edges : int;  (** implies pairs between distinct models *)
+  mp_corpus_traces : int;
+  mp_wide_ranks : int;
+  mp_wide_records : int;
+  mp_lattice_holds : bool;
+      (** races(m2) ⊆ races(m1) for every implied pair, on the wide trace *)
+  mp_walls : model_wall list;
+}
+
 type t = {
   tag : string;
   generated_at : float;
@@ -144,6 +165,7 @@ type t = {
   graph : graph;
   service : service;
   robustness : robustness;
+  models : models_pass;
 }
 
 (* A comparable digest of a corpus verification: per workload, per model,
@@ -881,7 +903,85 @@ let graph_pass ~smoke () =
     gr_vector_clock_queries_per_s = vc_qps;
   }
 
-let run ?(tag = "pr9") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
+(* The consistency-model pass (schema v7): per-model verify walls across
+   the whole registry — the builtin four plus the registered extended
+   instances — on the evaluation corpus and on a 256-rank
+   Extended-profile witness trace, with the lattice subset invariant
+   (races(m2) ⊆ races(m1) whenever m1 implies m2) asserted on the wide
+   trace's verdicts while they are measured. *)
+let models_pass ~smoke () =
+  let models = V.Model.all () in
+  let corpus =
+    let all = List.map (fun (w : H.t) -> H.run w) Registry.all in
+    if smoke then List.filteri (fun i _ -> i < 12) all else all
+  in
+  (* MSC search cost grows superlinearly in racy conflict pairs, and the
+     weaker models report tens of thousands of races on this trace even
+     at 200 steps; 400 keeps the full pass in whole-bench budget. *)
+  let wide_steps = if smoke then 200 else 400 in
+  let wide =
+    Viogen.Workload.generate ~nranks:256 ~max_steps:wide_steps
+      ~profile:Viogen.Workload.Extended ~seed:10 ()
+  in
+  let wide_records = Viogen.Workload.run wide in
+  let wide_nranks = wide.Viogen.Workload.nranks in
+  let race_set (o : V.Pipeline.outcome) =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : V.Verify.race) -> (r.V.Verify.rx, r.V.Verify.ry))
+         o.V.Pipeline.races)
+  in
+  let wide_verdicts = ref [] in
+  let walls =
+    List.map
+      (fun (m : V.Model.t) ->
+        let t0 = Unix.gettimeofday () in
+        let corpus_races =
+          List.fold_left
+            (fun n records ->
+              let o = V.Pipeline.verify ~model:m ~nranks:4 records in
+              n + o.V.Pipeline.race_count)
+            0 corpus
+        in
+        let corpus_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let o = V.Pipeline.verify ~model:m ~nranks:wide_nranks wide_records in
+        let wide_s = Unix.gettimeofday () -. t0 in
+        wide_verdicts := (m, race_set o) :: !wide_verdicts;
+        {
+          mw_name = m.V.Model.name;
+          mw_corpus_verify_s = corpus_s;
+          mw_corpus_races = corpus_races;
+          mw_wide_verify_s = wide_s;
+          mw_wide_races = o.V.Pipeline.race_count;
+        })
+      models
+  in
+  let lattice_edges = ref 0 in
+  let holds = ref true in
+  List.iter
+    (fun (m1, r1) ->
+      List.iter
+        (fun (m2, r2) ->
+          if m1 != m2 && V.Model.implies m1 m2 then begin
+            incr lattice_edges;
+            let in_r1 = Hashtbl.create (List.length r1) in
+            List.iter (fun p -> Hashtbl.replace in_r1 p ()) r1;
+            if not (List.for_all (Hashtbl.mem in_r1) r2) then holds := false
+          end)
+        !wide_verdicts)
+    !wide_verdicts;
+  {
+    mp_registry = List.length models;
+    mp_lattice_edges = !lattice_edges;
+    mp_corpus_traces = List.length corpus;
+    mp_wide_ranks = wide_nranks;
+    mp_wide_records = List.length wide_records;
+    mp_lattice_holds = !holds;
+    mp_walls = walls;
+  }
+
+let run ?(tag = "pr10") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     ?(smoke = false) () =
   (* Multi-domain minor collections are stop-the-world handshakes; on
      hosts with fewer cores than domains each handshake can wait out a
@@ -998,13 +1098,14 @@ let run ?(tag = "pr9") ?scale ?(domains = [ 1; 2; 4 ]) ?(repeats = 3)
     graph = graph_pass ~smoke ();
     service = service_pass ~smoke ();
     robustness = robustness_pass ~smoke ();
+    models = models_pass ~smoke ();
   }
 
 let to_json r =
   J.Obj
     [
       ("schema", J.Str "verifyio-bench");
-      ("schema_version", J.Int 6);
+      ("schema_version", J.Int 7);
       ("tag", J.Str r.tag);
       ("generated_at_unix", J.Float r.generated_at);
       ( "environment",
@@ -1255,6 +1356,29 @@ let to_json r =
                   ("armed_over_disabled", J.Float r.robustness.rb_overhead_ratio);
                 ] );
           ] );
+      ( "models",
+        J.Obj
+          [
+            ("registry", J.Int r.models.mp_registry);
+            ("lattice_edges", J.Int r.models.mp_lattice_edges);
+            ("lattice_holds", J.Bool r.models.mp_lattice_holds);
+            ("corpus_traces", J.Int r.models.mp_corpus_traces);
+            ("wide_ranks", J.Int r.models.mp_wide_ranks);
+            ("wide_records", J.Int r.models.mp_wide_records);
+            ( "walls",
+              J.List
+                (List.map
+                   (fun w ->
+                     J.Obj
+                       [
+                         ("model", J.Str w.mw_name);
+                         ("corpus_verify_s", J.Float w.mw_corpus_verify_s);
+                         ("corpus_races", J.Int w.mw_corpus_races);
+                         ("wide_verify_s", J.Float w.mw_wide_verify_s);
+                         ("wide_races", J.Int w.mw_wide_races);
+                       ])
+                   r.models.mp_walls) );
+          ] );
       ("metrics", M.to_json r.metrics);
     ]
 
@@ -1360,6 +1484,18 @@ let summary r =
     r.robustness.rb_violations r.robustness.rb_overhead_ratio
     r.robustness.rb_disabled_s r.robustness.rb_armed_s
     r.robustness.rb_verify_records;
+  Printf.bprintf b
+    "models: %d registered, %d lattice edge(s), subset invariant holds: %b \
+     — corpus (%d traces) / wide (%d ranks, %d records):"
+    r.models.mp_registry r.models.mp_lattice_edges r.models.mp_lattice_holds
+    r.models.mp_corpus_traces r.models.mp_wide_ranks r.models.mp_wide_records;
+  List.iter
+    (fun w ->
+      Printf.bprintf b " %s=%.3fs/%.3fs(%d/%d races)" w.mw_name
+        w.mw_corpus_verify_s w.mw_wide_verify_s w.mw_corpus_races
+        w.mw_wide_races)
+    r.models.mp_walls;
+  Buffer.add_char b '\n';
   Printf.bprintf b "columnar sweep (%d records, %d files, %d pairs):"
     r.columnar.cl_sweep_records r.columnar.cl_sweep_files
     r.columnar.cl_sweep_pairs;

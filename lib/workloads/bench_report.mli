@@ -194,6 +194,34 @@ type robustness = {
     [verifyio torture]'s job) plus the cost of the failpoint fabric
     itself, disabled vs armed-but-inert. *)
 
+type model_wall = {
+  mw_name : string;  (** registered model name *)
+  mw_corpus_verify_s : float;
+      (** summed end-to-end verify wall under this model across the
+          corpus traces *)
+  mw_corpus_races : int;
+  mw_wide_verify_s : float;
+      (** verify wall on the 256-rank Extended-profile witness trace *)
+  mw_wide_races : int;
+}
+
+type models_pass = {
+  mp_registry : int;  (** registered models measured (builtin + extended) *)
+  mp_lattice_edges : int;  (** [implies] pairs between distinct models *)
+  mp_corpus_traces : int;
+  mp_wide_ranks : int;
+  mp_wide_records : int;
+  mp_lattice_holds : bool;
+      (** races(m2) ⊆ races(m1) held for every implied pair on the wide
+          trace's verdicts — must be [true] *)
+  mp_walls : model_wall list;
+}
+(** Consistency-model pass (PR 10): per-model verify walls across the
+    whole registry on the evaluation corpus and on a 256-rank
+    Extended-profile generated trace, with the strength-lattice subset
+    invariant asserted on the verdicts while they are measured (see
+    [docs/models.md]). *)
+
 type t = {
   tag : string;  (** e.g. ["pr5"]; names the output file [BENCH_<tag>.json] *)
   generated_at : float;  (** unix epoch seconds *)
@@ -218,6 +246,7 @@ type t = {
   graph : graph;
   service : service;
   robustness : robustness;
+  models : models_pass;
 }
 
 val run :

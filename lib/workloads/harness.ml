@@ -42,7 +42,7 @@ let unmatched = { exp_posix = true; exp_relaxed = true; exp_unmatched = true }
 let run ?scale ?abort_rank w =
   let scale = Option.value ~default:w.scale scale in
   let trace = Recorder.Trace.create ~nranks:w.nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let env =
     {
       fs;

@@ -5,10 +5,22 @@ The CLI lists the evaluation workloads:
   t_bigio                  HDF5     nranks=4
   t_chunk_alloc            HDF5     nranks=4
 
-Table I renders the four builtin models:
+The models subcommand renders the whole registry — the four builtin
+models plus the registered extended instances — with aliases, sync
+sets, MSCs and lattice edges:
 
-  $ ../../bin/verifyio_cli.exe models | grep -c Consistency
-  5
+  $ ../../bin/verifyio_cli.exe models
+  +---------------------------+-------------------+------------------------------------------------+----------------------------------------------+-------------------------------+
+  | Consistency Models        | Aliases           | S                                              | MSC                                          | Implies                       |
+  +---------------------------+-------------------+------------------------------------------------+----------------------------------------------+-------------------------------+
+  | POSIX Consistency         | -                 | {}                                             | -hb->                                        | MPI-IO-Atomic                 |
+  | Commit Consistency        | -                 | {commit}                                       | -hb-> commit -hb->                           | POSIX, MPI-IO-Atomic          |
+  | Session Consistency       | -                 | {session_close, session_open}                  | -po-> session_close -hb-> session_open -po-> | POSIX, MPI-IO-Atomic          |
+  | MPI-IO Consistency        | mpiio-nonatomic   | {MPI_File_sync, MPI_File_close, MPI_File_open} | -po-> {close|sync} -hb-> {sync|open} -po->   | POSIX, MPI-IO-Atomic          |
+  | Close-to-open Consistency | nfs, c2o          | {fd_close, fd_open}                            | -po-> fd_close -hb-> fd_open -po->           | POSIX, Session, MPI-IO-Atomic |
+  | Commit-PS Consistency     | per-syncer-commit | {commit}                                       | -po-> commit -hb->                           | POSIX, Commit, MPI-IO-Atomic  |
+  | MPI-IO-Atomic Consistency | atomic            | {}                                             | -hb-> (atomic mode)                          | POSIX                         |
+  +---------------------------+-------------------+------------------------------------------------+----------------------------------------------+-------------------------------+
 
 Running a workload writes a decodable trace, and verifying it against
 POSIX finds the parallel5 race (exit code 2 = races found):
@@ -35,8 +47,16 @@ Unknown inputs produce helpful errors:
   "nonexistent" is neither a trace file nor a known workload
   [2]
   $ ../../bin/verifyio_cli.exe verify t_pread -m Weird 2>&1
-  unknown model "Weird" (POSIX, Commit, Session, MPI-IO)
+  unknown model "Weird" (known: POSIX, Commit, Session, MPI-IO, Close-to-open, Commit-PS, MPI-IO-Atomic)
   [2]
+
+Model flags accept any registered name case-insensitively, aliases
+included (nfs resolves to Close-to-open):
+
+  $ ../../bin/verifyio_cli.exe verify t_pread -m nfs > /dev/null 2>&1; echo "exit=$?"
+  exit=0
+  $ ../../bin/verifyio_cli.exe verify t_pread -m PER-SYNCER-COMMIT > /dev/null 2>&1; echo "exit=$?"
+  exit=0
 
 Trace statistics summarize layers and functions:
 

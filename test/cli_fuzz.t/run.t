@@ -28,7 +28,9 @@ graph build and the interval-index engine (wide256's verdict splits
 across models); a divergence here would exit 4:
 
   $ ../../bin/verifyio_cli.exe fuzz --replay ../fuzz_corpus
-  replay: ../fuzz_corpus (14 trace(s))
+  replay: ../fuzz_corpus (16 trace(s))
+    model_c2o_vs_session.vio-trace: 2 ranks, 19 records, 2 conflict pair(s), races 0/0/0/2
+    model_commit_ps_vs_commit.vio-trace: 2 ranks, 16 records, 2 conflict pair(s), races 0/0/2/2
     seed1.vio-trace: 2 ranks, 25 records, 1 conflict pair(s), races 0/1/1/1
     seed10.vio-trace: 2 ranks, 63 records, 2 conflict pair(s), races 0/2/2/2
     seed105_truncate.vio-trace: 3 ranks, 42 records, 1 conflict pair(s), races 0/1/1/1
@@ -43,4 +45,4 @@ across models); a divergence here would exit 4:
     seed9.vio-trace: 3 ranks, 44 records, 3 conflict pair(s), races 0/3/3/3
     wide128_seed301.vio-trace: 128 ranks, 1030 records, 5 conflict pair(s), races 2/5/5/5
     wide256_seed302.vio-trace: 256 ranks, 5381 records, 1 conflict pair(s), races 0/0/1/1
-  replay: 0 divergent trace(s) of 14
+  replay: 0 divergent trace(s) of 16

@@ -33,7 +33,7 @@ Bad submissions never reach the spool:
   no such trace file: missing.trace
   [2]
   $ ../../bin/verifyio_cli.exe submit pread.trace --root spool -m NOPE
-  unknown model "NOPE" (POSIX, Commit, Session, MPI-IO)
+  unknown model "NOPE" (known: POSIX, Commit, Session, MPI-IO, Close-to-open, Commit-PS, MPI-IO-Atomic)
   [2]
 
 One --once pass drains the spool: the budget job times out in its first

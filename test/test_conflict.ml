@@ -11,7 +11,7 @@ let check_bool = Alcotest.(check bool)
 
 let collect ~nranks program =
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let eng = E.create ~trace ~nranks () in
   E.run eng (fun ctx -> program ctx fs);
   Recorder.Trace.records trace

@@ -131,12 +131,77 @@ let test_seed41_regression () =
   check_int "optimized paths agree" 0
     (List.length (D.check ~nranks records))
 
+(* The committed model witnesses: shrunk Extended-profile traces that
+   flip verdict across one lattice edge — racy under the stronger model,
+   clean under the implied one. Pinned so the regression stays visible. *)
+let test_model_witnesses () =
+  let pin file strong weak =
+    let nranks, records = Recorder.Codec.of_file ("fuzz_corpus/" ^ file) in
+    let races name =
+      match V.Model.by_name name with
+      | Some m ->
+        (V.Pipeline.verify ~model:m ~nranks records).V.Pipeline.races
+      | None -> Alcotest.fail ("registry lost " ^ name)
+    in
+    check_bool (file ^ " racy under " ^ strong) true (races strong <> []);
+    check_bool (file ^ " clean under " ^ weak) true (races weak = []);
+    check_int (file ^ " all subjects agree") 0
+      (List.length (D.check ~models:(V.Model.all ()) ~nranks records))
+  in
+  pin "model_c2o_vs_session.vio-trace" "c2o" "session";
+  pin "model_commit_ps_vs_commit.vio-trace" "commit-ps" "commit"
+
 let prop_random_programs_agree =
   QCheck2.Test.make ~name:"random programs: all subjects match the oracle"
     ~count:15
     QCheck2.Gen.(int_range 1000 9999)
     (fun seed ->
       D.check_program ~domains:[ 1; 2 ] (W.generate ~seed ()) = [])
+
+(* The lattice order is a semantic theorem, not just a syntactic check on
+   MSCs: whenever [Model.implies m1 m2], every race reported under m2 is
+   also reported under m1 (equivalently, a trace properly synchronized
+   under the stronger discipline stays properly synchronized under every
+   implied one). Checked across the whole registry on Extended-profile
+   programs, under every reach engine. *)
+let prop_lattice_monotone =
+  let engines =
+    [
+      V.Reach.Vector_clock; V.Reach.Bfs_memo; V.Reach.Transitive_closure;
+      V.Reach.On_the_fly; V.Reach.Interval_index;
+    ]
+  in
+  let models = V.Model.all () in
+  QCheck2.Test.make
+    ~name:"lattice: implies m1 m2 => races(m2) <= races(m1), all engines"
+    ~count:12
+    QCheck2.Gen.(int_range 20000 29999)
+    (fun seed ->
+      let p = W.generate ~profile:W.Extended ~seed () in
+      let records = W.run p in
+      let nranks = p.W.nranks in
+      List.for_all
+        (fun engine ->
+          let verdicts =
+            V.Pipeline.verify_all_models ~engine ~models ~nranks records
+            |> List.map (fun ((m : V.Model.t), (o : V.Pipeline.outcome)) ->
+                   ( m,
+                     List.sort_uniq compare
+                       (List.map
+                          (fun (r : V.Verify.race) ->
+                            (r.V.Verify.rx, r.V.Verify.ry))
+                          o.V.Pipeline.races) ))
+          in
+          List.for_all
+            (fun (m1, r1) ->
+              List.for_all
+                (fun (m2, r2) ->
+                  m1 == m2
+                  || (not (V.Model.implies m1 m2))
+                  || List.for_all (fun pair -> List.mem pair r1) r2)
+                verdicts)
+            verdicts)
+        engines)
 
 let () =
   Alcotest.run "fuzz"
@@ -162,6 +227,12 @@ let () =
           Alcotest.test_case "replays clean" `Quick test_corpus_replays_clean;
           Alcotest.test_case "seed 41 pruning regression" `Quick
             test_seed41_regression;
+          Alcotest.test_case "model witnesses pinned" `Quick
+            test_model_witnesses;
         ] );
-      ( "properties", [ QCheck_alcotest.to_alcotest prop_random_programs_agree ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_programs_agree;
+          QCheck_alcotest.to_alcotest prop_lattice_monotone;
+        ] );
     ]

@@ -23,7 +23,7 @@ let run ?trace ~nranks ~model program =
 
 let test_create_write_read () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/f.h5" in
          let d = H5.h5dcreate ctx f ~name:"data" ~dims:[ 16 ] ~esize:1 in
@@ -37,7 +37,7 @@ let test_create_write_read () =
 
 let test_dataset_regions_disjoint () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/l.h5" in
          let d1 = H5.h5dcreate ctx f ~name:"a" ~dims:[ 100 ] ~esize:1 in
@@ -53,7 +53,7 @@ let test_dataset_regions_disjoint () =
 
 let test_reopen_by_name () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/r.h5" in
          let d = H5.h5dcreate ctx f ~name:"v" ~dims:[ 4 ] ~esize:1 in
@@ -66,7 +66,7 @@ let test_reopen_by_name () =
 
 let test_hyperslab_rows () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/hs.h5" in
          (* 2 x 8 dataset; each rank writes its own full row: contiguous. *)
@@ -81,7 +81,7 @@ let test_hyperslab_rows () =
 
 let test_hyperslab_columns_collective () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/col.h5" in
          (* 2 x 4 dataset; each rank writes its own column pair: strided ->
@@ -99,7 +99,7 @@ let test_hyperslab_columns_collective () =
 
 let test_hyperslab_bounds () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/bad.h5" in
          let d = H5.h5dcreate ctx f ~name:"m" ~dims:[ 2; 4 ] ~esize:1 in
@@ -115,7 +115,7 @@ let test_hyperslab_bounds () =
 
 let test_chunked_round_trip () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/ch.h5" in
          (* 4x4 dataset in 2x2 chunks. *)
@@ -137,7 +137,7 @@ let test_chunked_round_trip () =
 
 let test_chunked_subselection () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/cs.h5" in
          let d =
@@ -161,7 +161,7 @@ let test_chunked_collective_aggregates () =
      aggregates. *)
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/ca.h5" in
          let d =
@@ -186,7 +186,7 @@ let test_chunked_collective_aggregates () =
 
 let test_chunked_validation () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/cv.h5" in
          (try
@@ -205,7 +205,7 @@ let test_chunked_validation () =
 
 let test_multi_dataset_io () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/multi.h5" in
          let d1 = H5.h5dcreate ctx f ~name:"a" ~dims:[ 2; 4 ] ~esize:1 in
@@ -237,7 +237,7 @@ let test_multi_dataset_io () =
 
 let test_groups () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/grp.h5" in
          let g = H5.h5gcreate ctx f ~name:"results" () in
@@ -267,7 +267,7 @@ let test_groups () =
 
 let test_attributes () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/att.h5" in
          let a = H5.h5acreate ctx f ~name:"version" ~size:4 in
@@ -281,7 +281,7 @@ let test_fig6_sync_pattern_works_on_commit_fs () =
   (* The properly synchronized variant of Fig. 6: flush-barrier-flush makes
      the data visible even on a commit-consistency file system. *)
   ignore
-    (run ~nranks:2 ~model:F.Commit (fun ctx sys ->
+    (run ~nranks:2 ~model:F.commit (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/fig6.h5" in
          let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 8 ] ~esize:1 in
@@ -300,7 +300,7 @@ let test_fig6_barrier_only_corrupts_on_commit_fs () =
   (* The improperly synchronized variant: barrier-only gives a stale read on
      a non-POSIX file system — the silent corruption of §V-C2. *)
   ignore
-    (run ~nranks:2 ~model:F.Commit (fun ctx sys ->
+    (run ~nranks:2 ~model:F.commit (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/fig6b.h5" in
          let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 8 ] ~esize:1 in
@@ -315,7 +315,7 @@ let test_fig6_barrier_only_corrupts_on_commit_fs () =
 let test_call_chain () =
   let trace = Recorder.Trace.create ~nranks:1 in
   ignore
-    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/cc.h5" in
          let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 4 ] ~esize:1 in
@@ -341,7 +341,7 @@ let test_no_sync_in_data_path () =
   (* Like the real HDF5, h5dwrite must not emit MPI_File_sync. *)
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let f = H5.h5fcreate ctx sys ~comm "/ns.h5" in
          let d = H5.h5dcreate ctx f ~name:"d" ~dims:[ 2; 4 ] ~esize:1 in

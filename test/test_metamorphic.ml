@@ -39,7 +39,7 @@ let program ~seed ~rounds ~sync_level (ctx : E.ctx) fs =
 
 let trace_of ?(sched_seed = 0) ~seed ~rounds ~sync_level ~nranks () =
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let eng = E.create ~trace ~sched_seed ~nranks () in
   E.run eng (fun ctx -> program ~seed ~rounds ~sync_level ctx fs);
   Recorder.Trace.records trace

@@ -106,7 +106,7 @@ let prop_view_mapping_total_and_monotonic =
 
 let test_open_write_read_close () =
   let fs =
-    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    run ~nranks:2 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f =
           MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/out"
@@ -122,7 +122,7 @@ let test_open_write_read_close () =
 
 let test_strided_independent_write () =
   let fs =
-    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    run ~nranks:2 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/st" in
         (* Each rank's view interleaves 2-byte blocks with stride 4. *)
@@ -139,7 +139,7 @@ let test_strided_independent_write () =
 
 let test_seek_and_write_all () =
   let fs =
-    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    run ~nranks:2 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/wa" in
         ignore (MF.seek ctx f ~off:(ctx.E.rank * 3) F.SEEK_SET);
@@ -155,7 +155,7 @@ let test_seek_and_write_all () =
 let test_collective_contiguous_no_aggregation () =
   let trace = Recorder.Trace.create ~nranks:2 in
   let fs =
-    run ~trace ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    run ~trace ~nranks:2 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/cc" in
         MF.write_at_all ctx f ~off:(ctx.E.rank * 4)
@@ -175,7 +175,7 @@ let test_collective_contiguous_no_aggregation () =
 let test_collective_strided_aggregates_at_rank0 () =
   let trace = Recorder.Trace.create ~nranks:4 in
   let fs =
-    run ~trace ~nranks:4 ~model:F.Posix (fun ctx fs ->
+    run ~trace ~nranks:4 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/agg" in
         let view =
@@ -208,7 +208,7 @@ let test_collective_strided_aggregates_at_rank0 () =
 let test_cb_hint_forces_aggregation () =
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f =
            MF.open_ ctx ~comm ~fs
@@ -229,7 +229,7 @@ let test_cb_hint_forces_aggregation () =
 let test_cb_hint_disables_aggregation () =
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f =
            MF.open_ ctx ~comm ~fs
@@ -255,7 +255,7 @@ let test_cb_nodes_multiple_aggregators () =
      ranks 0 and 1. *)
   let trace = Recorder.Trace.create ~nranks:4 in
   let fs =
-    run ~trace ~nranks:4 ~model:F.Posix (fun ctx fs ->
+    run ~trace ~nranks:4 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f =
           MF.open_ ctx ~comm ~fs
@@ -289,7 +289,7 @@ let test_cb_nodes_multiple_aggregators () =
 let test_cb_nodes_capped_and_validated () =
   (* cb_nodes above the communicator size is capped; garbage rejected. *)
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    (run ~nranks:2 ~model:F.posix (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f =
            MF.open_ ctx ~comm ~fs
@@ -300,7 +300,7 @@ let test_cb_nodes_capped_and_validated () =
          MF.close ctx f));
   try
     ignore
-      (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+      (run ~nranks:2 ~model:F.posix (fun ctx fs ->
            let comm = M.comm_world ctx in
            ignore
              (MF.open_ ctx ~comm ~fs
@@ -313,7 +313,7 @@ let test_aggregation_preserves_gap_bytes () =
   (* The read-modify-write phase must not clobber bytes inside the merged
      run that no rank wrote in this collective. *)
   let fs =
-    run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    run ~nranks:2 ~model:F.posix (fun ctx fs ->
         let comm = M.comm_world ctx in
         let f =
           MF.open_ ctx ~comm ~fs
@@ -333,7 +333,7 @@ let test_aggregation_preserves_gap_bytes () =
 
 let test_read_at_all () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+    (run ~nranks:2 ~model:F.posix (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/ra" in
          if ctx.E.rank = 0 then MF.write_at ctx f ~off:0 (b "collective!");
@@ -346,7 +346,7 @@ let test_collective_mismatch_detected () =
   let raised = ref false in
   (try
      ignore
-       (run ~nranks:2 ~model:F.Posix (fun ctx fs ->
+       (run ~nranks:2 ~model:F.posix (fun ctx fs ->
             let comm = M.comm_world ctx in
             let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/mm" in
             (* Rank 0 calls write_at_all, rank 1 calls write_all: the split
@@ -363,7 +363,7 @@ let test_collective_mismatch_detected () =
 
 let test_sync_publishes_on_commit_fs () =
   ignore
-    (run ~nranks:2 ~model:F.Commit (fun ctx fs ->
+    (run ~nranks:2 ~model:F.commit (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/cm" in
          if ctx.E.rank = 0 then begin
@@ -380,7 +380,7 @@ let test_sync_publishes_on_commit_fs () =
 
 let test_missing_sync_hides_data_on_commit_fs () =
   ignore
-    (run ~nranks:2 ~model:F.Commit (fun ctx fs ->
+    (run ~nranks:2 ~model:F.commit (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/stale" in
          if ctx.E.rank = 0 then MF.write_at ctx f ~off:0 (b "payload");
@@ -399,7 +399,7 @@ let test_missing_sync_hides_data_on_commit_fs () =
 let test_trace_nesting () =
   let trace = Recorder.Trace.create ~nranks:1 in
   ignore
-    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx fs ->
+    (run ~trace ~nranks:1 ~model:F.posix (fun ctx fs ->
          let comm = M.comm_world ctx in
          let f = MF.open_ ctx ~comm ~fs ~amode:[ MF.Create; MF.Rdwr ] "/tn" in
          MF.write_at ctx f ~off:0 (b "zz");

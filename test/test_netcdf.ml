@@ -21,7 +21,7 @@ let run ?trace ~nranks ~model program =
 
 let test_def_and_round_trip () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = NC.create_par ctx sys ~comm "/t.nc" in
          let dx = NC.def_dim ctx nc ~name:"x" ~len:8 in
@@ -37,7 +37,7 @@ let test_def_and_round_trip () =
 
 let test_reopen_reads_back () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = NC.create_par ctx sys ~comm "/p2.nc" in
          let dx = NC.def_dim ctx nc ~name:"x" ~len:4 in
@@ -56,7 +56,7 @@ let test_parallel5_pattern_concurrent_put () =
      §V-B1 same-bytes conflict. On POSIX the result is one of the two
      values; with our deterministic schedule, rank 1's write lands last. *)
   let fs =
-    run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    run ~nranks:2 ~model:F.posix (fun ctx sys ->
         let comm = M.comm_world ctx in
         let nc = NC.create_par ctx sys ~comm "/par5.nc" in
         let dx = NC.def_dim ctx nc ~name:"x" ~len:4 in
@@ -71,7 +71,7 @@ let test_parallel5_pattern_concurrent_put () =
 let test_collective_access_switch () =
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = NC.create_par ctx sys ~comm "/coll.nc" in
          let dr = NC.def_dim ctx nc ~name:"r" ~len:2 in
@@ -93,7 +93,7 @@ let test_collective_access_switch () =
 let test_four_layer_call_chain () =
   let trace = Recorder.Trace.create ~nranks:1 in
   ignore
-    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = NC.create_par ctx sys ~comm "/chain.nc" in
          let dx = NC.def_dim ctx nc ~name:"x" ~len:4 in
@@ -123,7 +123,7 @@ let test_four_layer_call_chain () =
 
 let test_attributes () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = NC.create_par ctx sys ~comm "/at.nc" in
          let dx = NC.def_dim ctx nc ~name:"x" ~len:2 in
@@ -138,7 +138,7 @@ let test_attributes () =
 let test_nc_sync_flushes () =
   let trace = Recorder.Trace.create ~nranks:1 in
   ignore
-    (run ~trace ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = NC.create_par ctx sys ~comm "/sy.nc" in
          let dx = NC.def_dim ctx nc ~name:"x" ~len:2 in

@@ -22,7 +22,7 @@ let run ?trace ?(bug = false) ~nranks ~model program =
 
 let test_define_and_layout () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/d.nc" in
          let dx = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -39,7 +39,7 @@ let test_define_and_layout () =
 
 let test_define_mode_enforced () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/m.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:4 in
@@ -59,7 +59,7 @@ let test_define_mode_enforced () =
 
 let test_put_get_round_trip () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/rt.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -75,7 +75,7 @@ let test_put_get_round_trip () =
 let test_fill_at_enddef () =
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/fill.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -101,7 +101,7 @@ let test_fill_at_enddef () =
 let test_strided_put_aggregates () =
   let trace = Recorder.Trace.create ~nranks:2 in
   let fs =
-    run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
         let comm = M.comm_world ctx in
         let nc = P.create ctx sys ~comm "/agg.nc" in
         let rows = P.def_dim ctx nc ~name:"rows" ~len:4 in
@@ -134,7 +134,7 @@ let test_var1_same_element_conflicts () =
   (* null_args-style: both ranks write the same element; file ends up with
      one of the values (engine order: later rank's collective pwrite last). *)
   let fs =
-    run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    run ~nranks:2 ~model:F.posix (fun ctx sys ->
         let comm = M.comm_world ctx in
         let nc = P.create ctx sys ~comm "/v1.nc" in
         let d = P.def_dim ctx nc ~name:"x" ~len:4 in
@@ -148,7 +148,7 @@ let test_var1_same_element_conflicts () =
 
 let test_independent_access_mode () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/ind.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -170,7 +170,7 @@ let test_independent_access_mode () =
 
 let test_nonblocking_iput_wait () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/nb.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -192,7 +192,7 @@ let test_nonblocking_iput_wait () =
 
 let test_iget_round_trip () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/ig.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -220,7 +220,7 @@ let test_iget_round_trip () =
 
 let test_mixed_iput_iget_wait () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/mix.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -240,7 +240,7 @@ let test_mixed_iput_iget_wait () =
 let test_close_with_pending_fails () =
   (try
      ignore
-       (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+       (run ~nranks:1 ~model:F.posix (fun ctx sys ->
             let comm = M.comm_world ctx in
             let nc = P.create ctx sys ~comm "/pend.nc" in
             let d = P.def_dim ctx nc ~name:"x" ~len:4 in
@@ -260,7 +260,7 @@ let test_split_wait_bug_mismatch () =
   let raised = ref false in
   (try
      ignore
-       (run ~trace ~bug:true ~nranks:2 ~model:F.Posix (fun ctx sys ->
+       (run ~trace ~bug:true ~nranks:2 ~model:F.posix (fun ctx sys ->
             let comm = M.comm_world ctx in
             let nc = P.create ctx sys ~comm "/bug.nc" in
             let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -291,7 +291,7 @@ let test_split_wait_bug_mismatch () =
 
 let test_reopen () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/ro.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:4 in
@@ -309,7 +309,7 @@ let test_trace_api_names_in_registry () =
      signature registry (Recorder+ full coverage). *)
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/api.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -329,7 +329,7 @@ let test_trace_api_names_in_registry () =
 
 let test_redef_appends_vars () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/rd.nc" in
          let d = P.def_dim ctx nc ~name:"x" ~len:8 in
@@ -355,7 +355,7 @@ let test_redef_appends_vars () =
 
 let test_redef_rules () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/rr.nc" in
          (* redef before enddef is invalid. *)
@@ -384,7 +384,7 @@ let test_redef_rules () =
 
 let test_record_var_layout () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/rec.nc" in
          let time = P.def_dim ctx nc ~name:"time" ~len:0 in
@@ -403,7 +403,7 @@ let test_record_var_layout () =
 
 let test_record_var_round_trip () =
   ignore
-    (run ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/rt2.nc" in
          let time = P.def_dim ctx nc ~name:"time" ~len:0 in
@@ -432,7 +432,7 @@ let test_record_var_round_trip () =
 
 let test_record_var_bounds () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/rb.nc" in
          let time = P.def_dim ctx nc ~name:"time" ~len:0 in
@@ -451,7 +451,7 @@ let test_record_var_bounds () =
 
 let test_unlimited_dim_rules () =
   ignore
-    (run ~nranks:1 ~model:F.Posix (fun ctx sys ->
+    (run ~nranks:1 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/ud.nc" in
          let _time = P.def_dim ctx nc ~name:"time" ~len:0 in
@@ -473,7 +473,7 @@ let test_multi_record_write_aggregates () =
      variables interleave. *)
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/mr.nc" in
          let time = P.def_dim ctx nc ~name:"time" ~len:0 in
@@ -503,7 +503,7 @@ let test_multi_record_write_aggregates () =
 let test_sync_numrecs () =
   let trace = Recorder.Trace.create ~nranks:2 in
   ignore
-    (run ~trace ~nranks:2 ~model:F.Posix (fun ctx sys ->
+    (run ~trace ~nranks:2 ~model:F.posix (fun ctx sys ->
          let comm = M.comm_world ctx in
          let nc = P.create ctx sys ~comm "/sn.nc" in
          let time = P.def_dim ctx nc ~name:"time" ~len:0 in

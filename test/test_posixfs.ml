@@ -18,7 +18,7 @@ let fresh ?trace model = F.create ?trace ~model ()
 (* ------------------------------------------------------------------ *)
 
 let test_open_write_read () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/data" in
   check_int "written" 5 (F.pwrite fs ~rank:0 fd ~off:0 (b "hello"));
   check_string "read back" "hello" (s (F.pread fs ~rank:0 fd ~off:0 ~len:5));
@@ -27,14 +27,14 @@ let test_open_write_read () =
   check_string "persisted" "hello" (F.global_contents fs "/data")
 
 let test_open_missing_fails () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   (try
      ignore (F.openf fs ~rank:0 ~flags:[ F.O_RDONLY ] "/nope");
      Alcotest.fail "expected ENOENT"
    with F.Error (errno, _) -> check_string "errno" "ENOENT" errno)
 
 let test_trunc_flag () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "old-content"));
   F.close fs ~rank:0 fd;
@@ -43,7 +43,7 @@ let test_trunc_flag () =
   F.close fs ~rank:0 fd
 
 let test_sequential_write_moves_pointer () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.write fs ~rank:0 fd (b "abc"));
   ignore (F.write fs ~rank:0 fd (b "def"));
@@ -54,7 +54,7 @@ let test_sequential_write_moves_pointer () =
   F.close fs ~rank:0 fd
 
 let test_lseek_whence () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "0123456789"));
   check_int "SEEK_SET" 4 (F.lseek fs ~rank:0 fd ~off:4 F.SEEK_SET);
@@ -68,7 +68,7 @@ let test_lseek_whence () =
   F.close fs ~rank:0 fd
 
 let test_append_mode () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "base"));
   F.close fs ~rank:0 fd;
@@ -80,7 +80,7 @@ let test_append_mode () =
   F.close fs ~rank:0 fd
 
 let test_write_past_eof_leaves_hole () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:5 (b "x"));
   check_int "size includes hole" 6 (F.file_size fs ~rank:0 fd);
@@ -89,7 +89,7 @@ let test_write_past_eof_leaves_hole () =
   F.close fs ~rank:0 fd
 
 let test_short_reads () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "abc"));
   check_string "read past eof empty" "" (s (F.pread fs ~rank:0 fd ~off:10 ~len:5));
@@ -97,7 +97,7 @@ let test_short_reads () =
   F.close fs ~rank:0 fd
 
 let test_ftruncate () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "0123456789"));
   F.ftruncate fs ~rank:0 fd 4;
@@ -107,7 +107,7 @@ let test_ftruncate () =
   F.close fs ~rank:0 fd
 
 let test_unlink () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   F.close fs ~rank:0 fd;
   check_bool "exists" true (F.file_exists fs "/f");
@@ -119,7 +119,7 @@ let test_unlink () =
   with F.Error (errno, _) -> check_string "errno" "ENOENT" errno
 
 let test_fd_reuse () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd1 = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/a" in
   let fd2 = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/b" in
   check_int "first fd is 3" 3 (F.fd_number fd1);
@@ -132,7 +132,7 @@ let test_fd_reuse () =
   check_int "rank 1 starts at 3" 3 (F.fd_number other)
 
 let test_closed_fd_errors () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   F.close fs ~rank:0 fd;
   List.iter
@@ -149,7 +149,7 @@ let test_closed_fd_errors () =
     ]
 
 let test_readonly_writeonly () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/f" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "data"));
   F.close fs ~rank:0 fd;
@@ -171,7 +171,7 @@ let test_readonly_writeonly () =
 (* ------------------------------------------------------------------ *)
 
 let test_stream_write_read () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let st = F.fopen fs ~rank:0 ~mode:"w+" "/s" in
   check_int "items written" 3 (F.fwrite fs ~rank:0 st ~size:2 ~nitems:3 (b "aabbcc"));
   F.fseek fs ~rank:0 st ~off:0 F.SEEK_SET;
@@ -182,7 +182,7 @@ let test_stream_write_read () =
   F.fclose fs ~rank:0 st
 
 let test_stream_modes () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   (* "w" truncates. *)
   let st = F.fopen fs ~rank:0 ~mode:"w" "/m" in
   ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:4 (b "abcd"));
@@ -210,7 +210,7 @@ let test_stream_modes () =
 let test_fd_and_stream_same_file () =
   (* The paper's corner case: pwrite via an fd and fwrite via a stream to
      the same file. *)
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/shared" in
   let st = F.fopen fs ~rank:1 ~mode:"r+" "/shared" in
   ignore (F.pwrite fs ~rank:0 fd ~off:0 (b "AAAA"));
@@ -225,7 +225,7 @@ let test_fd_and_stream_same_file () =
 (* ------------------------------------------------------------------ *)
 
 let test_posix_immediate_visibility () =
-  let fs = fresh F.Posix in
+  let fs = fresh F.posix in
   let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
   let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
   ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
@@ -233,7 +233,7 @@ let test_posix_immediate_visibility () =
     (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
 
 let test_commit_visibility () =
-  let fs = fresh F.Commit in
+  let fs = fresh F.commit in
   let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
   let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
   ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
@@ -247,7 +247,7 @@ let test_commit_visibility () =
     (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
 
 let test_session_visibility () =
-  let fs = fresh F.Session in
+  let fs = fresh F.session in
   let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
   (* Reader opens while the writer's session is active. *)
   let r_before = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
@@ -264,7 +264,7 @@ let test_session_visibility () =
 let test_commit_overlapping_publishes () =
   (* Two ranks commit overlapping writes; the committed image reflects
      commit order. *)
-  let fs = fresh F.Commit in
+  let fs = fresh F.commit in
   let a = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/o" in
   let c = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/o" in
   ignore (F.pwrite fs ~rank:0 a ~off:0 (b "AAAA"));
@@ -274,7 +274,7 @@ let test_commit_overlapping_publishes () =
   check_string "commit order wins" "AABBBB" (F.global_contents fs "/o")
 
 let test_session_fflush_publishes () =
-  let fs = fresh F.Session in
+  let fs = fresh F.session in
   let st = F.fopen fs ~rank:0 ~mode:"w" "/p" in
   ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:3 (b "pub"));
   check_string "not yet global" "" (F.global_contents fs "/p");
@@ -282,9 +282,107 @@ let test_session_fflush_publishes () =
   check_string "fflush published" "pub" (F.global_contents fs "/p");
   F.fclose fs ~rank:0 st
 
+(* Commit's fsync publishes EVERY open handle's buffered data (the whole
+   file commits), so a rank that never wrote can still publish another
+   rank's writes. Commit-PS restricts publication to the syncer's own
+   handle — the simulator counterpart of tightening -hb-> to -po->. *)
+let test_commit_foreign_fsync_publishes_all () =
+  let fs = fresh F.commit in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  check_string "buffered before any commit" ""
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5));
+  F.fsync fs ~rank:1 r;
+  check_string "foreign fsync committed the file" "fresh"
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+
+let test_commit_ps_publishes_own_handle_only () =
+  let fs = fresh F.commit_ps in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  F.fsync fs ~rank:1 r;
+  check_string "foreign fsync publishes nothing" ""
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5));
+  F.fsync fs ~rank:0 w;
+  check_string "writer's own fsync publishes" "fresh"
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+
+(* Close-to-open: fsync is a no-op (NFS semantics — only the fd close
+   commits), and stream-level close/flush neither publishes nor syncs. *)
+let test_c2o_fsync_noop_close_publishes () =
+  let fs = fresh F.close_to_open in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  F.fsync fs ~rank:0 w;
+  check_string "fsync publishes nothing" "" (F.global_contents fs "/v");
+  F.close fs ~rank:0 w;
+  check_string "fd close publishes" "fresh" (F.global_contents fs "/v");
+  let r = F.openf fs ~rank:1 ~flags:[ F.O_RDWR ] "/v" in
+  check_string "open-after-close sees the data" "fresh"
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+
+let test_c2o_stream_close_does_not_publish () =
+  let run model =
+    let fs = fresh model in
+    let st = F.fopen fs ~rank:0 ~mode:"w" "/p" in
+    ignore (F.fwrite fs ~rank:0 st ~size:1 ~nitems:3 (b "pub"));
+    F.fflush fs ~rank:0 st;
+    F.fclose fs ~rank:0 st;
+    F.global_contents fs "/p"
+  in
+  check_string "session fclose publishes" "pub" (run F.session);
+  check_string "c2o fclose publishes nothing" "" (run F.close_to_open)
+
+(* MPI-IO: a reader's own MPI_File_sync re-pulls the global image into
+   its frozen snapshot (the sync -hb-> sync -hb-> read idiom); under
+   plain Session the same call sequence stays stale. *)
+let test_mpiio_sync_refreshes_snapshot () =
+  let run model =
+    let fs = fresh model in
+    let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+    let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+    ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+    F.fsync fs ~rank:0 w;
+    let before = s (F.pread fs ~rank:1 r ~off:0 ~len:5) in
+    F.fsync fs ~rank:1 r;
+    (before, s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+  in
+  let stale, refreshed = run F.mpi_io in
+  check_string "snapshot stale before reader's sync" "" stale;
+  check_string "reader's sync refreshes" "fresh" refreshed;
+  let stale2, still = run F.session in
+  check_string "session stale before sync" "" stale2;
+  check_string "session sync never refreshes" "" still
+
+(* MPI-IO atomic mode behaves exactly like POSIX: unbuffered, immediately
+   visible across ranks with no sync at all. *)
+let test_atomic_immediate_visibility () =
+  let fs = fresh F.mpi_io_atomic in
+  let w = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  let r = F.openf fs ~rank:1 ~flags:[ F.O_CREAT; F.O_RDWR ] "/v" in
+  ignore (F.pwrite fs ~rank:0 w ~off:0 (b "fresh"));
+  check_string "visible with no sync" "fresh"
+    (s (F.pread fs ~rank:1 r ~off:0 ~len:5))
+
+(* Every model resolves by name and alias through the posixfs registry. *)
+let test_model_registry () =
+  check_bool "at least seven engines" true
+    (List.length (F.models ()) >= 7);
+  List.iter
+    (fun (query, expected) ->
+      match F.model_by_name query with
+      | Some m -> check_string query expected (F.model_to_string m)
+      | None -> Alcotest.fail ("lookup failed for " ^ query))
+    [
+      ("posix", "POSIX"); ("nfs", "Close-to-open");
+      ("per-syncer-commit", "Commit-PS"); ("atomic", "MPI-IO-Atomic");
+    ]
+
 let test_trace_capture () =
   let trace = Recorder.Trace.create ~nranks:1 in
-  let fs = fresh ~trace F.Posix in
+  let fs = fresh ~trace F.posix in
   let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/t" in
   ignore (F.pwrite fs ~rank:0 fd ~off:16 (b "payload"));
   ignore (F.lseek fs ~rank:0 fd ~off:0 F.SEEK_END);
@@ -313,7 +411,7 @@ let prop_posix_pwrite_pread_round_trip =
         (pair (int_range 0 64)
            (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))))
     (fun writes ->
-      let fs = fresh F.Posix in
+      let fs = fresh F.posix in
       let fd = F.openf fs ~rank:0 ~flags:[ F.O_CREAT; F.O_RDWR ] "/q" in
       let model = Bytes.make 128 '\000' in
       let eof = ref 0 in
@@ -356,7 +454,7 @@ let prop_commit_equals_posix_after_full_sync =
         Array.iteri (fun rank fd -> F.fsync fs ~rank fd) fds;
         F.global_contents fs "/c"
       in
-      run F.Posix = run F.Commit)
+      run F.posix = run F.commit)
 
 let () =
   Alcotest.run "posixfs"
@@ -396,6 +494,19 @@ let () =
             test_commit_overlapping_publishes;
           Alcotest.test_case "fflush publishes" `Quick
             test_session_fflush_publishes;
+          Alcotest.test_case "Commit foreign fsync" `Quick
+            test_commit_foreign_fsync_publishes_all;
+          Alcotest.test_case "Commit-PS own handle only" `Quick
+            test_commit_ps_publishes_own_handle_only;
+          Alcotest.test_case "C2O fsync no-op" `Quick
+            test_c2o_fsync_noop_close_publishes;
+          Alcotest.test_case "C2O stream close inert" `Quick
+            test_c2o_stream_close_does_not_publish;
+          Alcotest.test_case "MPI-IO sync refreshes" `Quick
+            test_mpiio_sync_refreshes_snapshot;
+          Alcotest.test_case "Atomic immediate" `Quick
+            test_atomic_immediate_visibility;
+          Alcotest.test_case "model registry" `Quick test_model_registry;
         ] );
       ( "tracing",
         [ Alcotest.test_case "capture" `Quick test_trace_capture ] );

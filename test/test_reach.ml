@@ -15,7 +15,7 @@ let check_int = Alcotest.(check int)
 
 let graph_of ~nranks program =
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let eng = E.create ~trace ~nranks () in
   E.run eng (fun ctx -> program ctx fs);
   let d = V.Estore.of_records ~nranks (Recorder.Trace.records trace) in

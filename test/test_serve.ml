@@ -91,18 +91,42 @@ let test_flags_string () =
     (Spool.flags_string (spec ~models:[ "MPI-IO" ] ()))
 
 let test_cache_keys () =
-  let key = Cache.key ~trace_sha256:"aaaa" ~model:"POSIX" ~flags:"f" in
+  let posix = Verifyio.Model.posix in
+  let key = Cache.key ~trace_sha256:"aaaa" ~model:posix ~flags:"f" in
   check_int "hex key" 64 (String.length key);
   check_bool "model distinguishes" true
-    (key <> Cache.key ~trace_sha256:"aaaa" ~model:"MPI-IO" ~flags:"f");
+    (key
+    <> Cache.key ~trace_sha256:"aaaa" ~model:Verifyio.Model.mpi_io ~flags:"f");
   check_bool "trace distinguishes" true
-    (key <> Cache.key ~trace_sha256:"bbbb" ~model:"POSIX" ~flags:"f");
+    (key <> Cache.key ~trace_sha256:"bbbb" ~model:posix ~flags:"f");
   check_bool "flags distinguish" true
-    (key <> Cache.key ~trace_sha256:"aaaa" ~model:"POSIX" ~flags:"g");
+    (key <> Cache.key ~trace_sha256:"aaaa" ~model:posix ~flags:"g");
   let dir = fresh_dir () in
   check_bool "miss" true (Cache.lookup ~dir ~key = None);
   Cache.store ~dir ~key "payload\n";
   check_bool "hit" true (Cache.lookup ~dir ~key = Some "payload\n")
+
+(* The registry regression: two models under the SAME name whose MSC
+   definitions differ must key differently, so redefining a custom model
+   can never resurface verdicts cached under the old definition. *)
+let test_cache_key_tracks_definition () =
+  let module VM = Verifyio.Model in
+  let mk shapes =
+    VM.make ~name:"Custom" ~sync_set:[ "s" ] ~msc_desc:"-hb-> s -hb->"
+      ~mscs:
+        [ { VM.edges = [ VM.Hb; VM.Hb ]; syncs = [ VM.pred ~name:"s" shapes ] } ]
+      ()
+  in
+  let v1 = mk [ { VM.sh_class = `Sync; sh_api = None } ] in
+  let v2 = mk [ { VM.sh_class = `Close; sh_api = None } ] in
+  let k1 = Cache.key ~trace_sha256:"aaaa" ~model:v1 ~flags:"f" in
+  let k2 = Cache.key ~trace_sha256:"aaaa" ~model:v2 ~flags:"f" in
+  check_bool "same name, different MSC, different key" true (k1 <> k2);
+  let dir = fresh_dir () in
+  Cache.store ~dir ~key:k1 "stale\n";
+  check_bool "old definition still hits" true
+    (Cache.lookup ~dir ~key:k1 = Some "stale\n");
+  check_bool "redefined model misses" true (Cache.lookup ~dir ~key:k2 = None)
 
 (* ------------------------------------------------------------------ *)
 (* Journal replay: the arbitrary-kill-point property                    *)
@@ -429,7 +453,7 @@ let test_daemon_cache_byte_identity () =
       List.iter
         (fun (model : Verifyio.Model.t) ->
           let key =
-            Cache.key ~trace_sha256 ~model:model.Verifyio.Model.name ~flags
+            Cache.key ~trace_sha256 ~model ~flags
           in
           let entry =
             match Cache.lookup ~dir:spool.Spool.cache ~key with
@@ -579,7 +603,11 @@ let () =
           Alcotest.test_case "flags string" `Quick test_flags_string;
         ] );
       ( "cache",
-        [ Alcotest.test_case "keys and store" `Quick test_cache_keys ] );
+        [
+          Alcotest.test_case "keys and store" `Quick test_cache_keys;
+          Alcotest.test_case "definition digest in key" `Quick
+            test_cache_key_tracks_definition;
+        ] );
       ( "journal",
         [
           Alcotest.test_case "replay basics" `Quick test_journal_replay_basics;

@@ -20,7 +20,7 @@ let b = Bytes.of_string
    partial trace is exactly what the verifier should see. *)
 let collect ~nranks program =
   let trace = Recorder.Trace.create ~nranks in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let eng = E.create ~trace ~nranks () in
   (try E.run eng (fun ctx -> program ctx fs)
    with E.Deadlock _ | E.Mismatch _ -> ());
@@ -315,7 +315,7 @@ let test_collective_subset_reported () =
 
 let test_split_wait_bug_reported () =
   let trace = Recorder.Trace.create ~nranks:2 in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let sys = Pncdf.Pnetcdf.create_system ~bug_split_wait:true ~fs () in
   let eng = E.create ~trace ~nranks:2 () in
   (try
@@ -566,7 +566,7 @@ let test_pruning_equivalence () =
 
 let test_race_report_has_call_chain () =
   let trace = Recorder.Trace.create ~nranks:2 in
-  let fs = F.create ~trace ~model:F.Posix () in
+  let fs = F.create ~trace ~model:F.posix () in
   let sys = Netcdfsim.Netcdf.create_system ~fs in
   let eng = E.create ~trace ~nranks:2 () in
   E.run eng (fun ctx ->
